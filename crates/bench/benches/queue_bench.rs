@@ -1,0 +1,45 @@
+//! FollowQueue throughput: the streaming fetch-process pipe of §IV-A.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use htpar_core::queue::FollowQueue;
+
+fn bench_channel_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("follow_queue");
+    let items = 10_000u64;
+    group.throughput(Throughput::Elements(items));
+    group.bench_function("push_drain_10k", |b| {
+        b.iter(|| {
+            let (writer, queue) = FollowQueue::channel();
+            for i in 0..items {
+                writer.push(format!("item-{i}"));
+            }
+            drop(writer);
+            let mut n = 0u64;
+            for _ in queue {
+                n += 1;
+            }
+            assert_eq!(n, items);
+        })
+    });
+    group.bench_function("concurrent_producer_consumer", |b| {
+        b.iter(|| {
+            let (writer, queue) = FollowQueue::channel();
+            let producer = std::thread::spawn(move || {
+                for i in 0..items {
+                    writer.push(i.to_string());
+                }
+            });
+            let n = queue.count();
+            producer.join().unwrap();
+            assert_eq!(n as u64, items);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_channel_queue
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Mini-rsync benchmarks: the quick-check scan that makes incremental
+//! re-transfers cheap (the property §IV-E's petabyte migration relies
+//! on).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use htpar_transfer::{find_files, sync_tree, SyncOptions};
+use std::fs;
+use std::path::PathBuf;
+
+fn setup_tree(files: usize) -> (PathBuf, PathBuf, Vec<PathBuf>) {
+    let root = std::env::temp_dir().join(format!("htpar-rsbench-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let src = root.join("src");
+    for i in 0..files {
+        let p = src.join(format!("d{:02}/f{i:04}.dat", i % 16));
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(&p, vec![b'x'; 256]).unwrap();
+    }
+    let listed = find_files(&src).unwrap();
+    (root.clone(), root.join("dst"), listed)
+}
+
+fn bench_rsync(c: &mut Criterion) {
+    let files = 500usize;
+    let (root, dst, listed) = setup_tree(files);
+    let opts = SyncOptions {
+        relative: true,
+        ..Default::default()
+    };
+    // Warm copy so the benchmark below measures the incremental path.
+    sync_tree(&listed, &dst, &opts).unwrap();
+
+    let mut group = c.benchmark_group("mini_rsync");
+    group.throughput(Throughput::Elements(files as u64));
+    group.bench_function("quick_check_up_to_date_500", |b| {
+        b.iter(|| {
+            let stats = sync_tree(&listed, &dst, &opts).unwrap();
+            assert_eq!(stats.files_copied, 0);
+        })
+    });
+    group.bench_function("find_files_500", |b| {
+        b.iter(|| find_files(root.join("src")).unwrap())
+    });
+    group.finish();
+    let _ = fs::remove_dir_all(&root);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rsync
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Engine dispatch-overhead benchmark: how fast our slot pool moves
+//! no-op tasks — the library-level analogue of the paper's Fig. 3 launch
+//! rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use htpar_core::prelude::*;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner_dispatch");
+    let tasks = 2_000u64;
+    group.throughput(Throughput::Elements(tasks));
+    for jobs in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("noop_tasks", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                Parallel::new("noop {}")
+                    .jobs(jobs)
+                    .executor(FnExecutor::noop())
+                    .args((0..tasks).map(|i| i.to_string()))
+                    .run()
+                    .expect("bench run")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_keep_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner_keep_order");
+    let tasks = 2_000u64;
+    group.throughput(Throughput::Elements(tasks));
+    for keep in [false, true] {
+        group.bench_with_input(BenchmarkId::new("keep_order", keep), &keep, |b, &keep| {
+            b.iter(|| {
+                Parallel::new("noop {}")
+                    .jobs(8)
+                    .keep_order(keep)
+                    .executor(FnExecutor::noop())
+                    .args((0..tasks).map(|i| i.to_string()))
+                    .run()
+                    .expect("bench run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dispatch, bench_keep_order
+}
+criterion_main!(benches);

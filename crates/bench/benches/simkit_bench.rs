@@ -1,0 +1,56 @@
+//! Event-engine throughput: the Fig. 1 simulation fires ~1.15M task
+//! events; the engine must not be the bottleneck.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use htpar_simkit::{SimTime, Simulation};
+use htpar_storage::{FairShareLink, Flow};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simkit");
+    let events = 100_000u64;
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("fire_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            for i in 0..events {
+                sim.schedule_at(SimTime::from_micros(i), |s| *s.world_mut() += 1);
+            }
+            sim.run();
+            assert_eq!(*sim.world(), events);
+        })
+    });
+    group.bench_function("self_scheduling_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            fn tick(sim: &mut Simulation<u64>) {
+                *sim.world_mut() += 1;
+                if *sim.world() < 100_000 {
+                    sim.schedule_in(SimTime::from_micros(1), tick);
+                }
+            }
+            sim.schedule_at(SimTime::ZERO, tick);
+            sim.run();
+        })
+    });
+    group.finish();
+}
+
+fn bench_fair_share(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fair_share");
+    for n in [64usize, 1024] {
+        let flows: Vec<Flow> = (0..n).map(|i| Flow::at_zero(1e6 + i as f64)).collect();
+        let link = FairShareLink::new(1e9);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("completion_times_{n}"), |b| {
+            b.iter(|| link.completion_times(&flows))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine, bench_fair_share
+}
+criterion_main!(benches);

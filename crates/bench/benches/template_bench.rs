@@ -1,0 +1,52 @@
+//! Microbenchmarks for replacement-string parsing and expansion — the
+//! per-task cost on the engine's dispatch path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use htpar_core::template::{ExpandContext, Template};
+
+fn bench_template(c: &mut Criterion) {
+    let mut group = c.benchmark_group("template");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("parse_simple", |b| {
+        b.iter(|| Template::parse(black_box("gzip -9 {} > out/{/.}.gz")).unwrap())
+    });
+
+    let t = Template::parse("run --seq {#} --slot {%} --in {} --base {/.} --dir {//}").unwrap();
+    let args = vec!["/gpfs/alpine/proj/data/file.2024.dat".to_string()];
+    let ctx = ExpandContext {
+        args: &args,
+        seq: 123_456,
+        slot: 17,
+    };
+    group.bench_function("expand_pathops", |b| b.iter(|| t.expand(black_box(&ctx))));
+
+    let plain = Template::parse("echo {}").unwrap();
+    group.bench_function("expand_simple", |b| b.iter(|| plain.expand(black_box(&ctx))));
+
+    group.bench_function("expand_argv", |b| b.iter(|| t.expand_argv(black_box(&ctx))));
+
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    use htpar_core::batch::{expand_context_replace, plan_batches};
+    let mut group = c.benchmark_group("batch");
+    let args: Vec<String> = (0..1000).map(|i| format!("/proj/data/f{i:06}.dat")).collect();
+    group.throughput(Throughput::Elements(args.len() as u64));
+    group.bench_function("plan_1000_files", |b| {
+        b.iter(|| plan_batches(black_box(&args), None, 128 * 1024, 40, 1))
+    });
+    let t = Template::parse("rsync -R -Ha {} /lustre/proj/").unwrap();
+    group.bench_function("context_replace_1000", |b| {
+        b.iter(|| expand_context_replace(black_box(&t), black_box(&args), 1, 1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_template, bench_batch
+}
+criterion_main!(benches);

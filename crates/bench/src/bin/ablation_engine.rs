@@ -1,0 +1,85 @@
+//! Ablation: the engine's utilization law on *this* host.
+//!
+//! Fig. 3's arithmetic says a launcher with dispatch rate R keeps J
+//! slots busy only when tasks last ≥ J/R. This harness measures our
+//! engine's actual utilization as task duration sweeps across that
+//! floor, with real in-process sleeps — the library-level verification
+//! of the paper's 545 ms / 40 ms rule.
+
+use std::time::Duration;
+
+use htpar_bench::{header, preamble, row};
+use htpar_core::prelude::*;
+
+fn measured_utilization(jobs: usize, task_ms: u64, tasks: u64) -> f64 {
+    let report = Parallel::new("sleep {}")
+        .jobs(jobs)
+        .executor(FnExecutor::sleep(Duration::from_millis(task_ms)))
+        .args((0..tasks).map(|i| i.to_string()))
+        .run()
+        .expect("ablation run");
+    report.summary().utilization(jobs)
+}
+
+fn main() {
+    preamble(
+        "Ablation — engine utilization vs task duration (real execution, this host)",
+        "utilization collapses below the dispatch-rate floor J/R; healthy above it",
+    );
+    let jobs = 8;
+    let widths = [9, 9, 14];
+    println!("{}", header(&["task_ms", "jobs", "utilization_%"], &widths));
+    let mut last = 0.0;
+    for task_ms in [0u64, 1, 2, 5, 10, 20, 50] {
+        let tasks = (400 / (task_ms + 1)).clamp(32, 400);
+        let util = measured_utilization(jobs, task_ms, tasks);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{task_ms}"),
+                    format!("{jobs}"),
+                    format!("{:.1}", util * 100.0),
+                ],
+                &widths
+            )
+        );
+        last = util;
+    }
+    println!();
+    println!("checks:");
+    println!(
+        "  long tasks keep {jobs} slots busy: utilization {:.0}% at 50 ms",
+        last * 100.0
+    );
+    println!("  zero-length tasks are dispatch-bound: utilization ~0% by definition");
+
+    // Keep-order tax: same sweep with -k on.
+    println!();
+    println!("keep-order overhead at 5 ms tasks:");
+    let plain = {
+        let report = Parallel::new("s {}")
+            .jobs(jobs)
+            .executor(FnExecutor::sleep(Duration::from_millis(5)))
+            .args((0..200).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        report.wall
+    };
+    let ordered = {
+        let report = Parallel::new("s {}")
+            .jobs(jobs)
+            .keep_order(true)
+            .executor(FnExecutor::sleep(Duration::from_millis(5)))
+            .args((0..200).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        report.wall
+    };
+    println!(
+        "  unordered {:.0} ms vs keep-order {:.0} ms ({:+.1}%)",
+        plain.as_secs_f64() * 1e3,
+        ordered.as_secs_f64() * 1e3,
+        (ordered.as_secs_f64() / plain.as_secs_f64() - 1.0) * 100.0
+    );
+}

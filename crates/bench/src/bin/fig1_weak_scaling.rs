@@ -1,0 +1,61 @@
+//! Fig. 1 regenerator: weak scaling on simulated Frontier.
+//!
+//! Paper: "Each node executed 128 parallel instances of a simple bash
+//! script... Half of the processes completed in less than a minute, and
+//! 75% completed in less than two minutes with 8,000 nodes. Greater
+//! variance was observed in 9,000-node runs due to outlier nodes...
+//! the maximum execution time for 9,000 nodes (1.152 million tasks) is
+//! 561 seconds."
+
+use htpar_bench::{header, preamble, row};
+use htpar_cluster::weak_scaling::{run, WeakScalingConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    preamble(
+        "Fig. 1 — weak scaling on Frontier (simulated)",
+        "linear medians; 8k nodes: median <60s, q3 <120s; 9k nodes max ~561s",
+    );
+    let widths = [6, 10, 9, 9, 9, 9, 9, 11];
+    println!(
+        "{}",
+        header(
+            &["nodes", "tasks", "min_s", "q1_s", "med_s", "q3_s", "max_s", "makespan_s"],
+            &widths
+        )
+    );
+    let mut rows = Vec::new();
+    for nodes in (1..=9).map(|k| k * 1000) {
+        let result = run(&WeakScalingConfig::frontier(nodes, seed));
+        let s = result.task_summary();
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{nodes}"),
+                    format!("{}", result.tasks_total),
+                    format!("{:.1}", s.min),
+                    format!("{:.1}", s.q1),
+                    format!("{:.1}", s.median),
+                    format!("{:.1}", s.q3),
+                    format!("{:.1}", s.max),
+                    format!("{:.1}", result.makespan_secs),
+                ],
+                &widths
+            )
+        );
+        rows.push((nodes, s, result.makespan_secs));
+    }
+    println!();
+    let (_, s8k, _) = rows[7];
+    let (_, _, mk9k) = rows[8];
+    println!("checks:");
+    println!(
+        "  8,000 nodes: median {:.1}s (<60 expected), q3 {:.1}s (<120 expected)",
+        s8k.median, s8k.q3
+    );
+    println!("  9,000 nodes: makespan {:.1}s (paper: 561s)", mk9k);
+}

@@ -1,0 +1,53 @@
+//! Fig. 4 regenerator: Shifter container launch rate.
+//!
+//! Paper: "a container launch rate upper bound of approximately 5,200
+//! processes per second... a Shifter container startup overhead of only
+//! 19% compared to 'bare metal' performance."
+
+use htpar_bench::{header, preamble, row};
+use htpar_cluster::LaunchModel;
+use htpar_containers::{stress::launch_rate, BareMetal, Shifter};
+
+fn main() {
+    preamble(
+        "Fig. 4 — Shifter container launches per second (Perlmutter CPU node model)",
+        "upper bound ~5,200/s; 19% startup overhead vs bare metal",
+    );
+    let model = LaunchModel::paper_calibrated();
+    let shifter = Shifter::default();
+    let widths = [10, 16, 16, 12];
+    println!(
+        "{}",
+        header(
+            &["instances", "bare_metal/s", "shifter/s", "overhead_%"],
+            &widths
+        )
+    );
+    let mut peak_bare: f64 = 0.0;
+    let mut peak_shifter: f64 = 0.0;
+    for instances in [1u32, 2, 4, 8, 16, 32, 64] {
+        let bare = launch_rate(&model, &BareMetal, instances);
+        let shift = launch_rate(&model, &shifter, instances);
+        peak_bare = peak_bare.max(bare);
+        peak_shifter = peak_shifter.max(shift);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{instances}"),
+                    format!("{bare:.0}"),
+                    format!("{shift:.0}"),
+                    format!("{:.1}", (1.0 - shift / bare) * 100.0),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("checks:");
+    println!("  peak shifter rate: {peak_shifter:.0}/s (paper: ~5,200/s)");
+    println!(
+        "  startup overhead at peak: {:.1}% (paper: 19%)",
+        (1.0 - peak_shifter / peak_bare) * 100.0
+    );
+}

@@ -1,0 +1,61 @@
+//! Fig. 5 regenerator: Podman-HPC container launch rate and reliability.
+//!
+//! Paper: "a significantly lower launch rate upper bound of approximately
+//! 65 processes per second... two orders of magnitude slower than
+//! Shifter... reliability issues, such as failures in setting user
+//! namespaces, database locking, setgid failures, and problems with task
+//! tmp directories, were observed at larger scales."
+
+use htpar_bench::{header, preamble, row};
+use htpar_cluster::LaunchModel;
+use htpar_containers::{
+    stress::{launch_rate, stress_run},
+    PodmanHpc, Shifter,
+};
+
+fn main() {
+    preamble(
+        "Fig. 5 — Podman-HPC container launches per second",
+        "upper bound ~65/s (two orders below Shifter); failures at scale",
+    );
+    let model = LaunchModel::paper_calibrated();
+    let podman = PodmanHpc::default();
+    let widths = [10, 6, 12, 11];
+    println!(
+        "{}",
+        header(&["instances", "jobs", "podman/s", "fail_%"], &widths)
+    );
+    for (instances, jobs) in [(1u32, 1u32), (1, 8), (1, 64), (4, 16), (8, 32), (16, 64)] {
+        let rate = launch_rate(&model, &podman, instances);
+        let report = stress_run(&model, &podman, 20_000, instances, jobs, 7);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{instances}"),
+                    format!("{jobs}"),
+                    format!("{rate:.0}"),
+                    format!("{:.2}", report.failure_ratio() * 100.0),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    let big = stress_run(&model, &podman, 100_000, 16, 64, 7);
+    println!("failure modes at 16x64 concurrency over 100k launches:");
+    let mut modes: Vec<_> = big.failures.iter().collect();
+    modes.sort();
+    for (mode, count) in modes {
+        println!("  {mode:<16} {count}");
+    }
+    println!();
+    println!("checks:");
+    let podman_peak = launch_rate(&model, &podman, 64);
+    let shifter_peak = launch_rate(&model, &Shifter::default(), 64);
+    println!("  podman upper bound: {podman_peak:.0}/s (paper: ~65/s)");
+    println!(
+        "  shifter/podman ratio: {:.0}x (paper: two orders of magnitude)",
+        shifter_peak / podman_peak
+    );
+}

@@ -1,0 +1,76 @@
+//! Robustness: do the headline bands hold across random seeds, or did we
+//! get lucky with seed 2024?
+//!
+//! Reruns the seeded experiments (Fig. 1 at 8,000/9,000 nodes, Fig. 2,
+//! the data-motion comparison) over ten seeds and reports min/max of the
+//! quantities EXPERIMENTS.md asserts.
+
+use htpar_bench::{header, preamble, row};
+use htpar_cluster::gpu;
+use htpar_cluster::weak_scaling::{run, WeakScalingConfig};
+use htpar_transfer::dtn::{representative_population, MotionComparison};
+use htpar_transfer::DtnConfig;
+
+fn main() {
+    preamble(
+        "Robustness — headline quantities across 10 seeds",
+        "bands must hold for every seed, not just the default",
+    );
+    let seeds: Vec<u64> = (0..10).map(|i| 2024 + i * 101).collect();
+
+    println!("Fig. 1 @ 8,000 nodes (median < 60, q3 < 120) and 9,000 nodes (makespan band):");
+    let widths = [8, 10, 9, 13];
+    println!("{}", header(&["seed", "med8k_s", "q3_8k_s", "makespan9k_s"], &widths));
+    let mut worst_med: f64 = 0.0;
+    let mut worst_q3: f64 = 0.0;
+    let mut mk_lo = f64::INFINITY;
+    let mut mk_hi: f64 = 0.0;
+    for &seed in &seeds {
+        let r8 = run(&WeakScalingConfig::frontier(8000, seed));
+        let s8 = r8.task_summary();
+        let r9 = run(&WeakScalingConfig::frontier(9000, seed));
+        worst_med = worst_med.max(s8.median);
+        worst_q3 = worst_q3.max(s8.q3);
+        mk_lo = mk_lo.min(r9.makespan_secs);
+        mk_hi = mk_hi.max(r9.makespan_secs);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{seed}"),
+                    format!("{:.1}", s8.median),
+                    format!("{:.1}", s8.q3),
+                    format!("{:.1}", r9.makespan_secs),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "  worst median {worst_med:.1}s (<60), worst q3 {worst_q3:.1}s (<120), makespan range [{mk_lo:.0}, {mk_hi:.0}]s (paper: 561s)"
+    );
+
+    println!();
+    println!("Fig. 2 spread (< 10 s) and data-motion speedups across seeds:");
+    let widths = [8, 10, 12, 9];
+    println!("{}", header(&["seed", "gpu_spread", "seq_speedup", "wms_x"], &widths));
+    for &seed in &seeds {
+        let points = gpu::sweep(&[10, 40, 70, 100], seed);
+        let lo = points.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
+        let hi = points.iter().map(|&(_, m)| m).fold(0.0, f64::max);
+        let dataset = representative_population(seed, 20_000, 512.0 * 1024.0 * 1024.0);
+        let cmp = MotionComparison::run(&dataset, &DtnConfig::paper_calibrated());
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{seed}"),
+                    format!("{:.2}", hi - lo),
+                    format!("{:.0}x", cmp.speedup_vs_sequential()),
+                    format!("{:.1}x", cmp.speedup_vs_wms()),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! §IV-C regenerator: FORGE data curation throughput and quality.
+//!
+//! Paper (qualitative): "GNU Parallel plays an essential role in this
+//! process by enabling efficient data cleaning and enrichment, allowing
+//! FORGE to handle large volumes of data concurrently." This harness
+//! runs the full curation pipeline — extraction, language filtering,
+//! character cleanup, token accounting, near-duplicate removal — as a
+//! parallel map over corpus shards through the engine, and reports the
+//! statistics a curation run is judged by.
+
+use std::sync::{Arc, Mutex};
+
+use htpar_bench::{header, preamble, row};
+use htpar_core::prelude::*;
+use htpar_workloads::dedup::dedup_documents;
+use htpar_workloads::forge::{generate_corpus, preprocess, CleanDocument, CorpusStats};
+
+fn main() {
+    let docs_total: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    preamble(
+        "§IV-C — FORGE corpus curation as a parallel map (synthetic corpus)",
+        "clean + filter + account + dedup, sharded through the engine",
+    );
+
+    let corpus = Arc::new(generate_corpus(2024, docs_total));
+    let shards = 16usize;
+    let chunk = docs_total.div_ceil(shards);
+
+    let stats_acc: Arc<Mutex<CorpusStats>> = Arc::new(Mutex::new(CorpusStats::default()));
+    let kept_docs: Arc<Mutex<Vec<CleanDocument>>> = Arc::new(Mutex::new(Vec::new()));
+    let corpus2 = Arc::clone(&corpus);
+    let stats2 = Arc::clone(&stats_acc);
+    let kept2 = Arc::clone(&kept_docs);
+
+    let report = Parallel::new("curate shard {}")
+        .jobs(8)
+        .executor(FnExecutor::new(move |cmd| {
+            let shard: usize = cmd.args[0].parse().unwrap();
+            let lo = shard * chunk;
+            let hi = ((shard + 1) * chunk).min(corpus2.len());
+            if lo >= hi {
+                return Ok(TaskOutput::success());
+            }
+            let slice = &corpus2[lo..hi];
+            let stats = CorpusStats::process(slice);
+            let mut cleaned: Vec<CleanDocument> =
+                slice.iter().filter_map(|d| preprocess(d).ok()).collect();
+            {
+                let mut acc = stats2.lock().unwrap();
+                *acc = acc.merge(&stats);
+            }
+            kept2.lock().unwrap().append(&mut cleaned);
+            Ok(TaskOutput::success())
+        }))
+        .args((0..shards).map(|s| s.to_string()))
+        .run()
+        .expect("curation run");
+    assert!(report.all_succeeded());
+
+    let stats = *stats_acc.lock().unwrap();
+    let mut cleaned = kept_docs.lock().unwrap().clone();
+    cleaned.sort_by_key(|d| d.id);
+    let dedup = dedup_documents(&cleaned, 0.85);
+
+    let widths = [34, 14];
+    println!("{}", header(&["curation stage", "count"], &widths));
+    let rows: Vec<(&str, u64)> = vec![
+        ("raw documents", stats.documents_in),
+        ("rejected: non-English", stats.rejected_non_english),
+        ("rejected: too short", stats.rejected_too_short),
+        ("cleaned documents", stats.documents_kept),
+        ("dropped: near-duplicates", dedup.dropped.len() as u64),
+        ("final curated documents", dedup.kept.len() as u64),
+        ("tokens retained", stats.tokens),
+    ];
+    for (label, count) in rows {
+        println!("{}", row(&[label.to_string(), count.to_string()], &widths));
+    }
+    println!();
+    println!(
+        "curation wall time {:?} over {} shards x {} docs ({:.0} docs/s through the engine)",
+        report.wall,
+        shards,
+        chunk,
+        stats.documents_in as f64 / report.wall.as_secs_f64()
+    );
+    println!(
+        "checks: non-English rejection ~12% by construction (measured {:.1}%)",
+        100.0 * stats.rejected_non_english as f64 / stats.documents_in as f64
+    );
+}

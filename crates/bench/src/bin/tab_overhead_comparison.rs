@@ -1,0 +1,53 @@
+//! §II regenerator: orchestration overhead, conventional WMS vs the
+//! paper's sharded-parallel approach.
+//!
+//! Paper (citing the WfBench study, ref \[7\]): "the overhead is 500
+//! seconds for 50,000 tasks and up to 5,000 seconds for 100,000 tasks of
+//! the BLAST workflow"; versus "the maximum execution time for 9,000
+//! nodes (1.152 million tasks) is 561 seconds, which is significantly
+//! less than 10% of the overhead time reported for a workflow with
+//! 100,000 tasks."
+
+use htpar_bench::{header, preamble, row};
+use htpar_cluster::weak_scaling::{run, WeakScalingConfig};
+use htpar_wms::overhead_comparison;
+
+fn main() {
+    preamble(
+        "§II — orchestration overhead: central WMS vs driver-script + parallel engine",
+        "WMS: ~500s @50k tasks, up to ~5,000s @100k; parallel: 561s max for 1.152M tasks",
+    );
+    let widths = [11, 7, 16, 19, 11];
+    println!(
+        "{}",
+        header(
+            &["tasks", "nodes", "wms_overhead_s", "parallel_overhead_s", "advantage"],
+            &widths
+        )
+    );
+    for r in overhead_comparison(&[10_000, 50_000, 100_000, 200_000]) {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", r.tasks),
+                    format!("{}", r.nodes),
+                    format!("{:.0}", r.wms_overhead_secs),
+                    format!("{:.1}", r.parallel_overhead_secs),
+                    format!("{:.0}x", r.advantage()),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    // The 1.152M-task point through the full Fig. 1 simulation (includes
+    // straggler tails, I/O, copy-back — the honest end-to-end number).
+    let extreme = run(&WeakScalingConfig::frontier(9000, 2024));
+    println!(
+        "parallel engine at extreme scale: {} tasks on 9,000 nodes complete in {:.0}s (paper: 561s)",
+        extreme.tasks_total, extreme.makespan_secs
+    );
+    println!("note: a central WMS at 1.152M tasks extrapolates to >10^5 s of pure overhead under");
+    println!("the same calibration — the regime the paper argues is architecturally out of reach.");
+}

@@ -1,0 +1,646 @@
+//! Command-line parsing for `htpar`.
+//!
+//! Grammar (a faithful subset of `parallel`'s):
+//!
+//! ```text
+//! htpar [OPTIONS] COMMAND... [::: ARGS... [:::+ ARGS...]]...
+//! ```
+//!
+//! Options come first; the first token that is not a recognized option
+//! starts the command template; `:::` / `:::+` introduce input sources.
+//! With no `:::` sources and no `-a` files, arguments are read from
+//! stdin, one per line (pipe them in like `find ... | htpar ...`).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use htpar_core::halt::{HaltPolicy, HaltWhen};
+use htpar_core::options::{BatchMode, Options, ResumeMode};
+
+/// One input source given on the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceSpec {
+    /// `::: v1 v2 ...`
+    Values(Vec<String>),
+    /// `:::+ v1 v2 ...` (linked to the previous source)
+    LinkedValues(Vec<String>),
+    /// `-a FILE` / `--arg-file FILE`
+    File(PathBuf),
+}
+
+/// The fully parsed invocation.
+#[derive(Debug, Clone)]
+pub struct CliSpec {
+    pub options: Options,
+    /// The command template (words joined by single spaces).
+    pub command: String,
+    pub sources: Vec<SourceSpec>,
+    /// `--colsep SEP` for stdin/file sources.
+    pub colsep: Option<String>,
+    /// `--shuf [SEED]`.
+    pub shuffle: Option<u64>,
+    /// `-I STR`.
+    pub replacement: Option<String>,
+    /// `--pipe` mode with `--block N` bytes.
+    pub pipe: bool,
+    pub block_size: usize,
+    /// `--memfree BYTES`: hold launches while available memory is below
+    /// this (accepts k/M/G suffixes).
+    pub memfree_bytes: Option<u64>,
+    /// `--sshlogin SPEC[,SPEC...]`: distribute jobs over remote hosts.
+    pub sshlogins: Vec<String>,
+    /// `--ssh-cmd PROG`: the ssh program to use (GNU's `--ssh`).
+    pub ssh_cmd: String,
+    /// `--tagstring TPL`: tag output lines with an expanded template
+    /// (e.g. `--tagstring '{#}/{}'`) instead of the plain arguments.
+    pub tagstring: Option<String>,
+    /// `--line-buffer`: stream output lines as they appear instead of
+    /// grouping per job (lines from concurrent jobs interleave).
+    pub line_buffer: bool,
+    /// `--progress`: print a live status line to stderr per completion.
+    pub progress: bool,
+    /// `--help` / `--version` short-circuits.
+    pub help: bool,
+    pub version: bool,
+}
+
+impl Default for CliSpec {
+    fn default() -> Self {
+        CliSpec {
+            options: Options::default(),
+            command: String::new(),
+            sources: Vec::new(),
+            colsep: None,
+            shuffle: None,
+            replacement: None,
+            pipe: false,
+            block_size: 1 << 20,
+            memfree_bytes: None,
+            line_buffer: false,
+            sshlogins: Vec::new(),
+            ssh_cmd: "ssh".to_string(),
+            tagstring: None,
+            progress: false,
+            help: false,
+            version: false,
+        }
+    }
+}
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "\
+usage: htpar [OPTIONS] COMMAND... [::: ARGS...]...
+  -j, --jobs N          job slots (default: CPU count)
+  -k, --keep-order      emit output in input order
+      --tag             prefix output lines with the argument(s)
+      --dry-run         print commands without running them
+      --retries N       retry failing jobs N extra times
+      --retry-delay DUR exponential backoff before retries
+      --memfree SIZE    hold launches below this much free memory
+      --timeout DUR     kill jobs after DUR (e.g. 30s, 5m, 500ms)
+      --delay DUR       spacing between job launches
+      --halt SPEC       now|soon,fail|success=N[%]
+      --joblog FILE     record finished jobs
+      --resume          skip jobs already in the joblog
+      --resume-failed   re-run only failed jobs from the joblog
+      --results DIR     write per-job stdout/stderr/exitval under DIR
+  -a, --arg-file FILE   read arguments from FILE (repeatable)
+      --colsep SEP      split input lines into {1} {2} ... columns
+      --shuf[=SEED]     run jobs in random order
+  -X                    context-replace batching (rsync idiom)
+  -m                    xargs batching
+  -n, --max-args N      max arguments per batch
+  -s, --max-chars N     command length budget for batching
+  -I STR                use STR instead of {} as the replacement string
+      --pipe            split stdin into blocks fed to jobs' stdin
+      --block N[kKmM]   block size for --pipe (default 1M)
+      --no-shell        exec the argv directly instead of via sh -c
+  -S, --sshlogin SPECS  distribute over hosts: [N/][user@]host, comma-separated
+      --ssh-cmd PROG    ssh program to use (default: ssh)
+      --tagstring TPL   tag output with an expanded template (implies --tag)
+      --line-buffer     stream output lines as they appear (interleaved)
+      --progress        print live progress to stderr
+      --help, --version";
+
+/// Parse a duration: `10` (seconds), `500ms`, `30s`, `5m`, `2h`.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, unit) = match s.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(i) => s.split_at(i),
+        None => (s, "s"),
+    };
+    let value: f64 = num
+        .parse()
+        .map_err(|_| format!("invalid duration number {num:?}"))?;
+    if value < 0.0 {
+        return Err("duration cannot be negative".into());
+    }
+    let secs = match unit {
+        "ms" => value / 1e3,
+        "s" | "" => value,
+        "m" => value * 60.0,
+        "h" => value * 3600.0,
+        other => return Err(format!("unknown duration unit {other:?}")),
+    };
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// Parse `--block` sizes: `4096`, `64k`, `10M`.
+pub fn parse_block_size(s: &str) -> Result<usize, String> {
+    let (num, suffix) = match s.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(i) => s.split_at(i),
+        None => (s, ""),
+    };
+    let value: usize = num
+        .parse()
+        .map_err(|_| format!("invalid block size {num:?}"))?;
+    let mult = match suffix {
+        "" => 1,
+        "k" | "K" => 1 << 10,
+        "m" | "M" => 1 << 20,
+        "g" | "G" => 1 << 30,
+        other => return Err(format!("unknown block suffix {other:?}")),
+    };
+    value
+        .checked_mul(mult)
+        .ok_or_else(|| "block size overflows".to_string())
+}
+
+/// Parse a `--halt` spec: `when,why=value` with when ∈ {now, soon},
+/// why ∈ {fail, success}, value an integer or `N%`.
+pub fn parse_halt(s: &str) -> Result<HaltPolicy, String> {
+    if s == "never" {
+        return Ok(HaltPolicy::never());
+    }
+    let (when_str, rest) = s
+        .split_once(',')
+        .ok_or_else(|| format!("halt spec {s:?} needs when,why=value"))?;
+    let when = match when_str {
+        "now" => HaltWhen::Now,
+        "soon" => HaltWhen::Soon,
+        other => return Err(format!("halt when must be now/soon, got {other:?}")),
+    };
+    let (why, value) = rest
+        .split_once('=')
+        .ok_or_else(|| format!("halt spec {rest:?} needs why=value"))?;
+    let percent = value.ends_with('%');
+    let number = value.trim_end_matches('%');
+    match (why, percent) {
+        ("fail", false) => Ok(HaltPolicy::fail_count(
+            number.parse().map_err(|_| "bad halt count")?,
+            when,
+        )),
+        ("fail", true) => Ok(HaltPolicy::fail_percent(
+            number.parse().map_err(|_| "bad halt percent")?,
+            when,
+        )),
+        ("success", false) => Ok(HaltPolicy::success_count(
+            number.parse().map_err(|_| "bad halt count")?,
+            when,
+        )),
+        ("success", true) => Ok(HaltPolicy::success_percent(
+            number.parse().map_err(|_| "bad halt percent")?,
+            when,
+        )),
+        (other, _) => Err(format!("halt why must be fail/success, got {other:?}")),
+    }
+}
+
+/// Parse the full argument vector (everything after the program name).
+pub fn parse_args(argv: &[String]) -> Result<CliSpec, String> {
+    let mut spec = CliSpec::default();
+    let mut it = argv.iter().peekable();
+
+    // Phase 1: options.
+    let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                          flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+
+    while let Some(&token) = it.peek() {
+        let t = token.as_str();
+        match t {
+            "--help" => {
+                spec.help = true;
+                return Ok(spec);
+            }
+            "--version" => {
+                spec.version = true;
+                return Ok(spec);
+            }
+            "-j" | "--jobs" => {
+                it.next();
+                let v = next_value(&mut it, t)?;
+                spec.options.jobs = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
+            }
+            "-k" | "--keep-order" => {
+                it.next();
+                spec.options.keep_order = true;
+            }
+            "--tag" => {
+                it.next();
+                spec.options.tag = true;
+            }
+            "--dry-run" => {
+                it.next();
+                spec.options.dry_run = true;
+            }
+            "--retries" => {
+                it.next();
+                let v = next_value(&mut it, t)?;
+                spec.options.retries = v.parse().map_err(|_| format!("bad retries {v:?}"))?;
+            }
+            "--retry-delay" => {
+                it.next();
+                spec.options.retry_delay = Some(parse_duration(&next_value(&mut it, t)?)?);
+            }
+            "--memfree" => {
+                it.next();
+                let v = next_value(&mut it, t)?;
+                spec.memfree_bytes =
+                    Some(parse_block_size(&v).map_err(|e| format!("bad --memfree: {e}"))? as u64);
+            }
+            "--timeout" => {
+                it.next();
+                spec.options.timeout = Some(parse_duration(&next_value(&mut it, t)?)?);
+            }
+            "--delay" => {
+                it.next();
+                spec.options.delay = Some(parse_duration(&next_value(&mut it, t)?)?);
+            }
+            "--halt" => {
+                it.next();
+                spec.options.halt = parse_halt(&next_value(&mut it, t)?)?;
+            }
+            "--joblog" => {
+                it.next();
+                spec.options.joblog = Some(PathBuf::from(next_value(&mut it, t)?));
+            }
+            "--resume" => {
+                it.next();
+                spec.options.resume = ResumeMode::Resume;
+            }
+            "--resume-failed" => {
+                it.next();
+                spec.options.resume = ResumeMode::ResumeFailed;
+            }
+            "--results" => {
+                it.next();
+                spec.options.results_dir = Some(PathBuf::from(next_value(&mut it, t)?));
+            }
+            "-a" | "--arg-file" => {
+                it.next();
+                spec.sources
+                    .push(SourceSpec::File(PathBuf::from(next_value(&mut it, t)?)));
+            }
+            "--colsep" => {
+                it.next();
+                spec.colsep = Some(next_value(&mut it, t)?);
+            }
+            "--shuf" => {
+                it.next();
+                spec.shuffle = Some(0xD1CE);
+            }
+            "-X" => {
+                it.next();
+                spec.options.batch = BatchMode::ContextReplace;
+            }
+            "-m" => {
+                it.next();
+                spec.options.batch = BatchMode::Xargs;
+            }
+            "-n" | "--max-args" => {
+                it.next();
+                let v = next_value(&mut it, t)?;
+                spec.options.max_args =
+                    Some(v.parse().map_err(|_| format!("bad max-args {v:?}"))?);
+            }
+            "-s" | "--max-chars" => {
+                it.next();
+                let v = next_value(&mut it, t)?;
+                spec.options.max_chars = v.parse().map_err(|_| format!("bad max-chars {v:?}"))?;
+            }
+            "-I" => {
+                it.next();
+                spec.replacement = Some(next_value(&mut it, t)?);
+            }
+            "--pipe" => {
+                it.next();
+                spec.pipe = true;
+            }
+            "--block" => {
+                it.next();
+                spec.block_size = parse_block_size(&next_value(&mut it, t)?)?;
+            }
+            "--no-shell" => {
+                it.next();
+                spec.options.shell = false;
+            }
+            "--progress" => {
+                it.next();
+                spec.progress = true;
+            }
+            "--line-buffer" => {
+                it.next();
+                spec.line_buffer = true;
+            }
+            "--tagstring" => {
+                it.next();
+                spec.tagstring = Some(next_value(&mut it, t)?);
+                spec.options.tag = true;
+            }
+            "-S" | "--sshlogin" => {
+                it.next();
+                let v = next_value(&mut it, t)?;
+                spec.sshlogins
+                    .extend(v.split(',').map(|s| s.trim().to_string()));
+            }
+            "--ssh-cmd" => {
+                it.next();
+                spec.ssh_cmd = next_value(&mut it, t)?;
+            }
+            _ if t.starts_with("--shuf=") => {
+                let seed = t["--shuf=".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad shuf seed in {t:?}"))?;
+                spec.shuffle = Some(seed);
+                it.next();
+            }
+            _ if t.starts_with("-j") && t.len() > 2 && t[2..].chars().all(|c| c.is_ascii_digit()) => {
+                // GNU allows -j128 glued form.
+                spec.options.jobs = t[2..].parse().map_err(|_| format!("bad jobs {t:?}"))?;
+                it.next();
+            }
+            _ if t.starts_with("--") => return Err(format!("unknown option {t:?}\n{USAGE}")),
+            _ => break, // command starts
+        }
+    }
+
+    // Phase 2: command words until ::: / :::+ / end.
+    let mut command_words = Vec::new();
+    for token in it.by_ref() {
+        if token == ":::" || token == ":::+" {
+            // Re-handle this token in phase 3 by pushing a marker source.
+            spec.sources.push(if token == ":::" {
+                SourceSpec::Values(Vec::new())
+            } else {
+                SourceSpec::LinkedValues(Vec::new())
+            });
+            break;
+        }
+        command_words.push(token.clone());
+    }
+    spec.command = command_words.join(" ");
+    if spec.command.is_empty() {
+        return Err(format!("no command given\n{USAGE}"));
+    }
+
+    // Phase 3: source values.
+    for token in it {
+        if token == ":::" {
+            spec.sources.push(SourceSpec::Values(Vec::new()));
+        } else if token == ":::+" {
+            spec.sources.push(SourceSpec::LinkedValues(Vec::new()));
+        } else {
+            match spec.sources.last_mut() {
+                Some(SourceSpec::Values(v)) | Some(SourceSpec::LinkedValues(v)) => {
+                    v.push(token.clone())
+                }
+                _ => return Err(format!("argument {token:?} outside any ::: source")),
+            }
+        }
+    }
+
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<CliSpec, String> {
+        let v: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn minimal_command() {
+        let spec = parse(&["echo", "{}"]).unwrap();
+        assert_eq!(spec.command, "echo {}");
+        assert!(spec.sources.is_empty());
+    }
+
+    #[test]
+    fn no_command_is_an_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["-j", "4"]).is_err());
+    }
+
+    #[test]
+    fn flags_then_command_then_sources() {
+        let spec = parse(&[
+            "-j", "8", "-k", "--tag", "gzip", "-9", "{}", ":::", "a.log", "b.log",
+        ])
+        .unwrap();
+        assert_eq!(spec.options.jobs, 8);
+        assert!(spec.options.keep_order);
+        assert!(spec.options.tag);
+        assert_eq!(spec.command, "gzip -9 {}");
+        assert_eq!(
+            spec.sources,
+            vec![SourceSpec::Values(vec!["a.log".into(), "b.log".into()])]
+        );
+    }
+
+    #[test]
+    fn glued_job_count() {
+        let spec = parse(&["-j128", "true", "{}"]).unwrap();
+        assert_eq!(spec.options.jobs, 128);
+    }
+
+    #[test]
+    fn multiple_and_linked_sources() {
+        let spec = parse(&[
+            "run", "{1}", "{2}", "{3}", ":::", "a", "b", ":::+", "x", "y", ":::", "1", "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            spec.sources,
+            vec![
+                SourceSpec::Values(vec!["a".into(), "b".into()]),
+                SourceSpec::LinkedValues(vec!["x".into(), "y".into()]),
+                SourceSpec::Values(vec!["1".into(), "2".into()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn command_words_may_start_with_dash_after_command_begins() {
+        let spec = parse(&["rsync", "-R", "-Ha", "{}", "/dst/"]).unwrap();
+        assert_eq!(spec.command, "rsync -R -Ha {} /dst/");
+    }
+
+    #[test]
+    fn batching_flags() {
+        let spec = parse(&["-X", "-n", "16", "-s", "4096", "rsync", "{}"]).unwrap();
+        assert_eq!(spec.options.batch, BatchMode::ContextReplace);
+        assert_eq!(spec.options.max_args, Some(16));
+        assert_eq!(spec.options.max_chars, 4096);
+        let spec = parse(&["-m", "echo", "{}"]).unwrap();
+        assert_eq!(spec.options.batch, BatchMode::Xargs);
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(parse_duration("10").unwrap(), Duration::from_secs(10));
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("1.5s").unwrap(), Duration::from_millis(1500));
+        assert_eq!(parse_duration("2m").unwrap(), Duration::from_secs(120));
+        assert_eq!(parse_duration("1h").unwrap(), Duration::from_secs(3600));
+        assert!(parse_duration("abc").is_err());
+        assert!(parse_duration("5d").is_err());
+        assert!(parse_duration("-3").is_err());
+    }
+
+    #[test]
+    fn block_sizes() {
+        assert_eq!(parse_block_size("4096").unwrap(), 4096);
+        assert_eq!(parse_block_size("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_block_size("10M").unwrap(), 10 << 20);
+        assert_eq!(parse_block_size("1G").unwrap(), 1 << 30);
+        assert!(parse_block_size("10x").is_err());
+        assert!(parse_block_size("").is_err());
+    }
+
+    #[test]
+    fn halt_specs() {
+        assert_eq!(parse_halt("never").unwrap(), HaltPolicy::never());
+        assert_eq!(
+            parse_halt("now,fail=3").unwrap(),
+            HaltPolicy::fail_count(3, HaltWhen::Now)
+        );
+        assert_eq!(
+            parse_halt("soon,fail=10%").unwrap(),
+            HaltPolicy::fail_percent(10.0, HaltWhen::Soon)
+        );
+        assert_eq!(
+            parse_halt("soon,success=5").unwrap(),
+            HaltPolicy::success_count(5, HaltWhen::Soon)
+        );
+        assert!(parse_halt("later,fail=1").is_err());
+        assert!(parse_halt("now,crash=1").is_err());
+        assert!(parse_halt("now").is_err());
+    }
+
+    #[test]
+    fn joblog_resume_results() {
+        let spec = parse(&[
+            "--joblog", "run.log", "--resume-failed", "--results", "out/", "work", "{}",
+        ])
+        .unwrap();
+        assert_eq!(spec.options.joblog, Some(PathBuf::from("run.log")));
+        assert_eq!(spec.options.resume, ResumeMode::ResumeFailed);
+        assert_eq!(spec.options.results_dir, Some(PathBuf::from("out/")));
+    }
+
+    #[test]
+    fn pipe_and_block() {
+        let spec = parse(&["--pipe", "--block", "64k", "wc", "-l"]).unwrap();
+        assert!(spec.pipe);
+        assert_eq!(spec.block_size, 64 << 10);
+    }
+
+    #[test]
+    fn shuf_with_and_without_seed() {
+        assert!(parse(&["--shuf", "cmd", "{}"]).unwrap().shuffle.is_some());
+        assert_eq!(parse(&["--shuf=7", "cmd", "{}"]).unwrap().shuffle, Some(7));
+    }
+
+    #[test]
+    fn arg_files_and_colsep() {
+        let spec = parse(&["-a", "list.txt", "--colsep", ",", "go", "{1}", "{2}"]).unwrap();
+        assert_eq!(spec.sources, vec![SourceSpec::File(PathBuf::from("list.txt"))]);
+        assert_eq!(spec.colsep.as_deref(), Some(","));
+    }
+
+    #[test]
+    fn unknown_long_flag_errors() {
+        let err = parse(&["--frobnicate", "cmd"]).unwrap_err();
+        assert!(err.contains("unknown option"));
+    }
+
+    #[test]
+    fn value_missing_errors() {
+        assert!(parse(&["-j"]).is_err());
+        assert!(parse(&["--timeout"]).is_err());
+    }
+
+    #[test]
+    fn help_and_version_short_circuit() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["--version"]).unwrap().version);
+    }
+
+    #[test]
+    fn line_buffer_flag() {
+        assert!(parse(&["--line-buffer", "cmd", "{}"]).unwrap().line_buffer);
+    }
+
+    #[test]
+    fn retry_delay_and_memfree() {
+        let spec = parse(&["--retry-delay", "500ms", "--memfree", "2G", "cmd", "{}"]).unwrap();
+        assert_eq!(spec.options.retry_delay, Some(Duration::from_millis(500)));
+        assert_eq!(spec.memfree_bytes, Some(2 << 30));
+    }
+
+    #[test]
+    fn sshlogin_specs_accumulate_and_split() {
+        let spec = parse(&["-S", "8/n01,n02", "--sshlogin", "u@n03", "cmd", "{}"]).unwrap();
+        assert_eq!(spec.sshlogins, vec!["8/n01", "n02", "u@n03"]);
+        assert_eq!(spec.ssh_cmd, "ssh");
+        let spec = parse(&["--ssh-cmd", "/opt/fake-ssh", "-S", ":", "c", "{}"]).unwrap();
+        assert_eq!(spec.ssh_cmd, "/opt/fake-ssh");
+    }
+
+    #[test]
+    fn tagstring_implies_tag() {
+        let spec = parse(&["--tagstring", "{#}:", "cmd", "{}"]).unwrap();
+        assert_eq!(spec.tagstring.as_deref(), Some("{#}:"));
+        assert!(spec.options.tag);
+    }
+
+    #[test]
+    fn progress_flag() {
+        assert!(parse(&["--progress", "cmd", "{}"]).unwrap().progress);
+        assert!(!parse(&["cmd", "{}"]).unwrap().progress);
+    }
+
+    #[test]
+    fn custom_replacement_flag() {
+        let spec = parse(&["-I", "FILE", "cp", "FILE", "FILE.bak"]).unwrap();
+        assert_eq!(spec.replacement.as_deref(), Some("FILE"));
+        assert_eq!(spec.command, "cp FILE FILE.bak");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn parser_never_panics(tokens in proptest::collection::vec("[ -~]{0,12}", 0..12)) {
+                let _ = parse_args(&tokens);
+            }
+
+            #[test]
+            fn source_values_round_trip(vals in proptest::collection::vec("[a-z0-9]{1,8}", 1..10)) {
+                let mut tokens = vec!["cmd".to_string(), "{}".to_string(), ":::".to_string()];
+                tokens.extend(vals.clone());
+                let spec = parse_args(&tokens).unwrap();
+                prop_assert_eq!(spec.sources, vec![SourceSpec::Values(vals)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Mapping a parsed [`CliSpec`] onto the engine and GNU-compatible exit
+//! codes.
+
+use std::io::BufRead;
+
+use std::sync::Arc;
+
+use htpar_core::input::InputSource;
+use htpar_core::output::tag_lines;
+use htpar_core::prelude::*;
+use htpar_core::progress::Progress;
+use htpar_core::template::{ExpandContext, Template};
+
+use crate::args::{CliSpec, SourceSpec};
+
+/// GNU Parallel's exit-code convention: 0 when everything succeeded,
+/// 1–100 = number of failed jobs, 101 when more than 100 failed.
+pub fn exit_code(report: &RunReport) -> i32 {
+    match report.failed {
+        0 => 0,
+        n if n <= 100 => n as i32,
+        _ => 101,
+    }
+}
+
+/// Execute a spec. `stdin` supplies input lines (or `--pipe` bytes) when
+/// no `:::`/`-a` sources were given; `emit` receives each finished job's
+/// (stdout, stderr) pair, already tagged if `--tag` is on, in the right
+/// order.
+pub fn execute<R, F>(spec: CliSpec, stdin: R, emit: F) -> Result<RunReport>
+where
+    R: BufRead + Send + 'static,
+    F: Fn(&str, &str) + Send + Sync + Clone + 'static,
+{
+    let emit_line = emit.clone();
+    let tag = spec.options.tag;
+    let use_shell = spec.options.shell;
+    let tag_template = match &spec.tagstring {
+        Some(tpl) => Some(Template::parse(tpl)?),
+        None => None,
+    };
+    let progress = if spec.progress {
+        Some(Arc::new(Progress::streaming()))
+    } else {
+        None
+    };
+    let mut builder = Parallel::new(&spec.command).options(spec.options);
+    if let Some(min_free) = spec.memfree_bytes {
+        builder = builder.gate(htpar_core::gate::MemFreeGate::new(min_free));
+    }
+    let line_buffer = spec.line_buffer && spec.sshlogins.is_empty() && !spec.pipe;
+    if line_buffer {
+        // Stream lines straight through `emit2`; the per-job grouped
+        // emission below is suppressed (stderr keeps flowing grouped).
+        use htpar_core::executor::{ProcessExecutor, StreamKind};
+        let e = Arc::new(emit_line.clone());
+        let exec_base = if use_shell {
+            ProcessExecutor::shell()
+        } else {
+            ProcessExecutor::no_shell()
+        };
+        builder = builder.executor(exec_base.line_buffered(move |ev| match ev.kind {
+            StreamKind::Stdout => e(&format!("{}\n", ev.line), ""),
+            StreamKind::Stderr => e("", &format!("{}\n", ev.line)),
+        }));
+    }
+    if !spec.sshlogins.is_empty() {
+        let specs: Vec<&str> = spec.sshlogins.iter().map(String::as_str).collect();
+        let multi =
+            htpar_core::sshexec::multi_host_from_specs(&specs, 1, &spec.ssh_cmd)?;
+        // Size the slot pool to the hosts unless -j was explicit... the
+        // pool itself caps per-host concurrency either way.
+        builder = builder.jobs(multi.pool().total_slots()).executor(multi);
+    }
+    if let Some(repl) = &spec.replacement {
+        builder = builder.replacement(repl.clone());
+    }
+    if let Some(seed) = spec.shuffle {
+        builder = builder.shuffle(seed);
+    }
+    let progress2 = progress.clone();
+    let line_buffer_for_results = line_buffer;
+    builder = builder.on_result(move |result| {
+        let line_buffer = line_buffer_for_results;
+        if let Some(p) = &progress2 {
+            p.record(result);
+            eprintln!("{}", p.snapshot().render());
+        }
+        // --tagstring renders a custom per-job tag; --tag uses the args.
+        let custom_tag = tag_template.as_ref().map(|tpl| {
+            tpl.expand(&ExpandContext {
+                args: &result.args,
+                seq: result.seq,
+                slot: result.slot,
+            })
+        });
+        let apply = |text: &str| -> String {
+            match (&custom_tag, tag) {
+                (Some(t), _) => tag_lines(std::slice::from_ref(t), text),
+                (None, true) => tag_lines(&result.args, text),
+                (None, false) => text.to_string(),
+            }
+        };
+        if line_buffer {
+            // Lines already streamed via the executor callback.
+            return;
+        }
+        emit(&apply(&result.stdout), &apply(&result.stderr));
+    });
+
+    if spec.pipe {
+        return builder.run_pipe(stdin, spec.block_size);
+    }
+
+    if spec.sources.is_empty() {
+        // Arguments come from stdin.
+        match &spec.colsep {
+            Some(sep) => {
+                for source in InputSource::columns_from_lines(stdin, sep)? {
+                    builder = push(builder, source);
+                }
+            }
+            None => {
+                builder = builder.input_lines(stdin);
+            }
+        }
+        return builder.run();
+    }
+
+    for source in &spec.sources {
+        match source {
+            SourceSpec::Values(values) => {
+                builder = builder.args(values.clone());
+            }
+            SourceSpec::LinkedValues(values) => {
+                builder = builder.args_linked(values.clone());
+            }
+            SourceSpec::File(path) => {
+                let file = std::fs::File::open(path)?;
+                let reader = std::io::BufReader::new(file);
+                match &spec.colsep {
+                    Some(sep) => {
+                        for source in InputSource::columns_from_lines(reader, sep)? {
+                            builder = push(builder, source);
+                        }
+                    }
+                    None => builder = builder.input_lines(reader),
+                }
+            }
+        }
+    }
+    builder.run()
+}
+
+fn push(builder: Parallel, source: InputSource) -> Parallel {
+    use htpar_core::input::LinkMode;
+    match source.mode {
+        LinkMode::Product => builder.args(source.values),
+        LinkMode::Linked => builder.args_linked(source.values),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+    use std::sync::{Arc, Mutex};
+
+    fn run(tokens: &[&str], stdin: &str) -> (RunReport, Vec<String>) {
+        let argv: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let spec = parse_args(&argv).unwrap();
+        let emitted = Arc::new(Mutex::new(Vec::new()));
+        let e2 = Arc::clone(&emitted);
+        let stdin_owned = std::io::Cursor::new(stdin.as_bytes().to_vec());
+        let report = execute(spec, stdin_owned, move |out, _err| {
+            e2.lock().unwrap().push(out.to_string());
+        })
+        .unwrap();
+        let out = emitted.lock().unwrap().clone();
+        (report, out)
+    }
+
+    #[test]
+    fn source_args_run_real_commands() {
+        let (report, out) = run(&["-j2", "-k", "echo", "hi-{}", ":::", "a", "b"], "");
+        assert!(report.all_succeeded());
+        assert_eq!(out, vec!["hi-a\n", "hi-b\n"]);
+    }
+
+    #[test]
+    fn stdin_lines_feed_jobs() {
+        let (report, out) = run(&["-k", "echo", "got-{}"], "x\ny\n");
+        assert_eq!(report.jobs_total, 2);
+        assert_eq!(out, vec!["got-x\n", "got-y\n"]);
+    }
+
+    #[test]
+    fn colsep_splits_stdin_columns() {
+        let (report, out) = run(&["-k", "--colsep", ",", "echo", "{2}-{1}"], "a,1\nb,2\n");
+        assert!(report.all_succeeded());
+        assert_eq!(out, vec!["1-a\n", "2-b\n"]);
+    }
+
+    #[test]
+    fn tag_prefixes_output() {
+        let (_, out) = run(&["-k", "--tag", "echo", "v"], "x\n");
+        assert_eq!(out, vec!["x\tv x\n"]);
+    }
+
+    #[test]
+    fn line_buffer_streams_everything_once() {
+        let (report, out) = run(
+            &["--line-buffer", "printf 'x-%s\\n' {}", ":::", "1", "2", "3"],
+            "",
+        );
+        assert!(report.all_succeeded());
+        let mut lines: Vec<&str> = out.iter().map(|s| s.trim_end()).filter(|s| !s.is_empty()).collect();
+        lines.sort();
+        assert_eq!(lines, vec!["x-1", "x-2", "x-3"]);
+    }
+
+    #[test]
+    fn sshlogin_through_fake_ssh_shim() {
+        let dir = std::env::temp_dir().join(format!("htpar-clissh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let shim = dir.join("fake-ssh");
+        std::fs::write(&shim, "#!/bin/sh\nhost=$3\nshift 6\nout=$(sh -c \"$1\")\necho \"$host=$out\"\n").unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            std::fs::set_permissions(&shim, std::fs::Permissions::from_mode(0o755)).unwrap();
+        }
+        let (report, out) = run(
+            &[
+                "-k",
+                "-S",
+                "1/alpha,1/beta",
+                "--ssh-cmd",
+                shim.to_str().unwrap(),
+                "echo",
+                "r{}",
+                ":::",
+                "1",
+                "2",
+                "3",
+                "4",
+            ],
+            "",
+        );
+        assert!(report.all_succeeded());
+        assert_eq!(out.len(), 4);
+        assert!(out[0].ends_with("=r1\n"), "{out:?}");
+        let hosts: std::collections::HashSet<&str> =
+            out.iter().map(|l| l.split('=').next().unwrap()).collect();
+        assert_eq!(hosts.len(), 2, "both hosts used: {out:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tagstring_renders_custom_tags() {
+        let (_, out) = run(&["-k", "--tagstring", "{#}|{}", "echo", "x", "#", "{}", ":::", "a", "b"], "");
+        assert_eq!(out, vec!["1|a\tx\n", "2|b\tx\n"]);
+    }
+
+    #[test]
+    fn pipe_mode_counts_lines() {
+        let stdin: String = (0..100).map(|i| format!("{i}\n")).collect();
+        let (report, out) = run(&["--pipe", "--block", "64", "-k", "wc", "-l"], &stdin);
+        assert!(report.jobs_total > 1);
+        let total: u64 = out.iter().map(|o| o.trim().parse::<u64>().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn exit_codes_follow_gnu_convention() {
+        let (report, _) = run(&["-k", "true", "{}", ":::", "1", "2"], "");
+        assert_eq!(exit_code(&report), 0);
+        let (report, _) = run(&["-k", "false", "#", "{}", ":::", "1", "2", "3"], "");
+        assert_eq!(exit_code(&report), 3);
+    }
+
+    #[test]
+    fn exit_code_caps_at_101() {
+        use htpar_core::runner::RunReport;
+        let report = RunReport {
+            results: vec![],
+            jobs_total: 500,
+            succeeded: 0,
+            failed: 500,
+            skipped: 0,
+            wall: std::time::Duration::ZERO,
+            launch_rate: 0.0,
+            halted: None,
+        };
+        assert_eq!(exit_code(&report), 101);
+    }
+
+    #[test]
+    fn arg_file_source() {
+        let dir = std::env::temp_dir().join(format!("htpar-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let list = dir.join("list.txt");
+        std::fs::write(&list, "one\ntwo\n").unwrap();
+        let (report, out) = run(
+            &["-k", "-a", list.to_str().unwrap(), "echo", "f:{}"],
+            "",
+        );
+        assert_eq!(report.jobs_total, 2);
+        assert_eq!(out, vec!["f:one\n", "f:two\n"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dry_run_prints_commands() {
+        let (report, out) = run(&["--dry-run", "-k", "gzip", "{}", ":::", "f1"], "");
+        assert!(report.all_succeeded());
+        assert_eq!(out, vec!["gzip f1\n"]);
+    }
+
+    #[test]
+    fn linked_sources_via_cli() {
+        let (report, out) = run(
+            &["-k", "echo", "{1}={2}", ":::", "a", "b", ":::+", "1", "2"],
+            "",
+        );
+        assert_eq!(report.jobs_total, 2);
+        assert_eq!(out, vec!["a=1\n", "b=2\n"]);
+    }
+}

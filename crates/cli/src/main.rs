@@ -1,0 +1,48 @@
+//! The `htpar` binary.
+
+use std::io::Write;
+
+use htpar_cli::args::{parse_args, USAGE};
+use htpar_cli::exec::{execute, exit_code};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let spec = match parse_args(&argv) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            eprintln!("htpar: {msg}");
+            std::process::exit(255);
+        }
+    };
+    if spec.help {
+        println!("{USAGE}");
+        return;
+    }
+    if spec.version {
+        println!("htpar {}", env!("CARGO_PKG_VERSION"));
+        return;
+    }
+
+    let stdin = std::io::BufReader::new(std::io::stdin());
+    let result = execute(spec, stdin, |out, err| {
+        // Grouped per-job output, like GNU's default --group.
+        if !out.is_empty() {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let _ = lock.write_all(out.as_bytes());
+        }
+        if !err.is_empty() {
+            let stderr = std::io::stderr();
+            let mut lock = stderr.lock();
+            let _ = lock.write_all(err.as_bytes());
+        }
+    });
+
+    match result {
+        Ok(report) => std::process::exit(exit_code(&report)),
+        Err(e) => {
+            eprintln!("htpar: {e}");
+            std::process::exit(255);
+        }
+    }
+}

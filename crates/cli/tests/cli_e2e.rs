@@ -1,0 +1,148 @@
+//! End-to-end tests of the `htpar` binary as a subprocess: the full
+//! user-facing path including argument parsing, stdin plumbing, grouped
+//! output, and exit codes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn htpar() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_htpar"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = htpar()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn htpar");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn source_args_echo() {
+    let (out, _, code) = run_with_stdin(&["-j2", "-k", "echo", "v-{}", ":::", "a", "b"], "");
+    assert_eq!(out, "v-a\nv-b\n");
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn stdin_drives_jobs() {
+    let (out, _, code) = run_with_stdin(&["-k", "echo", "line:{}"], "1\n2\n3\n");
+    assert_eq!(out, "line:1\nline:2\nline:3\n");
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn replacement_strings_work_through_the_shell() {
+    let (out, _, _) = run_with_stdin(
+        &["-k", "echo", "{/.}", "in", "{//}", ":::", "/data/x.txt"],
+        "",
+    );
+    assert_eq!(out, "x in /data\n");
+}
+
+#[test]
+fn exit_code_counts_failures() {
+    let (_, _, code) = run_with_stdin(&["sh -c 'exit 1' #", ":::", "1", "2"], "");
+    assert_eq!(code, 2);
+    let (_, _, code) = run_with_stdin(&["true", "{}", ":::", "1", "2"], "");
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn bad_usage_exits_255() {
+    let (_, err, code) = run_with_stdin(&["--frobnicate"], "");
+    assert_eq!(code, 255);
+    assert!(err.contains("unknown option"));
+    let (_, err, code) = run_with_stdin(&[], "");
+    assert_eq!(code, 255);
+    assert!(err.contains("no command"));
+}
+
+#[test]
+fn help_and_version() {
+    let (out, _, code) = run_with_stdin(&["--help"], "");
+    assert!(out.contains("usage: htpar"));
+    assert_eq!(code, 0);
+    let (out, _, code) = run_with_stdin(&["--version"], "");
+    assert!(out.starts_with("htpar "));
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn pipe_mode_end_to_end() {
+    let stdin: String = (0..40).map(|i| format!("{i}\n")).collect();
+    let (out, _, code) = run_with_stdin(&["--pipe", "--block", "32", "-k", "wc", "-l"], &stdin);
+    assert_eq!(code, 0);
+    let total: u64 = out
+        .split_whitespace()
+        .map(|n| n.parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total, 40);
+}
+
+#[test]
+fn tag_marks_output_lines() {
+    let (out, _, _) = run_with_stdin(&["-k", "--tag", "echo", "hi", "#", "{}", ":::", "a"], "");
+    assert_eq!(out, "a\thi\n");
+}
+
+#[test]
+fn progress_goes_to_stderr() {
+    let (_, err, _) = run_with_stdin(&["--progress", "-k", "true", "{}", ":::", "1", "2"], "");
+    assert!(err.contains("done"), "{err}");
+}
+
+#[test]
+fn stderr_of_jobs_reaches_stderr() {
+    let (out, err, code) =
+        run_with_stdin(&["-k", "echo oops >&2; echo ok #", "{}", ":::", "1"], "");
+    assert_eq!(out, "ok\n");
+    assert!(err.contains("oops"));
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn joblog_resume_via_cli() {
+    let dir = std::env::temp_dir().join(format!("htpar-cli-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("cli.joblog");
+    let _ = std::fs::remove_file(&log);
+
+    let (_, _, code) = run_with_stdin(
+        &["-k", "--joblog", log.to_str().unwrap(), "true", "{}", ":::", "a", "b"],
+        "",
+    );
+    assert_eq!(code, 0);
+    // Resume run: everything skips, output empty, still success.
+    let (out, _, code) = run_with_stdin(
+        &[
+            "-k",
+            "--joblog",
+            log.to_str().unwrap(),
+            "--resume",
+            "echo",
+            "ran-{}",
+            ":::",
+            "a",
+            "b",
+        ],
+        "",
+    );
+    assert_eq!(code, 0);
+    assert_eq!(out, "", "all jobs skipped on resume");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,182 @@
+//! Event-driven execution of the weak-scaling experiment.
+//!
+//! [`crate::weak_scaling::run`] computes the schedule analytically (a
+//! closed-form slot-cycling recurrence). This module executes the *same
+//! node plans* as a discrete-event simulation on [`htpar_simkit`]:
+//! node-ready events, a slot-token resource per node, task-completion
+//! events, copy-back events. The two implementations must agree draw for
+//! draw — the cross-validation that keeps the fast analytic path honest
+//! (and exercises the simulation engine at the 1.15 M-event scale of
+//! Fig. 1).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use htpar_simkit::{SimTime, Simulation, Tokens};
+
+use crate::weak_scaling::{sample_node_plan, WeakScalingConfig, WeakScalingResult};
+
+/// Per-run collector.
+#[derive(Debug, Default)]
+struct World {
+    task_completion_secs: Vec<f64>,
+    node_elapsed_secs: Vec<f64>,
+}
+
+/// Execute the weak-scaling configuration as a discrete-event
+/// simulation. Semantically identical to [`crate::weak_scaling::run`];
+/// see the cross-validation tests.
+pub fn run_des(config: &WeakScalingConfig) -> WeakScalingResult {
+    assert!(config.nodes >= 1, "need at least one node");
+    assert!(config.tasks_per_node >= 1 && config.jobs_per_node >= 1);
+    let dispatch_gap = 1.0 / config.machine.launch.instance_rate();
+    let mut sim = Simulation::with_seed(World::default(), config.seed);
+
+    for node in 0..config.nodes {
+        let plan = Rc::new(sample_node_plan(config, node));
+        let jobs = config.jobs_per_node.min(config.tasks_per_node) as u64;
+        let slots = Tokens::new(jobs);
+        // Per-node completion bookkeeping: (#done, last completion secs).
+        let node_state = Rc::new(RefCell::new((0u32, 0f64)));
+        let tasks = config.tasks_per_node;
+
+        let start = SimTime::from_secs_f64(plan.start);
+        // The launcher dispatches tasks serially: each dispatch waits for
+        // a free slot, then the next dispatch may happen `dispatch_gap`
+        // later. Model as a chain of acquire→schedule events.
+        fn dispatch_next(
+            sim: &mut Simulation<World>,
+            t: u32,
+            tasks: u32,
+            dispatch_gap: f64,
+            plan: Rc<crate::weak_scaling::NodePlan>,
+            slots: Rc<RefCell<Tokens<World>>>,
+            node_state: Rc<RefCell<(u32, f64)>>,
+        ) {
+            if t >= tasks {
+                return;
+            }
+            let slots2 = Rc::clone(&slots);
+            let plan2 = Rc::clone(&plan);
+            let state2 = Rc::clone(&node_state);
+            Tokens::acquire(&slots, sim, 1, move |sim| {
+                let cost = plan2.task_costs[t as usize];
+                // Task completion event.
+                {
+                    let slots3 = Rc::clone(&slots2);
+                    let plan3 = Rc::clone(&plan2);
+                    let state3 = Rc::clone(&state2);
+                    sim.schedule_in(SimTime::from_secs_f64(cost), move |sim| {
+                        let done = sim.now().as_secs_f64();
+                        sim.world_mut().task_completion_secs.push(done);
+                        {
+                            let mut st = state3.borrow_mut();
+                            st.0 += 1;
+                            st.1 = st.1.max(done);
+                            if st.0 == tasks {
+                                let elapsed = st.1 + plan3.copy;
+                                sim.world_mut().node_elapsed_secs.push(elapsed);
+                            }
+                        }
+                        Tokens::release(&slots3, sim, 1);
+                    });
+                }
+                // Next dispatch no earlier than launch + gap.
+                let plan4 = Rc::clone(&plan2);
+                let slots4 = Rc::clone(&slots2);
+                let state4 = Rc::clone(&state2);
+                sim.schedule_in(SimTime::from_secs_f64(dispatch_gap), move |sim| {
+                    dispatch_next(sim, t + 1, tasks, dispatch_gap, plan4, slots4, state4);
+                });
+            });
+        }
+
+        let plan2 = Rc::clone(&plan);
+        let state2 = Rc::clone(&node_state);
+        sim.schedule_at(start, move |sim| {
+            dispatch_next(sim, 0, tasks, dispatch_gap, plan2, slots, state2);
+        });
+    }
+
+    sim.run();
+    let world = sim.into_world();
+    let mut task_completion_secs = world.task_completion_secs;
+    // Event order interleaves nodes; normalize to a stable order for
+    // comparisons (the analytic path is node-major).
+    task_completion_secs.sort_by(f64::total_cmp);
+    let mut node_elapsed_secs = world.node_elapsed_secs;
+    node_elapsed_secs.sort_by(f64::total_cmp);
+    let makespan_secs = node_elapsed_secs.iter().cloned().fold(0.0, f64::max);
+    WeakScalingResult {
+        nodes: config.nodes,
+        tasks_total: config.nodes as u64 * config.tasks_per_node as u64,
+        task_completion_secs,
+        node_elapsed_secs,
+        makespan_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weak_scaling::run;
+
+    fn close(a: f64, b: f64) -> bool {
+        // The DES clock quantizes every event to whole microseconds; the
+        // dispatch chain accumulates that rounding over 128 hops (~50 µs).
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn des_matches_analytic_schedule_exactly() {
+        let config = WeakScalingConfig::frontier(50, 77);
+        let analytic = run(&config);
+        let des = run_des(&config);
+        assert_eq!(des.tasks_total, analytic.tasks_total);
+        // Same multiset of completion times (sorted comparison).
+        let mut a = analytic.task_completion_secs.clone();
+        a.sort_by(f64::total_cmp);
+        assert_eq!(a.len(), des.task_completion_secs.len());
+        for (x, y) in a.iter().zip(&des.task_completion_secs) {
+            assert!(close(*x, *y), "{x} vs {y}");
+        }
+        assert!(close(analytic.makespan_secs, des.makespan_secs));
+    }
+
+    #[test]
+    fn des_matches_at_slot_contention() {
+        // Fewer slots than tasks: the slot-cycling recurrence and the
+        // token resource must produce the same schedule.
+        let mut config = WeakScalingConfig::frontier(5, 3);
+        config.tasks_per_node = 40;
+        config.jobs_per_node = 4;
+        config.task_runtime = htpar_simkit::Dist::Uniform { lo: 0.5, hi: 2.0 };
+        let analytic = run(&config);
+        let des = run_des(&config);
+        let mut a = analytic.task_completion_secs.clone();
+        a.sort_by(f64::total_cmp);
+        for (x, y) in a.iter().zip(&des.task_completion_secs) {
+            assert!(close(*x, *y), "{x} vs {y}");
+        }
+        let mut an = analytic.node_elapsed_secs.clone();
+        an.sort_by(f64::total_cmp);
+        for (x, y) in an.iter().zip(&des.node_elapsed_secs) {
+            assert!(close(*x, *y), "node elapsed {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn des_event_count_scales_with_tasks() {
+        let config = WeakScalingConfig::frontier(10, 1);
+        let des = run_des(&config);
+        assert_eq!(des.task_completion_secs.len(), 1280);
+    }
+
+    #[test]
+    fn des_is_deterministic() {
+        let config = WeakScalingConfig::frontier(20, 5);
+        let a = run_des(&config);
+        let b = run_des(&config);
+        assert_eq!(a.task_completion_secs, b.task_completion_secs);
+    }
+}

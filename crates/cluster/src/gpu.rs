@@ -1,0 +1,174 @@
+//! The Fig. 2 experiment: GPU weak scaling with Celeritas-style tasks,
+//! 10–100 nodes × 8 GPUs, 1:1 process–GPU mapping via slot-based GPU
+//! isolation (`HIP_VISIBLE_DEVICES=$(({%} - 1))`, paper §IV-D).
+//!
+//! The ablation (`isolation: false`) models what happens *without* the
+//! idiom: every process defaults to device 0 and the node's work
+//! serializes onto one GPU — the failure mode the construct exists to
+//! prevent.
+
+use htpar_simkit::{stream_rng, Dist, Summary};
+use serde::{Deserialize, Serialize};
+
+use crate::machine::Machine;
+
+/// Configuration of one GPU weak-scaling run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuScalingConfig {
+    pub machine: Machine,
+    pub nodes: u32,
+    /// Processes per node (8: one per schedulable GCD).
+    pub procs_per_node: u32,
+    /// Runtime of one Celeritas task on a dedicated GPU.
+    pub task_runtime: Dist,
+    /// Whether the `{%}`→device binding is applied.
+    pub isolation: bool,
+    pub seed: u64,
+}
+
+impl GpuScalingConfig {
+    /// The paper's setup: 8 GPU processes per node, fixed-work Monte
+    /// Carlo transport taking ~4 minutes with seconds of spread.
+    pub fn frontier(nodes: u32, seed: u64) -> GpuScalingConfig {
+        GpuScalingConfig {
+            machine: Machine::frontier(),
+            nodes,
+            procs_per_node: 8,
+            task_runtime: Dist::Normal {
+                mean: 240.0,
+                sd: 2.0,
+                min: 1.0,
+            },
+            isolation: true,
+            seed,
+        }
+    }
+}
+
+/// Result of one GPU weak-scaling run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuScalingResult {
+    pub nodes: u32,
+    pub tasks_total: u64,
+    /// Per-task completion times (seconds from job start).
+    pub task_completion_secs: Vec<f64>,
+    pub makespan_secs: f64,
+    /// Device index each task actually computed on, for isolation checks.
+    pub devices_used: Vec<u32>,
+}
+
+impl GpuScalingResult {
+    /// Distribution of task completion times.
+    pub fn task_summary(&self) -> Summary {
+        Summary::of(&self.task_completion_secs).expect("runs have tasks")
+    }
+}
+
+/// Execute the GPU weak-scaling model.
+pub fn run(config: &GpuScalingConfig) -> GpuScalingResult {
+    assert!(config.nodes >= 1 && config.procs_per_node >= 1);
+    let gpus = config.machine.gpus_per_node.max(1);
+    let dispatch_gap = 1.0 / config.machine.launch.instance_rate();
+    let mut completions = Vec::new();
+    let mut devices_used = Vec::new();
+
+    for node in 0..config.nodes {
+        let mut rng = stream_rng(config.seed, node as u64);
+        // GPU nodes of a modest allocation come up quickly; keep a small
+        // start spread.
+        let start = rng.gen_range(0.0..2.0);
+        // Contention: tasks per device.
+        let mut per_device_tasks: Vec<u32> = vec![0; gpus as usize];
+        for p in 0..config.procs_per_node {
+            let device = if config.isolation {
+                // slot numbers are dense 1..=j; device = slot-1.
+                p % gpus
+            } else {
+                0 // default device for every process
+            };
+            per_device_tasks[device as usize] += 1;
+            devices_used.push(device);
+        }
+        for p in 0..config.procs_per_node {
+            let device = if config.isolation { p % gpus } else { 0 };
+            let sharers = per_device_tasks[device as usize].max(1);
+            let launch = start + p as f64 * dispatch_gap;
+            let runtime = config.task_runtime.sample(&mut rng) * sharers as f64;
+            completions.push(launch + runtime);
+        }
+    }
+
+    let makespan_secs = completions.iter().cloned().fold(0.0, f64::max);
+    GpuScalingResult {
+        nodes: config.nodes,
+        tasks_total: config.nodes as u64 * config.procs_per_node as u64,
+        task_completion_secs: completions,
+        makespan_secs,
+        devices_used,
+    }
+}
+
+/// Convenience: sweep node counts and return `(nodes, makespan)` pairs.
+pub fn sweep(node_counts: &[u32], seed: u64) -> Vec<(u32, f64)> {
+    node_counts
+        .iter()
+        .map(|&n| (n, run(&GpuScalingConfig::frontier(n, seed)).makespan_secs))
+        .collect()
+}
+
+use rand::Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_weak_scaling_is_flat_within_10s() {
+        // Paper: "variance in execution time was less than 10 seconds
+        // across runs on 10 to 100 nodes".
+        let points = sweep(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100], 11);
+        let min = points.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
+        let max = points.iter().map(|&(_, m)| m).fold(0.0, f64::max);
+        assert!(max - min < 10.0, "spread {}", max - min);
+    }
+
+    #[test]
+    fn isolation_spreads_work_over_all_gpus() {
+        let r = run(&GpuScalingConfig::frontier(10, 1));
+        let mut devices = r.devices_used.clone();
+        devices.sort_unstable();
+        devices.dedup();
+        assert_eq!(devices, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn no_isolation_serializes_onto_device_zero() {
+        let mut cfg = GpuScalingConfig::frontier(10, 1);
+        cfg.isolation = false;
+        let broken = run(&cfg);
+        assert!(broken.devices_used.iter().all(|&d| d == 0));
+        let good = run(&GpuScalingConfig::frontier(10, 1));
+        // 8-way contention ≈ 8× slower.
+        let ratio = broken.makespan_secs / good.makespan_secs;
+        assert!(ratio > 6.0 && ratio < 10.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn task_count_scales_with_nodes() {
+        assert_eq!(run(&GpuScalingConfig::frontier(100, 2)).tasks_total, 800);
+    }
+
+    #[test]
+    fn per_task_spread_is_seconds_not_minutes() {
+        let s = run(&GpuScalingConfig::frontier(100, 3)).task_summary();
+        assert!(s.std < 5.0, "std {}", s.std);
+        assert!(s.mean > 200.0 && s.mean < 280.0, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(&GpuScalingConfig::frontier(25, 9));
+        let b = run(&GpuScalingConfig::frontier(25, 9));
+        assert_eq!(a.task_completion_secs, b.task_completion_secs);
+    }
+}

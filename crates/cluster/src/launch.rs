@@ -1,0 +1,178 @@
+//! The process-launch-rate model (paper Fig. 3).
+//!
+//! Measured facts from the paper, used as calibration constants:
+//!
+//! - a single GNU Parallel instance launches ≈ **470 processes/s**
+//!   (dispatch is serialized inside one instance);
+//! - multiple concurrent instances on one node raise the aggregate to an
+//!   upper bound of ≈ **6,400 processes/s** (kernel fork/exec ceiling);
+//! - therefore a 256-thread node is fully utilized by a single instance
+//!   only when tasks last ≥ 256/470 ≈ **545 ms**, and by multiple
+//!   instances when tasks last ≥ 256/6,400 = **40 ms** — both numbers the
+//!   paper quotes.
+
+use serde::{Deserialize, Serialize};
+
+/// Launch-rate model for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchModel {
+    /// Sustained dispatch rate of one launcher instance (procs/s).
+    pub per_instance_rate: f64,
+    /// Node-wide aggregate fork/exec ceiling (procs/s).
+    pub node_ceiling: f64,
+    /// Multiplicative per-launch overhead of a container runtime
+    /// (1.0 = bare metal).
+    pub container_overhead: f64,
+}
+
+impl LaunchModel {
+    /// The calibration measured in the paper on Perlmutter.
+    pub fn paper_calibrated() -> LaunchModel {
+        LaunchModel {
+            per_instance_rate: 470.0,
+            node_ceiling: 6400.0,
+            container_overhead: 1.0,
+        }
+    }
+
+    /// Scale per-launch cost by a container runtime factor and cap the
+    /// ceiling accordingly.
+    pub fn with_container_overhead(mut self, factor: f64) -> LaunchModel {
+        assert!(factor >= 1.0, "container overhead cannot be < 1");
+        self.container_overhead = factor;
+        self
+    }
+
+    /// Effective dispatch rate of one instance (procs/s).
+    pub fn instance_rate(&self) -> f64 {
+        self.per_instance_rate / self.container_overhead
+    }
+
+    /// Effective node ceiling (procs/s).
+    pub fn ceiling(&self) -> f64 {
+        self.node_ceiling / self.container_overhead
+    }
+
+    /// Aggregate launch rate with `instances` concurrent launcher
+    /// instances, ignoring task durations (the pure stress test of
+    /// Fig. 3: no-op payloads). Scales linearly until the node ceiling.
+    pub fn aggregate_rate(&self, instances: u32) -> f64 {
+        (instances as f64 * self.instance_rate()).min(self.ceiling())
+    }
+
+    /// Sustained *task completion* rate when each instance runs `jobs`
+    /// slots of tasks lasting `task_secs`. A slot cycles every
+    /// `task_secs + 1/instance_rate` (run, then get the next dispatch);
+    /// an instance cannot exceed its dispatch rate regardless of slots.
+    pub fn throughput(&self, instances: u32, jobs: u32, task_secs: f64) -> f64 {
+        if instances == 0 || jobs == 0 {
+            return 0.0;
+        }
+        let dispatch = 1.0 / self.instance_rate();
+        let per_slot = 1.0 / (task_secs.max(0.0) + dispatch);
+        let per_instance = (jobs as f64 * per_slot).min(self.instance_rate());
+        (instances as f64 * per_instance).min(self.ceiling())
+    }
+
+    /// Minimum task duration that keeps `threads` busy at launch rate
+    /// `rate`: the paper's 545 ms (one instance) / 40 ms (many).
+    pub fn min_task_secs_for_utilization(threads: u32, rate: f64) -> f64 {
+        threads as f64 / rate
+    }
+
+    /// Time to dispatch `n` tasks from `instances` instances (no-op
+    /// payloads), seconds.
+    pub fn dispatch_time(&self, n: u64, instances: u32) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        n as f64 / self.aggregate_rate(instances.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_instance_rate_is_470() {
+        let m = LaunchModel::paper_calibrated();
+        assert_eq!(m.aggregate_rate(1), 470.0);
+    }
+
+    #[test]
+    fn multi_instance_plateaus_at_6400() {
+        let m = LaunchModel::paper_calibrated();
+        assert_eq!(m.aggregate_rate(4), 1880.0);
+        assert_eq!(m.aggregate_rate(13), 6110.0);
+        assert_eq!(m.aggregate_rate(14), 6400.0, "ceiling reached");
+        assert_eq!(m.aggregate_rate(64), 6400.0);
+    }
+
+    #[test]
+    fn paper_task_floor_numbers() {
+        // 256 threads / 470 per-s ≈ 545 ms.
+        let single = LaunchModel::min_task_secs_for_utilization(256, 470.0);
+        assert!((single - 0.5447).abs() < 0.001, "{single}");
+        // 256 / 6400 = 40 ms.
+        let multi = LaunchModel::min_task_secs_for_utilization(256, 6400.0);
+        assert!((multi - 0.040).abs() < 1e-9, "{multi}");
+    }
+
+    #[test]
+    fn throughput_task_bound_vs_dispatch_bound() {
+        let m = LaunchModel::paper_calibrated();
+        // Long tasks: throughput = jobs/task time, dispatch irrelevant.
+        let t = m.throughput(1, 256, 10.0);
+        assert!((t - 25.58).abs() < 0.1, "{t}");
+        // Zero-length tasks: dispatch-bound at 470.
+        let t = m.throughput(1, 256, 0.0);
+        assert!((t - 470.0).abs() < 1e-6, "{t}");
+        // 545 ms tasks on 256 slots: right at the crossover, ~437/s
+        // (dispatch still in the loop), close to the 470 limit.
+        let t = m.throughput(1, 256, 0.545);
+        assert!(t > 430.0 && t <= 470.0, "{t}");
+    }
+
+    #[test]
+    fn throughput_scales_with_instances_to_ceiling() {
+        let m = LaunchModel::paper_calibrated();
+        let t1 = m.throughput(1, 64, 0.04);
+        let t16 = m.throughput(16, 64, 0.04);
+        assert!(t16 > 10.0 * t1, "near-linear up to the ceiling");
+        assert!(t16 <= 6400.0);
+        let t64 = m.throughput(64, 64, 0.0);
+        assert_eq!(t64, 6400.0);
+    }
+
+    #[test]
+    fn container_overhead_scales_rates() {
+        // Shifter: 19 % startup overhead → rates divide by 1.23 (Fig. 4:
+        // ~5,200/s from 6,400/s bare metal).
+        let m = LaunchModel::paper_calibrated().with_container_overhead(6400.0 / 5200.0);
+        let rate = m.aggregate_rate(32);
+        assert!((rate - 5200.0).abs() < 1.0, "{rate}");
+    }
+
+    #[test]
+    fn dispatch_time_for_node_of_tasks() {
+        let m = LaunchModel::paper_calibrated();
+        // 128 tasks from one instance at 470/s ≈ 0.27 s.
+        let t = m.dispatch_time(128, 1);
+        assert!((t - 128.0 / 470.0).abs() < 1e-9);
+        assert_eq!(m.dispatch_time(0, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let m = LaunchModel::paper_calibrated();
+        assert_eq!(m.throughput(0, 8, 1.0), 0.0);
+        assert_eq!(m.throughput(8, 0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be < 1")]
+    fn sub_unity_overhead_rejected() {
+        let _ = LaunchModel::paper_calibrated().with_container_overhead(0.5);
+    }
+}

@@ -1,0 +1,104 @@
+//! Machine presets.
+//!
+//! Shape parameters (node counts, cores, GPUs) are the published specs of
+//! the systems the paper ran on; performance parameters come from the
+//! paper's own measurements where it reports them (launch rates) and from
+//! public system documentation elsewhere.
+
+use htpar_storage::{Lustre, Nvme};
+use serde::{Deserialize, Serialize};
+
+use crate::launch::LaunchModel;
+
+/// A simulated HPC machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    pub name: String,
+    /// Total compute nodes.
+    pub nodes: u32,
+    /// Schedulable CPU threads per node (Frontier: 64 cores / 128 HT).
+    pub threads_per_node: u32,
+    /// Schedulable GPUs per node (Frontier: 8 GCDs).
+    pub gpus_per_node: u32,
+    /// Node-local NVMe model.
+    pub nvme: Nvme,
+    /// Shared filesystem model.
+    pub lustre: Lustre,
+    /// Process-launch model for this machine's nodes.
+    pub launch: LaunchModel,
+}
+
+impl Machine {
+    /// OLCF Frontier: 9,408 nodes, 64 dual-threaded cores (128 threads),
+    /// 8 schedulable GCDs, node-local NVMe, Orion Lustre.
+    pub fn frontier() -> Machine {
+        Machine {
+            name: "frontier".into(),
+            nodes: 9408,
+            threads_per_node: 128,
+            gpus_per_node: 8,
+            nvme: Nvme::frontier_node(),
+            lustre: Lustre::frontier_orion(),
+            launch: LaunchModel::paper_calibrated(),
+        }
+    }
+
+    /// NERSC Perlmutter CPU partition: ~3,000 CPU-only nodes with 2× AMD
+    /// Milan (256 threads). The launch-rate stress tests (Fig. 3–5) ran
+    /// on one of these.
+    pub fn perlmutter_cpu() -> Machine {
+        Machine {
+            name: "perlmutter-cpu".into(),
+            nodes: 3072,
+            threads_per_node: 256,
+            gpus_per_node: 0,
+            nvme: Nvme::frontier_node(),
+            lustre: Lustre::campaign_storage(),
+            launch: LaunchModel::paper_calibrated(),
+        }
+    }
+
+    /// The 8-node scheduled Data Transfer Node cluster of §IV-E.
+    pub fn dtn_cluster() -> Machine {
+        Machine {
+            name: "dtn".into(),
+            nodes: 8,
+            threads_per_node: 64,
+            gpus_per_node: 0,
+            nvme: Nvme::frontier_node(),
+            lustre: Lustre::campaign_storage(),
+            launch: LaunchModel::paper_calibrated(),
+        }
+    }
+
+    /// Fraction of the machine a run of `nodes` nodes occupies.
+    pub fn occupancy(&self, nodes: u32) -> f64 {
+        nodes as f64 / self.nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_shape_matches_paper() {
+        let m = Machine::frontier();
+        assert_eq!(m.threads_per_node, 128);
+        assert_eq!(m.gpus_per_node, 8);
+        // "up to 9,000 nodes (96% of Frontier)" — 9000/9408 = 95.7 %.
+        let occ = m.occupancy(9000);
+        assert!((occ - 0.957).abs() < 0.005, "occupancy {occ}");
+    }
+
+    #[test]
+    fn perlmutter_thread_count_matches_fig3() {
+        // "Using 256 CPU threads on a Perlmutter CPU-only compute node".
+        assert_eq!(Machine::perlmutter_cpu().threads_per_node, 256);
+    }
+
+    #[test]
+    fn dtn_has_eight_nodes() {
+        assert_eq!(Machine::dtn_cluster().nodes, 8);
+    }
+}

@@ -1,0 +1,20 @@
+//! # htpar-containers — container runtime models
+//!
+//! Paper §III stress-tests containerized task launch on a Perlmutter CPU
+//! node:
+//!
+//! - **Shifter** (Fig. 4): ≈ 5,200 container launches/s — a 19 % startup
+//!   overhead against the ~6,400/s bare-metal ceiling.
+//! - **Podman-HPC** (Fig. 5): ≈ 65 launches/s — two orders of magnitude
+//!   slower, plus reliability failures at scale: user-namespace setup
+//!   errors, database locking, setgid failures, task tmp-dir problems.
+//!
+//! Each runtime is a [`ContainerRuntime`]: a per-launch cost factor, an
+//! optional global serialization cap (Podman's shared image database),
+//! and a concurrency-dependent failure model.
+
+pub mod runtime;
+pub mod stress;
+
+pub use runtime::{BareMetal, ContainerRuntime, FailureKind, PodmanHpc, Shifter};
+pub use stress::{stress_run, sweep_rates, RatePoint, StressReport};

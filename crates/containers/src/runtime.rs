@@ -1,0 +1,233 @@
+//! Runtime definitions and failure models.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Ways a containerized launch can fail (Fig. 5's observed modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// "failures in setting user namespaces"
+    UserNamespace,
+    /// "database locking"
+    DbLock,
+    /// "setgid failures"
+    Setgid,
+    /// "problems with task tmp directories"
+    TmpDir,
+}
+
+impl FailureKind {
+    /// All failure kinds, for tallying.
+    pub const ALL: [FailureKind; 4] = [
+        FailureKind::UserNamespace,
+        FailureKind::DbLock,
+        FailureKind::Setgid,
+        FailureKind::TmpDir,
+    ];
+}
+
+/// A container runtime's launch behaviour.
+pub trait ContainerRuntime: Send + Sync {
+    /// Human-readable name.
+    fn name(&self) -> &str;
+
+    /// Multiplier on the bare-metal per-launch cost (1.0 = free).
+    fn launch_overhead_factor(&self) -> f64;
+
+    /// Hard global launch-rate cap (launches/s) from runtime-internal
+    /// serialization (e.g. a shared image database lock), if any.
+    fn global_rate_cap(&self) -> Option<f64>;
+
+    /// Sample whether one launch fails, given the number of concurrent
+    /// launches in flight. `None` = success.
+    fn sample_failure(&self, rng: &mut dyn rand::RngCore, concurrency: u32)
+        -> Option<FailureKind>;
+}
+
+/// No container: the bare-metal baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BareMetal;
+
+impl ContainerRuntime for BareMetal {
+    fn name(&self) -> &str {
+        "bare-metal"
+    }
+    fn launch_overhead_factor(&self) -> f64 {
+        1.0
+    }
+    fn global_rate_cap(&self) -> Option<f64> {
+        None
+    }
+    fn sample_failure(&self, _rng: &mut dyn rand::RngCore, _c: u32) -> Option<FailureKind> {
+        None
+    }
+}
+
+/// Shifter: NERSC's HPC container runtime. Startup cost is a thin
+/// chroot-style setup — the paper measures only 19 % overhead versus bare
+/// metal, and no reliability issues.
+#[derive(Debug, Clone, Copy)]
+pub struct Shifter {
+    /// 6,400 / 5,200 ≈ 1.23: the Fig. 4 calibration.
+    pub overhead_factor: f64,
+}
+
+impl Default for Shifter {
+    fn default() -> Self {
+        Shifter {
+            overhead_factor: 6400.0 / 5200.0,
+        }
+    }
+}
+
+impl ContainerRuntime for Shifter {
+    fn name(&self) -> &str {
+        "shifter"
+    }
+    fn launch_overhead_factor(&self) -> f64 {
+        self.overhead_factor
+    }
+    fn global_rate_cap(&self) -> Option<f64> {
+        None
+    }
+    fn sample_failure(&self, _rng: &mut dyn rand::RngCore, _c: u32) -> Option<FailureKind> {
+        None
+    }
+}
+
+/// Podman-HPC: rootless OCI runtime. Every launch sets up user
+/// namespaces and consults a shared SQLite-style image database — the
+/// database serializes launches globally (the ≈ 65/s cap of Fig. 5), and
+/// several per-launch steps fail with probability that grows with
+/// concurrency.
+#[derive(Debug, Clone, Copy)]
+pub struct PodmanHpc {
+    /// Per-launch service time of the serialized section, seconds.
+    pub db_service_secs: f64,
+    /// Baseline probability of each failure mode per launch.
+    pub base_failure_prob: f64,
+    /// Extra failure probability per concurrent launch in flight.
+    pub failure_prob_per_concurrent: f64,
+}
+
+impl Default for PodmanHpc {
+    fn default() -> Self {
+        PodmanHpc {
+            // 1/65 s: the Fig. 5 upper bound.
+            db_service_secs: 1.0 / 65.0,
+            base_failure_prob: 0.001,
+            failure_prob_per_concurrent: 0.0004,
+        }
+    }
+}
+
+impl PodmanHpc {
+    /// Probability one launch fails (any mode) at the given concurrency.
+    pub fn failure_probability(&self, concurrency: u32) -> f64 {
+        (self.base_failure_prob
+            + self.failure_prob_per_concurrent * concurrency.saturating_sub(1) as f64)
+            .clamp(0.0, 0.9)
+    }
+}
+
+impl ContainerRuntime for PodmanHpc {
+    fn name(&self) -> &str {
+        "podman-hpc"
+    }
+    fn launch_overhead_factor(&self) -> f64 {
+        // Per-launch CPU cost is also far above Shifter's, but the global
+        // cap dominates; 10× keeps single-instance rates realistic.
+        10.0
+    }
+    fn global_rate_cap(&self) -> Option<f64> {
+        Some(1.0 / self.db_service_secs)
+    }
+    fn sample_failure(&self, rng: &mut dyn rand::RngCore, concurrency: u32)
+        -> Option<FailureKind> {
+        if rng.gen::<f64>() >= self.failure_probability(concurrency) {
+            return None;
+        }
+        // Mix of modes roughly as reported: namespaces and DB locks are
+        // the common ones.
+        let roll: f64 = rng.gen();
+        Some(if roll < 0.35 {
+            FailureKind::UserNamespace
+        } else if roll < 0.70 {
+            FailureKind::DbLock
+        } else if roll < 0.85 {
+            FailureKind::Setgid
+        } else {
+            FailureKind::TmpDir
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htpar_simkit::stream_rng;
+
+    #[test]
+    fn bare_metal_is_free_and_reliable() {
+        let rt = BareMetal;
+        assert_eq!(rt.launch_overhead_factor(), 1.0);
+        assert!(rt.global_rate_cap().is_none());
+        let mut rng = stream_rng(0, 0);
+        assert!((0..1000).all(|_| rt.sample_failure(&mut rng, 256).is_none()));
+    }
+
+    #[test]
+    fn shifter_overhead_matches_fig4_calibration() {
+        let rt = Shifter::default();
+        // 19 % startup overhead: 6400 / 1.23 ≈ 5200.
+        let effective = 6400.0 / rt.launch_overhead_factor();
+        assert!((effective - 5200.0).abs() < 1.0, "{effective}");
+        assert!(rt.global_rate_cap().is_none());
+    }
+
+    #[test]
+    fn podman_cap_is_65_per_second() {
+        let rt = PodmanHpc::default();
+        let cap = rt.global_rate_cap().unwrap();
+        assert!((cap - 65.0).abs() < 0.1, "{cap}");
+    }
+
+    #[test]
+    fn podman_failures_grow_with_concurrency() {
+        let rt = PodmanHpc::default();
+        assert!(rt.failure_probability(256) > 5.0 * rt.failure_probability(1));
+        let mut rng = stream_rng(1, 0);
+        let fails_low = (0..20_000)
+            .filter(|_| rt.sample_failure(&mut rng, 1).is_some())
+            .count();
+        let fails_high = (0..20_000)
+            .filter(|_| rt.sample_failure(&mut rng, 256).is_some())
+            .count();
+        assert!(fails_high > 10 * fails_low.max(1), "{fails_low} vs {fails_high}");
+    }
+
+    #[test]
+    fn podman_failure_modes_cover_all_kinds() {
+        let rt = PodmanHpc {
+            base_failure_prob: 1.0,
+            ..PodmanHpc::default()
+        };
+        let mut rng = stream_rng(2, 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            if let Some(kind) = rt.sample_failure(&mut rng, 1) {
+                seen.insert(kind);
+            }
+        }
+        assert_eq!(seen.len(), FailureKind::ALL.len());
+    }
+
+    #[test]
+    fn failure_probability_is_clamped() {
+        let rt = PodmanHpc {
+            failure_prob_per_concurrent: 1.0,
+            ..PodmanHpc::default()
+        };
+        assert!(rt.failure_probability(u32::MAX) <= 0.9);
+    }
+}

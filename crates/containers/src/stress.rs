@@ -1,0 +1,180 @@
+//! The container launch stress harness (Figs. 4 and 5).
+//!
+//! Sweeps launcher instances × `-j` and reports the sustained container
+//! launch rate plus failure tallies — the same series the paper plots.
+
+use std::collections::HashMap;
+
+use htpar_cluster::LaunchModel;
+use htpar_simkit::stream_rng;
+use serde::{Deserialize, Serialize};
+
+use crate::runtime::ContainerRuntime;
+
+/// One point of a rate sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatePoint {
+    pub instances: u32,
+    pub jobs: u32,
+    /// Launches per second sustained.
+    pub rate_per_sec: f64,
+}
+
+/// Outcome of one stress run of `n` launches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StressReport {
+    pub runtime: String,
+    pub attempted: u64,
+    pub succeeded: u64,
+    pub failures: HashMap<String, u64>,
+    pub elapsed_secs: f64,
+    pub rate_per_sec: f64,
+}
+
+impl StressReport {
+    /// Fraction of launches that failed.
+    pub fn failure_ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            1.0 - self.succeeded as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Effective launch rate of `instances` × `jobs` launchers running no-op
+/// containerized payloads on a node described by `model`.
+pub fn launch_rate(model: &LaunchModel, rt: &dyn ContainerRuntime, instances: u32) -> f64 {
+    let scaled = model.with_container_overhead(
+        model.container_overhead * rt.launch_overhead_factor(),
+    );
+    let rate = scaled.aggregate_rate(instances);
+    match rt.global_rate_cap() {
+        Some(cap) => rate.min(cap),
+        None => rate,
+    }
+}
+
+/// Sweep instance counts and report the rate curve (the x-axis of
+/// Figs. 4/5).
+pub fn sweep_rates(
+    model: &LaunchModel,
+    rt: &dyn ContainerRuntime,
+    instances: &[u32],
+    jobs: u32,
+) -> Vec<RatePoint> {
+    instances
+        .iter()
+        .map(|&i| RatePoint {
+            instances: i,
+            jobs,
+            rate_per_sec: launch_rate(model, rt, i),
+        })
+        .collect()
+}
+
+/// Run `n` simulated launches at a given concurrency and tally failures.
+pub fn stress_run(
+    model: &LaunchModel,
+    rt: &dyn ContainerRuntime,
+    n: u64,
+    instances: u32,
+    jobs: u32,
+    seed: u64,
+) -> StressReport {
+    let mut rng = stream_rng(seed, 0xC017_A1E5);
+    let concurrency = instances.saturating_mul(jobs);
+    let mut failures: HashMap<String, u64> = HashMap::new();
+    let mut succeeded = 0u64;
+    for _ in 0..n {
+        match rt.sample_failure(&mut rng, concurrency) {
+            None => succeeded += 1,
+            Some(kind) => {
+                *failures.entry(format!("{kind:?}")).or_insert(0) += 1;
+            }
+        }
+    }
+    let rate = launch_rate(model, rt, instances);
+    let elapsed_secs = if rate > 0.0 { n as f64 / rate } else { 0.0 };
+    StressReport {
+        runtime: rt.name().to_string(),
+        attempted: n,
+        succeeded,
+        failures,
+        elapsed_secs,
+        rate_per_sec: rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{BareMetal, PodmanHpc, Shifter};
+
+    fn model() -> LaunchModel {
+        LaunchModel::paper_calibrated()
+    }
+
+    #[test]
+    fn fig4_shifter_plateaus_near_5200() {
+        let points = sweep_rates(&model(), &Shifter::default(), &[1, 2, 4, 8, 16, 32, 64], 8);
+        let peak = points.iter().map(|p| p.rate_per_sec).fold(0.0, f64::max);
+        assert!((peak - 5200.0).abs() < 10.0, "peak {peak}");
+        // Monotone nondecreasing in instances.
+        for w in points.windows(2) {
+            assert!(w[1].rate_per_sec >= w[0].rate_per_sec);
+        }
+    }
+
+    #[test]
+    fn fig4_shifter_overhead_vs_bare_metal_is_19_percent() {
+        let bare = launch_rate(&model(), &BareMetal, 64);
+        let shifter = launch_rate(&model(), &Shifter::default(), 64);
+        let overhead = bare / shifter - 1.0;
+        assert!((overhead - 0.23).abs() < 0.02, "rate overhead {overhead}");
+        // Expressed the paper's way: shifter achieves ~81% of bare metal,
+        // i.e. a startup overhead of "only 19%".
+        assert!((1.0 - shifter / bare - 0.19).abs() < 0.02);
+    }
+
+    #[test]
+    fn fig5_podman_caps_at_65_regardless_of_instances() {
+        let points = sweep_rates(&model(), &PodmanHpc::default(), &[1, 2, 8, 32, 64], 16);
+        for p in &points[1..] {
+            assert!((p.rate_per_sec - 65.0).abs() < 1.0, "{:?}", p);
+        }
+        // Two orders of magnitude below Shifter, as the paper stresses.
+        let shifter_peak = launch_rate(&model(), &Shifter::default(), 64);
+        assert!(shifter_peak / 65.0 > 50.0);
+    }
+
+    #[test]
+    fn fig5_podman_failures_at_scale() {
+        let small = stress_run(&model(), &PodmanHpc::default(), 50_000, 1, 1, 5);
+        let large = stress_run(&model(), &PodmanHpc::default(), 50_000, 16, 64, 5);
+        assert!(large.failure_ratio() > 10.0 * small.failure_ratio().max(1e-6));
+        assert!(!large.failures.is_empty());
+        assert_eq!(
+            large.attempted,
+            large.succeeded + large.failures.values().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn bare_metal_stress_is_clean() {
+        let r = stress_run(&model(), &BareMetal, 10_000, 14, 64, 1);
+        assert_eq!(r.succeeded, 10_000);
+        assert_eq!(r.failure_ratio(), 0.0);
+        assert!((r.rate_per_sec - 6400.0).abs() < 1e-6);
+        assert!((r.elapsed_secs - 10_000.0 / 6400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_instance_rates_order_bare_shifter_podman() {
+        let bare = launch_rate(&model(), &BareMetal, 1);
+        let shifter = launch_rate(&model(), &Shifter::default(), 1);
+        let podman = launch_rate(&model(), &PodmanHpc::default(), 1);
+        assert!(bare > shifter && shifter > podman);
+        assert!((podman - 47.0).abs() < 20.0, "podman single {podman}");
+    }
+}

@@ -1,0 +1,298 @@
+//! Argument batching: `-m`/`--xargs` and `-X`/`--context-replace`.
+//!
+//! Paper §IV-E builds its 256-way data mover on exactly this:
+//!
+//! ```text
+//! find ... | parallel -j32 -X rsync -R -Ha {} /lustre/proj/
+//! ```
+//!
+//! `-X` packs as many file names as fit into each rsync invocation by
+//! repeating the *word* containing `{}` once per argument.
+
+use crate::template::{ExpandContext, Template, Token};
+
+/// Greedily split `args` into batches subject to a character budget and an
+/// optional per-batch argument cap.
+///
+/// `base_len` is the length of the command with zero arguments;
+/// `per_arg_overhead` is the constant extra cost per inserted argument
+/// (separator plus repeated context for `-X`).
+///
+/// Every batch contains at least one argument even if that argument alone
+/// blows the budget — matching xargs/parallel, which never drop input.
+pub fn plan_batches(
+    args: &[String],
+    max_args: Option<usize>,
+    max_chars: usize,
+    base_len: usize,
+    per_arg_overhead: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let mut batches = Vec::new();
+    let mut start = 0;
+    while start < args.len() {
+        let mut end = start;
+        let mut used = base_len;
+        while end < args.len() {
+            let cost = args[end].len() + per_arg_overhead;
+            let fits = used + cost <= max_chars || end == start;
+            let under_cap = max_args.is_none_or(|cap| end - start < cap);
+            if fits && under_cap {
+                used += cost;
+                end += 1;
+            } else {
+                break;
+            }
+        }
+        batches.push(start..end);
+        start = end;
+    }
+    batches
+}
+
+/// Expand a template in `-m` (xargs) mode: the batch's arguments are
+/// inserted space-separated at each `{}` site.
+pub fn expand_xargs(template: &Template, batch: &[String], seq: u64, slot: usize) -> String {
+    let joined = batch.join(" ");
+    let args = [joined];
+    let ctx = ExpandContext {
+        args: &args,
+        seq,
+        slot,
+    };
+    template.expand(&ctx)
+}
+
+/// Expand a template in `-X` (context replace) mode: any *word* containing
+/// a replacement string is repeated once per argument; words without
+/// replacement strings appear once.
+///
+/// `echo pre-{}-post` over `[a, b]` → `echo pre-a-post pre-b-post`.
+pub fn expand_context_replace(
+    template: &Template,
+    batch: &[String],
+    seq: u64,
+    slot: usize,
+) -> String {
+    // Partition the token stream into words (split literal tokens on
+    // spaces), then expand each word per-argument if it contains any
+    // argument placeholder.
+    let words = split_words(template);
+    let mut out = String::new();
+    for word in words {
+        let has_arg_token = word.iter().any(|t| {
+            matches!(t, Token::Arg(_) | Token::Positional(..))
+        });
+        if has_arg_token {
+            for arg in batch {
+                push_word(&mut out, &word, std::slice::from_ref(arg), seq, slot);
+            }
+        } else {
+            push_word(&mut out, &word, batch, seq, slot);
+        }
+    }
+    if !template.has_placeholder() {
+        // xargs behaviour: append the whole batch.
+        for arg in batch {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(arg);
+        }
+    }
+    out
+}
+
+fn push_word(out: &mut String, word: &[Token], args: &[String], seq: u64, slot: usize) {
+    let mut rendered = String::new();
+
+    for tok in word {
+        match tok {
+            Token::Literal(text) => rendered.push_str(text),
+            Token::Arg(op) => {
+                // Inside a context-replaced word `args` is one element;
+                // elsewhere bare {} would join, which cannot happen here
+                // because such words take the has_arg_token path.
+                let mut first = true;
+                for a in args {
+                    if !first {
+                        rendered.push(' ');
+                    }
+                    rendered.push_str(&op.apply(a));
+                    first = false;
+                }
+            }
+            Token::Positional(n, op) => {
+                if let Some(a) = args.get(n - 1) {
+                    rendered.push_str(&op.apply(a));
+                }
+            }
+            Token::Seq => rendered.push_str(&seq.to_string()),
+            Token::Slot => rendered.push_str(&slot.to_string()),
+        }
+    }
+    if rendered.is_empty() {
+        return;
+    }
+    if !out.is_empty() {
+        out.push(' ');
+    }
+    out.push_str(&rendered);
+}
+
+/// Split a template's token stream into whitespace-delimited words.
+fn split_words(template: &Template) -> Vec<Vec<Token>> {
+    let mut words: Vec<Vec<Token>> = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    for tok in template.tokens() {
+        match tok {
+            Token::Literal(text) => {
+                let mut parts = text.split(' ').peekable();
+                while let Some(part) = parts.next() {
+                    if !part.is_empty() {
+                        current.push(Token::Literal(part.to_string()));
+                    }
+                    if parts.peek().is_some() && !current.is_empty() {
+                        words.push(std::mem::take(&mut current));
+                    }
+                }
+            }
+            other => current.push(other.clone()),
+        }
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn batches_respect_char_budget() {
+        let args = strs(&["aaaa", "bbbb", "cccc", "dddd"]);
+        // base 10 + (4+1) per arg, budget 21 → 2 args per batch.
+        let b = plan_batches(&args, None, 21, 10, 1);
+        assert_eq!(b, vec![0..2, 2..4]);
+    }
+
+    #[test]
+    fn batches_respect_max_args() {
+        let args = strs(&["a", "b", "c", "d", "e"]);
+        let b = plan_batches(&args, Some(2), usize::MAX, 0, 0);
+        assert_eq!(b, vec![0..2, 2..4, 4..5]);
+    }
+
+    #[test]
+    fn oversized_single_arg_still_ships() {
+        let args = strs(&["this-is-way-too-long"]);
+        let b = plan_batches(&args, None, 5, 0, 0);
+        assert_eq!(b, vec![0..1]);
+    }
+
+    #[test]
+    fn empty_args_no_batches() {
+        assert!(plan_batches(&[], None, 100, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn batches_cover_everything_exactly_once() {
+        let args: Vec<String> = (0..100).map(|i| format!("arg{i}")).collect();
+        let b = plan_batches(&args, Some(7), 64, 10, 1);
+        let mut covered = Vec::new();
+        for r in &b {
+            covered.extend(r.clone());
+        }
+        assert_eq!(covered, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xargs_mode_inserts_all_args_at_site() {
+        let t = Template::parse("echo {}").unwrap();
+        let out = expand_xargs(&t, &strs(&["a", "b", "c"]), 1, 1);
+        assert_eq!(out, "echo a b c");
+    }
+
+    #[test]
+    fn context_replace_repeats_containing_word() {
+        let t = Template::parse("echo pre-{}-post").unwrap();
+        let out = expand_context_replace(&t, &strs(&["a", "b"]), 1, 1);
+        assert_eq!(out, "echo pre-a-post pre-b-post");
+    }
+
+    #[test]
+    fn context_replace_rsync_idiom() {
+        // parallel -X rsync -R -Ha {} /lustre/proj/
+        let t = Template::parse("rsync -R -Ha {} /lustre/proj/").unwrap();
+        let out = expand_context_replace(&t, &strs(&["/a/1", "/a/2", "/b/3"]), 1, 1);
+        assert_eq!(out, "rsync -R -Ha /a/1 /a/2 /b/3 /lustre/proj/");
+    }
+
+    #[test]
+    fn context_replace_with_path_ops() {
+        let t = Template::parse("convert {} thumbs/{/.}.png").unwrap();
+        let out = expand_context_replace(&t, &strs(&["img/x.jpg", "img/y.jpg"]), 1, 1);
+        assert_eq!(out, "convert img/x.jpg img/y.jpg thumbs/x.png thumbs/y.png");
+    }
+
+    #[test]
+    fn context_replace_seq_slot_expand_once_per_word() {
+        let t = Template::parse("run --slot {%} {}").unwrap();
+        let out = expand_context_replace(&t, &strs(&["a", "b"]), 9, 4);
+        assert_eq!(out, "run --slot 4 a b");
+    }
+
+    #[test]
+    fn context_replace_without_placeholder_appends() {
+        let t = Template::parse("echo fixed").unwrap();
+        let out = expand_context_replace(&t, &strs(&["a", "b"]), 1, 1);
+        assert_eq!(out, "echo fixed a b");
+    }
+
+    #[test]
+    fn single_arg_batch_equals_plain_expand() {
+        let t = Template::parse("cp {} {}.bak").unwrap();
+        let out = expand_context_replace(&t, &strs(&["f"]), 1, 1);
+        assert_eq!(out, "cp f f.bak");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn plan_batches_partitions_input(
+                n in 0usize..200,
+                cap in 1usize..20,
+                budget in 1usize..200,
+            ) {
+                let args: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+                let batches = plan_batches(&args, Some(cap), budget, 5, 1);
+                let mut covered = Vec::new();
+                for r in &batches {
+                    prop_assert!(!r.is_empty(), "no empty batches");
+                    prop_assert!(r.len() <= cap);
+                    covered.extend(r.clone());
+                }
+                prop_assert_eq!(covered, (0..n).collect::<Vec<_>>());
+            }
+
+            #[test]
+            fn context_replace_mentions_every_arg(
+                args in proptest::collection::vec("[a-z0-9]{1,8}", 1..10)
+            ) {
+                let t = Template::parse("cmd {}").unwrap();
+                let out = expand_context_replace(&t, &args, 1, 1);
+                for a in &args {
+                    prop_assert!(out.contains(a.as_str()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Failure injection for testing retry/halt/resume behaviour.
+//!
+//! [`ChaosExecutor`] wraps any executor and makes a deterministic,
+//! seeded fraction of *attempts* fail before reaching the inner
+//! executor — the tool the integration suite uses to prove that
+//! `--retries`, `--halt`, and `--resume-failed` interact correctly
+//! under unreliable infrastructure (the Podman-HPC situation of Fig. 5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::executor::{ExecContext, Executor, TaskOutput};
+use crate::job::CommandLine;
+
+/// Wraps an executor, failing a seeded fraction of attempts.
+pub struct ChaosExecutor {
+    inner: Arc<dyn Executor>,
+    /// Probability in `[0, 1]` that an attempt fails.
+    fail_probability: f64,
+    /// Exit code injected failures report.
+    fail_code: i32,
+    seed: u64,
+    attempts: AtomicU64,
+}
+
+impl ChaosExecutor {
+    /// Wrap `inner`, failing each attempt with `fail_probability`.
+    pub fn new<E: Executor + 'static>(inner: E, fail_probability: f64, seed: u64) -> ChaosExecutor {
+        ChaosExecutor {
+            inner: Arc::new(inner),
+            fail_probability: fail_probability.clamp(0.0, 1.0),
+            fail_code: 199,
+            seed,
+            attempts: AtomicU64::new(0),
+        }
+    }
+
+    /// Total attempts observed (injected failures included).
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for attempt `n`.
+    fn draw(&self, n: u64) -> f64 {
+        let mut z = self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Executor for ChaosExecutor {
+    fn execute(&self, cmd: &CommandLine, ctx: &ExecContext) -> TaskOutput {
+        let n = self.attempts.fetch_add(1, Ordering::Relaxed);
+        if self.draw(n) < self.fail_probability {
+            return TaskOutput::failed(self.fail_code, "injected failure");
+        }
+        self.inner.execute(cmd, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::FnExecutor;
+    use crate::job::JobStatus;
+    use crate::prelude::Parallel;
+
+    #[test]
+    fn zero_probability_is_transparent() {
+        let chaos = ChaosExecutor::new(FnExecutor::noop(), 0.0, 1);
+        let report = Parallel::new("x {}")
+            .jobs(2)
+            .executor(chaos)
+            .args((0..20).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        assert!(report.all_succeeded());
+    }
+
+    #[test]
+    fn one_probability_fails_everything() {
+        let chaos = ChaosExecutor::new(FnExecutor::noop(), 1.0, 1);
+        let report = Parallel::new("x {}")
+            .jobs(2)
+            .executor(chaos)
+            .args((0..10).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        assert_eq!(report.failed, 10);
+        assert!(matches!(report.results[0].status, JobStatus::Failed(199)));
+    }
+
+    #[test]
+    fn failure_rate_is_near_nominal() {
+        let chaos = ChaosExecutor::new(FnExecutor::noop(), 0.3, 7);
+        let report = Parallel::new("x {}")
+            .jobs(4)
+            .executor(chaos)
+            .args((0..2000).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        let ratio = report.failed as f64 / report.jobs_total as f64;
+        assert!((ratio - 0.3).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn retries_absorb_transient_chaos() {
+        // p=0.3 with 6 retries: P(all 7 attempts fail) ≈ 0.02% — a 500-job
+        // run should come out clean.
+        let chaos = ChaosExecutor::new(FnExecutor::noop(), 0.3, 11);
+        let report = Parallel::new("x {}")
+            .jobs(4)
+            .retries(6)
+            .executor(chaos)
+            .args((0..500).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        assert_eq!(report.failed, 0, "retries absorbed injected failures");
+        // Some retries actually happened.
+        assert!(report.results.iter().any(|r| r.tries > 0));
+    }
+
+    #[test]
+    fn attempt_counter_counts_retries() {
+        let chaos = ChaosExecutor::new(FnExecutor::noop(), 0.5, 3);
+        let report = Parallel::new("x {}")
+            .jobs(1)
+            .retries(2)
+            .executor(chaos)
+            .args((0..50).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        let expected: u64 = report.results.iter().map(|r| r.tries as u64 + 1).sum();
+        // `attempts` is only reachable before the executor moves into the
+        // builder; reconstruct via tries instead.
+        assert!(expected >= 50);
+        assert!(report.jobs_total == 50);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the engine.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the engine itself (not by individual jobs — job
+/// failures are data, carried in [`crate::job::JobResult`]).
+#[derive(Debug)]
+pub enum Error {
+    /// The command template could not be parsed.
+    Template(String),
+    /// The input specification is inconsistent (e.g. a linked source with
+    /// nothing to link to).
+    Input(String),
+    /// The options are inconsistent (e.g. zero jobs).
+    Options(String),
+    /// A job log could not be read or written.
+    JobLog(std::io::Error),
+    /// A job-log line could not be parsed.
+    JobLogParse { line: usize, reason: String },
+    /// Underlying I/O failure outside job execution.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Template(m) => write!(f, "template error: {m}"),
+            Error::Input(m) => write!(f, "input error: {m}"),
+            Error::Options(m) => write!(f, "options error: {m}"),
+            Error::JobLog(e) => write!(f, "joblog i/o error: {e}"),
+            Error::JobLogParse { line, reason } => {
+                write!(f, "joblog parse error at line {line}: {reason}")
+            }
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::JobLog(e) | Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}

@@ -1,0 +1,204 @@
+//! Dispatch gating: the `--memfree`/`--load` family.
+//!
+//! On shared HPC login/DTN nodes, GNU Parallel can hold new launches
+//! back until the machine has headroom. A [`Gate`] is consulted before
+//! every launch; while it denies, the worker backs off. Gates compose
+//! with [`AllGates`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A launch-admission check.
+pub trait Gate: Send + Sync {
+    /// May a new job launch right now?
+    fn permit(&self) -> bool;
+
+    /// How long to back off after a denial.
+    fn backoff(&self) -> Duration {
+        Duration::from_millis(20)
+    }
+}
+
+/// A gate driven by a closure (tests, custom probes).
+pub struct FnGate {
+    f: Box<dyn Fn() -> bool + Send + Sync>,
+}
+
+impl FnGate {
+    /// Wrap a probe closure.
+    pub fn new<F: Fn() -> bool + Send + Sync + 'static>(f: F) -> FnGate {
+        FnGate { f: Box::new(f) }
+    }
+}
+
+impl Gate for FnGate {
+    fn permit(&self) -> bool {
+        (self.f)()
+    }
+}
+
+/// A manually switchable gate (pause/resume a run from another thread).
+#[derive(Default)]
+pub struct SwitchGate {
+    open: AtomicBool,
+}
+
+impl SwitchGate {
+    /// A gate in the given initial state.
+    pub fn new(open: bool) -> Arc<SwitchGate> {
+        Arc::new(SwitchGate {
+            open: AtomicBool::new(open),
+        })
+    }
+
+    /// Allow launches.
+    pub fn open(&self) {
+        self.open.store(true, Ordering::Release);
+    }
+
+    /// Hold launches.
+    pub fn close(&self) {
+        self.open.store(false, Ordering::Release);
+    }
+}
+
+impl Gate for SwitchGate {
+    fn permit(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+}
+
+/// `--memfree N`: launch only while at least `min_free_bytes` of memory
+/// is available (Linux `/proc/meminfo` `MemAvailable`). On platforms
+/// without `/proc`, the gate always permits.
+pub struct MemFreeGate {
+    pub min_free_bytes: u64,
+}
+
+impl MemFreeGate {
+    /// Require `min_free_bytes` of available memory before each launch.
+    pub fn new(min_free_bytes: u64) -> MemFreeGate {
+        MemFreeGate { min_free_bytes }
+    }
+
+    /// Current `MemAvailable` in bytes, if readable.
+    pub fn mem_available_bytes() -> Option<u64> {
+        let content = std::fs::read_to_string("/proc/meminfo").ok()?;
+        parse_mem_available(&content)
+    }
+}
+
+/// Parse `MemAvailable: N kB` out of /proc/meminfo content.
+pub fn parse_mem_available(meminfo: &str) -> Option<u64> {
+    for line in meminfo.lines() {
+        if let Some(rest) = line.strip_prefix("MemAvailable:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+impl Gate for MemFreeGate {
+    fn permit(&self) -> bool {
+        match MemFreeGate::mem_available_bytes() {
+            Some(avail) => avail >= self.min_free_bytes,
+            None => true, // no probe, no gating
+        }
+    }
+
+    fn backoff(&self) -> Duration {
+        Duration::from_millis(100)
+    }
+}
+
+/// All gates must permit.
+pub struct AllGates {
+    gates: Vec<Arc<dyn Gate>>,
+}
+
+impl AllGates {
+    /// Compose gates conjunctively.
+    pub fn new(gates: Vec<Arc<dyn Gate>>) -> AllGates {
+        AllGates { gates }
+    }
+}
+
+impl Gate for AllGates {
+    fn permit(&self) -> bool {
+        self.gates.iter().all(|g| g.permit())
+    }
+
+    fn backoff(&self) -> Duration {
+        self.gates
+            .iter()
+            .map(|g| g.backoff())
+            .max()
+            .unwrap_or(Duration::from_millis(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_gate_delegates() {
+        let g = FnGate::new(|| true);
+        assert!(g.permit());
+        let g = FnGate::new(|| false);
+        assert!(!g.permit());
+    }
+
+    #[test]
+    fn switch_gate_toggles() {
+        let g = SwitchGate::new(false);
+        assert!(!g.permit());
+        g.open();
+        assert!(g.permit());
+        g.close();
+        assert!(!g.permit());
+    }
+
+    #[test]
+    fn meminfo_parsing() {
+        let sample = "MemTotal:       16000000 kB\nMemFree:         1000000 kB\nMemAvailable:    8000000 kB\n";
+        assert_eq!(parse_mem_available(sample), Some(8_000_000 * 1024));
+        assert_eq!(parse_mem_available("MemTotal: 1 kB"), None);
+        assert_eq!(parse_mem_available("MemAvailable: junk"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mem_available_probe_works_on_linux() {
+        let avail = MemFreeGate::mem_available_bytes().expect("linux has /proc/meminfo");
+        assert!(avail > 0);
+        // A 1-byte requirement always permits; an absurd one never does.
+        assert!(MemFreeGate::new(1).permit());
+        assert!(!MemFreeGate::new(u64::MAX).permit());
+    }
+
+    #[test]
+    fn all_gates_is_conjunction() {
+        let a = Arc::new(SwitchGate {
+            open: AtomicBool::new(true),
+        });
+        let b = SwitchGate::new(true);
+        let all = AllGates::new(vec![a.clone() as Arc<dyn Gate>, b.clone() as Arc<dyn Gate>]);
+        assert!(all.permit());
+        b.close();
+        assert!(!all.permit());
+    }
+
+    #[test]
+    fn all_gates_backoff_is_max() {
+        let all = AllGates::new(vec![
+            Arc::new(FnGate::new(|| true)) as Arc<dyn Gate>,
+            Arc::new(MemFreeGate::new(1)) as Arc<dyn Gate>,
+        ]);
+        assert_eq!(all.backoff(), Duration::from_millis(100));
+        let empty = AllGates::new(vec![]);
+        assert!(empty.permit());
+    }
+}

@@ -1,0 +1,225 @@
+//! `--halt`-style early-termination policies.
+//!
+//! GNU Parallel's `--halt when,why=val` controls when a run gives up (or
+//! declares victory) early. The engine consults the policy after every
+//! completed job.
+
+use crate::job::JobStatus;
+
+/// When to act once the condition trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltWhen {
+    /// `soon`: stop dispatching new jobs, let running ones finish.
+    Soon,
+    /// `now`: stop dispatching and abandon waiting where possible.
+    Now,
+}
+
+/// The halt condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Condition {
+    Never,
+    FailCount(u64),
+    FailPercent(f64),
+    SuccessCount(u64),
+    SuccessPercent(f64),
+}
+
+/// A halt policy: condition + urgency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HaltPolicy {
+    condition: Condition,
+    when: HaltWhen,
+}
+
+/// What the runner should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltDecision {
+    Continue,
+    StopSoon,
+    StopNow,
+}
+
+impl Default for HaltPolicy {
+    fn default() -> Self {
+        HaltPolicy::never()
+    }
+}
+
+impl HaltPolicy {
+    /// Never halt early (GNU default).
+    pub fn never() -> HaltPolicy {
+        HaltPolicy {
+            condition: Condition::Never,
+            when: HaltWhen::Soon,
+        }
+    }
+
+    /// Halt after `n` failed jobs (`--halt soon,fail=n` / `now,fail=n`).
+    pub fn fail_count(n: u64, when: HaltWhen) -> HaltPolicy {
+        HaltPolicy {
+            condition: Condition::FailCount(n.max(1)),
+            when,
+        }
+    }
+
+    /// Halt when the failure ratio reaches `pct` percent of *completed*
+    /// jobs (`--halt soon,fail=pct%`). Checked only once at least 10 jobs
+    /// finished, to avoid tripping on the first failure of a large run.
+    pub fn fail_percent(pct: f64, when: HaltWhen) -> HaltPolicy {
+        HaltPolicy {
+            condition: Condition::FailPercent(pct.clamp(0.0, 100.0)),
+            when,
+        }
+    }
+
+    /// Halt after `n` successful jobs (`--halt now,success=n`).
+    pub fn success_count(n: u64, when: HaltWhen) -> HaltPolicy {
+        HaltPolicy {
+            condition: Condition::SuccessCount(n.max(1)),
+            when,
+        }
+    }
+
+    /// Halt when the success ratio reaches `pct` percent of completed jobs.
+    pub fn success_percent(pct: f64, when: HaltWhen) -> HaltPolicy {
+        HaltPolicy {
+            condition: Condition::SuccessPercent(pct.clamp(0.0, 100.0)),
+            when,
+        }
+    }
+
+    /// Evaluate after a job completion.
+    pub fn decide(&self, tally: &Tally) -> HaltDecision {
+        let tripped = match self.condition {
+            Condition::Never => false,
+            Condition::FailCount(n) => tally.failed >= n,
+            Condition::SuccessCount(n) => tally.succeeded >= n,
+            Condition::FailPercent(p) => {
+                tally.completed() >= 10 && tally.fail_ratio() * 100.0 >= p
+            }
+            Condition::SuccessPercent(p) => {
+                tally.completed() >= 10 && tally.success_ratio() * 100.0 >= p
+            }
+        };
+        if !tripped {
+            HaltDecision::Continue
+        } else {
+            match self.when {
+                HaltWhen::Soon => HaltDecision::StopSoon,
+                HaltWhen::Now => HaltDecision::StopNow,
+            }
+        }
+    }
+}
+
+/// Running success/failure counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    pub succeeded: u64,
+    pub failed: u64,
+}
+
+impl Tally {
+    /// Record one finished job.
+    pub fn record(&mut self, status: &JobStatus) {
+        if status.is_success() {
+            self.succeeded += 1;
+        } else if status.is_failure() {
+            self.failed += 1;
+        }
+    }
+
+    /// Jobs that ran to completion (success or failure; skips excluded).
+    pub fn completed(&self) -> u64 {
+        self.succeeded + self.failed
+    }
+
+    fn fail_ratio(&self) -> f64 {
+        if self.completed() == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.completed() as f64
+        }
+    }
+
+    fn success_ratio(&self) -> f64 {
+        if self.completed() == 0 {
+            0.0
+        } else {
+            self.succeeded as f64 / self.completed() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tally(s: u64, f: u64) -> Tally {
+        Tally {
+            succeeded: s,
+            failed: f,
+        }
+    }
+
+    #[test]
+    fn never_always_continues() {
+        let p = HaltPolicy::never();
+        assert_eq!(p.decide(&tally(0, 1_000_000)), HaltDecision::Continue);
+    }
+
+    #[test]
+    fn fail_count_trips_at_threshold() {
+        let p = HaltPolicy::fail_count(3, HaltWhen::Soon);
+        assert_eq!(p.decide(&tally(10, 2)), HaltDecision::Continue);
+        assert_eq!(p.decide(&tally(10, 3)), HaltDecision::StopSoon);
+        assert_eq!(p.decide(&tally(10, 4)), HaltDecision::StopSoon);
+    }
+
+    #[test]
+    fn fail_count_now_variant() {
+        let p = HaltPolicy::fail_count(1, HaltWhen::Now);
+        assert_eq!(p.decide(&tally(0, 1)), HaltDecision::StopNow);
+    }
+
+    #[test]
+    fn zero_count_clamps_to_one() {
+        let p = HaltPolicy::fail_count(0, HaltWhen::Soon);
+        assert_eq!(p.decide(&tally(5, 0)), HaltDecision::Continue);
+        assert_eq!(p.decide(&tally(5, 1)), HaltDecision::StopSoon);
+    }
+
+    #[test]
+    fn fail_percent_needs_minimum_sample() {
+        let p = HaltPolicy::fail_percent(50.0, HaltWhen::Soon);
+        // 1 of 2 failed = 50 %, but fewer than 10 completed: no trip.
+        assert_eq!(p.decide(&tally(1, 1)), HaltDecision::Continue);
+        assert_eq!(p.decide(&tally(5, 5)), HaltDecision::StopSoon);
+        assert_eq!(p.decide(&tally(9, 1)), HaltDecision::Continue);
+    }
+
+    #[test]
+    fn success_count_trips() {
+        let p = HaltPolicy::success_count(2, HaltWhen::Now);
+        assert_eq!(p.decide(&tally(1, 5)), HaltDecision::Continue);
+        assert_eq!(p.decide(&tally(2, 5)), HaltDecision::StopNow);
+    }
+
+    #[test]
+    fn success_percent_trips() {
+        let p = HaltPolicy::success_percent(90.0, HaltWhen::Soon);
+        assert_eq!(p.decide(&tally(8, 2)), HaltDecision::Continue);
+        assert_eq!(p.decide(&tally(9, 1)), HaltDecision::StopSoon);
+    }
+
+    #[test]
+    fn tally_ignores_skips() {
+        let mut t = Tally::default();
+        t.record(&JobStatus::Success);
+        t.record(&JobStatus::Failed(1));
+        t.record(&JobStatus::Skipped);
+        assert_eq!(t, tally(1, 1));
+        assert_eq!(t.completed(), 2);
+    }
+}

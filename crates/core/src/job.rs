@@ -1,0 +1,196 @@
+//! Job descriptions and results.
+
+use std::time::{Duration, SystemTime};
+
+use serde::{Deserialize, Serialize};
+
+/// A fully rendered command, ready for an executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandLine {
+    /// 1-based job sequence number (input order).
+    pub seq: u64,
+    /// 1-based slot number the job runs in.
+    pub slot: usize,
+    /// The raw input arguments this job was built from.
+    pub args: Vec<String>,
+    /// Shell-style rendering of the command.
+    rendered: String,
+    /// Word-wise rendering (argv) for no-shell execution.
+    argv: Vec<String>,
+    /// Extra environment for the job (beyond `PARALLEL_SEQ` /
+    /// `PARALLEL_JOBSLOT`, which the runner always sets).
+    pub env: Vec<(String, String)>,
+    /// Data fed to the job's stdin (`--pipe` mode blocks).
+    pub stdin: Option<String>,
+}
+
+impl CommandLine {
+    /// Construct from pre-rendered forms. Library users normally get
+    /// `CommandLine`s from the runner, not by hand.
+    pub fn new(
+        seq: u64,
+        slot: usize,
+        args: Vec<String>,
+        rendered: String,
+        argv: Vec<String>,
+        env: Vec<(String, String)>,
+    ) -> CommandLine {
+        CommandLine {
+            seq,
+            slot,
+            args,
+            rendered,
+            argv,
+            env,
+            stdin: None,
+        }
+    }
+
+    /// Attach stdin data (`--pipe` block) to the command.
+    pub fn with_stdin(mut self, data: String) -> CommandLine {
+        self.stdin = Some(data);
+        self
+    }
+
+    /// The shell-form command string.
+    pub fn rendered(&self) -> &str {
+        &self.rendered
+    }
+
+    /// The argv-form command (template words expanded independently).
+    pub fn argv(&self) -> &[String] {
+        &self.argv
+    }
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Exit code 0.
+    Success,
+    /// Nonzero exit code.
+    Failed(i32),
+    /// Killed by a signal.
+    Signaled(i32),
+    /// Exceeded the configured timeout and was killed.
+    TimedOut,
+    /// The executor could not run the command at all (spawn failure etc.).
+    ExecError(String),
+    /// Not executed: filtered out by `--resume`/`--resume-failed`, or
+    /// cancelled by a halt policy before dispatch.
+    Skipped,
+}
+
+impl JobStatus {
+    /// Whether this counts as success for halt/retry/summary purposes.
+    /// `Skipped` is neither success nor failure.
+    pub fn is_success(&self) -> bool {
+        matches!(self, JobStatus::Success)
+    }
+
+    /// Whether this counts as a failure.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Failed(_) | JobStatus::Signaled(_) | JobStatus::TimedOut | JobStatus::ExecError(_)
+        )
+    }
+
+    /// GNU-joblog-style exit value: 0 success, exit code, -1 for exec
+    /// errors/timeouts, -2 for skipped.
+    pub fn exitval(&self) -> i32 {
+        match self {
+            JobStatus::Success => 0,
+            JobStatus::Failed(code) => *code,
+            JobStatus::Signaled(_) => -1,
+            JobStatus::TimedOut => -1,
+            JobStatus::ExecError(_) => -1,
+            JobStatus::Skipped => -2,
+        }
+    }
+
+    /// Signal number for the joblog (0 when not signaled).
+    pub fn signal(&self) -> i32 {
+        match self {
+            JobStatus::Signaled(sig) => *sig,
+            _ => 0,
+        }
+    }
+}
+
+/// The complete record of one executed (or skipped) job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub seq: u64,
+    pub slot: usize,
+    pub args: Vec<String>,
+    /// Shell rendering of what ran.
+    pub command: String,
+    pub status: JobStatus,
+    pub stdout: String,
+    pub stderr: String,
+    /// Wall-clock start (absolute, for joblogs).
+    pub started_at: SystemTime,
+    /// Job runtime (final attempt).
+    pub runtime: Duration,
+    /// Retries consumed before the final status (0 = first try).
+    pub tries: u32,
+}
+
+impl JobResult {
+    /// A skipped-job record (resume, halt).
+    pub fn skipped(seq: u64, args: Vec<String>, command: String) -> JobResult {
+        JobResult {
+            seq,
+            slot: 0,
+            args,
+            command,
+            status: JobStatus::Skipped,
+            stdout: String::new(),
+            stderr: String::new(),
+            started_at: SystemTime::UNIX_EPOCH,
+            runtime: Duration::ZERO,
+            tries: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classification() {
+        assert!(JobStatus::Success.is_success());
+        assert!(!JobStatus::Success.is_failure());
+        assert!(JobStatus::Failed(2).is_failure());
+        assert!(JobStatus::Signaled(9).is_failure());
+        assert!(JobStatus::TimedOut.is_failure());
+        assert!(JobStatus::ExecError("enoent".into()).is_failure());
+        assert!(!JobStatus::Skipped.is_failure());
+        assert!(!JobStatus::Skipped.is_success());
+    }
+
+    #[test]
+    fn exitval_mapping() {
+        assert_eq!(JobStatus::Success.exitval(), 0);
+        assert_eq!(JobStatus::Failed(3).exitval(), 3);
+        assert_eq!(JobStatus::Signaled(9).exitval(), -1);
+        assert_eq!(JobStatus::TimedOut.exitval(), -1);
+        assert_eq!(JobStatus::Skipped.exitval(), -2);
+    }
+
+    #[test]
+    fn signal_mapping() {
+        assert_eq!(JobStatus::Signaled(15).signal(), 15);
+        assert_eq!(JobStatus::Failed(1).signal(), 0);
+    }
+
+    #[test]
+    fn skipped_record_shape() {
+        let r = JobResult::skipped(4, vec!["a".into()], "echo a".into());
+        assert_eq!(r.seq, 4);
+        assert_eq!(r.status, JobStatus::Skipped);
+        assert_eq!(r.runtime, Duration::ZERO);
+    }
+}

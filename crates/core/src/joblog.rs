@@ -1,0 +1,328 @@
+//! `--joblog` files and `--resume` semantics.
+//!
+//! The format matches GNU Parallel's joblog: a tab-separated header line
+//! followed by one row per finished job:
+//!
+//! ```text
+//! Seq  Host  Starttime  JobRuntime  Send  Receive  Exitval  Signal  Command
+//! ```
+//!
+//! `Send`/`Receive` are byte counts of the job's stdin/stdout (we always
+//! send 0 and receive `stdout.len()`).
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::time::{Duration, UNIX_EPOCH};
+
+use crate::error::{Error, Result};
+use crate::job::JobResult;
+
+/// Column header, identical to GNU Parallel's.
+pub const HEADER: &str = "Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand";
+
+/// One parsed joblog row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    pub seq: u64,
+    pub host: String,
+    pub start: f64,
+    pub runtime: f64,
+    pub send: u64,
+    pub receive: u64,
+    pub exitval: i32,
+    pub signal: i32,
+    pub command: String,
+}
+
+impl LogEntry {
+    /// Build an entry from a finished job.
+    pub fn from_result(result: &JobResult, host: &str) -> LogEntry {
+        let start = result
+            .started_at
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64();
+        LogEntry {
+            seq: result.seq,
+            host: host.to_string(),
+            start,
+            runtime: result.runtime.as_secs_f64(),
+            send: 0,
+            receive: result.stdout.len() as u64,
+            exitval: result.status.exitval(),
+            signal: result.status.signal(),
+            command: result.command.clone(),
+        }
+    }
+
+    /// Serialize as a joblog row. Newlines/tabs in the command are escaped
+    /// so the file stays line-oriented.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\t{}",
+            self.seq,
+            self.host,
+            self.start,
+            self.runtime,
+            self.send,
+            self.receive,
+            self.exitval,
+            self.signal,
+            escape(&self.command)
+        )
+    }
+
+    /// Parse one row. `line_no` only feeds error messages.
+    pub fn parse(line: &str, line_no: usize) -> Result<LogEntry> {
+        let mut cols = line.splitn(9, '\t');
+        let mut next = |name: &str| {
+            cols.next().ok_or_else(|| Error::JobLogParse {
+                line: line_no,
+                reason: format!("missing column {name}"),
+            })
+        };
+        let parse_err = |name: &str| Error::JobLogParse {
+            line: line_no,
+            reason: format!("bad {name}"),
+        };
+        let seq = next("Seq")?.parse().map_err(|_| parse_err("Seq"))?;
+        let host = next("Host")?.to_string();
+        let start = next("Starttime")?.parse().map_err(|_| parse_err("Starttime"))?;
+        let runtime = next("JobRuntime")?.parse().map_err(|_| parse_err("JobRuntime"))?;
+        let send = next("Send")?.parse().map_err(|_| parse_err("Send"))?;
+        let receive = next("Receive")?.parse().map_err(|_| parse_err("Receive"))?;
+        let exitval = next("Exitval")?.parse().map_err(|_| parse_err("Exitval"))?;
+        let signal = next("Signal")?.parse().map_err(|_| parse_err("Signal"))?;
+        let command = unescape(next("Command")?);
+        Ok(LogEntry {
+            seq,
+            host,
+            start,
+            runtime,
+            send,
+            receive,
+            exitval,
+            signal,
+            command,
+        })
+    }
+
+    /// Whether this row records a success.
+    pub fn succeeded(&self) -> bool {
+        self.exitval == 0 && self.signal == 0
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// An append-mode joblog writer.
+pub struct JobLogWriter {
+    file: File,
+    host: String,
+}
+
+impl JobLogWriter {
+    /// Open (creating or appending). A header is written only when the
+    /// file is empty so that resumed runs keep a single header.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<JobLogWriter> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(Error::JobLog)?;
+        let empty = file.metadata().map_err(Error::JobLog)?.len() == 0;
+        let mut writer = JobLogWriter {
+            file,
+            host: hostname(),
+        };
+        if empty {
+            writer.write_line(HEADER)?;
+        }
+        Ok(writer)
+    }
+
+    /// Append one finished job.
+    pub fn record(&mut self, result: &JobResult) -> Result<()> {
+        let entry = LogEntry::from_result(result, &self.host);
+        self.write_line(&entry.to_line())
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<()> {
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.write_all(b"\n"))
+            .map_err(Error::JobLog)
+    }
+}
+
+/// Best-effort local hostname (joblogs are informational).
+fn hostname() -> String {
+    std::env::var("HOSTNAME").unwrap_or_else(|_| "localhost".to_string())
+}
+
+/// Parse a whole joblog. Unparseable files error; an absent file yields an
+/// empty list (a fresh `--resume` run starts from nothing).
+pub fn read_log<P: AsRef<Path>>(path: P) -> Result<Vec<LogEntry>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(Error::JobLog(e)),
+    };
+    let mut entries = Vec::new();
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(Error::JobLog)?;
+        if idx == 0 && line.starts_with("Seq\t") {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        entries.push(LogEntry::parse(&line, idx + 1)?);
+    }
+    Ok(entries)
+}
+
+/// Sequence numbers recorded at all (for `--resume`).
+pub fn completed_seqs(entries: &[LogEntry]) -> HashSet<u64> {
+    entries.iter().map(|e| e.seq).collect()
+}
+
+/// Sequence numbers recorded as successful (for `--resume-failed`). A seq
+/// that appears multiple times counts as successful if *any* attempt
+/// succeeded.
+pub fn successful_seqs(entries: &[LogEntry]) -> HashSet<u64> {
+    entries
+        .iter()
+        .filter(|e| e.succeeded())
+        .map(|e| e.seq)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobStatus;
+    use std::time::Duration;
+
+    fn result(seq: u64, status: JobStatus) -> JobResult {
+        JobResult {
+            seq,
+            slot: 1,
+            args: vec![format!("a{seq}")],
+            command: format!("echo a{seq}"),
+            status,
+            stdout: "out\n".into(),
+            stderr: String::new(),
+            started_at: UNIX_EPOCH + Duration::from_secs(1_700_000_000),
+            runtime: Duration::from_millis(1234),
+            tries: 0,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let entry = LogEntry::from_result(&result(7, JobStatus::Failed(2)), "nid001");
+        let parsed = LogEntry::parse(&entry.to_line(), 1).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn commands_with_tabs_and_newlines_round_trip() {
+        let mut r = result(1, JobStatus::Success);
+        r.command = "echo\t'a\nb' \\ weird".into();
+        let entry = LogEntry::from_result(&r, "h");
+        let line = entry.to_line();
+        assert!(!line.contains('\n'));
+        let parsed = LogEntry::parse(&line, 1).unwrap();
+        assert_eq!(parsed.command, r.command);
+    }
+
+    #[test]
+    fn writer_then_reader() {
+        let dir = std::env::temp_dir().join(format!("htpar-joblog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.tsv");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JobLogWriter::open(&path).unwrap();
+            w.record(&result(1, JobStatus::Success)).unwrap();
+            w.record(&result(2, JobStatus::Failed(1))).unwrap();
+        }
+        // Re-open appends without duplicating the header.
+        {
+            let mut w = JobLogWriter::open(&path).unwrap();
+            w.record(&result(3, JobStatus::Success)).unwrap();
+        }
+        let entries = read_log(&path).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].seq, 1);
+        assert!(entries[0].succeeded());
+        assert!(!entries[1].succeeded());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.matches("Seq\t").count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let entries = read_log("/definitely/not/here.tsv").unwrap();
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn malformed_line_errors_with_position() {
+        let err = LogEntry::parse("not a joblog line", 5).unwrap_err();
+        match err {
+            Error::JobLogParse { line, .. } => assert_eq!(line, 5),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_sets() {
+        let entries = vec![
+            LogEntry::from_result(&result(1, JobStatus::Success), "h"),
+            LogEntry::from_result(&result(2, JobStatus::Failed(1)), "h"),
+            LogEntry::from_result(&result(2, JobStatus::Success), "h"), // retry succeeded
+            LogEntry::from_result(&result(3, JobStatus::Signaled(9)), "h"),
+        ];
+        let completed = completed_seqs(&entries);
+        assert_eq!(completed, [1, 2, 3].into_iter().collect());
+        let ok = successful_seqs(&entries);
+        assert_eq!(ok, [1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn signaled_jobs_are_not_successes() {
+        let entry = LogEntry::from_result(&result(1, JobStatus::Signaled(9)), "h");
+        assert!(!entry.succeeded());
+        assert_eq!(entry.exitval, -1);
+        assert_eq!(entry.signal, 9);
+    }
+}

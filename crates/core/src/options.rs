@@ -1,0 +1,172 @@
+//! Engine options, mirroring the GNU Parallel flags the paper exercises.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::error::{Error, Result};
+use crate::halt::HaltPolicy;
+
+/// What `--resume`-family flag is in effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeMode {
+    /// Run everything (default).
+    #[default]
+    Off,
+    /// `--resume`: skip sequence numbers already present in the joblog
+    /// (whether they succeeded or failed).
+    Resume,
+    /// `--resume-failed`: skip only sequence numbers that *succeeded*;
+    /// re-run failures.
+    ResumeFailed,
+}
+
+/// How multiple arguments are packed into one command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// One job per argument tuple (default).
+    #[default]
+    Single,
+    /// `-m`/`--xargs`: insert as many arguments as fit where `{}` is,
+    /// space-separated.
+    Xargs,
+    /// `-X`/`--context-replace`: repeat the word containing `{}` once per
+    /// argument (the rsync idiom of paper §IV-E).
+    ContextReplace,
+}
+
+/// Options controlling a parallel run. Field names follow the GNU flags.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// `-j N`: number of job slots.
+    pub jobs: usize,
+    /// `-k`/`--keep-order`: emit results in input order.
+    pub keep_order: bool,
+    /// `--tag`: prefix output lines with the argument(s).
+    pub tag: bool,
+    /// `--dry-run`: render commands but do not execute.
+    pub dry_run: bool,
+    /// `--retries N`: re-run failing jobs up to N extra times.
+    pub retries: u32,
+    /// `--retry-delay D`: wait before each retry, doubling per attempt
+    /// (exponential backoff). `None` retries immediately.
+    pub retry_delay: Option<Duration>,
+    /// `--timeout`: kill jobs that run longer than this.
+    pub timeout: Option<Duration>,
+    /// `--delay`: minimum spacing between job *launches* (global).
+    pub delay: Option<Duration>,
+    /// `--halt` policy.
+    pub halt: HaltPolicy,
+    /// `--joblog FILE`.
+    pub joblog: Option<PathBuf>,
+    /// `--resume` / `--resume-failed`.
+    pub resume: ResumeMode,
+    /// Run through a shell (`sh -c`). When false, the argv rendering is
+    /// executed directly — faster and immune to quoting issues, the
+    /// equivalent of how this engine's in-simulator executors work.
+    pub shell: bool,
+    /// `-m` / `-X` batching.
+    pub batch: BatchMode,
+    /// `-s N`/`--max-chars`: command-length budget used by batching.
+    pub max_chars: usize,
+    /// `-n N`/`--max-args`: cap on arguments per batch.
+    pub max_args: Option<usize>,
+    /// `--results DIR`: write each job's stdout/stderr under
+    /// `DIR/<seq>/`.
+    pub results_dir: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            // GNU defaults to one job per CPU core; a library cannot assume
+            // that silently, so default to the std hint with a floor of 1.
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            keep_order: false,
+            tag: false,
+            dry_run: false,
+            retries: 0,
+            retry_delay: None,
+            timeout: None,
+            delay: None,
+            halt: HaltPolicy::never(),
+            joblog: None,
+            resume: ResumeMode::Off,
+            shell: true,
+            batch: BatchMode::Single,
+            // GNU's default line-length budget is the OS limit; 128 KiB is
+            // the common Linux single-argument ceiling and a safe default.
+            max_chars: 128 * 1024,
+            max_args: None,
+            results_dir: None,
+        }
+    }
+}
+
+impl Options {
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.jobs == 0 {
+            return Err(Error::Options("jobs must be >= 1".into()));
+        }
+        if self.max_chars == 0 {
+            return Err(Error::Options("max_chars must be >= 1".into()));
+        }
+        if self.max_args == Some(0) {
+            return Err(Error::Options("max_args must be >= 1 when set".into()));
+        }
+        if self.resume != ResumeMode::Off && self.joblog.is_none() {
+            return Err(Error::Options(
+                "--resume/--resume-failed require a joblog".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(Options::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_jobs_rejected() {
+        let opts = Options {
+            jobs: 0,
+            ..Options::default()
+        };
+        assert!(opts.validate().is_err());
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let opts = Options {
+            max_chars: 0,
+            ..Options::default()
+        };
+        assert!(opts.validate().is_err());
+        let opts = Options {
+            max_args: Some(0),
+            ..Options::default()
+        };
+        assert!(opts.validate().is_err());
+    }
+
+    #[test]
+    fn resume_requires_joblog() {
+        let opts = Options {
+            resume: ResumeMode::Resume,
+            ..Options::default()
+        };
+        assert!(opts.validate().is_err());
+        let opts = Options {
+            resume: ResumeMode::ResumeFailed,
+            joblog: Some(PathBuf::from("/tmp/log")),
+            ..Options::default()
+        };
+        assert!(opts.validate().is_ok());
+    }
+}

@@ -1,0 +1,131 @@
+//! `--pipe` mode: split a byte stream into blocks at record boundaries
+//! and feed each block to one job's stdin.
+//!
+//! GNU Parallel's `--pipe` turns `cat bigfile | parallel --pipe --block
+//! 10M wc -l` into a map over ~10 MB line-aligned chunks. The splitting
+//! rules implemented here:
+//!
+//! - a block ends at the first record separator at or after `block_size`
+//!   bytes;
+//! - a record (line) longer than `block_size` is never split — it ships
+//!   as an oversized block;
+//! - the final partial block ships as-is.
+
+use std::io::{BufRead, Read};
+
+use crate::error::Result;
+
+/// Split `reader` into line-aligned blocks of at least `block_size`
+/// bytes (except the last).
+pub fn split_blocks<R: Read>(reader: R, block_size: usize) -> Result<Vec<String>> {
+    split_blocks_sep(reader, block_size, b'\n')
+}
+
+/// Split with a custom single-byte record separator (GNU's `--recend`).
+pub fn split_blocks_sep<R: Read>(reader: R, block_size: usize, sep: u8) -> Result<Vec<String>> {
+    let block_size = block_size.max(1);
+    let mut reader = std::io::BufReader::new(reader);
+    let mut blocks = Vec::new();
+    let mut current: Vec<u8> = Vec::with_capacity(block_size + 256);
+    let mut record: Vec<u8> = Vec::new();
+    loop {
+        record.clear();
+        let n = reader.read_until(sep, &mut record)?;
+        if n == 0 {
+            break;
+        }
+        current.extend_from_slice(&record);
+        if current.len() >= block_size {
+            blocks.push(String::from_utf8_lossy(&current).into_owned());
+            current.clear();
+        }
+    }
+    if !current.is_empty() {
+        blocks.push(String::from_utf8_lossy(&current).into_owned());
+    }
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concatenation_is_lossless() {
+        let input = "a\nbb\nccc\ndddd\neeeee\n";
+        let blocks = split_blocks(input.as_bytes(), 5).unwrap();
+        assert_eq!(blocks.concat(), input);
+        assert!(blocks.len() > 1);
+    }
+
+    #[test]
+    fn blocks_end_on_line_boundaries() {
+        let input = "one\ntwo\nthree\nfour\n";
+        let blocks = split_blocks(input.as_bytes(), 6).unwrap();
+        for b in &blocks {
+            assert!(b.ends_with('\n'), "block {b:?} line-aligned");
+        }
+        assert_eq!(blocks, vec!["one\ntwo\n", "three\n", "four\n"]);
+    }
+
+    #[test]
+    fn oversized_record_is_not_split() {
+        let input = "short\nthis-is-a-very-long-single-record\nend\n";
+        let blocks = split_blocks(input.as_bytes(), 10).unwrap();
+        assert!(blocks
+            .iter()
+            .any(|b| b.contains("this-is-a-very-long-single-record\n")));
+        for b in &blocks {
+            // No record was cut in half.
+            assert!(b.ends_with('\n'));
+        }
+    }
+
+    #[test]
+    fn trailing_partial_line_survives() {
+        let input = "complete\nincomplete-without-newline";
+        let blocks = split_blocks(input.as_bytes(), 4).unwrap();
+        assert_eq!(blocks.concat(), input);
+        assert!(blocks.last().unwrap().ends_with("incomplete-without-newline"));
+    }
+
+    #[test]
+    fn empty_input_no_blocks() {
+        let blocks = split_blocks(&b""[..], 10).unwrap();
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn custom_separator() {
+        let input = "a\0bb\0ccc\0";
+        let blocks = split_blocks_sep(input.as_bytes(), 3, 0).unwrap();
+        assert_eq!(blocks.concat(), input);
+        assert_eq!(blocks, vec!["a\0bb\0", "ccc\0"]);
+    }
+
+    #[test]
+    fn zero_block_size_clamps_to_one_record_per_block() {
+        let blocks = split_blocks(&b"a\nb\nc\n"[..], 0).unwrap();
+        assert_eq!(blocks, vec!["a\n", "b\n", "c\n"]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn lossless_for_any_text(
+                lines in proptest::collection::vec("[a-z]{0,20}", 0..50),
+                block in 1usize..64,
+            ) {
+                let input = lines.iter().map(|l| format!("{l}\n")).collect::<String>();
+                let blocks = split_blocks(input.as_bytes(), block).unwrap();
+                prop_assert_eq!(blocks.concat(), input.clone());
+                for b in &blocks {
+                    prop_assert!(b.ends_with('\n') || !input.ends_with('\n'));
+                }
+            }
+        }
+    }
+}

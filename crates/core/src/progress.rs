@@ -1,0 +1,217 @@
+//! `--progress` / `--eta`: live run accounting.
+//!
+//! A [`Progress`] is fed from the engine's `on_result` callback and can
+//! be snapshotted from any thread — the renderer is decoupled from the
+//! run. ETA is the standard completed-rate extrapolation GNU's `--eta`
+//! prints.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::job::{JobResult, JobStatus};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Counts {
+    succeeded: u64,
+    failed: u64,
+    skipped: u64,
+}
+
+/// Live counters for a run.
+pub struct Progress {
+    total: Option<u64>,
+    started: Instant,
+    counts: Mutex<Counts>,
+}
+
+/// A point-in-time view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSnapshot {
+    pub total: Option<u64>,
+    pub completed: u64,
+    pub succeeded: u64,
+    pub failed: u64,
+    pub skipped: u64,
+    pub elapsed: Duration,
+    /// Completions per second so far.
+    pub rate: f64,
+    /// Estimated time remaining (needs a known total and some progress).
+    pub eta: Option<Duration>,
+}
+
+impl Progress {
+    /// A tracker for a run of known size.
+    pub fn with_total(total: u64) -> Progress {
+        Progress {
+            total: Some(total),
+            started: Instant::now(),
+            counts: Mutex::new(Counts::default()),
+        }
+    }
+
+    /// A tracker for a streaming run (no ETA available).
+    pub fn streaming() -> Progress {
+        Progress {
+            total: None,
+            started: Instant::now(),
+            counts: Mutex::new(Counts::default()),
+        }
+    }
+
+    /// Record one finished job (wire into `Parallel::on_result`).
+    pub fn record(&self, result: &JobResult) {
+        let mut counts = self.counts.lock();
+        match &result.status {
+            JobStatus::Skipped => counts.skipped += 1,
+            s if s.is_success() => counts.succeeded += 1,
+            _ => counts.failed += 1,
+        }
+    }
+
+    /// Current view.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let counts = *self.counts.lock();
+        let completed = counts.succeeded + counts.failed + counts.skipped;
+        let elapsed = self.started.elapsed();
+        let rate = if elapsed.as_secs_f64() > 0.0 {
+            completed as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        let eta = match (self.total, rate > 0.0) {
+            (Some(total), true) if completed > 0 && total > completed => {
+                Some(Duration::from_secs_f64(
+                    (total - completed) as f64 / rate,
+                ))
+            }
+            (Some(total), _) if completed >= total => Some(Duration::ZERO),
+            _ => None,
+        };
+        ProgressSnapshot {
+            total: self.total,
+            completed,
+            succeeded: counts.succeeded,
+            failed: counts.failed,
+            skipped: counts.skipped,
+            elapsed,
+            rate,
+            eta,
+        }
+    }
+}
+
+impl ProgressSnapshot {
+    /// Render a one-line status like GNU's `--progress`.
+    pub fn render(&self) -> String {
+        let total = match self.total {
+            Some(t) => format!("/{t}"),
+            None => String::new(),
+        };
+        let eta = match self.eta {
+            Some(d) => format!(", ETA {:.0}s", d.as_secs_f64()),
+            None => String::new(),
+        };
+        format!(
+            "{}{} done ({} ok, {} failed, {} skipped), {:.1} jobs/s{}",
+            self.completed, total, self.succeeded, self.failed, self.skipped, self.rate, eta
+        )
+    }
+
+    /// Completion fraction in `[0, 1]` when the total is known.
+    pub fn fraction(&self) -> Option<f64> {
+        self.total.map(|t| {
+            if t == 0 {
+                1.0
+            } else {
+                (self.completed as f64 / t as f64).min(1.0)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::FnExecutor;
+    use crate::prelude::Parallel;
+    use std::sync::Arc;
+
+    fn result(status: JobStatus) -> JobResult {
+        let mut r = JobResult::skipped(1, vec![], String::new());
+        r.status = status;
+        r
+    }
+
+    #[test]
+    fn counts_by_status() {
+        let p = Progress::with_total(10);
+        p.record(&result(JobStatus::Success));
+        p.record(&result(JobStatus::Success));
+        p.record(&result(JobStatus::Failed(1)));
+        p.record(&result(JobStatus::Skipped));
+        let s = p.snapshot();
+        assert_eq!((s.succeeded, s.failed, s.skipped, s.completed), (2, 1, 1, 4));
+        assert_eq!(s.fraction(), Some(0.4));
+    }
+
+    #[test]
+    fn eta_appears_with_progress_and_total() {
+        let p = Progress::with_total(100);
+        assert_eq!(p.snapshot().eta, None, "no progress yet");
+        std::thread::sleep(Duration::from_millis(10));
+        for _ in 0..50 {
+            p.record(&result(JobStatus::Success));
+        }
+        let s = p.snapshot();
+        let eta = s.eta.expect("eta with half done");
+        // Half done: ETA ≈ elapsed.
+        let ratio = eta.as_secs_f64() / s.elapsed.as_secs_f64();
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn eta_zero_when_finished() {
+        let p = Progress::with_total(2);
+        p.record(&result(JobStatus::Success));
+        p.record(&result(JobStatus::Success));
+        assert_eq!(p.snapshot().eta, Some(Duration::ZERO));
+        assert_eq!(p.snapshot().fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn streaming_has_no_eta() {
+        let p = Progress::streaming();
+        p.record(&result(JobStatus::Success));
+        let s = p.snapshot();
+        assert_eq!(s.eta, None);
+        assert_eq!(s.fraction(), None);
+        assert_eq!(s.total, None);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let p = Progress::with_total(3);
+        p.record(&result(JobStatus::Success));
+        p.record(&result(JobStatus::Failed(2)));
+        let line = p.snapshot().render();
+        assert!(line.starts_with("2/3 done (1 ok, 1 failed, 0 skipped)"), "{line}");
+    }
+
+    #[test]
+    fn wires_into_on_result() {
+        let progress = Arc::new(Progress::with_total(5));
+        let p2 = Arc::clone(&progress);
+        Parallel::new("t {}")
+            .jobs(2)
+            .executor(FnExecutor::noop())
+            .on_result(move |r| p2.record(r))
+            .args((0..5).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        let s = progress.snapshot();
+        assert_eq!(s.completed, 5);
+        assert_eq!(s.succeeded, 5);
+        assert!(s.rate > 0.0);
+    }
+}

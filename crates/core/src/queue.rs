@@ -1,0 +1,258 @@
+//! Streaming input queues — the `tail -n+0 -f q.proc | parallel` idiom.
+//!
+//! Paper §IV-A wires two workflow stages together through a queue file:
+//! the fetch stage appends a timestamp per completed batch, and the
+//! process stage follows the file with `tail -f` piped into `parallel`,
+//! so processing starts the moment data lands. [`FollowQueue`] is that
+//! mechanism as a type: a blocking line stream fed either by an in-process
+//! producer handle or by following a growing file on disk.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// Producer side of an in-process queue.
+#[derive(Clone)]
+pub struct QueueWriter {
+    tx: Sender<String>,
+}
+
+impl QueueWriter {
+    /// Append one work item. Returns `false` if the consumer is gone.
+    pub fn push<S: Into<String>>(&self, item: S) -> bool {
+        self.tx.send(item.into()).is_ok()
+    }
+}
+
+/// A blocking stream of input lines that may still be growing.
+///
+/// Iteration yields items as they arrive and ends when the producer closes
+/// (all [`QueueWriter`] clones dropped, or [`FollowQueue::stop`] called on
+/// a file follower).
+pub struct FollowQueue {
+    rx: Receiver<String>,
+    stop: Arc<AtomicBool>,
+}
+
+impl FollowQueue {
+    /// An in-process queue. Drop (all clones of) the writer to close it.
+    pub fn channel() -> (QueueWriter, FollowQueue) {
+        let (tx, rx) = unbounded();
+        (
+            QueueWriter { tx },
+            FollowQueue {
+                rx,
+                stop: Arc::new(AtomicBool::new(false)),
+            },
+        )
+    }
+
+    /// Follow a file like `tail -n+0 -f`: existing lines are delivered
+    /// first, then the file is polled for growth every `poll`. The stream
+    /// stays open until [`FollowQueue::stop`]; a partially written last
+    /// line (no trailing newline yet) is held back until its newline
+    /// arrives.
+    pub fn tail_file<P: Into<PathBuf>>(path: P, poll: Duration) -> FollowQueue {
+        let path = path.into();
+        let (tx, rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        std::thread::spawn(move || follow_loop(path, poll, tx, stop2));
+        FollowQueue { rx, stop }
+    }
+
+    /// Ask a file follower to finish after its next poll. In-process
+    /// queues close by dropping their writers instead, but `stop` works
+    /// there too (takes effect once the channel drains).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// A handle that can stop this queue from another thread.
+    pub fn stopper(&self) -> QueueStopper {
+        QueueStopper {
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Non-blocking poll for the next item.
+    pub fn try_next(&self) -> Option<String> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocking next with stop-awareness.
+    pub fn next_item(&self) -> Option<String> {
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(item) => return Some(item),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.stop.load(Ordering::Relaxed) {
+                        // Drain anything that raced in.
+                        return self.rx.try_recv().ok();
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+}
+
+impl Iterator for FollowQueue {
+    type Item = String;
+    fn next(&mut self) -> Option<String> {
+        self.next_item()
+    }
+}
+
+/// Stop handle for a [`FollowQueue`].
+#[derive(Clone)]
+pub struct QueueStopper {
+    stop: Arc<AtomicBool>,
+}
+
+impl QueueStopper {
+    /// Signal the queue to finish.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+fn follow_loop(path: PathBuf, poll: Duration, tx: Sender<String>, stop: Arc<AtomicBool>) {
+    let mut offset: u64 = 0;
+    let mut partial = String::new();
+    loop {
+        if let Ok(mut file) = File::open(&path) {
+            if file.seek(SeekFrom::Start(offset)).is_ok() {
+                let mut reader = BufReader::new(&mut file);
+                let mut chunk = String::new();
+                loop {
+                    chunk.clear();
+                    match reader.read_line(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            offset += n as u64;
+                            if chunk.ends_with('\n') {
+                                partial.push_str(chunk.trim_end_matches('\n'));
+                                if tx.send(std::mem::take(&mut partial)).is_err() {
+                                    return; // consumer gone
+                                }
+                            } else {
+                                // Incomplete final line: keep and retry.
+                                partial.push_str(&chunk);
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn channel_queue_delivers_in_order_and_closes() {
+        let (w, q) = FollowQueue::channel();
+        w.push("a");
+        w.push("b");
+        drop(w);
+        let items: Vec<String> = q.collect();
+        assert_eq!(items, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn channel_queue_clone_writer() {
+        let (w, q) = FollowQueue::channel();
+        let w2 = w.clone();
+        w.push("1");
+        drop(w);
+        w2.push("2");
+        drop(w2);
+        let items: Vec<String> = q.collect();
+        assert_eq!(items, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn push_after_consumer_drop_reports_false() {
+        let (w, q) = FollowQueue::channel();
+        drop(q);
+        assert!(!w.push("x"));
+    }
+
+    #[test]
+    fn try_next_is_nonblocking() {
+        let (w, q) = FollowQueue::channel();
+        assert_eq!(q.try_next(), None);
+        w.push("x");
+        // Crossbeam unbounded send is immediately visible.
+        assert_eq!(q.try_next(), Some("x".to_string()));
+    }
+
+    #[test]
+    fn tail_file_sees_existing_and_appended_lines() {
+        let dir = std::env::temp_dir().join(format!("htpar-q-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.proc");
+        std::fs::write(&path, "t1\nt2\n").unwrap();
+
+        let mut q = FollowQueue::tail_file(&path, Duration::from_millis(5));
+        assert_eq!(q.next(), Some("t1".to_string()));
+        assert_eq!(q.next(), Some("t2".to_string()));
+
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "t3").unwrap();
+        f.flush().unwrap();
+        assert_eq!(q.next(), Some("t3".to_string()));
+
+        q.stop();
+        assert_eq!(q.next(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_file_holds_back_partial_lines() {
+        let dir = std::env::temp_dir().join(format!("htpar-qp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.partial");
+        std::fs::write(&path, "half").unwrap(); // no newline yet
+
+        let mut q = FollowQueue::tail_file(&path, Duration::from_millis(5));
+        assert_eq!(q.try_next(), None);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.try_next(), None, "partial line not delivered");
+
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "-done").unwrap();
+        f.flush().unwrap();
+        assert_eq!(q.next(), Some("half-done".to_string()));
+
+        q.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_file_on_missing_file_waits_for_creation() {
+        let dir = std::env::temp_dir().join(format!("htpar-qm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("later.q");
+        let mut q = FollowQueue::tail_file(&path, Duration::from_millis(5));
+        assert_eq!(q.try_next(), None);
+        std::fs::write(&path, "born\n").unwrap();
+        assert_eq!(q.next(), Some("born".to_string()));
+        q.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,702 @@
+//! The scheduling engine: worker threads pulling jobs from a shared input
+//! stream into numbered slots.
+//!
+//! This is the architecture the paper credits for GNU Parallel's low
+//! overhead: there is no central scheduler making per-task placement
+//! decisions — each of the `-j` slots independently pulls the next input
+//! the moment it frees up, so dispatch cost is O(1) per task and the only
+//! shared state is the input cursor.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime};
+
+use parking_lot::Mutex;
+
+use crate::batch::{expand_context_replace, expand_xargs};
+use crate::error::Result;
+use crate::executor::{ExecContext, Executor};
+use crate::gate::Gate;
+use crate::halt::{HaltDecision, Tally};
+use crate::job::{CommandLine, JobResult, JobStatus};
+use crate::joblog::JobLogWriter;
+use crate::options::{BatchMode, Options};
+use crate::output::ReorderBuffer;
+use crate::stats::RunSummary;
+use crate::template::{ExpandContext, Template};
+
+/// One unit of work entering the engine: a sequence number plus the
+/// argument tuple (or, in batch modes, the argument batch).
+#[derive(Debug, Clone)]
+pub struct JobInput {
+    pub seq: u64,
+    pub args: Vec<String>,
+    /// Stdin block for `--pipe` mode jobs.
+    pub stdin: Option<String>,
+}
+
+impl JobInput {
+    /// A job with arguments only (the common case).
+    pub fn new(seq: u64, args: Vec<String>) -> JobInput {
+        JobInput { seq, args, stdin: None }
+    }
+}
+
+/// Outcome of a full run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Every job the engine saw, in completion order (or input order with
+    /// `keep_order`).
+    pub results: Vec<JobResult>,
+    pub jobs_total: u64,
+    pub succeeded: u64,
+    pub failed: u64,
+    pub skipped: u64,
+    pub wall: Duration,
+    /// Job launches per second of wall time.
+    pub launch_rate: f64,
+    /// Whether a halt policy ended the run early, and how.
+    pub halted: Option<HaltDecision>,
+}
+
+impl RunReport {
+    /// True when every non-skipped job succeeded and nothing failed.
+    pub fn all_succeeded(&self) -> bool {
+        self.failed == 0 && self.succeeded + self.skipped == self.jobs_total
+    }
+
+    /// The failing results.
+    pub fn failures(&self) -> impl Iterator<Item = &JobResult> {
+        self.results.iter().filter(|r| r.status.is_failure())
+    }
+
+    /// Aggregate into a [`RunSummary`].
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            launched: self.jobs_total - self.skipped,
+            succeeded: self.succeeded,
+            failed: self.failed,
+            skipped: self.skipped,
+            wall: self.wall,
+            launch_rate: self.launch_rate,
+            busy: self.results.iter().map(|r| r.runtime).sum(),
+        }
+    }
+}
+
+const RUN: u8 = 0;
+const STOP_SOON: u8 = 1;
+const STOP_NOW: u8 = 2;
+
+/// Callback invoked per finished job.
+pub type ResultCallback = Arc<dyn Fn(&JobResult) + Send + Sync>;
+/// The engine's input stream.
+pub type JobStream = Box<dyn Iterator<Item = JobInput> + Send>;
+
+/// Everything shared between worker threads for one run.
+struct Shared {
+    options: Options,
+    template: Template,
+    executor: Arc<dyn Executor>,
+    input: Mutex<JobStream>,
+    results: Mutex<Vec<JobResult>>,
+    reorder: Mutex<ReorderBuffer>,
+    on_result: Option<ResultCallback>,
+    joblog: Option<Mutex<JobLogWriter>>,
+    skip: HashSet<u64>,
+    gate: Option<Arc<dyn Gate>>,
+    tally: Mutex<Tally>,
+    halt_state: AtomicU8,
+    last_launch: Mutex<Option<Instant>>,
+    launches: Mutex<u64>,
+}
+
+/// The engine. Construct via [`crate::parallel::Parallel`] in normal use;
+/// this lower-level API exists for executors that feed pre-sequenced
+/// [`JobInput`]s (the cluster simulator does).
+pub struct Engine {
+    pub options: Options,
+    pub template: Template,
+    pub executor: Arc<dyn Executor>,
+    pub on_result: Option<ResultCallback>,
+    /// Sequence numbers to skip (from `--resume`/`--resume-failed`).
+    pub skip: HashSet<u64>,
+    /// Launch-admission gate (`--memfree`-style), consulted per launch.
+    pub gate: Option<Arc<dyn Gate>>,
+}
+
+impl Engine {
+    /// Run a finite or streaming sequence of job inputs to completion.
+    pub fn run(self, input: JobStream) -> Result<RunReport> {
+        self.options.validate()?;
+        let started = Instant::now();
+        let jobs = self.options.jobs;
+
+        let joblog = match &self.options.joblog {
+            Some(path) => Some(Mutex::new(JobLogWriter::open(path)?)),
+            None => None,
+        };
+
+        let shared = Arc::new(Shared {
+            options: self.options,
+            template: self.template,
+            executor: self.executor,
+            input: Mutex::new(input),
+            results: Mutex::new(Vec::new()),
+            reorder: Mutex::new(ReorderBuffer::new()),
+            on_result: self.on_result,
+            joblog,
+            skip: self.skip,
+            gate: self.gate,
+            tally: Mutex::new(Tally::default()),
+            halt_state: AtomicU8::new(RUN),
+            last_launch: Mutex::new(None),
+            launches: Mutex::new(0),
+        });
+
+        std::thread::scope(|scope| {
+            for slot in 1..=jobs {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || worker(slot, &shared));
+            }
+        });
+
+        let wall = started.elapsed();
+        let shared = Arc::try_unwrap(shared)
+            .unwrap_or_else(|_| unreachable!("all workers joined by scope"));
+        let mut results = shared.results.into_inner();
+        if shared.options.keep_order {
+            results.sort_by_key(|r| r.seq);
+        }
+        let mut succeeded = 0;
+        let mut failed = 0;
+        let mut skipped = 0;
+        for r in &results {
+            match () {
+                _ if r.status.is_success() => succeeded += 1,
+                _ if r.status.is_failure() => failed += 1,
+                _ => skipped += 1,
+            }
+        }
+        let launches = shared.launches.into_inner();
+        let halted = match shared.halt_state.load(Ordering::SeqCst) {
+            STOP_SOON => Some(HaltDecision::StopSoon),
+            STOP_NOW => Some(HaltDecision::StopNow),
+            _ => None,
+        };
+        Ok(RunReport {
+            jobs_total: results.len() as u64,
+            succeeded,
+            failed,
+            skipped,
+            launch_rate: if wall.as_secs_f64() > 0.0 {
+                launches as f64 / wall.as_secs_f64()
+            } else {
+                0.0
+            },
+            wall,
+            results,
+            halted,
+        })
+    }
+}
+
+fn worker(slot: usize, shared: &Shared) {
+    loop {
+        if shared.halt_state.load(Ordering::SeqCst) != RUN {
+            return;
+        }
+        let next = shared.input.lock().next();
+        let Some(job) = next else { return };
+
+        if shared.skip.contains(&job.seq) {
+            let rendered = render(shared, &job, slot).0;
+            record(shared, JobResult::skipped(job.seq, job.args, rendered));
+            continue;
+        }
+
+        if let Some(gate) = &shared.gate {
+            // Hold the launch until the gate permits, still honoring a
+            // concurrent halt.
+            while !gate.permit() {
+                if shared.halt_state.load(Ordering::SeqCst) != RUN {
+                    record(shared, JobResult::skipped(job.seq, job.args, String::new()));
+                    return;
+                }
+                std::thread::sleep(gate.backoff());
+            }
+        }
+        apply_delay(shared);
+        *shared.launches.lock() += 1;
+
+        let (rendered, argv) = render(shared, &job, slot);
+        let mut cmd = CommandLine::new(job.seq, slot, job.args.clone(), rendered, argv, Vec::new());
+        if let Some(block) = job.stdin.clone() {
+            cmd = cmd.with_stdin(block);
+        }
+
+        if shared.options.dry_run {
+            let result = JobResult {
+                seq: job.seq,
+                slot,
+                args: job.args,
+                command: cmd.rendered().to_string(),
+                status: JobStatus::Success,
+                stdout: format!("{}\n", cmd.rendered()),
+                stderr: String::new(),
+                started_at: SystemTime::now(),
+                runtime: Duration::ZERO,
+                tries: 0,
+            };
+            record(shared, result);
+            continue;
+        }
+
+        let ctx = ExecContext {
+            timeout: shared.options.timeout,
+        };
+        let started_at = SystemTime::now();
+        let attempt_clock = Instant::now();
+        let mut tries = 0u32;
+        let mut out = shared.executor.execute(&cmd, &ctx);
+        while out.status.is_failure() && tries < shared.options.retries {
+            if let Some(base) = shared.options.retry_delay {
+                // Exponential backoff, capped at 2^10 to avoid overflow.
+                let factor = 1u32 << tries.min(10);
+                std::thread::sleep(base * factor);
+            }
+            tries += 1;
+            out = shared.executor.execute(&cmd, &ctx);
+        }
+        let runtime = attempt_clock.elapsed();
+
+        let result = JobResult {
+            seq: job.seq,
+            slot,
+            args: job.args,
+            command: cmd.rendered().to_string(),
+            status: out.status,
+            stdout: out.stdout,
+            stderr: out.stderr,
+            started_at,
+            runtime,
+            tries,
+        };
+
+        if let Some(log) = &shared.joblog {
+            // Joblog write failures must not take down the run; the log is
+            // advisory. GNU Parallel behaves the same way.
+            let _ = log.lock().record(&result);
+        }
+        if let Some(dir) = &shared.options.results_dir {
+            // --results: one directory per sequence number with the job's
+            // streams and exit status; write failures are advisory.
+            let job_dir = dir.join(result.seq.to_string());
+            let _ = std::fs::create_dir_all(&job_dir)
+                .and_then(|_| std::fs::write(job_dir.join("stdout"), &result.stdout))
+                .and_then(|_| std::fs::write(job_dir.join("stderr"), &result.stderr))
+                .and_then(|_| {
+                    std::fs::write(
+                        job_dir.join("exitval"),
+                        format!("{}\n", result.status.exitval()),
+                    )
+                });
+        }
+
+        let decision = {
+            let mut tally = shared.tally.lock();
+            tally.record(&result.status);
+            shared.options.halt.decide(&tally)
+        };
+        match decision {
+            HaltDecision::Continue => {}
+            HaltDecision::StopSoon => {
+                let _ = shared.halt_state.compare_exchange(
+                    RUN,
+                    STOP_SOON,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            }
+            HaltDecision::StopNow => {
+                shared.halt_state.store(STOP_NOW, Ordering::SeqCst);
+            }
+        }
+
+        record(shared, result);
+    }
+}
+
+fn render(shared: &Shared, job: &JobInput, slot: usize) -> (String, Vec<String>) {
+    match shared.options.batch {
+        BatchMode::Single => {
+            let ctx = ExpandContext {
+                args: &job.args,
+                seq: job.seq,
+                slot,
+            };
+            (shared.template.expand(&ctx), shared.template.expand_argv(&ctx))
+        }
+        BatchMode::Xargs => {
+            let rendered = expand_xargs(&shared.template, &job.args, job.seq, slot);
+            let argv = rendered.split_whitespace().map(String::from).collect();
+            (rendered, argv)
+        }
+        BatchMode::ContextReplace => {
+            let rendered = expand_context_replace(&shared.template, &job.args, job.seq, slot);
+            let argv = rendered.split_whitespace().map(String::from).collect();
+            (rendered, argv)
+        }
+    }
+}
+
+fn apply_delay(shared: &Shared) {
+    let Some(delay) = shared.options.delay else {
+        return;
+    };
+    // Serialize launches: hold the lock while waiting out the gap so
+    // launches are spaced at least `delay` apart globally.
+    let mut last = shared.last_launch.lock();
+    if let Some(prev) = *last {
+        let since = prev.elapsed();
+        if since < delay {
+            std::thread::sleep(delay - since);
+        }
+    }
+    *last = Some(Instant::now());
+}
+
+fn record(shared: &Shared, result: JobResult) {
+    if let Some(cb) = &shared.on_result {
+        if shared.options.keep_order {
+            let ready = shared.reorder.lock().push(result.clone());
+            for r in &ready {
+                cb(r);
+            }
+        } else {
+            cb(&result);
+        }
+    }
+    shared.results.lock().push(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{FnExecutor, TaskOutput};
+    use crate::halt::{HaltPolicy, HaltWhen};
+    use std::sync::atomic::AtomicUsize;
+
+    fn inputs(n: u64) -> Box<dyn Iterator<Item = JobInput> + Send> {
+        Box::new((1..=n).map(|seq| JobInput::new(seq, vec![format!("a{seq}")])))
+    }
+
+    fn engine(options: Options, exec: FnExecutor) -> Engine {
+        Engine {
+            options,
+            template: Template::parse("cmd {}").unwrap(),
+            executor: Arc::new(exec),
+            on_result: None,
+            skip: HashSet::new(),
+            gate: None,
+        }
+    }
+
+    #[test]
+    fn runs_everything_once() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let exec = FnExecutor::new(move |cmd| {
+            seen2.lock().push(cmd.rendered().to_string());
+            Ok(TaskOutput::success())
+        });
+        let report = engine(
+            Options {
+                jobs: 4,
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(20))
+        .unwrap();
+        assert_eq!(report.jobs_total, 20);
+        assert_eq!(report.succeeded, 20);
+        assert!(report.all_succeeded());
+        let mut cmds = seen.lock().clone();
+        cmds.sort();
+        assert_eq!(cmds.len(), 20);
+        cmds.dedup();
+        assert_eq!(cmds.len(), 20, "no duplicates");
+    }
+
+    #[test]
+    fn keep_order_sorts_results() {
+        let exec = FnExecutor::new(|cmd| {
+            // Later jobs finish faster.
+            let d = 30u64.saturating_sub(cmd.seq * 3);
+            std::thread::sleep(Duration::from_millis(d));
+            Ok(TaskOutput::success())
+        });
+        let report = engine(
+            Options {
+                jobs: 8,
+                keep_order: true,
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(8))
+        .unwrap();
+        let seqs: Vec<u64> = report.results.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrency_capped_by_jobs() {
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&running);
+        let p2 = Arc::clone(&peak);
+        let exec = FnExecutor::new(move |_| {
+            let now = r2.fetch_add(1, Ordering::SeqCst) + 1;
+            p2.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(5));
+            r2.fetch_sub(1, Ordering::SeqCst);
+            Ok(TaskOutput::success())
+        });
+        let report = engine(
+            Options {
+                jobs: 3,
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(12))
+        .unwrap();
+        assert_eq!(report.succeeded, 12);
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn slots_stay_in_range_and_unique_concurrently() {
+        let exec = FnExecutor::new(|_| {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(TaskOutput::success())
+        });
+        let report = engine(
+            Options {
+                jobs: 4,
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(40))
+        .unwrap();
+        for r in &report.results {
+            assert!(r.slot >= 1 && r.slot <= 4, "slot {} out of range", r.slot);
+        }
+        // All four slots got used with 40 jobs.
+        let used: HashSet<usize> = report.results.iter().map(|r| r.slot).collect();
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn retries_rerun_failures() {
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&attempts);
+        let exec = FnExecutor::new(move |_| {
+            let n = a2.fetch_add(1, Ordering::SeqCst);
+            if n < 2 {
+                Ok(TaskOutput::failed(1, "flaky"))
+            } else {
+                Ok(TaskOutput::success())
+            }
+        });
+        let report = engine(
+            Options {
+                jobs: 1,
+                retries: 3,
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(1))
+        .unwrap();
+        assert_eq!(report.succeeded, 1);
+        assert_eq!(report.results[0].tries, 2);
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_delay_backs_off_exponentially() {
+        let exec = FnExecutor::new(|_| Ok(TaskOutput::failed(1, "always")));
+        let started = Instant::now();
+        let report = engine(
+            Options {
+                jobs: 1,
+                retries: 3,
+                retry_delay: Some(Duration::from_millis(10)),
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(1))
+        .unwrap();
+        assert_eq!(report.failed, 1);
+        // Backoffs: 10 + 20 + 40 = 70 ms minimum.
+        assert!(started.elapsed() >= Duration::from_millis(70));
+    }
+
+    #[test]
+    fn retries_exhaust_to_failure() {
+        let exec = FnExecutor::new(|_| Ok(TaskOutput::failed(7, "always")));
+        let report = engine(
+            Options {
+                jobs: 1,
+                retries: 2,
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(1))
+        .unwrap();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.results[0].status, JobStatus::Failed(7));
+        assert_eq!(report.results[0].tries, 2);
+    }
+
+    #[test]
+    fn halt_soon_stops_dispatch() {
+        let exec = FnExecutor::new(|_| Ok(TaskOutput::failed(1, "bad")));
+        let report = engine(
+            Options {
+                jobs: 1,
+                halt: HaltPolicy::fail_count(2, HaltWhen::Soon),
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(100))
+        .unwrap();
+        assert_eq!(report.halted, Some(HaltDecision::StopSoon));
+        assert!(report.jobs_total < 100, "stopped early: {}", report.jobs_total);
+        assert!(report.failed >= 2);
+    }
+
+    #[test]
+    fn skip_set_produces_skipped_results() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        let exec = FnExecutor::new(move |_| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            Ok(TaskOutput::success())
+        });
+        let mut eng = engine(
+            Options {
+                jobs: 2,
+                keep_order: true,
+                ..Options::default()
+            },
+            exec,
+        );
+        eng.skip = [1, 3].into_iter().collect();
+        let report = eng.run(inputs(4)).unwrap();
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.succeeded, 2);
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+        assert_eq!(report.results[0].status, JobStatus::Skipped);
+        assert_eq!(report.results[1].status, JobStatus::Success);
+    }
+
+    #[test]
+    fn dry_run_renders_without_executing() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        let exec = FnExecutor::new(move |_| {
+            r2.fetch_add(1, Ordering::SeqCst);
+            Ok(TaskOutput::success())
+        });
+        let report = engine(
+            Options {
+                jobs: 2,
+                dry_run: true,
+                keep_order: true,
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(3))
+        .unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(report.results[0].stdout, "cmd a1\n");
+    }
+
+    #[test]
+    fn delay_spaces_launches() {
+        let exec = FnExecutor::noop();
+        let started = Instant::now();
+        let report = engine(
+            Options {
+                jobs: 4,
+                delay: Some(Duration::from_millis(20)),
+                ..Options::default()
+            },
+            exec,
+        )
+        .run(inputs(5))
+        .unwrap();
+        assert_eq!(report.succeeded, 5);
+        // 5 launches, 20 ms apart => at least 80 ms.
+        assert!(started.elapsed() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn on_result_callback_sees_everything_in_order_with_keep_order() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let exec = FnExecutor::new(|cmd| {
+            std::thread::sleep(Duration::from_millis(20u64.saturating_sub(cmd.seq * 4)));
+            Ok(TaskOutput::success())
+        });
+        let mut eng = engine(
+            Options {
+                jobs: 4,
+                keep_order: true,
+                ..Options::default()
+            },
+            exec,
+        );
+        eng.on_result = Some(Arc::new(move |r: &JobResult| {
+            seen2.lock().push(r.seq);
+        }));
+        eng.run(inputs(4)).unwrap();
+        assert_eq!(*seen.lock(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn seq_and_slot_render_into_commands() {
+        let exec = FnExecutor::new(|cmd| Ok(TaskOutput::stdout(cmd.rendered().to_string())));
+        let mut eng = engine(
+            Options {
+                jobs: 1,
+                keep_order: true,
+                ..Options::default()
+            },
+            exec,
+        );
+        eng.template = Template::parse("task {#} on slot {%}: {}").unwrap();
+        let report = eng.run(inputs(2)).unwrap();
+        assert_eq!(report.results[0].stdout, "task 1 on slot 1: a1");
+        assert_eq!(report.results[1].stdout, "task 2 on slot 1: a2");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let report = engine(Options::default(), FnExecutor::noop())
+            .run(Box::new(std::iter::empty()))
+            .unwrap();
+        assert_eq!(report.jobs_total, 0);
+        assert!(report.all_succeeded());
+    }
+}

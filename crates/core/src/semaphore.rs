@@ -1,0 +1,166 @@
+//! `sem`-style counting semaphore.
+//!
+//! GNU Parallel ships a `sem` alias (`parallel --semaphore`) that limits
+//! how many of a set of *independently launched* commands run at once.
+//! This is the in-process equivalent: a counting semaphore with RAII
+//! guards, usable to rate-limit sections across threads that are not all
+//! funneled through one [`crate::parallel::Parallel`] run.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore.
+pub struct Semaphore {
+    state: Mutex<State>,
+    cond: Condvar,
+    permits: usize,
+}
+
+struct State {
+    available: usize,
+    waiters: usize,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` concurrent holders (minimum 1).
+    pub fn new(permits: usize) -> Arc<Semaphore> {
+        let permits = permits.max(1);
+        Arc::new(Semaphore {
+            state: Mutex::new(State {
+                available: permits,
+                waiters: 0,
+            }),
+            cond: Condvar::new(),
+            permits,
+        })
+    }
+
+    /// Total permits.
+    pub fn permits(&self) -> usize {
+        self.permits
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.state.lock().available
+    }
+
+    /// Threads blocked in [`Semaphore::acquire`].
+    pub fn waiters(&self) -> usize {
+        self.state.lock().waiters
+    }
+
+    /// Block until a permit is free; hold it for the guard's lifetime.
+    pub fn acquire(self: &Arc<Self>) -> SemGuard {
+        let mut state = self.state.lock();
+        while state.available == 0 {
+            state.waiters += 1;
+            self.cond.wait(&mut state);
+            state.waiters -= 1;
+        }
+        state.available -= 1;
+        drop(state);
+        SemGuard {
+            sem: Arc::clone(self),
+        }
+    }
+
+    /// Take a permit if one is free.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<SemGuard> {
+        let mut state = self.state.lock();
+        if state.available == 0 {
+            return None;
+        }
+        state.available -= 1;
+        drop(state);
+        Some(SemGuard {
+            sem: Arc::clone(self),
+        })
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock();
+        state.available = (state.available + 1).min(self.permits);
+        drop(state);
+        self.cond.notify_one();
+    }
+}
+
+/// RAII permit; dropping releases.
+pub struct SemGuard {
+    sem: Arc<Semaphore>,
+}
+
+impl Drop for SemGuard {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn permits_floor_at_one() {
+        let sem = Semaphore::new(0);
+        assert_eq!(sem.permits(), 1);
+    }
+
+    #[test]
+    fn try_acquire_exhausts_then_refills() {
+        let sem = Semaphore::new(2);
+        let g1 = sem.try_acquire().unwrap();
+        let _g2 = sem.try_acquire().unwrap();
+        assert!(sem.try_acquire().is_none());
+        assert_eq!(sem.available(), 0);
+        drop(g1);
+        assert_eq!(sem.available(), 1);
+        assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_permits() {
+        let sem = Semaphore::new(3);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let sem = Arc::clone(&sem);
+            let running = Arc::clone(&running);
+            let peak = Arc::clone(&peak);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _g = sem.acquire();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    running.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert_eq!(sem.available(), 3);
+    }
+
+    #[test]
+    fn blocked_acquire_wakes() {
+        let sem = Semaphore::new(1);
+        let g = sem.acquire();
+        let sem2 = Arc::clone(&sem);
+        let t = std::thread::spawn(move || {
+            let _g = sem2.acquire();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(sem.waiters(), 1);
+        drop(g);
+        t.join().unwrap();
+        assert_eq!(sem.available(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Job-slot bookkeeping.
+//!
+//! GNU Parallel numbers its concurrent lanes 1..=j and always hands a new
+//! job the *lowest* free slot. This matters for the paper's GPU-isolation
+//! idiom (§IV-D): `HIP_VISIBLE_DEVICES=$(({%} - 1))` only spreads work
+//! over all 8 GPUs because slot numbers are dense in `1..=j`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A pool of numbered slots with lowest-first allocation.
+pub struct SlotPool {
+    inner: Mutex<Inner>,
+    freed: Condvar,
+    jobs: usize,
+}
+
+struct Inner {
+    free: BinaryHeap<Reverse<usize>>,
+}
+
+impl SlotPool {
+    /// A pool of `jobs` slots numbered 1..=jobs.
+    pub fn new(jobs: usize) -> SlotPool {
+        assert!(jobs >= 1, "slot pool needs at least one slot");
+        SlotPool {
+            inner: Mutex::new(Inner {
+                free: (1..=jobs).map(Reverse).collect(),
+            }),
+            freed: Condvar::new(),
+            jobs,
+        }
+    }
+
+    /// Number of slots.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Take the lowest free slot, blocking until one is available.
+    pub fn acquire(&self) -> usize {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(Reverse(slot)) = inner.free.pop() {
+                return slot;
+            }
+            self.freed.wait(&mut inner);
+        }
+    }
+
+    /// Take the lowest free slot if one is available right now.
+    pub fn try_acquire(&self) -> Option<usize> {
+        self.inner.lock().free.pop().map(|Reverse(s)| s)
+    }
+
+    /// Return a slot to the pool.
+    ///
+    /// # Panics
+    /// Panics if the slot number is out of range — releasing a slot the
+    /// pool never issued is always a caller bug.
+    pub fn release(&self, slot: usize) {
+        assert!(slot >= 1 && slot <= self.jobs, "slot {slot} out of range");
+        let mut inner = self.inner.lock();
+        inner.free.push(Reverse(slot));
+        drop(inner);
+        self.freed.notify_one();
+    }
+
+    /// Slots currently free.
+    pub fn free_count(&self) -> usize {
+        self.inner.lock().free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn issues_lowest_first() {
+        let pool = SlotPool::new(4);
+        assert_eq!(pool.acquire(), 1);
+        assert_eq!(pool.acquire(), 2);
+        pool.release(1);
+        // 1 was freed and is lower than the next unused (3).
+        assert_eq!(pool.acquire(), 1);
+        assert_eq!(pool.acquire(), 3);
+        assert_eq!(pool.acquire(), 4);
+        assert_eq!(pool.try_acquire(), None);
+    }
+
+    #[test]
+    fn try_acquire_nonblocking() {
+        let pool = SlotPool::new(1);
+        assert_eq!(pool.try_acquire(), Some(1));
+        assert_eq!(pool.try_acquire(), None);
+        pool.release(1);
+        assert_eq!(pool.try_acquire(), Some(1));
+    }
+
+    #[test]
+    fn free_count_tracks() {
+        let pool = SlotPool::new(3);
+        assert_eq!(pool.free_count(), 3);
+        let s = pool.acquire();
+        assert_eq!(pool.free_count(), 2);
+        pool.release(s);
+        assert_eq!(pool.free_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn release_out_of_range_panics() {
+        SlotPool::new(2).release(3);
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_release() {
+        let pool = Arc::new(SlotPool::new(1));
+        let s = pool.acquire();
+        let p2 = Arc::clone(&pool);
+        let handle = std::thread::spawn(move || p2.acquire());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.release(s);
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn concurrent_slots_are_unique_and_in_range() {
+        let jobs = 8;
+        let pool = Arc::new(SlotPool::new(jobs));
+        let in_use = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            let in_use = Arc::clone(&in_use);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let slot = pool.acquire();
+                    {
+                        let mut held = in_use.lock();
+                        assert!(slot >= 1 && slot <= jobs);
+                        assert!(held.insert(slot), "slot {slot} double-issued");
+                    }
+                    std::thread::yield_now();
+                    in_use.lock().remove(&slot);
+                    pool.release(slot);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.free_count(), jobs);
+    }
+}

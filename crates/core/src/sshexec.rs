@@ -1,0 +1,230 @@
+//! SSH transport for remote hosts: the executor behind `--sshlogin`.
+//!
+//! [`SshExecutor`] wraps a job's shell command in an `ssh` invocation
+//! (`ssh [user@]host -- sh -c '<command>'`) and runs it through a local
+//! [`ProcessExecutor`]. Combined with [`crate::remote::MultiHostExecutor`]
+//! this gives the full GNU `--sshlogin` data path; tests substitute a
+//! fake `ssh` binary on `PATH`, since real remote hosts are out of reach
+//! in an offline environment.
+
+use crate::executor::{ExecContext, Executor, ProcessExecutor, TaskOutput};
+use crate::job::CommandLine;
+use crate::remote::Sshlogin;
+
+/// Executes each command on a remote host via `ssh`.
+pub struct SshExecutor {
+    login: Sshlogin,
+    /// The ssh binary to invoke (overridable for tests and for wrappers
+    /// like `ssh -o ControlMaster=auto`).
+    ssh_program: String,
+    inner: ProcessExecutor,
+}
+
+impl SshExecutor {
+    /// Wrap `login` with the system `ssh`.
+    pub fn new(login: Sshlogin) -> SshExecutor {
+        SshExecutor {
+            login,
+            ssh_program: "ssh".to_string(),
+            inner: ProcessExecutor::no_shell(),
+        }
+    }
+
+    /// Use a different ssh program (tests point this at a shim).
+    pub fn with_program<S: Into<String>>(mut self, program: S) -> SshExecutor {
+        self.ssh_program = program.into();
+        self
+    }
+
+    /// The remote login this executor targets.
+    pub fn login(&self) -> &Sshlogin {
+        &self.login
+    }
+
+    /// Build the ssh argv for a rendered command. Exposed for tests:
+    /// quoting bugs here are security bugs.
+    pub fn build_argv(&self, rendered: &str) -> Vec<String> {
+        vec![
+            self.ssh_program.clone(),
+            // BatchMode: never prompt; a hung prompt would wedge a slot.
+            "-o".to_string(),
+            "BatchMode=yes".to_string(),
+            self.login.login_string(),
+            "--".to_string(),
+            "sh".to_string(),
+            "-c".to_string(),
+            // Single argv element: ssh passes it to the remote shell
+            // verbatim; `sh -c` then interprets it exactly once, like a
+            // local run would.
+            rendered.to_string(),
+        ]
+    }
+}
+
+impl Executor for SshExecutor {
+    fn execute(&self, cmd: &CommandLine, ctx: &ExecContext) -> TaskOutput {
+        let argv = self.build_argv(cmd.rendered());
+        let wrapped = CommandLine::new(
+            cmd.seq,
+            cmd.slot,
+            cmd.args.clone(),
+            argv.join(" "),
+            argv,
+            cmd.env.clone(),
+        );
+        let wrapped = match &cmd.stdin {
+            Some(block) => wrapped.with_stdin(block.clone()),
+            None => wrapped,
+        };
+        self.inner.execute(&wrapped, ctx)
+    }
+}
+
+/// Build a [`crate::remote::MultiHostExecutor`] from sshlogin specs:
+/// `localhost`/`:` runs directly, everything else goes through
+/// [`SshExecutor`] (with `ssh_program`, for tests).
+pub fn multi_host_from_specs(
+    specs: &[&str],
+    default_slots: usize,
+    ssh_program: &str,
+) -> crate::error::Result<crate::remote::MultiHostExecutor> {
+    use std::sync::Arc;
+    let mut hosts: Vec<(Sshlogin, Arc<dyn Executor>)> = Vec::new();
+    for spec in specs {
+        let login = Sshlogin::parse(spec)?;
+        let exec: Arc<dyn Executor> = if login.host == "localhost" && login.user.is_none() {
+            Arc::new(ProcessExecutor::shell())
+        } else {
+            Arc::new(SshExecutor::new(login.clone()).with_program(ssh_program))
+        };
+        hosts.push((login, exec));
+    }
+    crate::remote::MultiHostExecutor::new(hosts, default_slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExecContext;
+
+    fn cmdline(rendered: &str) -> CommandLine {
+        CommandLine::new(1, 1, vec![], rendered.to_string(), vec![], vec![])
+    }
+
+    #[test]
+    fn argv_shape_and_quoting() {
+        let exec = SshExecutor::new(Sshlogin::parse("alice@n01").unwrap());
+        let argv = exec.build_argv("echo 'a b' > /tmp/x; wc -l");
+        assert_eq!(argv[0], "ssh");
+        assert_eq!(argv[1..3], ["-o".to_string(), "BatchMode=yes".to_string()]);
+        assert_eq!(argv[3], "alice@n01");
+        assert_eq!(argv[4], "--");
+        assert_eq!(argv[5..7], ["sh".to_string(), "-c".to_string()]);
+        // The command is ONE argv element, untouched.
+        assert_eq!(argv[7], "echo 'a b' > /tmp/x; wc -l");
+        assert_eq!(argv.len(), 8);
+    }
+
+    #[test]
+    fn fake_ssh_round_trip() {
+        // A shim that prints the "host" and runs the command locally —
+        // what a real ssh would do, minus the network.
+        let dir = std::env::temp_dir().join(format!("htpar-ssh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let shim = dir.join("fake-ssh");
+        std::fs::write(
+            &shim,
+            "#!/bin/sh\n# args: -o BatchMode=yes <host> -- sh -c <cmd>\nhost=$3\nshift 6\necho \"via:$host\"\nexec sh -c \"$1\"\n",
+        )
+        .unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            std::fs::set_permissions(&shim, std::fs::Permissions::from_mode(0o755)).unwrap();
+        }
+
+        let exec = SshExecutor::new(Sshlogin::parse("2/worker07").unwrap())
+            .with_program(shim.display().to_string());
+        let out = exec.execute(&cmdline("echo remote-says-$((6*7))"), &ExecContext::default());
+        assert_eq!(out.status, crate::job::JobStatus::Success, "{}", out.stderr);
+        assert_eq!(out.stdout, "via:worker07\nremote-says-42\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fake_ssh_cluster_through_the_engine() {
+        use crate::prelude::*;
+        let dir = std::env::temp_dir().join(format!("htpar-sshc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let shim = dir.join("fake-ssh");
+        std::fs::write(
+            &shim,
+            "#!/bin/sh\nhost=$3\nshift 6\nout=$(sh -c \"$1\")\necho \"$host:$out\"\n",
+        )
+        .unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            std::fs::set_permissions(&shim, std::fs::Permissions::from_mode(0o755)).unwrap();
+        }
+
+        let multi = multi_host_from_specs(
+            &["2/nodeA", "2/nodeB"],
+            1,
+            &shim.display().to_string(),
+        )
+        .unwrap();
+        let report = Parallel::new("echo job-{}")
+            .jobs(4)
+            .keep_order(true)
+            .executor(multi)
+            .args((0..8).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        assert!(report.all_succeeded());
+        let hosts: std::collections::HashSet<&str> = report
+            .results
+            .iter()
+            .map(|r| r.stdout.split(':').next().unwrap())
+            .collect();
+        assert_eq!(
+            hosts,
+            ["nodeA", "nodeB"].into_iter().collect(),
+            "both remote hosts served jobs"
+        );
+        assert!(report.results[3].stdout.ends_with("job-3\n"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn localhost_spec_runs_directly() {
+        let multi = multi_host_from_specs(&[":"], 2, "ssh").unwrap();
+        use crate::prelude::*;
+        let report = Parallel::new("echo here-{}")
+            .jobs(2)
+            .keep_order(true)
+            .executor(multi)
+            .args(["x"])
+            .run()
+            .unwrap();
+        assert_eq!(report.results[0].stdout, "here-x\n");
+    }
+
+    #[test]
+    fn unreachable_host_fails_gracefully() {
+        // Real ssh to a bogus host: BatchMode means no prompt, just a
+        // nonzero exit. Tolerate ssh being absent (ExecError) too.
+        let exec = SshExecutor::new(Sshlogin::parse("no.such.host.invalid").unwrap());
+        let out = exec.execute(
+            &cmdline("echo hi"),
+            &ExecContext {
+                timeout: Some(std::time::Duration::from_secs(5)),
+            },
+        );
+        assert!(
+            out.status.is_failure(),
+            "unexpected success: {:?}",
+            out.status
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! GNU Parallel replacement strings.
+//!
+//! Supported placeholders (semantics match `man parallel`):
+//!
+//! | Token    | Meaning                                                  |
+//! |----------|----------------------------------------------------------|
+//! | `{}`     | the input line / argument                                |
+//! | `{.}`    | argument with its extension removed                      |
+//! | `{/}`    | basename of the argument                                 |
+//! | `{//}`   | dirname of the argument                                  |
+//! | `{/.}`   | basename with extension removed                          |
+//! | `{#}`    | 1-based job sequence number                              |
+//! | `{%}`    | 1-based job slot number (paper §IV-D binds GPUs to this) |
+//! | `{n}`    | n-th positional argument (from linked/multiple sources)  |
+//! | `{n.}` `{n/}` `{n//}` `{n/.}` | positional + path operation         |
+//!
+//! Unknown `{...}` sequences are kept literally, as GNU Parallel does.
+//! A template with no replacement string at all behaves like `xargs`: the
+//! engine appends the argument(s) at the end (see
+//! [`Template::has_placeholder`]).
+
+use crate::error::{Error, Result};
+
+/// Path-style post-processing applied to an argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathOp {
+    /// `{}` — no transformation.
+    None,
+    /// `{.}` — strip the last extension of the basename.
+    NoExt,
+    /// `{/}` — basename.
+    Base,
+    /// `{//}` — dirname (`.` when there is no directory component).
+    Dir,
+    /// `{/.}` — basename without extension.
+    BaseNoExt,
+}
+
+impl PathOp {
+    /// Apply the operation to an argument string.
+    pub fn apply(self, arg: &str) -> String {
+        match self {
+            PathOp::None => arg.to_string(),
+            PathOp::NoExt => strip_ext(arg).to_string(),
+            PathOp::Base => basename(arg).to_string(),
+            PathOp::Dir => dirname(arg),
+            PathOp::BaseNoExt => strip_ext(basename(arg)).to_string(),
+        }
+    }
+
+    fn parse(s: &str) -> Option<PathOp> {
+        match s {
+            "" => Some(PathOp::None),
+            "." => Some(PathOp::NoExt),
+            "/" => Some(PathOp::Base),
+            "//" => Some(PathOp::Dir),
+            "/." => Some(PathOp::BaseNoExt),
+            _ => None,
+        }
+    }
+}
+
+/// Everything after the final `/`.
+fn basename(arg: &str) -> &str {
+    match arg.rfind('/') {
+        Some(i) => &arg[i + 1..],
+        None => arg,
+    }
+}
+
+/// Everything before the final `/`; `.` if there is no `/`; `/` for root.
+fn dirname(arg: &str) -> String {
+    match arg.rfind('/') {
+        Some(0) => "/".to_string(),
+        Some(i) => arg[..i].to_string(),
+        None => ".".to_string(),
+    }
+}
+
+/// Remove the last `.ext` of the *basename*; dotfiles (`.bashrc`) and
+/// extension-less names are untouched. The directory part is preserved.
+fn strip_ext(arg: &str) -> &str {
+    let base_start = arg.rfind('/').map_or(0, |i| i + 1);
+    let base = &arg[base_start..];
+    match base.rfind('.') {
+        Some(i) if i > 0 => &arg[..base_start + i],
+        _ => arg,
+    }
+}
+
+/// One parsed token of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Literal text, emitted verbatim.
+    Literal(String),
+    /// The whole current argument (all positional args joined by space when
+    /// more than one input source is in play and no positional is given).
+    Arg(PathOp),
+    /// A 1-based positional argument.
+    Positional(usize, PathOp),
+    /// `{#}` — job sequence number.
+    Seq,
+    /// `{%}` — slot number.
+    Slot,
+}
+
+/// Per-job values available to placeholder expansion.
+#[derive(Debug, Clone)]
+pub struct ExpandContext<'a> {
+    /// Positional arguments for this job (one per input source).
+    pub args: &'a [String],
+    /// 1-based job sequence number.
+    pub seq: u64,
+    /// 1-based slot number.
+    pub slot: usize,
+}
+
+/// A parsed command template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    tokens: Vec<Token>,
+    has_placeholder: bool,
+    source: String,
+}
+
+impl Template {
+    /// Parse a template string. Never fails on unknown `{...}` — those stay
+    /// literal — but is a `Result` for forward compatibility and for
+    /// [`Template::parse_with_replacement`] which can fail.
+    pub fn parse(s: &str) -> Result<Template> {
+        let mut tokens = Vec::new();
+        let mut literal = String::new();
+        let mut has_placeholder = false;
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'{' {
+                if let Some(close) = s[i..].find('}') {
+                    let inner = &s[i + 1..i + close];
+                    if let Some(tok) = parse_spec(inner) {
+                        if !literal.is_empty() {
+                            tokens.push(Token::Literal(std::mem::take(&mut literal)));
+                        }
+                        tokens.push(tok);
+                        has_placeholder = true;
+                        i += close + 1;
+                        continue;
+                    }
+                }
+            }
+            let ch = s[i..].chars().next().expect("in-bounds char");
+            literal.push(ch);
+            i += ch.len_utf8();
+        }
+        if !literal.is_empty() {
+            tokens.push(Token::Literal(literal));
+        }
+        Ok(Template {
+            tokens,
+            has_placeholder,
+            source: s.to_string(),
+        })
+    }
+
+    /// Parse with a custom replacement string standing in for `{}` (GNU's
+    /// `-I repl`). Occurrences of `repl` become the whole-argument
+    /// placeholder; standard `{...}` tokens keep working.
+    pub fn parse_with_replacement(s: &str, repl: &str) -> Result<Template> {
+        if repl.is_empty() {
+            return Err(Error::Template("replacement string must be non-empty".into()));
+        }
+        // Substitute the custom token with `{}` then parse normally. A repl
+        // that itself contains `{}` would be ambiguous; reject it.
+        if repl.contains('{') || repl.contains('}') {
+            return Err(Error::Template(
+                "replacement string may not contain braces".into(),
+            ));
+        }
+        Template::parse(&s.replace(repl, "{}"))
+    }
+
+    /// Whether any replacement string occurs. When false, the engine
+    /// appends arguments at the end of the command (xargs behaviour).
+    pub fn has_placeholder(&self) -> bool {
+        self.has_placeholder
+    }
+
+    /// The original template text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed token stream.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Expand to a single string.
+    pub fn expand(&self, ctx: &ExpandContext<'_>) -> String {
+        let mut out = String::with_capacity(self.source.len() + 16);
+        for tok in &self.tokens {
+            expand_token(tok, ctx, &mut out);
+        }
+        if !self.has_placeholder && !ctx.args.is_empty() {
+            for arg in ctx.args {
+                out.push(' ');
+                out.push_str(arg);
+            }
+        }
+        out
+    }
+
+    /// Expand word-wise: the template is split on whitespace and each word
+    /// expanded separately, producing an argv. Used by the no-shell
+    /// execution path, where `{}` must stay a single argument even when the
+    /// input contains spaces.
+    pub fn expand_argv(&self, ctx: &ExpandContext<'_>) -> Vec<String> {
+        let mut argv: Vec<String> = Vec::new();
+        let mut word = String::new();
+        let mut word_has_token = false;
+        let flush = |word: &mut String, word_has_token: &mut bool, argv: &mut Vec<String>| {
+            if !word.is_empty() || *word_has_token {
+                argv.push(std::mem::take(word));
+            }
+            *word_has_token = false;
+        };
+        for tok in &self.tokens {
+            match tok {
+                Token::Literal(text) => {
+                    let mut parts = text.split(' ').peekable();
+                    while let Some(part) = parts.next() {
+                        word.push_str(part);
+                        if parts.peek().is_some() {
+                            flush(&mut word, &mut word_has_token, &mut argv);
+                        }
+                    }
+                }
+                other => {
+                    expand_token(other, ctx, &mut word);
+                    word_has_token = true;
+                }
+            }
+        }
+        flush(&mut word, &mut word_has_token, &mut argv);
+        if !self.has_placeholder {
+            argv.extend(ctx.args.iter().cloned());
+        }
+        argv.retain(|w| !w.is_empty());
+        argv
+    }
+}
+
+fn expand_token(tok: &Token, ctx: &ExpandContext<'_>, out: &mut String) {
+    match tok {
+        Token::Literal(text) => out.push_str(text),
+        Token::Arg(op) => {
+            // With multiple input sources and a bare `{}`, GNU inserts all
+            // of them space-separated.
+            let mut first = true;
+            for arg in ctx.args {
+                if !first {
+                    out.push(' ');
+                }
+                out.push_str(&op.apply(arg));
+                first = false;
+            }
+        }
+        Token::Positional(n, op) => {
+            if let Some(arg) = ctx.args.get(n - 1) {
+                out.push_str(&op.apply(arg));
+            }
+        }
+        Token::Seq => out.push_str(&ctx.seq.to_string()),
+        Token::Slot => out.push_str(&ctx.slot.to_string()),
+    }
+}
+
+/// Parse the inside of a `{...}`. `None` means "not a placeholder, keep
+/// literal".
+fn parse_spec(inner: &str) -> Option<Token> {
+    match inner {
+        "#" => return Some(Token::Seq),
+        "%" => return Some(Token::Slot),
+        _ => {}
+    }
+    let digits_end = inner
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit())
+        .map_or(inner.len(), |(i, _)| i);
+    let (digits, rest) = inner.split_at(digits_end);
+    let op = PathOp::parse(rest)?;
+    if digits.is_empty() {
+        Some(Token::Arg(op))
+    } else {
+        let n: usize = digits.parse().ok()?;
+        if n == 0 {
+            return None; // {0} is not a valid positional
+        }
+        Some(Token::Positional(n, op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(args: &'a [String]) -> ExpandContext<'a> {
+        ExpandContext { args, seq: 7, slot: 3 }
+    }
+
+    fn one(s: &str) -> Vec<String> {
+        vec![s.to_string()]
+    }
+
+    fn expand(tpl: &str, arg: &str) -> String {
+        let args = one(arg);
+        Template::parse(tpl).unwrap().expand(&ctx(&args))
+    }
+
+    #[test]
+    fn whole_argument() {
+        assert_eq!(expand("echo {}", "a b"), "echo a b");
+    }
+
+    #[test]
+    fn path_operations() {
+        assert_eq!(expand("{.}", "dir/file.txt"), "dir/file");
+        assert_eq!(expand("{/}", "dir/file.txt"), "file.txt");
+        assert_eq!(expand("{//}", "dir/file.txt"), "dir");
+        assert_eq!(expand("{/.}", "dir/file.txt"), "file");
+    }
+
+    #[test]
+    fn extension_edge_cases() {
+        assert_eq!(expand("{.}", "a.b.c"), "a.b");
+        assert_eq!(expand("{.}", "noext"), "noext");
+        assert_eq!(expand("{.}", ".bashrc"), ".bashrc");
+        assert_eq!(expand("{.}", "dir.d/noext"), "dir.d/noext");
+        assert_eq!(expand("{/.}", "/x/.hidden"), ".hidden");
+    }
+
+    #[test]
+    fn dirname_edge_cases() {
+        assert_eq!(expand("{//}", "file"), ".");
+        assert_eq!(expand("{//}", "/file"), "/");
+        assert_eq!(expand("{//}", "a/b/c"), "a/b");
+    }
+
+    #[test]
+    fn seq_and_slot() {
+        assert_eq!(expand("{#}:{%}", "x"), "7:3");
+    }
+
+    #[test]
+    fn gpu_isolation_idiom() {
+        // Paper §IV-D: HIP_VISIBLE_DEVICES bound to slot-1.
+        let args = one("run.inp.json");
+        let t = Template::parse("HIP_VISIBLE_DEVICES={%} celer-sim {}").unwrap();
+        assert_eq!(
+            t.expand(&ctx(&args)),
+            "HIP_VISIBLE_DEVICES=3 celer-sim run.inp.json"
+        );
+    }
+
+    #[test]
+    fn positionals() {
+        let args = vec!["1".to_string(), "two/file.log".to_string()];
+        let t = Template::parse("m={1} f={2/.}").unwrap();
+        assert_eq!(t.expand(&ctx(&args)), "m=1 f=file");
+    }
+
+    #[test]
+    fn bare_braces_with_multiple_sources_join_all() {
+        let args = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(Template::parse("go {}").unwrap().expand(&ctx(&args)), "go a b");
+    }
+
+    #[test]
+    fn missing_positional_expands_empty() {
+        let args = one("only");
+        assert_eq!(Template::parse("x{5}y").unwrap().expand(&ctx(&args)), "xy");
+    }
+
+    #[test]
+    fn unknown_braces_stay_literal() {
+        assert_eq!(expand("awk '{print $1}' {}", "f"), "awk '{print $1}' f");
+        assert_eq!(expand("a {unknown} b {}", "f"), "a {unknown} b f");
+        assert_eq!(expand("{0}", "f"), "{0} f"); // {0} invalid => literal, xargs-append
+    }
+
+    #[test]
+    fn unclosed_brace_is_literal() {
+        assert_eq!(expand("echo { and {}", "x"), "echo { and x");
+    }
+
+    #[test]
+    fn no_placeholder_appends_args() {
+        assert_eq!(expand("echo hello", "x"), "echo hello x");
+        let args = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(
+            Template::parse("wc -l").unwrap().expand(&ctx(&args)),
+            "wc -l a b"
+        );
+    }
+
+    #[test]
+    fn has_placeholder_flag() {
+        assert!(Template::parse("echo {}").unwrap().has_placeholder());
+        assert!(Template::parse("{#}").unwrap().has_placeholder());
+        assert!(!Template::parse("echo hi").unwrap().has_placeholder());
+        assert!(!Template::parse("awk '{print}'").unwrap().has_placeholder());
+    }
+
+    #[test]
+    fn custom_replacement_string() {
+        let t = Template::parse_with_replacement("mv FILE FILE.bak", "FILE").unwrap();
+        let args = one("data.txt");
+        assert_eq!(t.expand(&ctx(&args)), "mv data.txt data.txt.bak");
+    }
+
+    #[test]
+    fn custom_replacement_rejects_braces_and_empty() {
+        assert!(Template::parse_with_replacement("x", "").is_err());
+        assert!(Template::parse_with_replacement("x", "{y}").is_err());
+    }
+
+    #[test]
+    fn expand_argv_keeps_arg_as_single_word() {
+        let args = one("with space");
+        let t = Template::parse("cp {} /dst/{/}").unwrap();
+        assert_eq!(
+            t.expand_argv(&ctx(&args)),
+            vec!["cp", "with space", "/dst/with space"]
+        );
+    }
+
+    #[test]
+    fn expand_argv_appends_when_no_placeholder() {
+        let args = vec!["a a".to_string()];
+        let t = Template::parse("echo hi").unwrap();
+        assert_eq!(t.expand_argv(&ctx(&args)), vec!["echo", "hi", "a a"]);
+    }
+
+    #[test]
+    fn expand_argv_joins_adjacent_literal_and_token() {
+        let args = one("v");
+        let t = Template::parse("X={} out/{}.txt").unwrap();
+        assert_eq!(t.expand_argv(&ctx(&args)), vec!["X=v", "out/v.txt"]);
+    }
+
+    #[test]
+    fn unicode_literals_survive() {
+        assert_eq!(expand("écho «{}»", "λ"), "écho «λ»");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn parse_never_panics(s in ".{0,200}") {
+                let _ = Template::parse(&s);
+            }
+
+            #[test]
+            fn literal_templates_round_trip(s in "[^{}]{0,100}", arg in "[a-z/.]{0,20}") {
+                // A template with no braces expands to itself + appended arg.
+                let t = Template::parse(&s).unwrap();
+                let args = vec![arg.clone()];
+                let c = ExpandContext { args: &args, seq: 1, slot: 1 };
+                let expanded = t.expand(&c);
+                prop_assert_eq!(expanded, format!("{} {}", s, arg));
+            }
+
+            #[test]
+            fn braces_expand_to_arg(arg in "[a-zA-Z0-9_./-]{1,40}") {
+                let args = vec![arg.clone()];
+                let c = ExpandContext { args: &args, seq: 1, slot: 1 };
+                let out = Template::parse("pre {} post").unwrap().expand(&c);
+                prop_assert_eq!(out, format!("pre {} post", arg));
+            }
+
+            #[test]
+            fn base_dir_recompose(arg in "[a-z]{1,5}(/[a-z.]{1,8}){0,4}") {
+                // dirname + "/" + basename reproduces the path (when it has a dir).
+                let args = vec![arg.clone()];
+                let c = ExpandContext { args: &args, seq: 1, slot: 1 };
+                let dir = Template::parse("{//}").unwrap().expand(&c);
+                let base = Template::parse("{/}").unwrap().expand(&c);
+                let recomposed = if dir == "." { base.clone() } else { format!("{dir}/{base}") };
+                prop_assert_eq!(recomposed, arg);
+            }
+        }
+    }
+}

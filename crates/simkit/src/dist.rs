@@ -1,0 +1,335 @@
+//! Parametric delay/duration distributions.
+//!
+//! Calibrated model parameters (allocation stagger, NVMe availability
+//! delay, straggler tails, task runtimes) are expressed as [`Dist`] values
+//! so experiment configurations can be serialized, logged, and swept.
+//! Normal and lognormal sampling use Box–Muller directly — `rand_distr` is
+//! not on the approved dependency list and two transcendental calls per
+//! sample are irrelevant at simulation scale.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A non-negative random variable, in seconds (or any unit the caller
+/// chooses — the engine converts with `SimTime::from_secs_f64`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Normal with mean and standard deviation, truncated below at `min`.
+    Normal { mean: f64, sd: f64, min: f64 },
+    /// Lognormal: `exp(N(mu, sigma))`. Heavy right tail — the paper's
+    /// straggler model of choice ("outlier nodes, possibly caused by
+    /// allocation delays, NVMe availability delays, and I/O delays").
+    LogNormal { mu: f64, sigma: f64 },
+    /// Exponential with the given rate (mean `1/rate`).
+    Exp { rate: f64 },
+    /// Mixture of two distributions: with probability `p` draw from `a`,
+    /// else from `b`. Used for "mostly fine, occasionally pathological"
+    /// node behaviour.
+    Mix {
+        p: f64,
+        a: Box<Dist>,
+        b: Box<Dist>,
+    },
+    /// Constant plus a distributed excess: `base + excess`.
+    Shifted { base: f64, excess: Box<Dist> },
+    /// Weibull with scale λ and shape k — the classic model for
+    /// time-to-failure and straggler tails (k < 1: heavy tail).
+    Weibull { scale: f64, shape: f64 },
+    /// Pareto (Lomax-style, minimum `xm`, tail index α) — file-size and
+    /// burst-length tails.
+    Pareto { xm: f64, alpha: f64 },
+}
+
+impl Dist {
+    /// A degenerate distribution at `v`.
+    pub fn constant(v: f64) -> Dist {
+        Dist::Constant(v)
+    }
+
+    /// Convenience constructor for a truncated normal with `min = 0`.
+    pub fn normal(mean: f64, sd: f64) -> Dist {
+        Dist::Normal { mean, sd, min: 0.0 }
+    }
+
+    /// Lognormal parameterized by its *median* and a shape factor sigma
+    /// (the distribution of `exp(N(ln median, sigma))`).
+    pub fn lognormal_median(median: f64, sigma: f64) -> Dist {
+        Dist::LogNormal {
+            mu: median.max(f64::MIN_POSITIVE).ln(),
+            sigma,
+        }
+    }
+
+    /// Draw one sample. Always finite and non-negative.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let v = match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    *lo
+                } else {
+                    rng.gen_range(*lo..*hi)
+                }
+            }
+            Dist::Normal { mean, sd, min } => (mean + sd * std_normal(rng)).max(*min),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * std_normal(rng)).exp(),
+            Dist::Exp { rate } => {
+                if *rate <= 0.0 {
+                    0.0
+                } else {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    -u.ln() / rate
+                }
+            }
+            Dist::Mix { p, a, b } => {
+                if rng.gen::<f64>() < *p {
+                    a.sample(rng)
+                } else {
+                    b.sample(rng)
+                }
+            }
+            Dist::Shifted { base, excess } => base + excess.sample(rng),
+            Dist::Weibull { scale, shape } => {
+                if *scale <= 0.0 || *shape <= 0.0 {
+                    0.0
+                } else {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    scale * (-u.ln()).powf(1.0 / shape)
+                }
+            }
+            Dist::Pareto { xm, alpha } => {
+                if *xm <= 0.0 || *alpha <= 0.0 {
+                    0.0
+                } else {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    xm / u.powf(1.0 / alpha)
+                }
+            }
+        };
+        if v.is_finite() {
+            v.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// The distribution's mean, where analytically available. `Mix` and
+    /// `Shifted` compose; used by tests and sanity checks, not by models.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            // Truncation shifts the mean upward slightly; ignore for the
+            // sanity-check purpose of this method.
+            Dist::Normal { mean, .. } => *mean,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Exp { rate } => {
+                if *rate <= 0.0 {
+                    0.0
+                } else {
+                    1.0 / rate
+                }
+            }
+            Dist::Mix { p, a, b } => p * a.mean() + (1.0 - p) * b.mean(),
+            Dist::Shifted { base, excess } => base + excess.mean(),
+            Dist::Weibull { scale, shape } => {
+                if *scale <= 0.0 || *shape <= 0.0 {
+                    0.0
+                } else {
+                    // λ Γ(1 + 1/k) via Lanczos-free Stirling approximation
+                    // is overkill for a sanity method; use the exact value
+                    // for k = 1 and a numeric estimate otherwise.
+                    scale * gamma_1p(1.0 / shape)
+                }
+            }
+            Dist::Pareto { xm, alpha } => {
+                if *alpha <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    alpha * xm / (alpha - 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Γ(1 + x) for x > 0, via the Lanczos (g = 5, n = 6) log-gamma
+/// approximation — accurate to ~1e-10, used only by `mean()` sanity
+/// checks.
+fn gamma_1p(x: f64) -> f64 {
+    ln_gamma(x + 1.0).exp()
+}
+
+/// ln Γ(z) for z > 0 (Numerical Recipes `gammln`).
+fn ln_gamma(z: f64) -> f64 {
+    const LANCZOS: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let x = z;
+    let mut y = z;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in LANCZOS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// One standard-normal sample via Box–Muller.
+fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    fn samples(d: &Dist, n: usize) -> Vec<f64> {
+        let mut rng = stream_rng(99, 0);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        assert!(samples(&Dist::constant(3.5), 100).iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = Dist::Uniform { lo: 1.0, hi: 2.0 };
+        for v in samples(&d, 1000) {
+            assert!((1.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_lo() {
+        let d = Dist::Uniform { lo: 2.0, hi: 2.0 };
+        assert_eq!(d.sample(&mut stream_rng(0, 0)), 2.0);
+    }
+
+    #[test]
+    fn normal_mean_within_tolerance() {
+        let d = Dist::normal(10.0, 2.0);
+        let s = samples(&d, 20_000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let d = Dist::Normal {
+            mean: 0.0,
+            sd: 5.0,
+            min: 0.5,
+        };
+        assert!(samples(&d, 2000).iter().all(|&v| v >= 0.5));
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = Dist::lognormal_median(30.0, 0.5);
+        let mut s = samples(&d, 20_001);
+        s.sort_by(f64::total_cmp);
+        let median = s[s.len() / 2];
+        assert!((median - 30.0).abs() / 30.0 < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Dist::Exp { rate: 0.25 };
+        let s = samples(&d, 20_000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_zero_rate_is_zero() {
+        assert_eq!(Dist::Exp { rate: 0.0 }.sample(&mut stream_rng(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn mix_blends_components() {
+        let d = Dist::Mix {
+            p: 0.9,
+            a: Box::new(Dist::constant(1.0)),
+            b: Box::new(Dist::constant(100.0)),
+        };
+        let s = samples(&d, 10_000);
+        let ones = s.iter().filter(|&&v| v == 1.0).count();
+        assert!((ones as f64 / 10_000.0 - 0.9).abs() < 0.02);
+        assert!((d.mean() - (0.9 + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_adds_base() {
+        let d = Dist::Shifted {
+            base: 5.0,
+            excess: Box::new(Dist::Exp { rate: 1.0 }),
+        };
+        assert!(samples(&d, 1000).iter().all(|&v| v >= 5.0));
+        assert!((d.mean() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_shapes() {
+        // shape = 1 is exponential with mean = scale.
+        let d = Dist::Weibull { scale: 4.0, shape: 1.0 };
+        let s = samples(&d, 20_000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean}");
+        assert!((d.mean() - 4.0).abs() < 1e-6, "analytic {}", d.mean());
+        // shape = 2 (Rayleigh): mean = scale·Γ(1.5) = scale·√π/2.
+        let d = Dist::Weibull { scale: 2.0, shape: 2.0 };
+        let expect = 2.0 * (std::f64::consts::PI.sqrt() / 2.0);
+        assert!((d.mean() - expect).abs() < 1e-6, "{} vs {expect}", d.mean());
+        let s = samples(&d, 20_000);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - expect).abs() < 0.05, "sampled {mean}");
+        // Degenerate parameters are safe.
+        assert_eq!(Dist::Weibull { scale: 0.0, shape: 1.0 }.sample(&mut stream_rng(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn pareto_floor_and_mean() {
+        let d = Dist::Pareto { xm: 3.0, alpha: 3.0 };
+        let s = samples(&d, 20_000);
+        assert!(s.iter().all(|&v| v >= 3.0), "Pareto floor");
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 4.5).abs() < 0.15, "mean {mean} (expect 4.5)");
+        assert!((d.mean() - 4.5).abs() < 1e-9);
+        // α ≤ 1 has infinite mean.
+        assert!(Dist::Pareto { xm: 1.0, alpha: 1.0 }.mean().is_infinite());
+        assert_eq!(Dist::Pareto { xm: 0.0, alpha: 2.0 }.sample(&mut stream_rng(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn samples_never_negative_or_nonfinite() {
+        let dists = [
+            Dist::normal(-10.0, 1.0),
+            Dist::LogNormal { mu: 0.0, sigma: 2.0 },
+            Dist::Uniform { lo: 0.0, hi: 1.0 },
+            Dist::Weibull { scale: 2.0, shape: 0.7 },
+            Dist::Pareto { xm: 1.0, alpha: 1.5 },
+        ];
+        for d in &dists {
+            for v in samples(d, 2000) {
+                assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+}

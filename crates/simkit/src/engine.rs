@@ -1,0 +1,273 @@
+//! The simulation engine: a world state, a clock, an event queue, and a
+//! deterministic RNG.
+
+use crate::event::{EventKey, EventQueue};
+use crate::rng::{stream_rng, SimRng};
+use crate::time::SimTime;
+
+/// Handle to a scheduled event; pass to [`Simulation::cancel`].
+pub type EventId = EventKey;
+
+type Handler<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
+
+/// A discrete-event simulation over a world state `W`.
+///
+/// Handlers are `FnOnce(&mut Simulation<W>)` closures; they may freely
+/// read and mutate the world, schedule further events, cancel events, and
+/// draw randomness. The engine guarantees:
+///
+/// - events fire in nondecreasing time order;
+/// - events scheduled for the same instant fire in scheduling order;
+/// - the clock never goes backwards (scheduling in the past fires "now");
+/// - two runs with the same seed and same scheduling sequence are
+///   identical.
+pub struct Simulation<W> {
+    now: SimTime,
+    queue: EventQueue<Handler<W>>,
+    world: W,
+    rng: SimRng,
+    fired: u64,
+}
+
+impl<W> Simulation<W> {
+    /// A simulation seeded with a fixed default seed. Prefer
+    /// [`Simulation::with_seed`] in experiments so the seed is explicit.
+    pub fn new(world: W) -> Self {
+        Simulation::with_seed(world, 0x5EED)
+    }
+
+    /// A simulation with an explicit RNG seed.
+    pub fn with_seed(world: W, seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            world,
+            rng: stream_rng(seed, 0),
+            fired: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events that have fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the world state.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world state.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// The simulation's RNG. All model randomness must come from here (or
+    /// from streams derived via [`stream_rng`]) for determinism.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedule `handler` at absolute time `at`. Scheduling in the past is
+    /// clamped to "now" — the handler fires at the current time, after any
+    /// already-queued handlers for that time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, handler: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation<W>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.queue.push(at, Box::new(handler))
+    }
+
+    /// Schedule `handler` at `now + delay`.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, handler: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.queue.push(at, Box::new(handler))
+    }
+
+    /// Cancel a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Schedule `handler` every `period`, starting one period from now,
+    /// until it returns `false`. Useful for monitors and samplers.
+    pub fn schedule_every<F>(&mut self, period: SimTime, handler: F)
+    where
+        F: FnMut(&mut Simulation<W>) -> bool + 'static,
+    {
+        fn tick<W, F>(sim: &mut Simulation<W>, period: SimTime, mut handler: F)
+        where
+            F: FnMut(&mut Simulation<W>) -> bool + 'static,
+        {
+            if handler(sim) {
+                sim.schedule_in(period, move |sim| tick(sim, period, handler));
+            }
+        }
+        self.schedule_in(period, move |sim| tick(sim, period, handler));
+    }
+
+    /// Time of the next pending event.
+    pub fn peek_next(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Fire the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, handler)) => {
+                debug_assert!(at >= self.now, "event queue must be time-ordered");
+                self.now = at;
+                self.fired += 1;
+                handler(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue is empty or the next event is strictly after
+    /// `horizon`. The clock is left at the last fired event (or advanced to
+    /// `horizon` if nothing fired at or before it).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(next) = self.peek_next() {
+            if next > horizon {
+                break;
+            }
+            self.step();
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+    }
+
+    /// Consume the simulation and return the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_order_and_advances_clock() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_at(SimTime::from_secs(2), |s| s.world_mut().push(2));
+        sim.schedule_at(SimTime::from_secs(1), |s| s.world_mut().push(1));
+        sim.schedule_at(SimTime::from_secs(3), |s| s.world_mut().push(3));
+        sim.run();
+        assert_eq!(sim.world(), &vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim = Simulation::new(0u32);
+        fn tick(sim: &mut Simulation<u32>) {
+            *sim.world_mut() += 1;
+            if *sim.world() < 5 {
+                sim.schedule_in(SimTime::from_secs(1), tick);
+            }
+        }
+        sim.schedule_at(SimTime::ZERO, tick);
+        sim.run();
+        assert_eq!(*sim.world(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_fires_now() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_at(SimTime::from_secs(10), |s| {
+            s.schedule_at(SimTime::from_secs(1), |s2| {
+                let now = s2.now();
+                s2.world_mut().push(now);
+            });
+        });
+        sim.run();
+        assert_eq!(sim.world(), &vec![SimTime::from_secs(10)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new(0u32);
+        for i in 1..=10 {
+            sim.schedule_at(SimTime::from_secs(i), |s| *s.world_mut() += 1);
+        }
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(*sim.world(), 4);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        assert_eq!(sim.events_pending(), 6);
+        sim.run();
+        assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn run_until_advances_clock_through_idle_time() {
+        let mut sim: Simulation<()> = Simulation::new(());
+        sim.run_until(SimTime::from_secs(100));
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Simulation::new(0u32);
+        let id = sim.schedule_at(SimTime::from_secs(1), |s| *s.world_mut() += 1);
+        sim.schedule_at(SimTime::from_secs(2), |s| *s.world_mut() += 10);
+        assert!(sim.cancel(id));
+        sim.run();
+        assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn schedule_every_repeats_until_false() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_every(SimTime::from_secs(10), |s| {
+            let now = s.now();
+            s.world_mut().push(now.as_secs_f64());
+            s.world().len() < 4
+        });
+        sim.run();
+        assert_eq!(sim.world(), &vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        fn trace(seed: u64) -> Vec<u64> {
+            use rand::Rng;
+            let mut sim = Simulation::with_seed(Vec::new(), seed);
+            for _ in 0..100 {
+                let dt = SimTime::from_micros(1);
+                sim.schedule_in(dt, |s| {
+                    let v = s.rng().gen::<u64>();
+                    s.world_mut().push(v);
+                });
+            }
+            sim.run();
+            sim.into_world()
+        }
+        assert_eq!(trace(7), trace(7));
+        assert_ne!(trace(7), trace(8));
+    }
+}

@@ -1,0 +1,351 @@
+//! Result summarization: the five-number summaries and tails the paper's
+//! figures report (Fig. 1 is a box plot per node count; Fig. 3–5 are rate
+//! curves; §IV quotes medians and maxima).
+
+use serde::{Deserialize, Serialize};
+
+/// Order statistics and moments of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub std: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample. NaNs are
+    /// rejected by `total_cmp` ordering (they sort last and poison max);
+    /// callers are expected to feed finite data.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Some(Summary {
+            n,
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            q3: quantile_sorted(&v, 0.75),
+            p95: quantile_sorted(&v, 0.95),
+            p99: quantile_sorted(&v, 0.99),
+            max: v[n - 1],
+            mean,
+            std: var.sqrt(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Render as a fixed-width table row (used by the figure regenerators).
+    pub fn row(&self) -> String {
+        format!(
+            "n={:<9} min={:<10.3} q1={:<10.3} med={:<10.3} q3={:<10.3} p95={:<10.3} max={:<10.3}",
+            self.n, self.min, self.q1, self.median, self.q3, self.p95, self.max
+        )
+    }
+}
+
+/// Linear-interpolated quantile of a pre-sorted slice (type-7, the R/numpy
+/// default), clamped to `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Streaming mean/variance via Welford's algorithm — summary statistics
+/// for samples too large to buffer (e.g. per-task times of a 9,000-node
+/// simulation when only moments are needed).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Population standard deviation (0 with <2 samples).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum seen (NaN-free contract: 0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.min }
+    }
+
+    /// Maximum seen (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.max }
+    }
+
+    /// Merge another accumulator (parallel reduction).
+    pub fn merge(&self, other: &OnlineStats) -> OnlineStats {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        OnlineStats {
+            n,
+            mean,
+            m2,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+/// A fixed-range linear histogram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram over `[lo, hi)` with `nbins` equal bins.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Histogram {
+        assert!(hi > lo && nbins > 0, "invalid histogram range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((v - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below range / above range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin center, count)` pairs.
+    pub fn centers(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let v: Vec<f64> = (1..=5).map(|i| i as f64).collect();
+        let s = Summary::of(&v).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.std - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!((s.min, s.median, s.max, s.mean, s.std), (7.0, 7.0, 7.0, 7.0, 0.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&v, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 10.0);
+        assert_eq!(quantile_sorted(&v, 2.0), 10.0, "clamped above");
+        assert_eq!(quantile_sorted(&v, -1.0), 0.0, "clamped below");
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        let b = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn online_stats_match_batch_summary() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let batch = Summary::of(&values).unwrap();
+        let mut online = OnlineStats::new();
+        for &v in &values {
+            online.record(v);
+        }
+        assert_eq!(online.count(), 1000);
+        assert!((online.mean() - batch.mean).abs() < 1e-9);
+        assert!((online.std() - batch.std).abs() < 1e-9);
+        assert_eq!(online.min(), batch.min);
+        assert_eq!(online.max(), batch.max);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_whole() {
+        let values: Vec<f64> = (0..500).map(|i| i as f64 * 0.7).collect();
+        let mut whole = OnlineStats::new();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+        }
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.std() - whole.std()).abs() < 1e-9);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
+    fn online_stats_empty_and_singleton() {
+        let empty = OnlineStats::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std(), 0.0);
+        assert_eq!(empty.min(), 0.0);
+        let mut one = OnlineStats::new();
+        one.record(5.0);
+        assert_eq!(one.mean(), 5.0);
+        assert_eq!(one.std(), 0.0);
+        let merged = empty.merge(&one);
+        assert_eq!(merged.mean(), 5.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        h.record(-1.0);
+        h.record(10.0);
+        h.record(99.0);
+        assert_eq!(h.count(), 13);
+        assert!(h.bins().iter().all(|&c| c == 1));
+        assert_eq!(h.out_of_range(), (1, 2));
+    }
+
+    #[test]
+    fn histogram_centers() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.centers().map(|(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(5.0, 5.0, 4);
+    }
+}

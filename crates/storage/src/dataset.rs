@@ -1,0 +1,161 @@
+//! Simulated file populations.
+//!
+//! Experiments need realistic *distributions* of file sizes more than they
+//! need file contents: a petabyte transfer of a few huge files behaves
+//! completely differently from the same petabyte in millions of small
+//! files (per-file overhead dominates). [`Dataset::generate`] produces
+//! deterministic synthetic populations from a size distribution.
+
+use htpar_simkit::{stream_rng, Dist};
+use serde::{Deserialize, Serialize};
+
+/// One simulated file: a path and a size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimFile {
+    pub path: String,
+    pub bytes: u64,
+}
+
+/// A named collection of simulated files.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub name: String,
+    pub files: Vec<SimFile>,
+}
+
+impl Dataset {
+    /// Generate `count` files under `root`, sizes drawn from `size_dist`
+    /// (in bytes), deterministically from `seed`.
+    pub fn generate(name: &str, root: &str, count: usize, size_dist: &Dist, seed: u64) -> Dataset {
+        let mut rng = stream_rng(seed, 0xDA7A_5E70_u64);
+        let files = (0..count)
+            .map(|i| SimFile {
+                path: format!("{}/{}/f{:08}.dat", root.trim_end_matches('/'), name, i),
+                bytes: size_dist.sample(&mut rng).round().max(0.0) as u64,
+            })
+            .collect();
+        Dataset {
+            name: name.to_string(),
+            files,
+        }
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the dataset has no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Mean file size in bytes (0 for an empty dataset).
+    pub fn mean_file_bytes(&self) -> f64 {
+        if self.files.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.files.len() as f64
+        }
+    }
+
+    /// Split round-robin into `n` shards — the driver-script distribution
+    /// of paper §III (`NR % NNODE == NODEID`): line `i` goes to shard
+    /// `i % n`.
+    pub fn shard_round_robin(&self, n: usize) -> Vec<Vec<&SimFile>> {
+        let n = n.max(1);
+        let mut shards: Vec<Vec<&SimFile>> = vec![Vec::new(); n];
+        for (i, f) in self.files.iter().enumerate() {
+            shards[i % n].push(f);
+        }
+        shards
+    }
+}
+
+/// The file-size mix of a typical project directory: mostly small files
+/// with a heavy tail of large ones (lognormal, median 4 MiB).
+pub fn project_mix_dist() -> Dist {
+    Dist::lognormal_median(4.0 * 1024.0 * 1024.0, 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = Dist::constant(1024.0);
+        let a = Dataset::generate("a", "/proj", 100, &d, 7);
+        let b = Dataset::generate("a", "/proj", 100, &d, 7);
+        assert_eq!(a, b);
+        let c = Dataset::generate("a", "/proj", 100, &project_mix_dist(), 8);
+        let c2 = Dataset::generate("a", "/proj", 100, &project_mix_dist(), 9);
+        assert_ne!(c, c2);
+    }
+
+    #[test]
+    fn constant_sizes_sum_exactly() {
+        let d = Dataset::generate("x", "/r", 10, &Dist::constant(100.0), 1);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.total_bytes(), 1000);
+        assert_eq!(d.mean_file_bytes(), 100.0);
+    }
+
+    #[test]
+    fn paths_are_unique_and_rooted() {
+        let d = Dataset::generate("set1", "/gpfs/proj/", 50, &Dist::constant(1.0), 2);
+        let mut paths: Vec<&str> = d.files.iter().map(|f| f.path.as_str()).collect();
+        assert!(paths.iter().all(|p| p.starts_with("/gpfs/proj/set1/")));
+        paths.sort();
+        paths.dedup();
+        assert_eq!(paths.len(), 50);
+    }
+
+    #[test]
+    fn round_robin_sharding_balances_counts() {
+        let d = Dataset::generate("x", "/r", 103, &Dist::constant(1.0), 3);
+        let shards = d.shard_round_robin(8);
+        assert_eq!(shards.len(), 8);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 103);
+        let min = shards.iter().map(Vec::len).min().unwrap();
+        let max = shards.iter().map(Vec::len).max().unwrap();
+        assert!(max - min <= 1, "round robin is balanced");
+        // Shard 0 gets indices 0, 8, 16, ...
+        assert_eq!(shards[0][1].path, d.files[8].path);
+    }
+
+    #[test]
+    fn sharding_with_zero_clamps_to_one() {
+        let d = Dataset::generate("x", "/r", 5, &Dist::constant(1.0), 3);
+        let shards = d.shard_round_robin(0);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].len(), 5);
+    }
+
+    #[test]
+    fn empty_dataset_behaves() {
+        let d = Dataset {
+            name: "e".into(),
+            files: vec![],
+        };
+        assert!(d.is_empty());
+        assert_eq!(d.total_bytes(), 0);
+        assert_eq!(d.mean_file_bytes(), 0.0);
+    }
+
+    #[test]
+    fn project_mix_median_is_4mib() {
+        let d = Dataset::generate("m", "/r", 20_001, &project_mix_dist(), 5);
+        let mut sizes: Vec<u64> = d.files.iter().map(|f| f.bytes).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2] as f64;
+        let four_mib = 4.0 * 1024.0 * 1024.0;
+        assert!((median - four_mib).abs() / four_mib < 0.1, "median {median}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Max-min fair-share bandwidth model.
+//!
+//! A [`FairShareLink`] is a single capacity shared equally among whatever
+//! flows are active — the standard first-order model for a storage network
+//! or a DTN NIC. Completion times are computed exactly by progressive
+//! event stepping: whenever a flow starts or finishes, every active flow's
+//! rate becomes `capacity / active_count` (optionally capped per flow).
+
+use serde::{Deserialize, Serialize};
+
+/// One transfer: arrival time (seconds) and volume (bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    pub arrival: f64,
+    pub bytes: f64,
+}
+
+impl Flow {
+    /// A flow starting at time zero.
+    pub fn at_zero(bytes: f64) -> Flow {
+        Flow {
+            arrival: 0.0,
+            bytes,
+        }
+    }
+}
+
+/// A shared link with equal-share allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairShareLink {
+    /// Aggregate capacity in bytes/second.
+    pub capacity_bps: f64,
+    /// Per-flow ceiling in bytes/second (a single stream cannot exceed
+    /// this even when alone on the link), if any.
+    pub per_flow_cap_bps: Option<f64>,
+}
+
+impl FairShareLink {
+    /// A link with only an aggregate capacity.
+    pub fn new(capacity_bps: f64) -> FairShareLink {
+        assert!(capacity_bps > 0.0, "link capacity must be positive");
+        FairShareLink {
+            capacity_bps,
+            per_flow_cap_bps: None,
+        }
+    }
+
+    /// Add a per-flow ceiling.
+    pub fn with_per_flow_cap(mut self, cap_bps: f64) -> FairShareLink {
+        assert!(cap_bps > 0.0, "per-flow cap must be positive");
+        self.per_flow_cap_bps = Some(cap_bps);
+        self
+    }
+
+    /// Instantaneous per-flow rate with `active` concurrent flows.
+    pub fn rate_per_flow(&self, active: usize) -> f64 {
+        if active == 0 {
+            return 0.0;
+        }
+        let share = self.capacity_bps / active as f64;
+        match self.per_flow_cap_bps {
+            Some(cap) => share.min(cap),
+            None => share,
+        }
+    }
+
+    /// Completion time of every flow, in the order given. Exact under
+    /// equal-share allocation with optional per-flow cap.
+    pub fn completion_times(&self, flows: &[Flow]) -> Vec<f64> {
+        let n = flows.len();
+        let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes.max(0.0)).collect();
+        let mut done: Vec<Option<f64>> = vec![None; n];
+        // Flows with zero bytes finish on arrival.
+        for (i, f) in flows.iter().enumerate() {
+            if remaining[i] == 0.0 {
+                done[i] = Some(f.arrival);
+            }
+        }
+        let mut pending_arrivals: Vec<usize> = (0..n)
+            .filter(|&i| done[i].is_none())
+            .collect();
+        pending_arrivals.sort_by(|&a, &b| flows[a].arrival.total_cmp(&flows[b].arrival));
+        let mut arrivals = pending_arrivals.into_iter().peekable();
+        let mut active: Vec<usize> = Vec::new();
+        let mut now = 0.0f64;
+
+        loop {
+            // Admit everything that has arrived by `now`.
+            while let Some(&i) = arrivals.peek() {
+                if flows[i].arrival <= now + 1e-12 {
+                    active.push(i);
+                    arrivals.next();
+                } else {
+                    break;
+                }
+            }
+            if active.is_empty() {
+                match arrivals.peek() {
+                    Some(&i) => {
+                        now = flows[i].arrival;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let rate = self.rate_per_flow(active.len());
+            debug_assert!(rate > 0.0);
+            // Time until the first active flow would finish at this rate.
+            let t_finish = active
+                .iter()
+                .map(|&i| remaining[i] / rate)
+                .fold(f64::INFINITY, f64::min);
+            // Time until the next arrival changes the share.
+            let t_arrival = arrivals
+                .peek()
+                .map(|&i| flows[i].arrival - now)
+                .unwrap_or(f64::INFINITY);
+            let dt = t_finish.min(t_arrival);
+            now += dt;
+            let drained = rate * dt;
+            active.retain(|&i| {
+                remaining[i] -= drained;
+                if remaining[i] <= 1e-6 {
+                    done[i] = Some(now);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        done.into_iter()
+            .map(|d| d.expect("every flow completes"))
+            .collect()
+    }
+
+    /// Makespan of a batch of flows (latest completion).
+    pub fn makespan(&self, flows: &[Flow]) -> f64 {
+        self.completion_times(flows)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_flow_runs_at_capacity() {
+        let link = FairShareLink::new(100.0);
+        let t = link.completion_times(&[Flow::at_zero(1000.0)]);
+        assert!(close(t[0], 10.0));
+    }
+
+    #[test]
+    fn per_flow_cap_limits_lone_flow() {
+        let link = FairShareLink::new(100.0).with_per_flow_cap(10.0);
+        let t = link.completion_times(&[Flow::at_zero(100.0)]);
+        assert!(close(t[0], 10.0));
+    }
+
+    #[test]
+    fn two_equal_flows_share_equally() {
+        let link = FairShareLink::new(100.0);
+        let t = link.completion_times(&[Flow::at_zero(500.0), Flow::at_zero(500.0)]);
+        assert!(close(t[0], 10.0));
+        assert!(close(t[1], 10.0));
+    }
+
+    #[test]
+    fn short_flow_finishing_speeds_up_long_flow() {
+        let link = FairShareLink::new(100.0);
+        // Flow A: 300 B, flow B: 900 B. Shared at 50 B/s until A finishes
+        // at t=6 (both drained 300); B has 600 left at 100 B/s → t=12.
+        let t = link.completion_times(&[Flow::at_zero(300.0), Flow::at_zero(900.0)]);
+        assert!(close(t[0], 6.0), "{t:?}");
+        assert!(close(t[1], 12.0), "{t:?}");
+    }
+
+    #[test]
+    fn late_arrival_splits_bandwidth() {
+        let link = FairShareLink::new(100.0);
+        // A(0, 1000), B arrives at t=5 with 250.
+        // t∈[0,5): A alone at 100 → A drained 500.
+        // t≥5: share 50/50. B finishes at 5 + 250/50 = 10; A has 500-250=250
+        // left at t=10, then alone: 10 + 250/100 = 12.5.
+        let t = link.completion_times(&[
+            Flow {
+                arrival: 0.0,
+                bytes: 1000.0,
+            },
+            Flow {
+                arrival: 5.0,
+                bytes: 250.0,
+            },
+        ]);
+        assert!(close(t[1], 10.0), "{t:?}");
+        assert!(close(t[0], 12.5), "{t:?}");
+    }
+
+    #[test]
+    fn idle_gap_before_late_arrival() {
+        let link = FairShareLink::new(10.0);
+        let t = link.completion_times(&[Flow {
+            arrival: 100.0,
+            bytes: 50.0,
+        }]);
+        assert!(close(t[0], 105.0));
+    }
+
+    #[test]
+    fn zero_byte_flows_finish_at_arrival() {
+        let link = FairShareLink::new(10.0);
+        let t = link.completion_times(&[
+            Flow {
+                arrival: 3.0,
+                bytes: 0.0,
+            },
+            Flow::at_zero(100.0),
+        ]);
+        assert!(close(t[0], 3.0));
+        assert!(close(t[1], 10.0));
+    }
+
+    #[test]
+    fn makespan_equals_work_over_capacity_when_saturated() {
+        let link = FairShareLink::new(100.0);
+        let flows: Vec<Flow> = (0..10).map(|_| Flow::at_zero(100.0)).collect();
+        // All active the whole time: total work 1000 at 100 B/s = 10 s.
+        assert!(close(link.makespan(&flows), 10.0));
+    }
+
+    #[test]
+    fn capped_flows_leave_capacity_unused() {
+        let link = FairShareLink::new(100.0).with_per_flow_cap(10.0);
+        let flows: Vec<Flow> = (0..2).map(|_| Flow::at_zero(100.0)).collect();
+        // 2 flows × 10 B/s cap each; each needs 10 s.
+        assert!(close(link.makespan(&flows), 10.0));
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        let link = FairShareLink::new(100.0);
+        assert!(link.completion_times(&[]).is_empty());
+        assert_eq!(link.makespan(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = FairShareLink::new(0.0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn conservation_of_work(
+                sizes in proptest::collection::vec(1.0f64..1e6, 1..20),
+                cap in 1.0f64..1e5,
+            ) {
+                // Makespan is never less than total work / capacity, and
+                // never less than the largest flow at full capacity.
+                let link = FairShareLink::new(cap);
+                let flows: Vec<Flow> = sizes.iter().map(|&b| Flow::at_zero(b)).collect();
+                let total: f64 = sizes.iter().sum();
+                let biggest = sizes.iter().cloned().fold(0.0, f64::max);
+                let m = link.makespan(&flows);
+                prop_assert!(m >= total / cap - 1e-6);
+                prop_assert!(m >= biggest / cap - 1e-6);
+                // And with everyone active from t=0 it is exactly total/cap
+                // when all sizes are equal.
+            }
+
+            #[test]
+            fn completion_times_are_nondecreasing_in_size(
+                a in 1.0f64..1e6, b in 1.0f64..1e6, cap in 1.0f64..1e5
+            ) {
+                let link = FairShareLink::new(cap);
+                let t = link.completion_times(&[Flow::at_zero(a), Flow::at_zero(b)]);
+                if a <= b {
+                    prop_assert!(t[0] <= t[1] + 1e-9);
+                } else {
+                    prop_assert!(t[1] <= t[0] + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # htpar-storage — storage substrate models
+//!
+//! The paper's I/O story has three pieces, all modeled here:
+//!
+//! 1. **Lustre** ([`lustre`]): the shared parallel filesystem. Clients
+//!    contend for aggregate bandwidth and for metadata service; writing a
+//!    million small files from 9,000 nodes is exactly the anti-pattern the
+//!    paper's best practice ("write stdout to node-local NVMe first")
+//!    avoids.
+//! 2. **Node-local NVMe** ([`nvme`]): fast, private, but with an
+//!    availability delay at job start (cited in the paper as a suspected
+//!    source of the 9,000-node stragglers).
+//! 3. **Staged prefetch pipelines** ([`staging`]): the §IV-B Darshan
+//!    workflow — process dataset *i* from NVMe while dataset *i+1* copies
+//!    from Lustre and dataset *i−1* is deleted, mirroring a CPU pipeline.
+//!
+//! [`flow`] provides the max-min fair-share bandwidth model used by both
+//! the Lustre copy-back in the Fig. 1 reproduction and the DTN transfer
+//! model in `htpar-transfer`.
+
+pub mod dataset;
+pub mod flow;
+pub mod lustre;
+pub mod nvme;
+pub mod staging;
+pub mod stripe;
+
+pub use dataset::{Dataset, SimFile};
+pub use flow::{FairShareLink, Flow};
+pub use lustre::Lustre;
+pub use nvme::Nvme;
+pub use stripe::StripeLayout;
+pub use staging::{PipelinePlan, PrefetchPipeline, StageOp};

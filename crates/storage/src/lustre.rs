@@ -1,0 +1,151 @@
+//! Shared parallel filesystem (Lustre-like) model.
+//!
+//! Two costs matter for the paper's experiments:
+//!
+//! - **Bandwidth contention**: aggregate throughput is shared by however
+//!   many clients stream at once; a single client is further limited by
+//!   its node's network injection rate.
+//! - **Metadata service**: every file create/open/unlink is a metadata
+//!   operation served by a fixed-rate MDS. Writing 1.152 M small stdout
+//!   files straight to Lustre (what Fig. 1's workflow deliberately avoids)
+//!   costs ~1.152 M metadata ops *serialized at the MDS*, which is why the
+//!   NVMe-first pattern exists.
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::{FairShareLink, Flow};
+
+/// A shared-filesystem model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lustre {
+    /// Aggregate read/write bandwidth (bytes/s) across all clients.
+    pub aggregate_bw_bps: f64,
+    /// Per-client ceiling (bytes/s) — node NIC injection limit.
+    pub per_client_bw_bps: f64,
+    /// Metadata operations the MDS serves per second.
+    pub metadata_iops: f64,
+}
+
+impl Lustre {
+    /// Frontier's Orion-class scale: ~10 TB/s aggregate, ~24 GB/s per
+    /// node (Slingshot NIC ceiling), ~100 k metadata ops/s. Values are
+    /// order-of-magnitude public figures; the experiments depend on the
+    /// ratios, not the absolutes.
+    pub fn frontier_orion() -> Lustre {
+        Lustre {
+            aggregate_bw_bps: 10e12,
+            per_client_bw_bps: 24e9,
+            metadata_iops: 100_000.0,
+        }
+    }
+
+    /// A modest institutional filesystem (used by the DTN experiments):
+    /// 100 GB/s aggregate, 3 GB/s per client, 50 k metadata ops/s.
+    pub fn campaign_storage() -> Lustre {
+        Lustre {
+            aggregate_bw_bps: 100e9,
+            per_client_bw_bps: 3e9,
+            metadata_iops: 50_000.0,
+        }
+    }
+
+    /// The link model for bulk streams.
+    pub fn link(&self) -> FairShareLink {
+        FairShareLink::new(self.aggregate_bw_bps).with_per_flow_cap(self.per_client_bw_bps)
+    }
+
+    /// Time for `clients` concurrent clients to each stream `bytes` bytes
+    /// (all starting together).
+    pub fn bulk_time_secs(&self, bytes: f64, clients: usize) -> f64 {
+        if clients == 0 || bytes <= 0.0 {
+            return 0.0;
+        }
+        let flows: Vec<Flow> = (0..clients).map(|_| Flow::at_zero(bytes)).collect();
+        self.link().makespan(&flows)
+    }
+
+    /// Effective streaming rate seen by one of `clients` concurrent
+    /// clients (bytes/s).
+    pub fn effective_client_bw(&self, clients: usize) -> f64 {
+        self.link().rate_per_flow(clients.max(1))
+    }
+
+    /// Time for the MDS to absorb `ops` metadata operations arriving from
+    /// everywhere at once (creates, opens, unlinks). The MDS is a single
+    /// queue: time = ops / iops.
+    pub fn metadata_time_secs(&self, ops: u64) -> f64 {
+        ops as f64 / self.metadata_iops
+    }
+
+    /// Time to write `files` small files of `bytes_each` from `clients`
+    /// clients: metadata cost (serialized at the MDS) plus data cost
+    /// (bandwidth-shared). Small-file workloads are metadata-dominated —
+    /// the quantitative version of "do not write small files to Lustre".
+    pub fn small_file_write_secs(&self, files: u64, bytes_each: f64, clients: usize) -> f64 {
+        let md = self.metadata_time_secs(files);
+        let data = self.bulk_time_secs(
+            bytes_each * files as f64 / clients.max(1) as f64,
+            clients.max(1),
+        );
+        md + data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_client_is_nic_limited() {
+        let fs = Lustre::frontier_orion();
+        // 24 GB over a 24 GB/s NIC = 1 s; aggregate is not the limit.
+        assert!(close(fs.bulk_time_secs(24e9, 1), 1.0));
+    }
+
+    #[test]
+    fn many_clients_are_aggregate_limited() {
+        let fs = Lustre::frontier_orion();
+        // 9000 clients × 10 GB = 90 TB over 10 TB/s = 9 s.
+        let t = fs.bulk_time_secs(10e9, 9000);
+        assert!(close(t, 9.0), "{t}");
+    }
+
+    #[test]
+    fn crossover_client_count() {
+        let fs = Lustre::frontier_orion();
+        // NIC-limited until aggregate/per_client = 10e12/24e9 ≈ 416 clients.
+        assert!(close(fs.effective_client_bw(10), 24e9));
+        assert!(fs.effective_client_bw(1000) < 24e9);
+        assert!(close(fs.effective_client_bw(1000), 10e12 / 1000.0));
+    }
+
+    #[test]
+    fn metadata_cost_scales_with_ops() {
+        let fs = Lustre::frontier_orion();
+        assert!(close(fs.metadata_time_secs(100_000), 1.0));
+        // 1.152 M files (Fig. 1's task count) ≈ 11.5 s of pure MDS time.
+        assert!(close(fs.metadata_time_secs(1_152_000), 11.52));
+    }
+
+    #[test]
+    fn small_files_are_metadata_dominated() {
+        let fs = Lustre::frontier_orion();
+        // 1.152 M × 1 KiB stdout files from 9000 clients.
+        let t = fs.small_file_write_secs(1_152_000, 1024.0, 9000);
+        let md = fs.metadata_time_secs(1_152_000);
+        assert!(t >= md);
+        assert!(md / t > 0.95, "metadata dominates: md={md} total={t}");
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let fs = Lustre::campaign_storage();
+        assert_eq!(fs.bulk_time_secs(0.0, 10), 0.0);
+        assert_eq!(fs.bulk_time_secs(100.0, 0), 0.0);
+        assert_eq!(fs.metadata_time_secs(0), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Node-local NVMe ("burst buffer") model.
+//!
+//! Private per-node storage: no cross-node contention, effectively free
+//! metadata, but it must be *provisioned* at job start — the paper lists
+//! "NVMe availability delays" among the suspected causes of its
+//! 9,000-node stragglers, so the model carries an availability-delay
+//! distribution.
+
+use htpar_simkit::Dist;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A node-local NVMe device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nvme {
+    /// Sequential read bandwidth, bytes/s.
+    pub read_bw_bps: f64,
+    /// Sequential write bandwidth, bytes/s.
+    pub write_bw_bps: f64,
+    /// Per-file-operation overhead, seconds (open/create on the local
+    /// filesystem; microseconds, not Lustre's shared-MDS milliseconds).
+    pub per_op_secs: f64,
+    /// Delay before the device is usable at job start (mount/format of
+    /// the burst buffer). Seconds.
+    pub availability_delay: Dist,
+}
+
+impl Nvme {
+    /// Frontier compute-node NVMe: ~2× 1.92 TB drives striped; we model
+    /// ~8 GB/s read, 4 GB/s write, 10 µs per local file op, and an
+    /// availability delay that is usually sub-second but occasionally
+    /// tens of seconds (the straggler tail).
+    pub fn frontier_node() -> Nvme {
+        Nvme {
+            read_bw_bps: 8e9,
+            write_bw_bps: 4e9,
+            per_op_secs: 10e-6,
+            availability_delay: Dist::Mix {
+                p: 0.98,
+                a: Box::new(Dist::Uniform { lo: 0.05, hi: 0.5 }),
+                b: Box::new(Dist::lognormal_median(20.0, 0.8)),
+            },
+        }
+    }
+
+    /// Time to read `bytes` sequentially.
+    pub fn read_secs(&self, bytes: f64) -> f64 {
+        bytes.max(0.0) / self.read_bw_bps
+    }
+
+    /// Time to write `bytes` sequentially.
+    pub fn write_secs(&self, bytes: f64) -> f64 {
+        bytes.max(0.0) / self.write_bw_bps
+    }
+
+    /// Time to write `files` files totalling `bytes`: per-op overhead plus
+    /// streaming cost.
+    pub fn write_files_secs(&self, files: u64, bytes: f64) -> f64 {
+        files as f64 * self.per_op_secs + self.write_secs(bytes)
+    }
+
+    /// Time to delete `files` files (metadata only).
+    pub fn delete_files_secs(&self, files: u64) -> f64 {
+        files as f64 * self.per_op_secs
+    }
+
+    /// Sample an availability delay.
+    pub fn sample_availability_delay<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.availability_delay.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htpar_simkit::stream_rng;
+
+    #[test]
+    fn streaming_times() {
+        let nvme = Nvme::frontier_node();
+        assert!((nvme.read_secs(8e9) - 1.0).abs() < 1e-9);
+        assert!((nvme.write_secs(4e9) - 1.0).abs() < 1e-9);
+        assert_eq!(nvme.read_secs(-5.0), 0.0);
+    }
+
+    #[test]
+    fn small_files_are_cheap_locally() {
+        let nvme = Nvme::frontier_node();
+        // 128 stdout files of 1 KiB: dominated by neither — microseconds.
+        let t = nvme.write_files_secs(128, 128.0 * 1024.0);
+        assert!(t < 0.01, "local small-file writes are sub-10ms: {t}");
+    }
+
+    #[test]
+    fn delete_scales_with_count() {
+        let nvme = Nvme::frontier_node();
+        let t1 = nvme.delete_files_secs(1000);
+        let t2 = nvme.delete_files_secs(2000);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_delay_mostly_fast_with_heavy_tail() {
+        let nvme = Nvme::frontier_node();
+        let mut rng = stream_rng(1, 0);
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| nvme.sample_availability_delay(&mut rng))
+            .collect();
+        let fast = samples.iter().filter(|&&s| s < 1.0).count() as f64 / samples.len() as f64;
+        assert!(fast > 0.95, "most nodes are fast: {fast}");
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 5.0, "tail exists: {max}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Lustre object striping.
+//!
+//! A Lustre file is striped round-robin over a set of OSTs (object
+//! storage targets) in `stripe_size` chunks. Striping is why a single
+//! client can exceed one OST's bandwidth — and why a badly chosen stripe
+//! count wastes either parallelism (too few OSTs) or per-OST efficiency
+//! (too many tiny chunks). The weak-scaling ablation uses this model to
+//! price the "write stdout straight to Lustre" anti-pattern.
+
+use serde::{Deserialize, Serialize};
+
+/// Striping layout of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLayout {
+    /// OSTs the file is striped over (`lfs setstripe -c`).
+    pub stripe_count: u32,
+    /// Bytes per stripe chunk (`lfs setstripe -S`), typically 1 MiB.
+    pub stripe_size: u64,
+}
+
+impl StripeLayout {
+    /// Lustre's common default: 1 stripe of 1 MiB chunks.
+    pub fn default_layout() -> StripeLayout {
+        StripeLayout {
+            stripe_count: 1,
+            stripe_size: 1 << 20,
+        }
+    }
+
+    /// A wide layout for large shared files.
+    pub fn wide(stripe_count: u32) -> StripeLayout {
+        StripeLayout {
+            stripe_count: stripe_count.max(1),
+            stripe_size: 1 << 20,
+        }
+    }
+
+    /// Bytes of a `file_bytes`-long file that land on each OST
+    /// (index < stripe_count). Round-robin chunk assignment.
+    pub fn bytes_per_ost(&self, file_bytes: u64) -> Vec<u64> {
+        let count = self.stripe_count.max(1) as u64;
+        let size = self.stripe_size.max(1);
+        let full_chunks = file_bytes / size;
+        let remainder = file_bytes % size;
+        let mut per_ost = vec![0u64; count as usize];
+        for chunk in 0..full_chunks {
+            per_ost[(chunk % count) as usize] += size;
+        }
+        if remainder > 0 {
+            per_ost[(full_chunks % count) as usize] += remainder;
+        }
+        per_ost
+    }
+
+    /// Time to stream the file when each OST serves `ost_bw_bps` and the
+    /// client NIC caps at `client_bw_bps`: the slowest OST's share at the
+    /// achievable per-OST rate.
+    pub fn read_time_secs(&self, file_bytes: u64, ost_bw_bps: f64, client_bw_bps: f64) -> f64 {
+        if file_bytes == 0 {
+            return 0.0;
+        }
+        let per_ost = self.bytes_per_ost(file_bytes);
+        let active = per_ost.iter().filter(|&&b| b > 0).count().max(1);
+        // The client NIC is shared by the active streams.
+        let per_stream_bw = (client_bw_bps / active as f64).min(ost_bw_bps);
+        let max_ost_bytes = per_ost.into_iter().max().unwrap_or(0);
+        max_ost_bytes as f64 / per_stream_bw
+    }
+
+    /// Effective aggregate bandwidth for the file.
+    pub fn effective_bw_bps(&self, file_bytes: u64, ost_bw_bps: f64, client_bw_bps: f64) -> f64 {
+        let t = self.read_time_secs(file_bytes, ost_bw_bps, client_bw_bps);
+        if t <= 0.0 {
+            0.0
+        } else {
+            file_bytes as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+
+    #[test]
+    fn chunks_round_robin_evenly() {
+        let layout = StripeLayout::wide(4);
+        let per_ost = layout.bytes_per_ost(8 * MIB);
+        assert_eq!(per_ost, vec![2 * MIB; 4]);
+    }
+
+    #[test]
+    fn remainder_lands_on_next_ost() {
+        let layout = StripeLayout::wide(3);
+        let per_ost = layout.bytes_per_ost(3 * MIB + 512);
+        assert_eq!(per_ost, vec![MIB + 512, MIB, MIB]);
+        let total: u64 = layout.bytes_per_ost(7 * MIB + 123).iter().sum();
+        assert_eq!(total, 7 * MIB + 123);
+    }
+
+    #[test]
+    fn small_file_touches_one_ost() {
+        let layout = StripeLayout::wide(8);
+        let per_ost = layout.bytes_per_ost(1000);
+        assert_eq!(per_ost[0], 1000);
+        assert!(per_ost[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn wider_stripes_speed_up_big_files_until_nic_binds() {
+        let file = 64 * MIB;
+        let ost_bw = 500e6;
+        let nic = 10e9;
+        let t1 = StripeLayout::wide(1).read_time_secs(file, ost_bw, nic);
+        let t4 = StripeLayout::wide(4).read_time_secs(file, ost_bw, nic);
+        let t16 = StripeLayout::wide(16).read_time_secs(file, ost_bw, nic);
+        assert!(t4 < t1 / 3.0, "{t1} -> {t4}");
+        assert!(t16 < t4, "{t4} -> {t16}");
+        // At 32 stripes the NIC (10 GB/s) limits: 32 × 500 MB/s > NIC.
+        let bw32 = StripeLayout::wide(32).effective_bw_bps(file, ost_bw, nic);
+        assert!(bw32 <= nic * 1.001, "{bw32}");
+    }
+
+    #[test]
+    fn single_stripe_is_ost_limited() {
+        let bw = StripeLayout::default_layout().effective_bw_bps(1 << 30, 500e6, 10e9);
+        assert!((bw - 500e6).abs() / 500e6 < 0.01, "{bw}");
+    }
+
+    #[test]
+    fn zero_file_is_free() {
+        assert_eq!(
+            StripeLayout::default_layout().read_time_secs(0, 500e6, 10e9),
+            0.0
+        );
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn stripes_conserve_bytes(
+                bytes in 0u64..1u64 << 34,
+                count in 1u32..64,
+                size_mib in 1u64..8,
+            ) {
+                let layout = StripeLayout { stripe_count: count, stripe_size: size_mib << 20 };
+                let total: u64 = layout.bytes_per_ost(bytes).iter().sum();
+                prop_assert_eq!(total, bytes);
+            }
+
+            #[test]
+            fn imbalance_bounded_by_one_chunk(
+                bytes in 0u64..1u64 << 32,
+                count in 1u32..32,
+            ) {
+                let layout = StripeLayout { stripe_count: count, stripe_size: 1 << 20 };
+                let per = layout.bytes_per_ost(bytes);
+                let max = *per.iter().max().unwrap();
+                let min = *per.iter().min().unwrap();
+                prop_assert!(max - min <= layout.stripe_size);
+            }
+        }
+    }
+}

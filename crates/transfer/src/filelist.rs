@@ -1,0 +1,106 @@
+//! `find -type f` as a library function.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Recursively enumerate regular files under `root`, sorted for
+/// determinism. Symlinks are not followed (matching `find -type f`
+/// without `-L`); dangling entries are skipped rather than erroring.
+pub fn find_files<P: AsRef<Path>>(root: P) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root.as_ref(), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let meta = fs::symlink_metadata(dir)?;
+    if meta.is_file() {
+        out.push(dir.to_path_buf());
+        return Ok(());
+    }
+    if !meta.is_dir() {
+        return Ok(()); // symlink or special file: skip
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let Ok(meta) = fs::symlink_metadata(&path) else {
+            continue; // raced deletion etc.
+        };
+        if meta.is_file() {
+            out.push(path);
+        } else if meta.is_dir() {
+            walk(&path, out)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::File;
+    use std::io::Write;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("htpar-fl-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn finds_nested_files_sorted() {
+        let dir = tmpdir("nested");
+        fs::create_dir_all(dir.join("a/b")).unwrap();
+        for p in ["z.txt", "a/one.txt", "a/b/two.txt"] {
+            let mut f = File::create(dir.join(p)).unwrap();
+            writeln!(f, "x").unwrap();
+        }
+        let files = find_files(&dir).unwrap();
+        let rel: Vec<String> = files
+            .iter()
+            .map(|p| p.strip_prefix(&dir).unwrap().display().to_string())
+            .collect();
+        assert_eq!(rel, vec!["a/b/two.txt", "a/one.txt", "z.txt"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_yields_nothing() {
+        let dir = tmpdir("empty");
+        assert!(find_files(&dir).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_root_yields_itself() {
+        let dir = tmpdir("fileroot");
+        let f = dir.join("only.dat");
+        File::create(&f).unwrap();
+        let files = find_files(&f).unwrap();
+        assert_eq!(files, vec![f]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_root_errors() {
+        assert!(find_files("/definitely/not/here").is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlinks_are_not_followed() {
+        let dir = tmpdir("symlink");
+        fs::create_dir_all(dir.join("real")).unwrap();
+        File::create(dir.join("real/f.txt")).unwrap();
+        std::os::unix::fs::symlink(dir.join("real"), dir.join("link")).unwrap();
+        std::os::unix::fs::symlink(dir.join("real/f.txt"), dir.join("flink")).unwrap();
+        let files = find_files(&dir).unwrap();
+        assert_eq!(files.len(), 1, "{files:?}");
+        assert!(files[0].ends_with("real/f.txt"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! The §II overhead comparison: a conventional WMS versus the
+//! driver-script + parallel-engine approach, on identical no-op task
+//! loads.
+
+use htpar_cluster::{LaunchModel, Machine};
+use htpar_workloads::wfbench;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{execute, WmsConfig};
+
+/// One row of the comparison table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    pub tasks: u64,
+    /// Nodes the sharded-parallel side uses (tasks / 128 per node).
+    pub nodes: u32,
+    /// Orchestration overhead through the central WMS, seconds.
+    pub wms_overhead_secs: f64,
+    /// Overhead through driver-script sharding + per-node parallel
+    /// instances: allocation ramp + per-node dispatch, seconds.
+    pub parallel_overhead_secs: f64,
+}
+
+impl ComparisonRow {
+    /// How many times cheaper the parallel approach is.
+    pub fn advantage(&self) -> f64 {
+        if self.parallel_overhead_secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.wms_overhead_secs / self.parallel_overhead_secs
+        }
+    }
+}
+
+/// Overhead of the paper's approach for `tasks` no-op tasks: shard over
+/// enough Frontier nodes for 128 tasks each, pay the allocation ramp and
+/// one instance's dispatch serialization per node.
+pub fn parallel_overhead_secs(tasks: u64, machine: &Machine) -> (u32, f64) {
+    let tasks_per_node = machine.threads_per_node.max(1) as u64;
+    let nodes = tasks.div_ceil(tasks_per_node).max(1) as u32;
+    let nodes = nodes.min(machine.nodes);
+    let per_node_tasks = tasks.div_ceil(nodes as u64);
+    let dispatch = LaunchModel::paper_calibrated().dispatch_time(per_node_tasks, 1);
+    // The allocation ramp from the Fig. 1 calibration: nodes become ready
+    // over ~0.01 s/node.
+    let ramp = 0.01 * nodes as f64;
+    (nodes, ramp + dispatch)
+}
+
+/// Build the comparison table for the given task counts.
+pub fn overhead_comparison(task_counts: &[u64]) -> Vec<ComparisonRow> {
+    let machine = Machine::frontier();
+    let wms_cfg = WmsConfig::swift_t_like();
+    task_counts
+        .iter()
+        .map(|&tasks| {
+            let wms = execute(&wfbench::launch_only(tasks as u32), &wms_cfg);
+            let (nodes, parallel) = parallel_overhead_secs(tasks, &machine);
+            ComparisonRow {
+                tasks,
+                nodes,
+                wms_overhead_secs: wms.overhead_secs,
+                parallel_overhead_secs: parallel,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_side_node_math() {
+        let machine = Machine::frontier();
+        let (nodes, overhead) = parallel_overhead_secs(1_152_000, &machine);
+        assert_eq!(nodes, 9000);
+        // Ramp 90 s + dispatch 128/470 ≈ 90.3 s — well under the paper's
+        // 561 s worst case (which includes straggler tails).
+        assert!(overhead > 80.0 && overhead < 120.0, "{overhead}");
+    }
+
+    #[test]
+    fn comparison_shape_matches_paper_argument() {
+        let rows = overhead_comparison(&[50_000, 100_000]);
+        // WMS: hundreds to thousands of seconds, superlinear.
+        assert!(rows[0].wms_overhead_secs > 300.0);
+        assert!(rows[1].wms_overhead_secs > 2.5 * rows[0].wms_overhead_secs);
+        // Parallel engine: tens of seconds, and the gap widens.
+        assert!(rows[0].parallel_overhead_secs < 60.0);
+        assert!(rows[1].advantage() > rows[0].advantage());
+        assert!(rows[0].advantage() > 10.0, "{}", rows[0].advantage());
+    }
+
+    #[test]
+    fn small_runs_fit_on_one_node() {
+        let machine = Machine::frontier();
+        let (nodes, _) = parallel_overhead_secs(100, &machine);
+        assert_eq!(nodes, 1);
+    }
+
+    #[test]
+    fn node_count_clamps_to_machine() {
+        let machine = Machine::frontier();
+        let (nodes, _) = parallel_overhead_secs(10_000_000_000, &machine);
+        assert_eq!(nodes, machine.nodes);
+    }
+}

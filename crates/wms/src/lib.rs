@@ -1,0 +1,26 @@
+//! # htpar-wms — the heavyweight workflow-manager baseline
+//!
+//! The paper motivates GNU Parallel with the WfBench finding (§II,
+//! ref \[7\]): launching tasks through a conventional workflow-management
+//! system on Summit cost ~500 s of pure orchestration overhead at 50,000
+//! tasks and up to ~5,000 s at 100,000 — before any computation or data
+//! transfer. The architectural reasons:
+//!
+//! 1. a **central dataflow engine** re-evaluates readiness over its task
+//!    table as the run progresses (work that grows with workflow size);
+//! 2. **per-task dispatch** passes through the central engine
+//!    (serialized control messages);
+//! 3. **data staging** is mediated per task.
+//!
+//! [`engine`] implements exactly that system — a real DAG executor with
+//! those cost centers — so the comparison in `tab_overhead_comparison`
+//! runs two actual schedulers against the same task graphs, not two
+//! formulas.
+
+pub mod compare;
+pub mod engine;
+pub mod timeline;
+
+pub use compare::{overhead_comparison, ComparisonRow};
+pub use engine::{execute, WmsConfig, WmsRun};
+pub use timeline::{execute_with_timeline, Gantt, Timeline};

@@ -1,0 +1,403 @@
+//! Synthetic Darshan I/O characterization logs (paper §IV-B).
+//!
+//! Darshan records per-job, per-module I/O counters. The archived Summit
+//! dataset the paper processes spans five years of such logs, organized
+//! by month and application. This module provides:
+//!
+//! - a deterministic generator of plausible logs,
+//! - a line-oriented serialization + parser (the role of
+//!   `darshan-parser`),
+//! - the aggregation the paper's `darshan_arch.py <month> <app>` step
+//!   performs: per-(month, app) I/O summaries.
+
+use htpar_simkit::{stream_rng, Dist};
+use serde::{Deserialize, Serialize};
+
+/// Instrumented I/O modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Module {
+    Posix,
+    MpiIo,
+    Stdio,
+}
+
+impl Module {
+    const ALL: [Module; 3] = [Module::Posix, Module::MpiIo, Module::Stdio];
+
+    fn tag(self) -> &'static str {
+        match self {
+            Module::Posix => "POSIX",
+            Module::MpiIo => "MPIIO",
+            Module::Stdio => "STDIO",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<Module> {
+        match s {
+            "POSIX" => Some(Module::Posix),
+            "MPIIO" => Some(Module::MpiIo),
+            "STDIO" => Some(Module::Stdio),
+            _ => None,
+        }
+    }
+}
+
+/// Counters for one module within one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleRecord {
+    pub module: Module,
+    pub opens: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub files: u64,
+}
+
+/// One job's Darshan log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DarshanLog {
+    pub job_id: u64,
+    /// Application executable name.
+    pub app: String,
+    /// 1-based month index within the archive.
+    pub month: u32,
+    pub nprocs: u32,
+    pub runtime_secs: u64,
+    pub records: Vec<ModuleRecord>,
+}
+
+impl DarshanLog {
+    /// Generate a plausible log, deterministic in `(seed, job_id)`.
+    pub fn generate(seed: u64, job_id: u64, month: u32, app: &str) -> DarshanLog {
+        let mut rng = stream_rng(seed, job_id);
+        let nprocs = [1u32, 8, 64, 512, 4096][(job_id % 5) as usize];
+        let io_scale = Dist::lognormal_median(1e9, 1.5);
+        let mut records = Vec::new();
+        for module in Module::ALL {
+            let bytes_read = io_scale.sample(&mut rng) as u64;
+            let bytes_written = io_scale.sample(&mut rng) as u64 / 4;
+            let files = 1 + (bytes_read / 100_000_000).min(10_000);
+            records.push(ModuleRecord {
+                module,
+                opens: files * 2,
+                reads: bytes_read / 65_536,
+                writes: bytes_written / 65_536,
+                bytes_read,
+                bytes_written,
+                files,
+            });
+        }
+        DarshanLog {
+            job_id,
+            app: app.to_string(),
+            month,
+            nprocs,
+            runtime_secs: 60 + job_id % 86_400,
+            records,
+        }
+    }
+
+    /// Serialize in the line-oriented text form (the stand-in for
+    /// `darshan-parser` output).
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "#darshan jobid={} app={} month={} nprocs={} runtime={}\n",
+            self.job_id, self.app, self.month, self.nprocs, self.runtime_secs
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{} opens={} reads={} writes={} bytes_read={} bytes_written={} files={}\n",
+                r.module.tag(),
+                r.opens,
+                r.reads,
+                r.writes,
+                r.bytes_read,
+                r.bytes_written,
+                r.files
+            ));
+        }
+        out
+    }
+
+    /// Parse the text form back.
+    pub fn parse(text: &str) -> Result<DarshanLog, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty log")?;
+        let header = header
+            .strip_prefix("#darshan ")
+            .ok_or("missing #darshan header")?;
+        let mut job_id = None;
+        let mut app = None;
+        let mut month = None;
+        let mut nprocs = None;
+        let mut runtime = None;
+        for field in header.split_whitespace() {
+            let (k, v) = field.split_once('=').ok_or("bad header field")?;
+            match k {
+                "jobid" => job_id = Some(v.parse().map_err(|_| "bad jobid")?),
+                "app" => app = Some(v.to_string()),
+                "month" => month = Some(v.parse().map_err(|_| "bad month")?),
+                "nprocs" => nprocs = Some(v.parse().map_err(|_| "bad nprocs")?),
+                "runtime" => runtime = Some(v.parse().map_err(|_| "bad runtime")?),
+                _ => return Err(format!("unknown header field {k}")),
+            }
+        }
+        let mut records = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let module = Module::from_tag(parts.next().ok_or("empty record")?)
+                .ok_or("unknown module")?;
+            let mut get = |name: &str| -> Result<u64, String> {
+                let field = parts.next().ok_or(format!("missing {name}"))?;
+                let (k, v) = field.split_once('=').ok_or("bad record field")?;
+                if k != name {
+                    return Err(format!("expected {name}, got {k}"));
+                }
+                v.parse().map_err(|_| format!("bad {name}"))
+            };
+            records.push(ModuleRecord {
+                module,
+                opens: get("opens")?,
+                reads: get("reads")?,
+                writes: get("writes")?,
+                bytes_read: get("bytes_read")?,
+                bytes_written: get("bytes_written")?,
+                files: get("files")?,
+            });
+        }
+        Ok(DarshanLog {
+            job_id: job_id.ok_or("missing jobid")?,
+            app: app.ok_or("missing app")?,
+            month: month.ok_or("missing month")?,
+            nprocs: nprocs.ok_or("missing nprocs")?,
+            runtime_secs: runtime.ok_or("missing runtime")?,
+            records,
+        })
+    }
+
+    /// Total bytes moved by the job (read + written, all modules).
+    pub fn total_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.bytes_read + r.bytes_written)
+            .sum()
+    }
+}
+
+/// Aggregated I/O behaviour of a (month, app) slice of the archive —
+/// what one `darshan_arch.py <month> <app>` task produces.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoSummary {
+    pub jobs: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub opens: u64,
+    pub files: u64,
+    pub proc_hours: u64,
+}
+
+impl IoSummary {
+    /// Fold one log into the summary.
+    pub fn add(&mut self, log: &DarshanLog) {
+        self.jobs += 1;
+        self.proc_hours += log.nprocs as u64 * log.runtime_secs / 3600;
+        for r in &log.records {
+            self.bytes_read += r.bytes_read;
+            self.bytes_written += r.bytes_written;
+            self.opens += r.opens;
+            self.files += r.files;
+        }
+    }
+
+    /// Aggregate a batch of logs.
+    pub fn of<'a, I: IntoIterator<Item = &'a DarshanLog>>(logs: I) -> IoSummary {
+        let mut s = IoSummary::default();
+        for log in logs {
+            s.add(log);
+        }
+        s
+    }
+
+    /// Read/write ratio (∞-safe).
+    pub fn read_write_ratio(&self) -> f64 {
+        if self.bytes_written == 0 {
+            f64::INFINITY
+        } else {
+            self.bytes_read as f64 / self.bytes_written as f64
+        }
+    }
+}
+
+/// Generate one month×app archive slice of `jobs` logs.
+pub fn generate_archive_slice(seed: u64, month: u32, app: &str, jobs: u64) -> Vec<DarshanLog> {
+    (0..jobs)
+        .map(|i| DarshanLog::generate(seed ^ (month as u64) << 32, i * 100 + month as u64, month, app))
+        .collect()
+}
+
+/// Write a slice of logs to a directory, one `.darshan.txt` file per
+/// log — the on-disk form the staged NVMe pipeline moves between tiers.
+pub fn write_slice_to_dir(dir: &std::path::Path, logs: &[DarshanLog]) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(logs.len());
+    for log in logs {
+        let path = dir.join(format!("job{:08}.darshan.txt", log.job_id));
+        std::fs::write(&path, log.to_text())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Parse every `.darshan.txt` under a directory (sorted for
+/// determinism).
+pub fn read_slice_from_dir(dir: &std::path::Path) -> std::io::Result<Vec<DarshanLog>> {
+    let mut names: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    names.sort();
+    let mut logs = Vec::with_capacity(names.len());
+    for path in names {
+        let text = std::fs::read_to_string(&path)?;
+        let log = DarshanLog::parse(&text).map_err(std::io::Error::other)?;
+        logs.push(log);
+    }
+    Ok(logs)
+}
+
+/// Process a directory of logs into an [`IoSummary`] — the work one
+/// pipeline "process" stage does.
+pub fn process_dir(dir: &std::path::Path) -> std::io::Result<IoSummary> {
+    Ok(IoSummary::of(&read_slice_from_dir(dir)?))
+}
+
+/// The paper's invocation grid: months 1..=12 × apps 0..=2 (listing 5:
+/// `parallel -j36 python3 ./darshan_arch.py ::: {1..12} ::: {0..2}`).
+pub fn paper_task_grid() -> Vec<(u32, u32)> {
+    let mut grid = Vec::with_capacity(36);
+    for month in 1..=12u32 {
+        for app in 0..=2u32 {
+            grid.push((month, app));
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DarshanLog::generate(1, 42, 3, "vasp");
+        let b = DarshanLog::generate(1, 42, 3, "vasp");
+        assert_eq!(a, b);
+        let c = DarshanLog::generate(2, 42, 3, "vasp");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let log = DarshanLog::generate(7, 123, 6, "lammps");
+        let parsed = DarshanLog::parse(&log.to_text()).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(DarshanLog::parse("").is_err());
+        assert!(DarshanLog::parse("not a log").is_err());
+        assert!(DarshanLog::parse("#darshan jobid=1 app=x month=1 nprocs=1 runtime=1\nBOGUS opens=1").is_err());
+        assert!(DarshanLog::parse("#darshan jobid=nope app=x month=1 nprocs=1 runtime=1").is_err());
+    }
+
+    #[test]
+    fn parse_requires_all_header_fields() {
+        assert!(DarshanLog::parse("#darshan jobid=1 app=x month=1 nprocs=4").is_err());
+    }
+
+    #[test]
+    fn all_modules_present() {
+        let log = DarshanLog::generate(1, 1, 1, "a");
+        assert_eq!(log.records.len(), 3);
+        let tags: Vec<&str> = log.records.iter().map(|r| r.module.tag()).collect();
+        assert_eq!(tags, vec!["POSIX", "MPIIO", "STDIO"]);
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let logs = generate_archive_slice(5, 2, "gromacs", 100);
+        let summary = IoSummary::of(&logs);
+        assert_eq!(summary.jobs, 100);
+        assert!(summary.bytes_read > 0);
+        assert!(summary.read_write_ratio() > 1.0, "reads dominate by construction");
+        // Summing two halves equals the whole.
+        let first = IoSummary::of(&logs[..50]);
+        let second = IoSummary::of(&logs[50..]);
+        assert_eq!(first.jobs + second.jobs, summary.jobs);
+        assert_eq!(
+            first.bytes_read + second.bytes_read,
+            summary.bytes_read
+        );
+    }
+
+    #[test]
+    fn task_grid_is_12_by_3() {
+        let grid = paper_task_grid();
+        assert_eq!(grid.len(), 36);
+        assert_eq!(grid[0], (1, 0));
+        assert_eq!(grid[35], (12, 2));
+    }
+
+    #[test]
+    fn disk_round_trip_and_process_dir() {
+        let dir = std::env::temp_dir().join(format!("htpar-darshan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let logs = generate_archive_slice(4, 7, "namd", 25);
+        let paths = write_slice_to_dir(&dir, &logs).unwrap();
+        assert_eq!(paths.len(), 25);
+        let back = read_slice_from_dir(&dir).unwrap();
+        assert_eq!(back.len(), 25);
+        let direct = IoSummary::of(&logs);
+        assert_eq!(process_dir(&dir).unwrap(), direct);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_slice_rejects_corrupt_files() {
+        let dir = std::env::temp_dir().join(format!("htpar-darshan-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.darshan.txt"), "not a log").unwrap();
+        assert!(read_slice_from_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn total_bytes_sums_modules() {
+        let log = DarshanLog::generate(1, 9, 1, "x");
+        let manual: u64 = log
+            .records
+            .iter()
+            .map(|r| r.bytes_read + r.bytes_written)
+            .sum();
+        assert_eq!(log.total_bytes(), manual);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn round_trip_any_generated(seed in 0u64..1000, job in 0u64..1000) {
+                let log = DarshanLog::generate(seed, job, (job % 12 + 1) as u32, "app");
+                prop_assert_eq!(DarshanLog::parse(&log.to_text()).unwrap(), log);
+            }
+        }
+    }
+}

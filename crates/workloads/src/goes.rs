@@ -1,0 +1,319 @@
+//! Mock GOES-16 imagery and the `convert` cloud-fraction analysis
+//! (paper §IV-A).
+//!
+//! The paper's fetch stage downloads GEOCOLOR sector images for eight
+//! regions every 30 seconds; the process stage runs ImageMagick:
+//!
+//! ```text
+//! convert ./data/*_{ts}.jpg -fuzz 10% -fill white -opaque white
+//!         -fill black +opaque white -format "%[fx:100*mean] " info:
+//! ```
+//!
+//! i.e. threshold near-white pixels (clouds) and print the white fraction
+//! as a percentage. [`fetch_image`] deterministically synthesizes a
+//! brightness field per (region, timestamp) and [`cloud_fraction`]
+//! reproduces the fuzz-threshold-mean computation.
+
+use htpar_simkit::stream_rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The eight sector codes the paper's `getdata` script fetches.
+pub const REGIONS: [&str; 8] = ["cgl", "ne", "nr", "se", "sp", "sr", "pr", "pnw"];
+
+/// A grayscale image (one brightness byte per pixel).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    pub region: String,
+    pub timestamp: u64,
+    pub width: u32,
+    pub height: u32,
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Mean brightness in `[0, 255]`.
+    pub fn mean_brightness(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().map(|&p| p as f64).sum::<f64>() / self.pixels.len() as f64
+    }
+}
+
+/// Deterministically synthesize a sector image: a latitude-like gradient
+/// plus blobby "cloud" regions whose coverage varies by region and
+/// timestamp. Stands in for the CDN download.
+pub fn fetch_image(region: &str, timestamp: u64, width: u32, height: u32) -> Image {
+    let region_idx = REGIONS
+        .iter()
+        .position(|&r| r == region)
+        .unwrap_or(REGIONS.len()) as u64;
+    let mut rng = stream_rng(region_idx.wrapping_mul(0x9E37).wrapping_add(timestamp), 0x60E5);
+    // Cloud cover fraction for this frame.
+    let cover: f64 = rng.gen_range(0.05..0.6);
+    // Cloud blob centers.
+    let n_blobs = rng.gen_range(3..9);
+    let blobs: Vec<(f64, f64, f64)> = (0..n_blobs)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..width as f64),
+                rng.gen_range(0.0..height as f64),
+                rng.gen_range(0.08..0.3) * width as f64 * cover.sqrt(),
+            )
+        })
+        .collect();
+    let mut pixels = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            // Base terrain gradient: darker toward the top.
+            let base = 40.0 + 80.0 * (y as f64 / height as f64);
+            // Cloud contribution: near-white inside blobs.
+            let mut v: f64 = base;
+            for &(cx, cy, r) in &blobs {
+                let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
+                if d2 < r * r {
+                    let falloff = 1.0 - (d2 / (r * r));
+                    v = v.max(215.0 + 40.0 * falloff);
+                }
+            }
+            pixels.push(v.clamp(0.0, 255.0) as u8);
+        }
+    }
+    Image {
+        region: region.to_string(),
+        timestamp,
+        width,
+        height,
+        pixels,
+    }
+}
+
+/// The `convert -fuzz F% ... -format "%[fx:100*mean]"` computation:
+/// pixels within `fuzz_percent` of pure white count as cloud; returns the
+/// cloud percentage in `[0, 100]`.
+pub fn cloud_fraction(image: &Image, fuzz_percent: f64) -> f64 {
+    if image.pixels.is_empty() {
+        return 0.0;
+    }
+    let threshold = 255.0 * (1.0 - fuzz_percent.clamp(0.0, 100.0) / 100.0);
+    let cloudy = image
+        .pixels
+        .iter()
+        .filter(|&&p| p as f64 >= threshold)
+        .count();
+    100.0 * cloudy as f64 / image.pixels.len() as f64
+}
+
+impl Image {
+    /// Serialize as a binary PGM (P5) — a real image file other tools can
+    /// open, standing in for the CDN's JPEGs.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Parse a binary PGM produced by [`Image::to_pgm`]. Region/timestamp
+    /// metadata are not stored in PGM; supply them from the file name.
+    pub fn from_pgm(data: &[u8], region: &str, timestamp: u64) -> Result<Image, String> {
+        let header_end = data
+            .windows(1)
+            .enumerate()
+            .filter(|(_, w)| w[0] == b'\n')
+            .map(|(i, _)| i)
+            .nth(2)
+            .ok_or("truncated PGM header")?;
+        let header = std::str::from_utf8(&data[..header_end]).map_err(|_| "bad header")?;
+        let mut lines = header.lines();
+        if lines.next() != Some("P5") {
+            return Err("not a P5 PGM".into());
+        }
+        let dims = lines.next().ok_or("missing dimensions")?;
+        let (w, h) = dims.split_once(' ').ok_or("bad dimensions")?;
+        let width: u32 = w.trim().parse().map_err(|_| "bad width")?;
+        let height: u32 = h.trim().parse().map_err(|_| "bad height")?;
+        if lines.next() != Some("255") {
+            return Err("unsupported maxval".into());
+        }
+        let pixels = data[header_end + 1..].to_vec();
+        if pixels.len() != (width * height) as usize {
+            return Err(format!(
+                "pixel count {} != {}x{}",
+                pixels.len(),
+                width,
+                height
+            ));
+        }
+        Ok(Image {
+            region: region.to_string(),
+            timestamp,
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// The file name the `getdata` script would use: `<region>_<ts>.pgm`.
+    pub fn file_name(&self) -> String {
+        format!("{}_{}.pgm", self.region, self.timestamp)
+    }
+}
+
+/// One fetch cycle of the `getdata` script: all eight regions at one
+/// timestamp.
+pub fn fetch_all_regions(timestamp: u64, width: u32, height: u32) -> Vec<Image> {
+    REGIONS
+        .iter()
+        .map(|r| fetch_image(r, timestamp, width, height))
+        .collect()
+}
+
+/// One processing task of the `procdata` script: cloud fractions for a
+/// batch of images (one timestamp), formatted like the paper's output.
+pub fn process_batch(images: &[Image], fuzz_percent: f64) -> String {
+    let mut out = String::new();
+    if let Some(first) = images.first() {
+        out.push_str(&format!("\nTimestamp:{}\n", first.timestamp));
+    }
+    for img in images {
+        out.push_str(&format!("{:.4} ", cloud_fraction(img, fuzz_percent)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_is_deterministic_per_region_and_time() {
+        let a = fetch_image("ne", 1000, 64, 64);
+        let b = fetch_image("ne", 1000, 64, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, fetch_image("ne", 1001, 64, 64));
+        assert_ne!(a.pixels, fetch_image("se", 1000, 64, 64).pixels);
+    }
+
+    #[test]
+    fn image_dimensions_honored() {
+        let img = fetch_image("sp", 5, 120, 80);
+        assert_eq!(img.pixels.len(), 120 * 80);
+        assert_eq!((img.width, img.height), (120, 80));
+    }
+
+    #[test]
+    fn cloud_fraction_bounds_and_monotone_in_fuzz() {
+        let img = fetch_image("cgl", 42, 128, 128);
+        let f5 = cloud_fraction(&img, 5.0);
+        let f10 = cloud_fraction(&img, 10.0);
+        let f50 = cloud_fraction(&img, 50.0);
+        assert!((0.0..=100.0).contains(&f5));
+        assert!(f5 <= f10 && f10 <= f50, "{f5} {f10} {f50}");
+    }
+
+    #[test]
+    fn all_white_image_is_100_percent_cloud() {
+        let img = Image {
+            region: "x".into(),
+            timestamp: 0,
+            width: 4,
+            height: 4,
+            pixels: vec![255; 16],
+        };
+        assert_eq!(cloud_fraction(&img, 10.0), 100.0);
+    }
+
+    #[test]
+    fn all_dark_image_is_0_percent_cloud() {
+        let img = Image {
+            region: "x".into(),
+            timestamp: 0,
+            width: 4,
+            height: 4,
+            pixels: vec![10; 16],
+        };
+        assert_eq!(cloud_fraction(&img, 10.0), 0.0);
+    }
+
+    #[test]
+    fn empty_image_is_safe() {
+        let img = Image {
+            region: "x".into(),
+            timestamp: 0,
+            width: 0,
+            height: 0,
+            pixels: vec![],
+        };
+        assert_eq!(cloud_fraction(&img, 10.0), 0.0);
+        assert_eq!(img.mean_brightness(), 0.0);
+    }
+
+    #[test]
+    fn images_contain_both_cloud_and_ground() {
+        let img = fetch_image("pnw", 7, 128, 128);
+        let cloud = cloud_fraction(&img, 10.0);
+        assert!(cloud > 1.0 && cloud < 90.0, "cloud {cloud}");
+    }
+
+    #[test]
+    fn fetch_all_regions_returns_eight() {
+        let batch = fetch_all_regions(99, 32, 32);
+        assert_eq!(batch.len(), 8);
+        let regions: Vec<&str> = batch.iter().map(|i| i.region.as_str()).collect();
+        assert_eq!(regions, REGIONS.to_vec());
+    }
+
+    #[test]
+    fn process_batch_formats_like_the_paper() {
+        let batch = fetch_all_regions(123, 32, 32);
+        let out = process_batch(&batch, 10.0);
+        assert!(out.starts_with("\nTimestamp:123\n"));
+        // Eight space-terminated numbers follow.
+        let nums: Vec<&str> = out.lines().last().unwrap().split_whitespace().collect();
+        assert_eq!(nums.len(), 8);
+        for n in nums {
+            let v: f64 = n.parse().unwrap();
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn process_empty_batch() {
+        assert_eq!(process_batch(&[], 10.0), "");
+    }
+
+    #[test]
+    fn pgm_round_trips() {
+        let img = fetch_image("nr", 77, 40, 30);
+        let bytes = img.to_pgm();
+        assert!(bytes.starts_with(b"P5\n40 30\n255\n"));
+        let back = Image::from_pgm(&bytes, "nr", 77).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_rejects_garbage() {
+        assert!(Image::from_pgm(b"", "x", 0).is_err());
+        assert!(Image::from_pgm(b"P6\n2 2\n255\nxxxx", "x", 0).is_err());
+        assert!(Image::from_pgm(b"P5\n2 2\n255\nxx", "x", 0).is_err(), "short pixels");
+    }
+
+    #[test]
+    fn file_name_matches_getdata_convention() {
+        let img = fetch_image("se", 1234, 8, 8);
+        assert_eq!(img.file_name(), "se_1234.pgm");
+    }
+
+    #[test]
+    fn pgm_survives_disk_round_trip_with_analysis_intact() {
+        let dir = std::env::temp_dir().join(format!("htpar-goes-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let img = fetch_image("pr", 9, 64, 64);
+        let path = dir.join(img.file_name());
+        std::fs::write(&path, img.to_pgm()).unwrap();
+        let loaded = Image::from_pgm(&std::fs::read(&path).unwrap(), "pr", 9).unwrap();
+        assert_eq!(cloud_fraction(&loaded, 10.0), cloud_fraction(&img, 10.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

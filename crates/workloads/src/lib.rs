@@ -1,0 +1,35 @@
+//! # htpar-workloads — the paper's application workloads
+//!
+//! Section IV of the paper demonstrates GNU Parallel on five real
+//! workloads. Each gets a synthetic-but-faithful implementation here so
+//! the examples and benches exercise real compute and real data paths,
+//! not stubs:
+//!
+//! - [`darshan`]: §IV-B — synthetic Darshan I/O characterization logs
+//!   (generator + parser + aggregation), the payload of the 5-stage
+//!   NVMe prefetch pipeline.
+//! - [`celeritas`]: §IV-D — a toy Monte Carlo particle-transport kernel
+//!   with `.inp.json` inputs and device binding via the slot-number GPU
+//!   isolation idiom.
+//! - [`forge`]: §IV-C — publication-corpus cleaning and curation:
+//!   abstract/full-text extraction, language filtering, character
+//!   cleanup, token accounting.
+//! - [`goes`]: §IV-A — a deterministic mock of the GOES-16 image CDN and
+//!   the ImageMagick `convert` cloud-fraction analysis, for the
+//!   fetch-process queue workflow.
+//! - [`wfbench`]: §II — WfBench-style synthetic task graphs used to
+//!   compare against the heavyweight WMS baseline.
+
+pub mod celeritas;
+pub mod darshan;
+pub mod dedup;
+pub mod forge;
+pub mod goes;
+pub mod wfbench;
+
+pub use celeritas::{CelerInput, CelerOutput};
+pub use darshan::{DarshanLog, IoSummary};
+pub use dedup::{dedup_documents, DedupReport};
+pub use forge::{CleanDocument, CorpusStats, RawDocument};
+pub use goes::{cloud_fraction, fetch_image, Image, REGIONS};
+pub use wfbench::{TaskSpec, Workflow};

@@ -1,0 +1,271 @@
+//! WfBench-style synthetic task graphs (paper §II, ref \[7\]).
+//!
+//! The benchmarking study the paper positions itself against measured
+//! WMS orchestration overhead by running workflows whose tasks do no
+//! work ("no data transfers and no computation — just launching the
+//! tasks"). These generators produce those graphs: bags of tasks,
+//! chains, fork–joins, and a BLAST-like split–process–merge shape.
+
+use htpar_simkit::{stream_rng, Dist};
+use serde::{Deserialize, Serialize};
+
+/// One task in a workflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    pub id: u32,
+    /// Indices of tasks that must finish first.
+    pub deps: Vec<u32>,
+    /// Compute time of the task itself, seconds (0 for pure-launch
+    /// overhead benchmarks).
+    pub runtime_secs: f64,
+    /// Input bytes staged before the task runs.
+    pub input_bytes: u64,
+    /// Output bytes produced.
+    pub output_bytes: u64,
+}
+
+/// A workflow: tasks with dependencies forming a DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    pub name: String,
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl Workflow {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the workflow is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Validate the dependency structure: indices in range, acyclic
+    /// (deps always point at lower ids — all generators build
+    /// topologically).
+    pub fn validate(&self) -> Result<(), String> {
+        for task in &self.tasks {
+            for &d in &task.deps {
+                if d >= task.id {
+                    return Err(format!("task {} depends on non-earlier {d}", task.id));
+                }
+                if d as usize >= self.tasks.len() {
+                    return Err(format!("task {} depends on missing {d}", task.id));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Tasks with no dependencies.
+    pub fn roots(&self) -> Vec<u32> {
+        self.tasks
+            .iter()
+            .filter(|t| t.deps.is_empty())
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Length of the longest dependency chain (critical path by hops).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.tasks.len()];
+        for task in &self.tasks {
+            let d = task
+                .deps
+                .iter()
+                .map(|&d| depth[d as usize] + 1)
+                .max()
+                .unwrap_or(1);
+            depth[task.id as usize] = d;
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Total compute seconds across tasks.
+    pub fn total_work_secs(&self) -> f64 {
+        self.tasks.iter().map(|t| t.runtime_secs).sum()
+    }
+}
+
+/// An embarrassingly parallel bag of `n` tasks.
+pub fn bag_of_tasks(n: u32, runtime: &Dist, seed: u64) -> Workflow {
+    let mut rng = stream_rng(seed, 0xBA6);
+    Workflow {
+        name: format!("bag-{n}"),
+        tasks: (0..n)
+            .map(|id| TaskSpec {
+                id,
+                deps: vec![],
+                runtime_secs: runtime.sample(&mut rng),
+                input_bytes: 0,
+                output_bytes: 0,
+            })
+            .collect(),
+    }
+}
+
+/// A strict chain of `n` tasks.
+pub fn chain(n: u32, runtime: &Dist, seed: u64) -> Workflow {
+    let mut rng = stream_rng(seed, 0xC4A1);
+    Workflow {
+        name: format!("chain-{n}"),
+        tasks: (0..n)
+            .map(|id| TaskSpec {
+                id,
+                deps: if id == 0 { vec![] } else { vec![id - 1] },
+                runtime_secs: runtime.sample(&mut rng),
+                input_bytes: 0,
+                output_bytes: 0,
+            })
+            .collect(),
+    }
+}
+
+/// `depth` sequential stages of `width` parallel tasks with full
+/// barriers between stages.
+pub fn fork_join(width: u32, depth: u32, runtime: &Dist, seed: u64) -> Workflow {
+    let mut rng = stream_rng(seed, 0xF02C);
+    let mut tasks = Vec::new();
+    let mut prev_stage: Vec<u32> = Vec::new();
+    let mut next_id = 0u32;
+    for _ in 0..depth {
+        let mut stage = Vec::new();
+        for _ in 0..width {
+            tasks.push(TaskSpec {
+                id: next_id,
+                deps: prev_stage.clone(),
+                runtime_secs: runtime.sample(&mut rng),
+                input_bytes: 0,
+                output_bytes: 0,
+            });
+            stage.push(next_id);
+            next_id += 1;
+        }
+        prev_stage = stage;
+    }
+    Workflow {
+        name: format!("forkjoin-{width}x{depth}"),
+        tasks,
+    }
+}
+
+/// BLAST-like shape (the workflow from the study's worst case): one
+/// split task fans out to `n` search tasks which merge into one result.
+pub fn blast_like(n: u32, runtime: &Dist, seed: u64) -> Workflow {
+    let mut rng = stream_rng(seed, 0xB1A57);
+    let mut tasks = vec![TaskSpec {
+        id: 0,
+        deps: vec![],
+        runtime_secs: runtime.sample(&mut rng),
+        input_bytes: 1 << 30,
+        output_bytes: 1 << 20,
+    }];
+    for i in 0..n {
+        tasks.push(TaskSpec {
+            id: i + 1,
+            deps: vec![0],
+            runtime_secs: runtime.sample(&mut rng),
+            input_bytes: 1 << 20,
+            output_bytes: 1 << 16,
+        });
+    }
+    tasks.push(TaskSpec {
+        id: n + 1,
+        deps: (1..=n).collect(),
+        runtime_secs: runtime.sample(&mut rng),
+        input_bytes: (n as u64) << 16,
+        output_bytes: 1 << 20,
+    });
+    Workflow {
+        name: format!("blast-{n}"),
+        tasks,
+    }
+}
+
+/// The pure-launch benchmark of the study: `n` no-op tasks.
+pub fn launch_only(n: u32) -> Workflow {
+    bag_of_tasks(n, &Dist::constant(0.0), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime() -> Dist {
+        Dist::Uniform { lo: 1.0, hi: 5.0 }
+    }
+
+    #[test]
+    fn bag_shape() {
+        let w = bag_of_tasks(100, &runtime(), 1);
+        assert_eq!(w.len(), 100);
+        w.validate().unwrap();
+        assert_eq!(w.roots().len(), 100);
+        assert_eq!(w.depth(), 1);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let w = chain(50, &runtime(), 1);
+        w.validate().unwrap();
+        assert_eq!(w.roots(), vec![0]);
+        assert_eq!(w.depth(), 50);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let w = fork_join(8, 4, &runtime(), 1);
+        assert_eq!(w.len(), 32);
+        w.validate().unwrap();
+        assert_eq!(w.roots().len(), 8);
+        assert_eq!(w.depth(), 4);
+        // Stage-2 tasks depend on all 8 stage-1 tasks.
+        assert_eq!(w.tasks[8].deps.len(), 8);
+    }
+
+    #[test]
+    fn blast_shape() {
+        let w = blast_like(100, &runtime(), 1);
+        assert_eq!(w.len(), 102);
+        w.validate().unwrap();
+        assert_eq!(w.roots(), vec![0]);
+        assert_eq!(w.depth(), 3);
+        assert_eq!(w.tasks.last().unwrap().deps.len(), 100);
+    }
+
+    #[test]
+    fn launch_only_has_zero_work() {
+        let w = launch_only(1000);
+        assert_eq!(w.total_work_secs(), 0.0);
+        assert_eq!(w.len(), 1000);
+    }
+
+    #[test]
+    fn validate_catches_bad_deps() {
+        let w = Workflow {
+            name: "bad".into(),
+            tasks: vec![TaskSpec {
+                id: 0,
+                deps: vec![0],
+                runtime_secs: 0.0,
+                input_bytes: 0,
+                output_bytes: 0,
+            }],
+        };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(bag_of_tasks(10, &runtime(), 5), bag_of_tasks(10, &runtime(), 5));
+        assert_ne!(bag_of_tasks(10, &runtime(), 5), bag_of_tasks(10, &runtime(), 6));
+    }
+
+    #[test]
+    fn total_work_sums() {
+        let w = bag_of_tasks(10, &Dist::constant(2.0), 1);
+        assert!((w.total_work_secs() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Shared helpers for the example binaries.
+//!
+//! The examples are the library's "listing 1–5" equivalents: each maps a
+//! shell idiom from the paper onto the `htpar` API. Run any of them with
+//! `cargo run -p htpar-examples --bin <name>`.
+
+use std::path::PathBuf;
+
+/// A per-process temp workspace that cleans up on drop.
+pub struct Workspace {
+    pub root: PathBuf,
+}
+
+impl Workspace {
+    /// Create `$TMPDIR/htpar-example-<tag>-<pid>`.
+    pub fn new(tag: &str) -> Workspace {
+        let root = std::env::temp_dir().join(format!(
+            "htpar-example-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create example workspace");
+        Workspace { root }
+    }
+
+    /// A path inside the workspace.
+    pub fn path(&self, rel: &str) -> PathBuf {
+        self.root.join(rel)
+    }
+}
+
+impl Drop for Workspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_creates_and_cleans() {
+        let path;
+        {
+            let ws = Workspace::new("selftest");
+            path = ws.root.clone();
+            assert!(path.is_dir());
+            std::fs::write(ws.path("f.txt"), "x").unwrap();
+        }
+        assert!(!path.exists());
+    }
+}

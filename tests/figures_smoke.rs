@@ -1,0 +1,113 @@
+//! Smoke tests asserting every figure/table regenerator's headline
+//! numbers — the executable form of EXPERIMENTS.md.
+
+use htpar_cluster::gpu;
+use htpar_cluster::weak_scaling::{run as ws_run, WeakScalingConfig};
+use htpar_cluster::{LaunchModel, SrunModel};
+use htpar_containers::{stress::launch_rate, BareMetal, PodmanHpc, Shifter};
+use htpar_storage::staging::PrefetchPipeline;
+use htpar_transfer::dtn::{representative_population, MotionComparison};
+use htpar_transfer::DtnConfig;
+use htpar_wms::overhead_comparison;
+
+const SEED: u64 = 2024; // the seed the regenerator binaries default to
+
+#[test]
+fn fig1_headline_numbers() {
+    let r8k = ws_run(&WeakScalingConfig::frontier(8000, SEED));
+    let s = r8k.task_summary();
+    assert!(s.median < 60.0, "half under a minute: {}", s.median);
+    assert!(s.q3 < 120.0, "75% under two minutes: {}", s.q3);
+
+    let r9k = ws_run(&WeakScalingConfig::frontier(9000, SEED));
+    assert_eq!(r9k.tasks_total, 1_152_000);
+    assert!(
+        (350.0..700.0).contains(&r9k.makespan_secs),
+        "paper: 561 s; measured {}",
+        r9k.makespan_secs
+    );
+}
+
+#[test]
+fn fig2_headline_numbers() {
+    let points = gpu::sweep(&[10, 20, 40, 60, 80, 100], SEED);
+    let min = points.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
+    let max = points.iter().map(|&(_, m)| m).fold(0.0, f64::max);
+    assert!(max - min < 10.0, "paper: <10 s variance; measured {}", max - min);
+}
+
+#[test]
+fn fig3_headline_numbers() {
+    let m = LaunchModel::paper_calibrated();
+    assert_eq!(m.aggregate_rate(1), 470.0);
+    assert_eq!(m.aggregate_rate(64), 6400.0);
+    let single_floor = LaunchModel::min_task_secs_for_utilization(256, 470.0);
+    assert!((single_floor - 0.545).abs() < 0.001);
+    let multi_floor = LaunchModel::min_task_secs_for_utilization(256, 6400.0);
+    assert!((multi_floor - 0.040).abs() < 1e-9);
+}
+
+#[test]
+fn fig4_headline_numbers() {
+    let m = LaunchModel::paper_calibrated();
+    let shifter = launch_rate(&m, &Shifter::default(), 64);
+    let bare = launch_rate(&m, &BareMetal, 64);
+    assert!((shifter - 5200.0).abs() < 10.0, "paper ~5,200/s: {shifter}");
+    let overhead_pct = (1.0 - shifter / bare) * 100.0;
+    assert!((overhead_pct - 19.0).abs() < 1.0, "paper 19%: {overhead_pct}");
+}
+
+#[test]
+fn fig5_headline_numbers() {
+    let m = LaunchModel::paper_calibrated();
+    let podman = launch_rate(&m, &PodmanHpc::default(), 64);
+    assert!((podman - 65.0).abs() < 1.0, "paper ~65/s: {podman}");
+}
+
+#[test]
+fn darshan_pipeline_headline_numbers() {
+    let plan = PrefetchPipeline::darshan_paper().plan(5);
+    assert!((plan.total_secs / 60.0 - 358.0).abs() < 0.5, "paper 358 min");
+    assert!((plan.baseline_secs / 60.0 - 430.0).abs() < 0.5, "paper 430 min");
+    assert!((plan.improvement() * 100.0 - 16.7).abs() < 1.0, "paper 17%");
+}
+
+#[test]
+fn data_motion_headline_numbers() {
+    let dataset = representative_population(SEED, 50_000, 512.0 * 1024.0 * 1024.0);
+    let cmp = MotionComparison::run(&dataset, &DtnConfig::paper_calibrated());
+    assert!(
+        cmp.parallel.per_node_mbps > 1_800.0,
+        "paper 2,385 Mb/s/node; measured {}",
+        cmp.parallel.per_node_mbps
+    );
+    assert!(
+        cmp.speedup_vs_sequential() > 150.0,
+        "paper 200x; measured {}",
+        cmp.speedup_vs_sequential()
+    );
+    assert!(
+        cmp.speedup_vs_wms() > 10.0,
+        "paper >10x; measured {}",
+        cmp.speedup_vs_wms()
+    );
+}
+
+#[test]
+fn overhead_comparison_headline_numbers() {
+    let rows = overhead_comparison(&[50_000, 100_000]);
+    assert!(rows[0].wms_overhead_secs > 300.0, "paper ~500 s at 50k");
+    assert!(
+        rows[1].wms_overhead_secs > 1_000.0,
+        "paper up to ~5,000 s at 100k; measured {}",
+        rows[1].wms_overhead_secs
+    );
+    assert!(rows[0].parallel_overhead_secs < 60.0);
+}
+
+#[test]
+fn srun_comparison_headline_numbers() {
+    let srun = SrunModel::calibrated();
+    let parallel = LaunchModel::paper_calibrated();
+    assert!(srun.dispatch_time(128) / parallel.dispatch_time(128, 1) > 50.0);
+}

@@ -1,0 +1,35 @@
+//! Shared helpers for the integration tests.
+
+use std::path::PathBuf;
+
+/// Temp directory scoped to one test, removed on drop.
+pub struct TestDir {
+    pub root: PathBuf,
+}
+
+impl TestDir {
+    /// Create a unique directory under the system temp dir.
+    pub fn new(tag: &str) -> TestDir {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "htpar-it-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create test dir");
+        TestDir { root }
+    }
+
+    /// Join a relative path.
+    pub fn path(&self, rel: &str) -> PathBuf {
+        self.root.join(rel)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}

@@ -1,0 +1,121 @@
+//! Engine-wide property tests: random configurations through the whole
+//! scheduling engine, checking the invariants every GNU-Parallel user
+//! relies on.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use htpar_core::chaos::ChaosExecutor;
+use htpar_core::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every job appears exactly once in the report, with counts that
+    /// sum, whatever the slot count, failure rate, or retry policy.
+    #[test]
+    fn engine_conserves_jobs(
+        n in 1usize..120,
+        jobs in 1usize..9,
+        fail_prob in 0.0f64..0.6,
+        retries in 0u32..3,
+        keep_order in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let report = Parallel::new("t {}")
+            .jobs(jobs)
+            .retries(retries)
+            .keep_order(keep_order)
+            .executor(ChaosExecutor::new(FnExecutor::noop(), fail_prob, seed))
+            .args((0..n).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        prop_assert_eq!(report.jobs_total, n as u64);
+        prop_assert_eq!(report.results.len(), n);
+        prop_assert_eq!(
+            report.succeeded + report.failed + report.skipped,
+            report.jobs_total
+        );
+        // Every seq 1..=n exactly once.
+        let mut seqs: Vec<u64> = report.results.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        prop_assert_eq!(seqs, (1..=n as u64).collect::<Vec<_>>());
+        if keep_order {
+            let ordered: Vec<u64> = report.results.iter().map(|r| r.seq).collect();
+            prop_assert_eq!(ordered, (1..=n as u64).collect::<Vec<_>>());
+        }
+        // Slots always in range.
+        for r in &report.results {
+            prop_assert!(r.slot >= 1 && r.slot <= jobs);
+        }
+    }
+
+    /// Concurrency never exceeds the slot count.
+    #[test]
+    fn engine_respects_slot_cap(
+        n in 1usize..60,
+        jobs in 1usize..7,
+    ) {
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&running);
+        let p2 = Arc::clone(&peak);
+        Parallel::new("t {}")
+            .jobs(jobs)
+            .executor(FnExecutor::new(move |_| {
+                let now = r2.fetch_add(1, Ordering::SeqCst) + 1;
+                p2.fetch_max(now, Ordering::SeqCst);
+                std::thread::yield_now();
+                r2.fetch_sub(1, Ordering::SeqCst);
+                Ok(TaskOutput::success())
+            }))
+            .args((0..n).map(|i| i.to_string()))
+            .run()
+            .unwrap();
+        prop_assert!(peak.load(Ordering::SeqCst) <= jobs);
+    }
+
+    /// Rendered commands embed their argument exactly once for simple
+    /// templates, regardless of batching off/on.
+    #[test]
+    fn rendering_is_faithful(
+        args in proptest::collection::vec("[a-zA-Z0-9_./-]{1,16}", 1..30),
+    ) {
+        let expect: Vec<String> = args.iter().map(|a| format!("cmd {a} out/{a}.x")).collect();
+        let report = Parallel::new("cmd {} out/{}.x")
+            .jobs(4)
+            .keep_order(true)
+            .executor(FnExecutor::new(|cmd| Ok(TaskOutput::stdout(cmd.rendered().to_string()))))
+            .args(args.clone())
+            .run()
+            .unwrap();
+        let got: Vec<&str> = report.results.iter().map(|r| r.stdout.as_str()).collect();
+        prop_assert_eq!(got, expect.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    /// Pipe-mode blocks partition stdin losslessly through the engine.
+    #[test]
+    fn pipe_mode_partitions_stdin(
+        lines in proptest::collection::vec("[a-z]{0,12}", 0..40),
+        block in 1usize..64,
+    ) {
+        let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let collected = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let c2 = Arc::clone(&collected);
+        let report = Parallel::new("consume")
+            .jobs(3)
+            .keep_order(true)
+            .executor(FnExecutor::new(move |cmd| {
+                c2.lock().unwrap().push((cmd.seq, cmd.stdin.clone().unwrap_or_default()));
+                Ok(TaskOutput::success())
+            }))
+            .run_pipe(input.as_bytes(), block)
+            .unwrap();
+        prop_assert!(report.all_succeeded());
+        let mut blocks = collected.lock().unwrap().clone();
+        blocks.sort_by_key(|(seq, _)| *seq);
+        let reassembled: String = blocks.into_iter().map(|(_, b)| b).collect();
+        prop_assert_eq!(reassembled, input);
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration tests over the simulated machines: the Fig. 1/2 shapes,
+//! container rates, and srun comparison all holding together across
+//! crates.
+
+use htpar_cluster::gpu::{self, GpuScalingConfig};
+use htpar_cluster::weak_scaling::{run as ws_run, WeakScalingConfig};
+use htpar_cluster::{driver_shard, LaunchModel, Machine, SlurmEnv, SrunModel};
+use htpar_containers::{stress::launch_rate, BareMetal, PodmanHpc, Shifter};
+
+#[test]
+fn fig1_medians_grow_and_tails_appear_only_at_scale() {
+    let mut medians = Vec::new();
+    for nodes in [1000u32, 3000, 5000, 7000, 9000] {
+        let r = ws_run(&WeakScalingConfig::frontier(nodes, 7));
+        let s = r.task_summary();
+        medians.push(s.median);
+        assert_eq!(r.tasks_total, nodes as u64 * 128);
+    }
+    for w in medians.windows(2) {
+        assert!(w[1] > w[0], "medians nondecreasing: {medians:?}");
+    }
+}
+
+#[test]
+fn fig1_all_tasks_complete_with_positive_times() {
+    let r = ws_run(&WeakScalingConfig::frontier(500, 3));
+    assert!(r.task_completion_secs.iter().all(|&t| t > 0.0));
+    assert!(r.makespan_secs >= r.task_completion_secs.iter().cloned().fold(0.0, f64::max));
+}
+
+#[test]
+fn fig2_gpu_weak_scaling_flat_and_isolated() {
+    let points = gpu::sweep(&[10, 50, 100], 5);
+    let min = points.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
+    let max = points.iter().map(|&(_, m)| m).fold(0.0, f64::max);
+    assert!(max - min < 10.0, "weak scaling flat: spread {}", max - min);
+
+    let r = gpu::run(&GpuScalingConfig::frontier(20, 5));
+    let mut devices: Vec<u32> = r.devices_used.clone();
+    devices.sort_unstable();
+    devices.dedup();
+    assert_eq!(devices.len(), 8, "all 8 GPUs exercised");
+}
+
+#[test]
+fn driver_shard_feeds_every_node_fairly_at_frontier_scale() {
+    let inputs: Vec<u32> = (0..1_152_000).collect();
+    let shards = driver_shard(&inputs, 9000);
+    assert_eq!(shards.len(), 9000);
+    assert!(shards.iter().all(|s| s.len() == 128));
+    // Cross-check against the awk predicate for a few nodes.
+    for nodeid in [0u32, 1, 4500, 8999] {
+        let env = SlurmEnv { nnodes: 9000, nodeid };
+        for &val in shards[nodeid as usize].iter().take(3) {
+            assert!(env.takes_line(val as u64 + 1));
+        }
+    }
+}
+
+#[test]
+fn container_rate_ordering_is_stable_across_instance_counts() {
+    let model = LaunchModel::paper_calibrated();
+    for instances in [1u32, 4, 16, 64] {
+        let bare = launch_rate(&model, &BareMetal, instances);
+        let shifter = launch_rate(&model, &Shifter::default(), instances);
+        let podman = launch_rate(&model, &PodmanHpc::default(), instances);
+        assert!(
+            bare >= shifter && shifter >= podman,
+            "{instances} instances: {bare} {shifter} {podman}"
+        );
+    }
+}
+
+#[test]
+fn paper_headline_rates_hold_together() {
+    let model = LaunchModel::paper_calibrated();
+    // Fig. 3: single instance 470/s, ceiling 6,400/s.
+    assert_eq!(model.aggregate_rate(1), 470.0);
+    assert_eq!(model.aggregate_rate(100), 6400.0);
+    // Fig. 4: Shifter ~5,200/s at the plateau.
+    let shifter = launch_rate(&model, &Shifter::default(), 100);
+    assert!((shifter - 5200.0).abs() < 10.0);
+    // Fig. 5: Podman ~65/s.
+    let podman = launch_rate(&model, &PodmanHpc::default(), 100);
+    assert!((podman - 65.0).abs() < 1.0);
+    // The "two orders of magnitude" sentence.
+    assert!(shifter / podman > 50.0);
+}
+
+#[test]
+fn srun_vs_parallel_dispatch_gap() {
+    let srun = SrunModel::calibrated();
+    let parallel = LaunchModel::paper_calibrated();
+    // One node's 128 tasks (the Darshan listing-4 vs listing-5 story).
+    let gap = srun.dispatch_time(128) / parallel.dispatch_time(128, 1);
+    assert!(gap > 50.0, "srun {gap}x slower");
+    // The gap grows with scale.
+    let gap_big = srun.dispatch_time(2048) / parallel.dispatch_time(2048, 1);
+    assert!(gap_big >= gap * 0.9, "{gap} -> {gap_big}");
+}
+
+#[test]
+fn machine_presets_are_self_consistent() {
+    for machine in [Machine::frontier(), Machine::perlmutter_cpu(), Machine::dtn_cluster()] {
+        assert!(machine.nodes > 0);
+        assert!(machine.threads_per_node > 0);
+        assert!(machine.launch.per_instance_rate > 0.0);
+        assert!(machine.launch.node_ceiling >= machine.launch.per_instance_rate);
+        assert!(machine.lustre.aggregate_bw_bps >= machine.lustre.per_client_bw_bps);
+    }
+}
+
+#[test]
+fn weak_scaling_seeded_reproducibility_across_processes() {
+    // The exact property EXPERIMENTS.md relies on: the regenerator
+    // prints identical tables on every run with the default seed.
+    let a = ws_run(&WeakScalingConfig::frontier(2000, 2024));
+    let b = ws_run(&WeakScalingConfig::frontier(2000, 2024));
+    assert_eq!(a.makespan_secs, b.makespan_secs);
+    assert_eq!(a.task_summary().median, b.task_summary().median);
+}

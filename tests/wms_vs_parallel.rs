@@ -1,0 +1,70 @@
+//! The §II argument as executable checks: the same task loads through
+//! the conventional WMS engine and through the parallel engine.
+
+use htpar_simkit::Dist;
+use htpar_wms::engine::{execute, WmsConfig};
+use htpar_wms::compare::{overhead_comparison, parallel_overhead_secs};
+use htpar_cluster::Machine;
+use htpar_workloads::wfbench;
+
+#[test]
+fn wms_overhead_shape_matches_the_study() {
+    let rows = overhead_comparison(&[50_000, 100_000]);
+    // WfBench figure 10 calibration: hundreds of seconds at 50k.
+    assert!(
+        rows[0].wms_overhead_secs > 300.0 && rows[0].wms_overhead_secs < 1_000.0,
+        "{}",
+        rows[0].wms_overhead_secs
+    );
+    // Superlinear growth toward the 100k point.
+    let growth = rows[1].wms_overhead_secs / rows[0].wms_overhead_secs;
+    assert!(growth > 2.5, "superlinear: {growth}x for 2x tasks");
+}
+
+#[test]
+fn parallel_engine_handles_a_million_tasks_in_minutes() {
+    let machine = Machine::frontier();
+    let (nodes, overhead) = parallel_overhead_secs(1_152_000, &machine);
+    assert_eq!(nodes, 9000);
+    assert!(overhead < 561.0, "under the paper's measured max: {overhead}");
+}
+
+#[test]
+fn advantage_grows_with_scale() {
+    let rows = overhead_comparison(&[10_000, 50_000, 100_000]);
+    for w in rows.windows(2) {
+        assert!(
+            w[1].advantage() > w[0].advantage(),
+            "advantage grows: {:?}",
+            rows.iter().map(|r| r.advantage()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn wms_runs_real_dags_correctly_despite_its_overhead() {
+    // The baseline is a real scheduler: dependencies still hold.
+    let cfg = WmsConfig::swift_t_like();
+    let chain = wfbench::chain(20, &Dist::constant(0.5), 1);
+    let run = execute(&chain, &cfg);
+    assert!(run.makespan_secs >= 10.0, "20 x 0.5s serialized");
+
+    let fj = wfbench::fork_join(16, 3, &Dist::constant(1.0), 2);
+    let run = execute(&fj, &cfg);
+    assert!(run.makespan_secs >= 3.0);
+    assert_eq!(run.tasks, 48);
+}
+
+#[test]
+fn with_real_work_the_wms_overhead_fraction_shrinks() {
+    // Orchestration overhead matters most for short tasks — the paper's
+    // HT-HPC regime. With hour-long tasks a WMS is fine; with 0-second
+    // tasks it dominates. Quantify both.
+    let cfg = WmsConfig::swift_t_like();
+    let short = execute(&wfbench::bag_of_tasks(20_000, &Dist::constant(0.1), 3), &cfg);
+    let long = execute(&wfbench::bag_of_tasks(2_000, &Dist::constant(600.0), 3), &cfg);
+    let short_frac = short.overhead_secs / short.makespan_secs;
+    let long_frac = long.overhead_secs / long.makespan_secs;
+    assert!(short_frac > 0.5, "short tasks: overhead dominates ({short_frac})");
+    assert!(long_frac < 0.1, "long tasks: overhead amortizes ({long_frac})");
+}
