@@ -22,7 +22,9 @@ fn bench_template(c: &mut Criterion) {
     group.bench_function("expand_pathops", |b| b.iter(|| t.expand(black_box(&ctx))));
 
     let plain = Template::parse("echo {}").unwrap();
-    group.bench_function("expand_simple", |b| b.iter(|| plain.expand(black_box(&ctx))));
+    group.bench_function("expand_simple", |b| {
+        b.iter(|| plain.expand(black_box(&ctx)))
+    });
 
     group.bench_function("expand_argv", |b| b.iter(|| t.expand_argv(black_box(&ctx))));
 
@@ -32,7 +34,9 @@ fn bench_template(c: &mut Criterion) {
 fn bench_batch(c: &mut Criterion) {
     use htpar_core::batch::{expand_context_replace, plan_batches};
     let mut group = c.benchmark_group("batch");
-    let args: Vec<String> = (0..1000).map(|i| format!("/proj/data/f{i:06}.dat")).collect();
+    let args: Vec<String> = (0..1000)
+        .map(|i| format!("/proj/data/f{i:06}.dat"))
+        .collect();
     group.throughput(Throughput::Elements(args.len() as u64));
     group.bench_function("plan_1000_files", |b| {
         b.iter(|| plan_batches(black_box(&args), None, 128 * 1024, 40, 1))

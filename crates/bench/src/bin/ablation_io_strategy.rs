@@ -23,7 +23,14 @@ fn main() {
     println!(
         "{}",
         header(
-            &["nodes", "nvme_med_s", "lfs_med_s", "med_ratio", "nvme_p99_s", "lfs_p99_s"],
+            &[
+                "nodes",
+                "nvme_med_s",
+                "lfs_med_s",
+                "med_ratio",
+                "nvme_p99_s",
+                "lfs_p99_s"
+            ],
             &widths
         )
     );
@@ -52,5 +59,7 @@ fn main() {
     println!();
     println!("checks:");
     println!("  the median penalty grows with occupancy (the MDS storm scales with task count)");
-    println!("  at small scale the strategies converge: the practice costs nothing, so use it always");
+    println!(
+        "  at small scale the strategies converge: the practice costs nothing, so use it always"
+    );
 }

@@ -23,7 +23,16 @@ fn main() {
     println!(
         "{}",
         header(
-            &["nodes", "tasks", "min_s", "q1_s", "med_s", "q3_s", "max_s", "makespan_s"],
+            &[
+                "nodes",
+                "tasks",
+                "min_s",
+                "q1_s",
+                "med_s",
+                "q3_s",
+                "max_s",
+                "makespan_s"
+            ],
             &widths
         )
     );

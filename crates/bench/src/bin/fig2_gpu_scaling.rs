@@ -19,7 +19,10 @@ fn main() {
     let widths = [6, 7, 11, 10, 9];
     println!(
         "{}",
-        header(&["nodes", "tasks", "makespan_s", "mean_s", "std_s"], &widths)
+        header(
+            &["nodes", "tasks", "makespan_s", "mean_s", "std_s"],
+            &widths
+        )
     );
     let mut makespans = Vec::new();
     for nodes in (1..=10).map(|k| k * 10) {

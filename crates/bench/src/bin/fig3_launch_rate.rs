@@ -11,19 +11,29 @@
 //!    actual `/bin/true` processes and in-process no-ops — to show the
 //!    same shape (single-instance serialization, multi-instance scaling
 //!    to a node ceiling) with this host's absolute numbers.
+//!
+//! Pass `--jsonl PATH` to also write the machine-readable launch
+//! trajectory (one telemetry event per line, schema in DESIGN.md) so
+//! plots can consume the run directly.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use htpar_bench::{header, preamble, row};
 use htpar_cluster::LaunchModel;
 use htpar_core::prelude::*;
+use htpar_core::stats::RateMeter;
+use htpar_telemetry::{EventBus, JsonlWriter, MetricsRegistry};
 
 fn model_sweep() {
     let model = LaunchModel::paper_calibrated();
     let widths = [10, 14, 22];
     println!(
         "{}",
-        header(&["instances", "launch_rate/s", "min_task_full_util_ms"], &widths)
+        header(
+            &["instances", "launch_rate/s", "min_task_full_util_ms"],
+            &widths
+        )
     );
     for instances in [1u32, 2, 4, 8, 13, 16, 32, 64] {
         let rate = model.aggregate_rate(instances);
@@ -110,6 +120,62 @@ fn real_sweep() {
     );
 }
 
+/// Run one instrumented dispatch sweep with the legacy `RateMeter` and
+/// the telemetry `MetricsRegistry` observing the same launches, and
+/// (optionally) a JSONL trajectory on disk. The two rate estimates must
+/// agree — the registry is a view over the bus, not a new definition.
+fn telemetry_sweep(jsonl_path: Option<&str>) {
+    let bus = EventBus::shared();
+    let metrics = MetricsRegistry::shared();
+    bus.attach(metrics.clone());
+    if let Some(path) = jsonl_path {
+        match JsonlWriter::create(std::path::Path::new(path)) {
+            Ok(writer) => bus.attach(writer),
+            Err(e) => eprintln!("fig3: cannot open {path}: {e}"),
+        }
+    }
+
+    // The legacy meter stamps from inside the executor — the pre-bus
+    // instrumentation point — while the registry stamps `spawned` events
+    // off the bus. Tasks sleep ~1 ms so the run spans a measurable window.
+    let meter = Arc::new(RateMeter::new());
+    let meter2 = Arc::clone(&meter);
+    Parallel::new("noop {}")
+        .jobs(4)
+        .telemetry(Arc::clone(&bus))
+        .executor(FnExecutor::new(move |_| {
+            meter2.record();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            Ok(TaskOutput::success())
+        }))
+        .args((0..400).map(|i| i.to_string()))
+        .run()
+        .expect("telemetry sweep run");
+
+    let legacy = meter.rate_per_sec().expect("≥2 launches");
+    let registry = metrics.launch_rate_sustained().expect("≥2 spawned events");
+    let disagreement = (registry - legacy).abs() / legacy;
+    println!("telemetry cross-check (400 tasks, 4 slots):");
+    println!("  legacy RateMeter:        {legacy:.1} launches/s");
+    println!("  bus MetricsRegistry:     {registry:.1} launches/s");
+    println!(
+        "  disagreement:            {:.3} % (must be < 1 %)",
+        disagreement * 100.0
+    );
+    assert!(
+        disagreement < 0.01,
+        "registry rate diverged from RateMeter: {registry} vs {legacy}"
+    );
+    let snap = metrics.snapshot();
+    println!(
+        "  registry snapshot:       ok={} p50={}us p99={}us",
+        snap.ok, snap.runtime.p50, snap.runtime.p99
+    );
+    if let Some(path) = jsonl_path {
+        println!("  JSONL trajectory:        {path}");
+    }
+}
+
 fn main() {
     preamble(
         "Fig. 3 — maximum tasks launched per second",
@@ -119,4 +185,12 @@ fn main() {
     model_sweep();
     println!();
     real_sweep();
+    println!();
+    let args: Vec<String> = std::env::args().collect();
+    let jsonl = args
+        .iter()
+        .position(|a| a == "--jsonl")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    telemetry_sweep(jsonl);
 }

@@ -20,7 +20,10 @@ fn main() {
 
     println!("Fig. 1 @ 8,000 nodes (median < 60, q3 < 120) and 9,000 nodes (makespan band):");
     let widths = [8, 10, 9, 13];
-    println!("{}", header(&["seed", "med8k_s", "q3_8k_s", "makespan9k_s"], &widths));
+    println!(
+        "{}",
+        header(&["seed", "med8k_s", "q3_8k_s", "makespan9k_s"], &widths)
+    );
     let mut worst_med: f64 = 0.0;
     let mut worst_q3: f64 = 0.0;
     let mut mk_lo = f64::INFINITY;
@@ -53,7 +56,10 @@ fn main() {
     println!();
     println!("Fig. 2 spread (< 10 s) and data-motion speedups across seeds:");
     let widths = [8, 10, 12, 9];
-    println!("{}", header(&["seed", "gpu_spread", "seq_speedup", "wms_x"], &widths));
+    println!(
+        "{}",
+        header(&["seed", "gpu_spread", "seq_speedup", "wms_x"], &widths)
+    );
     for &seed in &seeds {
         let points = gpu::sweep(&[10, 40, 70, 100], seed);
         let lo = points.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);

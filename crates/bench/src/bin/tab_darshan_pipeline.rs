@@ -19,7 +19,10 @@ fn main() {
     let plan = pipeline.plan(5);
 
     let widths = [6, 44, 13];
-    println!("{}", header(&["stage", "concurrent operations", "duration_min"], &widths));
+    println!(
+        "{}",
+        header(&["stage", "concurrent operations", "duration_min"], &widths)
+    );
     for (i, stage) in plan.stages.iter().enumerate() {
         let ops: Vec<String> = stage
             .ops
@@ -69,7 +72,10 @@ fn main() {
     let widths = [10, 13, 13, 13];
     println!(
         "{}",
-        header(&["datasets", "pipelined_min", "baseline_min", "improvement_%"], &widths)
+        header(
+            &["datasets", "pipelined_min", "baseline_min", "improvement_%"],
+            &widths
+        )
     );
     for n in [2usize, 3, 5, 10, 20] {
         let p = pipeline.plan(n);

@@ -33,7 +33,14 @@ fn main() {
     println!(
         "{}",
         header(
-            &["strategy", "nodes", "streams", "elapsed_h", "aggregate_Mb/s", "per_node_Mb/s"],
+            &[
+                "strategy",
+                "nodes",
+                "streams",
+                "elapsed_h",
+                "aggregate_Mb/s",
+                "per_node_Mb/s"
+            ],
             &widths
         )
     );
@@ -42,7 +49,11 @@ fn main() {
             "{}",
             row(
                 &[
-                    out.strategy.split([' ', '{']).next().unwrap_or("?").to_string(),
+                    out.strategy
+                        .split([' ', '{'])
+                        .next()
+                        .unwrap_or("?")
+                        .to_string(),
                     format!("{}", out.nodes_used),
                     format!("{}", out.streams_used),
                     format!("{:.1}", out.elapsed_secs / 3600.0),

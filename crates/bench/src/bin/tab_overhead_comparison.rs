@@ -21,7 +21,13 @@ fn main() {
     println!(
         "{}",
         header(
-            &["tasks", "nodes", "wms_overhead_s", "parallel_overhead_s", "advantage"],
+            &[
+                "tasks",
+                "nodes",
+                "wms_overhead_s",
+                "parallel_overhead_s",
+                "advantage"
+            ],
             &widths
         )
     );

@@ -21,7 +21,10 @@ fn main() {
     let widths = [9, 13, 17, 11];
     println!(
         "{}",
-        header(&["tasks", "srun_total_s", "parallel_total_s", "advantage"], &widths)
+        header(
+            &["tasks", "srun_total_s", "parallel_total_s", "advantage"],
+            &widths
+        )
     );
     for n in [36u64, 128, 512, 2048, 8192] {
         let t_srun = srun.dispatch_time(n);

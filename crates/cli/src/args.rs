@@ -212,7 +212,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliSpec, String> {
 
     // Phase 1: options.
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                          flag: &str|
+                      flag: &str|
      -> Result<String, String> {
         it.next()
             .cloned()
@@ -314,8 +314,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliSpec, String> {
             "-n" | "--max-args" => {
                 it.next();
                 let v = next_value(&mut it, t)?;
-                spec.options.max_args =
-                    Some(v.parse().map_err(|_| format!("bad max-args {v:?}"))?);
+                spec.options.max_args = Some(v.parse().map_err(|_| format!("bad max-args {v:?}"))?);
             }
             "-s" | "--max-chars" => {
                 it.next();
@@ -368,7 +367,10 @@ pub fn parse_args(argv: &[String]) -> Result<CliSpec, String> {
                 spec.shuffle = Some(seed);
                 it.next();
             }
-            _ if t.starts_with("-j") && t.len() > 2 && t[2..].chars().all(|c| c.is_ascii_digit()) => {
+            _ if t.starts_with("-j")
+                && t.len() > 2
+                && t[2..].chars().all(|c| c.is_ascii_digit()) =>
+            {
                 // GNU allows -j128 glued form.
                 spec.options.jobs = t[2..].parse().map_err(|_| format!("bad jobs {t:?}"))?;
                 it.next();
@@ -537,7 +539,13 @@ mod tests {
     #[test]
     fn joblog_resume_results() {
         let spec = parse(&[
-            "--joblog", "run.log", "--resume-failed", "--results", "out/", "work", "{}",
+            "--joblog",
+            "run.log",
+            "--resume-failed",
+            "--results",
+            "out/",
+            "work",
+            "{}",
         ])
         .unwrap();
         assert_eq!(spec.options.joblog, Some(PathBuf::from("run.log")));
@@ -561,7 +569,10 @@ mod tests {
     #[test]
     fn arg_files_and_colsep() {
         let spec = parse(&["-a", "list.txt", "--colsep", ",", "go", "{1}", "{2}"]).unwrap();
-        assert_eq!(spec.sources, vec![SourceSpec::File(PathBuf::from("list.txt"))]);
+        assert_eq!(
+            spec.sources,
+            vec![SourceSpec::File(PathBuf::from("list.txt"))]
+        );
         assert_eq!(spec.colsep.as_deref(), Some(","));
     }
 

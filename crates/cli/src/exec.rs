@@ -10,6 +10,7 @@ use htpar_core::output::tag_lines;
 use htpar_core::prelude::*;
 use htpar_core::progress::Progress;
 use htpar_core::template::{ExpandContext, Template};
+use htpar_telemetry::EventBus;
 
 use crate::args::{CliSpec, SourceSpec};
 
@@ -32,6 +33,23 @@ where
     R: BufRead + Send + 'static,
     F: Fn(&str, &str) + Send + Sync + Clone + 'static,
 {
+    execute_observed(spec, stdin, emit, None)
+}
+
+/// [`execute`] with an optional telemetry bus attached to the engine:
+/// every job's lifecycle ([`htpar_telemetry::Event`]) reaches the bus's
+/// sinks, so a `Recorder` or `MetricsRegistry` can observe a CLI-shaped
+/// run in-process.
+pub fn execute_observed<R, F>(
+    spec: CliSpec,
+    stdin: R,
+    emit: F,
+    bus: Option<Arc<EventBus>>,
+) -> Result<RunReport>
+where
+    R: BufRead + Send + 'static,
+    F: Fn(&str, &str) + Send + Sync + Clone + 'static,
+{
     let emit_line = emit.clone();
     let tag = spec.options.tag;
     let use_shell = spec.options.shell;
@@ -45,6 +63,9 @@ where
         None
     };
     let mut builder = Parallel::new(&spec.command).options(spec.options);
+    if let Some(bus) = bus {
+        builder = builder.telemetry(bus);
+    }
     if let Some(min_free) = spec.memfree_bytes {
         builder = builder.gate(htpar_core::gate::MemFreeGate::new(min_free));
     }
@@ -66,8 +87,7 @@ where
     }
     if !spec.sshlogins.is_empty() {
         let specs: Vec<&str> = spec.sshlogins.iter().map(String::as_str).collect();
-        let multi =
-            htpar_core::sshexec::multi_host_from_specs(&specs, 1, &spec.ssh_cmd)?;
+        let multi = htpar_core::sshexec::multi_host_from_specs(&specs, 1, &spec.ssh_cmd)?;
         // Size the slot pool to the hosts unless -j was explicit... the
         // pool itself caps per-host concurrency either way.
         builder = builder.jobs(multi.pool().total_slots()).executor(multi);
@@ -214,7 +234,11 @@ mod tests {
             "",
         );
         assert!(report.all_succeeded());
-        let mut lines: Vec<&str> = out.iter().map(|s| s.trim_end()).filter(|s| !s.is_empty()).collect();
+        let mut lines: Vec<&str> = out
+            .iter()
+            .map(|s| s.trim_end())
+            .filter(|s| !s.is_empty())
+            .collect();
         lines.sort();
         assert_eq!(lines, vec!["x-1", "x-2", "x-3"]);
     }
@@ -224,7 +248,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("htpar-clissh-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let shim = dir.join("fake-ssh");
-        std::fs::write(&shim, "#!/bin/sh\nhost=$3\nshift 6\nout=$(sh -c \"$1\")\necho \"$host=$out\"\n").unwrap();
+        std::fs::write(
+            &shim,
+            "#!/bin/sh\nhost=$3\nshift 6\nout=$(sh -c \"$1\")\necho \"$host=$out\"\n",
+        )
+        .unwrap();
         #[cfg(unix)]
         {
             use std::os::unix::fs::PermissionsExt;
@@ -258,7 +286,21 @@ mod tests {
 
     #[test]
     fn tagstring_renders_custom_tags() {
-        let (_, out) = run(&["-k", "--tagstring", "{#}|{}", "echo", "x", "#", "{}", ":::", "a", "b"], "");
+        let (_, out) = run(
+            &[
+                "-k",
+                "--tagstring",
+                "{#}|{}",
+                "echo",
+                "x",
+                "#",
+                "{}",
+                ":::",
+                "a",
+                "b",
+            ],
+            "",
+        );
         assert_eq!(out, vec!["1|a\tx\n", "2|b\tx\n"]);
     }
 
@@ -301,10 +343,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let list = dir.join("list.txt");
         std::fs::write(&list, "one\ntwo\n").unwrap();
-        let (report, out) = run(
-            &["-k", "-a", list.to_str().unwrap(), "echo", "f:{}"],
-            "",
-        );
+        let (report, out) = run(&["-k", "-a", list.to_str().unwrap(), "echo", "f:{}"], "");
         assert_eq!(report.jobs_total, 2);
         assert_eq!(out, vec!["f:one\n", "f:two\n"]);
         std::fs::remove_dir_all(&dir).unwrap();

@@ -115,6 +115,227 @@ fn stderr_of_jobs_reaches_stderr() {
     assert_eq!(code, 0);
 }
 
+/// Golden-format check of `--progress` output: one line per completed
+/// job, each matching the documented render
+/// `"{done} done ({ok} ok, {failed} failed, {skipped} skipped), {rate} jobs/s"`.
+#[test]
+fn progress_lines_match_golden_format() {
+    let (_, err, code) = run_with_stdin(
+        &[
+            "--progress",
+            "-j1",
+            "-k",
+            "true",
+            "{}",
+            ":::",
+            "1",
+            "2",
+            "3",
+        ],
+        "",
+    );
+    assert_eq!(code, 0);
+    let lines: Vec<&str> = err.lines().filter(|l| l.contains(" done (")).collect();
+    assert_eq!(lines.len(), 3, "one progress line per completed job: {err}");
+    for (i, line) in lines.iter().enumerate() {
+        let want = format!("{} done ({} ok, 0 failed, 0 skipped), ", i + 1, i + 1);
+        assert!(
+            line.starts_with(&want),
+            "line {i} diverged from golden prefix: {line}"
+        );
+        let rate = line[want.len()..]
+            .strip_suffix(" jobs/s")
+            .unwrap_or_else(|| panic!("missing rate suffix: {line}"));
+        assert!(rate.parse::<f64>().is_ok(), "non-numeric rate in: {line}");
+    }
+}
+
+/// Golden-structure check of the joblog file: GNU-compatible header, one
+/// TSV row per job with numeric time columns and the expanded command.
+#[test]
+fn joblog_file_matches_golden_structure() {
+    let dir = std::env::temp_dir().join(format!("htpar-joblog-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("golden.joblog");
+    let _ = std::fs::remove_file(&log);
+
+    let (_, _, code) = run_with_stdin(
+        &[
+            "-j1",
+            "-k",
+            "--joblog",
+            log.to_str().unwrap(),
+            "true",
+            "{}",
+            ":::",
+            "a",
+            "b",
+        ],
+        "",
+    );
+    assert_eq!(code, 0);
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines[0],
+        "Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand"
+    );
+    assert_eq!(lines.len(), 3, "header + one row per job: {text}");
+    for (i, row) in lines[1..].iter().enumerate() {
+        let cols: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cols.len(), 9, "nine TSV columns: {row}");
+        assert_eq!(cols[0], (i + 1).to_string(), "seq column");
+        assert!(cols[2].parse::<f64>().is_ok(), "numeric Starttime: {row}");
+        assert!(cols[3].parse::<f64>().is_ok(), "numeric JobRuntime: {row}");
+        assert_eq!(cols[6], "0", "Exitval of a successful job");
+        assert_eq!(cols[7], "0", "Signal of a successful job");
+        assert_eq!(
+            cols[8],
+            format!("true {}", ["a", "b"][i]),
+            "expanded command"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill a run mid-flight after the first job is logged, then `--resume`:
+/// only the job missing from the joblog may execute.
+#[test]
+fn kill_and_resume_runs_only_unlogged_jobs() {
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir().join(format!("htpar-kill-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("kill.joblog");
+    let _ = std::fs::remove_file(&log);
+
+    // Job 1 (`sleep 0`) finishes and is logged; job 2 (`sleep 600`)
+    // hangs, so the kill lands while the run is genuinely mid-flight.
+    let mut child = htpar()
+        .args([
+            "-j1",
+            "--joblog",
+            log.to_str().unwrap(),
+            "sleep",
+            "{}",
+            ":::",
+            "0",
+            "600",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn htpar");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let logged = std::fs::read_to_string(&log)
+            .map(|s| s.lines().any(|l| l.starts_with("1\t")))
+            .unwrap_or(false);
+        if logged {
+            break;
+        }
+        assert!(Instant::now() < deadline, "seq 1 was never logged");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let (out, _, code) = run_with_stdin(
+        &[
+            "-k",
+            "--joblog",
+            log.to_str().unwrap(),
+            "--resume",
+            "echo",
+            "ran-{}",
+            ":::",
+            "0",
+            "600",
+        ],
+        "",
+    );
+    assert_eq!(code, 0);
+    assert_eq!(out, "ran-600\n", "only the unlogged job may run");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Resume observed through the telemetry `Recorder`: skipped jobs emit
+/// only `Queued`, the one genuinely executed job a full lifecycle.
+#[test]
+fn recorder_distinguishes_skipped_from_executed_on_resume() {
+    use std::sync::Arc;
+
+    use htpar_cli::exec::execute_observed;
+    use htpar_cli::parse_args;
+    use htpar_telemetry::{EventBus, Recorder};
+
+    let dir = std::env::temp_dir().join(format!("htpar-recorder-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("recorder.joblog");
+    let _ = std::fs::remove_file(&log);
+    let spec = |tokens: &[&str]| {
+        let argv: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        parse_args(&argv).unwrap()
+    };
+    let emit = |_: &str, _: &str| {};
+
+    // Seed the joblog with jobs 1 and 2 complete.
+    let report = htpar_cli::execute(
+        spec(&[
+            "--joblog",
+            log.to_str().unwrap(),
+            "true",
+            "{}",
+            ":::",
+            "a",
+            "b",
+        ]),
+        std::io::empty(),
+        emit,
+    )
+    .unwrap();
+    assert_eq!(report.succeeded, 2);
+
+    // Resume with a third arg: 1 and 2 skip, 3 executes.
+    let bus = EventBus::shared();
+    let rec = Recorder::shared();
+    bus.attach(rec.clone());
+    let report = execute_observed(
+        spec(&[
+            "-k",
+            "--joblog",
+            log.to_str().unwrap(),
+            "--resume",
+            "true",
+            "{}",
+            ":::",
+            "a",
+            "b",
+            "c",
+        ]),
+        std::io::empty(),
+        emit,
+        Some(Arc::clone(&bus)),
+    )
+    .unwrap();
+    assert_eq!(report.skipped, 2);
+    assert_eq!(report.succeeded, 1);
+
+    let kinds = |seq: u64| -> Vec<&'static str> {
+        rec.lifecycle_of(seq).iter().map(|e| e.kind()).collect()
+    };
+    assert_eq!(kinds(1), vec!["queued"], "skipped job emits only Queued");
+    assert_eq!(kinds(2), vec!["queued"], "skipped job emits only Queued");
+    assert_eq!(
+        kinds(3),
+        vec!["queued", "slot_acquired", "spawned", "completed"],
+        "executed job emits the full lifecycle"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn joblog_resume_via_cli() {
     let dir = std::env::temp_dir().join(format!("htpar-cli-e2e-{}", std::process::id()));
@@ -123,7 +344,16 @@ fn joblog_resume_via_cli() {
     let _ = std::fs::remove_file(&log);
 
     let (_, _, code) = run_with_stdin(
-        &["-k", "--joblog", log.to_str().unwrap(), "true", "{}", ":::", "a", "b"],
+        &[
+            "-k",
+            "--joblog",
+            log.to_str().unwrap(),
+            "true",
+            "{}",
+            ":::",
+            "a",
+            "b",
+        ],
         "",
     );
     assert_eq!(code, 0);

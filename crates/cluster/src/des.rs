@@ -11,8 +11,10 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use htpar_simkit::{SimTime, Simulation, Tokens};
+use htpar_telemetry::{Event, EventBus, LaunchMethod};
 
 use crate::weak_scaling::{sample_node_plan, WeakScalingConfig, WeakScalingResult};
 
@@ -27,10 +29,27 @@ struct World {
 /// simulation. Semantically identical to [`crate::weak_scaling::run`];
 /// see the cross-validation tests.
 pub fn run_des(config: &WeakScalingConfig) -> WeakScalingResult {
+    run_des_observed(config, None)
+}
+
+/// [`run_des`] with an optional telemetry bus attached: the simulation
+/// engine reports its own milestones ([`Event::SimEventFired`] /
+/// [`Event::SimEventCancelled`]), each node-ready event emits
+/// [`Event::NodeUp`], and each node's launcher starting its dispatch
+/// chain emits [`Event::Launch`] with [`LaunchMethod::Parallel`].
+/// Telemetry is observation only: results are bit-identical with and
+/// without a bus.
+pub fn run_des_observed(
+    config: &WeakScalingConfig,
+    bus: Option<Arc<EventBus>>,
+) -> WeakScalingResult {
     assert!(config.nodes >= 1, "need at least one node");
     assert!(config.tasks_per_node >= 1 && config.jobs_per_node >= 1);
     let dispatch_gap = 1.0 / config.machine.launch.instance_rate();
     let mut sim = Simulation::with_seed(World::default(), config.seed);
+    if let Some(bus) = &bus {
+        sim.set_telemetry(Arc::clone(bus));
+    }
 
     for node in 0..config.nodes {
         let plan = Rc::new(sample_node_plan(config, node));
@@ -93,7 +112,15 @@ pub fn run_des(config: &WeakScalingConfig) -> WeakScalingResult {
 
         let plan2 = Rc::clone(&plan);
         let state2 = Rc::clone(&node_state);
+        let node_bus = bus.clone();
         sim.schedule_at(start, move |sim| {
+            if let Some(bus) = &node_bus {
+                bus.emit(Event::NodeUp { node });
+                bus.emit(Event::Launch {
+                    method: LaunchMethod::Parallel,
+                    tasks: tasks as u64,
+                });
+            }
             dispatch_next(sim, 0, tasks, dispatch_gap, plan2, slots, state2);
         });
     }
@@ -178,5 +205,49 @@ mod tests {
         let a = run_des(&config);
         let b = run_des(&config);
         assert_eq!(a.task_completion_secs, b.task_completion_secs);
+    }
+
+    #[test]
+    fn observed_run_emits_cluster_events_without_perturbing_results() {
+        use htpar_telemetry::Recorder;
+        let config = WeakScalingConfig::frontier(6, 11);
+        let bare = run_des(&config);
+
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let observed = run_des_observed(&config, Some(Arc::clone(&bus)));
+        assert_eq!(bare.task_completion_secs, observed.task_completion_secs);
+        assert_eq!(bare.makespan_secs, observed.makespan_secs);
+
+        // One NodeUp per node, with every node id present.
+        let mut nodes_up: Vec<u32> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::NodeUp { node } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        nodes_up.sort_unstable();
+        assert_eq!(nodes_up, (0..config.nodes).collect::<Vec<u32>>());
+
+        // One parallel-launch wave per node covering all tasks.
+        let launched: u64 = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Launch {
+                    method: LaunchMethod::Parallel,
+                    tasks,
+                } => Some(*tasks),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(launched, bare.tasks_total);
+
+        // The simulation engine reported its own milestones too.
+        let fired = rec.count_matching(|e| e.kind() == "sim_event_fired");
+        assert!(fired as u64 >= bare.tasks_total, "fired {fired}");
     }
 }

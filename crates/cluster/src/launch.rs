@@ -11,6 +11,7 @@
 //!   instances when tasks last ≥ 256/6,400 = **40 ms** — both numbers the
 //!   paper quotes.
 
+use htpar_telemetry::{Event, EventBus, LaunchMethod};
 use serde::{Deserialize, Serialize};
 
 /// Launch-rate model for one node.
@@ -87,6 +88,17 @@ impl LaunchModel {
             return 0.0;
         }
         n as f64 / self.aggregate_rate(instances.max(1))
+    }
+
+    /// [`LaunchModel::dispatch_time`] that also reports the launch wave
+    /// on a telemetry bus as [`Event::Launch`] with
+    /// [`LaunchMethod::Parallel`].
+    pub fn dispatch_observed(&self, n: u64, instances: u32, bus: &EventBus) -> f64 {
+        bus.emit(Event::Launch {
+            method: LaunchMethod::Parallel,
+            tasks: n,
+        });
+        self.dispatch_time(n, instances)
     }
 }
 
@@ -174,5 +186,25 @@ mod tests {
     #[should_panic(expected = "cannot be < 1")]
     fn sub_unity_overhead_rejected() {
         let _ = LaunchModel::paper_calibrated().with_container_overhead(0.5);
+    }
+
+    #[test]
+    fn observed_dispatch_reports_parallel_launch_wave() {
+        use htpar_telemetry::Recorder;
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let m = LaunchModel::paper_calibrated();
+        let observed = m.dispatch_observed(1280, 4, &bus);
+        assert_eq!(observed, m.dispatch_time(1280, 4));
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            Event::Launch {
+                method: LaunchMethod::Parallel,
+                tasks: 1280
+            }
+        ));
     }
 }

@@ -2,6 +2,7 @@
 //! allocation-delay model, and the `srun`-per-task baseline.
 
 use htpar_simkit::Dist;
+use htpar_telemetry::{Event, EventBus, LaunchMethod};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -69,7 +70,10 @@ impl AllocationModel {
             jitter: Dist::lognormal_median(8.0, 0.45),
             outlier_base: 0.012,
             reference_nodes: 9000,
-            outlier_delay: Dist::Uniform { lo: 180.0, hi: 430.0 },
+            outlier_delay: Dist::Uniform {
+                lo: 180.0,
+                hi: 430.0,
+            },
         }
     }
 
@@ -82,12 +86,7 @@ impl AllocationModel {
 
     /// Sample the ready time (seconds from job start) of node `nodeid` in
     /// an allocation of `nodes`.
-    pub fn sample_ready_time<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        nodes: u32,
-        _nodeid: u32,
-    ) -> f64 {
+    pub fn sample_ready_time<R: Rng + ?Sized>(&self, rng: &mut R, nodes: u32, _nodeid: u32) -> f64 {
         let ramp_window = self.ramp_secs_per_node * nodes as f64;
         let base = rng.gen::<f64>() * ramp_window;
         let jitter = self.jitter.sample(rng);
@@ -149,13 +148,25 @@ impl SrunModel {
                 }
             }
             let start = controller_free_at.max(submit);
-            let service = self.base_service_secs
-                + self.degradation_per_outstanding * queue.len() as f64;
+            let service =
+                self.base_service_secs + self.degradation_per_outstanding * queue.len() as f64;
             controller_free_at = start + service;
             queue.push_back(controller_free_at);
         }
         let _ = finished;
         controller_free_at
+    }
+
+    /// [`SrunModel::dispatch_time`] that also reports the launch wave on
+    /// a telemetry bus as [`Event::Launch`] with [`LaunchMethod::Srun`] —
+    /// the srun-vs-parallel comparison becomes a pair of `launch` events
+    /// on the same bus.
+    pub fn dispatch_observed(&self, n: u64, bus: &EventBus) -> f64 {
+        bus.emit(Event::Launch {
+            method: LaunchMethod::Srun,
+            tasks: n,
+        });
+        self.dispatch_time(n)
     }
 
     /// Steady-state dispatch rate (tasks/s) for large `n`.
@@ -174,12 +185,18 @@ mod tests {
 
     #[test]
     fn takes_line_matches_awk_semantics() {
-        let env = SlurmEnv { nnodes: 4, nodeid: 1 };
+        let env = SlurmEnv {
+            nnodes: 4,
+            nodeid: 1,
+        };
         // NR % 4 == 1 → lines 1, 5, 9, …
         assert!(env.takes_line(1));
         assert!(!env.takes_line(2));
         assert!(env.takes_line(5));
-        let env0 = SlurmEnv { nnodes: 4, nodeid: 0 };
+        let env0 = SlurmEnv {
+            nnodes: 4,
+            nodeid: 0,
+        };
         assert!(env0.takes_line(4));
         assert!(!env0.takes_line(1));
     }
@@ -276,5 +293,25 @@ mod tests {
     fn srun_zero_tasks() {
         assert_eq!(SrunModel::calibrated().dispatch_time(0), 0.0);
         assert_eq!(SrunModel::calibrated().dispatch_rate(0), 0.0);
+    }
+
+    #[test]
+    fn observed_dispatch_reports_srun_launch_wave() {
+        use htpar_telemetry::Recorder;
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let m = SrunModel::calibrated();
+        let observed = m.dispatch_observed(128, &bus);
+        assert_eq!(observed, m.dispatch_time(128));
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            Event::Launch {
+                method: LaunchMethod::Srun,
+                tasks: 128
+            }
+        ));
     }
 }

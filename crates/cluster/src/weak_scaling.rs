@@ -127,8 +127,11 @@ pub fn sample_node_plan(config: &WeakScalingConfig, node: u32) -> NodePlan {
         .effective_client_bw(concurrent_writers);
     let aggregated_bytes = config.stdout_bytes_per_task as f64 * config.tasks_per_node as f64;
     // One metadata op per node; the MDS serves the whole machine.
-    let md_secs =
-        config.machine.lustre.metadata_time_secs(config.nodes as u64) / config.nodes as f64;
+    let md_secs = config
+        .machine
+        .lustre
+        .metadata_time_secs(config.nodes as u64)
+        / config.nodes as f64;
 
     let mut rng = stream_rng(config.seed, node as u64);
     let ready = config
@@ -339,11 +342,7 @@ mod tests {
             .cloned()
             .fold(f64::INFINITY, f64::min)
             - 10.0;
-        let last = r
-            .task_completion_secs
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max);
+        let last = r.task_completion_secs.iter().cloned().fold(0.0, f64::max);
         assert!(last - start >= 20.0 - 1e-6, "two rounds of 10 s tasks");
     }
 }

@@ -40,8 +40,7 @@ pub trait ContainerRuntime: Send + Sync {
 
     /// Sample whether one launch fails, given the number of concurrent
     /// launches in flight. `None` = success.
-    fn sample_failure(&self, rng: &mut dyn rand::RngCore, concurrency: u32)
-        -> Option<FailureKind>;
+    fn sample_failure(&self, rng: &mut dyn rand::RngCore, concurrency: u32) -> Option<FailureKind>;
 }
 
 /// No container: the bare-metal baseline.
@@ -142,8 +141,7 @@ impl ContainerRuntime for PodmanHpc {
     fn global_rate_cap(&self) -> Option<f64> {
         Some(1.0 / self.db_service_secs)
     }
-    fn sample_failure(&self, rng: &mut dyn rand::RngCore, concurrency: u32)
-        -> Option<FailureKind> {
+    fn sample_failure(&self, rng: &mut dyn rand::RngCore, concurrency: u32) -> Option<FailureKind> {
         if rng.gen::<f64>() >= self.failure_probability(concurrency) {
             return None;
         }
@@ -203,7 +201,10 @@ mod tests {
         let fails_high = (0..20_000)
             .filter(|_| rt.sample_failure(&mut rng, 256).is_some())
             .count();
-        assert!(fails_high > 10 * fails_low.max(1), "{fails_low} vs {fails_high}");
+        assert!(
+            fails_high > 10 * fails_low.max(1),
+            "{fails_low} vs {fails_high}"
+        );
     }
 
     #[test]

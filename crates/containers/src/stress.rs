@@ -45,9 +45,8 @@ impl StressReport {
 /// Effective launch rate of `instances` × `jobs` launchers running no-op
 /// containerized payloads on a node described by `model`.
 pub fn launch_rate(model: &LaunchModel, rt: &dyn ContainerRuntime, instances: u32) -> f64 {
-    let scaled = model.with_container_overhead(
-        model.container_overhead * rt.launch_overhead_factor(),
-    );
+    let scaled =
+        model.with_container_overhead(model.container_overhead * rt.launch_overhead_factor());
     let rate = scaled.aggregate_rate(instances);
     match rt.global_rate_cap() {
         Some(cap) => rate.min(cap),

@@ -79,9 +79,9 @@ pub fn expand_context_replace(
     let words = split_words(template);
     let mut out = String::new();
     for word in words {
-        let has_arg_token = word.iter().any(|t| {
-            matches!(t, Token::Arg(_) | Token::Positional(..))
-        });
+        let has_arg_token = word
+            .iter()
+            .any(|t| matches!(t, Token::Arg(_) | Token::Positional(..)));
         if has_arg_token {
             for arg in batch {
                 push_word(&mut out, &word, std::slice::from_ref(arg), seq, slot);

@@ -322,9 +322,7 @@ fn spawn_line_reader<R: Read + Send + 'static>(
 }
 
 fn join_reader(handle: Option<ReaderHandle>) -> String {
-    handle
-        .and_then(|h| h.join().ok())
-        .unwrap_or_default()
+    handle.and_then(|h| h.join().ok()).unwrap_or_default()
 }
 
 /// Runs jobs as in-process closures.
@@ -394,7 +392,8 @@ mod tests {
 
     #[test]
     fn shell_executor_captures_stdout() {
-        let out = ProcessExecutor::shell().execute(&cmdline("echo hello", &[]), &ExecContext::default());
+        let out =
+            ProcessExecutor::shell().execute(&cmdline("echo hello", &[]), &ExecContext::default());
         assert_eq!(out.status, JobStatus::Success);
         assert_eq!(out.stdout, "hello\n");
     }
@@ -447,7 +446,10 @@ mod tests {
 
     #[test]
     fn env_vars_reach_the_job() {
-        let mut cmd = cmdline("echo seq=$PARALLEL_SEQ slot=$PARALLEL_JOBSLOT dev=$DEV", &[]);
+        let mut cmd = cmdline(
+            "echo seq=$PARALLEL_SEQ slot=$PARALLEL_JOBSLOT dev=$DEV",
+            &[],
+        );
         cmd.env.push(("DEV".into(), "3".into()));
         let out = ProcessExecutor::shell().execute(&cmd, &ExecContext::default());
         assert_eq!(out.stdout, "seq=1 slot=1 dev=3\n");
@@ -503,7 +505,9 @@ mod tests {
             .map(|(_, _, l)| l.as_str())
             .collect();
         assert_eq!(stdout_lines, vec!["one", "two"]);
-        assert!(events.iter().any(|(_, k, l)| *k == StreamKind::Stderr && l == "err"));
+        assert!(events
+            .iter()
+            .any(|(_, k, l)| *k == StreamKind::Stderr && l == "err"));
     }
 
     #[test]

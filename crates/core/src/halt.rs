@@ -95,9 +95,7 @@ impl HaltPolicy {
             Condition::Never => false,
             Condition::FailCount(n) => tally.failed >= n,
             Condition::SuccessCount(n) => tally.succeeded >= n,
-            Condition::FailPercent(p) => {
-                tally.completed() >= 10 && tally.fail_ratio() * 100.0 >= p
-            }
+            Condition::FailPercent(p) => tally.completed() >= 10 && tally.fail_ratio() * 100.0 >= p,
             Condition::SuccessPercent(p) => {
                 tally.completed() >= 10 && tally.success_ratio() * 100.0 >= p
             }

@@ -274,7 +274,10 @@ mod tests {
         // parallel ::: {1..12} ::: {0..2} => 36 jobs (paper §IV-B, -j36).
         let months: Vec<String> = (1..=12).map(|m| m.to_string()).collect();
         let apps: Vec<String> = (0..=2).map(|a| a.to_string()).collect();
-        let s = set(vec![InputSource::product(months), InputSource::product(apps)]);
+        let s = set(vec![
+            InputSource::product(months),
+            InputSource::product(apps),
+        ]);
         assert_eq!(s.len(), 36);
         let all = rows(&s);
         assert_eq!(all[0], vec!["1", "0"]);

@@ -92,7 +92,10 @@ impl JobStatus {
     pub fn is_failure(&self) -> bool {
         matches!(
             self,
-            JobStatus::Failed(_) | JobStatus::Signaled(_) | JobStatus::TimedOut | JobStatus::ExecError(_)
+            JobStatus::Failed(_)
+                | JobStatus::Signaled(_)
+                | JobStatus::TimedOut
+                | JobStatus::ExecError(_)
         )
     }
 

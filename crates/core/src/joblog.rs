@@ -20,7 +20,8 @@ use crate::error::{Error, Result};
 use crate::job::JobResult;
 
 /// Column header, identical to GNU Parallel's.
-pub const HEADER: &str = "Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand";
+pub const HEADER: &str =
+    "Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand";
 
 /// One parsed joblog row.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,8 +90,12 @@ impl LogEntry {
         };
         let seq = next("Seq")?.parse().map_err(|_| parse_err("Seq"))?;
         let host = next("Host")?.to_string();
-        let start = next("Starttime")?.parse().map_err(|_| parse_err("Starttime"))?;
-        let runtime = next("JobRuntime")?.parse().map_err(|_| parse_err("JobRuntime"))?;
+        let start = next("Starttime")?
+            .parse()
+            .map_err(|_| parse_err("Starttime"))?;
+        let runtime = next("JobRuntime")?
+            .parse()
+            .map_err(|_| parse_err("JobRuntime"))?;
         let send = next("Send")?.parse().map_err(|_| parse_err("Send"))?;
         let receive = next("Receive")?.parse().map_err(|_| parse_err("Receive"))?;
         let exitval = next("Exitval")?.parse().map_err(|_| parse_err("Exitval"))?;
@@ -116,7 +121,9 @@ impl LogEntry {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
 }
 
 fn unescape(s: &str) -> String {
@@ -324,5 +331,68 @@ mod tests {
         assert!(!entry.succeeded());
         assert_eq!(entry.exitval, -1);
         assert_eq!(entry.signal, 9);
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn entry_roundtrips_through_tsv(
+                seq in 0u64..1_000_000_000u64,
+                host in "[a-z0-9-]{1,12}",
+                start_ms in 0u64..10_000_000_000u64,
+                runtime_ms in 0u64..100_000_000u64,
+                send in 0u64..1_000_000u64,
+                receive in 0u64..1_000_000u64,
+                exitval in -1i32..256i32,
+                signal in 0i32..64i32,
+                command in "[ -~]{0,24}",
+                spice in 0u8..4u8,
+            ) {
+                // Sprinkle the characters the TSV escaping must defend
+                // against into some commands.
+                let command = match spice {
+                    1 => format!("{command}\tnext-col"),
+                    2 => format!("first-line\n{command}"),
+                    3 => format!("{command}\\trailing"),
+                    _ => command,
+                };
+                // Times are whole milliseconds so the {:.3} formatting in
+                // to_line is lossless.
+                let entry = LogEntry {
+                    seq,
+                    host,
+                    start: start_ms as f64 / 1000.0,
+                    runtime: runtime_ms as f64 / 1000.0,
+                    send,
+                    receive,
+                    exitval,
+                    signal,
+                    command,
+                };
+                let line = entry.to_line();
+                prop_assert!(!line.contains('\n'), "log stays line-oriented");
+                let parsed = LogEntry::parse(&line, 1).unwrap();
+                prop_assert_eq!(parsed, entry);
+            }
+
+            #[test]
+            fn success_predicate_matches_fields(exitval in -1i32..256i32, signal in 0i32..64i32) {
+                let entry = LogEntry {
+                    seq: 1,
+                    host: "h".to_string(),
+                    start: 0.0,
+                    runtime: 0.0,
+                    send: 0,
+                    receive: 0,
+                    exitval,
+                    signal,
+                    command: "c".to_string(),
+                };
+                prop_assert_eq!(entry.succeeded(), exitval == 0 && signal == 0);
+            }
+        }
     }
 }

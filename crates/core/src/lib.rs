@@ -79,8 +79,8 @@ pub mod prelude {
     pub use crate::options::Options;
     pub use crate::parallel::{Parallel, RunReport};
     pub use crate::progress::Progress;
-    pub use crate::remote::{MultiHostExecutor, Sshlogin};
     pub use crate::queue::FollowQueue;
+    pub use crate::remote::{MultiHostExecutor, Sshlogin};
     pub use crate::template::Template;
 }
 

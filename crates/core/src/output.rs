@@ -116,7 +116,10 @@ mod tests {
         buf.push(result(5));
         buf.push(result(3));
         let drained = buf.drain();
-        assert_eq!(drained.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(
+            drained.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 5]
+        );
         assert_eq!(buf.pending(), 0);
     }
 

@@ -19,6 +19,7 @@ use crate::pipe::split_blocks;
 use crate::queue::FollowQueue;
 use crate::runner::{Engine, JobInput};
 use crate::template::Template;
+use htpar_telemetry::EventBus;
 
 pub use crate::runner::RunReport;
 
@@ -47,6 +48,7 @@ pub struct Parallel {
     on_result: Option<crate::runner::ResultCallback>,
     order: JobOrder,
     gate: Option<Arc<dyn Gate>>,
+    telemetry: Option<Arc<EventBus>>,
 }
 
 /// Dispatch order of finite job lists.
@@ -72,6 +74,7 @@ impl Parallel {
             on_result: None,
             order: JobOrder::default(),
             gate: None,
+            telemetry: None,
         }
     }
 
@@ -210,6 +213,14 @@ impl Parallel {
     /// Share a gate across runs.
     pub fn gate_shared(mut self, gate: Arc<dyn Gate>) -> Self {
         self.gate = Some(gate);
+        self
+    }
+
+    /// Attach a telemetry bus: the engine emits structured
+    /// [`htpar_telemetry::Event`]s (task lifecycle, slot occupancy)
+    /// to every sink on the bus during the run.
+    pub fn telemetry(mut self, bus: Arc<EventBus>) -> Self {
+        self.telemetry = Some(bus);
         self
     }
 
@@ -360,6 +371,7 @@ impl Parallel {
             on_result: self.on_result,
             skip,
             gate: self.gate,
+            bus: self.telemetry,
         };
         Ok((engine, self.inputs))
     }
@@ -389,8 +401,14 @@ impl Parallel {
                         "batch modes (-m/-X) require a single input source".into(),
                     ));
                 }
-                let flat: Vec<String> = inputs.iter().map(|row| row.into_iter().next().
-                    expect("arity-1 rows have one column")).collect();
+                let flat: Vec<String> = inputs
+                    .iter()
+                    .map(|row| {
+                        row.into_iter()
+                            .next()
+                            .expect("arity-1 rows have one column")
+                    })
+                    .collect();
                 // Conservative overhead: separator plus (for -X) the
                 // repeated context, approximated by the command length.
                 let per_arg = match batch_mode {
@@ -498,10 +516,7 @@ mod tests {
 
     #[test]
     fn linked_without_base_surfaces_error() {
-        let err = Parallel::new("x {}")
-            .args_linked(["a"])
-            .run()
-            .unwrap_err();
+        let err = Parallel::new("x {}").args_linked(["a"]).run().unwrap_err();
         assert!(matches!(err, Error::Input(_)));
     }
 
@@ -739,9 +754,18 @@ mod tests {
             std::fs::read_to_string(dir.join("1/stdout")).unwrap(),
             "out-a"
         );
-        assert_eq!(std::fs::read_to_string(dir.join("1/exitval")).unwrap(), "0\n");
-        assert_eq!(std::fs::read_to_string(dir.join("2/stderr")).unwrap(), "bad");
-        assert_eq!(std::fs::read_to_string(dir.join("2/exitval")).unwrap(), "3\n");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("1/exitval")).unwrap(),
+            "0\n"
+        );
+        assert_eq!(
+            std::fs::read_to_string(dir.join("2/stderr")).unwrap(),
+            "bad"
+        );
+        assert_eq!(
+            std::fs::read_to_string(dir.join("2/exitval")).unwrap(),
+            "3\n"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -800,7 +824,10 @@ mod tests {
             .unwrap();
         opener.join().unwrap();
         assert!(report.all_succeeded());
-        assert!(start.elapsed() >= Duration::from_millis(45), "held until open");
+        assert!(
+            start.elapsed() >= Duration::from_millis(45),
+            "held until open"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ mod tests {
         let input = "complete\nincomplete-without-newline";
         let blocks = split_blocks(input.as_bytes(), 4).unwrap();
         assert_eq!(blocks.concat(), input);
-        assert!(blocks.last().unwrap().ends_with("incomplete-without-newline"));
+        assert!(blocks
+            .last()
+            .unwrap()
+            .ends_with("incomplete-without-newline"));
     }
 
     #[test]

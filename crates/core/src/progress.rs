@@ -81,9 +81,7 @@ impl Progress {
         };
         let eta = match (self.total, rate > 0.0) {
             (Some(total), true) if completed > 0 && total > completed => {
-                Some(Duration::from_secs_f64(
-                    (total - completed) as f64 / rate,
-                ))
+                Some(Duration::from_secs_f64((total - completed) as f64 / rate))
             }
             (Some(total), _) if completed >= total => Some(Duration::ZERO),
             _ => None,
@@ -151,7 +149,10 @@ mod tests {
         p.record(&result(JobStatus::Failed(1)));
         p.record(&result(JobStatus::Skipped));
         let s = p.snapshot();
-        assert_eq!((s.succeeded, s.failed, s.skipped, s.completed), (2, 1, 1, 4));
+        assert_eq!(
+            (s.succeeded, s.failed, s.skipped, s.completed),
+            (2, 1, 1, 4)
+        );
         assert_eq!(s.fraction(), Some(0.4));
     }
 
@@ -195,7 +196,10 @@ mod tests {
         p.record(&result(JobStatus::Success));
         p.record(&result(JobStatus::Failed(2)));
         let line = p.snapshot().render();
-        assert!(line.starts_with("2/3 done (1 ok, 1 failed, 0 skipped)"), "{line}");
+        assert!(
+            line.starts_with("2/3 done (1 ok, 1 failed, 0 skipped)"),
+            "{line}"
+        );
     }
 
     #[test]

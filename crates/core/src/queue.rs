@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use htpar_telemetry::{Event, EventBus};
 
 /// Producer side of an in-process queue.
 #[derive(Clone)]
@@ -37,6 +38,7 @@ impl QueueWriter {
 pub struct FollowQueue {
     rx: Receiver<String>,
     stop: Arc<AtomicBool>,
+    bus: Option<Arc<EventBus>>,
 }
 
 impl FollowQueue {
@@ -48,6 +50,7 @@ impl FollowQueue {
             FollowQueue {
                 rx,
                 stop: Arc::new(AtomicBool::new(false)),
+                bus: None,
             },
         )
     }
@@ -63,7 +66,27 @@ impl FollowQueue {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         std::thread::spawn(move || follow_loop(path, poll, tx, stop2));
-        FollowQueue { rx, stop }
+        FollowQueue {
+            rx,
+            stop,
+            bus: None,
+        }
+    }
+
+    /// Attach a telemetry bus: each dequeue emits a
+    /// [`Event::QueueDepth`] gauge with the backlog remaining after
+    /// the item was taken.
+    pub fn with_telemetry(mut self, bus: Arc<EventBus>) -> FollowQueue {
+        self.bus = Some(bus);
+        self
+    }
+
+    fn emit_depth(&self) {
+        if let Some(bus) = &self.bus {
+            bus.emit(Event::QueueDepth {
+                depth: self.rx.len(),
+            });
+        }
     }
 
     /// Ask a file follower to finish after its next poll. In-process
@@ -82,18 +105,25 @@ impl FollowQueue {
 
     /// Non-blocking poll for the next item.
     pub fn try_next(&self) -> Option<String> {
-        self.rx.try_recv().ok()
+        let item = self.rx.try_recv().ok();
+        if item.is_some() {
+            self.emit_depth();
+        }
+        item
     }
 
     /// Blocking next with stop-awareness.
     pub fn next_item(&self) -> Option<String> {
         loop {
             match self.rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(item) => return Some(item),
+                Ok(item) => {
+                    self.emit_depth();
+                    return Some(item);
+                }
                 Err(RecvTimeoutError::Timeout) => {
                     if self.stop.load(Ordering::Relaxed) {
                         // Drain anything that raced in.
-                        return self.rx.try_recv().ok();
+                        return self.try_next();
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => return None,
@@ -202,6 +232,32 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_reports_backlog_depth_per_dequeue() {
+        use htpar_telemetry::{Event, EventBus, Recorder};
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let (w, q) = FollowQueue::channel();
+        let q = q.with_telemetry(bus);
+        w.push("a");
+        w.push("b");
+        w.push("c");
+        drop(w);
+        let items: Vec<String> = q.collect();
+        assert_eq!(items.len(), 3);
+        let depths: Vec<usize> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::QueueDepth { depth } => Some(*depth),
+                _ => None,
+            })
+            .collect();
+        // Backlog after each dequeue: 2, 1, 0.
+        assert_eq!(depths, vec![2, 1, 0]);
+    }
+
+    #[test]
     fn tail_file_sees_existing_and_appended_lines() {
         let dir = std::env::temp_dir().join(format!("htpar-q-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -212,7 +268,10 @@ mod tests {
         assert_eq!(q.next(), Some("t1".to_string()));
         assert_eq!(q.next(), Some("t2".to_string()));
 
-        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
         writeln!(f, "t3").unwrap();
         f.flush().unwrap();
         assert_eq!(q.next(), Some("t3".to_string()));
@@ -234,7 +293,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(q.try_next(), None, "partial line not delivered");
 
-        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
         writeln!(f, "-done").unwrap();
         f.flush().unwrap();
         assert_eq!(q.next(), Some("half-done".to_string()));

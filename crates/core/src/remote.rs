@@ -43,7 +43,9 @@ impl Sshlogin {
         }
         let (slots, rest) = match spec.split_once('/') {
             Some((n, rest)) if n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty() => {
-                let slots: usize = n.parse().map_err(|_| Error::Input("bad slot count".into()))?;
+                let slots: usize = n
+                    .parse()
+                    .map_err(|_| Error::Input("bad slot count".into()))?;
                 if slots == 0 {
                     return Err(Error::Input("sshlogin slots must be >= 1".into()));
                 }
@@ -317,7 +319,11 @@ mod tests {
         assert!(a >= 12 && b >= 12, "split {a}/{b}");
         // Every job saw its host's login.
         for r in &report.results {
-            assert!(r.stdout == "a:alpha" || r.stdout == "b:beta", "{}", r.stdout);
+            assert!(
+                r.stdout == "a:alpha" || r.stdout == "b:beta",
+                "{}",
+                r.stdout
+            );
         }
     }
 
@@ -335,11 +341,8 @@ mod tests {
             b2.fetch_sub(1, Ordering::SeqCst);
             Ok(TaskOutput::success())
         }));
-        let multi = MultiHostExecutor::new(
-            vec![(Sshlogin::parse("3/only").unwrap(), counting)],
-            1,
-        )
-        .unwrap();
+        let multi = MultiHostExecutor::new(vec![(Sshlogin::parse("3/only").unwrap(), counting)], 1)
+            .unwrap();
         // Engine offers 8 threads but the single host has 3 slots.
         Parallel::new("x {}")
             .jobs(8)
@@ -347,6 +350,10 @@ mod tests {
             .args((0..30).map(|i| i.to_string()))
             .run()
             .unwrap();
-        assert!(peak.load(Ordering::SeqCst) <= 3, "peak {}", peak.load(Ordering::SeqCst));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
     }
 }

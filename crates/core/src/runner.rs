@@ -8,10 +8,11 @@
 //! shared state is the input cursor.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
+use htpar_telemetry::{Event, EventBus};
 use parking_lot::Mutex;
 
 use crate::batch::{expand_context_replace, expand_xargs};
@@ -39,7 +40,11 @@ pub struct JobInput {
 impl JobInput {
     /// A job with arguments only (the common case).
     pub fn new(seq: u64, args: Vec<String>) -> JobInput {
-        JobInput { seq, args, stdin: None }
+        JobInput {
+            seq,
+            args,
+            stdin: None,
+        }
     }
 }
 
@@ -110,6 +115,32 @@ struct Shared {
     halt_state: AtomicU8,
     last_launch: Mutex<Option<Instant>>,
     launches: Mutex<u64>,
+    bus: Option<Arc<EventBus>>,
+    /// Slots currently executing a job (for occupancy telemetry).
+    busy: AtomicUsize,
+}
+
+impl Shared {
+    fn emit(&self, event: Event) {
+        if let Some(bus) = &self.bus {
+            bus.emit(event);
+        }
+    }
+
+    fn emit_occupancy(&self, delta: isize) {
+        let Some(bus) = &self.bus else { return };
+        let busy = if delta >= 0 {
+            self.busy.fetch_add(delta as usize, Ordering::SeqCst) + delta as usize
+        } else {
+            self.busy
+                .fetch_sub((-delta) as usize, Ordering::SeqCst)
+                .saturating_sub((-delta) as usize)
+        };
+        bus.emit(Event::SlotOccupancy {
+            busy,
+            total: self.options.jobs,
+        });
+    }
 }
 
 /// The engine. Construct via [`crate::parallel::Parallel`] in normal use;
@@ -124,6 +155,9 @@ pub struct Engine {
     pub skip: HashSet<u64>,
     /// Launch-admission gate (`--memfree`-style), consulted per launch.
     pub gate: Option<Arc<dyn Gate>>,
+    /// Telemetry bus; when set, the engine emits task-lifecycle and
+    /// scheduler-state [`Event`]s for every job.
+    pub bus: Option<Arc<EventBus>>,
 }
 
 impl Engine {
@@ -153,6 +187,8 @@ impl Engine {
             halt_state: AtomicU8::new(RUN),
             last_launch: Mutex::new(None),
             launches: Mutex::new(0),
+            bus: self.bus,
+            busy: AtomicUsize::new(0),
         });
 
         std::thread::scope(|scope| {
@@ -163,8 +199,8 @@ impl Engine {
         });
 
         let wall = started.elapsed();
-        let shared = Arc::try_unwrap(shared)
-            .unwrap_or_else(|_| unreachable!("all workers joined by scope"));
+        let shared =
+            Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all workers joined by scope"));
         let mut results = shared.results.into_inner();
         if shared.options.keep_order {
             results.sort_by_key(|r| r.seq);
@@ -209,6 +245,7 @@ fn worker(slot: usize, shared: &Shared) {
         }
         let next = shared.input.lock().next();
         let Some(job) = next else { return };
+        shared.emit(Event::Queued { seq: job.seq });
 
         if shared.skip.contains(&job.seq) {
             let rendered = render(shared, &job, slot).0;
@@ -216,11 +253,15 @@ fn worker(slot: usize, shared: &Shared) {
             continue;
         }
 
+        shared.emit(Event::SlotAcquired { seq: job.seq, slot });
+        shared.emit_occupancy(1);
+
         if let Some(gate) = &shared.gate {
             // Hold the launch until the gate permits, still honoring a
             // concurrent halt.
             while !gate.permit() {
                 if shared.halt_state.load(Ordering::SeqCst) != RUN {
+                    shared.emit_occupancy(-1);
                     record(shared, JobResult::skipped(job.seq, job.args, String::new()));
                     return;
                 }
@@ -229,6 +270,7 @@ fn worker(slot: usize, shared: &Shared) {
         }
         apply_delay(shared);
         *shared.launches.lock() += 1;
+        shared.emit(Event::Spawned { seq: job.seq, slot });
 
         let (rendered, argv) = render(shared, &job, slot);
         let mut cmd = CommandLine::new(job.seq, slot, job.args.clone(), rendered, argv, Vec::new());
@@ -249,6 +291,12 @@ fn worker(slot: usize, shared: &Shared) {
                 runtime: Duration::ZERO,
                 tries: 0,
             };
+            shared.emit(Event::Completed {
+                seq: result.seq,
+                exit: 0,
+                runtime: Duration::ZERO,
+            });
+            shared.emit_occupancy(-1);
             record(shared, result);
             continue;
         }
@@ -267,6 +315,10 @@ fn worker(slot: usize, shared: &Shared) {
                 std::thread::sleep(base * factor);
             }
             tries += 1;
+            shared.emit(Event::Retried {
+                seq: job.seq,
+                attempt: tries,
+            });
             out = shared.executor.execute(&cmd, &ctx);
         }
         let runtime = attempt_clock.elapsed();
@@ -324,6 +376,20 @@ fn worker(slot: usize, shared: &Shared) {
             }
         }
 
+        if result.status.is_failure() {
+            shared.emit(Event::Failed {
+                seq: result.seq,
+                exit: result.status.exitval(),
+            });
+        } else {
+            shared.emit(Event::Completed {
+                seq: result.seq,
+                exit: result.status.exitval(),
+                runtime: result.runtime,
+            });
+        }
+        shared.emit_occupancy(-1);
+
         record(shared, result);
     }
 }
@@ -336,7 +402,10 @@ fn render(shared: &Shared, job: &JobInput, slot: usize) -> (String, Vec<String>)
                 seq: job.seq,
                 slot,
             };
-            (shared.template.expand(&ctx), shared.template.expand_argv(&ctx))
+            (
+                shared.template.expand(&ctx),
+                shared.template.expand_argv(&ctx),
+            )
         }
         BatchMode::Xargs => {
             let rendered = expand_xargs(&shared.template, &job.args, job.seq, slot);
@@ -400,6 +469,7 @@ mod tests {
             on_result: None,
             skip: HashSet::new(),
             gate: None,
+            bus: None,
         }
     }
 
@@ -580,7 +650,11 @@ mod tests {
         .run(inputs(100))
         .unwrap();
         assert_eq!(report.halted, Some(HaltDecision::StopSoon));
-        assert!(report.jobs_total < 100, "stopped early: {}", report.jobs_total);
+        assert!(
+            report.jobs_total < 100,
+            "stopped early: {}",
+            report.jobs_total
+        );
         assert!(report.failed >= 2);
     }
 
@@ -689,6 +763,80 @@ mod tests {
         let report = eng.run(inputs(2)).unwrap();
         assert_eq!(report.results[0].stdout, "task 1 on slot 1: a1");
         assert_eq!(report.results[1].stdout, "task 2 on slot 1: a2");
+    }
+
+    #[test]
+    fn telemetry_observes_every_lifecycle_exactly_once() {
+        use htpar_telemetry::Recorder;
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let mut eng = engine(
+            Options {
+                jobs: 8,
+                ..Options::default()
+            },
+            FnExecutor::noop(),
+        );
+        eng.bus = Some(Arc::clone(&bus));
+        let report = eng.run(inputs(120)).unwrap();
+        assert_eq!(report.succeeded, 120);
+        // Every job's trajectory is exactly the four lifecycle
+        // transitions, in order, exactly once.
+        for seq in 1..=120u64 {
+            let kinds: Vec<&str> = rec.lifecycle_of(seq).iter().map(|e| e.kind()).collect();
+            assert_eq!(
+                kinds,
+                ["queued", "slot_acquired", "spawned", "completed"],
+                "seq {seq}"
+            );
+        }
+        // Occupancy never exceeds the slot count and ends drained.
+        let mut last_busy = 0;
+        for e in rec.events() {
+            if let Event::SlotOccupancy { busy, total } = e {
+                assert_eq!(total, 8);
+                assert!(busy <= 8, "busy {busy}");
+                last_busy = busy;
+            }
+        }
+        assert_eq!(last_busy, 0, "all slots released at end of run");
+    }
+
+    #[test]
+    fn telemetry_reports_retries_and_failures() {
+        use htpar_telemetry::Recorder;
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let exec = FnExecutor::new(|_| Ok(TaskOutput::failed(3, "always")));
+        let mut eng = engine(
+            Options {
+                jobs: 1,
+                retries: 2,
+                ..Options::default()
+            },
+            exec,
+        );
+        eng.bus = Some(Arc::clone(&bus));
+        let report = eng.run(inputs(1)).unwrap();
+        assert_eq!(report.failed, 1);
+        let kinds: Vec<&str> = rec.lifecycle_of(1).iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "queued",
+                "slot_acquired",
+                "spawned",
+                "retried",
+                "retried",
+                "failed"
+            ]
+        );
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::Failed { seq: 1, exit: 3 })));
     }
 
     #[test]

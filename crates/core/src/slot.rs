@@ -7,7 +7,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use htpar_telemetry::{Event, EventBus};
 use parking_lot::{Condvar, Mutex};
 
 /// A pool of numbered slots with lowest-first allocation.
@@ -15,6 +17,7 @@ pub struct SlotPool {
     inner: Mutex<Inner>,
     freed: Condvar,
     jobs: usize,
+    bus: Option<Arc<EventBus>>,
 }
 
 struct Inner {
@@ -31,7 +34,15 @@ impl SlotPool {
             }),
             freed: Condvar::new(),
             jobs,
+            bus: None,
         }
+    }
+
+    /// Attach a telemetry bus: every acquire/release emits an
+    /// [`Event::SlotOccupancy`] gauge.
+    pub fn with_telemetry(mut self, bus: Arc<EventBus>) -> SlotPool {
+        self.bus = Some(bus);
+        self
     }
 
     /// Number of slots.
@@ -39,11 +50,23 @@ impl SlotPool {
         self.jobs
     }
 
+    /// Emit occupancy while the pool lock is held, so the gauge value is
+    /// consistent with the mutation that produced it.
+    fn emit_occupancy(&self, free: usize) {
+        if let Some(bus) = &self.bus {
+            bus.emit(Event::SlotOccupancy {
+                busy: self.jobs - free,
+                total: self.jobs,
+            });
+        }
+    }
+
     /// Take the lowest free slot, blocking until one is available.
     pub fn acquire(&self) -> usize {
         let mut inner = self.inner.lock();
         loop {
             if let Some(Reverse(slot)) = inner.free.pop() {
+                self.emit_occupancy(inner.free.len());
                 return slot;
             }
             self.freed.wait(&mut inner);
@@ -52,7 +75,12 @@ impl SlotPool {
 
     /// Take the lowest free slot if one is available right now.
     pub fn try_acquire(&self) -> Option<usize> {
-        self.inner.lock().free.pop().map(|Reverse(s)| s)
+        let mut inner = self.inner.lock();
+        let slot = inner.free.pop().map(|Reverse(s)| s);
+        if slot.is_some() {
+            self.emit_occupancy(inner.free.len());
+        }
+        slot
     }
 
     /// Return a slot to the pool.
@@ -64,6 +92,7 @@ impl SlotPool {
         assert!(slot >= 1 && slot <= self.jobs, "slot {slot} out of range");
         let mut inner = self.inner.lock();
         inner.free.push(Reverse(slot));
+        self.emit_occupancy(inner.free.len());
         drop(inner);
         self.freed.notify_one();
     }
@@ -126,6 +155,28 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         pool.release(s);
         assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn telemetry_gauges_track_occupancy() {
+        use htpar_telemetry::{Event, EventBus, Recorder};
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let pool = SlotPool::new(2).with_telemetry(bus);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        pool.release(a);
+        pool.release(b);
+        let busy: Vec<usize> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SlotOccupancy { busy, total: 2 } => Some(*busy),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(busy, vec![1, 2, 1, 0]);
     }
 
     #[test]

@@ -145,7 +145,10 @@ mod tests {
 
         let exec = SshExecutor::new(Sshlogin::parse("2/worker07").unwrap())
             .with_program(shim.display().to_string());
-        let out = exec.execute(&cmdline("echo remote-says-$((6*7))"), &ExecContext::default());
+        let out = exec.execute(
+            &cmdline("echo remote-says-$((6*7))"),
+            &ExecContext::default(),
+        );
         assert_eq!(out.status, crate::job::JobStatus::Success, "{}", out.stderr);
         assert_eq!(out.stdout, "via:worker07\nremote-says-42\n");
         std::fs::remove_dir_all(&dir).unwrap();
@@ -168,12 +171,8 @@ mod tests {
             std::fs::set_permissions(&shim, std::fs::Permissions::from_mode(0o755)).unwrap();
         }
 
-        let multi = multi_host_from_specs(
-            &["2/nodeA", "2/nodeB"],
-            1,
-            &shim.display().to_string(),
-        )
-        .unwrap();
+        let multi =
+            multi_host_from_specs(&["2/nodeA", "2/nodeB"], 1, &shim.display().to_string()).unwrap();
         let report = Parallel::new("echo job-{}")
             .jobs(4)
             .keep_order(true)

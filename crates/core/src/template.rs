@@ -167,7 +167,9 @@ impl Template {
     /// placeholder; standard `{...}` tokens keep working.
     pub fn parse_with_replacement(s: &str, repl: &str) -> Result<Template> {
         if repl.is_empty() {
-            return Err(Error::Template("replacement string must be non-empty".into()));
+            return Err(Error::Template(
+                "replacement string must be non-empty".into(),
+            ));
         }
         // Substitute the custom token with `{}` then parse normally. A repl
         // that itself contains `{}` would be ambiguous; reject it.
@@ -305,7 +307,11 @@ mod tests {
     use super::*;
 
     fn ctx<'a>(args: &'a [String]) -> ExpandContext<'a> {
-        ExpandContext { args, seq: 7, slot: 3 }
+        ExpandContext {
+            args,
+            seq: 7,
+            slot: 3,
+        }
     }
 
     fn one(s: &str) -> Vec<String> {
@@ -372,7 +378,10 @@ mod tests {
     #[test]
     fn bare_braces_with_multiple_sources_join_all() {
         let args = vec!["a".to_string(), "b".to_string()];
-        assert_eq!(Template::parse("go {}").unwrap().expand(&ctx(&args)), "go a b");
+        assert_eq!(
+            Template::parse("go {}").unwrap().expand(&ctx(&args)),
+            "go a b"
+        );
     }
 
     #[test]
@@ -490,6 +499,75 @@ mod tests {
                 let base = Template::parse("{/}").unwrap().expand(&c);
                 let recomposed = if dir == "." { base.clone() } else { format!("{dir}/{base}") };
                 prop_assert_eq!(recomposed, arg);
+            }
+
+            #[test]
+            fn absolute_paths_recompose(arg in "/([a-z.]{1,8}/){0,3}[a-z.]{0,8}") {
+                // Root-anchored paths: `{//}` is "/" exactly when the only
+                // slash is the leading one, and recomposition is exact.
+                let args = vec![arg.clone()];
+                let c = ExpandContext { args: &args, seq: 1, slot: 1 };
+                let dir = Template::parse("{//}").unwrap().expand(&c);
+                let base = Template::parse("{/}").unwrap().expand(&c);
+                prop_assert!(!base.contains('/'), "basename never keeps a slash");
+                let recomposed = if dir == "/" { format!("/{base}") } else { format!("{dir}/{base}") };
+                prop_assert_eq!(recomposed, arg);
+            }
+
+            #[test]
+            fn ext_strip_invariants(arg in "(/)?([a-zA-Z0-9_.]{1,6}/){0,3}[a-zA-Z0-9_.]{1,6}") {
+                // `{.}` either leaves the argument alone or removes exactly
+                // one trailing `.ext` from a non-empty basename, where the
+                // removed extension contains no further dot or slash.
+                let args = vec![arg.clone()];
+                let c = ExpandContext { args: &args, seq: 1, slot: 1 };
+                let stripped = Template::parse("{.}").unwrap().expand(&c);
+                if stripped != arg {
+                    prop_assert!(arg.starts_with(&stripped));
+                    let ext = &arg[stripped.len()..];
+                    prop_assert!(ext.starts_with('.'), "removed piece is .ext, got {ext:?}");
+                    prop_assert!(!ext[1..].contains('.') && !ext.contains('/'));
+                    prop_assert!(!stripped.ends_with('/'), "dotfiles are never emptied");
+                }
+            }
+
+            #[test]
+            fn base_noext_is_strip_after_base(arg in "(/)?([a-zA-Z0-9_.]{1,6}/){0,3}[a-zA-Z0-9_.]{0,6}") {
+                // The fused `{/.}` equals `{.}` applied to the `{/}` result.
+                let args = vec![arg.clone()];
+                let c = ExpandContext { args: &args, seq: 1, slot: 1 };
+                let fused = Template::parse("{/.}").unwrap().expand(&c);
+                let base = vec![Template::parse("{/}").unwrap().expand(&c)];
+                let cb = ExpandContext { args: &base, seq: 1, slot: 1 };
+                let staged = Template::parse("{.}").unwrap().expand(&cb);
+                prop_assert_eq!(fused, staged);
+            }
+
+            #[test]
+            fn seq_and_slot_expand_numerically(seq in 1u64..1_000_000u64, slot in 1usize..512usize) {
+                let args = vec!["x".to_string()];
+                let c = ExpandContext { args: &args, seq, slot };
+                let out = Template::parse("{#}:{%}:{}").unwrap().expand(&c);
+                prop_assert_eq!(out, format!("{seq}:{slot}:x"));
+            }
+
+            #[test]
+            fn positional_path_ops_match_whole_arg_ops(
+                a in "[a-z]{1,4}(/[a-z.]{1,6}){0,3}",
+                b in "[a-z]{1,4}(/[a-z.]{1,6}){0,3}",
+            ) {
+                // `{1//}`/`{2/}` apply the same path op to the selected
+                // positional that `{//}`/`{/}` apply to a one-arg job.
+                let args = vec![a.clone(), b.clone()];
+                let c = ExpandContext { args: &args, seq: 1, slot: 1 };
+                let out = Template::parse("{1//} {2/}").unwrap().expand(&c);
+                let only_a = vec![a.clone()];
+                let ca = ExpandContext { args: &only_a, seq: 1, slot: 1 };
+                let dir_a = Template::parse("{//}").unwrap().expand(&ca);
+                let only_b = vec![b.clone()];
+                let cb = ExpandContext { args: &only_b, seq: 1, slot: 1 };
+                let base_b = Template::parse("{/}").unwrap().expand(&cb);
+                prop_assert_eq!(out, format!("{dir_a} {base_b}"));
             }
         }
     }

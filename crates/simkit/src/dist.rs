@@ -29,11 +29,7 @@ pub enum Dist {
     /// Mixture of two distributions: with probability `p` draw from `a`,
     /// else from `b`. Used for "mostly fine, occasionally pathological"
     /// node behaviour.
-    Mix {
-        p: f64,
-        a: Box<Dist>,
-        b: Box<Dist>,
-    },
+    Mix { p: f64, a: Box<Dist>, b: Box<Dist> },
     /// Constant plus a distributed excess: `base + excess`.
     Shifted { base: f64, excess: Box<Dist> },
     /// Weibull with scale λ and shape k — the classic model for
@@ -288,43 +284,80 @@ mod tests {
     #[test]
     fn weibull_shapes() {
         // shape = 1 is exponential with mean = scale.
-        let d = Dist::Weibull { scale: 4.0, shape: 1.0 };
+        let d = Dist::Weibull {
+            scale: 4.0,
+            shape: 1.0,
+        };
         let s = samples(&d, 20_000);
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         assert!((mean - 4.0).abs() < 0.2, "mean {mean}");
         assert!((d.mean() - 4.0).abs() < 1e-6, "analytic {}", d.mean());
         // shape = 2 (Rayleigh): mean = scale·Γ(1.5) = scale·√π/2.
-        let d = Dist::Weibull { scale: 2.0, shape: 2.0 };
+        let d = Dist::Weibull {
+            scale: 2.0,
+            shape: 2.0,
+        };
         let expect = 2.0 * (std::f64::consts::PI.sqrt() / 2.0);
         assert!((d.mean() - expect).abs() < 1e-6, "{} vs {expect}", d.mean());
         let s = samples(&d, 20_000);
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         assert!((mean - expect).abs() < 0.05, "sampled {mean}");
         // Degenerate parameters are safe.
-        assert_eq!(Dist::Weibull { scale: 0.0, shape: 1.0 }.sample(&mut stream_rng(0, 0)), 0.0);
+        assert_eq!(
+            Dist::Weibull {
+                scale: 0.0,
+                shape: 1.0
+            }
+            .sample(&mut stream_rng(0, 0)),
+            0.0
+        );
     }
 
     #[test]
     fn pareto_floor_and_mean() {
-        let d = Dist::Pareto { xm: 3.0, alpha: 3.0 };
+        let d = Dist::Pareto {
+            xm: 3.0,
+            alpha: 3.0,
+        };
         let s = samples(&d, 20_000);
         assert!(s.iter().all(|&v| v >= 3.0), "Pareto floor");
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         assert!((mean - 4.5).abs() < 0.15, "mean {mean} (expect 4.5)");
         assert!((d.mean() - 4.5).abs() < 1e-9);
         // α ≤ 1 has infinite mean.
-        assert!(Dist::Pareto { xm: 1.0, alpha: 1.0 }.mean().is_infinite());
-        assert_eq!(Dist::Pareto { xm: 0.0, alpha: 2.0 }.sample(&mut stream_rng(0, 0)), 0.0);
+        assert!(Dist::Pareto {
+            xm: 1.0,
+            alpha: 1.0
+        }
+        .mean()
+        .is_infinite());
+        assert_eq!(
+            Dist::Pareto {
+                xm: 0.0,
+                alpha: 2.0
+            }
+            .sample(&mut stream_rng(0, 0)),
+            0.0
+        );
     }
 
     #[test]
     fn samples_never_negative_or_nonfinite() {
         let dists = [
             Dist::normal(-10.0, 1.0),
-            Dist::LogNormal { mu: 0.0, sigma: 2.0 },
+            Dist::LogNormal {
+                mu: 0.0,
+                sigma: 2.0,
+            },
             Dist::Uniform { lo: 0.0, hi: 1.0 },
-            Dist::Weibull { scale: 2.0, shape: 0.7 },
-            Dist::Pareto { xm: 1.0, alpha: 1.5 },
+            Dist::Weibull {
+                scale: 2.0,
+                shape: 0.7,
+            },
+            Dist::Pareto {
+                xm: 1.0,
+                alpha: 1.5,
+            },
         ];
         for d in &dists {
             for v in samples(d, 2000) {

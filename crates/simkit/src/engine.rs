@@ -1,6 +1,10 @@
 //! The simulation engine: a world state, a clock, an event queue, and a
 //! deterministic RNG.
 
+use std::sync::Arc;
+
+use htpar_telemetry::{Event, EventBus};
+
 use crate::event::{EventKey, EventQueue};
 use crate::rng::{stream_rng, SimRng};
 use crate::time::SimTime;
@@ -27,6 +31,7 @@ pub struct Simulation<W> {
     world: W,
     rng: SimRng,
     fired: u64,
+    bus: Option<Arc<EventBus>>,
 }
 
 impl<W> Simulation<W> {
@@ -44,7 +49,18 @@ impl<W> Simulation<W> {
             world,
             rng: stream_rng(seed, 0),
             fired: 0,
+            bus: None,
         }
+    }
+
+    /// Attach a telemetry bus: each fired event emits
+    /// [`Event::SimEventFired`] (sim-time + running count) and each
+    /// successful [`Simulation::cancel`] emits
+    /// [`Event::SimEventCancelled`]. Telemetry is observation only — it
+    /// never perturbs the RNG stream or event order, so instrumented and
+    /// uninstrumented runs of the same seed stay identical.
+    pub fn set_telemetry(&mut self, bus: Arc<EventBus>) {
+        self.bus = Some(bus);
     }
 
     /// Current simulated time.
@@ -100,7 +116,15 @@ impl<W> Simulation<W> {
 
     /// Cancel a pending event. Returns `true` if it had not yet fired.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.queue.cancel(id)
+        let cancelled = self.queue.cancel(id);
+        if cancelled {
+            if let Some(bus) = &self.bus {
+                bus.emit(Event::SimEventCancelled {
+                    sim_time: self.now.as_secs_f64(),
+                });
+            }
+        }
+        cancelled
     }
 
     /// Schedule `handler` every `period`, starting one period from now,
@@ -132,6 +156,12 @@ impl<W> Simulation<W> {
                 debug_assert!(at >= self.now, "event queue must be time-ordered");
                 self.now = at;
                 self.fired += 1;
+                if let Some(bus) = &self.bus {
+                    bus.emit(Event::SimEventFired {
+                        sim_time: at.as_secs_f64(),
+                        count: self.fired,
+                    });
+                }
                 handler(self);
                 true
             }
@@ -250,6 +280,36 @@ mod tests {
         });
         sim.run();
         assert_eq!(sim.world(), &vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn telemetry_reports_fired_and_cancelled_milestones() {
+        use htpar_telemetry::Recorder;
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let mut sim = Simulation::new(0u32);
+        sim.set_telemetry(bus);
+        sim.schedule_at(SimTime::from_secs(1), |s| *s.world_mut() += 1);
+        let id = sim.schedule_at(SimTime::from_secs(2), |s| *s.world_mut() += 10);
+        sim.schedule_at(SimTime::from_secs(3), |s| *s.world_mut() += 100);
+        assert!(sim.cancel(id));
+        sim.run();
+        assert_eq!(*sim.world(), 101);
+        let mut fired = Vec::new();
+        let mut cancelled = 0;
+        for e in rec.events() {
+            match e {
+                Event::SimEventFired { sim_time, count } => fired.push((sim_time, count)),
+                Event::SimEventCancelled { .. } => cancelled += 1,
+                _ => panic!("unexpected event kind {}", e.kind()),
+            }
+        }
+        assert_eq!(fired, vec![(1.0, 1), (3.0, 2)]);
+        assert_eq!(cancelled, 1);
+        // Cancelling an already-fired event emits nothing further.
+        assert!(!sim.cancel(id));
+        assert_eq!(rec.count_matching(|e| e.kind() == "sim_event_cancelled"), 1);
     }
 
     #[test]

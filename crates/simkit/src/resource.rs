@@ -175,19 +175,25 @@ mod tests {
         Tokens::acquire(&slots, &mut sim, 2, move |sim| {
             sim.world_mut().done.push(1);
             let s = Rc::clone(&s1);
-            sim.schedule_in(SimTime::from_secs(1), move |sim| Tokens::release(&s, sim, 2));
+            sim.schedule_in(SimTime::from_secs(1), move |sim| {
+                Tokens::release(&s, sim, 2)
+            });
         });
         let s2 = Rc::clone(&slots);
         Tokens::acquire(&slots, &mut sim, 2, move |sim| {
             sim.world_mut().done.push(2);
             let s = Rc::clone(&s2);
-            sim.schedule_in(SimTime::from_secs(1), move |sim| Tokens::release(&s, sim, 2));
+            sim.schedule_in(SimTime::from_secs(1), move |sim| {
+                Tokens::release(&s, sim, 2)
+            });
         });
         let s3 = Rc::clone(&slots);
         Tokens::acquire(&slots, &mut sim, 1, move |sim| {
             sim.world_mut().done.push(3);
             let s = Rc::clone(&s3);
-            sim.schedule_in(SimTime::from_secs(1), move |sim| Tokens::release(&s, sim, 1));
+            sim.schedule_in(SimTime::from_secs(1), move |sim| {
+                Tokens::release(&s, sim, 1)
+            });
         });
         sim.run();
         assert_eq!(sim.world().done, vec![1, 2, 3]);

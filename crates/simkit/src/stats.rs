@@ -117,7 +117,11 @@ impl OnlineStats {
 
     /// Running mean (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population standard deviation (0 with <2 samples).
@@ -131,12 +135,20 @@ impl OnlineStats {
 
     /// Minimum seen (NaN-free contract: 0 when empty).
     pub fn min(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.min }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
     }
 
     /// Maximum seen (0 when empty).
     pub fn max(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.max }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 
     /// Merge another accumulator (parallel reduction).
@@ -150,9 +162,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         OnlineStats {
             n,
             mean,
@@ -254,7 +264,10 @@ mod tests {
     #[test]
     fn summary_of_singleton() {
         let s = Summary::of(&[7.0]).unwrap();
-        assert_eq!((s.min, s.median, s.max, s.mean, s.std), (7.0, 7.0, 7.0, 7.0, 0.0));
+        assert_eq!(
+            (s.min, s.median, s.max, s.mean, s.std),
+            (7.0, 7.0, 7.0, 7.0, 0.0)
+        );
     }
 
     #[test]
@@ -276,7 +289,9 @@ mod tests {
 
     #[test]
     fn online_stats_match_batch_summary() {
-        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0)
+            .collect();
         let batch = Summary::of(&values).unwrap();
         let mut online = OnlineStats::new();
         for &v in &values {
@@ -297,7 +312,11 @@ mod tests {
         let mut b = OnlineStats::new();
         for (i, &v) in values.iter().enumerate() {
             whole.record(v);
-            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
         }
         let merged = a.merge(&b);
         assert_eq!(merged.count(), whole.count());

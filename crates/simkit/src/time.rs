@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// Arithmetic saturates rather than wrapping: a model that subtracts a
 /// larger delay from a smaller timestamp gets `SimTime::ZERO`, never a
 /// 584,000-year timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimTime(u64);
 

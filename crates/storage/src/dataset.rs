@@ -156,6 +156,9 @@ mod tests {
         sizes.sort_unstable();
         let median = sizes[sizes.len() / 2] as f64;
         let four_mib = 4.0 * 1024.0 * 1024.0;
-        assert!((median - four_mib).abs() / four_mib < 0.1, "median {median}");
+        assert!(
+            (median - four_mib).abs() / four_mib < 0.1,
+            "median {median}"
+        );
     }
 }

@@ -76,9 +76,7 @@ impl FairShareLink {
                 done[i] = Some(f.arrival);
             }
         }
-        let mut pending_arrivals: Vec<usize> = (0..n)
-            .filter(|&i| done[i].is_none())
-            .collect();
+        let mut pending_arrivals: Vec<usize> = (0..n).filter(|&i| done[i].is_none()).collect();
         pending_arrivals.sort_by(|&a, &b| flows[a].arrival.total_cmp(&flows[b].arrival));
         let mut arrivals = pending_arrivals.into_iter().peekable();
         let mut active: Vec<usize> = Vec::new();
@@ -135,9 +133,7 @@ impl FairShareLink {
 
     /// Makespan of a batch of flows (latest completion).
     pub fn makespan(&self, flows: &[Flow]) -> f64 {
-        self.completion_times(flows)
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.completion_times(flows).into_iter().fold(0.0, f64::max)
     }
 }
 

@@ -29,5 +29,5 @@ pub use dataset::{Dataset, SimFile};
 pub use flow::{FairShareLink, Flow};
 pub use lustre::Lustre;
 pub use nvme::Nvme;
-pub use stripe::StripeLayout;
 pub use staging::{PipelinePlan, PrefetchPipeline, StageOp};
+pub use stripe::StripeLayout;

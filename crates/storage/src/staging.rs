@@ -31,7 +31,11 @@ pub enum Tier {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum StageOp {
     /// Run the analysis over dataset `dataset`, reading from `from`.
-    Process { dataset: usize, from: Tier, secs: f64 },
+    Process {
+        dataset: usize,
+        from: Tier,
+        secs: f64,
+    },
     /// Copy dataset `dataset` from Lustre to node-local NVMe.
     Copy { dataset: usize, secs: f64 },
     /// Delete dataset `dataset` from NVMe.
@@ -42,9 +46,9 @@ impl StageOp {
     /// Duration of this op in seconds.
     pub fn secs(&self) -> f64 {
         match self {
-            StageOp::Process { secs, .. } | StageOp::Copy { secs, .. } | StageOp::Delete { secs, .. } => {
-                *secs
-            }
+            StageOp::Process { secs, .. }
+            | StageOp::Copy { secs, .. }
+            | StageOp::Delete { secs, .. } => *secs,
         }
     }
 }
@@ -193,7 +197,11 @@ mod tests {
         assert!((plan.total_secs / 60.0 - 358.0).abs() < 1e-9);
         assert!((plan.baseline_secs / 60.0 - 430.0).abs() < 1e-9);
         // Paper: "17% improvement" (358 vs 430 → 16.7%).
-        assert!((plan.improvement() - 0.1674).abs() < 0.005, "{}", plan.improvement());
+        assert!(
+            (plan.improvement() - 0.1674).abs() < 0.005,
+            "{}",
+            plan.improvement()
+        );
     }
 
     #[test]
@@ -204,14 +212,27 @@ mod tests {
         assert_eq!(plan.stages[0].ops.len(), 2);
         assert!(matches!(
             plan.stages[0].ops[0],
-            StageOp::Process { dataset: 1, from: Tier::Lustre, .. }
+            StageOp::Process {
+                dataset: 1,
+                from: Tier::Lustre,
+                ..
+            }
         ));
-        assert!(matches!(plan.stages[0].ops[1], StageOp::Copy { dataset: 2, .. }));
+        assert!(matches!(
+            plan.stages[0].ops[1],
+            StageOp::Copy { dataset: 2, .. }
+        ));
         // Middle stages: process + delete + copy (3 concurrent ops).
         for (idx, stage) in plan.stages.iter().enumerate().take(4).skip(1) {
             let i = idx + 1;
             assert_eq!(stage.ops.len(), 3, "stage {i}");
-            assert!(matches!(stage.ops[0], StageOp::Process { from: Tier::Nvme, .. }));
+            assert!(matches!(
+                stage.ops[0],
+                StageOp::Process {
+                    from: Tier::Nvme,
+                    ..
+                }
+            ));
         }
         // Last stage: process + delete, no copy.
         assert_eq!(plan.stages[4].ops.len(), 2);

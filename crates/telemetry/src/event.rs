@@ -1,0 +1,221 @@
+//! The typed event vocabulary shared by engine, simulator, and cluster
+//! models, plus its line-oriented JSON encoding.
+//!
+//! The JSONL schema (documented in DESIGN.md) is stable: every line is
+//! an object with `"t_us"` (microseconds since bus creation), `"type"`
+//! (the variant's kind string), and the variant's fields by name.
+
+use std::time::Duration;
+
+/// How a batch of tasks was launched onto a node (paper §IV compares
+/// one `srun` per task against a single `srun` wrapping GNU parallel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchMethod {
+    /// One scheduler RPC per task (`srun` per task).
+    Srun,
+    /// One scheduler RPC for the whole batch, fan-out by GNU parallel.
+    Parallel,
+}
+
+impl LaunchMethod {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LaunchMethod::Srun => "srun",
+            LaunchMethod::Parallel => "parallel",
+        }
+    }
+}
+
+/// A structured telemetry event. Variants group into four families:
+/// task lifecycle, scheduler state, DES milestones, and cluster/launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    // -- Task lifecycle -------------------------------------------------
+    /// A job left the input source and entered the run queue.
+    Queued { seq: u64 },
+    /// A job claimed an execution slot (GNU parallel `{%}`, 1-based).
+    SlotAcquired { seq: u64, slot: usize },
+    /// The job's command was spawned (or simulated/dry-run rendered).
+    Spawned { seq: u64, slot: usize },
+    /// The job finished. `runtime` is wall time of the final attempt.
+    Completed {
+        seq: u64,
+        exit: i32,
+        runtime: Duration,
+    },
+    /// A failed attempt is being retried (`attempt` counts from 1).
+    Retried { seq: u64, attempt: u32 },
+    /// The job exhausted retries (or failed with none configured).
+    Failed { seq: u64, exit: i32 },
+
+    // -- Scheduler state ------------------------------------------------
+    /// Slot occupancy after an acquire/release (`busy` of `total`).
+    SlotOccupancy { busy: usize, total: usize },
+    /// Pending depth of the ingest queue after a push or pop.
+    QueueDepth { depth: usize },
+
+    // -- DES milestones -------------------------------------------------
+    /// The simulator fired a scheduled event at virtual time `sim_time`.
+    SimEventFired { sim_time: f64, count: u64 },
+    /// A scheduled event was cancelled before firing.
+    SimEventCancelled { sim_time: f64 },
+
+    // -- Cluster / launch ----------------------------------------------
+    /// A simulated node came up and can accept work.
+    NodeUp { node: u32 },
+    /// A launch wave was dispatched: `tasks` tasks via `method`.
+    Launch { method: LaunchMethod, tasks: u64 },
+}
+
+impl Event {
+    /// Stable kind string; also the `"type"` field of the JSONL encoding
+    /// and the metric key prefix in [`crate::MetricsRegistry`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Queued { .. } => "queued",
+            Event::SlotAcquired { .. } => "slot_acquired",
+            Event::Spawned { .. } => "spawned",
+            Event::Completed { .. } => "completed",
+            Event::Retried { .. } => "retried",
+            Event::Failed { .. } => "failed",
+            Event::SlotOccupancy { .. } => "slot_occupancy",
+            Event::QueueDepth { .. } => "queue_depth",
+            Event::SimEventFired { .. } => "sim_event_fired",
+            Event::SimEventCancelled { .. } => "sim_event_cancelled",
+            Event::NodeUp { .. } => "node_up",
+            Event::Launch { .. } => "launch",
+        }
+    }
+
+    /// Sequence number for task-lifecycle events, if any.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Event::Queued { seq }
+            | Event::SlotAcquired { seq, .. }
+            | Event::Spawned { seq, .. }
+            | Event::Completed { seq, .. }
+            | Event::Retried { seq, .. }
+            | Event::Failed { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+
+    /// Encode as a single JSONL object (no trailing newline).
+    pub fn to_jsonl(&self, at: Duration) -> String {
+        let t_us = at.as_micros();
+        let body = match self {
+            Event::Queued { seq } => format!("\"seq\":{seq}"),
+            Event::SlotAcquired { seq, slot } => format!("\"seq\":{seq},\"slot\":{slot}"),
+            Event::Spawned { seq, slot } => format!("\"seq\":{seq},\"slot\":{slot}"),
+            Event::Completed { seq, exit, runtime } => format!(
+                "\"seq\":{seq},\"exit\":{exit},\"runtime_us\":{}",
+                runtime.as_micros()
+            ),
+            Event::Retried { seq, attempt } => format!("\"seq\":{seq},\"attempt\":{attempt}"),
+            Event::Failed { seq, exit } => format!("\"seq\":{seq},\"exit\":{exit}"),
+            Event::SlotOccupancy { busy, total } => format!("\"busy\":{busy},\"total\":{total}"),
+            Event::QueueDepth { depth } => format!("\"depth\":{depth}"),
+            Event::SimEventFired { sim_time, count } => {
+                format!("\"sim_time\":{},\"count\":{count}", fmt_f64(*sim_time))
+            }
+            Event::SimEventCancelled { sim_time } => {
+                format!("\"sim_time\":{}", fmt_f64(*sim_time))
+            }
+            Event::NodeUp { node } => format!("\"node\":{node}"),
+            Event::Launch { method, tasks } => {
+                format!("\"method\":\"{}\",\"tasks\":{tasks}", method.as_str())
+            }
+        };
+        format!("{{\"t_us\":{t_us},\"type\":\"{}\",{body}}}", self.kind())
+    }
+}
+
+/// JSON-safe float formatting (no NaN/inf in the output stream).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An event stamped with its offset from bus creation, as captured by
+/// [`crate::Recorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    pub at: Duration,
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_strings_are_unique() {
+        let events = [
+            Event::Queued { seq: 1 },
+            Event::SlotAcquired { seq: 1, slot: 2 },
+            Event::Spawned { seq: 1, slot: 2 },
+            Event::Completed {
+                seq: 1,
+                exit: 0,
+                runtime: Duration::from_millis(5),
+            },
+            Event::Retried { seq: 1, attempt: 1 },
+            Event::Failed { seq: 1, exit: 2 },
+            Event::SlotOccupancy { busy: 1, total: 4 },
+            Event::QueueDepth { depth: 3 },
+            Event::SimEventFired {
+                sim_time: 1.5,
+                count: 9,
+            },
+            Event::SimEventCancelled { sim_time: 2.0 },
+            Event::NodeUp { node: 7 },
+            Event::Launch {
+                method: LaunchMethod::Parallel,
+                tasks: 64,
+            },
+        ];
+        let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+
+    #[test]
+    fn jsonl_lines_parse_as_json() {
+        let at = Duration::from_micros(1234);
+        let events = [
+            Event::Completed {
+                seq: 42,
+                exit: 0,
+                runtime: Duration::from_millis(545),
+            },
+            Event::Launch {
+                method: LaunchMethod::Srun,
+                tasks: 1000,
+            },
+            Event::SimEventFired {
+                sim_time: 0.25,
+                count: 3,
+            },
+        ];
+        for e in &events {
+            let line = e.to_jsonl(at);
+            let v = serde_json::from_str(&line).expect("valid JSON line");
+            assert_eq!(v["t_us"].as_u64(), Some(1234));
+            assert_eq!(v["type"].as_str(), Some(e.kind()));
+        }
+        let v = serde_json::from_str(&events[0].to_jsonl(at)).unwrap();
+        assert_eq!(v["seq"].as_u64(), Some(42));
+        assert_eq!(v["runtime_us"].as_u64(), Some(545_000));
+    }
+
+    #[test]
+    fn seq_accessor_covers_lifecycle_only() {
+        assert_eq!(Event::Queued { seq: 9 }.seq(), Some(9));
+        assert_eq!(Event::QueueDepth { depth: 1 }.seq(), None);
+        assert_eq!(Event::NodeUp { node: 1 }.seq(), None);
+    }
+}

@@ -1,0 +1,30 @@
+//! Unified telemetry bus for htpar.
+//!
+//! Every layer of the stack — the real execution engine
+//! (`htpar-core`), the discrete-event simulator (`htpar-simkit`), and
+//! the cluster/launch models (`htpar-cluster`, `htpar-wms`) — emits
+//! structured [`Event`]s onto an [`EventBus`]. Pluggable [`Sink`]s
+//! consume them:
+//!
+//! * [`Recorder`] — in-memory capture for tests (golden traces,
+//!   lifecycle assertions, kill-and-resume checks),
+//! * [`JsonlWriter`] — one JSON object per line for benches, so runs
+//!   like `fig3_launch_rate` produce machine-readable trajectories,
+//! * [`MetricsRegistry`] — counters, gauges, and quantile histograms
+//!   (p50/p95/p99) aggregated on the fly; launch rate and progress
+//!   become views over the bus instead of bespoke meters.
+//!
+//! The emit path is lock-cheap: a bus with no sinks is a single
+//! relaxed atomic load, and sink dispatch takes one short `RwLock`
+//! read. The crate is dependency-free so every other crate can depend
+//! on it without cycles.
+
+pub mod bus;
+pub mod event;
+pub mod metrics;
+pub mod sinks;
+
+pub use bus::{EventBus, Sink};
+pub use event::{Event, LaunchMethod, TimedEvent};
+pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use sinks::{JsonlWriter, Recorder};

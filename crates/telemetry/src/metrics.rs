@@ -1,0 +1,329 @@
+//! Aggregating sink: counters, gauges, and quantile histograms over the
+//! event stream.
+//!
+//! `MetricsRegistry` subsumes the engine's bespoke meters: the launch
+//! rate it derives from `spawned` events matches
+//! `htpar_core::stats::RateMeter` (same sustained-rate definition:
+//! events-minus-one over first→last span), and its snapshot carries the
+//! same ok/failed/retry tallies `htpar_core::progress::Progress`
+//! tracks — both become views over the bus.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::bus::Sink;
+use crate::event::Event;
+
+/// Order statistics of one histogram (times in microseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    pub count: usize,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    fn empty() -> HistogramSummary {
+        HistogramSummary {
+            count: 0,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            p50: 0,
+            p95: 0,
+            p99: 0,
+        }
+    }
+
+    /// Nearest-rank quantiles over the (unsorted) sample set.
+    fn from_samples(samples: &[u64]) -> HistogramSummary {
+        if samples.is_empty() {
+            return HistogramSummary::empty();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        HistogramSummary {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("nonempty"),
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+        }
+    }
+}
+
+/// Point-in-time aggregate of everything the registry has observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Event counts keyed by [`Event::kind`] string.
+    pub counters: BTreeMap<String, u64>,
+    /// Latest queue depth seen (gauge).
+    pub queue_depth: usize,
+    /// Latest slot occupancy seen (gauge): `(busy, total)`.
+    pub slot_occupancy: (usize, usize),
+    /// Runtime distribution of completed tasks.
+    pub runtime: HistogramSummary,
+    /// Sustained launch rate over `spawned` events (see
+    /// [`MetricsRegistry::launch_rate_sustained`]); `None` below 2 events.
+    pub launch_rate: Option<f64>,
+    /// Tasks that completed with exit 0.
+    pub ok: u64,
+    /// Tasks that completed with nonzero exit, plus terminal failures.
+    pub failed: u64,
+    /// Retry attempts observed.
+    pub retries: u64,
+    /// Total tasks launched into the cluster model, by launch waves.
+    pub launched_tasks: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    queue_depth: usize,
+    slot_busy: usize,
+    slot_total: usize,
+    /// Bus-relative stamps of `spawned` events (launch-rate source).
+    spawn_stamps: Vec<Duration>,
+    /// Final-attempt runtimes of completed tasks, microseconds.
+    runtimes_us: Vec<u64>,
+    ok: u64,
+    failed: u64,
+    retries: u64,
+    launched_tasks: u64,
+}
+
+/// Thread-safe aggregating sink. Attach it to a bus and read
+/// [`MetricsRegistry::snapshot`] during or after the run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    pub fn shared() -> std::sync::Arc<MetricsRegistry> {
+        std::sync::Arc::new(MetricsRegistry::new())
+    }
+
+    /// Count of events of one kind seen so far.
+    pub fn counter(&self, kind: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        inner.counters.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Sustained launch rate: `spawned`-events-minus-one over the
+    /// first→last spawn span — the same definition as
+    /// `RateMeter::rate_per_sec`, so the two agree when fed the same
+    /// launches. `None` with fewer than 2 spawns or zero span.
+    pub fn launch_rate_sustained(&self) -> Option<f64> {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        rate_over(&inner.spawn_stamps)
+    }
+
+    /// Launches per second of bus lifetime (count over last stamp).
+    pub fn launch_rate_overall(&self) -> Option<f64> {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let last = inner.spawn_stamps.iter().max()?.as_secs_f64();
+        if last <= 0.0 {
+            return None;
+        }
+        Some(inner.spawn_stamps.len() as f64 / last)
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            queue_depth: inner.queue_depth,
+            slot_occupancy: (inner.slot_busy, inner.slot_total),
+            runtime: HistogramSummary::from_samples(&inner.runtimes_us),
+            launch_rate: rate_over(&inner.spawn_stamps),
+            ok: inner.ok,
+            failed: inner.failed,
+            retries: inner.retries,
+            launched_tasks: inner.launched_tasks,
+        }
+    }
+}
+
+fn rate_over(stamps: &[Duration]) -> Option<f64> {
+    if stamps.len() < 2 {
+        return None;
+    }
+    let first = stamps.iter().min().expect("nonempty");
+    let last = stamps.iter().max().expect("nonempty");
+    let span = (*last - *first).as_secs_f64();
+    if span <= 0.0 {
+        return None;
+    }
+    Some((stamps.len() - 1) as f64 / span)
+}
+
+impl Sink for MetricsRegistry {
+    fn record(&self, at: Duration, event: &Event) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        *inner.counters.entry(event.kind()).or_insert(0) += 1;
+        match event {
+            Event::Spawned { .. } => inner.spawn_stamps.push(at),
+            Event::Completed { exit, runtime, .. } => {
+                inner.runtimes_us.push(runtime.as_micros() as u64);
+                if *exit == 0 {
+                    inner.ok += 1;
+                } else {
+                    inner.failed += 1;
+                }
+            }
+            Event::Failed { .. } => inner.failed += 1,
+            Event::Retried { .. } => inner.retries += 1,
+            Event::QueueDepth { depth } => inner.queue_depth = *depth,
+            Event::SlotOccupancy { busy, total } => {
+                inner.slot_busy = *busy;
+                inner.slot_total = *total;
+            }
+            Event::Launch { tasks, .. } => inner.launched_tasks += *tasks,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LaunchMethod;
+
+    fn feed(reg: &MetricsRegistry, at_us: u64, event: Event) {
+        reg.record(Duration::from_micros(at_us), &event);
+    }
+
+    #[test]
+    fn counters_and_tallies() {
+        let reg = MetricsRegistry::new();
+        feed(&reg, 0, Event::Queued { seq: 1 });
+        feed(&reg, 1, Event::Spawned { seq: 1, slot: 1 });
+        feed(
+            &reg,
+            2,
+            Event::Completed {
+                seq: 1,
+                exit: 0,
+                runtime: Duration::from_millis(3),
+            },
+        );
+        feed(&reg, 3, Event::Queued { seq: 2 });
+        feed(&reg, 4, Event::Spawned { seq: 2, slot: 2 });
+        feed(&reg, 5, Event::Retried { seq: 2, attempt: 1 });
+        feed(
+            &reg,
+            6,
+            Event::Completed {
+                seq: 2,
+                exit: 1,
+                runtime: Duration::from_millis(9),
+            },
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["queued"], 2);
+        assert_eq!(snap.counters["spawned"], 2);
+        assert_eq!(snap.ok, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(reg.counter("completed"), 2);
+        assert_eq!(reg.counter("nonexistent"), 0);
+    }
+
+    #[test]
+    fn gauges_track_latest_value() {
+        let reg = MetricsRegistry::new();
+        feed(&reg, 0, Event::QueueDepth { depth: 5 });
+        feed(&reg, 1, Event::QueueDepth { depth: 2 });
+        feed(&reg, 2, Event::SlotOccupancy { busy: 3, total: 8 });
+        let snap = reg.snapshot();
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.slot_occupancy, (3, 8));
+    }
+
+    #[test]
+    fn histogram_quantiles_nearest_rank() {
+        let reg = MetricsRegistry::new();
+        for ms in 1..=100u64 {
+            feed(
+                &reg,
+                ms,
+                Event::Completed {
+                    seq: ms,
+                    exit: 0,
+                    runtime: Duration::from_micros(ms),
+                },
+            );
+        }
+        let h = reg.snapshot().runtime;
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.p50, 50);
+        assert_eq!(h.p95, 95);
+        assert_eq!(h.p99, 99);
+        assert!((h.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_rate_matches_rate_meter_definition() {
+        let reg = MetricsRegistry::new();
+        // 11 spawns, 10 ms apart: sustained rate = 10 / 0.1 s = 100/s.
+        for i in 0..11u64 {
+            feed(&reg, i * 10_000, Event::Spawned { seq: i, slot: 1 });
+        }
+        let rate = reg.launch_rate_sustained().unwrap();
+        assert!((rate - 100.0).abs() < 1e-6, "rate {rate}");
+        let overall = reg.launch_rate_overall().unwrap();
+        assert!((overall - 110.0).abs() < 1e-6, "overall {overall}");
+    }
+
+    #[test]
+    fn launch_waves_accumulate() {
+        let reg = MetricsRegistry::new();
+        feed(
+            &reg,
+            0,
+            Event::Launch {
+                method: LaunchMethod::Srun,
+                tasks: 100,
+            },
+        );
+        feed(
+            &reg,
+            1,
+            Event::Launch {
+                method: LaunchMethod::Parallel,
+                tasks: 900,
+            },
+        );
+        assert_eq!(reg.snapshot().launched_tasks, 1000);
+    }
+
+    #[test]
+    fn empty_registry_snapshot() {
+        let snap = MetricsRegistry::new().snapshot();
+        assert_eq!(snap.runtime.count, 0);
+        assert_eq!(snap.launch_rate, None);
+        assert!(snap.counters.is_empty());
+    }
+}

@@ -21,7 +21,10 @@ impl TokenBucket {
     /// A bucket refilling at `rate_bps` bytes/s with `burst` bytes of
     /// capacity (also the initial fill).
     pub fn new(rate_bps: f64, burst: f64) -> TokenBucket {
-        assert!(rate_bps > 0.0 && burst > 0.0, "rate and burst must be positive");
+        assert!(
+            rate_bps > 0.0 && burst > 0.0,
+            "rate and burst must be positive"
+        );
         TokenBucket {
             rate_bps,
             burst,

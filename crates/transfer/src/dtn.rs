@@ -132,8 +132,9 @@ pub fn simulate_transfer(
     let mut node_elapsed = Vec::with_capacity(nodes as usize);
     for shard in &node_shards {
         // Min-heap of stream-free times.
-        let mut free: std::collections::BinaryHeap<std::cmp::Reverse<u64>> =
-            (0..streams_per_node).map(|_| std::cmp::Reverse(0u64)).collect();
+        let mut free: std::collections::BinaryHeap<std::cmp::Reverse<u64>> = (0..streams_per_node)
+            .map(|_| std::cmp::Reverse(0u64))
+            .collect();
         let mut node_time_us = 0u64;
         for file in shard {
             let std::cmp::Reverse(at_us) = free.pop().expect("streams exist");

@@ -45,7 +45,10 @@ where
     I: IntoIterator<Item = P>,
     P: AsRef<Path>,
 {
-    let sources: Vec<PathBuf> = files.into_iter().map(|p| p.as_ref().to_path_buf()).collect();
+    let sources: Vec<PathBuf> = files
+        .into_iter()
+        .map(|p| p.as_ref().to_path_buf())
+        .collect();
     let stats = sync_tree(&sources, dst_root, opts)?;
     if !opts.delete_extraneous || opts.dry_run {
         return Ok((stats, 0));
@@ -213,7 +216,11 @@ mod tests {
 
     #[test]
     fn destination_path_relative_recreates_structure() {
-        let d = destination_path(Path::new("/gpfs/proj/data/f.dat"), Path::new("/lustre/proj"), true);
+        let d = destination_path(
+            Path::new("/gpfs/proj/data/f.dat"),
+            Path::new("/lustre/proj"),
+            true,
+        );
         assert_eq!(d, PathBuf::from("/lustre/proj/gpfs/proj/data/f.dat"));
         let d = destination_path(Path::new("rel/f.dat"), Path::new("/dst"), true);
         assert_eq!(d, PathBuf::from("/dst/rel/f.dat"));
@@ -236,12 +243,18 @@ mod tests {
             ..Default::default()
         };
 
-        assert_eq!(sync_file(&src, &dst_root, &opts).unwrap(), SyncAction::Copied);
+        assert_eq!(
+            sync_file(&src, &dst_root, &opts).unwrap(),
+            SyncAction::Copied
+        );
         let dst = destination_path(&src, &dst_root, true);
         assert_eq!(fs::read_to_string(&dst).unwrap(), "payload");
 
         // Second run: quick check hits.
-        assert_eq!(sync_file(&src, &dst_root, &opts).unwrap(), SyncAction::UpToDate);
+        assert_eq!(
+            sync_file(&src, &dst_root, &opts).unwrap(),
+            SyncAction::UpToDate
+        );
         fs::remove_dir_all(&root).unwrap();
     }
 
@@ -257,7 +270,10 @@ mod tests {
         // Change content AND size; mtime may be within the modify window,
         // but the size check catches it.
         write(&src, "version-two");
-        assert_eq!(sync_file(&src, &dst_root, &opts).unwrap(), SyncAction::Copied);
+        assert_eq!(
+            sync_file(&src, &dst_root, &opts).unwrap(),
+            SyncAction::Copied
+        );
         let dst = destination_path(&src, &dst_root, false);
         assert_eq!(fs::read_to_string(dst).unwrap(), "version-two");
         fs::remove_dir_all(&root).unwrap();
@@ -283,12 +299,18 @@ mod tests {
             .unwrap()
             .set_modified(src_mtime)
             .unwrap();
-        assert_eq!(sync_file(&src, &dst_root, &quick).unwrap(), SyncAction::UpToDate);
+        assert_eq!(
+            sync_file(&src, &dst_root, &quick).unwrap(),
+            SyncAction::UpToDate
+        );
         let check = SyncOptions {
             checksum: true,
             ..Default::default()
         };
-        assert_eq!(sync_file(&src, &dst_root, &check).unwrap(), SyncAction::Copied);
+        assert_eq!(
+            sync_file(&src, &dst_root, &check).unwrap(),
+            SyncAction::Copied
+        );
         assert_eq!(fs::read_to_string(&dst).unwrap(), "bbbb");
         fs::remove_dir_all(&root).unwrap();
     }
@@ -303,7 +325,10 @@ mod tests {
             dry_run: true,
             ..Default::default()
         };
-        assert_eq!(sync_file(&src, &dst_root, &opts).unwrap(), SyncAction::WouldCopy);
+        assert_eq!(
+            sync_file(&src, &dst_root, &opts).unwrap(),
+            SyncAction::WouldCopy
+        );
         assert!(!dst_root.exists());
         fs::remove_dir_all(&root).unwrap();
     }
@@ -361,14 +386,20 @@ mod tests {
         assert_eq!(deleted, 0);
 
         // A file appears at the destination that no source maps to.
-        write(&destination_path(&src.join("stale.dat"), &dst, true), "junk");
+        write(
+            &destination_path(&src.join("stale.dat"), &dst, true),
+            "junk",
+        );
         let (stats, deleted) = mirror_tree(&files, &dst, &opts).unwrap();
         assert_eq!(stats.files_up_to_date, 2);
         assert_eq!(deleted, 1);
         assert!(!destination_path(&src.join("stale.dat"), &dst, true).exists());
 
         // Without --delete the stale file survives.
-        write(&destination_path(&src.join("stale2.dat"), &dst, true), "junk");
+        write(
+            &destination_path(&src.join("stale2.dat"), &dst, true),
+            "junk",
+        );
         let plain = SyncOptions {
             relative: true,
             ..Default::default()

@@ -3,6 +3,7 @@
 //! loads.
 
 use htpar_cluster::{LaunchModel, Machine};
+use htpar_telemetry::EventBus;
 use htpar_workloads::wfbench;
 use serde::{Deserialize, Serialize};
 
@@ -36,11 +37,26 @@ impl ComparisonRow {
 /// enough Frontier nodes for 128 tasks each, pay the allocation ramp and
 /// one instance's dispatch serialization per node.
 pub fn parallel_overhead_secs(tasks: u64, machine: &Machine) -> (u32, f64) {
+    parallel_overhead_observed(tasks, machine, None)
+}
+
+/// [`parallel_overhead_secs`] that reports the per-node dispatch wave on
+/// a telemetry bus (an [`htpar_telemetry::Event::Launch`] with
+/// `LaunchMethod::Parallel` covering all tasks).
+pub fn parallel_overhead_observed(
+    tasks: u64,
+    machine: &Machine,
+    bus: Option<&EventBus>,
+) -> (u32, f64) {
     let tasks_per_node = machine.threads_per_node.max(1) as u64;
     let nodes = tasks.div_ceil(tasks_per_node).max(1) as u32;
     let nodes = nodes.min(machine.nodes);
     let per_node_tasks = tasks.div_ceil(nodes as u64);
-    let dispatch = LaunchModel::paper_calibrated().dispatch_time(per_node_tasks, 1);
+    let model = LaunchModel::paper_calibrated();
+    let dispatch = match bus {
+        Some(bus) => model.dispatch_observed(per_node_tasks, 1, bus),
+        None => model.dispatch_time(per_node_tasks, 1),
+    };
     // The allocation ramp from the Fig. 1 calibration: nodes become ready
     // over ~0.01 s/node.
     let ramp = 0.01 * nodes as f64;
@@ -49,13 +65,23 @@ pub fn parallel_overhead_secs(tasks: u64, machine: &Machine) -> (u32, f64) {
 
 /// Build the comparison table for the given task counts.
 pub fn overhead_comparison(task_counts: &[u64]) -> Vec<ComparisonRow> {
+    overhead_comparison_observed(task_counts, None)
+}
+
+/// [`overhead_comparison`] with an optional telemetry bus: each row's
+/// parallel side emits its launch wave, so a `MetricsRegistry` attached
+/// to the bus sees the total task volume the comparison covered.
+pub fn overhead_comparison_observed(
+    task_counts: &[u64],
+    bus: Option<&EventBus>,
+) -> Vec<ComparisonRow> {
     let machine = Machine::frontier();
     let wms_cfg = WmsConfig::swift_t_like();
     task_counts
         .iter()
         .map(|&tasks| {
             let wms = execute(&wfbench::launch_only(tasks as u32), &wms_cfg);
-            let (nodes, parallel) = parallel_overhead_secs(tasks, &machine);
+            let (nodes, parallel) = parallel_overhead_observed(tasks, &machine, bus);
             ComparisonRow {
                 tasks,
                 nodes,
@@ -104,5 +130,23 @@ mod tests {
         let machine = Machine::frontier();
         let (nodes, _) = parallel_overhead_secs(10_000_000_000, &machine);
         assert_eq!(nodes, machine.nodes);
+    }
+
+    #[test]
+    fn observed_comparison_reports_launch_waves() {
+        use htpar_telemetry::{MetricsRegistry, Recorder};
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        let metrics = MetricsRegistry::shared();
+        bus.attach(rec.clone());
+        bus.attach(metrics.clone());
+        let rows = overhead_comparison_observed(&[1_000, 2_000], Some(&bus));
+        assert_eq!(rows.len(), 2);
+        // Unobserved and observed paths agree exactly.
+        assert_eq!(rows, overhead_comparison(&[1_000, 2_000]));
+        // One launch wave per row, per-node volume aggregated by metrics.
+        assert_eq!(rec.count_matching(|e| e.kind() == "launch"), 2);
+        let per_node: u64 = rows.iter().map(|r| r.tasks.div_ceil(r.nodes as u64)).sum();
+        assert_eq!(metrics.snapshot().launched_tasks, per_node);
     }
 }

@@ -95,8 +95,7 @@ pub fn execute(workflow: &Workflow, config: &WmsConfig) -> WmsRun {
                 let Some(id) = ready.pop_front() else { break };
                 let task = &workflow.tasks[id as usize];
                 clock += config.per_task_dispatch_secs;
-                let staging =
-                    (task.input_bytes + task.output_bytes) as f64 / config.staging_bps;
+                let staging = (task.input_bytes + task.output_bytes) as f64 / config.staging_bps;
                 let finish = clock + staging + task.runtime_secs;
                 makespan = makespan.max(finish);
                 running.push(Reverse(((finish * 1e6) as u64, id)));

@@ -102,8 +102,7 @@ fn shadow_spans(workflow: &Workflow, config: &WmsConfig) -> Timeline {
                 let Some(id) = ready.pop_front() else { break };
                 let task = &workflow.tasks[id as usize];
                 clock += config.per_task_dispatch_secs;
-                let staging =
-                    (task.input_bytes + task.output_bytes) as f64 / config.staging_bps;
+                let staging = (task.input_bytes + task.output_bytes) as f64 / config.staging_bps;
                 let finish = clock + staging + task.runtime_secs;
                 spans.push(TaskSpan {
                     id,
@@ -176,10 +175,17 @@ impl Gantt {
             for c in row.iter_mut().take(e).skip(s) {
                 *c = '#';
             }
-            out.push_str(&format!("task {:>4} |{}|\n", span.id, row.iter().collect::<String>()));
+            out.push_str(&format!(
+                "task {:>4} |{}|\n",
+                span.id,
+                row.iter().collect::<String>()
+            ));
         }
         if timeline.spans.len() > self.max_rows {
-            out.push_str(&format!("... ({} more tasks)\n", timeline.spans.len() - self.max_rows));
+            out.push_str(&format!(
+                "... ({} more tasks)\n",
+                timeline.spans.len() - self.max_rows
+            ));
         }
         out
     }
@@ -239,8 +245,7 @@ mod tests {
     #[test]
     fn start_gap_reflects_central_dispatch_cost() {
         let cfg = WmsConfig::swift_t_like();
-        let (_, timeline) =
-            execute_with_timeline(&wfbench::launch_only(5_000), &cfg);
+        let (_, timeline) = execute_with_timeline(&wfbench::launch_only(5_000), &cfg);
         // Each dispatch costs at least per_task_dispatch_secs.
         assert!(
             timeline.mean_start_gap_secs() >= cfg.per_task_dispatch_secs * 0.9,

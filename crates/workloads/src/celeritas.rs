@@ -47,22 +47,75 @@ impl CelerInput {
             energy_mev: 1000.0,
             scatter_loss_mev: 40.0,
             geometry: vec![
-                Slab { thickness: 1.0, sigma: 0.3, absorption: 0.1 },
-                Slab { thickness: 5.0, sigma: 0.8, absorption: 0.3 },
-                Slab { thickness: 2.0, sigma: 1.5, absorption: 0.6 },
+                Slab {
+                    thickness: 1.0,
+                    sigma: 0.3,
+                    absorption: 0.1,
+                },
+                Slab {
+                    thickness: 5.0,
+                    sigma: 0.8,
+                    absorption: 0.3,
+                },
+                Slab {
+                    thickness: 2.0,
+                    sigma: 1.5,
+                    absorption: 0.6,
+                },
             ],
             seed,
         }
     }
 
-    /// Parse an `.inp.json` string.
+    /// Parse an `.inp.json` string. Every field is required; missing or
+    /// mistyped fields are errors, as is non-JSON input.
     pub fn from_json(json: &str) -> Result<CelerInput, serde_json::Error> {
-        serde_json::from_str(json)
+        let v = serde_json::from_str(json)?;
+        let geometry = v
+            .req_array("geometry")?
+            .iter()
+            .map(|slab| {
+                Ok(Slab {
+                    thickness: slab.req_f64("thickness")?,
+                    sigma: slab.req_f64("sigma")?,
+                    absorption: slab.req_f64("absorption")?,
+                })
+            })
+            .collect::<Result<Vec<Slab>, serde_json::Error>>()?;
+        Ok(CelerInput {
+            primaries: v.req_u64("primaries")?,
+            energy_mev: v.req_f64("energy_mev")?,
+            scatter_loss_mev: v.req_f64("scatter_loss_mev")?,
+            geometry,
+            seed: v.req_u64("seed")?,
+        })
     }
 
     /// Serialize to `.inp.json`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("input serializes")
+        use serde_json::Value;
+        let geometry = Value::Array(
+            self.geometry
+                .iter()
+                .map(|s| {
+                    serde_json::json!({
+                        "thickness": (s.thickness),
+                        "sigma": (s.sigma),
+                        "absorption": (s.absorption)
+                    })
+                })
+                .collect(),
+        );
+        let mut root = std::collections::BTreeMap::new();
+        root.insert("primaries".to_string(), Value::from(self.primaries));
+        root.insert("energy_mev".to_string(), Value::from(self.energy_mev));
+        root.insert(
+            "scatter_loss_mev".to_string(),
+            Value::from(self.scatter_loss_mev),
+        );
+        root.insert("geometry".to_string(), geometry);
+        root.insert("seed".to_string(), Value::from(self.seed));
+        serde_json::to_string_pretty(&Value::Object(root))
     }
 }
 
@@ -156,10 +209,7 @@ pub fn run_sim(input: &CelerInput, device: u32) -> CelerOutput {
 /// driven by slot numbers (the §IV-D execution line as a function), and
 /// merge the tallies. Inputs are processed in sorted path order for
 /// determinism. Returns `(merged output, per-device task counts)`.
-pub fn run_input_dir(
-    dir: &std::path::Path,
-    gpus: u32,
-) -> std::io::Result<(CelerOutput, Vec<u64>)> {
+pub fn run_input_dir(dir: &std::path::Path, gpus: u32) -> std::io::Result<(CelerOutput, Vec<u64>)> {
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.to_string_lossy().ends_with(".inp.json"))
@@ -192,8 +242,8 @@ pub fn merge_outputs(a: CelerOutput, b: CelerOutput) -> CelerOutput {
         "geometries must match to merge"
     );
     let transmitted = a.transmitted + b.transmitted;
-    let exit_energy_sum =
-        a.mean_exit_energy_mev * a.transmitted as f64 + b.mean_exit_energy_mev * b.transmitted as f64;
+    let exit_energy_sum = a.mean_exit_energy_mev * a.transmitted as f64
+        + b.mean_exit_energy_mev * b.transmitted as f64;
     CelerOutput {
         primaries: a.primaries + b.primaries,
         absorbed_per_slab: a
@@ -271,11 +321,19 @@ mod tests {
     #[test]
     fn denser_slabs_absorb_more() {
         let thin = CelerInput {
-            geometry: vec![Slab { thickness: 1.0, sigma: 0.1, absorption: 0.5 }],
+            geometry: vec![Slab {
+                thickness: 1.0,
+                sigma: 0.1,
+                absorption: 0.5,
+            }],
             ..CelerInput::benchmark(20_000, 2)
         };
         let thick = CelerInput {
-            geometry: vec![Slab { thickness: 1.0, sigma: 3.0, absorption: 0.5 }],
+            geometry: vec![Slab {
+                thickness: 1.0,
+                sigma: 3.0,
+                absorption: 0.5,
+            }],
             ..CelerInput::benchmark(20_000, 2)
         };
         let t_thin = run_sim(&thin, 0).transmitted;
@@ -316,13 +374,20 @@ mod tests {
         // sees fewer particles but the middle slab (σ=0.8 over 5 units)
         // does the most scattering. Just assert every slab deposited
         // something and the totals are positive and finite.
-        assert!(out.energy_dep_per_slab_mev.iter().all(|&e| e > 0.0 && e.is_finite()));
+        assert!(out
+            .energy_dep_per_slab_mev
+            .iter()
+            .all(|&e| e > 0.0 && e.is_finite()));
     }
 
     #[test]
     fn vacuum_transmits_everything() {
         let input = CelerInput {
-            geometry: vec![Slab { thickness: 10.0, sigma: 0.0, absorption: 0.0 }],
+            geometry: vec![Slab {
+                thickness: 10.0,
+                sigma: 0.0,
+                absorption: 0.0,
+            }],
             ..CelerInput::benchmark(1_000, 5)
         };
         let out = run_sim(&input, 0);
@@ -363,7 +428,10 @@ mod tests {
         let (merged, per_device) = run_input_dir(&dir, 8).unwrap();
         assert_eq!(merged.primaries, expect_primaries);
         let absorbed: u64 = merged.absorbed_per_slab.iter().sum();
-        assert_eq!(absorbed + merged.transmitted + merged.stopped, merged.primaries);
+        assert_eq!(
+            absorbed + merged.transmitted + merged.stopped,
+            merged.primaries
+        );
         assert_eq!(per_device.iter().sum::<u64>(), 12);
         // 12 tasks over 8 devices: 4 devices get 2, 4 get 1.
         assert_eq!(per_device.iter().filter(|&&n| n == 2).count(), 4);

@@ -149,8 +149,8 @@ impl DarshanLog {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let module = Module::from_tag(parts.next().ok_or("empty record")?)
-                .ok_or("unknown module")?;
+            let module =
+                Module::from_tag(parts.next().ok_or("empty record")?).ok_or("unknown module")?;
             let mut get = |name: &str| -> Result<u64, String> {
                 let field = parts.next().ok_or(format!("missing {name}"))?;
                 let (k, v) = field.split_once('=').ok_or("bad record field")?;
@@ -235,13 +235,23 @@ impl IoSummary {
 /// Generate one month×app archive slice of `jobs` logs.
 pub fn generate_archive_slice(seed: u64, month: u32, app: &str, jobs: u64) -> Vec<DarshanLog> {
     (0..jobs)
-        .map(|i| DarshanLog::generate(seed ^ (month as u64) << 32, i * 100 + month as u64, month, app))
+        .map(|i| {
+            DarshanLog::generate(
+                seed ^ (month as u64) << 32,
+                i * 100 + month as u64,
+                month,
+                app,
+            )
+        })
         .collect()
 }
 
 /// Write a slice of logs to a directory, one `.darshan.txt` file per
 /// log — the on-disk form the staged NVMe pipeline moves between tiers.
-pub fn write_slice_to_dir(dir: &std::path::Path, logs: &[DarshanLog]) -> std::io::Result<Vec<std::path::PathBuf>> {
+pub fn write_slice_to_dir(
+    dir: &std::path::Path,
+    logs: &[DarshanLog],
+) -> std::io::Result<Vec<std::path::PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut paths = Vec::with_capacity(logs.len());
     for log in logs {
@@ -311,7 +321,10 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(DarshanLog::parse("").is_err());
         assert!(DarshanLog::parse("not a log").is_err());
-        assert!(DarshanLog::parse("#darshan jobid=1 app=x month=1 nprocs=1 runtime=1\nBOGUS opens=1").is_err());
+        assert!(DarshanLog::parse(
+            "#darshan jobid=1 app=x month=1 nprocs=1 runtime=1\nBOGUS opens=1"
+        )
+        .is_err());
         assert!(DarshanLog::parse("#darshan jobid=nope app=x month=1 nprocs=1 runtime=1").is_err());
     }
 
@@ -334,15 +347,15 @@ mod tests {
         let summary = IoSummary::of(&logs);
         assert_eq!(summary.jobs, 100);
         assert!(summary.bytes_read > 0);
-        assert!(summary.read_write_ratio() > 1.0, "reads dominate by construction");
+        assert!(
+            summary.read_write_ratio() > 1.0,
+            "reads dominate by construction"
+        );
         // Summing two halves equals the whole.
         let first = IoSummary::of(&logs[..50]);
         let second = IoSummary::of(&logs[50..]);
         assert_eq!(first.jobs + second.jobs, summary.jobs);
-        assert_eq!(
-            first.bytes_read + second.bytes_read,
-            summary.bytes_read
-        );
+        assert_eq!(first.bytes_read + second.bytes_read, summary.bytes_read);
     }
 
     #[test]

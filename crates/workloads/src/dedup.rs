@@ -38,10 +38,7 @@ fn hash_str(s: &str, seed: u64) -> u64 {
 /// The set of `k`-word shingle hashes of a text (lowercased words).
 pub fn shingles(text: &str, k: usize) -> BTreeSet<u64> {
     let k = k.max(1);
-    let words: Vec<String> = text
-        .split_whitespace()
-        .map(|w| w.to_lowercase())
-        .collect();
+    let words: Vec<String> = text.split_whitespace().map(|w| w.to_lowercase()).collect();
     let mut out = BTreeSet::new();
     if words.len() < k {
         if !words.is_empty() {
@@ -82,12 +79,7 @@ impl Signature {
 
     /// Estimated Jaccard similarity: matching-slot fraction.
     pub fn similarity(&self, other: &Signature) -> f64 {
-        let matching = self
-            .0
-            .iter()
-            .zip(&other.0)
-            .filter(|(a, b)| a == b)
-            .count();
+        let matching = self.0.iter().zip(&other.0).filter(|(a, b)| a == b).count();
         matching as f64 / SIGNATURE_SIZE as f64
     }
 }
@@ -162,7 +154,10 @@ the run period and statistical errors well controlled by the large sample";
     fn jaccard_bounds() {
         let a = shingles(BASE, 3);
         assert_eq!(jaccard(&a, &a), 1.0);
-        let b = shingles("completely different words entirely unrelated content here", 3);
+        let b = shingles(
+            "completely different words entirely unrelated content here",
+            3,
+        );
         assert_eq!(jaccard(&a, &b), 0.0);
         let empty = BTreeSet::new();
         assert_eq!(jaccard(&empty, &empty), 1.0);
@@ -183,7 +178,11 @@ the run period and statistical errors well controlled by the large sample";
 
     #[test]
     fn identical_docs_dedup() {
-        let docs = vec![doc(1, BASE), doc(2, BASE), doc(3, "something else entirely different")];
+        let docs = vec![
+            doc(1, BASE),
+            doc(2, BASE),
+            doc(3, "something else entirely different"),
+        ];
         let report = dedup_documents(&docs, 0.8);
         assert_eq!(report.kept, vec![1, 3]);
         assert_eq!(report.dropped, vec![(2, 1)]);

@@ -211,7 +211,11 @@ pub fn generate_corpus(seed: u64, count: usize) -> Vec<RawDocument> {
         .map(|i| {
             let non_english = rng.gen::<f64>() < 0.12;
             let short = rng.gen::<f64>() < 0.05;
-            let words = if non_english { &german_words } else { &english_words };
+            let words = if non_english {
+                &german_words
+            } else {
+                &english_words
+            };
             let n_abstract = if short { 4 } else { rng.gen_range(30..80) };
             let n_body = if short { 3 } else { rng.gen_range(150..600) };
             let mut pick = |n: usize| -> String {
@@ -324,8 +328,8 @@ mod tests {
     fn shard_merge_equals_whole() {
         let corpus = generate_corpus(12, 1000);
         let whole = CorpusStats::process(&corpus);
-        let merged = CorpusStats::process(&corpus[..500])
-            .merge(&CorpusStats::process(&corpus[500..]));
+        let merged =
+            CorpusStats::process(&corpus[..500]).merge(&CorpusStats::process(&corpus[500..]));
         assert_eq!(whole, merged);
     }
 

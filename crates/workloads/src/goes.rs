@@ -49,7 +49,10 @@ pub fn fetch_image(region: &str, timestamp: u64, width: u32, height: u32) -> Ima
         .iter()
         .position(|&r| r == region)
         .unwrap_or(REGIONS.len()) as u64;
-    let mut rng = stream_rng(region_idx.wrapping_mul(0x9E37).wrapping_add(timestamp), 0x60E5);
+    let mut rng = stream_rng(
+        region_idx.wrapping_mul(0x9E37).wrapping_add(timestamp),
+        0x60E5,
+    );
     // Cloud cover fraction for this frame.
     let cover: f64 = rng.gen_range(0.05..0.6);
     // Cloud blob centers.
@@ -296,7 +299,10 @@ mod tests {
     fn pgm_rejects_garbage() {
         assert!(Image::from_pgm(b"", "x", 0).is_err());
         assert!(Image::from_pgm(b"P6\n2 2\n255\nxxxx", "x", 0).is_err());
-        assert!(Image::from_pgm(b"P5\n2 2\n255\nxx", "x", 0).is_err(), "short pixels");
+        assert!(
+            Image::from_pgm(b"P5\n2 2\n255\nxx", "x", 0).is_err(),
+            "short pixels"
+        );
     }
 
     #[test]

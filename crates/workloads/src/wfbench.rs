@@ -259,8 +259,14 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(bag_of_tasks(10, &runtime(), 5), bag_of_tasks(10, &runtime(), 5));
-        assert_ne!(bag_of_tasks(10, &runtime(), 5), bag_of_tasks(10, &runtime(), 6));
+        assert_eq!(
+            bag_of_tasks(10, &runtime(), 5),
+            bag_of_tasks(10, &runtime(), 5)
+        );
+        assert_ne!(
+            bag_of_tasks(10, &runtime(), 5),
+            bag_of_tasks(10, &runtime(), 6)
+        );
     }
 
     #[test]

@@ -88,6 +88,9 @@ fn main() -> Result<()> {
         assert_eq!(std::fs::read(f)?, std::fs::read(&mirrored)?);
         verified += 1;
     }
-    println!("verified {verified} mirrored files byte-for-byte under {}", dst.display());
+    println!(
+        "verified {verified} mirrored files byte-for-byte under {}",
+        dst.display()
+    );
     Ok(())
 }

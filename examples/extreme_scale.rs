@@ -23,7 +23,10 @@ fn main() {
     // distributes an input list evenly.
     let inputs: Vec<u64> = (0..(nodes as u64 * 128)).collect();
     let shards = driver_shard(&inputs, nodes);
-    let env = SlurmEnv { nnodes: nodes, nodeid: 0 };
+    let env = SlurmEnv {
+        nnodes: nodes,
+        nodeid: 0,
+    };
     println!(
         "driver shard: node 0 takes {} of {} inputs (first: {:?})",
         shards[0].len(),
@@ -42,7 +45,10 @@ fn main() {
     println!("  q3  {:>7.1}", s.q3);
     println!("  p99 {:>7.1}", s.p99);
     println!("  max {:>7.1}", s.max);
-    println!("makespan incl. Lustre copy-back: {:.1}s", result.makespan_secs);
+    println!(
+        "makespan incl. Lustre copy-back: {:.1}s",
+        result.makespan_secs
+    );
     if nodes >= 9000 {
         println!("(paper: max 561s at 9,000 nodes / 1.152M tasks)");
     }

@@ -21,7 +21,10 @@ fn main() -> Result<()> {
     let ws = Workspace::new("fetch");
     let data_dir = ws.path("data");
     std::fs::create_dir_all(&data_dir)?;
-    println!("fetch-process pipeline: {cycles} fetch cycles x {} regions", REGIONS.len());
+    println!(
+        "fetch-process pipeline: {cycles} fetch cycles x {} regions",
+        REGIONS.len()
+    );
 
     // ---- getdata: fetch stage (listing 2) ----
     // Images land as real PGM files in ./data, then the batch timestamp
@@ -31,11 +34,10 @@ fn main() -> Result<()> {
     let fetcher = std::thread::spawn(move || {
         for cycle in 0..cycles {
             let ts = 1_700_000_000 + cycle * 30; // "every 30 seconds"
-            // parallel -j8 curl ... ::: cgl ne nr se sp sr pr pnw
+                                                 // parallel -j8 curl ... ::: cgl ne nr se sp sr pr pnw
             let images = goes::fetch_all_regions(ts, 96, 96);
             for img in &images {
-                std::fs::write(fetch_dir.join(img.file_name()), img.to_pgm())
-                    .expect("write image");
+                std::fs::write(fetch_dir.join(img.file_name()), img.to_pgm()).expect("write image");
             }
             println!("[getdata] fetched {} images at ts={ts}", images.len());
             // echo $ts >> q.proc

@@ -29,7 +29,11 @@ fn main() -> Result<()> {
         std::fs::write(&path, input.to_json())?;
         inputs.push(path.display().to_string());
     }
-    println!("wrote {} .inp.json inputs under {}", inputs.len(), ws.root.display());
+    println!(
+        "wrote {} .inp.json inputs under {}",
+        inputs.len(),
+        ws.root.display()
+    );
 
     let report = Parallel::new("HIP_VISIBLE_DEVICES={%} celer-sim {}")
         .jobs(8)
@@ -65,8 +69,6 @@ fn main() -> Result<()> {
         println!("  GPU {device}: {tasks} tasks");
         devices_used += 1;
     }
-    println!(
-        "devices used: {devices_used}/8 — the {{%}} idiom spread work over every GPU"
-    );
+    println!("devices used: {devices_used}/8 — the {{%}} idiom spread work over every GPU");
     Ok(())
 }

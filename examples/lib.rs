@@ -14,10 +14,7 @@ pub struct Workspace {
 impl Workspace {
     /// Create `$TMPDIR/htpar-example-<tag>-<pid>`.
     pub fn new(tag: &str) -> Workspace {
-        let root = std::env::temp_dir().join(format!(
-            "htpar-example-{tag}-{}",
-            std::process::id()
-        ));
+        let root = std::env::temp_dir().join(format!("htpar-example-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(&root).expect("create example workspace");
         Workspace { root }

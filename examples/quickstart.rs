@@ -19,14 +19,14 @@ fn main() -> Result<()> {
         .args(["a", "b", "c"])
         .run()?;
     for result in &report.results {
-        print!("seq {} (slot {}): {}", result.seq, result.slot, result.stdout);
+        print!(
+            "seq {} (slot {}): {}",
+            result.seq, result.slot, result.stdout
+        );
     }
     println!(
         "{} jobs, {} ok, wall {:?}, {:.0} launches/s",
-        report.jobs_total,
-        report.succeeded,
-        report.wall,
-        report.launch_rate
+        report.jobs_total, report.succeeded, report.wall, report.launch_rate
     );
 
     // 2. Replacement strings: path operations on file-name arguments,

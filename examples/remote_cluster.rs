@@ -58,6 +58,10 @@ fn main() -> Result<()> {
     }
     let total: u64 = placement.values().sum();
     assert_eq!(total, 24);
-    println!("\nall {} jobs succeeded: {}", report.jobs_total, report.all_succeeded());
+    println!(
+        "\nall {} jobs succeeded: {}",
+        report.jobs_total,
+        report.all_succeeded()
+    );
     Ok(())
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_engine-75b3972fcf8553d4.d: crates/bench/src/bin/ablation_engine.rs
+
+/root/repo/target/debug/deps/ablation_engine-75b3972fcf8553d4: crates/bench/src/bin/ablation_engine.rs
+
+crates/bench/src/bin/ablation_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_engine-85f814d27f6369d3.d: crates/bench/src/bin/ablation_engine.rs
+
+/root/repo/target/debug/deps/libablation_engine-85f814d27f6369d3.rmeta: crates/bench/src/bin/ablation_engine.rs
+
+crates/bench/src/bin/ablation_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_engine-ce371513605b6899.d: crates/bench/src/bin/ablation_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_engine-ce371513605b6899.rmeta: crates/bench/src/bin/ablation_engine.rs Cargo.toml
+
+crates/bench/src/bin/ablation_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_engine-e58144c7fae3639d.d: crates/bench/src/bin/ablation_engine.rs
+
+/root/repo/target/debug/deps/ablation_engine-e58144c7fae3639d: crates/bench/src/bin/ablation_engine.rs
+
+crates/bench/src/bin/ablation_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_io_strategy-2468f3a91c32c8ac.d: crates/bench/src/bin/ablation_io_strategy.rs
+
+/root/repo/target/debug/deps/ablation_io_strategy-2468f3a91c32c8ac: crates/bench/src/bin/ablation_io_strategy.rs
+
+crates/bench/src/bin/ablation_io_strategy.rs:

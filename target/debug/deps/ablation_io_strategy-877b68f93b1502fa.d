@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_io_strategy-877b68f93b1502fa.d: crates/bench/src/bin/ablation_io_strategy.rs
+
+/root/repo/target/debug/deps/ablation_io_strategy-877b68f93b1502fa: crates/bench/src/bin/ablation_io_strategy.rs
+
+crates/bench/src/bin/ablation_io_strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_io_strategy-95d726a331f1ccd1.d: crates/bench/src/bin/ablation_io_strategy.rs
+
+/root/repo/target/debug/deps/libablation_io_strategy-95d726a331f1ccd1.rmeta: crates/bench/src/bin/ablation_io_strategy.rs
+
+crates/bench/src/bin/ablation_io_strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_io_strategy-cfd61a95c7e0892a.d: crates/bench/src/bin/ablation_io_strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_io_strategy-cfd61a95c7e0892a.rmeta: crates/bench/src/bin/ablation_io_strategy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_io_strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_resilience-1753c6803cb96399.d: tests/chaos_resilience.rs
+
+/root/repo/target/debug/deps/chaos_resilience-1753c6803cb96399: tests/chaos_resilience.rs
+
+tests/chaos_resilience.rs:

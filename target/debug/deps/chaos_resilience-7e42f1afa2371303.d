@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_resilience-7e42f1afa2371303.d: tests/chaos_resilience.rs
+
+/root/repo/target/debug/deps/chaos_resilience-7e42f1afa2371303: tests/chaos_resilience.rs
+
+tests/chaos_resilience.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_resilience-7e5f932baac51220.d: tests/chaos_resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_resilience-7e5f932baac51220.rmeta: tests/chaos_resilience.rs Cargo.toml
+
+tests/chaos_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

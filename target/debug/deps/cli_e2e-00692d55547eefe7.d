@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_e2e-00692d55547eefe7.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/debug/deps/cli_e2e-00692d55547eefe7: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_htpar=/root/repo/target/debug/htpar

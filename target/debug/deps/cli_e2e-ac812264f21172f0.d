@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_e2e-ac812264f21172f0.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/debug/deps/cli_e2e-ac812264f21172f0: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_htpar=/root/repo/target/debug/htpar

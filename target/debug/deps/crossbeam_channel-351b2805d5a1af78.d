@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_channel-351b2805d5a1af78.d: vendor/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-351b2805d5a1af78.rmeta: vendor/crossbeam-channel/src/lib.rs
+
+vendor/crossbeam-channel/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam_channel-446e04328defbf8d.d: vendor/crossbeam-channel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam_channel-446e04328defbf8d.rmeta: vendor/crossbeam-channel/src/lib.rs Cargo.toml
+
+vendor/crossbeam-channel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam_channel-6665368f6a79223b.d: vendor/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-6665368f6a79223b.rlib: vendor/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-6665368f6a79223b.rmeta: vendor/crossbeam-channel/src/lib.rs
+
+vendor/crossbeam-channel/src/lib.rs:

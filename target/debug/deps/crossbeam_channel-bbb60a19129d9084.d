@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_channel-bbb60a19129d9084.d: vendor/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam_channel-bbb60a19129d9084: vendor/crossbeam-channel/src/lib.rs
+
+vendor/crossbeam-channel/src/lib.rs:

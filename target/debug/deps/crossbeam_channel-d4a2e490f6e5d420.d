@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam_channel-d4a2e490f6e5d420.d: vendor/crossbeam-channel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam_channel-d4a2e490f6e5d420.rmeta: vendor/crossbeam-channel/src/lib.rs Cargo.toml
+
+vendor/crossbeam-channel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

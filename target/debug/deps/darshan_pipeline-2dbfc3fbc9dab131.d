@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/darshan_pipeline-2dbfc3fbc9dab131.d: examples/darshan_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarshan_pipeline-2dbfc3fbc9dab131.rmeta: examples/darshan_pipeline.rs Cargo.toml
+
+examples/darshan_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/darshan_pipeline-82229a70ea7581aa.d: examples/darshan_pipeline.rs
+
+/root/repo/target/debug/deps/darshan_pipeline-82229a70ea7581aa: examples/darshan_pipeline.rs
+
+examples/darshan_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/darshan_pipeline-eba40cb58c6c385f.d: examples/darshan_pipeline.rs
+
+/root/repo/target/debug/deps/darshan_pipeline-eba40cb58c6c385f: examples/darshan_pipeline.rs
+
+examples/darshan_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/darshan_pipeline-efa9bea43016b844.d: examples/darshan_pipeline.rs
+
+/root/repo/target/debug/deps/libdarshan_pipeline-efa9bea43016b844.rmeta: examples/darshan_pipeline.rs
+
+examples/darshan_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/data_motion-15060bbf7d1c5d7e.d: examples/data_motion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdata_motion-15060bbf7d1c5d7e.rmeta: examples/data_motion.rs Cargo.toml
+
+examples/data_motion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

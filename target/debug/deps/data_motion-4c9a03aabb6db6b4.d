@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/data_motion-4c9a03aabb6db6b4.d: examples/data_motion.rs
+
+/root/repo/target/debug/deps/libdata_motion-4c9a03aabb6db6b4.rmeta: examples/data_motion.rs
+
+examples/data_motion.rs:

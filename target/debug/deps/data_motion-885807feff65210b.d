@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/data_motion-885807feff65210b.d: examples/data_motion.rs
+
+/root/repo/target/debug/deps/data_motion-885807feff65210b: examples/data_motion.rs
+
+examples/data_motion.rs:

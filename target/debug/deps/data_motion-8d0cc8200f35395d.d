@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/data_motion-8d0cc8200f35395d.d: examples/data_motion.rs
+
+/root/repo/target/debug/deps/data_motion-8d0cc8200f35395d: examples/data_motion.rs
+
+examples/data_motion.rs:

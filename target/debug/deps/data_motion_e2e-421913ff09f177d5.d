@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/data_motion_e2e-421913ff09f177d5.d: tests/data_motion_e2e.rs
+
+/root/repo/target/debug/deps/data_motion_e2e-421913ff09f177d5: tests/data_motion_e2e.rs
+
+tests/data_motion_e2e.rs:

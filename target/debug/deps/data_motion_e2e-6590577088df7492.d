@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/data_motion_e2e-6590577088df7492.d: tests/data_motion_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdata_motion_e2e-6590577088df7492.rmeta: tests/data_motion_e2e.rs Cargo.toml
+
+tests/data_motion_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

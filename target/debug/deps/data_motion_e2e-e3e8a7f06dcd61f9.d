@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/data_motion_e2e-e3e8a7f06dcd61f9.d: tests/data_motion_e2e.rs
+
+/root/repo/target/debug/deps/data_motion_e2e-e3e8a7f06dcd61f9: tests/data_motion_e2e.rs
+
+tests/data_motion_e2e.rs:

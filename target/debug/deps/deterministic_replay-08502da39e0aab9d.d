@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deterministic_replay-08502da39e0aab9d.d: crates/simkit/tests/deterministic_replay.rs
+
+/root/repo/target/debug/deps/deterministic_replay-08502da39e0aab9d: crates/simkit/tests/deterministic_replay.rs
+
+crates/simkit/tests/deterministic_replay.rs:

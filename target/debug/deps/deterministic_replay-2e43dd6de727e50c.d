@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deterministic_replay-2e43dd6de727e50c.d: crates/simkit/tests/deterministic_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterministic_replay-2e43dd6de727e50c.rmeta: crates/simkit/tests/deterministic_replay.rs Cargo.toml
+
+crates/simkit/tests/deterministic_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

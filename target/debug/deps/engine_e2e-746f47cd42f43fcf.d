@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_e2e-746f47cd42f43fcf.d: tests/engine_e2e.rs
+
+/root/repo/target/debug/deps/engine_e2e-746f47cd42f43fcf: tests/engine_e2e.rs
+
+tests/engine_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_e2e-8b3f86a39e823683.d: tests/engine_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_e2e-8b3f86a39e823683.rmeta: tests/engine_e2e.rs Cargo.toml
+
+tests/engine_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

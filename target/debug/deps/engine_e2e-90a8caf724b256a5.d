@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_e2e-90a8caf724b256a5.d: tests/engine_e2e.rs
+
+/root/repo/target/debug/deps/engine_e2e-90a8caf724b256a5: tests/engine_e2e.rs
+
+tests/engine_e2e.rs:

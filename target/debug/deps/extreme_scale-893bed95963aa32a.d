@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extreme_scale-893bed95963aa32a.d: examples/extreme_scale.rs
+
+/root/repo/target/debug/deps/libextreme_scale-893bed95963aa32a.rmeta: examples/extreme_scale.rs
+
+examples/extreme_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extreme_scale-8941d033a63e0a83.d: examples/extreme_scale.rs
+
+/root/repo/target/debug/deps/extreme_scale-8941d033a63e0a83: examples/extreme_scale.rs
+
+examples/extreme_scale.rs:

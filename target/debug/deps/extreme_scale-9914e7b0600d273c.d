@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extreme_scale-9914e7b0600d273c.d: examples/extreme_scale.rs
+
+/root/repo/target/debug/deps/extreme_scale-9914e7b0600d273c: examples/extreme_scale.rs
+
+examples/extreme_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extreme_scale-a7e745414ab0d0b0.d: examples/extreme_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextreme_scale-a7e745414ab0d0b0.rmeta: examples/extreme_scale.rs Cargo.toml
+
+examples/extreme_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extreme_scale-f6b5bd8a967cfd90.d: examples/extreme_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextreme_scale-f6b5bd8a967cfd90.rmeta: examples/extreme_scale.rs Cargo.toml
+
+examples/extreme_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

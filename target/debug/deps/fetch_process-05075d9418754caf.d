@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fetch_process-05075d9418754caf.d: examples/fetch_process.rs
+
+/root/repo/target/debug/deps/libfetch_process-05075d9418754caf.rmeta: examples/fetch_process.rs
+
+examples/fetch_process.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fetch_process-1a09f9f0c8455c6d.d: examples/fetch_process.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfetch_process-1a09f9f0c8455c6d.rmeta: examples/fetch_process.rs Cargo.toml
+
+examples/fetch_process.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

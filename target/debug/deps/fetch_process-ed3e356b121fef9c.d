@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fetch_process-ed3e356b121fef9c.d: examples/fetch_process.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfetch_process-ed3e356b121fef9c.rmeta: examples/fetch_process.rs Cargo.toml
+
+examples/fetch_process.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

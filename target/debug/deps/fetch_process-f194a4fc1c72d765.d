@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fetch_process-f194a4fc1c72d765.d: examples/fetch_process.rs
+
+/root/repo/target/debug/deps/fetch_process-f194a4fc1c72d765: examples/fetch_process.rs
+
+examples/fetch_process.rs:

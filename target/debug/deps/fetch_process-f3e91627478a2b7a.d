@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fetch_process-f3e91627478a2b7a.d: examples/fetch_process.rs
+
+/root/repo/target/debug/deps/fetch_process-f3e91627478a2b7a: examples/fetch_process.rs
+
+examples/fetch_process.rs:

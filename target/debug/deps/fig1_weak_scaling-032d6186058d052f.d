@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_weak_scaling-032d6186058d052f.d: crates/bench/src/bin/fig1_weak_scaling.rs
+
+/root/repo/target/debug/deps/fig1_weak_scaling-032d6186058d052f: crates/bench/src/bin/fig1_weak_scaling.rs
+
+crates/bench/src/bin/fig1_weak_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_weak_scaling-20f2e9d9f5d52c4e.d: crates/bench/src/bin/fig1_weak_scaling.rs
+
+/root/repo/target/debug/deps/fig1_weak_scaling-20f2e9d9f5d52c4e: crates/bench/src/bin/fig1_weak_scaling.rs
+
+crates/bench/src/bin/fig1_weak_scaling.rs:

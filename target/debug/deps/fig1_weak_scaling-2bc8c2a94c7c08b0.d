@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_weak_scaling-2bc8c2a94c7c08b0.d: crates/bench/src/bin/fig1_weak_scaling.rs
+
+/root/repo/target/debug/deps/libfig1_weak_scaling-2bc8c2a94c7c08b0.rmeta: crates/bench/src/bin/fig1_weak_scaling.rs
+
+crates/bench/src/bin/fig1_weak_scaling.rs:

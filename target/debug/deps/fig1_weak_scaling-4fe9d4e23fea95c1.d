@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_weak_scaling-4fe9d4e23fea95c1.d: crates/bench/src/bin/fig1_weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_weak_scaling-4fe9d4e23fea95c1.rmeta: crates/bench/src/bin/fig1_weak_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig1_weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_weak_scaling-9d41c5bd541d4242.d: crates/bench/src/bin/fig1_weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_weak_scaling-9d41c5bd541d4242.rmeta: crates/bench/src/bin/fig1_weak_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig1_weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

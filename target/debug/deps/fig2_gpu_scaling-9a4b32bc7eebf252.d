@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_gpu_scaling-9a4b32bc7eebf252.d: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+/root/repo/target/debug/deps/fig2_gpu_scaling-9a4b32bc7eebf252: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+crates/bench/src/bin/fig2_gpu_scaling.rs:

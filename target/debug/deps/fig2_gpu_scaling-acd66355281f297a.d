@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_gpu_scaling-acd66355281f297a.d: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+/root/repo/target/debug/deps/libfig2_gpu_scaling-acd66355281f297a.rmeta: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+crates/bench/src/bin/fig2_gpu_scaling.rs:

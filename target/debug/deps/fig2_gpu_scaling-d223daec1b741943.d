@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_gpu_scaling-d223daec1b741943.d: crates/bench/src/bin/fig2_gpu_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_gpu_scaling-d223daec1b741943.rmeta: crates/bench/src/bin/fig2_gpu_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig2_gpu_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

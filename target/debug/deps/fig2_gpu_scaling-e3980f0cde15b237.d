@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_gpu_scaling-e3980f0cde15b237.d: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+/root/repo/target/debug/deps/fig2_gpu_scaling-e3980f0cde15b237: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+crates/bench/src/bin/fig2_gpu_scaling.rs:

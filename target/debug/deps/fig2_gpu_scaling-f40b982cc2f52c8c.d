@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_gpu_scaling-f40b982cc2f52c8c.d: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+/root/repo/target/debug/deps/fig2_gpu_scaling-f40b982cc2f52c8c: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+crates/bench/src/bin/fig2_gpu_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_launch_rate-1f927291baf47fdc.d: crates/bench/src/bin/fig3_launch_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_launch_rate-1f927291baf47fdc.rmeta: crates/bench/src/bin/fig3_launch_rate.rs Cargo.toml
+
+crates/bench/src/bin/fig3_launch_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_launch_rate-568c65b29e981747.d: crates/bench/src/bin/fig3_launch_rate.rs
+
+/root/repo/target/debug/deps/fig3_launch_rate-568c65b29e981747: crates/bench/src/bin/fig3_launch_rate.rs
+
+crates/bench/src/bin/fig3_launch_rate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_launch_rate-8b013030b1f8de40.d: crates/bench/src/bin/fig3_launch_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_launch_rate-8b013030b1f8de40.rmeta: crates/bench/src/bin/fig3_launch_rate.rs Cargo.toml
+
+crates/bench/src/bin/fig3_launch_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

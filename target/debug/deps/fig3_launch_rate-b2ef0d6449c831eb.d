@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_launch_rate-b2ef0d6449c831eb.d: crates/bench/src/bin/fig3_launch_rate.rs
+
+/root/repo/target/debug/deps/fig3_launch_rate-b2ef0d6449c831eb: crates/bench/src/bin/fig3_launch_rate.rs
+
+crates/bench/src/bin/fig3_launch_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_launch_rate-b504a889a11b08e9.d: crates/bench/src/bin/fig3_launch_rate.rs
+
+/root/repo/target/debug/deps/fig3_launch_rate-b504a889a11b08e9: crates/bench/src/bin/fig3_launch_rate.rs
+
+crates/bench/src/bin/fig3_launch_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_launch_rate-ca5572f53f1617d9.d: crates/bench/src/bin/fig3_launch_rate.rs
+
+/root/repo/target/debug/deps/libfig3_launch_rate-ca5572f53f1617d9.rmeta: crates/bench/src/bin/fig3_launch_rate.rs
+
+crates/bench/src/bin/fig3_launch_rate.rs:

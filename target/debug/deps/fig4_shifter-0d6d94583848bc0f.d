@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_shifter-0d6d94583848bc0f.d: crates/bench/src/bin/fig4_shifter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_shifter-0d6d94583848bc0f.rmeta: crates/bench/src/bin/fig4_shifter.rs Cargo.toml
+
+crates/bench/src/bin/fig4_shifter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_shifter-0f32753b63885195.d: crates/bench/src/bin/fig4_shifter.rs
+
+/root/repo/target/debug/deps/libfig4_shifter-0f32753b63885195.rmeta: crates/bench/src/bin/fig4_shifter.rs
+
+crates/bench/src/bin/fig4_shifter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_shifter-224c5696c4af7b32.d: crates/bench/src/bin/fig4_shifter.rs
+
+/root/repo/target/debug/deps/fig4_shifter-224c5696c4af7b32: crates/bench/src/bin/fig4_shifter.rs
+
+crates/bench/src/bin/fig4_shifter.rs:

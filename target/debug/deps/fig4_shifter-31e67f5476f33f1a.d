@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_shifter-31e67f5476f33f1a.d: crates/bench/src/bin/fig4_shifter.rs
+
+/root/repo/target/debug/deps/fig4_shifter-31e67f5476f33f1a: crates/bench/src/bin/fig4_shifter.rs
+
+crates/bench/src/bin/fig4_shifter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_podman-462b7fcb90ad257b.d: crates/bench/src/bin/fig5_podman.rs
+
+/root/repo/target/debug/deps/libfig5_podman-462b7fcb90ad257b.rmeta: crates/bench/src/bin/fig5_podman.rs
+
+crates/bench/src/bin/fig5_podman.rs:

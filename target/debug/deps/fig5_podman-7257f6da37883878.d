@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_podman-7257f6da37883878.d: crates/bench/src/bin/fig5_podman.rs
+
+/root/repo/target/debug/deps/fig5_podman-7257f6da37883878: crates/bench/src/bin/fig5_podman.rs
+
+crates/bench/src/bin/fig5_podman.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_podman-8f35b4333ac830a2.d: crates/bench/src/bin/fig5_podman.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_podman-8f35b4333ac830a2.rmeta: crates/bench/src/bin/fig5_podman.rs Cargo.toml
+
+crates/bench/src/bin/fig5_podman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

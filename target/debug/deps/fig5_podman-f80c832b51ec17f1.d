@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_podman-f80c832b51ec17f1.d: crates/bench/src/bin/fig5_podman.rs
+
+/root/repo/target/debug/deps/fig5_podman-f80c832b51ec17f1: crates/bench/src/bin/fig5_podman.rs
+
+crates/bench/src/bin/fig5_podman.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_podman-f914282b3de317ab.d: crates/bench/src/bin/fig5_podman.rs
+
+/root/repo/target/debug/deps/fig5_podman-f914282b3de317ab: crates/bench/src/bin/fig5_podman.rs
+
+crates/bench/src/bin/fig5_podman.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-7b4fc36fb60daab7.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-7b4fc36fb60daab7: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

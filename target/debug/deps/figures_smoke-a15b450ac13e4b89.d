@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_smoke-a15b450ac13e4b89.d: tests/figures_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_smoke-a15b450ac13e4b89.rmeta: tests/figures_smoke.rs Cargo.toml
+
+tests/figures_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-ec1a062103d86219.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-ec1a062103d86219: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

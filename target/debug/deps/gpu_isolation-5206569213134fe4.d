@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_isolation-5206569213134fe4.d: examples/gpu_isolation.rs
+
+/root/repo/target/debug/deps/libgpu_isolation-5206569213134fe4.rmeta: examples/gpu_isolation.rs
+
+examples/gpu_isolation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_isolation-68ccb4a97f849384.d: examples/gpu_isolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_isolation-68ccb4a97f849384.rmeta: examples/gpu_isolation.rs Cargo.toml
+
+examples/gpu_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

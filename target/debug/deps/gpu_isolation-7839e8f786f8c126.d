@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_isolation-7839e8f786f8c126.d: examples/gpu_isolation.rs
+
+/root/repo/target/debug/deps/gpu_isolation-7839e8f786f8c126: examples/gpu_isolation.rs
+
+examples/gpu_isolation.rs:

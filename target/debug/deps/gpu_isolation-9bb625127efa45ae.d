@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_isolation-9bb625127efa45ae.d: examples/gpu_isolation.rs
+
+/root/repo/target/debug/deps/gpu_isolation-9bb625127efa45ae: examples/gpu_isolation.rs
+
+examples/gpu_isolation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar-026cd91d6d47a798.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libhtpar-026cd91d6d47a798.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar-079b5fc0c07137e2.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/htpar-079b5fc0c07137e2: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

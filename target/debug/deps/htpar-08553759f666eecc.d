@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar-08553759f666eecc.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/htpar-08553759f666eecc: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar-222a29a3db88f56a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/htpar-222a29a3db88f56a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

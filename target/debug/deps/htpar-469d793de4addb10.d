@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htpar-469d793de4addb10.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar-469d793de4addb10.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

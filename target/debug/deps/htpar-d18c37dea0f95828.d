@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar-d18c37dea0f95828.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/htpar-d18c37dea0f95828: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

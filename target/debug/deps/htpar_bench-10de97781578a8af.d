@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_bench-10de97781578a8af.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_bench-10de97781578a8af.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_bench-10de97781578a8af.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

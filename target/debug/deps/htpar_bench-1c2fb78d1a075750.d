@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htpar_bench-1c2fb78d1a075750.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/htpar_bench-1c2fb78d1a075750: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htpar_bench-249efbad25f5b8a6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/htpar_bench-249efbad25f5b8a6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_bench-3570c33f3a05d33c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_bench-3570c33f3a05d33c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_bench-8cb53a85f3bc68c4.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_bench-8cb53a85f3bc68c4.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_bench-8ec3a162f75f06c6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_bench-8ec3a162f75f06c6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_bench-8ec3a162f75f06c6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

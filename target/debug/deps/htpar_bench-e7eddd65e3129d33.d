@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htpar_bench-e7eddd65e3129d33.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_bench-e7eddd65e3129d33.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htpar_cli-1cefddbddcd56f02.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_cli-1cefddbddcd56f02.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

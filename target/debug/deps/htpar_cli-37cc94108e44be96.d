@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_cli-37cc94108e44be96.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+/root/repo/target/debug/deps/libhtpar_cli-37cc94108e44be96.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/exec.rs:

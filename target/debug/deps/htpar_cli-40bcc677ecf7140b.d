@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_cli-40bcc677ecf7140b.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+/root/repo/target/debug/deps/libhtpar_cli-40bcc677ecf7140b.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+/root/repo/target/debug/deps/libhtpar_cli-40bcc677ecf7140b.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/exec.rs:

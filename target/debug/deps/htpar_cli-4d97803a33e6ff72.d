@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_cli-4d97803a33e6ff72.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+/root/repo/target/debug/deps/htpar_cli-4d97803a33e6ff72: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/exec.rs:

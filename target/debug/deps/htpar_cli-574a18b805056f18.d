@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_cli-574a18b805056f18.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+/root/repo/target/debug/deps/htpar_cli-574a18b805056f18: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/exec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_cli-f7f15af323d7e551.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+/root/repo/target/debug/deps/libhtpar_cli-f7f15af323d7e551.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+/root/repo/target/debug/deps/libhtpar_cli-f7f15af323d7e551.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/exec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htpar_cluster-6d1e2878d2e8bba0.d: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+/root/repo/target/debug/deps/htpar_cluster-6d1e2878d2e8bba0: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/launch.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/slurm.rs:
+crates/cluster/src/weak_scaling.rs:

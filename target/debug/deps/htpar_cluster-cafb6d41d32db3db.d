@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htpar_cluster-cafb6d41d32db3db.d: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+/root/repo/target/debug/deps/libhtpar_cluster-cafb6d41d32db3db.rlib: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+/root/repo/target/debug/deps/libhtpar_cluster-cafb6d41d32db3db.rmeta: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/launch.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/slurm.rs:
+crates/cluster/src/weak_scaling.rs:

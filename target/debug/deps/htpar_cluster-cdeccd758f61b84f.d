@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htpar_cluster-cdeccd758f61b84f.d: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+/root/repo/target/debug/deps/htpar_cluster-cdeccd758f61b84f: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/launch.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/slurm.rs:
+crates/cluster/src/weak_scaling.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htpar_cluster-d0355b7298e46cb7.d: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+/root/repo/target/debug/deps/libhtpar_cluster-d0355b7298e46cb7.rlib: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+/root/repo/target/debug/deps/libhtpar_cluster-d0355b7298e46cb7.rmeta: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/launch.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/slurm.rs:
+crates/cluster/src/weak_scaling.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/htpar_cluster-d57c42d0b3d756a2.d: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_cluster-d57c42d0b3d756a2.rmeta: crates/cluster/src/lib.rs crates/cluster/src/des.rs crates/cluster/src/gpu.rs crates/cluster/src/launch.rs crates/cluster/src/machine.rs crates/cluster/src/slurm.rs crates/cluster/src/weak_scaling.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/launch.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/slurm.rs:
+crates/cluster/src/weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

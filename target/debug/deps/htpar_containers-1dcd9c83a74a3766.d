@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_containers-1dcd9c83a74a3766.d: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+/root/repo/target/debug/deps/libhtpar_containers-1dcd9c83a74a3766.rlib: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+/root/repo/target/debug/deps/libhtpar_containers-1dcd9c83a74a3766.rmeta: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+crates/containers/src/lib.rs:
+crates/containers/src/runtime.rs:
+crates/containers/src/stress.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_containers-60e8db97c78aee9b.d: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+/root/repo/target/debug/deps/libhtpar_containers-60e8db97c78aee9b.rmeta: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+crates/containers/src/lib.rs:
+crates/containers/src/runtime.rs:
+crates/containers/src/stress.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htpar_containers-6a95ba5d46e50495.d: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_containers-6a95ba5d46e50495.rmeta: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs Cargo.toml
+
+crates/containers/src/lib.rs:
+crates/containers/src/runtime.rs:
+crates/containers/src/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

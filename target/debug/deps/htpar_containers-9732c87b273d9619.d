@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_containers-9732c87b273d9619.d: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+/root/repo/target/debug/deps/htpar_containers-9732c87b273d9619: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+crates/containers/src/lib.rs:
+crates/containers/src/runtime.rs:
+crates/containers/src/stress.rs:

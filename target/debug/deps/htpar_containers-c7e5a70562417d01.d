@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_containers-c7e5a70562417d01.d: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+/root/repo/target/debug/deps/libhtpar_containers-c7e5a70562417d01.rlib: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+/root/repo/target/debug/deps/libhtpar_containers-c7e5a70562417d01.rmeta: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+crates/containers/src/lib.rs:
+crates/containers/src/runtime.rs:
+crates/containers/src/stress.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_containers-d8ec8ad55f564d75.d: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+/root/repo/target/debug/deps/htpar_containers-d8ec8ad55f564d75: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+crates/containers/src/lib.rs:
+crates/containers/src/runtime.rs:
+crates/containers/src/stress.rs:

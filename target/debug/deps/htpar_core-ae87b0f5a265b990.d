@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/htpar_core-ae87b0f5a265b990.d: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/chaos.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/gate.rs crates/core/src/halt.rs crates/core/src/input.rs crates/core/src/job.rs crates/core/src/joblog.rs crates/core/src/options.rs crates/core/src/output.rs crates/core/src/parallel.rs crates/core/src/pipe.rs crates/core/src/progress.rs crates/core/src/queue.rs crates/core/src/remote.rs crates/core/src/runner.rs crates/core/src/semaphore.rs crates/core/src/slot.rs crates/core/src/sshexec.rs crates/core/src/stats.rs crates/core/src/template.rs
+
+/root/repo/target/debug/deps/htpar_core-ae87b0f5a265b990: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/chaos.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/gate.rs crates/core/src/halt.rs crates/core/src/input.rs crates/core/src/job.rs crates/core/src/joblog.rs crates/core/src/options.rs crates/core/src/output.rs crates/core/src/parallel.rs crates/core/src/pipe.rs crates/core/src/progress.rs crates/core/src/queue.rs crates/core/src/remote.rs crates/core/src/runner.rs crates/core/src/semaphore.rs crates/core/src/slot.rs crates/core/src/sshexec.rs crates/core/src/stats.rs crates/core/src/template.rs
+
+crates/core/src/lib.rs:
+crates/core/src/batch.rs:
+crates/core/src/chaos.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/gate.rs:
+crates/core/src/halt.rs:
+crates/core/src/input.rs:
+crates/core/src/job.rs:
+crates/core/src/joblog.rs:
+crates/core/src/options.rs:
+crates/core/src/output.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipe.rs:
+crates/core/src/progress.rs:
+crates/core/src/queue.rs:
+crates/core/src/remote.rs:
+crates/core/src/runner.rs:
+crates/core/src/semaphore.rs:
+crates/core/src/slot.rs:
+crates/core/src/sshexec.rs:
+crates/core/src/stats.rs:
+crates/core/src/template.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_examples-193543c2cc0aa8cd.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_examples-193543c2cc0aa8cd.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_examples-193543c2cc0aa8cd.rmeta: examples/lib.rs
+
+examples/lib.rs:

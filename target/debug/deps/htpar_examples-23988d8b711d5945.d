@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htpar_examples-23988d8b711d5945.d: examples/lib.rs
+
+/root/repo/target/debug/deps/htpar_examples-23988d8b711d5945: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_examples-434197e99ad80e0d.d: examples/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_examples-434197e99ad80e0d.rmeta: examples/lib.rs Cargo.toml
+
+examples/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

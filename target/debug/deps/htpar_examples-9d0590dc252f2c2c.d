@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_examples-9d0590dc252f2c2c.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_examples-9d0590dc252f2c2c.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_examples-9d0590dc252f2c2c.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htpar_examples-9e987238e3a25df0.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_examples-9e987238e3a25df0.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htpar_examples-df96248853f76e77.d: examples/lib.rs
+
+/root/repo/target/debug/deps/htpar_examples-df96248853f76e77: examples/lib.rs
+
+examples/lib.rs:

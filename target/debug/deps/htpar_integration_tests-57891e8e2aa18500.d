@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_integration_tests-57891e8e2aa18500.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_integration_tests-57891e8e2aa18500.rlib: tests/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_integration_tests-57891e8e2aa18500.rmeta: tests/lib.rs
+
+tests/lib.rs:

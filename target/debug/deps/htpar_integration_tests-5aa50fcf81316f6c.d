@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htpar_integration_tests-5aa50fcf81316f6c.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_integration_tests-5aa50fcf81316f6c.rmeta: tests/lib.rs
+
+tests/lib.rs:

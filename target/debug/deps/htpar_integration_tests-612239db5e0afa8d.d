@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htpar_integration_tests-612239db5e0afa8d.d: tests/lib.rs
+
+/root/repo/target/debug/deps/htpar_integration_tests-612239db5e0afa8d: tests/lib.rs
+
+tests/lib.rs:

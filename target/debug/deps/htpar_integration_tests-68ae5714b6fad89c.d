@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htpar_integration_tests-68ae5714b6fad89c.d: tests/lib.rs
+
+/root/repo/target/debug/deps/htpar_integration_tests-68ae5714b6fad89c: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htpar_integration_tests-a0a085cf8086fcb5.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_integration_tests-a0a085cf8086fcb5.rlib: tests/lib.rs
+
+/root/repo/target/debug/deps/libhtpar_integration_tests-a0a085cf8086fcb5.rmeta: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_integration_tests-b597ce313ec52649.d: tests/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_integration_tests-b597ce313ec52649.rmeta: tests/lib.rs Cargo.toml
+
+tests/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

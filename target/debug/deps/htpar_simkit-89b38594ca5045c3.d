@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htpar_simkit-89b38594ca5045c3.d: crates/simkit/src/lib.rs crates/simkit/src/dist.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/htpar_simkit-89b38594ca5045c3: crates/simkit/src/lib.rs crates/simkit/src/dist.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/resource.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/htpar_simkit-c05bcadce9a7bba7.d: crates/simkit/src/lib.rs crates/simkit/src/dist.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_simkit-c05bcadce9a7bba7.rmeta: crates/simkit/src/lib.rs crates/simkit/src/dist.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs Cargo.toml
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/resource.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htpar_simkit-e0fd7d01644bedd6.d: crates/simkit/src/lib.rs crates/simkit/src/dist.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/htpar_simkit-e0fd7d01644bedd6: crates/simkit/src/lib.rs crates/simkit/src/dist.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/resource.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

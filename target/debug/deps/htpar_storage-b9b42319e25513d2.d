@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htpar_storage-b9b42319e25513d2.d: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+/root/repo/target/debug/deps/libhtpar_storage-b9b42319e25513d2.rmeta: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/dataset.rs:
+crates/storage/src/flow.rs:
+crates/storage/src/lustre.rs:
+crates/storage/src/nvme.rs:
+crates/storage/src/staging.rs:
+crates/storage/src/stripe.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htpar_storage-bf7d58e7529f0a8f.d: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+/root/repo/target/debug/deps/libhtpar_storage-bf7d58e7529f0a8f.rlib: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+/root/repo/target/debug/deps/libhtpar_storage-bf7d58e7529f0a8f.rmeta: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/dataset.rs:
+crates/storage/src/flow.rs:
+crates/storage/src/lustre.rs:
+crates/storage/src/nvme.rs:
+crates/storage/src/staging.rs:
+crates/storage/src/stripe.rs:

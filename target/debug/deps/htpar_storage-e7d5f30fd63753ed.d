@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htpar_storage-e7d5f30fd63753ed.d: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+/root/repo/target/debug/deps/libhtpar_storage-e7d5f30fd63753ed.rlib: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+/root/repo/target/debug/deps/libhtpar_storage-e7d5f30fd63753ed.rmeta: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/dataset.rs:
+crates/storage/src/flow.rs:
+crates/storage/src/lustre.rs:
+crates/storage/src/nvme.rs:
+crates/storage/src/staging.rs:
+crates/storage/src/stripe.rs:

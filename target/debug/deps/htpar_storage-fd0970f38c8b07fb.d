@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/htpar_storage-fd0970f38c8b07fb.d: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_storage-fd0970f38c8b07fb.rmeta: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/dataset.rs:
+crates/storage/src/flow.rs:
+crates/storage/src/lustre.rs:
+crates/storage/src/nvme.rs:
+crates/storage/src/staging.rs:
+crates/storage/src/stripe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

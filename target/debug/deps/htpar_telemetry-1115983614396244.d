@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htpar_telemetry-1115983614396244.d: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs
+
+/root/repo/target/debug/deps/libhtpar_telemetry-1115983614396244.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs
+
+/root/repo/target/debug/deps/libhtpar_telemetry-1115983614396244.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/bus.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sinks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_telemetry-14e1a967c0da86cf.d: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs
+
+/root/repo/target/debug/deps/htpar_telemetry-14e1a967c0da86cf: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/bus.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sinks.rs:

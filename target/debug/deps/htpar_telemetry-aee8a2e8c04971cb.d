@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htpar_telemetry-aee8a2e8c04971cb.d: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_telemetry-aee8a2e8c04971cb.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/bus.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sinks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

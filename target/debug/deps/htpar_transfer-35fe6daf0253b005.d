@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_transfer-35fe6daf0253b005.d: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+/root/repo/target/debug/deps/htpar_transfer-35fe6daf0253b005: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+crates/transfer/src/lib.rs:
+crates/transfer/src/bwlimit.rs:
+crates/transfer/src/dtn.rs:
+crates/transfer/src/filelist.rs:
+crates/transfer/src/rsyncd.rs:

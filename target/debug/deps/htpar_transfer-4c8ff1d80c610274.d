@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htpar_transfer-4c8ff1d80c610274.d: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_transfer-4c8ff1d80c610274.rmeta: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs Cargo.toml
+
+crates/transfer/src/lib.rs:
+crates/transfer/src/bwlimit.rs:
+crates/transfer/src/dtn.rs:
+crates/transfer/src/filelist.rs:
+crates/transfer/src/rsyncd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

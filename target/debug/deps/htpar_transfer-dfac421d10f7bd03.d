@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htpar_transfer-dfac421d10f7bd03.d: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+/root/repo/target/debug/deps/libhtpar_transfer-dfac421d10f7bd03.rlib: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+/root/repo/target/debug/deps/libhtpar_transfer-dfac421d10f7bd03.rmeta: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+crates/transfer/src/lib.rs:
+crates/transfer/src/bwlimit.rs:
+crates/transfer/src/dtn.rs:
+crates/transfer/src/filelist.rs:
+crates/transfer/src/rsyncd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htpar_transfer-f08e42a0b950084e.d: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+/root/repo/target/debug/deps/htpar_transfer-f08e42a0b950084e: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+crates/transfer/src/lib.rs:
+crates/transfer/src/bwlimit.rs:
+crates/transfer/src/dtn.rs:
+crates/transfer/src/filelist.rs:
+crates/transfer/src/rsyncd.rs:

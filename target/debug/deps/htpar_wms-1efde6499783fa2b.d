@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/htpar_wms-1efde6499783fa2b.d: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+/root/repo/target/debug/deps/libhtpar_wms-1efde6499783fa2b.rmeta: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+crates/wms/src/lib.rs:
+crates/wms/src/compare.rs:
+crates/wms/src/engine.rs:
+crates/wms/src/timeline.rs:

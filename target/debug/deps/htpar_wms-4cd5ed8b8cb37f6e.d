@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/htpar_wms-4cd5ed8b8cb37f6e.d: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+/root/repo/target/debug/deps/htpar_wms-4cd5ed8b8cb37f6e: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+crates/wms/src/lib.rs:
+crates/wms/src/compare.rs:
+crates/wms/src/engine.rs:
+crates/wms/src/timeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htpar_wms-a850e1c074ca22fd.d: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+/root/repo/target/debug/deps/libhtpar_wms-a850e1c074ca22fd.rlib: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+/root/repo/target/debug/deps/libhtpar_wms-a850e1c074ca22fd.rmeta: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+crates/wms/src/lib.rs:
+crates/wms/src/compare.rs:
+crates/wms/src/engine.rs:
+crates/wms/src/timeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htpar_wms-b63c83fbd3c9dc36.d: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_wms-b63c83fbd3c9dc36.rmeta: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs Cargo.toml
+
+crates/wms/src/lib.rs:
+crates/wms/src/compare.rs:
+crates/wms/src/engine.rs:
+crates/wms/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

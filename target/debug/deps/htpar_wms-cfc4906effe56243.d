@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htpar_wms-cfc4906effe56243.d: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+/root/repo/target/debug/deps/libhtpar_wms-cfc4906effe56243.rlib: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+/root/repo/target/debug/deps/libhtpar_wms-cfc4906effe56243.rmeta: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+crates/wms/src/lib.rs:
+crates/wms/src/compare.rs:
+crates/wms/src/engine.rs:
+crates/wms/src/timeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htpar_workloads-1ef03572e7c34a29.d: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+/root/repo/target/debug/deps/libhtpar_workloads-1ef03572e7c34a29.rlib: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+/root/repo/target/debug/deps/libhtpar_workloads-1ef03572e7c34a29.rmeta: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/celeritas.rs:
+crates/workloads/src/darshan.rs:
+crates/workloads/src/dedup.rs:
+crates/workloads/src/forge.rs:
+crates/workloads/src/goes.rs:
+crates/workloads/src/wfbench.rs:

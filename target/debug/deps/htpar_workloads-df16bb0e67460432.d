@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htpar_workloads-df16bb0e67460432.d: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+/root/repo/target/debug/deps/htpar_workloads-df16bb0e67460432: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/celeritas.rs:
+crates/workloads/src/darshan.rs:
+crates/workloads/src/dedup.rs:
+crates/workloads/src/forge.rs:
+crates/workloads/src/goes.rs:
+crates/workloads/src/wfbench.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/htpar_workloads-f3d4a929825e775a.d: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtpar_workloads-f3d4a929825e775a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/celeritas.rs:
+crates/workloads/src/darshan.rs:
+crates/workloads/src/dedup.rs:
+crates/workloads/src/forge.rs:
+crates/workloads/src/goes.rs:
+crates/workloads/src/wfbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

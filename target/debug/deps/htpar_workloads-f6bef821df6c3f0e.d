@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htpar_workloads-f6bef821df6c3f0e.d: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+/root/repo/target/debug/deps/libhtpar_workloads-f6bef821df6c3f0e.rlib: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+/root/repo/target/debug/deps/libhtpar_workloads-f6bef821df6c3f0e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/celeritas.rs:
+crates/workloads/src/darshan.rs:
+crates/workloads/src/dedup.rs:
+crates/workloads/src/forge.rs:
+crates/workloads/src/goes.rs:
+crates/workloads/src/wfbench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mini_frontier-1bf4a4fd905b0033.d: tests/mini_frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmini_frontier-1bf4a4fd905b0033.rmeta: tests/mini_frontier.rs Cargo.toml
+
+tests/mini_frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

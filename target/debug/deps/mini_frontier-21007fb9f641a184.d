@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mini_frontier-21007fb9f641a184.d: tests/mini_frontier.rs
+
+/root/repo/target/debug/deps/mini_frontier-21007fb9f641a184: tests/mini_frontier.rs
+
+tests/mini_frontier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mini_frontier-e225e6d86d473b4f.d: tests/mini_frontier.rs
+
+/root/repo/target/debug/deps/mini_frontier-e225e6d86d473b4f: tests/mini_frontier.rs
+
+tests/mini_frontier.rs:

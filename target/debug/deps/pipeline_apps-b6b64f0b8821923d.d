@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_apps-b6b64f0b8821923d.d: tests/pipeline_apps.rs
+
+/root/repo/target/debug/deps/pipeline_apps-b6b64f0b8821923d: tests/pipeline_apps.rs
+
+tests/pipeline_apps.rs:

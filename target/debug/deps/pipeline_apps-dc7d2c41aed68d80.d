@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_apps-dc7d2c41aed68d80.d: tests/pipeline_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_apps-dc7d2c41aed68d80.rmeta: tests/pipeline_apps.rs Cargo.toml
+
+tests/pipeline_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_apps-e04a72144c7dff5f.d: tests/pipeline_apps.rs
+
+/root/repo/target/debug/deps/pipeline_apps-e04a72144c7dff5f: tests/pipeline_apps.rs
+
+tests/pipeline_apps.rs:

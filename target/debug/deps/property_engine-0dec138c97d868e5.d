@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_engine-0dec138c97d868e5.d: tests/property_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_engine-0dec138c97d868e5.rmeta: tests/property_engine.rs Cargo.toml
+
+tests/property_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

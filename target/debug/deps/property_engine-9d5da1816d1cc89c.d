@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_engine-9d5da1816d1cc89c.d: tests/property_engine.rs
+
+/root/repo/target/debug/deps/property_engine-9d5da1816d1cc89c: tests/property_engine.rs
+
+tests/property_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_engine-daa6515a2a0bcea5.d: tests/property_engine.rs
+
+/root/repo/target/debug/deps/property_engine-daa6515a2a0bcea5: tests/property_engine.rs
+
+tests/property_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8d48cf63c8aa70ac.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8d48cf63c8aa70ac.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

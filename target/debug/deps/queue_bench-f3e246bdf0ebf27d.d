@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queue_bench-f3e246bdf0ebf27d.d: crates/bench/benches/queue_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueue_bench-f3e246bdf0ebf27d.rmeta: crates/bench/benches/queue_bench.rs Cargo.toml
+
+crates/bench/benches/queue_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

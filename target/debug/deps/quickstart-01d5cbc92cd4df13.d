@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-01d5cbc92cd4df13.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-01d5cbc92cd4df13: examples/quickstart.rs
+
+examples/quickstart.rs:

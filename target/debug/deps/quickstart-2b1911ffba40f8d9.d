@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-2b1911ffba40f8d9.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/libquickstart-2b1911ffba40f8d9.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-2d502bdf1bc24aaa.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-2d502bdf1bc24aaa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-2d7a67459aa079a8.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-2d7a67459aa079a8.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

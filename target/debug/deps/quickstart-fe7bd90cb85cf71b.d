@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-fe7bd90cb85cf71b.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-fe7bd90cb85cf71b.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

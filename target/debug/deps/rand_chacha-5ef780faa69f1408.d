@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-5ef780faa69f1408.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-5ef780faa69f1408.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remote_cluster-13753a18f055efad.d: examples/remote_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremote_cluster-13753a18f055efad.rmeta: examples/remote_cluster.rs Cargo.toml
+
+examples/remote_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remote_cluster-90439ed8447de211.d: examples/remote_cluster.rs
+
+/root/repo/target/debug/deps/remote_cluster-90439ed8447de211: examples/remote_cluster.rs
+
+examples/remote_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remote_cluster-a9f20080114cc280.d: examples/remote_cluster.rs
+
+/root/repo/target/debug/deps/libremote_cluster-a9f20080114cc280.rmeta: examples/remote_cluster.rs
+
+examples/remote_cluster.rs:

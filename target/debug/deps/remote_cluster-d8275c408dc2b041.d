@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remote_cluster-d8275c408dc2b041.d: examples/remote_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremote_cluster-d8275c408dc2b041.rmeta: examples/remote_cluster.rs Cargo.toml
+
+examples/remote_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remote_cluster-f3f05dc6a0ce06db.d: examples/remote_cluster.rs
+
+/root/repo/target/debug/deps/remote_cluster-f3f05dc6a0ce06db: examples/remote_cluster.rs
+
+examples/remote_cluster.rs:

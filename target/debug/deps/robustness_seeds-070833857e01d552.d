@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_seeds-070833857e01d552.d: crates/bench/src/bin/robustness_seeds.rs
+
+/root/repo/target/debug/deps/robustness_seeds-070833857e01d552: crates/bench/src/bin/robustness_seeds.rs
+
+crates/bench/src/bin/robustness_seeds.rs:

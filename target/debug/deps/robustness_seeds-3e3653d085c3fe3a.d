@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_seeds-3e3653d085c3fe3a.d: crates/bench/src/bin/robustness_seeds.rs
+
+/root/repo/target/debug/deps/robustness_seeds-3e3653d085c3fe3a: crates/bench/src/bin/robustness_seeds.rs
+
+crates/bench/src/bin/robustness_seeds.rs:

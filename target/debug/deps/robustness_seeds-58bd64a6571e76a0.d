@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_seeds-58bd64a6571e76a0.d: crates/bench/src/bin/robustness_seeds.rs
+
+/root/repo/target/debug/deps/librobustness_seeds-58bd64a6571e76a0.rmeta: crates/bench/src/bin/robustness_seeds.rs
+
+crates/bench/src/bin/robustness_seeds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_seeds-67dc8d25446f3514.d: crates/bench/src/bin/robustness_seeds.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_seeds-67dc8d25446f3514.rmeta: crates/bench/src/bin/robustness_seeds.rs Cargo.toml
+
+crates/bench/src/bin/robustness_seeds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

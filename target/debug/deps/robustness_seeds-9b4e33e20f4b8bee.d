@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_seeds-9b4e33e20f4b8bee.d: crates/bench/src/bin/robustness_seeds.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_seeds-9b4e33e20f4b8bee.rmeta: crates/bench/src/bin/robustness_seeds.rs Cargo.toml
+
+crates/bench/src/bin/robustness_seeds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_seeds-9eb6c778a0f960ff.d: crates/bench/src/bin/robustness_seeds.rs
+
+/root/repo/target/debug/deps/robustness_seeds-9eb6c778a0f960ff: crates/bench/src/bin/robustness_seeds.rs
+
+crates/bench/src/bin/robustness_seeds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rsync_bench-3052f0283cfa1132.d: crates/bench/benches/rsync_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/librsync_bench-3052f0283cfa1132.rmeta: crates/bench/benches/rsync_bench.rs Cargo.toml
+
+crates/bench/benches/rsync_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

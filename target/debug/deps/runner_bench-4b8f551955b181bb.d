@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner_bench-4b8f551955b181bb.d: crates/bench/benches/runner_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner_bench-4b8f551955b181bb.rmeta: crates/bench/benches/runner_bench.rs Cargo.toml
+
+crates/bench/benches/runner_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_sim-918df91646138db3.d: tests/scale_sim.rs
+
+/root/repo/target/debug/deps/scale_sim-918df91646138db3: tests/scale_sim.rs
+
+tests/scale_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale_sim-c6f3ce6b6c6e9941.d: tests/scale_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale_sim-c6f3ce6b6c6e9941.rmeta: tests/scale_sim.rs Cargo.toml
+
+tests/scale_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_sim-d4f89baae893fdd6.d: tests/scale_sim.rs
+
+/root/repo/target/debug/deps/scale_sim-d4f89baae893fdd6: tests/scale_sim.rs
+
+tests/scale_sim.rs:

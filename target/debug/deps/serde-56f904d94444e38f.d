@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-56f904d94444e38f.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-56f904d94444e38f: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-80efaf817fbcbb52.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-80efaf817fbcbb52.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c965b12f4038519e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c965b12f4038519e.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c965b12f4038519e.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive_stub-4315709478ff7b4d.d: vendor/serde_derive_stub/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive_stub-4315709478ff7b4d.rmeta: vendor/serde_derive_stub/src/lib.rs Cargo.toml
+
+vendor/serde_derive_stub/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

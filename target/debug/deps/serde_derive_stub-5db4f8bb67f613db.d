@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_stub-5db4f8bb67f613db.d: vendor/serde_derive_stub/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive_stub-5db4f8bb67f613db: vendor/serde_derive_stub/src/lib.rs
+
+vendor/serde_derive_stub/src/lib.rs:

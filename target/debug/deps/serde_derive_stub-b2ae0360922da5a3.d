@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_stub-b2ae0360922da5a3.d: vendor/serde_derive_stub/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive_stub-b2ae0360922da5a3.so: vendor/serde_derive_stub/src/lib.rs
+
+vendor/serde_derive_stub/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_stub-f441a1d2ad218725.d: vendor/serde_derive_stub/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive_stub-f441a1d2ad218725.rmeta: vendor/serde_derive_stub/src/lib.rs
+
+vendor/serde_derive_stub/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-11bde215195409e4.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-11bde215195409e4: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

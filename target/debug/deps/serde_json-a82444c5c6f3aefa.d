@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-a82444c5c6f3aefa.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a82444c5c6f3aefa.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a82444c5c6f3aefa.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

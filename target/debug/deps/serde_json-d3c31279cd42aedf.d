@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-d3c31279cd42aedf.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d3c31279cd42aedf.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simkit_bench-40ccf282e36af75a.d: crates/bench/benches/simkit_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimkit_bench-40ccf282e36af75a.rmeta: crates/bench/benches/simkit_bench.rs Cargo.toml
+
+crates/bench/benches/simkit_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/staged_pipeline-344cc29e898c8e8b.d: tests/staged_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstaged_pipeline-344cc29e898c8e8b.rmeta: tests/staged_pipeline.rs Cargo.toml
+
+tests/staged_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

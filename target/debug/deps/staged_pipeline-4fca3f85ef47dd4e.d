@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/staged_pipeline-4fca3f85ef47dd4e.d: tests/staged_pipeline.rs
+
+/root/repo/target/debug/deps/staged_pipeline-4fca3f85ef47dd4e: tests/staged_pipeline.rs
+
+tests/staged_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/staged_pipeline-97f93f22c6370cbb.d: tests/staged_pipeline.rs
+
+/root/repo/target/debug/deps/staged_pipeline-97f93f22c6370cbb: tests/staged_pipeline.rs
+
+tests/staged_pipeline.rs:

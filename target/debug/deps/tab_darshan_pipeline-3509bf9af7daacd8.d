@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_darshan_pipeline-3509bf9af7daacd8.d: crates/bench/src/bin/tab_darshan_pipeline.rs
+
+/root/repo/target/debug/deps/tab_darshan_pipeline-3509bf9af7daacd8: crates/bench/src/bin/tab_darshan_pipeline.rs
+
+crates/bench/src/bin/tab_darshan_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_darshan_pipeline-49e3c586a6ac8cb7.d: crates/bench/src/bin/tab_darshan_pipeline.rs
+
+/root/repo/target/debug/deps/libtab_darshan_pipeline-49e3c586a6ac8cb7.rmeta: crates/bench/src/bin/tab_darshan_pipeline.rs
+
+crates/bench/src/bin/tab_darshan_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_darshan_pipeline-9901ab5a37ab64da.d: crates/bench/src/bin/tab_darshan_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_darshan_pipeline-9901ab5a37ab64da.rmeta: crates/bench/src/bin/tab_darshan_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/tab_darshan_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

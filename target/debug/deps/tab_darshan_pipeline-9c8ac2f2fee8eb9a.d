@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_darshan_pipeline-9c8ac2f2fee8eb9a.d: crates/bench/src/bin/tab_darshan_pipeline.rs
+
+/root/repo/target/debug/deps/tab_darshan_pipeline-9c8ac2f2fee8eb9a: crates/bench/src/bin/tab_darshan_pipeline.rs
+
+crates/bench/src/bin/tab_darshan_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_darshan_pipeline-aae3016b4bfd1a45.d: crates/bench/src/bin/tab_darshan_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_darshan_pipeline-aae3016b4bfd1a45.rmeta: crates/bench/src/bin/tab_darshan_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/tab_darshan_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

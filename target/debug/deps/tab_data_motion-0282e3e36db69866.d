@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_data_motion-0282e3e36db69866.d: crates/bench/src/bin/tab_data_motion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_data_motion-0282e3e36db69866.rmeta: crates/bench/src/bin/tab_data_motion.rs Cargo.toml
+
+crates/bench/src/bin/tab_data_motion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

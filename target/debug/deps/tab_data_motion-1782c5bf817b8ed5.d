@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_data_motion-1782c5bf817b8ed5.d: crates/bench/src/bin/tab_data_motion.rs
+
+/root/repo/target/debug/deps/libtab_data_motion-1782c5bf817b8ed5.rmeta: crates/bench/src/bin/tab_data_motion.rs
+
+crates/bench/src/bin/tab_data_motion.rs:

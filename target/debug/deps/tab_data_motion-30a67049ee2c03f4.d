@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_data_motion-30a67049ee2c03f4.d: crates/bench/src/bin/tab_data_motion.rs
+
+/root/repo/target/debug/deps/tab_data_motion-30a67049ee2c03f4: crates/bench/src/bin/tab_data_motion.rs
+
+crates/bench/src/bin/tab_data_motion.rs:

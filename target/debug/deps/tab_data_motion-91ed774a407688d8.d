@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_data_motion-91ed774a407688d8.d: crates/bench/src/bin/tab_data_motion.rs
+
+/root/repo/target/debug/deps/tab_data_motion-91ed774a407688d8: crates/bench/src/bin/tab_data_motion.rs
+
+crates/bench/src/bin/tab_data_motion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_data_motion-a18a9af827deae5c.d: crates/bench/src/bin/tab_data_motion.rs
+
+/root/repo/target/debug/deps/tab_data_motion-a18a9af827deae5c: crates/bench/src/bin/tab_data_motion.rs
+
+crates/bench/src/bin/tab_data_motion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_forge_curation-0ba349e475d2043e.d: crates/bench/src/bin/tab_forge_curation.rs
+
+/root/repo/target/debug/deps/tab_forge_curation-0ba349e475d2043e: crates/bench/src/bin/tab_forge_curation.rs
+
+crates/bench/src/bin/tab_forge_curation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_forge_curation-b01c68e9bf9a3719.d: crates/bench/src/bin/tab_forge_curation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_forge_curation-b01c68e9bf9a3719.rmeta: crates/bench/src/bin/tab_forge_curation.rs Cargo.toml
+
+crates/bench/src/bin/tab_forge_curation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_forge_curation-bf5eaf57a48a6d14.d: crates/bench/src/bin/tab_forge_curation.rs
+
+/root/repo/target/debug/deps/tab_forge_curation-bf5eaf57a48a6d14: crates/bench/src/bin/tab_forge_curation.rs
+
+crates/bench/src/bin/tab_forge_curation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_forge_curation-cbb82f09d4ee6052.d: crates/bench/src/bin/tab_forge_curation.rs
+
+/root/repo/target/debug/deps/tab_forge_curation-cbb82f09d4ee6052: crates/bench/src/bin/tab_forge_curation.rs
+
+crates/bench/src/bin/tab_forge_curation.rs:

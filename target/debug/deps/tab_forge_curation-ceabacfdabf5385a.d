@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_forge_curation-ceabacfdabf5385a.d: crates/bench/src/bin/tab_forge_curation.rs
+
+/root/repo/target/debug/deps/libtab_forge_curation-ceabacfdabf5385a.rmeta: crates/bench/src/bin/tab_forge_curation.rs
+
+crates/bench/src/bin/tab_forge_curation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_overhead_comparison-1003b1badefb103a.d: crates/bench/src/bin/tab_overhead_comparison.rs
+
+/root/repo/target/debug/deps/tab_overhead_comparison-1003b1badefb103a: crates/bench/src/bin/tab_overhead_comparison.rs
+
+crates/bench/src/bin/tab_overhead_comparison.rs:

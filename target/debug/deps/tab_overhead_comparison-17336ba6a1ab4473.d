@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_overhead_comparison-17336ba6a1ab4473.d: crates/bench/src/bin/tab_overhead_comparison.rs
+
+/root/repo/target/debug/deps/tab_overhead_comparison-17336ba6a1ab4473: crates/bench/src/bin/tab_overhead_comparison.rs
+
+crates/bench/src/bin/tab_overhead_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_overhead_comparison-27a9242c87e1f357.d: crates/bench/src/bin/tab_overhead_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_overhead_comparison-27a9242c87e1f357.rmeta: crates/bench/src/bin/tab_overhead_comparison.rs Cargo.toml
+
+crates/bench/src/bin/tab_overhead_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

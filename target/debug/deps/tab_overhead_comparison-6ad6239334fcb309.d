@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_overhead_comparison-6ad6239334fcb309.d: crates/bench/src/bin/tab_overhead_comparison.rs
+
+/root/repo/target/debug/deps/libtab_overhead_comparison-6ad6239334fcb309.rmeta: crates/bench/src/bin/tab_overhead_comparison.rs
+
+crates/bench/src/bin/tab_overhead_comparison.rs:

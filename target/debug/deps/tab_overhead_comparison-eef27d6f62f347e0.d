@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_overhead_comparison-eef27d6f62f347e0.d: crates/bench/src/bin/tab_overhead_comparison.rs
+
+/root/repo/target/debug/deps/tab_overhead_comparison-eef27d6f62f347e0: crates/bench/src/bin/tab_overhead_comparison.rs
+
+crates/bench/src/bin/tab_overhead_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_srun_vs_parallel-101327bd4fd1b551.d: crates/bench/src/bin/tab_srun_vs_parallel.rs
+
+/root/repo/target/debug/deps/tab_srun_vs_parallel-101327bd4fd1b551: crates/bench/src/bin/tab_srun_vs_parallel.rs
+
+crates/bench/src/bin/tab_srun_vs_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_srun_vs_parallel-37b9a76d68cd9a8c.d: crates/bench/src/bin/tab_srun_vs_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_srun_vs_parallel-37b9a76d68cd9a8c.rmeta: crates/bench/src/bin/tab_srun_vs_parallel.rs Cargo.toml
+
+crates/bench/src/bin/tab_srun_vs_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

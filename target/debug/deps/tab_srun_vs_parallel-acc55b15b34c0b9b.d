@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_srun_vs_parallel-acc55b15b34c0b9b.d: crates/bench/src/bin/tab_srun_vs_parallel.rs
+
+/root/repo/target/debug/deps/libtab_srun_vs_parallel-acc55b15b34c0b9b.rmeta: crates/bench/src/bin/tab_srun_vs_parallel.rs
+
+crates/bench/src/bin/tab_srun_vs_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_srun_vs_parallel-f5d8c47334c5c7d9.d: crates/bench/src/bin/tab_srun_vs_parallel.rs
+
+/root/repo/target/debug/deps/tab_srun_vs_parallel-f5d8c47334c5c7d9: crates/bench/src/bin/tab_srun_vs_parallel.rs
+
+crates/bench/src/bin/tab_srun_vs_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/template_bench-ab6babac03f449f6.d: crates/bench/benches/template_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtemplate_bench-ab6babac03f449f6.rmeta: crates/bench/benches/template_bench.rs Cargo.toml
+
+crates/bench/benches/template_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wms_vs_parallel-285976b767a611be.d: tests/wms_vs_parallel.rs
+
+/root/repo/target/debug/deps/wms_vs_parallel-285976b767a611be: tests/wms_vs_parallel.rs
+
+tests/wms_vs_parallel.rs:

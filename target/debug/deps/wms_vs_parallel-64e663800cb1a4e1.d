@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wms_vs_parallel-64e663800cb1a4e1.d: tests/wms_vs_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwms_vs_parallel-64e663800cb1a4e1.rmeta: tests/wms_vs_parallel.rs Cargo.toml
+
+tests/wms_vs_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wms_vs_parallel-a2837c1a85df66b8.d: tests/wms_vs_parallel.rs
+
+/root/repo/target/debug/deps/wms_vs_parallel-a2837c1a85df66b8: tests/wms_vs_parallel.rs
+
+tests/wms_vs_parallel.rs:

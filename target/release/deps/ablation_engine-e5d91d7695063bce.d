@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_engine-e5d91d7695063bce.d: crates/bench/src/bin/ablation_engine.rs
+
+/root/repo/target/release/deps/ablation_engine-e5d91d7695063bce: crates/bench/src/bin/ablation_engine.rs
+
+crates/bench/src/bin/ablation_engine.rs:

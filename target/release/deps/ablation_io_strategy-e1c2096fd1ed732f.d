@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_io_strategy-e1c2096fd1ed732f.d: crates/bench/src/bin/ablation_io_strategy.rs
+
+/root/repo/target/release/deps/ablation_io_strategy-e1c2096fd1ed732f: crates/bench/src/bin/ablation_io_strategy.rs
+
+crates/bench/src/bin/ablation_io_strategy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_channel-61cd77873fcaa1c4.d: vendor/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-61cd77873fcaa1c4.rlib: vendor/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-61cd77873fcaa1c4.rmeta: vendor/crossbeam-channel/src/lib.rs
+
+vendor/crossbeam-channel/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/darshan_pipeline-4326b15aaa21710d.d: examples/darshan_pipeline.rs
+
+/root/repo/target/release/deps/darshan_pipeline-4326b15aaa21710d: examples/darshan_pipeline.rs
+
+examples/darshan_pipeline.rs:

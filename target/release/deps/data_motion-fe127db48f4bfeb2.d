@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/data_motion-fe127db48f4bfeb2.d: examples/data_motion.rs
+
+/root/repo/target/release/deps/data_motion-fe127db48f4bfeb2: examples/data_motion.rs
+
+examples/data_motion.rs:

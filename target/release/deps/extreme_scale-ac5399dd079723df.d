@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extreme_scale-ac5399dd079723df.d: examples/extreme_scale.rs
+
+/root/repo/target/release/deps/extreme_scale-ac5399dd079723df: examples/extreme_scale.rs
+
+examples/extreme_scale.rs:

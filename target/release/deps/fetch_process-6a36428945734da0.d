@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fetch_process-6a36428945734da0.d: examples/fetch_process.rs
+
+/root/repo/target/release/deps/fetch_process-6a36428945734da0: examples/fetch_process.rs
+
+examples/fetch_process.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_weak_scaling-8208ae924297f04e.d: crates/bench/src/bin/fig1_weak_scaling.rs
+
+/root/repo/target/release/deps/fig1_weak_scaling-8208ae924297f04e: crates/bench/src/bin/fig1_weak_scaling.rs
+
+crates/bench/src/bin/fig1_weak_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_gpu_scaling-bc59677cb388f12b.d: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+/root/repo/target/release/deps/fig2_gpu_scaling-bc59677cb388f12b: crates/bench/src/bin/fig2_gpu_scaling.rs
+
+crates/bench/src/bin/fig2_gpu_scaling.rs:

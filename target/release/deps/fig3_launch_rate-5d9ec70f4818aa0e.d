@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_launch_rate-5d9ec70f4818aa0e.d: crates/bench/src/bin/fig3_launch_rate.rs
+
+/root/repo/target/release/deps/fig3_launch_rate-5d9ec70f4818aa0e: crates/bench/src/bin/fig3_launch_rate.rs
+
+crates/bench/src/bin/fig3_launch_rate.rs:

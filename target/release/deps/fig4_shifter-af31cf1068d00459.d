@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_shifter-af31cf1068d00459.d: crates/bench/src/bin/fig4_shifter.rs
+
+/root/repo/target/release/deps/fig4_shifter-af31cf1068d00459: crates/bench/src/bin/fig4_shifter.rs
+
+crates/bench/src/bin/fig4_shifter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_podman-2df9387c9bb1b9ac.d: crates/bench/src/bin/fig5_podman.rs
+
+/root/repo/target/release/deps/fig5_podman-2df9387c9bb1b9ac: crates/bench/src/bin/fig5_podman.rs
+
+crates/bench/src/bin/fig5_podman.rs:

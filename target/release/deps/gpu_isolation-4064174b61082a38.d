@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gpu_isolation-4064174b61082a38.d: examples/gpu_isolation.rs
+
+/root/repo/target/release/deps/gpu_isolation-4064174b61082a38: examples/gpu_isolation.rs
+
+examples/gpu_isolation.rs:

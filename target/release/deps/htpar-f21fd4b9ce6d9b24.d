@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htpar-f21fd4b9ce6d9b24.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/htpar-f21fd4b9ce6d9b24: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

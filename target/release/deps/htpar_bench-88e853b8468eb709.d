@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htpar_bench-88e853b8468eb709.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhtpar_bench-88e853b8468eb709.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhtpar_bench-88e853b8468eb709.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

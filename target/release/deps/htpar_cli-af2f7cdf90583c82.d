@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/htpar_cli-af2f7cdf90583c82.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+/root/repo/target/release/deps/libhtpar_cli-af2f7cdf90583c82.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+/root/repo/target/release/deps/libhtpar_cli-af2f7cdf90583c82.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/exec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/exec.rs:

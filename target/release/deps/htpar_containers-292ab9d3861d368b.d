@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/htpar_containers-292ab9d3861d368b.d: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+/root/repo/target/release/deps/libhtpar_containers-292ab9d3861d368b.rlib: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+/root/repo/target/release/deps/libhtpar_containers-292ab9d3861d368b.rmeta: crates/containers/src/lib.rs crates/containers/src/runtime.rs crates/containers/src/stress.rs
+
+crates/containers/src/lib.rs:
+crates/containers/src/runtime.rs:
+crates/containers/src/stress.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htpar_examples-aa2faef33e0232c8.d: examples/lib.rs
+
+/root/repo/target/release/deps/libhtpar_examples-aa2faef33e0232c8.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libhtpar_examples-aa2faef33e0232c8.rmeta: examples/lib.rs
+
+examples/lib.rs:

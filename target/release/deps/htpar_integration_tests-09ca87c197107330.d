@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htpar_integration_tests-09ca87c197107330.d: tests/lib.rs
+
+/root/repo/target/release/deps/libhtpar_integration_tests-09ca87c197107330.rlib: tests/lib.rs
+
+/root/repo/target/release/deps/libhtpar_integration_tests-09ca87c197107330.rmeta: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/htpar_simkit-4d5354170c10788b.d: crates/simkit/src/lib.rs crates/simkit/src/dist.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libhtpar_simkit-4d5354170c10788b.rlib: crates/simkit/src/lib.rs crates/simkit/src/dist.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libhtpar_simkit-4d5354170c10788b.rmeta: crates/simkit/src/lib.rs crates/simkit/src/dist.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/resource.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

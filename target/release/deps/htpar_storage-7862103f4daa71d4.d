@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/htpar_storage-7862103f4daa71d4.d: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+/root/repo/target/release/deps/libhtpar_storage-7862103f4daa71d4.rlib: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+/root/repo/target/release/deps/libhtpar_storage-7862103f4daa71d4.rmeta: crates/storage/src/lib.rs crates/storage/src/dataset.rs crates/storage/src/flow.rs crates/storage/src/lustre.rs crates/storage/src/nvme.rs crates/storage/src/staging.rs crates/storage/src/stripe.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/dataset.rs:
+crates/storage/src/flow.rs:
+crates/storage/src/lustre.rs:
+crates/storage/src/nvme.rs:
+crates/storage/src/staging.rs:
+crates/storage/src/stripe.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/htpar_telemetry-a1750efca9904121.d: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs
+
+/root/repo/target/release/deps/libhtpar_telemetry-a1750efca9904121.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs
+
+/root/repo/target/release/deps/libhtpar_telemetry-a1750efca9904121.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/bus.rs crates/telemetry/src/event.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sinks.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/bus.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sinks.rs:

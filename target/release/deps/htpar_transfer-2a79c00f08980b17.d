@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/htpar_transfer-2a79c00f08980b17.d: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+/root/repo/target/release/deps/libhtpar_transfer-2a79c00f08980b17.rlib: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+/root/repo/target/release/deps/libhtpar_transfer-2a79c00f08980b17.rmeta: crates/transfer/src/lib.rs crates/transfer/src/bwlimit.rs crates/transfer/src/dtn.rs crates/transfer/src/filelist.rs crates/transfer/src/rsyncd.rs
+
+crates/transfer/src/lib.rs:
+crates/transfer/src/bwlimit.rs:
+crates/transfer/src/dtn.rs:
+crates/transfer/src/filelist.rs:
+crates/transfer/src/rsyncd.rs:

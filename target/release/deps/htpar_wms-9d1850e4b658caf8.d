@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/htpar_wms-9d1850e4b658caf8.d: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+/root/repo/target/release/deps/libhtpar_wms-9d1850e4b658caf8.rlib: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+/root/repo/target/release/deps/libhtpar_wms-9d1850e4b658caf8.rmeta: crates/wms/src/lib.rs crates/wms/src/compare.rs crates/wms/src/engine.rs crates/wms/src/timeline.rs
+
+crates/wms/src/lib.rs:
+crates/wms/src/compare.rs:
+crates/wms/src/engine.rs:
+crates/wms/src/timeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/htpar_workloads-51b50dd8c55c8c02.d: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+/root/repo/target/release/deps/libhtpar_workloads-51b50dd8c55c8c02.rlib: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+/root/repo/target/release/deps/libhtpar_workloads-51b50dd8c55c8c02.rmeta: crates/workloads/src/lib.rs crates/workloads/src/celeritas.rs crates/workloads/src/darshan.rs crates/workloads/src/dedup.rs crates/workloads/src/forge.rs crates/workloads/src/goes.rs crates/workloads/src/wfbench.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/celeritas.rs:
+crates/workloads/src/darshan.rs:
+crates/workloads/src/dedup.rs:
+crates/workloads/src/forge.rs:
+crates/workloads/src/goes.rs:
+crates/workloads/src/wfbench.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-10b3146d04f253ff.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-10b3146d04f253ff.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-10b3146d04f253ff.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

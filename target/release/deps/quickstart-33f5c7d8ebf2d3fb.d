@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-33f5c7d8ebf2d3fb.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-33f5c7d8ebf2d3fb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/remote_cluster-8d41091f30fe1a2f.d: examples/remote_cluster.rs
+
+/root/repo/target/release/deps/remote_cluster-8d41091f30fe1a2f: examples/remote_cluster.rs
+
+examples/remote_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_seeds-b97862663a0aa160.d: crates/bench/src/bin/robustness_seeds.rs
+
+/root/repo/target/release/deps/robustness_seeds-b97862663a0aa160: crates/bench/src/bin/robustness_seeds.rs
+
+crates/bench/src/bin/robustness_seeds.rs:

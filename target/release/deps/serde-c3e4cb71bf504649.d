@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c3e4cb71bf504649.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c3e4cb71bf504649.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c3e4cb71bf504649.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

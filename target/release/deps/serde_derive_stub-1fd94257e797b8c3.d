@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive_stub-1fd94257e797b8c3.d: vendor/serde_derive_stub/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive_stub-1fd94257e797b8c3.so: vendor/serde_derive_stub/src/lib.rs
+
+vendor/serde_derive_stub/src/lib.rs:

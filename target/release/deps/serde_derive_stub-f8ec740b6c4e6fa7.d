@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive_stub-f8ec740b6c4e6fa7.d: vendor/serde_derive_stub/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive_stub-f8ec740b6c4e6fa7.so: vendor/serde_derive_stub/src/lib.rs
+
+vendor/serde_derive_stub/src/lib.rs:

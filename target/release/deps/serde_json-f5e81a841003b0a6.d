@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-f5e81a841003b0a6.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-f5e81a841003b0a6.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-f5e81a841003b0a6.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

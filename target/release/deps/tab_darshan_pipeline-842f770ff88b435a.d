@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_darshan_pipeline-842f770ff88b435a.d: crates/bench/src/bin/tab_darshan_pipeline.rs
+
+/root/repo/target/release/deps/tab_darshan_pipeline-842f770ff88b435a: crates/bench/src/bin/tab_darshan_pipeline.rs
+
+crates/bench/src/bin/tab_darshan_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_data_motion-7d28cdf39366589a.d: crates/bench/src/bin/tab_data_motion.rs
+
+/root/repo/target/release/deps/tab_data_motion-7d28cdf39366589a: crates/bench/src/bin/tab_data_motion.rs
+
+crates/bench/src/bin/tab_data_motion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_forge_curation-d42d8febc797da64.d: crates/bench/src/bin/tab_forge_curation.rs
+
+/root/repo/target/release/deps/tab_forge_curation-d42d8febc797da64: crates/bench/src/bin/tab_forge_curation.rs
+
+crates/bench/src/bin/tab_forge_curation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_overhead_comparison-b39614ef8f2b8b76.d: crates/bench/src/bin/tab_overhead_comparison.rs
+
+/root/repo/target/release/deps/tab_overhead_comparison-b39614ef8f2b8b76: crates/bench/src/bin/tab_overhead_comparison.rs
+
+crates/bench/src/bin/tab_overhead_comparison.rs:

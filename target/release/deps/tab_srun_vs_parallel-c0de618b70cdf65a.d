@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_srun_vs_parallel-c0de618b70cdf65a.d: crates/bench/src/bin/tab_srun_vs_parallel.rs
+
+/root/repo/target/release/deps/tab_srun_vs_parallel-c0de618b70cdf65a: crates/bench/src/bin/tab_srun_vs_parallel.rs
+
+crates/bench/src/bin/tab_srun_vs_parallel.rs:

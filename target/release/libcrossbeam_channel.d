@@ -1,0 +1,1 @@
+/root/repo/target/release/libcrossbeam_channel.rlib: /root/repo/vendor/crossbeam-channel/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde_derive_stub.so: /root/repo/vendor/serde_derive_stub/src/lib.rs

@@ -20,7 +20,10 @@ fn real_processes_with_path_ops_and_order() {
         .unwrap();
     assert!(report.all_succeeded());
     let out: Vec<&str> = report.results.iter().map(|r| r.stdout.as_str()).collect();
-    assert_eq!(out, vec!["a from /data\n", "b from /data\n", "c from /other\n"]);
+    assert_eq!(
+        out,
+        vec!["a from /data\n", "b from /data\n", "c from /other\n"]
+    );
 }
 
 #[test]
@@ -158,7 +161,10 @@ fn file_backed_queue_drives_the_engine() {
         move || {
             std::thread::sleep(Duration::from_millis(30));
             use std::io::Write;
-            let mut f = std::fs::OpenOptions::new().append(true).open(&qfile).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&qfile)
+                .unwrap();
             writeln!(f, "t3").unwrap();
             f.flush().unwrap();
             std::thread::sleep(Duration::from_millis(60));
@@ -226,5 +232,9 @@ fn concurrent_engines_share_a_semaphore() {
         h.join().unwrap();
     }
     let p = peak.lock().unwrap();
-    assert!(p.1 <= 2, "semaphore capped cross-engine concurrency at {}", p.1);
+    assert!(
+        p.1 <= 2,
+        "semaphore capped cross-engine concurrency at {}",
+        p.1
+    );
 }

@@ -33,7 +33,11 @@ fn fig2_headline_numbers() {
     let points = gpu::sweep(&[10, 20, 40, 60, 80, 100], SEED);
     let min = points.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
     let max = points.iter().map(|&(_, m)| m).fold(0.0, f64::max);
-    assert!(max - min < 10.0, "paper: <10 s variance; measured {}", max - min);
+    assert!(
+        max - min < 10.0,
+        "paper: <10 s variance; measured {}",
+        max - min
+    );
 }
 
 #[test]
@@ -54,7 +58,10 @@ fn fig4_headline_numbers() {
     let bare = launch_rate(&m, &BareMetal, 64);
     assert!((shifter - 5200.0).abs() < 10.0, "paper ~5,200/s: {shifter}");
     let overhead_pct = (1.0 - shifter / bare) * 100.0;
-    assert!((overhead_pct - 19.0).abs() < 1.0, "paper 19%: {overhead_pct}");
+    assert!(
+        (overhead_pct - 19.0).abs() < 1.0,
+        "paper 19%: {overhead_pct}"
+    );
 }
 
 #[test]
@@ -67,8 +74,14 @@ fn fig5_headline_numbers() {
 #[test]
 fn darshan_pipeline_headline_numbers() {
     let plan = PrefetchPipeline::darshan_paper().plan(5);
-    assert!((plan.total_secs / 60.0 - 358.0).abs() < 0.5, "paper 358 min");
-    assert!((plan.baseline_secs / 60.0 - 430.0).abs() < 0.5, "paper 430 min");
+    assert!(
+        (plan.total_secs / 60.0 - 358.0).abs() < 0.5,
+        "paper 358 min"
+    );
+    assert!(
+        (plan.baseline_secs / 60.0 - 430.0).abs() < 0.5,
+        "paper 430 min"
+    );
     assert!((plan.improvement() * 100.0 - 16.7).abs() < 1.0, "paper 17%");
 }
 

@@ -13,10 +13,7 @@ impl TestDir {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let root = std::env::temp_dir().join(format!(
-            "htpar-it-{tag}-{}-{n}",
-            std::process::id()
-        ));
+        let root = std::env::temp_dir().join(format!("htpar-it-{tag}-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(&root).expect("create test dir");
         TestDir { root }

@@ -50,7 +50,10 @@ fn fetch_process_pipeline_overlaps_stages() {
     fetcher.join().unwrap();
 
     assert_eq!(report.jobs_total, 4);
-    let first = first_processed.lock().unwrap().expect("processed something");
+    let first = first_processed
+        .lock()
+        .unwrap()
+        .expect("processed something");
     let last = last_fetched.lock().unwrap().expect("fetched everything");
     assert!(
         first < last,
@@ -127,9 +130,7 @@ fn forge_curation_shards_merge_to_sequential_totals() {
             let shard: usize = cmd.args[0].parse().unwrap();
             let chunk = 3000 / 6;
             let stats = CorpusStats::process(&c2[shard * chunk..(shard + 1) * chunk]);
-            Ok(TaskOutput::stdout(
-                serde_json_line(&stats),
-            ))
+            Ok(TaskOutput::stdout(serde_json_line(&stats)))
         }))
         .args((0..6).map(|i| i.to_string()))
         .run()

@@ -50,7 +50,10 @@ fn driver_shard_feeds_every_node_fairly_at_frontier_scale() {
     assert!(shards.iter().all(|s| s.len() == 128));
     // Cross-check against the awk predicate for a few nodes.
     for nodeid in [0u32, 1, 4500, 8999] {
-        let env = SlurmEnv { nnodes: 9000, nodeid };
+        let env = SlurmEnv {
+            nnodes: 9000,
+            nodeid,
+        };
         for &val in shards[nodeid as usize].iter().take(3) {
             assert!(env.takes_line(val as u64 + 1));
         }
@@ -101,7 +104,11 @@ fn srun_vs_parallel_dispatch_gap() {
 
 #[test]
 fn machine_presets_are_self_consistent() {
-    for machine in [Machine::frontier(), Machine::perlmutter_cpu(), Machine::dtn_cluster()] {
+    for machine in [
+        Machine::frontier(),
+        Machine::perlmutter_cpu(),
+        Machine::dtn_cluster(),
+    ] {
         assert!(machine.nodes > 0);
         assert!(machine.threads_per_node > 0);
         assert!(machine.launch.per_instance_rate > 0.0);

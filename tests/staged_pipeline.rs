@@ -77,7 +77,10 @@ fn five_stage_pipeline_on_real_files_matches_direct_processing() {
                         out2.lock().unwrap().push((ds, summary));
                     }
                     "copy" => {
-                        copy_dir(&lustre2.join(format!("D{ds}")), &nvme2.join(format!("D{ds}")));
+                        copy_dir(
+                            &lustre2.join(format!("D{ds}")),
+                            &nvme2.join(format!("D{ds}")),
+                        );
                     }
                     "delete" => {
                         std::fs::remove_dir_all(nvme2.join(format!("D{ds}")))
@@ -94,7 +97,11 @@ fn five_stage_pipeline_on_real_files_matches_direct_processing() {
             .args(ops)
             .run()
             .unwrap();
-        assert!(report.all_succeeded(), "stage {stage}: {:?}", report.failures().collect::<Vec<_>>());
+        assert!(
+            report.all_succeeded(),
+            "stage {stage}: {:?}",
+            report.failures().collect::<Vec<_>>()
+        );
         for (ds, summary) in out.lock().unwrap().drain(..) {
             summaries[ds] = Some(summary);
         }

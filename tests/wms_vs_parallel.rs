@@ -1,10 +1,10 @@
 //! The §II argument as executable checks: the same task loads through
 //! the conventional WMS engine and through the parallel engine.
 
-use htpar_simkit::Dist;
-use htpar_wms::engine::{execute, WmsConfig};
-use htpar_wms::compare::{overhead_comparison, parallel_overhead_secs};
 use htpar_cluster::Machine;
+use htpar_simkit::Dist;
+use htpar_wms::compare::{overhead_comparison, parallel_overhead_secs};
+use htpar_wms::engine::{execute, WmsConfig};
 use htpar_workloads::wfbench;
 
 #[test]
@@ -26,7 +26,10 @@ fn parallel_engine_handles_a_million_tasks_in_minutes() {
     let machine = Machine::frontier();
     let (nodes, overhead) = parallel_overhead_secs(1_152_000, &machine);
     assert_eq!(nodes, 9000);
-    assert!(overhead < 561.0, "under the paper's measured max: {overhead}");
+    assert!(
+        overhead < 561.0,
+        "under the paper's measured max: {overhead}"
+    );
 }
 
 #[test]
@@ -61,10 +64,22 @@ fn with_real_work_the_wms_overhead_fraction_shrinks() {
     // HT-HPC regime. With hour-long tasks a WMS is fine; with 0-second
     // tasks it dominates. Quantify both.
     let cfg = WmsConfig::swift_t_like();
-    let short = execute(&wfbench::bag_of_tasks(20_000, &Dist::constant(0.1), 3), &cfg);
-    let long = execute(&wfbench::bag_of_tasks(2_000, &Dist::constant(600.0), 3), &cfg);
+    let short = execute(
+        &wfbench::bag_of_tasks(20_000, &Dist::constant(0.1), 3),
+        &cfg,
+    );
+    let long = execute(
+        &wfbench::bag_of_tasks(2_000, &Dist::constant(600.0), 3),
+        &cfg,
+    );
     let short_frac = short.overhead_secs / short.makespan_secs;
     let long_frac = long.overhead_secs / long.makespan_secs;
-    assert!(short_frac > 0.5, "short tasks: overhead dominates ({short_frac})");
-    assert!(long_frac < 0.1, "long tasks: overhead amortizes ({long_frac})");
+    assert!(
+        short_frac > 0.5,
+        "short tasks: overhead dominates ({short_frac})"
+    );
+    assert!(
+        long_frac < 0.1,
+        "long tasks: overhead amortizes ({long_frac})"
+    );
 }

@@ -1,0 +1,265 @@
+//! Vendored timing harness exposing the `criterion` API subset used by
+//! this workspace's benches: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and `Bencher::iter`.
+//!
+//! It runs each benchmark `sample_size` times, reports mean wall time
+//! (and element throughput when declared) to stdout, and does no
+//! statistical analysis — enough to keep `cargo bench` and the
+//! `cargo test`-compiled bench targets working offline.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Inhibit constant-folding of benchmark inputs/outputs.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Two-part benchmark id (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepts `&str`, `String`, and `BenchmarkId` where criterion does.
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+pub struct Bencher {
+    /// Total time spent inside `iter` closures and iteration count,
+    /// accumulated across `iter` calls within one sample.
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        self.run(&label, |b| routine(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_label();
+        self.run(&label, |b| routine(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut routine: F) {
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            routine(&mut bencher);
+            total += bencher.elapsed;
+            iterations += bencher.iterations;
+        }
+        let mean = if iterations > 0 {
+            total / iterations as u32
+        } else {
+            Duration::ZERO
+        };
+        let mut line = format!(
+            "{}/{label}: mean {mean:?} over {iterations} iters",
+            self.name
+        );
+        if let Some(tp) = self.throughput {
+            let per_iter_secs = mean.as_secs_f64();
+            if per_iter_secs > 0.0 {
+                match tp {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!(" ({:.0} elem/s)", n as f64 / per_iter_secs));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(" ({:.0} B/s)", n as f64 / per_iter_secs));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $( $target:path ),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $( $target:path ),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $( $target ),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($( $group:path ),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,729 @@
+//! Vendored property-testing mini-framework exposing the slice of the
+//! `proptest` API this workspace uses: the `proptest!` macro (with
+//! optional `#![proptest_config(...)]`), `prop_assert!`/`prop_assert_eq!`,
+//! regex-subset string strategies, numeric range strategies,
+//! `collection::{vec, btree_map}`, `any::<T>()`, `Just(..).prop_shuffle()`.
+//!
+//! Generation is deterministic: the RNG is seeded from the test's module
+//! path + name + case index, so failures reproduce exactly across runs.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64-based generator; deterministic per (test name, case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the fully qualified test name, perturbed per case.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift with rejection of the biased zone.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle(self)
+    }
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Constant strategy: always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Values whose contents can be permuted in place (for `prop_shuffle`).
+pub trait Shuffleable {
+    fn shuffle(&mut self, rng: &mut TestRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Shuffle<S>(S);
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut value = self.0.generate(rng);
+        value.shuffle(rng);
+        value
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+    pub const ANY: BoolAny = BoolAny;
+
+    impl super::Strategy for BoolAny {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut super::TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    /// Element-count range for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Exclusive upper bound.
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min) as u64) as usize
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Keys may collide; retry a bounded number of times to respect
+            // the minimum where possible.
+            let mut attempts = 0;
+            while map.len() < n && attempts < n * 8 + 8 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// String strategies are written as regex literals (e.g. `"[a-z]{1,5}"`).
+/// Supported subset: literal chars, `.` (printable ASCII), character
+/// classes with ranges and `^` negation, groups `( )`, and `{m,n}` /
+/// `{n}` / `?` / `*` / `+` repetition (unbounded forms capped at 8).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = regex::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        regex::emit(&pattern, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+mod regex {
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Literal(char),
+        /// Uniform over this set of chars.
+        Class(Vec<char>),
+        Sequence(Vec<(Node, Repeat)>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Repeat {
+        pub min: u32,
+        pub max: u32, // inclusive
+    }
+
+    const ONCE: Repeat = Repeat { min: 1, max: 1 };
+
+    pub fn parse(pattern: &str) -> Result<Node, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (node, consumed) = parse_sequence(&chars, 0, None)?;
+        if consumed != chars.len() {
+            return Err(format!("unexpected `{}` at {consumed}", chars[consumed]));
+        }
+        Ok(node)
+    }
+
+    fn parse_sequence(
+        chars: &[char],
+        mut pos: usize,
+        close: Option<char>,
+    ) -> Result<(Node, usize), String> {
+        let mut items: Vec<(Node, Repeat)> = Vec::new();
+        while pos < chars.len() {
+            if Some(chars[pos]) == close {
+                return Ok((Node::Sequence(items), pos));
+            }
+            let (atom, next) = parse_atom(chars, pos)?;
+            let (rep, next) = parse_repeat(chars, next)?;
+            items.push((atom, rep));
+            pos = next;
+        }
+        if close.is_some() {
+            return Err("unterminated group".to_string());
+        }
+        Ok((Node::Sequence(items), pos))
+    }
+
+    fn parse_atom(chars: &[char], pos: usize) -> Result<(Node, usize), String> {
+        match chars[pos] {
+            '[' => parse_class(chars, pos + 1),
+            '(' => {
+                let (inner, end) = parse_sequence(chars, pos + 1, Some(')'))?;
+                Ok((inner, end + 1))
+            }
+            '.' => {
+                // Printable ASCII; enough entropy for "anything" tests
+                // without producing invalid UTF-8 or control chars.
+                Ok((Node::Class((' '..='~').collect()), pos + 1))
+            }
+            '\\' => {
+                let c = *chars.get(pos + 1).ok_or("dangling escape")?;
+                Ok((Node::Literal(unescape(c)), pos + 2))
+            }
+            c if !"{}*+?)".contains(c) => Ok((Node::Literal(c), pos + 1)),
+            c => Err(format!("unexpected `{c}`")),
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &[char], mut pos: usize) -> Result<(Node, usize), String> {
+        let negate = chars.get(pos) == Some(&'^');
+        if negate {
+            pos += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        let mut first = true;
+        while pos < chars.len() && (chars[pos] != ']' || first) {
+            let lo = if chars[pos] == '\\' {
+                pos += 1;
+                unescape(*chars.get(pos).ok_or("dangling escape in class")?)
+            } else {
+                chars[pos]
+            };
+            // Range `a-z` unless the `-` is the final char before `]`.
+            if chars.get(pos + 1) == Some(&'-') && chars.get(pos + 2).is_some_and(|c| *c != ']') {
+                let hi = chars[pos + 2];
+                if (lo as u32) > (hi as u32) {
+                    return Err(format!("bad range {lo}-{hi}"));
+                }
+                set.extend((lo..=hi).collect::<Vec<char>>());
+                pos += 3;
+            } else {
+                set.push(lo);
+                pos += 1;
+            }
+            first = false;
+        }
+        if pos >= chars.len() {
+            return Err("unterminated class".to_string());
+        }
+        let set = if negate {
+            (' '..='~').filter(|c| !set.contains(c)).collect()
+        } else {
+            set
+        };
+        if set.is_empty() {
+            return Err("empty character class".to_string());
+        }
+        Ok((Node::Class(set), pos + 1))
+    }
+
+    fn parse_repeat(chars: &[char], pos: usize) -> Result<(Repeat, usize), String> {
+        match chars.get(pos) {
+            Some('{') => {
+                let close = chars[pos..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or("unterminated repetition")?
+                    + pos;
+                let body: String = chars[pos + 1..close].iter().collect();
+                let (min, max) = if let Some((lo, hi)) = body.split_once(',') {
+                    let lo: u32 = lo.trim().parse().map_err(|_| "bad repetition bound")?;
+                    let hi: u32 = if hi.trim().is_empty() {
+                        lo + 8
+                    } else {
+                        hi.trim().parse().map_err(|_| "bad repetition bound")?
+                    };
+                    (lo, hi)
+                } else {
+                    let n: u32 = body.trim().parse().map_err(|_| "bad repetition count")?;
+                    (n, n)
+                };
+                if min > max {
+                    return Err("inverted repetition bounds".to_string());
+                }
+                Ok((Repeat { min, max }, close + 1))
+            }
+            Some('?') => Ok((Repeat { min: 0, max: 1 }, pos + 1)),
+            Some('*') => Ok((Repeat { min: 0, max: 8 }, pos + 1)),
+            Some('+') => Ok((Repeat { min: 1, max: 8 }, pos + 1)),
+            _ => Ok((ONCE, pos)),
+        }
+    }
+
+    pub fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(set) => {
+                out.push(set[rng.below(set.len() as u64) as usize]);
+            }
+            Node::Sequence(items) => {
+                for (atom, rep) in items {
+                    let n = rep.min + rng.below(u64::from(rep.max - rep.min) + 1) as u32;
+                    for _ in 0..n {
+                        emit(atom, rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                $body
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_class_with_ranges() {
+        let mut rng = TestRng::for_case("t1", 0);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn regex_groups_and_paths() {
+        let mut rng = TestRng::for_case("t2", 0);
+        for _ in 0..200 {
+            let s = "[a-z]{1,5}(/[a-z.]{1,8}){0,4}".generate(&mut rng);
+            assert!(!s.is_empty());
+            for (i, seg) in s.split('/').enumerate() {
+                if i == 0 {
+                    assert!(seg.chars().all(|c| c.is_ascii_lowercase()));
+                } else {
+                    assert!(seg.chars().all(|c| c.is_ascii_lowercase() || c == '.'));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regex_negated_class_and_printable_range() {
+        let mut rng = TestRng::for_case("t3", 0);
+        for _ in 0..200 {
+            let s = "[^{}]{0,100}".generate(&mut rng);
+            assert!(!s.contains('{') && !s.contains('}'));
+            let t = "[ -~]{0,12}".generate(&mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn numeric_ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("t4", 0);
+        for _ in 0..500 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (1.0f64..2.0).generate(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+            let big = (0u64..1u64 << 34).generate(&mut rng);
+            assert!(big < 1u64 << 34);
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let original: Vec<u64> = (1..=20).collect();
+        let strat = Just(original.clone()).prop_shuffle();
+        let mut rng = TestRng::for_case("t5", 0);
+        let shuffled = strat.generate(&mut rng);
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original);
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let a = {
+            let mut rng = TestRng::for_case("same", 7);
+            "[a-z]{8}".generate(&mut rng)
+        };
+        let b = {
+            let mut rng = TestRng::for_case("same", 7);
+            "[a-z]{8}".generate(&mut rng)
+        };
+        assert_eq!(a, b);
+        let c = {
+            let mut rng = TestRng::for_case("other", 7);
+            "[a-z]{8}".generate(&mut rng)
+        };
+        assert_ne!(a, c, "different test names should diverge (w.h.p.)");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_with_config(x in 0u32..10, s in "[a-z]{1,3}") {
+            prop_assert!(x < 10);
+            prop_assert!((1..=3).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(
+            items in crate::collection::vec("[0-9]{1,3}", 1..6),
+            byte in any::<u8>(),
+        ) {
+            prop_assert!((1..6).contains(&items.len()));
+            let _ = byte;
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Vendored stand-in for `rand` 0.8: the trait surface this workspace
+//! uses (`RngCore`, `Rng`, `SeedableRng`, `seq::SliceRandom`,
+//! `rand::random`), with the same value-construction conventions as the
+//! real crate (53-bit float mantissa fill, SplitMix64 `seed_from_u64`,
+//! Lemire-style bounded integers) so distributions behave sanely.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: everything derives from `next_u32`/`next_u64`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl RngCore for Box<dyn RngCore> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible from a uniform random bit stream (`Rng::gen`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),*) => {
+        $(impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        })*
+    };
+}
+
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+              usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              i64 => next_u64, isize => next_u64, u128 => next_u64, i128 => next_u64);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1), as in rand's Standard.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Numeric types usable with `Rng::gen_range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {
+        $(impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    (hi as i128 - lo as i128 + 1) as u128
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    (hi as i128 - lo as i128) as u128
+                };
+                if span == 0 {
+                    // Inclusive full-width range: any value.
+                    return <$t as Standard>::sample(rng);
+                }
+                // Modulo with rejection of the biased tail.
+                let zone = u128::MAX - (u128::MAX - span + 1) % span;
+                loop {
+                    let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    if v <= zone {
+                        return (lo as i128 + (v % span) as i128) as $t;
+                    }
+                }
+            }
+        })*
+    };
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {
+        $(impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let u = <$t as Standard>::sample(rng);
+                lo + u * (hi - lo)
+            }
+        })*
+    };
+}
+
+uniform_float!(f32, f64);
+
+/// Range argument to `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (subset of rand's trait).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a 64-bit seed with SplitMix64, as the real crate does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len().min(8);
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers (subset of rand's SliceRandom).
+    pub trait SliceRandom {
+        type Item;
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let idx = bounded(rng, self.len() as u64) as usize;
+                Some(&self[idx])
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = bounded(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    fn bounded<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast xoshiro256++ generator (stand-in for StdRng/SmallRng).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// One-off value from an ambient, time/thread-seeded generator (quality
+/// suitable for test temp-file names, not statistics).
+pub fn random<T: Standard>() -> T {
+    use std::cell::RefCell;
+    use std::time::{SystemTime, UNIX_EPOCH};
+    thread_local! {
+        static AMBIENT: RefCell<rngs::SmallRng> = RefCell::new({
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5EED);
+            let tid = {
+                use std::collections::hash_map::DefaultHasher;
+                use std::hash::{Hash, Hasher};
+                let mut h = DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish()
+            };
+            rngs::SmallRng::seed_from_u64(nanos ^ tid.rotate_left(32))
+        });
+    }
+    AMBIENT.with(|rng| T::sample(&mut *rng.borrow_mut()))
+}
+
+/// `rand::thread_rng()` equivalent returning an owned generator.
+pub fn thread_rng() -> rngs::SmallRng {
+    rngs::SmallRng::seed_from_u64(random::<u64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::SmallRng;
+
+    #[test]
+    fn gen_range_bounds_ints() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(0..=5);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_floats() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_floats_have_sane_mean() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let mut c = SmallRng::seed_from_u64(10);
+        let va: Vec<u64> = (0..32).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.gen()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.gen()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        use seq::SliceRandom;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..100 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..50).collect::<Vec<u32>>());
+        v.sort_unstable();
+        assert_eq!(v, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_gen() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let v = dyn_rng.gen::<f64>();
+        assert!((0.0..1.0).contains(&v));
+    }
+}

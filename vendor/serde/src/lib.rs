@@ -1,0 +1,31 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` widely but only
+//! actually serializes through hand-rolled JSON (see the vendored
+//! `serde_json`), so here the traits are universal markers: every type
+//! implements them, and `#[derive(Serialize, Deserialize)]` expands to
+//! nothing (the derive macros exist so the attribute positions stay
+//! valid, including `#[serde(...)]` field attributes).
+
+/// Marker: type can be serialized. Implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: type can be deserialized. Implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring serde's DeserializeOwned.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive_stub::{Deserialize, Serialize};
+
+/// Placeholder for paths like `serde::de::Error` in trait bounds.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,638 @@
+//! Vendored JSON support: a real parser and serializer over a dynamic
+//! [`Value`] tree, mirroring the corner of `serde_json` this workspace
+//! uses. Typed (de)serialization goes through `Value` accessors rather
+//! than derive-generated code (the vendored `serde` derives are inert).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value. Object keys are ordered (BTreeMap) so output is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// Parse or access error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+    /// 1-based character offset where parsing failed (0 for non-parse errors).
+    pub offset: usize,
+}
+
+impl Error {
+    pub fn new<S: Into<String>>(msg: S) -> Error {
+        Error {
+            msg: msg.into(),
+            offset: 0,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset > 0 {
+            write!(f, "{} at offset {}", self.msg, self.offset)
+        } else {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n)
+                if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; returns `Value::Null` for misses (like
+    /// `serde_json`'s `Value::get` chained with unwrap_or).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+
+    /// Required typed accessors used by hand-rolled deserializers.
+    pub fn req_f64(&self, key: &str) -> Result<f64> {
+        self.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| Error::new(format!("missing or non-numeric field `{key}`")))
+    }
+
+    pub fn req_u64(&self, key: &str) -> Result<u64> {
+        self.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::new(format!("missing or non-integer field `{key}`")))
+    }
+
+    pub fn req_str(&self, key: &str) -> Result<&str> {
+        self.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::new(format!("missing or non-string field `{key}`")))
+    }
+
+    pub fn req_array(&self, key: &str) -> Result<&Vec<Value>> {
+        self.get(key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::new(format!("missing or non-array field `{key}`")))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn from_str(input: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: msg.to_string(),
+            offset: self.pos + 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{lit}`)")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("invalid unicode escape"))?);
+                            continue; // parse_hex4 advanced pos already
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = rest.chars().next().expect("nonempty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Escape a string into a JSON string literal (without surrounding quotes).
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float the way `serde_json` does: integers get no decimal
+/// point suppressed — we keep `1.0`-style output off and print shortest
+/// round-trip via `{}`.
+fn fmt_number(n: f64, out: &mut String) {
+    if n.is_finite() {
+        if n.fract() == 0.0 && n.abs() < 1e15 {
+            out.push_str(&format!("{}", n as i64));
+        } else {
+            out.push_str(&format!("{n}"));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Value {
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => fmt_number(*n, out),
+            Value::String(s) => {
+                out.push('"');
+                out.push_str(&escape_str(s));
+                out.push('"');
+            }
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if let Some(w) = indent {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(w * (level + 1)));
+                    }
+                    item.write(out, indent, level + 1);
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * level));
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if let Some(w) = indent {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(w * (level + 1)));
+                    }
+                    out.push('"');
+                    out.push_str(&escape_str(k));
+                    out.push_str("\":");
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * level));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Compact serialization of a [`Value`].
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    value.write(&mut out, None, 0);
+    out
+}
+
+/// Pretty (2-space indented) serialization of a [`Value`].
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    value.write(&mut out, Some(2), 0);
+    out
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+/// Build a `Value` with JSON-ish syntax for tests and emitters.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $( $item:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $( $key:literal : $val:tt ),* $(,)? }) => {{
+        let mut map = std::collections::BTreeMap::new();
+        $( map.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-12.5e2").unwrap(), Value::Number(-1250.0));
+        assert_eq!(
+            from_str("\"a\\nb\\u0041\"").unwrap(),
+            Value::String("a\nbA".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"a": [1, 2, {"b": "c"}], "d": null}"#).unwrap();
+        assert_eq!(v["a"][2]["b"].as_str(), Some("c"));
+        assert!(v["d"].is_null());
+        assert_eq!(v["a"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("not json").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{} trailing").is_err());
+        assert!(from_str("").is_err());
+    }
+
+    #[test]
+    fn round_trips() {
+        let text = r#"{"arr":[1,2.5,"x"],"flag":true,"nested":{"k":null}}"#;
+        let v = from_str(text).unwrap();
+        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn json_macro_builds_values() {
+        let v = json!({"a": 1u64, "b": [true, null], "c": "s"});
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][0].as_bool(), Some(true));
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["c"].as_str(), Some("s"));
+    }
+
+    #[test]
+    fn escapes_and_unescapes() {
+        let v = Value::String("tab\t\"quote\"\nnewline".into());
+        let s = to_string(&v);
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn required_accessors_error_on_missing() {
+        let v = from_str("{}").unwrap();
+        assert!(v.req_f64("energy").is_err());
+        assert!(v.req_str("name").is_err());
+        assert!(v.req_array("geometry").is_err());
+    }
+}
