@@ -1,0 +1,135 @@
+//! Ablation: where does the per-task nanosecond budget go?
+//!
+//! The launch-rate gate measures the whole engine; this tool measures the
+//! *task body* — the straight-line work one worker does per job with all
+//! coordination stripped away — and then adds the pieces back one at a
+//! time. Comparing the last row against the gate's raw rate separates
+//! "cost of the work" from "cost of the engine".
+//!
+//! Usage: ablation_task_body [N]   (default 1,000,000 iterations)
+
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime};
+
+use htpar_core::executor::{ExecContext, Executor, FnExecutor};
+use htpar_core::job::{CommandLine, JobResult, JobStatus};
+use htpar_core::template::{ExpandContext, Template};
+
+fn bench<F: FnMut(u64)>(name: &str, n: u64, mut f: F) {
+    let started = Instant::now();
+    for i in 0..n {
+        f(i);
+    }
+    let per = started.elapsed().as_nanos() as f64 / n as f64;
+    let rate = 1e9 / per;
+    println!("  {name:<38} {per:>8.1} ns/task  ({rate:>9.0} tasks/s)");
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let template = Template::parse("noop {}").expect("static template");
+    let executor: Arc<dyn Executor> = Arc::new(FnExecutor::noop());
+    let ctx = ExecContext { timeout: None };
+    println!("task-body ablation over {n} iterations:");
+
+    let args: Vec<Vec<String>> = (0..n).map(|i| vec![i.to_string()]).collect();
+
+    bench("baseline: arg drop only", n, {
+        let mut it = args.clone().into_iter();
+        move |_| {
+            let a = it.next().unwrap();
+            std::hint::black_box(&a);
+        }
+    });
+
+    bench("+ template expand", n, {
+        let mut it = args.clone().into_iter();
+        let template = template.clone();
+        move |i| {
+            let a = it.next().unwrap();
+            let rendered = template.expand(&ExpandContext {
+                args: &a,
+                seq: i + 1,
+                slot: 1,
+            });
+            std::hint::black_box(&rendered);
+        }
+    });
+
+    bench("+ Instant::now x2", n, {
+        let mut it = args.clone().into_iter();
+        let template = template.clone();
+        move |i| {
+            let a = it.next().unwrap();
+            let rendered = template.expand(&ExpandContext {
+                args: &a,
+                seq: i + 1,
+                slot: 1,
+            });
+            let t0 = Instant::now();
+            let rt = t0.elapsed();
+            std::hint::black_box(&(rendered, rt));
+        }
+    });
+
+    bench("+ CommandLine + executor call", n, {
+        let mut it = args.clone().into_iter();
+        let template = template.clone();
+        let executor = Arc::clone(&executor);
+        move |i| {
+            let a = it.next().unwrap();
+            let rendered = template.expand(&ExpandContext {
+                args: &a,
+                seq: i + 1,
+                slot: 1,
+            });
+            let cmd = CommandLine::new(i + 1, 1, a, rendered, Vec::new(), Vec::new());
+            let t0 = Instant::now();
+            let out = executor.execute(&cmd, &ctx);
+            let rt = t0.elapsed();
+            std::hint::black_box(&(cmd, out, rt));
+        }
+    });
+
+    let mut results: Vec<JobResult> = Vec::with_capacity(n as usize);
+    let run_sys = SystemTime::now();
+    let run_inst = Instant::now();
+    bench("+ JobResult build + push (full body)", n, {
+        let mut it = args.clone().into_iter();
+        let template = template.clone();
+        let executor = Arc::clone(&executor);
+        let results = &mut results;
+        move |i| {
+            let a = it.next().unwrap();
+            let rendered = template.expand(&ExpandContext {
+                args: &a,
+                seq: i + 1,
+                slot: 1,
+            });
+            let cmd = CommandLine::new(i + 1, 1, a, rendered, Vec::new(), Vec::new());
+            let t0 = Instant::now();
+            let out = executor.execute(&cmd, &ctx);
+            let runtime = t0.elapsed();
+            let (args, command) = cmd.into_result_parts();
+            results.push(JobResult {
+                seq: i + 1,
+                slot: 1,
+                args,
+                command,
+                status: out.status,
+                stdout: out.stdout,
+                stderr: out.stderr,
+                started_at: run_sys + t0.saturating_duration_since(run_inst),
+                runtime,
+                tries: 0,
+            });
+        }
+    });
+    assert!(results.iter().all(|r| r.status == JobStatus::Success));
+    assert_eq!(results.len(), n as usize);
+    drop(results);
+    std::hint::black_box(&Duration::ZERO);
+}

@@ -16,10 +16,11 @@
 //! trajectory (one telemetry event per line, schema in DESIGN.md) so
 //! plots can consume the run directly.
 
+use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
-use htpar_bench::{header, preamble, row};
+use htpar_bench::{gate, header, preamble, row};
 use htpar_cluster::LaunchModel;
 use htpar_core::prelude::*;
 use htpar_core::stats::RateMeter;
@@ -120,19 +121,53 @@ fn real_sweep() {
     );
 }
 
+/// Laptop scale of the Fig. 3 acceptance run: `-j 64`, 100k in-process
+/// no-ops, observed by a [`MetricsRegistry`] on the bus — the same
+/// measurement core as the launch-rate gate, at 10x its task count. One
+/// JSONL record per trial lands in the `--jsonl` file, so before/after
+/// engine comparisons (`BENCH_fig3_launch_rate.json`) are reproducible
+/// with this binary alone.
+fn laptop_scale_sweep(out: Option<&mut dyn Write>) {
+    const JOBS: usize = 64;
+    const TASKS: u64 = 100_000;
+    const TRIALS: usize = 3;
+    let engine = std::env::var("HTPAR_FIG3_ENGINE").unwrap_or_else(|_| "current".into());
+    println!("laptop-scale dispatch ({TASKS} in-process no-ops at -j {JOBS}, bus-observed):");
+    let mut lines = Vec::new();
+    for trial in 1..=TRIALS {
+        let m = gate::measure(JOBS, TASKS, true);
+        let sustained = m.launch_rate_sustained.unwrap_or(0.0);
+        println!(
+            "  trial {trial}: {:>9.0} tasks/s wall-clock   {:>9.0}/s sustained (bus)",
+            m.tasks_per_sec, sustained
+        );
+        lines.push(format!(
+            "{{\"bench\":\"fig3_laptop_scale\",\"engine\":\"{engine}\",\"jobs\":{},\"tasks\":{},\"trial\":{trial},\"wall_secs\":{:.6},\"tasks_per_sec\":{:.0},\"launch_rate_sustained\":{:.0}}}",
+            m.jobs,
+            m.tasks,
+            m.wall.as_secs_f64(),
+            m.tasks_per_sec,
+            sustained
+        ));
+    }
+    if let Some(out) = out {
+        for line in &lines {
+            writeln!(out, "{line}").expect("write laptop-scale record");
+        }
+    }
+}
+
 /// Run one instrumented dispatch sweep with the legacy `RateMeter` and
 /// the telemetry `MetricsRegistry` observing the same launches, and
 /// (optionally) a JSONL trajectory on disk. The two rate estimates must
 /// agree — the registry is a view over the bus, not a new definition.
-fn telemetry_sweep(jsonl_path: Option<&str>) {
+fn telemetry_sweep(trajectory: Option<Arc<JsonlWriter>>) {
     let bus = EventBus::shared();
     let metrics = MetricsRegistry::shared();
     bus.attach(metrics.clone());
-    if let Some(path) = jsonl_path {
-        match JsonlWriter::create(std::path::Path::new(path)) {
-            Ok(writer) => bus.attach(writer),
-            Err(e) => eprintln!("fig3: cannot open {path}: {e}"),
-        }
+    let has_trajectory = trajectory.is_some();
+    if let Some(writer) = trajectory {
+        bus.attach(writer);
     }
 
     // The legacy meter stamps from inside the executor — the pre-bus
@@ -171,8 +206,8 @@ fn telemetry_sweep(jsonl_path: Option<&str>) {
         "  registry snapshot:       ok={} p50={}us p99={}us",
         snap.ok, snap.runtime.p50, snap.runtime.p99
     );
-    if let Some(path) = jsonl_path {
-        println!("  JSONL trajectory:        {path}");
+    if has_trajectory {
+        println!("  JSONL trajectory:        appended to --jsonl file");
     }
 }
 
@@ -192,5 +227,17 @@ fn main() {
         .position(|a| a == "--jsonl")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
-    telemetry_sweep(jsonl);
+    let mut bench_file = jsonl.map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("fig3: cannot open {path}: {e}"))
+    });
+    laptop_scale_sweep(bench_file.as_mut().map(|f| f as &mut dyn Write));
+    println!();
+    let writer = bench_file.map(|f| Arc::new(JsonlWriter::new(Box::new(f))));
+    telemetry_sweep(writer.clone());
+    if let Some(writer) = writer {
+        writer.flush().expect("flush --jsonl file");
+    }
+    if let Some(path) = jsonl {
+        println!("  wrote laptop-scale records + trajectory to {path}");
+    }
 }

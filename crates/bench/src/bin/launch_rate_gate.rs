@@ -1,0 +1,85 @@
+//! Launch-rate regression gate.
+//!
+//! Runs the canonical dispatch-bound workload (10k in-process no-op tasks
+//! at `-j 64`, rate observed through `MetricsRegistry`) and exits nonzero
+//! when the sustained rate drops below the checked-in floor. CI runs this
+//! in release mode; `tests/launch_rate_gate.rs` runs the same check under
+//! `cargo test`.
+//!
+//! Flags:
+//!   --jobs N        slot count (default 64)
+//!   --tasks N       task count (default 10000)
+//!   --floor RATE    override the compiled-in floor (tasks/sec)
+//!   --report-only   print the measurement without enforcing the floor
+//!
+//! To verify the gate trips, set `HTPAR_GATE_HANDICAP_US` to an artificial
+//! per-task cost in microseconds and watch it fail.
+
+use htpar_bench::gate;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = flag_value(&args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(gate::GATE_JOBS);
+    let tasks = flag_value(&args, "--tasks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(gate::GATE_TASKS);
+    let floor = flag_value(&args, "--floor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(gate::floor);
+    let report_only = args.iter().any(|a| a == "--report-only");
+
+    // An unobserved run first: pure dispatch cost, no bus in the way.
+    let raw = gate::measure(jobs, tasks, false);
+    // The gate run proper, observed through MetricsRegistry.
+    let observed = gate::measure(jobs, tasks, true);
+    let rate = observed.gate_rate();
+
+    println!("launch-rate gate: {tasks} no-op tasks at -j {jobs}");
+    if let Some(cost) = gate::handicap() {
+        println!(
+            "  handicap:            {} us/task (simulated slowdown)",
+            cost.as_micros()
+        );
+    }
+    println!(
+        "  raw wall-clock:      {:.0} tasks/s ({:.3} s)",
+        raw.tasks_per_sec,
+        raw.wall.as_secs_f64()
+    );
+    println!(
+        "  observed wall-clock: {:.0} tasks/s ({:.3} s)",
+        observed.tasks_per_sec,
+        observed.wall.as_secs_f64()
+    );
+    println!("  sustained (bus):     {rate:.0} tasks/s");
+    println!("  floor:               {floor:.0} tasks/s");
+
+    if report_only {
+        return;
+    }
+    let mut rate = rate;
+    // Retry before declaring a regression: a transient host hiccup
+    // depresses one run, a real slowdown depresses all of them.
+    for attempt in 2..=gate::GATE_ATTEMPTS {
+        if rate >= floor {
+            break;
+        }
+        let retry = gate::measure(jobs, tasks, true);
+        rate = retry.gate_rate();
+        println!("  retry {attempt}:             {rate:.0} tasks/s sustained");
+    }
+    if rate < floor {
+        eprintln!("FAIL: sustained launch rate {rate:.0}/s is below the floor {floor:.0}/s");
+        std::process::exit(1);
+    }
+    println!("PASS: {:.2}x above floor", rate / floor);
+}

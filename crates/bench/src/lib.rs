@@ -21,6 +21,8 @@
 
 use std::fmt::Display;
 
+pub mod gate;
+
 /// Print a fixed-width table row from cells.
 pub fn row<D: Display>(cells: &[D], widths: &[usize]) -> String {
     cells

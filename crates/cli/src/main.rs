@@ -3,7 +3,27 @@
 use std::io::Write;
 
 use htpar_cli::args::{parse_args, USAGE};
-use htpar_cli::exec::{execute, exit_code};
+use htpar_cli::exec::{execute_observed, exit_code};
+use htpar_telemetry::{EventBus, JsonlWriter};
+
+/// `HTPAR_TELEMETRY_JSONL=PATH` attaches a bus + [`JsonlWriter`] so any
+/// CLI run leaves a machine-readable event trajectory (same schema as
+/// `fig3_launch_rate --jsonl`; see DESIGN.md §10). Unset, the engine
+/// runs unobserved and the emit path costs nothing.
+fn telemetry_from_env() -> Option<std::sync::Arc<EventBus>> {
+    let path = std::env::var("HTPAR_TELEMETRY_JSONL").ok()?;
+    match JsonlWriter::create(std::path::Path::new(&path)) {
+        Ok(writer) => {
+            let bus = EventBus::shared();
+            bus.attach(writer);
+            Some(bus)
+        }
+        Err(e) => {
+            eprintln!("htpar: cannot open telemetry file {path}: {e}");
+            None
+        }
+    }
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -24,19 +44,25 @@ fn main() {
     }
 
     let stdin = std::io::BufReader::new(std::io::stdin());
-    let result = execute(spec, stdin, |out, err| {
-        // Grouped per-job output, like GNU's default --group.
-        if !out.is_empty() {
-            let stdout = std::io::stdout();
-            let mut lock = stdout.lock();
-            let _ = lock.write_all(out.as_bytes());
-        }
-        if !err.is_empty() {
-            let stderr = std::io::stderr();
-            let mut lock = stderr.lock();
-            let _ = lock.write_all(err.as_bytes());
-        }
-    });
+    let bus = telemetry_from_env();
+    let result = execute_observed(
+        spec,
+        stdin,
+        |out, err| {
+            // Grouped per-job output, like GNU's default --group.
+            if !out.is_empty() {
+                let stdout = std::io::stdout();
+                let mut lock = stdout.lock();
+                let _ = lock.write_all(out.as_bytes());
+            }
+            if !err.is_empty() {
+                let stderr = std::io::stderr();
+                let mut lock = stderr.lock();
+                let _ = lock.write_all(err.as_bytes());
+            }
+        },
+        bus,
+    );
 
     match result {
         Ok(report) => std::process::exit(exit_code(&report)),

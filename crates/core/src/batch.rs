@@ -283,6 +283,38 @@ mod tests {
                 prop_assert_eq!(covered, (0..n).collect::<Vec<_>>());
             }
 
+            /// The documented `-X`/`-m` contract: split any input under
+            /// any line-length limit, and (a) concatenating the batches
+            /// reproduces the input in order, (b) every rendered command
+            /// stays within the limit — except the unavoidable case of a
+            /// single argument that alone exceeds it, which still ships
+            /// (xargs/parallel never drop input).
+            #[test]
+            fn xargs_batches_concatenate_back_and_respect_limit(
+                args in proptest::collection::vec("[a-zA-Z0-9._/-]{1,12}", 0..60),
+                max_chars in 10usize..120,
+            ) {
+                let t = Template::parse("echo {}").unwrap();
+                let base = "echo ".len();
+                let batches = plan_batches(&args, None, max_chars, base, 1);
+                let mut rebuilt: Vec<String> = Vec::new();
+                for (i, r) in batches.iter().enumerate() {
+                    let batch = &args[r.clone()];
+                    let out = expand_xargs(&t, batch, i as u64 + 1, 1);
+                    prop_assert!(out.starts_with("echo "));
+                    prop_assert_eq!(&out[base..], batch.join(" "));
+                    if batch.len() > 1 {
+                        prop_assert!(
+                            out.len() <= max_chars,
+                            "batch {} rendered to {} chars, limit {}",
+                            i, out.len(), max_chars
+                        );
+                    }
+                    rebuilt.extend(batch.iter().cloned());
+                }
+                prop_assert_eq!(rebuilt, args);
+            }
+
             #[test]
             fn context_replace_mentions_every_arg(
                 args in proptest::collection::vec("[a-z0-9]{1,8}", 1..10)

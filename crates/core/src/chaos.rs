@@ -6,8 +6,9 @@
 //! `--retries`, `--halt`, and `--resume-failed` interact correctly
 //! under unreliable infrastructure (the Podman-HPC situation of Fig. 5).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::executor::{ExecContext, Executor, TaskOutput};
 use crate::job::CommandLine;
@@ -21,6 +22,10 @@ pub struct ChaosExecutor {
     fail_code: i32,
     seed: u64,
     attempts: AtomicU64,
+    /// When set, draws are keyed by `(seq, per-seq attempt)` instead of
+    /// the global attempt counter, making outcomes independent of worker
+    /// interleaving (see [`ChaosExecutor::seeded_per_seq`]).
+    per_seq_attempts: Option<Mutex<HashMap<u64, u64>>>,
 }
 
 impl ChaosExecutor {
@@ -32,6 +37,24 @@ impl ChaosExecutor {
             fail_code: 199,
             seed,
             attempts: AtomicU64::new(0),
+            per_seq_attempts: None,
+        }
+    }
+
+    /// Like [`ChaosExecutor::new`], but each draw is a pure function of
+    /// `(seed, seq, attempt-number-within-that-seq)` rather than of the
+    /// global attempt order. A `-j 256` run and a `-j 1` run of the same
+    /// workload then inject failures into exactly the same attempts, so
+    /// concurrency stress tests can compare a parallel run against a
+    /// single-threaded reference task by task.
+    pub fn seeded_per_seq<E: Executor + 'static>(
+        inner: E,
+        fail_probability: f64,
+        seed: u64,
+    ) -> ChaosExecutor {
+        ChaosExecutor {
+            per_seq_attempts: Some(Mutex::new(HashMap::new())),
+            ..ChaosExecutor::new(inner, fail_probability, seed)
         }
     }
 
@@ -52,11 +75,25 @@ impl ChaosExecutor {
 
 impl Executor for ChaosExecutor {
     fn execute(&self, cmd: &CommandLine, ctx: &ExecContext) -> TaskOutput {
-        let n = self.attempts.fetch_add(1, Ordering::Relaxed);
+        let global = self.attempts.fetch_add(1, Ordering::Relaxed);
+        let n = match &self.per_seq_attempts {
+            Some(per_seq) => {
+                let mut per_seq = per_seq.lock().expect("chaos state poisoned");
+                let attempt = per_seq.entry(cmd.seq).or_insert(0);
+                let key = cmd.seq.wrapping_mul(0x517C_C1B7_2722_0A95) ^ *attempt;
+                *attempt += 1;
+                key
+            }
+            None => global,
+        };
         if self.draw(n) < self.fail_probability {
             return TaskOutput::failed(self.fail_code, "injected failure");
         }
         self.inner.execute(cmd, ctx)
+    }
+
+    fn needs_argv(&self) -> bool {
+        self.inner.needs_argv()
     }
 }
 
@@ -120,6 +157,33 @@ mod tests {
         assert_eq!(report.failed, 0, "retries absorbed injected failures");
         // Some retries actually happened.
         assert!(report.results.iter().any(|r| r.tries > 0));
+    }
+
+    #[test]
+    fn per_seq_draws_are_interleaving_independent() {
+        // The global-counter mode depends on attempt order, so only the
+        // per-seq mode can promise this: any -j produces the same
+        // per-task outcomes and retry counts.
+        let outcome = |jobs: usize| {
+            let report = Parallel::new("x {}")
+                .jobs(jobs)
+                .retries(2)
+                .executor(ChaosExecutor::seeded_per_seq(FnExecutor::noop(), 0.4, 5))
+                .args((0..300).map(|i| i.to_string()))
+                .run()
+                .unwrap();
+            let mut seen: Vec<(u64, bool, u32)> = report
+                .results
+                .iter()
+                .map(|r| (r.seq, r.status.is_success(), r.tries))
+                .collect();
+            seen.sort_unstable();
+            seen
+        };
+        let reference = outcome(1);
+        assert!(reference.iter().any(|(_, ok, _)| !ok), "chaos must bite");
+        assert!(reference.iter().any(|(_, _, tries)| *tries > 0));
+        assert_eq!(reference, outcome(8));
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! A process-wide deadline wheel for `--timeout` enforcement.
+//!
+//! The old `ProcessExecutor` enforced timeouts with a 2 ms `try_wait`
+//! poll per slot: at `-j 256` that is 256 threads waking 500×/s each even
+//! when nothing is close to its deadline. The wheel inverts the design —
+//! each worker blocks in `wait(2)` (zero CPU while a job runs) and arms a
+//! one-shot timer here; a single daemon thread sleeps until the earliest
+//! deadline across the whole process and delivers `SIGKILL` only when a
+//! deadline actually expires. Cancelling (the common case: the job
+//! finished in time) is a map removal under one short lock.
+//!
+//! Invariants:
+//! - the daemon holds no lock while sleeping, so `arm`/cancel never block
+//!   behind the timer wait;
+//! - a [`TimerGuard`] cancels on drop, so a timer can never outlive its
+//!   job attempt and kill a recycled pid on behalf of a finished job
+//!   (the unavoidable pid-reuse window between expiry and kill is the
+//!   same one GNU parallel accepts);
+//! - `fired()` is set *before* the kill signal, so an executor that saw
+//!   its child die to a signal can attribute it to the timeout.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The shared wheel: deadline-ordered map + a condvar the daemon waits on.
+pub struct DeadlineWheel {
+    state: Mutex<WheelState>,
+    tick: Condvar,
+}
+
+struct WheelState {
+    /// Armed timers keyed by `(deadline, id)` — the id disambiguates
+    /// identical instants while keeping the map deadline-ordered.
+    entries: BTreeMap<(Instant, u64), Entry>,
+    next_id: u64,
+}
+
+struct Entry {
+    pid: u32,
+    fired: Arc<AtomicBool>,
+}
+
+/// Handle to one armed timer. Dropping it cancels the timer if it has
+/// not fired yet.
+pub struct TimerGuard {
+    wheel: &'static DeadlineWheel,
+    key: (Instant, u64),
+    fired: Arc<AtomicBool>,
+}
+
+impl TimerGuard {
+    /// Whether the wheel delivered the kill for this timer.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        let mut state = lock(&self.wheel.state);
+        state.entries.remove(&self.key);
+        // No need to wake the daemon: it re-derives the earliest deadline
+        // each time it wakes, and waking early on a removed entry is
+        // harmless.
+    }
+}
+
+fn lock(m: &Mutex<WheelState>) -> std::sync::MutexGuard<'_, WheelState> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl DeadlineWheel {
+    /// The process-wide wheel; the daemon thread starts on first use.
+    pub fn global() -> &'static DeadlineWheel {
+        static WHEEL: OnceLock<&'static DeadlineWheel> = OnceLock::new();
+        WHEEL.get_or_init(|| {
+            let wheel: &'static DeadlineWheel = Box::leak(Box::new(DeadlineWheel {
+                state: Mutex::new(WheelState {
+                    entries: BTreeMap::new(),
+                    next_id: 0,
+                }),
+                tick: Condvar::new(),
+            }));
+            std::thread::Builder::new()
+                .name("htpar-deadline".into())
+                .spawn(move || wheel.run())
+                .expect("spawn deadline-wheel daemon");
+            wheel
+        })
+    }
+
+    /// Arm a one-shot timer that SIGKILLs `pid` once `after` elapses.
+    pub fn arm_kill(pid: u32, after: Duration) -> TimerGuard {
+        let wheel = DeadlineWheel::global();
+        let fired = Arc::new(AtomicBool::new(false));
+        let deadline = Instant::now() + after;
+        let key = {
+            let mut state = lock(&wheel.state);
+            let id = state.next_id;
+            state.next_id += 1;
+            let key = (deadline, id);
+            state.entries.insert(
+                key,
+                Entry {
+                    pid,
+                    fired: Arc::clone(&fired),
+                },
+            );
+            key
+        };
+        // Wake the daemon so a new earliest deadline shortens its sleep.
+        wheel.tick.notify_one();
+        TimerGuard { wheel, key, fired }
+    }
+
+    fn run(&self) {
+        let mut state = lock(&self.state);
+        loop {
+            let now = Instant::now();
+            // Fire everything due; collect pids so the kills happen with
+            // the lock released.
+            let mut due: Vec<u32> = Vec::new();
+            while let Some((&key, _)) = state.entries.first_key_value() {
+                if key.0 > now {
+                    break;
+                }
+                let entry = state.entries.remove(&key).expect("peeked entry exists");
+                entry.fired.store(true, Ordering::SeqCst);
+                due.push(entry.pid);
+            }
+            if !due.is_empty() {
+                drop(state);
+                for pid in due {
+                    deliver_kill(pid);
+                }
+                state = lock(&self.state);
+                continue;
+            }
+            let wait = state
+                .entries
+                .first_key_value()
+                .map(|(&(deadline, _), _)| deadline.saturating_duration_since(now));
+            state = match wait {
+                // Idle: sleep until someone arms a timer.
+                None => match self.tick.wait(state) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                },
+                Some(d) => match self.tick.wait_timeout(state, d) {
+                    Ok((g, _)) => g,
+                    Err(p) => p.into_inner().0,
+                },
+            };
+        }
+    }
+}
+
+/// Deliver SIGKILL to `pid` without a libc dependency: exec `kill(1)`,
+/// which is universally present on the POSIX systems this targets. The
+/// fork/exec cost is paid only when a deadline actually expires.
+fn deliver_kill(pid: u32) {
+    let _ = std::process::Command::new("kill")
+        .arg("-KILL")
+        .arg(pid.to_string())
+        .status();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::{Command, Stdio};
+
+    fn spawn_sleeper() -> std::process::Child {
+        Command::new("sleep")
+            .arg("600")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn sleep")
+    }
+
+    #[test]
+    fn expired_timer_kills_the_process() {
+        let mut child = spawn_sleeper();
+        let guard = DeadlineWheel::arm_kill(child.id(), Duration::from_millis(30));
+        let started = Instant::now();
+        let status = child.wait().expect("wait");
+        assert!(guard.fired(), "timer fired");
+        assert!(!status.success(), "killed, not exited");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "kill was prompt"
+        );
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut child = spawn_sleeper();
+        let guard = DeadlineWheel::arm_kill(child.id(), Duration::from_millis(20));
+        let fired = Arc::clone(&guard.fired);
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!fired.load(Ordering::SeqCst), "cancelled before expiry");
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order_independent_of_arm_order() {
+        let mut late = spawn_sleeper();
+        let mut soon = spawn_sleeper();
+        let g_late = DeadlineWheel::arm_kill(late.id(), Duration::from_millis(120));
+        let g_soon = DeadlineWheel::arm_kill(soon.id(), Duration::from_millis(20));
+        soon.wait().expect("wait soon");
+        assert!(g_soon.fired());
+        assert!(!g_late.fired(), "later deadline still pending");
+        late.wait().expect("wait late");
+        assert!(g_late.fired());
+    }
+}

@@ -1,0 +1,300 @@
+//! Sharded job hand-out for the engine's hot dispatch path.
+//!
+//! The old engine funnelled every worker through one mutex-guarded input
+//! iterator: one lock round-trip per task, and at high `-j` exactly the
+//! central-scheduler serialization the paper argues against. This module
+//! replaces that cursor with chunked hand-out:
+//!
+//! - **Preloaded inputs** (the common case — argument lists, `--pipe`
+//!   blocks, anything with a known length) are partitioned up front into
+//!   contiguous chunks. A worker claims a chunk with a single
+//!   `fetch_add` on the shared cursor and then works through it with no
+//!   shared state at all, so the amortized per-task dispatch cost is
+//!   1/chunk-len of an atomic increment.
+//! - **Streaming inputs** (`--follow` queues and other unbounded
+//!   iterators) are pumped by a feeder thread into a bounded channel the
+//!   workers pull from, so a slow producer applies backpressure instead
+//!   of a lock convoy.
+//!
+//! Chunks are contiguous seq ranges, so with `-j 1` jobs still run in
+//! input order, and small inputs degrade to chunk size 1 — identical
+//! hand-out granularity to the old cursor.
+
+use crossbeam_channel::{Receiver, TryRecvError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::runner::JobInput;
+
+/// Upper bound on chunk length: large enough to amortize the cursor
+/// `fetch_add` to noise, small enough that a 100k-task run still spreads
+/// across every slot.
+const MAX_CHUNK: usize = 128;
+
+/// Chunk length for `n` preloaded inputs across `jobs` slots: aim for
+/// ~8 chunks per slot so tail imbalance stays small, floor 1 so tiny
+/// inputs keep per-task hand-out, cap [`MAX_CHUNK`].
+pub fn chunk_size(n: usize, jobs: usize) -> usize {
+    (n / (jobs.max(1) * 8)).clamp(1, MAX_CHUNK)
+}
+
+/// Pre-partitioned inputs claimed chunk-at-a-time via an atomic cursor.
+pub struct ChunkQueue {
+    chunks: Vec<Mutex<Vec<JobInput>>>,
+    cursor: AtomicUsize,
+    total: usize,
+}
+
+impl ChunkQueue {
+    /// Partition `inputs` into contiguous chunks sized for `jobs` slots.
+    pub fn new(inputs: Vec<JobInput>, jobs: usize) -> ChunkQueue {
+        let total = inputs.len();
+        Self::from_iter(inputs.into_iter(), total, jobs)
+    }
+
+    /// Partition straight off an iterator, skipping the intermediate
+    /// `Vec` a `collect()`-then-partition would shuffle through.
+    /// `total_hint` sizes the chunks (use the exact length when known);
+    /// the recorded total is counted from what the iterator yields.
+    pub fn from_iter<I>(mut it: I, total_hint: usize, jobs: usize) -> ChunkQueue
+    where
+        I: Iterator<Item = JobInput>,
+    {
+        let chunk = chunk_size(total_hint, jobs);
+        let mut chunks = Vec::with_capacity(total_hint / chunk + 1);
+        let mut total = 0;
+        loop {
+            let mut c: Vec<JobInput> = Vec::with_capacity(chunk);
+            c.extend(it.by_ref().take(chunk));
+            if c.is_empty() {
+                break;
+            }
+            total += c.len();
+            chunks.push(Mutex::new(c));
+        }
+        ChunkQueue {
+            chunks,
+            cursor: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Claim the next unclaimed chunk. The `fetch_add` hands each index
+    /// out exactly once, so the per-chunk mutex is uncontended — it only
+    /// exists to move the `Vec` out safely.
+    fn take_chunk(&self) -> Option<Vec<JobInput>> {
+        loop {
+            let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+            let slot = self.chunks.get(idx)?;
+            let chunk = std::mem::take(&mut *slot.lock());
+            if !chunk.is_empty() {
+                return Some(chunk);
+            }
+        }
+    }
+
+    /// Total chunks (for tests and introspection).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+/// Where workers pull jobs from.
+pub enum JobSource {
+    /// Finite input, partitioned up front.
+    Preloaded(ChunkQueue),
+    /// Unbounded input, fed through a bounded channel by a feeder thread.
+    Streaming(Receiver<JobInput>),
+}
+
+impl JobSource {
+    /// Build the preloaded variant for a known input set.
+    pub fn preloaded(inputs: Vec<JobInput>, jobs: usize) -> JobSource {
+        JobSource::Preloaded(ChunkQueue::new(inputs, jobs))
+    }
+
+    /// Build the streaming variant over a channel receiver.
+    pub fn streaming(rx: Receiver<JobInput>) -> JobSource {
+        JobSource::Streaming(rx)
+    }
+
+    /// Total job count when known up front (preloaded sources), so
+    /// consumers can pre-size result buffers.
+    pub fn len_hint(&self) -> Option<usize> {
+        match self {
+            JobSource::Preloaded(q) => Some(q.total),
+            JobSource::Streaming(_) => None,
+        }
+    }
+}
+
+/// Outcome of a non-blocking [`WorkerFeed::try_next`] poll.
+pub enum Feed {
+    /// A job is ready.
+    Job(JobInput),
+    /// Nothing ready right now, but the source may still produce
+    /// (streaming source with a live feeder). The caller should finish
+    /// any deferrable work, then block in [`WorkerFeed::next`].
+    Pending,
+    /// The source is drained.
+    Done,
+}
+
+/// One worker's view of the source: a claimed local chunk plus the shared
+/// refill path. `next()` is lock-free until the local chunk runs dry.
+pub struct WorkerFeed<'a> {
+    source: &'a JobSource,
+    local: std::vec::IntoIter<JobInput>,
+}
+
+impl<'a> WorkerFeed<'a> {
+    pub fn new(source: &'a JobSource) -> WorkerFeed<'a> {
+        WorkerFeed {
+            source,
+            local: Vec::new().into_iter(),
+        }
+    }
+
+    /// The next job, refilling from the shared source when the local
+    /// chunk is exhausted. `None` means the input is drained (or, for
+    /// streaming sources, the feeder hung up). Deliberately named like
+    /// `Iterator::next` — same contract — but kept inherent because the
+    /// blocking receive on streaming sources makes a `for` loop over a
+    /// worker feed a footgun.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<JobInput> {
+        if let Some(job) = self.local.next() {
+            return Some(job);
+        }
+        match self.source {
+            JobSource::Preloaded(q) => {
+                self.local = q.take_chunk()?.into_iter();
+                self.local.next()
+            }
+            JobSource::Streaming(rx) => rx.recv().ok(),
+        }
+    }
+
+    /// Like [`WorkerFeed::next`] but never blocks: a streaming source
+    /// with nothing queued yet reports [`Feed::Pending`] instead,
+    /// letting the worker hand off buffered completions before it
+    /// parks on the channel.
+    pub fn try_next(&mut self) -> Feed {
+        if let Some(job) = self.local.next() {
+            return Feed::Job(job);
+        }
+        match self.source {
+            JobSource::Preloaded(q) => match q.take_chunk() {
+                Some(chunk) => {
+                    self.local = chunk.into_iter();
+                    match self.local.next() {
+                        Some(job) => Feed::Job(job),
+                        None => Feed::Done,
+                    }
+                }
+                None => Feed::Done,
+            },
+            JobSource::Streaming(rx) => match rx.try_recv() {
+                Ok(job) => Feed::Job(job),
+                Err(TryRecvError::Empty) => Feed::Pending,
+                Err(TryRecvError::Disconnected) => Feed::Done,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n: u64) -> Vec<JobInput> {
+        (1..=n)
+            .map(|seq| JobInput::new(seq, vec![seq.to_string()]))
+            .collect()
+    }
+
+    #[test]
+    fn chunk_size_scales_with_input_and_caps() {
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(10, 4), 1, "small inputs keep per-task grain");
+        assert_eq!(chunk_size(320, 4), 10);
+        assert_eq!(chunk_size(1_000_000, 64), MAX_CHUNK);
+        assert_eq!(chunk_size(100, 0), 12, "jobs=0 treated as 1");
+    }
+
+    #[test]
+    fn preloaded_hand_out_is_complete_and_disjoint() {
+        let source = JobSource::preloaded(inputs(1000), 4);
+        let mut feeds: Vec<WorkerFeed> = (0..4).map(|_| WorkerFeed::new(&source)).collect();
+        let mut seen = Vec::new();
+        // Round-robin across feeds to interleave chunk claims.
+        loop {
+            let mut any = false;
+            for feed in &mut feeds {
+                if let Some(job) = feed.next() {
+                    seen.push(job.seq);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_feed_preserves_input_order() {
+        let source = JobSource::preloaded(inputs(500), 1);
+        let mut feed = WorkerFeed::new(&source);
+        let mut seqs = Vec::new();
+        while let Some(job) = feed.next() {
+            seqs.push(job.seq);
+        }
+        assert_eq!(seqs, (1..=500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_hand_out_never_duplicates() {
+        let source = std::sync::Arc::new(JobSource::preloaded(inputs(10_000), 8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let source = std::sync::Arc::clone(&source);
+            handles.push(std::thread::spawn(move || {
+                let mut feed = WorkerFeed::new(&source);
+                let mut got = Vec::new();
+                while let Some(job) = feed.next() {
+                    got.push(job.seq);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 10_000);
+        all.dedup();
+        assert_eq!(all.len(), 10_000, "no seq handed out twice");
+    }
+
+    #[test]
+    fn streaming_feed_pulls_from_channel() {
+        let (tx, rx) = crossbeam_channel::bounded(4);
+        let source = JobSource::streaming(rx);
+        let producer = std::thread::spawn(move || {
+            for job in inputs(100) {
+                tx.send(job).unwrap();
+            }
+        });
+        let mut feed = WorkerFeed::new(&source);
+        let mut got = Vec::new();
+        while let Some(job) = feed.next() {
+            got.push(job.seq);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (1..=100).collect::<Vec<_>>());
+    }
+}

@@ -14,8 +14,9 @@
 use std::io::{BufRead, BufReader, Read};
 use std::process::{Command, Stdio};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use crate::deadline::DeadlineWheel;
 use crate::job::{CommandLine, JobStatus};
 
 /// Which stream a streamed line came from.
@@ -87,6 +88,15 @@ pub struct ExecContext {
 pub trait Executor: Send + Sync {
     /// Run one attempt of `cmd`.
     fn execute(&self, cmd: &CommandLine, ctx: &ExecContext) -> TaskOutput;
+
+    /// Whether this executor reads [`CommandLine::argv`]. The argv
+    /// rendering is a per-task allocation on the engine's hot path, so
+    /// the runner skips it for executors that return `false` here —
+    /// such executors see an empty `argv()`. Defaults to `true` (safe
+    /// for any implementation).
+    fn needs_argv(&self) -> bool {
+        true
+    }
 }
 
 /// Executes commands as real OS processes.
@@ -97,8 +107,6 @@ pub trait Executor: Send + Sync {
 #[derive(Clone)]
 pub struct ProcessExecutor {
     use_shell: bool,
-    /// Poll interval for timeout enforcement.
-    poll: Duration,
     /// `--line-buffer`: stream each output line as it appears.
     line_cb: Option<LineCallback>,
 }
@@ -107,7 +115,6 @@ impl std::fmt::Debug for ProcessExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ProcessExecutor")
             .field("use_shell", &self.use_shell)
-            .field("poll", &self.poll)
             .field("line_buffered", &self.line_cb.is_some())
             .finish()
     }
@@ -117,7 +124,6 @@ impl Default for ProcessExecutor {
     fn default() -> Self {
         ProcessExecutor {
             use_shell: true,
-            poll: Duration::from_millis(2),
             line_cb: None,
         }
     }
@@ -221,38 +227,39 @@ impl Executor for ProcessExecutor {
             ),
         };
 
-        let started = Instant::now();
-        let exit = loop {
-            match child.try_wait() {
-                Ok(Some(status)) => break status,
-                Ok(None) => {
-                    if let Some(limit) = ctx.timeout {
-                        if started.elapsed() >= limit {
-                            let _ = child.kill();
-                            let _ = child.wait();
-                            // Do not join the pipe readers: a grandchild
-                            // that survived the kill may hold the pipe open
-                            // and would stall us for its full lifetime. The
-                            // detached reader threads exit when the pipe
-                            // finally closes.
-                            return TaskOutput {
-                                status: JobStatus::TimedOut,
-                                stdout: String::new(),
-                                stderr: String::new(),
-                            };
-                        }
-                    }
-                    std::thread::sleep(self.poll);
-                }
-                Err(e) => {
-                    return TaskOutput {
-                        status: JobStatus::ExecError(e.to_string()),
-                        stdout: join_reader(stdout_handle),
-                        stderr: join_reader(stderr_handle),
-                    }
+        // Block in wait(2) — zero CPU while the job runs. Timeout
+        // enforcement is delegated to the process-wide deadline wheel:
+        // one timer armed per attempt, cancelled on drop when the guard
+        // goes out of scope, so idle slots never poll.
+        let timer = ctx
+            .timeout
+            .map(|limit| DeadlineWheel::arm_kill(child.id(), limit));
+        let exit = match child.wait() {
+            Ok(status) => status,
+            Err(e) => {
+                return TaskOutput {
+                    status: JobStatus::ExecError(e.to_string()),
+                    stdout: join_reader(stdout_handle),
+                    stderr: join_reader(stderr_handle),
                 }
             }
         };
+        if let Some(timer) = &timer {
+            // Attribute a signal death to the timeout only if our timer
+            // actually delivered the kill; a job killed from elsewhere
+            // stays `Signaled`.
+            if timer.fired() && exit.code().is_none() {
+                // Do not join the pipe readers: a grandchild that
+                // survived the kill may hold the pipe open and would
+                // stall us for its full lifetime. The detached reader
+                // threads exit when the pipe finally closes.
+                return TaskOutput {
+                    status: JobStatus::TimedOut,
+                    stdout: String::new(),
+                    stderr: String::new(),
+                };
+            }
+        }
 
         let stdout = join_reader(stdout_handle);
         let stderr = join_reader(stderr_handle);
@@ -276,6 +283,11 @@ impl Executor for ProcessExecutor {
             stdout,
             stderr,
         }
+    }
+
+    /// Shell mode runs `sh -c <rendered>` and never reads the argv form.
+    fn needs_argv(&self) -> bool {
+        !self.use_shell
     }
 }
 
@@ -362,6 +374,11 @@ impl FnExecutor {
     }
 }
 
+/// The in-process executor under its benchmark-facing name: the
+/// launch-rate gate and stress tests run "tasks" as no-op closures so
+/// they measure the engine's dispatch overhead, not fork/exec cost.
+pub type InProcessExecutor = FnExecutor;
+
 impl Executor for FnExecutor {
     fn execute(&self, cmd: &CommandLine, _ctx: &ExecContext) -> TaskOutput {
         match (self.f)(cmd) {
@@ -373,11 +390,19 @@ impl Executor for FnExecutor {
             },
         }
     }
+
+    /// In-process closures get the rendered command and raw args;
+    /// [`CommandLine::argv`] is empty for `FnExecutor` jobs so the
+    /// engine can skip the per-task argv expansion.
+    fn needs_argv(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     fn cmdline(rendered: &str, argv: &[&str]) -> CommandLine {
         CommandLine::new(

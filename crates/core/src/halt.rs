@@ -89,6 +89,12 @@ impl HaltPolicy {
         }
     }
 
+    /// Whether this policy can never trip. The runner uses this to skip
+    /// tallying entirely on its hot path.
+    pub fn is_never(&self) -> bool {
+        self.condition == Condition::Never
+    }
+
     /// Evaluate after a job completion.
     pub fn decide(&self, tally: &Tally) -> HaltDecision {
         let tripped = match self.condition {
@@ -146,6 +152,42 @@ impl Tally {
             0.0
         } else {
             self.succeeded as f64 / self.completed() as f64
+        }
+    }
+}
+
+/// Lock-free success/failure counters for the runner's hot path: each
+/// worker records its completion with two atomic ops instead of a shared
+/// mutex, and gets back a [`Tally`] snapshot to feed
+/// [`HaltPolicy::decide`]. Counts are monotonic, so the worker whose
+/// increment crosses a halt threshold is guaranteed to observe it.
+#[derive(Debug, Default)]
+pub struct AtomicTally {
+    succeeded: std::sync::atomic::AtomicU64,
+    failed: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicTally {
+    /// Record one finished job and return the post-update snapshot.
+    pub fn record(&self, status: &JobStatus) -> Tally {
+        use std::sync::atomic::Ordering::SeqCst;
+        if status.is_success() {
+            self.succeeded.fetch_add(1, SeqCst);
+        } else if status.is_failure() {
+            self.failed.fetch_add(1, SeqCst);
+        }
+        Tally {
+            succeeded: self.succeeded.load(SeqCst),
+            failed: self.failed.load(SeqCst),
+        }
+    }
+
+    /// Current snapshot without recording anything.
+    pub fn snapshot(&self) -> Tally {
+        use std::sync::atomic::Ordering::SeqCst;
+        Tally {
+            succeeded: self.succeeded.load(SeqCst),
+            failed: self.failed.load(SeqCst),
         }
     }
 }
@@ -209,6 +251,50 @@ mod tests {
         let p = HaltPolicy::success_percent(90.0, HaltWhen::Soon);
         assert_eq!(p.decide(&tally(8, 2)), HaltDecision::Continue);
         assert_eq!(p.decide(&tally(9, 1)), HaltDecision::StopSoon);
+    }
+
+    #[test]
+    fn is_never_only_for_never() {
+        assert!(HaltPolicy::never().is_never());
+        assert!(HaltPolicy::default().is_never());
+        assert!(!HaltPolicy::fail_count(1, HaltWhen::Soon).is_never());
+        assert!(!HaltPolicy::success_percent(50.0, HaltWhen::Now).is_never());
+    }
+
+    #[test]
+    fn atomic_tally_matches_plain_tally() {
+        let atomic = AtomicTally::default();
+        atomic.record(&JobStatus::Success);
+        atomic.record(&JobStatus::Failed(1));
+        atomic.record(&JobStatus::Skipped);
+        let snap = atomic.record(&JobStatus::Success);
+        assert_eq!(snap, tally(2, 1));
+        assert_eq!(atomic.snapshot(), tally(2, 1));
+    }
+
+    #[test]
+    fn atomic_tally_is_exact_under_contention() {
+        let atomic = std::sync::Arc::new(AtomicTally::default());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = std::sync::Arc::clone(&atomic);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    let status = if i % 3 == 0 {
+                        JobStatus::Failed(1)
+                    } else {
+                        JobStatus::Success
+                    };
+                    t.record(&status);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.completed(), 8000);
+        assert_eq!(snap.failed, 8 * 334);
     }
 
     #[test]

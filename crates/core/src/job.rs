@@ -61,6 +61,13 @@ impl CommandLine {
     pub fn argv(&self) -> &[String] {
         &self.argv
     }
+
+    /// Decompose into `(args, rendered)`, giving the runner back the
+    /// owned strings for its [`JobResult`] without re-cloning them on
+    /// the per-task hot path.
+    pub fn into_result_parts(self) -> (Vec<String>, String) {
+        (self.args, self.rendered)
+    }
 }
 
 /// Terminal state of a job.

@@ -149,8 +149,14 @@ fn unescape(s: &str) -> String {
 }
 
 /// An append-mode joblog writer.
+///
+/// Rows are buffered (the engine's collector drains completions in
+/// batches, so buffering turns per-job write syscalls into one per
+/// batch); call [`JobLogWriter::flush`] after a batch to make the rows
+/// durable for concurrent `--resume` readers. Dropping the writer also
+/// flushes.
 pub struct JobLogWriter {
-    file: File,
+    file: std::io::BufWriter<File>,
     host: String,
 }
 
@@ -165,19 +171,27 @@ impl JobLogWriter {
             .map_err(Error::JobLog)?;
         let empty = file.metadata().map_err(Error::JobLog)?.len() == 0;
         let mut writer = JobLogWriter {
-            file,
+            file: std::io::BufWriter::new(file),
             host: hostname(),
         };
         if empty {
             writer.write_line(HEADER)?;
+            writer.flush()?;
         }
         Ok(writer)
     }
 
-    /// Append one finished job.
+    /// Append one finished job (buffered until the next [`flush`]).
+    ///
+    /// [`flush`]: JobLogWriter::flush
     pub fn record(&mut self, result: &JobResult) -> Result<()> {
         let entry = LogEntry::from_result(result, &self.host);
         self.write_line(&entry.to_line())
+    }
+
+    /// Push buffered rows to the file.
+    pub fn flush(&mut self) -> Result<()> {
+        self.file.flush().map_err(Error::JobLog)
     }
 
     fn write_line(&mut self, line: &str) -> Result<()> {

@@ -48,6 +48,8 @@
 
 pub mod batch;
 pub mod chaos;
+pub mod deadline;
+pub mod dispatch;
 pub mod error;
 pub mod executor;
 pub mod gate;
@@ -72,7 +74,9 @@ pub mod template;
 /// The commonly-used surface of the crate.
 pub mod prelude {
     pub use crate::error::{Error, Result};
-    pub use crate::executor::{Executor, FnExecutor, ProcessExecutor, TaskOutput};
+    pub use crate::executor::{
+        Executor, FnExecutor, InProcessExecutor, ProcessExecutor, TaskOutput,
+    };
     pub use crate::halt::HaltPolicy;
     pub use crate::input::InputSource;
     pub use crate::job::{CommandLine, JobResult, JobStatus};

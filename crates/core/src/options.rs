@@ -48,7 +48,9 @@ pub struct Options {
     /// `--retries N`: re-run failing jobs up to N extra times.
     pub retries: u32,
     /// `--retry-delay D`: wait before each retry, doubling per attempt
-    /// (exponential backoff). `None` retries immediately.
+    /// (exponential backoff: attempt n sleeps `D * 2^(n-1)`, with the
+    /// factor capped at `2^10` so high retry counts cannot overflow into
+    /// effectively-infinite sleeps). `None` retries immediately.
     pub retry_delay: Option<Duration>,
     /// `--timeout`: kill jobs that run longer than this.
     pub timeout: Option<Duration>,

@@ -1,25 +1,43 @@
 //! The scheduling engine: worker threads pulling jobs from a shared input
-//! stream into numbered slots.
+//! source into numbered slots.
 //!
 //! This is the architecture the paper credits for GNU Parallel's low
 //! overhead: there is no central scheduler making per-task placement
 //! decisions — each of the `-j` slots independently pulls the next input
-//! the moment it frees up, so dispatch cost is O(1) per task and the only
-//! shared state is the input cursor.
+//! the moment it frees up, so dispatch cost is O(1) per task. The hot
+//! path is kept lock-cheap end to end:
+//!
+//! - **Input side** ([`crate::dispatch`]): finite inputs are partitioned
+//!   into chunks claimed by a single atomic `fetch_add`; streaming inputs
+//!   flow through a bounded channel fed by a dedicated feeder thread.
+//! - **Completion side**: workers append finished jobs to a per-slot
+//!   buffer (one uncontended lock) and a dedicated collector thread
+//!   drains those buffers into the results vector, the `--keep-order`
+//!   reorder buffer, the joblog, and `--results` directories. Workers
+//!   never contend on shared output state.
+//! - **Bookkeeping**: launch counts and halt tallies are atomics; the
+//!   only remaining global lock is `--delay`'s launch spacer, which by
+//!   definition serializes launches.
+//!
+//! Per-task lifecycle events are still emitted synchronously by the
+//! worker that runs the job, so telemetry event order per task is
+//! identical to the pre-sharded engine.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
-use htpar_telemetry::{Event, EventBus};
-use parking_lot::Mutex;
+use crossbeam_channel::{Receiver, SendTimeoutError, Sender};
+use htpar_telemetry::{Event, EventBus, SinkSet};
+use parking_lot::{Condvar, Mutex};
 
 use crate::batch::{expand_context_replace, expand_xargs};
+use crate::dispatch::{Feed, JobSource, WorkerFeed};
 use crate::error::Result;
 use crate::executor::{ExecContext, Executor};
 use crate::gate::Gate;
-use crate::halt::{HaltDecision, Tally};
+use crate::halt::{AtomicTally, HaltDecision};
 use crate::job::{CommandLine, JobResult, JobStatus};
 use crate::joblog::JobLogWriter;
 use crate::options::{BatchMode, Options};
@@ -94,41 +112,110 @@ const RUN: u8 = 0;
 const STOP_SOON: u8 = 1;
 const STOP_NOW: u8 = 2;
 
+/// How long the stream feeder waits on a full channel before re-checking
+/// the halt flag (so a halted run cannot strand it on backpressure).
+const FEEDER_POLL: Duration = Duration::from_millis(50);
+
+/// Completions a worker buffers locally before handing the batch to the
+/// collector; amortizes the per-slot buffer lock across fast tasks.
+const DELIVER_BATCH: usize = 64;
+
+/// Jobs slower than this are handed over immediately rather than
+/// batched, so progress consumers and the joblog stay current for
+/// human-scale workloads.
+const PROMPT_DELIVERY: Duration = Duration::from_micros(500);
+
+/// Collector backpressure threshold for `jobs` slots: when this many
+/// completions are buffered awaiting the collector, workers park until
+/// it catches up. Without the bound, `jobs` producers starve the single
+/// collector on a saturated machine and the buffered results grow
+/// without limit — unbounded memory and a working set that falls out of
+/// cache.
+fn backlog_limit(jobs: usize) -> usize {
+    (jobs * DELIVER_BATCH * 2).max(1024)
+}
+
 /// Callback invoked per finished job.
 pub type ResultCallback = Arc<dyn Fn(&JobResult) + Send + Sync>;
 /// The engine's input stream.
 pub type JobStream = Box<dyn Iterator<Item = JobInput> + Send>;
+
+/// Retry backoff schedule: `base` doubled per attempt (attempt 0 waits
+/// `base`, attempt 1 waits `2*base`, ...), with the factor capped at
+/// 2^10 so long retry chains cannot overflow the duration.
+pub fn retry_backoff(base: Duration, attempt: u32) -> Duration {
+    base * (1u32 << attempt.min(10))
+}
+
+/// One finished (or skipped) job on its way to the collector. `log`
+/// distinguishes executed jobs (joblog + `--results` rows) from
+/// skipped/dry-run records, which are reported but never logged.
+struct CompletionMsg {
+    result: JobResult,
+    log: bool,
+}
 
 /// Everything shared between worker threads for one run.
 struct Shared {
     options: Options,
     template: Template,
     executor: Arc<dyn Executor>,
-    input: Mutex<JobStream>,
-    results: Mutex<Vec<JobResult>>,
-    reorder: Mutex<ReorderBuffer>,
+    source: JobSource,
     on_result: Option<ResultCallback>,
-    joblog: Option<Mutex<JobLogWriter>>,
     skip: HashSet<u64>,
     gate: Option<Arc<dyn Gate>>,
-    tally: Mutex<Tally>,
+    tally: AtomicTally,
     halt_state: AtomicU8,
     last_launch: Mutex<Option<Instant>>,
-    launches: Mutex<u64>,
-    bus: Option<Arc<EventBus>>,
+    launches: AtomicU64,
+    /// Snapshot of the telemetry bus's sinks, taken once at run start so
+    /// per-event fan-out is lock-free. `None` when the run is unobserved.
+    sinks: Option<SinkSet>,
     /// Slots currently executing a job (for occupancy telemetry).
     busy: AtomicUsize,
+    /// Per-slot completion buffers, drained by the collector thread.
+    /// Each is written by exactly one worker, so the lock is uncontended
+    /// except against the collector's drain.
+    slot_buffers: Vec<Mutex<Vec<CompletionMsg>>>,
+    /// Completion records buffered but not yet drained.
+    backlog: AtomicUsize,
+    /// Backpressure: workers park here when `backlog` exceeds
+    /// `backlog_limit`; the collector notifies after each drain.
+    backlog_limit: usize,
+    drain_mutex: Mutex<()>,
+    drain_cv: Condvar,
+    /// Wall-clock/monotonic anchor pair: per-job `started_at` stamps are
+    /// derived as `run_sys + (now - run_inst)`, saving a `SystemTime`
+    /// syscall per task.
+    run_sys: SystemTime,
+    run_inst: Instant,
 }
 
 impl Shared {
     fn emit(&self, event: Event) {
-        if let Some(bus) = &self.bus {
-            bus.emit(event);
+        if let Some(sinks) = &self.sinks {
+            sinks.emit(event);
         }
     }
 
-    fn emit_occupancy(&self, delta: isize) {
-        let Some(bus) = &self.bus else { return };
+    /// Emit with a stamp the caller already computed (see [`Shared::at`]),
+    /// so a task's lifecycle events share one clock read.
+    fn emit_at(&self, at: Duration, event: Event) {
+        if let Some(sinks) = &self.sinks {
+            sinks.emit_at(at, event);
+        }
+    }
+
+    /// Bus-relative stamp for a clock read the worker already holds;
+    /// zero (never read by anyone) when the run is unobserved.
+    fn at(&self, clock: Instant) -> Duration {
+        self.sinks
+            .as_ref()
+            .map_or(Duration::ZERO, |sinks| sinks.stamp(clock))
+    }
+
+    fn emit_occupancy_at(&self, at: Duration, delta: isize) {
+        let Some(sinks) = &self.sinks else { return };
         let busy = if delta >= 0 {
             self.busy.fetch_add(delta as usize, Ordering::SeqCst) + delta as usize
         } else {
@@ -136,10 +223,23 @@ impl Shared {
                 .fetch_sub((-delta) as usize, Ordering::SeqCst)
                 .saturating_sub((-delta) as usize)
         };
-        bus.emit(Event::SlotOccupancy {
-            busy,
-            total: self.options.jobs,
-        });
+        sinks.emit_at(
+            at,
+            Event::SlotOccupancy {
+                busy,
+                total: self.options.jobs,
+            },
+        );
+    }
+
+    fn emit_occupancy(&self, delta: isize) {
+        let Some(sinks) = &self.sinks else { return };
+        self.emit_occupancy_at(sinks.now(), delta);
+    }
+
+    /// Wall-clock stamp for a monotonic instant within this run.
+    fn stamp(&self, at: Instant) -> SystemTime {
+        self.run_sys + at.saturating_duration_since(self.run_inst)
     }
 }
 
@@ -168,40 +268,91 @@ impl Engine {
         let jobs = self.options.jobs;
 
         let joblog = match &self.options.joblog {
-            Some(path) => Some(Mutex::new(JobLogWriter::open(path)?)),
+            Some(path) => Some(JobLogWriter::open(path)?),
             None => None,
+        };
+
+        // Exact-size inputs (argument lists, --pipe blocks) are
+        // partitioned up front for chunked hand-out; everything else
+        // (follow queues, unbounded generators) streams through a
+        // bounded channel pumped by a feeder thread.
+        let (lo, hi) = input.size_hint();
+        let (source, stream) = if hi == Some(lo) {
+            let queue = crate::dispatch::ChunkQueue::from_iter(input, lo, jobs);
+            (JobSource::Preloaded(queue), None)
+        } else {
+            let (feed_tx, feed_rx) = crossbeam_channel::bounded((2 * jobs).max(4));
+            (JobSource::streaming(feed_rx), Some((feed_tx, input)))
         };
 
         let shared = Arc::new(Shared {
             options: self.options,
             template: self.template,
             executor: self.executor,
-            input: Mutex::new(input),
-            results: Mutex::new(Vec::new()),
-            reorder: Mutex::new(ReorderBuffer::new()),
+            source,
             on_result: self.on_result,
-            joblog,
             skip: self.skip,
             gate: self.gate,
-            tally: Mutex::new(Tally::default()),
+            tally: AtomicTally::default(),
             halt_state: AtomicU8::new(RUN),
             last_launch: Mutex::new(None),
-            launches: Mutex::new(0),
-            bus: self.bus,
+            launches: AtomicU64::new(0),
+            sinks: self
+                .bus
+                .as_ref()
+                .map(|bus| bus.sink_set())
+                .filter(|sinks| !sinks.is_empty()),
             busy: AtomicUsize::new(0),
+            slot_buffers: (0..jobs).map(|_| Mutex::new(Vec::new())).collect(),
+            backlog: AtomicUsize::new(0),
+            backlog_limit: backlog_limit(jobs),
+            drain_mutex: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            run_sys: SystemTime::now(),
+            run_inst: Instant::now(),
         });
 
+        let (wake_tx, wake_rx) = crossbeam_channel::unbounded::<usize>();
+        // With no completion-side observers (result callback, joblog,
+        // `--results` directories, telemetry bus), nothing consumes
+        // completions mid-run: workers accumulate results locally and the
+        // collector thread is not spawned at all, so the hot path has
+        // zero cross-thread completion traffic.
+        let direct = shared.on_result.is_none()
+            && shared.sinks.is_none()
+            && joblog.is_none()
+            && shared.options.results_dir.is_none();
+        let mut results = Vec::new();
         std::thread::scope(|scope| {
-            for slot in 1..=jobs {
+            let collector = (!direct).then(|| {
                 let shared = Arc::clone(&shared);
-                scope.spawn(move || worker(slot, &shared));
+                scope.spawn(move || collect(&shared, wake_rx, joblog))
+            });
+            if let Some((feed_tx, input)) = stream {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || feed_stream(input, feed_tx, &shared));
+            }
+            let workers: Vec<_> = (1..=jobs)
+                .map(|slot| {
+                    let shared = Arc::clone(&shared);
+                    let wake = wake_tx.clone();
+                    scope.spawn(move || worker(slot, &shared, &wake, direct))
+                })
+                .collect();
+            // Workers hold the remaining wake senders; when the last one
+            // exits, the collector sees the disconnect and finishes.
+            drop(wake_tx);
+            for handle in workers {
+                results.extend(handle.join().expect("worker thread panicked"));
+            }
+            if let Some(collector) = collector {
+                results = collector.join().expect("collector thread panicked");
             }
         });
 
         let wall = started.elapsed();
         let shared =
             Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all workers joined by scope"));
-        let mut results = shared.results.into_inner();
         if shared.options.keep_order {
             results.sort_by_key(|r| r.seq);
         }
@@ -238,96 +389,199 @@ impl Engine {
     }
 }
 
-fn worker(slot: usize, shared: &Shared) {
+/// Pump a streaming input into the bounded feed channel, re-checking the
+/// halt flag whenever the channel stays full so a halted run never
+/// strands this thread on backpressure.
+fn feed_stream(input: JobStream, tx: Sender<JobInput>, shared: &Shared) {
+    for job in input {
+        let mut item = job;
+        loop {
+            if shared.halt_state.load(Ordering::SeqCst) != RUN {
+                return;
+            }
+            match tx.send_timeout(item, FEEDER_POLL) {
+                Ok(()) => break,
+                Err(SendTimeoutError::Timeout(back)) => item = back,
+                Err(SendTimeoutError::Disconnected(_)) => return,
+            }
+        }
+    }
+}
+
+/// One slot's dispatch loop. Returns the results accumulated locally in
+/// direct mode (see [`Engine::run`]); with a collector the return is
+/// empty and completions flow through [`flush_pending`] instead.
+fn worker(slot: usize, shared: &Shared, wake: &Sender<usize>, direct: bool) -> Vec<JobResult> {
+    let mut feed = WorkerFeed::new(&shared.source);
+    let halt_never = shared.options.halt.is_never();
+    let check_skip = !shared.skip.is_empty();
+    let needs_argv = shared.executor.needs_argv();
+    let slow_path = shared.gate.is_some() || shared.options.delay.is_some();
+    let mut pending: Vec<CompletionMsg> = Vec::new();
+    let mut local: Vec<JobResult> = if direct {
+        let per_slot = shared.source.len_hint().unwrap_or(0) / shared.options.jobs.max(1);
+        Vec::with_capacity(per_slot + 16)
+    } else {
+        Vec::new()
+    };
     loop {
         if shared.halt_state.load(Ordering::SeqCst) != RUN {
-            return;
+            break;
         }
-        let next = shared.input.lock().next();
-        let Some(job) = next else { return };
-        shared.emit(Event::Queued { seq: job.seq });
+        // Non-blocking pull first: if the source has nothing ready yet
+        // (streaming feeder lagging), hand off buffered completions
+        // before parking on the channel.
+        let job = match feed.try_next() {
+            Feed::Job(job) => job,
+            Feed::Done => break,
+            Feed::Pending => {
+                flush_pending(shared, wake, slot, &mut pending);
+                match feed.next() {
+                    Some(job) => job,
+                    None => break,
+                }
+            }
+        };
+        let JobInput { seq, args, stdin } = job;
+        // One clock read covers the queued/slot-acquired/spawned stamps,
+        // `started_at`, and the runtime base; the completion stamp is
+        // derived from it plus the measured runtime. With a gate or
+        // launch spacer configured it is re-read after the blocking
+        // section so spawn stamps exclude the wait.
+        let mut task_clock = Instant::now();
+        let mut at = shared.at(task_clock);
+        shared.emit_at(at, Event::Queued { seq });
 
-        if shared.skip.contains(&job.seq) {
-            let rendered = render(shared, &job, slot).0;
-            record(shared, JobResult::skipped(job.seq, job.args, rendered));
+        if check_skip && shared.skip.contains(&seq) {
+            let rendered = render(shared, seq, &args, slot, false).0;
+            let result = JobResult::skipped(seq, args, rendered);
+            deliver(
+                shared,
+                wake,
+                slot,
+                direct,
+                &mut pending,
+                &mut local,
+                result,
+                false,
+                false,
+            );
             continue;
         }
 
-        shared.emit(Event::SlotAcquired { seq: job.seq, slot });
-        shared.emit_occupancy(1);
+        shared.emit_at(at, Event::SlotAcquired { seq, slot });
+        shared.emit_occupancy_at(at, 1);
 
+        if slow_path {
+            // About to potentially block in the gate or the launch
+            // spacer: completions must not sit in the local batch.
+            flush_pending(shared, wake, slot, &mut pending);
+        }
         if let Some(gate) = &shared.gate {
             // Hold the launch until the gate permits, still honoring a
             // concurrent halt.
+            let mut halted = false;
             while !gate.permit() {
                 if shared.halt_state.load(Ordering::SeqCst) != RUN {
-                    shared.emit_occupancy(-1);
-                    record(shared, JobResult::skipped(job.seq, job.args, String::new()));
-                    return;
+                    halted = true;
+                    break;
                 }
                 std::thread::sleep(gate.backoff());
             }
+            if halted {
+                shared.emit_occupancy(-1);
+                let result = JobResult::skipped(seq, args, String::new());
+                deliver(
+                    shared,
+                    wake,
+                    slot,
+                    direct,
+                    &mut pending,
+                    &mut local,
+                    result,
+                    false,
+                    false,
+                );
+                break;
+            }
         }
         apply_delay(shared);
-        *shared.launches.lock() += 1;
-        shared.emit(Event::Spawned { seq: job.seq, slot });
+        if slow_path {
+            task_clock = Instant::now();
+            at = shared.at(task_clock);
+        }
+        shared.launches.fetch_add(1, Ordering::Relaxed);
+        shared.emit_at(at, Event::Spawned { seq, slot });
 
-        let (rendered, argv) = render(shared, &job, slot);
-        let mut cmd = CommandLine::new(job.seq, slot, job.args.clone(), rendered, argv, Vec::new());
-        if let Some(block) = job.stdin.clone() {
+        let (rendered, argv) = render(shared, seq, &args, slot, needs_argv);
+        let mut cmd = CommandLine::new(seq, slot, args, rendered, argv, Vec::new());
+        if let Some(block) = stdin {
             cmd = cmd.with_stdin(block);
         }
 
         if shared.options.dry_run {
+            let stdout = format!("{}\n", cmd.rendered());
+            let (args, command) = cmd.into_result_parts();
             let result = JobResult {
-                seq: job.seq,
+                seq,
                 slot,
-                args: job.args,
-                command: cmd.rendered().to_string(),
+                args,
+                command,
                 status: JobStatus::Success,
-                stdout: format!("{}\n", cmd.rendered()),
+                stdout,
                 stderr: String::new(),
-                started_at: SystemTime::now(),
+                started_at: shared.stamp(task_clock),
                 runtime: Duration::ZERO,
                 tries: 0,
             };
-            shared.emit(Event::Completed {
-                seq: result.seq,
-                exit: 0,
-                runtime: Duration::ZERO,
-            });
-            shared.emit_occupancy(-1);
-            record(shared, result);
+            shared.emit_at(
+                at,
+                Event::Completed {
+                    seq,
+                    exit: 0,
+                    runtime: Duration::ZERO,
+                },
+            );
+            shared.emit_occupancy_at(at, -1);
+            deliver(
+                shared,
+                wake,
+                slot,
+                direct,
+                &mut pending,
+                &mut local,
+                result,
+                false,
+                false,
+            );
             continue;
         }
 
         let ctx = ExecContext {
             timeout: shared.options.timeout,
         };
-        let started_at = SystemTime::now();
-        let attempt_clock = Instant::now();
+        let started_at = shared.stamp(task_clock);
         let mut tries = 0u32;
         let mut out = shared.executor.execute(&cmd, &ctx);
         while out.status.is_failure() && tries < shared.options.retries {
             if let Some(base) = shared.options.retry_delay {
-                // Exponential backoff, capped at 2^10 to avoid overflow.
-                let factor = 1u32 << tries.min(10);
-                std::thread::sleep(base * factor);
+                std::thread::sleep(retry_backoff(base, tries));
             }
             tries += 1;
             shared.emit(Event::Retried {
-                seq: job.seq,
+                seq,
                 attempt: tries,
             });
             out = shared.executor.execute(&cmd, &ctx);
         }
-        let runtime = attempt_clock.elapsed();
+        let runtime = task_clock.elapsed();
 
+        let (args, command) = cmd.into_result_parts();
         let result = JobResult {
-            seq: job.seq,
+            seq,
             slot,
-            args: job.args,
-            command: cmd.rendered().to_string(),
+            args,
+            command,
             status: out.status,
             stdout: out.stdout,
             stderr: out.stderr,
@@ -336,85 +590,264 @@ fn worker(slot: usize, shared: &Shared) {
             tries,
         };
 
-        if let Some(log) = &shared.joblog {
-            // Joblog write failures must not take down the run; the log is
-            // advisory. GNU Parallel behaves the same way.
-            let _ = log.lock().record(&result);
-        }
-        if let Some(dir) = &shared.options.results_dir {
-            // --results: one directory per sequence number with the job's
-            // streams and exit status; write failures are advisory.
-            let job_dir = dir.join(result.seq.to_string());
-            let _ = std::fs::create_dir_all(&job_dir)
-                .and_then(|_| std::fs::write(job_dir.join("stdout"), &result.stdout))
-                .and_then(|_| std::fs::write(job_dir.join("stderr"), &result.stderr))
-                .and_then(|_| {
-                    std::fs::write(
-                        job_dir.join("exitval"),
-                        format!("{}\n", result.status.exitval()),
-                    )
-                });
-        }
-
-        let decision = {
-            let mut tally = shared.tally.lock();
-            tally.record(&result.status);
-            shared.options.halt.decide(&tally)
-        };
-        match decision {
-            HaltDecision::Continue => {}
-            HaltDecision::StopSoon => {
-                let _ = shared.halt_state.compare_exchange(
-                    RUN,
-                    STOP_SOON,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                );
-            }
-            HaltDecision::StopNow => {
-                shared.halt_state.store(STOP_NOW, Ordering::SeqCst);
+        // Halt bookkeeping stays on the worker (not the collector) so a
+        // `--halt` threshold stops dispatch before the *next* pull, but
+        // the tally is skipped entirely for the default never-halt
+        // policy.
+        if !halt_never {
+            let tally = shared.tally.record(&result.status);
+            match shared.options.halt.decide(&tally) {
+                HaltDecision::Continue => {}
+                HaltDecision::StopSoon => {
+                    let _ = shared.halt_state.compare_exchange(
+                        RUN,
+                        STOP_SOON,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                }
+                HaltDecision::StopNow => {
+                    shared.halt_state.store(STOP_NOW, Ordering::SeqCst);
+                }
             }
         }
 
+        let done_at = at + runtime;
         if result.status.is_failure() {
-            shared.emit(Event::Failed {
-                seq: result.seq,
-                exit: result.status.exitval(),
-            });
+            shared.emit_at(
+                done_at,
+                Event::Failed {
+                    seq: result.seq,
+                    exit: result.status.exitval(),
+                },
+            );
         } else {
-            shared.emit(Event::Completed {
-                seq: result.seq,
-                exit: result.status.exitval(),
-                runtime: result.runtime,
-            });
+            shared.emit_at(
+                done_at,
+                Event::Completed {
+                    seq: result.seq,
+                    exit: result.status.exitval(),
+                    runtime: result.runtime,
+                },
+            );
         }
-        shared.emit_occupancy(-1);
+        shared.emit_occupancy_at(done_at, -1);
 
-        record(shared, result);
+        let prompt = runtime >= PROMPT_DELIVERY;
+        deliver(
+            shared,
+            wake,
+            slot,
+            direct,
+            &mut pending,
+            &mut local,
+            result,
+            true,
+            prompt,
+        );
+    }
+    flush_pending(shared, wake, slot, &mut pending);
+    local
+}
+
+/// Route one finished job to wherever this run's completions go: the
+/// worker-local results vector in direct mode, or the batched collector
+/// hand-off otherwise (flushed when the batch fills or the job ran long
+/// enough that humans are watching the joblog).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn deliver(
+    shared: &Shared,
+    wake: &Sender<usize>,
+    slot: usize,
+    direct: bool,
+    pending: &mut Vec<CompletionMsg>,
+    local: &mut Vec<JobResult>,
+    result: JobResult,
+    log: bool,
+    prompt: bool,
+) {
+    if direct {
+        local.push(result);
+        return;
+    }
+    pending.push(CompletionMsg { result, log });
+    if prompt || pending.len() >= DELIVER_BATCH {
+        flush_pending(shared, wake, slot, pending);
     }
 }
 
-fn render(shared: &Shared, job: &JobInput, slot: usize) -> (String, Vec<String>) {
+/// Hand a worker's batch of finished jobs to the collector: append onto
+/// this slot's buffer (single-producer, so the lock is uncontended
+/// except against a drain) and wake the collector only on the
+/// empty→nonempty transition.
+fn flush_pending(
+    shared: &Shared,
+    wake: &Sender<usize>,
+    slot: usize,
+    pending: &mut Vec<CompletionMsg>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let idx = slot - 1;
+    let n = pending.len();
+    let was_empty = {
+        let mut buf = shared.slot_buffers[idx].lock();
+        let was_empty = buf.is_empty();
+        buf.append(pending);
+        was_empty
+    };
+    shared.backlog.fetch_add(n, Ordering::Relaxed);
+    if was_empty {
+        // A send can only fail after the collector exited, which only
+        // happens after every worker (and thus this sender) is gone.
+        let _ = wake.send(idx);
+    }
+    // Backpressure: park until the collector works the backlog down.
+    // Every buffered record is reachable by the collector (each
+    // nonempty buffer has a wake in flight), so this always terminates.
+    if shared.backlog.load(Ordering::Relaxed) >= shared.backlog_limit {
+        let mut guard = shared.drain_mutex.lock();
+        while shared.backlog.load(Ordering::Relaxed) >= shared.backlog_limit {
+            shared.drain_cv.wait(&mut guard);
+        }
+    }
+}
+
+/// The collector thread: drains per-slot completion buffers into the
+/// results vector, `--keep-order` reorder buffer, joblog, and `--results`
+/// directories. Owning all of that state on one thread removes every
+/// completion-side lock from the workers' hot path.
+fn collect(shared: &Shared, wake: Receiver<usize>, joblog: Option<JobLogWriter>) -> Vec<JobResult> {
+    let mut st = CollectorState {
+        // Pre-size for preloaded inputs: the results vector holds one
+        // entry per job, and growth reallocations of a 100k-element
+        // vector are measurable on the collector's critical path.
+        results: Vec::with_capacity(shared.source.len_hint().unwrap_or(0)),
+        reorder: ReorderBuffer::new(),
+        joblog,
+        last_backlog: 0,
+    };
+    while let Ok(idx) = wake.recv() {
+        drain_slot(shared, idx, &mut st);
+    }
+    // All workers are gone; sweep any buffers whose wake raced the
+    // disconnect.
+    for idx in 0..shared.slot_buffers.len() {
+        drain_slot(shared, idx, &mut st);
+    }
+    st.results
+}
+
+struct CollectorState {
+    results: Vec<JobResult>,
+    reorder: ReorderBuffer,
+    joblog: Option<JobLogWriter>,
+    last_backlog: usize,
+}
+
+fn drain_slot(shared: &Shared, idx: usize, st: &mut CollectorState) {
+    let msgs = std::mem::take(&mut *shared.slot_buffers[idx].lock());
+    if msgs.is_empty() {
+        return;
+    }
+    let before = shared.backlog.fetch_sub(msgs.len(), Ordering::Relaxed);
+    if before >= shared.backlog_limit {
+        // Workers may be parked on the backpressure condvar; taking the
+        // mutex before notifying closes the check-then-wait race.
+        let _guard = shared.drain_mutex.lock();
+        shared.drain_cv.notify_all();
+    }
+    let mut logged = false;
+    for msg in msgs {
+        let result = msg.result;
+        if msg.log {
+            if let Some(log) = &mut st.joblog {
+                // Joblog write failures must not take down the run; the
+                // log is advisory. GNU Parallel behaves the same way.
+                let _ = log.record(&result);
+                logged = true;
+            }
+            if let Some(dir) = &shared.options.results_dir {
+                // --results: one directory per sequence number with the
+                // job's streams and exit status; write failures are
+                // advisory.
+                let job_dir = dir.join(result.seq.to_string());
+                let _ = std::fs::create_dir_all(&job_dir)
+                    .and_then(|_| std::fs::write(job_dir.join("stdout"), &result.stdout))
+                    .and_then(|_| std::fs::write(job_dir.join("stderr"), &result.stderr))
+                    .and_then(|_| {
+                        std::fs::write(
+                            job_dir.join("exitval"),
+                            format!("{}\n", result.status.exitval()),
+                        )
+                    });
+            }
+        }
+        if let Some(cb) = &shared.on_result {
+            if shared.options.keep_order {
+                let ready = st.reorder.push(result.clone());
+                for r in &ready {
+                    cb(r);
+                }
+            } else {
+                cb(&result);
+            }
+        }
+        st.results.push(result);
+    }
+    if logged {
+        // Flush per drained batch, not per row: a concurrent resume
+        // reader (kill -9 mid-run) sees every completed job without a
+        // write syscall per task.
+        if let Some(log) = &mut st.joblog {
+            let _ = log.flush();
+        }
+    }
+    if shared.sinks.is_some() {
+        let pending = shared.backlog.load(Ordering::Relaxed);
+        if pending != st.last_backlog {
+            st.last_backlog = pending;
+            shared.emit(Event::CollectorBacklog { pending });
+        }
+    }
+}
+
+/// Render the shell form of a job, plus the argv form when the executor
+/// will read it (`needs_argv` — skipping it saves a per-task allocation).
+fn render(
+    shared: &Shared,
+    seq: u64,
+    args: &[String],
+    slot: usize,
+    needs_argv: bool,
+) -> (String, Vec<String>) {
+    let split = |rendered: &str| -> Vec<String> {
+        if needs_argv {
+            rendered.split_whitespace().map(String::from).collect()
+        } else {
+            Vec::new()
+        }
+    };
     match shared.options.batch {
         BatchMode::Single => {
-            let ctx = ExpandContext {
-                args: &job.args,
-                seq: job.seq,
-                slot,
+            let ctx = ExpandContext { args, seq, slot };
+            let argv = if needs_argv {
+                shared.template.expand_argv(&ctx)
+            } else {
+                Vec::new()
             };
-            (
-                shared.template.expand(&ctx),
-                shared.template.expand_argv(&ctx),
-            )
+            (shared.template.expand(&ctx), argv)
         }
         BatchMode::Xargs => {
-            let rendered = expand_xargs(&shared.template, &job.args, job.seq, slot);
-            let argv = rendered.split_whitespace().map(String::from).collect();
+            let rendered = expand_xargs(&shared.template, args, seq, slot);
+            let argv = split(&rendered);
             (rendered, argv)
         }
         BatchMode::ContextReplace => {
-            let rendered = expand_context_replace(&shared.template, &job.args, job.seq, slot);
-            let argv = rendered.split_whitespace().map(String::from).collect();
+            let rendered = expand_context_replace(&shared.template, args, seq, slot);
+            let argv = split(&rendered);
             (rendered, argv)
         }
     }
@@ -434,20 +867,6 @@ fn apply_delay(shared: &Shared) {
         }
     }
     *last = Some(Instant::now());
-}
-
-fn record(shared: &Shared, result: JobResult) {
-    if let Some(cb) = &shared.on_result {
-        if shared.options.keep_order {
-            let ready = shared.reorder.lock().push(result.clone());
-            for r in &ready {
-                cb(r);
-            }
-        } else {
-            cb(&result);
-        }
-    }
-    shared.results.lock().push(result);
 }
 
 #[cfg(test)]
@@ -616,6 +1035,20 @@ mod tests {
         assert_eq!(report.failed, 1);
         // Backoffs: 10 + 20 + 40 = 70 ms minimum.
         assert!(started.elapsed() >= Duration::from_millis(70));
+    }
+
+    #[test]
+    fn retry_backoff_schedule_doubles_then_caps() {
+        let base = Duration::from_millis(10);
+        // The documented schedule: attempt k waits base * 2^k ...
+        assert_eq!(retry_backoff(base, 0), Duration::from_millis(10));
+        assert_eq!(retry_backoff(base, 1), Duration::from_millis(20));
+        assert_eq!(retry_backoff(base, 2), Duration::from_millis(40));
+        assert_eq!(retry_backoff(base, 3), Duration::from_millis(80));
+        // ... until the factor caps at 2^10.
+        assert_eq!(retry_backoff(base, 10), Duration::from_millis(10 * 1024));
+        assert_eq!(retry_backoff(base, 11), Duration::from_millis(10 * 1024));
+        assert_eq!(retry_backoff(base, 30), Duration::from_millis(10 * 1024));
     }
 
     #[test]
@@ -837,6 +1270,32 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, Event::Failed { seq: 1, exit: 3 })));
+    }
+
+    #[test]
+    fn collector_backlog_gauge_ends_drained() {
+        use htpar_telemetry::MetricsRegistry;
+        let bus = EventBus::shared();
+        let metrics = MetricsRegistry::shared();
+        bus.attach(metrics.clone());
+        let mut eng = engine(
+            Options {
+                jobs: 8,
+                ..Options::default()
+            },
+            FnExecutor::noop(),
+        );
+        eng.bus = Some(Arc::clone(&bus));
+        let report = eng.run(inputs(500)).unwrap();
+        assert_eq!(report.succeeded, 500);
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.collector_backlog, 0,
+            "collector drained everything by run end"
+        );
+        // The run completed, so every buffered record was drained even if
+        // a backlog was observed transiently.
+        assert!(snap.collector_backlog_peak <= 500);
     }
 
     #[test]

@@ -70,6 +70,66 @@ impl EventBus {
             sink.record(at, &event);
         }
     }
+
+    /// Snapshot the current sink list for a hot emitter (see [`SinkSet`]).
+    pub fn sink_set(&self) -> SinkSet {
+        let sinks = self.sinks.read().expect("sink list poisoned");
+        SinkSet {
+            origin: self.origin,
+            sinks: sinks.clone().into(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a bus's sink list, for emitters with a
+/// hot path: fan-out walks a private slice with no lock at all, and the
+/// emitter can supply its own stamps via [`SinkSet::emit_at`] to reuse a
+/// clock read it already paid for. Stamps share the bus's origin, so
+/// events emitted through a snapshot and through [`EventBus::emit`]
+/// land on one timeline. Sinks attached after the snapshot was taken
+/// are not seen — take the snapshot after setup (the engine does, at
+/// the top of each run).
+#[derive(Clone)]
+pub struct SinkSet {
+    origin: Instant,
+    sinks: Arc<[Arc<dyn Sink>]>,
+}
+
+impl SinkSet {
+    /// True when the snapshot holds no sinks (emits are then no-ops).
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Bus-relative stamp for "now" (same origin as [`EventBus::now`]).
+    pub fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+
+    /// Bus-relative stamp for an instant the caller already holds.
+    pub fn stamp(&self, at: Instant) -> Duration {
+        at.saturating_duration_since(self.origin)
+    }
+
+    /// Broadcast, stamping with a fresh clock read.
+    pub fn emit(&self, event: Event) {
+        self.emit_at(self.origin.elapsed(), event);
+    }
+
+    /// Broadcast with a caller-supplied stamp.
+    pub fn emit_at(&self, at: Duration, event: Event) {
+        for sink in self.sinks.iter() {
+            sink.record(at, &event);
+        }
+    }
+}
+
+impl std::fmt::Debug for SinkSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkSet")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
 }
 
 impl Default for EventBus {

@@ -53,6 +53,9 @@ pub enum Event {
     SlotOccupancy { busy: usize, total: usize },
     /// Pending depth of the ingest queue after a push or pop.
     QueueDepth { depth: usize },
+    /// Completion records buffered in per-slot buffers, not yet drained
+    /// by the engine's collector thread (emitted after each drain batch).
+    CollectorBacklog { pending: usize },
 
     // -- DES milestones -------------------------------------------------
     /// The simulator fired a scheduled event at virtual time `sim_time`.
@@ -80,6 +83,7 @@ impl Event {
             Event::Failed { .. } => "failed",
             Event::SlotOccupancy { .. } => "slot_occupancy",
             Event::QueueDepth { .. } => "queue_depth",
+            Event::CollectorBacklog { .. } => "collector_backlog",
             Event::SimEventFired { .. } => "sim_event_fired",
             Event::SimEventCancelled { .. } => "sim_event_cancelled",
             Event::NodeUp { .. } => "node_up",
@@ -115,6 +119,7 @@ impl Event {
             Event::Failed { seq, exit } => format!("\"seq\":{seq},\"exit\":{exit}"),
             Event::SlotOccupancy { busy, total } => format!("\"busy\":{busy},\"total\":{total}"),
             Event::QueueDepth { depth } => format!("\"depth\":{depth}"),
+            Event::CollectorBacklog { pending } => format!("\"pending\":{pending}"),
             Event::SimEventFired { sim_time, count } => {
                 format!("\"sim_time\":{},\"count\":{count}", fmt_f64(*sim_time))
             }
@@ -166,6 +171,7 @@ mod tests {
             Event::Failed { seq: 1, exit: 2 },
             Event::SlotOccupancy { busy: 1, total: 4 },
             Event::QueueDepth { depth: 3 },
+            Event::CollectorBacklog { pending: 2 },
             Event::SimEventFired {
                 sim_time: 1.5,
                 count: 9,

@@ -24,7 +24,7 @@ pub mod event;
 pub mod metrics;
 pub mod sinks;
 
-pub use bus::{EventBus, Sink};
+pub use bus::{EventBus, Sink, SinkSet};
 pub use event::{Event, LaunchMethod, TimedEvent};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use sinks::{JsonlWriter, Recorder};

@@ -9,6 +9,7 @@
 //! tracks — both become views over the bus.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -72,6 +73,11 @@ pub struct MetricsSnapshot {
     pub queue_depth: usize,
     /// Latest slot occupancy seen (gauge): `(busy, total)`.
     pub slot_occupancy: (usize, usize),
+    /// Latest engine collector backlog seen (gauge): completion records
+    /// buffered but not yet drained by the collector thread, and the
+    /// high-water mark across the run.
+    pub collector_backlog: usize,
+    pub collector_backlog_peak: usize,
     /// Runtime distribution of completed tasks.
     pub runtime: HistogramSummary,
     /// Sustained launch rate over `spawned` events (see
@@ -87,27 +93,100 @@ pub struct MetricsSnapshot {
     pub launched_tasks: u64,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    counters: BTreeMap<&'static str, u64>,
-    queue_depth: usize,
-    slot_busy: usize,
-    slot_total: usize,
-    /// Bus-relative stamps of `spawned` events (launch-rate source).
-    spawn_stamps: Vec<Duration>,
-    /// Final-attempt runtimes of completed tasks, microseconds.
-    runtimes_us: Vec<u64>,
-    ok: u64,
-    failed: u64,
-    retries: u64,
-    launched_tasks: u64,
+/// Every kind string, in counter-slot order. Indexed by [`kind_slot`].
+const KINDS: [&str; 13] = [
+    "queued",
+    "slot_acquired",
+    "spawned",
+    "completed",
+    "retried",
+    "failed",
+    "slot_occupancy",
+    "queue_depth",
+    "collector_backlog",
+    "sim_event_fired",
+    "sim_event_cancelled",
+    "node_up",
+    "launch",
+];
+
+/// Counter slot for an event — a direct variant match, so the hot
+/// `record` path never does string lookups.
+fn kind_slot(event: &Event) -> usize {
+    match event {
+        Event::Queued { .. } => 0,
+        Event::SlotAcquired { .. } => 1,
+        Event::Spawned { .. } => 2,
+        Event::Completed { .. } => 3,
+        Event::Retried { .. } => 4,
+        Event::Failed { .. } => 5,
+        Event::SlotOccupancy { .. } => 6,
+        Event::QueueDepth { .. } => 7,
+        Event::CollectorBacklog { .. } => 8,
+        Event::SimEventFired { .. } => 9,
+        Event::SimEventCancelled { .. } => 10,
+        Event::NodeUp { .. } => 11,
+        Event::Launch { .. } => 12,
+    }
 }
+
+/// Sentinel for "no spawn seen yet" in the first-spawn stamp.
+const NO_SPAWN: u64 = u64::MAX;
+
+/// Shard count for the runtime sample vectors (power of two; completions
+/// land in `seq % RUNTIME_SHARDS`, so concurrent workers rarely collide
+/// on one lock).
+const RUNTIME_SHARDS: usize = 8;
 
 /// Thread-safe aggregating sink. Attach it to a bus and read
 /// [`MetricsRegistry::snapshot`] during or after the run.
-#[derive(Debug, Default)]
+///
+/// `record` is on the engine's per-task hot path (several events per
+/// task, from every worker thread), so all counters and gauges are
+/// plain atomics; the launch rate keeps only the spawn count and the
+/// first/last spawn stamps (all [`rate_over`] ever looked at) instead
+/// of the full stamp vector. The only locks guard the runtime sample
+/// shards, one taken per completed task (sharded by `seq` to keep
+/// concurrent completions off each other's lock).
+#[derive(Debug)]
 pub struct MetricsRegistry {
-    inner: Mutex<Inner>,
+    counters: [AtomicU64; KINDS.len()],
+    queue_depth: AtomicUsize,
+    slot_busy: AtomicUsize,
+    slot_total: AtomicUsize,
+    collector_backlog: AtomicUsize,
+    collector_backlog_peak: AtomicUsize,
+    spawn_count: AtomicU64,
+    spawn_first_ns: AtomicU64,
+    spawn_last_ns: AtomicU64,
+    ok: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    launched_tasks: AtomicU64,
+    /// Final-attempt runtimes of completed tasks, microseconds, sharded
+    /// by `seq` so concurrent completions rarely share a lock.
+    runtimes_us: [Mutex<Vec<u64>>; RUNTIME_SHARDS],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            queue_depth: AtomicUsize::new(0),
+            slot_busy: AtomicUsize::new(0),
+            slot_total: AtomicUsize::new(0),
+            collector_backlog: AtomicUsize::new(0),
+            collector_backlog_peak: AtomicUsize::new(0),
+            spawn_count: AtomicU64::new(0),
+            spawn_first_ns: AtomicU64::new(NO_SPAWN),
+            spawn_last_ns: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            launched_tasks: AtomicU64::new(0),
+            runtimes_us: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -121,8 +200,11 @@ impl MetricsRegistry {
 
     /// Count of events of one kind seen so far.
     pub fn counter(&self, kind: &str) -> u64 {
-        let inner = self.inner.lock().expect("metrics poisoned");
-        inner.counters.get(kind).copied().unwrap_or(0)
+        KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .map(|i| self.counters[i].load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Sustained launch rate: `spawned`-events-minus-one over the
@@ -130,75 +212,110 @@ impl MetricsRegistry {
     /// `RateMeter::rate_per_sec`, so the two agree when fed the same
     /// launches. `None` with fewer than 2 spawns or zero span.
     pub fn launch_rate_sustained(&self) -> Option<f64> {
-        let inner = self.inner.lock().expect("metrics poisoned");
-        rate_over(&inner.spawn_stamps)
+        rate_over(
+            self.spawn_count.load(Ordering::Relaxed),
+            self.spawn_first_ns.load(Ordering::Relaxed),
+            self.spawn_last_ns.load(Ordering::Relaxed),
+        )
     }
 
     /// Launches per second of bus lifetime (count over last stamp).
     pub fn launch_rate_overall(&self) -> Option<f64> {
-        let inner = self.inner.lock().expect("metrics poisoned");
-        let last = inner.spawn_stamps.iter().max()?.as_secs_f64();
+        let count = self.spawn_count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let last = self.spawn_last_ns.load(Ordering::Relaxed) as f64 / 1e9;
         if last <= 0.0 {
             return None;
         }
-        Some(inner.spawn_stamps.len() as f64 / last)
+        Some(count as f64 / last)
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics poisoned");
         MetricsSnapshot {
-            counters: inner
-                .counters
+            counters: KINDS
                 .iter()
-                .map(|(k, v)| (k.to_string(), *v))
+                .zip(self.counters.iter())
+                .filter_map(|(k, v)| {
+                    let v = v.load(Ordering::Relaxed);
+                    (v > 0).then(|| (k.to_string(), v))
+                })
                 .collect(),
-            queue_depth: inner.queue_depth,
-            slot_occupancy: (inner.slot_busy, inner.slot_total),
-            runtime: HistogramSummary::from_samples(&inner.runtimes_us),
-            launch_rate: rate_over(&inner.spawn_stamps),
-            ok: inner.ok,
-            failed: inner.failed,
-            retries: inner.retries,
-            launched_tasks: inner.launched_tasks,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            slot_occupancy: (
+                self.slot_busy.load(Ordering::Relaxed),
+                self.slot_total.load(Ordering::Relaxed),
+            ),
+            collector_backlog: self.collector_backlog.load(Ordering::Relaxed),
+            collector_backlog_peak: self.collector_backlog_peak.load(Ordering::Relaxed),
+            runtime: {
+                let mut samples = Vec::new();
+                for shard in &self.runtimes_us {
+                    samples.extend_from_slice(&shard.lock().expect("metrics poisoned"));
+                }
+                HistogramSummary::from_samples(&samples)
+            },
+            launch_rate: self.launch_rate_sustained(),
+            ok: self.ok.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            launched_tasks: self.launched_tasks.load(Ordering::Relaxed),
         }
     }
 }
 
-fn rate_over(stamps: &[Duration]) -> Option<f64> {
-    if stamps.len() < 2 {
+fn rate_over(count: u64, first_ns: u64, last_ns: u64) -> Option<f64> {
+    if count < 2 || first_ns == NO_SPAWN {
         return None;
     }
-    let first = stamps.iter().min().expect("nonempty");
-    let last = stamps.iter().max().expect("nonempty");
-    let span = (*last - *first).as_secs_f64();
+    let span = last_ns.saturating_sub(first_ns) as f64 / 1e9;
     if span <= 0.0 {
         return None;
     }
-    Some((stamps.len() - 1) as f64 / span)
+    Some((count - 1) as f64 / span)
 }
 
 impl Sink for MetricsRegistry {
     fn record(&self, at: Duration, event: &Event) {
-        let mut inner = self.inner.lock().expect("metrics poisoned");
-        *inner.counters.entry(event.kind()).or_insert(0) += 1;
+        self.counters[kind_slot(event)].fetch_add(1, Ordering::Relaxed);
         match event {
-            Event::Spawned { .. } => inner.spawn_stamps.push(at),
-            Event::Completed { exit, runtime, .. } => {
-                inner.runtimes_us.push(runtime.as_micros() as u64);
+            Event::Spawned { .. } => {
+                let ns = at.as_nanos() as u64;
+                self.spawn_count.fetch_add(1, Ordering::Relaxed);
+                self.spawn_first_ns.fetch_min(ns, Ordering::Relaxed);
+                self.spawn_last_ns.fetch_max(ns, Ordering::Relaxed);
+            }
+            Event::Completed { seq, exit, runtime } => {
+                self.runtimes_us[*seq as usize % RUNTIME_SHARDS]
+                    .lock()
+                    .expect("metrics poisoned")
+                    .push(runtime.as_micros() as u64);
                 if *exit == 0 {
-                    inner.ok += 1;
+                    self.ok.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    inner.failed += 1;
+                    self.failed.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            Event::Failed { .. } => inner.failed += 1,
-            Event::Retried { .. } => inner.retries += 1,
-            Event::QueueDepth { depth } => inner.queue_depth = *depth,
-            Event::SlotOccupancy { busy, total } => {
-                inner.slot_busy = *busy;
-                inner.slot_total = *total;
+            Event::Failed { .. } => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
             }
-            Event::Launch { tasks, .. } => inner.launched_tasks += *tasks,
+            Event::Retried { .. } => {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::QueueDepth { depth } => self.queue_depth.store(*depth, Ordering::Relaxed),
+            Event::SlotOccupancy { busy, total } => {
+                self.slot_busy.store(*busy, Ordering::Relaxed);
+                self.slot_total.store(*total, Ordering::Relaxed);
+            }
+            Event::CollectorBacklog { pending } => {
+                self.collector_backlog.store(*pending, Ordering::Relaxed);
+                self.collector_backlog_peak
+                    .fetch_max(*pending, Ordering::Relaxed);
+            }
+            Event::Launch { tasks, .. } => {
+                self.launched_tasks.fetch_add(*tasks, Ordering::Relaxed);
+            }
             _ => {}
         }
     }
@@ -255,9 +372,16 @@ mod tests {
         feed(&reg, 0, Event::QueueDepth { depth: 5 });
         feed(&reg, 1, Event::QueueDepth { depth: 2 });
         feed(&reg, 2, Event::SlotOccupancy { busy: 3, total: 8 });
+        feed(&reg, 3, Event::CollectorBacklog { pending: 7 });
+        feed(&reg, 4, Event::CollectorBacklog { pending: 1 });
         let snap = reg.snapshot();
         assert_eq!(snap.queue_depth, 2);
         assert_eq!(snap.slot_occupancy, (3, 8));
+        assert_eq!(snap.collector_backlog, 1, "gauge tracks latest");
+        assert_eq!(
+            snap.collector_backlog_peak, 7,
+            "peak is the high-water mark"
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Vendored stand-in for `crossbeam-channel`: an unbounded MPMC channel
-//! built on `Mutex` + `Condvar`, covering the subset of the API this
-//! workspace uses (`unbounded`, clonable `Sender`/`Receiver`, `send`,
-//! `recv`, `try_recv`, `recv_timeout`, disconnect semantics).
+//! Vendored stand-in for `crossbeam-channel`: an MPMC channel built on
+//! `Mutex` + `Condvar`, covering the subset of the API this workspace
+//! uses (`unbounded`, `bounded`, clonable `Sender`/`Receiver`, `send`,
+//! `send_timeout`, `recv`, `try_recv`, `recv_timeout`, disconnect
+//! semantics).
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -11,6 +12,10 @@ use std::time::{Duration, Instant};
 struct Shared<T> {
     queue: Mutex<State<T>>,
     ready: Condvar,
+    /// Signalled when a bounded channel gains free capacity.
+    space: Condvar,
+    /// `None` for unbounded channels.
+    cap: Option<usize>,
 }
 
 struct State<T> {
@@ -26,6 +31,33 @@ pub struct SendError<T>(pub T);
 impl<T> fmt::Display for SendError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout.
+    Timeout(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// Recover the item that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(item) | SendTimeoutError::Disconnected(item) => item,
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("timed out sending on a full channel"),
+            SendTimeoutError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
     }
 }
 
@@ -55,8 +87,7 @@ pub struct Receiver<T> {
     shared: Arc<Shared<T>>,
 }
 
-/// An unbounded MPMC channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         queue: Mutex::new(State {
             items: VecDeque::new(),
@@ -64,6 +95,8 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
             receivers: 1,
         }),
         ready: Condvar::new(),
+        space: Condvar::new(),
+        cap,
     });
     (
         Sender {
@@ -71,6 +104,18 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         },
         Receiver { shared },
     )
+}
+
+/// An unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// A bounded MPMC channel holding at most `cap` items; `send` blocks
+/// while the channel is full. A capacity of zero is rounded up to one
+/// (this stand-in does not implement rendezvous channels).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
 }
 
 fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
@@ -81,10 +126,52 @@ fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
 }
 
 impl<T> Sender<T> {
+    /// Send an item, blocking while a bounded channel is full.
     pub fn send(&self, item: T) -> Result<(), SendError<T>> {
         let mut state = lock(&self.shared);
         if state.receivers == 0 {
             return Err(SendError(item));
+        }
+        if let Some(cap) = self.shared.cap {
+            while state.items.len() >= cap {
+                state = match self.shared.space.wait(state) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                if state.receivers == 0 {
+                    return Err(SendError(item));
+                }
+            }
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Send an item, waiting at most `timeout` for a full bounded channel
+    /// to drain. Unbounded channels never time out.
+    pub fn send_timeout(&self, item: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock(&self.shared);
+        if state.receivers == 0 {
+            return Err(SendTimeoutError::Disconnected(item));
+        }
+        if let Some(cap) = self.shared.cap {
+            while state.items.len() >= cap {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(item));
+                }
+                let (guard, _) = match self.shared.space.wait_timeout(state, deadline - now) {
+                    Ok(r) => r,
+                    Err(p) => p.into_inner(),
+                };
+                state = guard;
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(item));
+                }
+            }
         }
         state.items.push_back(item);
         drop(state);
@@ -119,7 +206,11 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut state = lock(&self.shared);
         match state.items.pop_front() {
-            Some(item) => Ok(item),
+            Some(item) => {
+                drop(state);
+                self.shared.space.notify_one();
+                Ok(item)
+            }
             None if state.senders == 0 => Err(TryRecvError::Disconnected),
             None => Err(TryRecvError::Empty),
         }
@@ -129,6 +220,8 @@ impl<T> Receiver<T> {
         let mut state = lock(&self.shared);
         loop {
             if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
                 return Ok(item);
             }
             if state.senders == 0 {
@@ -146,6 +239,8 @@ impl<T> Receiver<T> {
         let mut state = lock(&self.shared);
         loop {
             if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
                 return Ok(item);
             }
             if state.senders == 0 {
@@ -195,7 +290,15 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        lock(&self.shared).receivers -= 1;
+        let mut state = lock(&self.shared);
+        state.receivers -= 1;
+        let last = state.receivers == 0;
+        drop(state);
+        if last {
+            // Wake senders blocked on a full bounded channel so they
+            // observe the disconnect.
+            self.shared.space.notify_all();
+        }
     }
 }
 
@@ -256,6 +359,48 @@ mod tests {
         );
         tx.send("x").unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok("x"));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(
+            tx.send_timeout(3, Duration::from_millis(5)),
+            Err(SendTimeoutError::Timeout(3))
+        );
+        let handle = std::thread::spawn(move || tx.send(3));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        handle.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_observes_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        assert_eq!(handle.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn bounded_send_timeout_disconnect() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(7, Duration::from_millis(5)),
+            Err(SendTimeoutError::Disconnected(7))
+        );
+        assert_eq!(
+            SendTimeoutError::Timeout(9).into_inner(),
+            9,
+            "into_inner recovers the item"
+        );
     }
 
     #[test]
