@@ -59,6 +59,13 @@ pub struct CliSpec {
     pub line_buffer: bool,
     /// `--progress`: print a live status line to stderr per completion.
     pub progress: bool,
+    /// `--fault-rate P`: inject a seeded failure (exit 199) into each
+    /// task attempt with probability `P ∈ [0, 1]` — the chaos knob for
+    /// exercising `--retries`/`--resume-failed` recovery paths.
+    pub fault_rate: Option<f64>,
+    /// `--fault-seed N`: seed for `--fault-rate` injection (default 0,
+    /// so campaigns are reproducible).
+    pub fault_seed: u64,
     /// `--help` / `--version` short-circuits.
     pub help: bool,
     pub version: bool,
@@ -81,6 +88,8 @@ impl Default for CliSpec {
             ssh_cmd: "ssh".to_string(),
             tagstring: None,
             progress: false,
+            fault_rate: None,
+            fault_seed: 0,
             help: false,
             version: false,
         }
@@ -120,6 +129,8 @@ usage: htpar [OPTIONS] COMMAND... [::: ARGS...]...
       --tagstring TPL   tag output with an expanded template (implies --tag)
       --line-buffer     stream output lines as they appear (interleaved)
       --progress        print live progress to stderr
+      --fault-rate P    inject seeded task failures with probability P (testing)
+      --fault-seed N    seed for --fault-rate injection (default 0)
       --help, --version";
 
 /// Parse a duration: `10` (seconds), `500ms`, `30s`, `5m`, `2h`.
@@ -359,6 +370,20 @@ pub fn parse_args(argv: &[String]) -> Result<CliSpec, String> {
             "--ssh-cmd" => {
                 it.next();
                 spec.ssh_cmd = next_value(&mut it, t)?;
+            }
+            "--fault-rate" => {
+                it.next();
+                let v = next_value(&mut it, t)?;
+                let rate: f64 = v.parse().map_err(|_| format!("bad fault rate {v:?}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("fault rate must be in [0, 1], got {v}"));
+                }
+                spec.fault_rate = Some(rate);
+            }
+            "--fault-seed" => {
+                it.next();
+                let v = next_value(&mut it, t)?;
+                spec.fault_seed = v.parse().map_err(|_| format!("bad fault seed {v:?}"))?;
             }
             _ if t.starts_with("--shuf=") => {
                 let seed = t["--shuf=".len()..]
@@ -626,6 +651,22 @@ mod tests {
     fn progress_flag() {
         assert!(parse(&["--progress", "cmd", "{}"]).unwrap().progress);
         assert!(!parse(&["cmd", "{}"]).unwrap().progress);
+    }
+
+    #[test]
+    fn fault_injection_knobs() {
+        let spec = parse(&["--fault-rate", "0.25", "--fault-seed", "42", "cmd", "{}"]).unwrap();
+        assert_eq!(spec.fault_rate, Some(0.25));
+        assert_eq!(spec.fault_seed, 42);
+        // Defaults: no injection, seed 0.
+        let spec = parse(&["cmd", "{}"]).unwrap();
+        assert_eq!(spec.fault_rate, None);
+        assert_eq!(spec.fault_seed, 0);
+        // Out-of-range and garbage rates are rejected.
+        assert!(parse(&["--fault-rate", "1.5", "cmd"]).is_err());
+        assert!(parse(&["--fault-rate", "-0.1", "cmd"]).is_err());
+        assert!(parse(&["--fault-rate", "x", "cmd"]).is_err());
+        assert!(parse(&["--fault-seed", "x", "cmd"]).is_err());
     }
 
     #[test]

@@ -69,6 +69,13 @@ where
     if let Some(min_free) = spec.memfree_bytes {
         builder = builder.gate(htpar_core::gate::MemFreeGate::new(min_free));
     }
+    // `--fault-rate`: wrap whichever executor the spec selects in a
+    // seeded chaos layer. Draws are keyed per (seq, attempt), so a
+    // given seed fails the same seqs regardless of worker interleaving
+    // — which is what makes `--joblog` + `--resume-failed` campaigns
+    // reproducible.
+    let chaos = spec.fault_rate.filter(|rate| *rate > 0.0);
+    let fault_seed = spec.fault_seed;
     let line_buffer = spec.line_buffer && spec.sshlogins.is_empty() && !spec.pipe;
     if line_buffer {
         // Stream lines straight through `emit2`; the per-job grouped
@@ -80,17 +87,44 @@ where
         } else {
             ProcessExecutor::no_shell()
         };
-        builder = builder.executor(exec_base.line_buffered(move |ev| match ev.kind {
+        let lb = exec_base.line_buffered(move |ev| match ev.kind {
             StreamKind::Stdout => e(&format!("{}\n", ev.line), ""),
             StreamKind::Stderr => e("", &format!("{}\n", ev.line)),
-        }));
+        });
+        builder = match chaos {
+            Some(rate) => builder.executor(htpar_core::chaos::ChaosExecutor::seeded_per_seq(
+                lb, rate, fault_seed,
+            )),
+            None => builder.executor(lb),
+        };
     }
     if !spec.sshlogins.is_empty() {
         let specs: Vec<&str> = spec.sshlogins.iter().map(String::as_str).collect();
         let multi = htpar_core::sshexec::multi_host_from_specs(&specs, 1, &spec.ssh_cmd)?;
         // Size the slot pool to the hosts unless -j was explicit... the
         // pool itself caps per-host concurrency either way.
-        builder = builder.jobs(multi.pool().total_slots()).executor(multi);
+        builder = builder.jobs(multi.pool().total_slots());
+        builder = match chaos {
+            Some(rate) => builder.executor(htpar_core::chaos::ChaosExecutor::seeded_per_seq(
+                multi, rate, fault_seed,
+            )),
+            None => builder.executor(multi),
+        };
+    }
+    if chaos.is_some() && !line_buffer && spec.sshlogins.is_empty() {
+        // No other branch picked an executor: wrap the default process
+        // executor the builder would otherwise construct.
+        use htpar_core::executor::ProcessExecutor;
+        let base = if use_shell {
+            ProcessExecutor::shell()
+        } else {
+            ProcessExecutor::no_shell()
+        };
+        builder = builder.executor(htpar_core::chaos::ChaosExecutor::seeded_per_seq(
+            base,
+            chaos.unwrap_or_default(),
+            fault_seed,
+        ));
     }
     if let Some(repl) = &spec.replacement {
         builder = builder.replacement(repl.clone());
@@ -354,6 +388,91 @@ mod tests {
         let (report, out) = run(&["--dry-run", "-k", "gzip", "{}", ":::", "f1"], "");
         assert!(report.all_succeeded());
         assert_eq!(out, vec!["gzip f1\n"]);
+    }
+
+    #[test]
+    fn fault_rate_one_fails_every_job_with_exit_199() {
+        let (report, _) = run(
+            &[
+                "--fault-rate",
+                "1.0",
+                "-k",
+                "true",
+                "{}",
+                ":::",
+                "1",
+                "2",
+                "3",
+            ],
+            "",
+        );
+        assert_eq!(report.failed, 3);
+        assert!(
+            report.results.iter().all(|r| r.status.exitval() == 199),
+            "all injected"
+        );
+    }
+
+    #[test]
+    fn fault_rate_zero_is_a_no_op() {
+        let (report, _) = run(
+            &["--fault-rate", "0.0", "-k", "echo", "{}", ":::", "1", "2"],
+            "",
+        );
+        assert!(report.all_succeeded());
+    }
+
+    #[test]
+    fn seeded_faults_recover_via_joblog_resume_failed() {
+        let dir = std::env::temp_dir().join(format!("htpar-cli-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("joblog.tsv");
+        let _ = std::fs::remove_file(&log);
+        let log_s = log.to_str().unwrap();
+
+        // Run 1: the same seed+rate must fail the same seqs every time.
+        let args = |extra: &[&str]| -> Vec<String> {
+            let mut v: Vec<String> = vec![
+                "--fault-rate".into(),
+                "0.5".into(),
+                "--fault-seed".into(),
+                "7".into(),
+                "--joblog".into(),
+                log_s.into(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v.extend(
+                [
+                    "-k", "true", "{}", ":::", "1", "2", "3", "4", "5", "6", "7", "8",
+                ]
+                .iter()
+                .map(|s| s.to_string()),
+            );
+            v
+        };
+        let run_argv = |argv: Vec<String>| -> RunReport {
+            let spec = parse_args(&argv).unwrap();
+            execute(spec, std::io::Cursor::new(Vec::new()), |_, _| {}).unwrap()
+        };
+        let first = run_argv(args(&[]));
+        let again = run_argv(args(&[]));
+        // Determinism across whole runs (ignoring the joblog side effect).
+        assert_eq!(first.failed, again.failed);
+        assert!(
+            first.failed > 0 && first.failed < 8,
+            "rate 0.5 mixes outcomes"
+        );
+
+        // Run 2 with --resume-failed and injection off: only the failed
+        // seqs re-run, and everything ends up succeeded.
+        let mut argv = args(&["--resume-failed"]);
+        // Drop the chaos knobs (first four tokens) for the repair run.
+        argv.drain(0..4);
+        let repair = run_argv(argv);
+        assert_eq!(repair.skipped, 8 - first.failed);
+        assert_eq!(repair.succeeded, first.failed);
+        assert_eq!(repair.failed, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,859 @@
+//! Fault injection and the failure-resilient driver.
+//!
+//! The paper's answer to "what happens when a node dies at 9,000-node
+//! scale?" is not a WMS fault-tolerance layer: the driver script shards
+//! the work list by `NR % NNODE` (listing 1) and GNU Parallel's
+//! `--joblog`/`--resume` skips whatever is already logged. This module
+//! makes that claim testable: a seeded [`FaultPlan`] injects node
+//! crashes, stragglers, and NVMe write failures as discrete events into
+//! the weak-scaling run, and a driver layer recovers by re-sharding a
+//! dead node's unfinished lines across the survivors — skipping
+//! already-logged seqs via [`htpar_core::joblog::completed_seqs`], the
+//! same machinery the real `--resume` path uses.
+//!
+//! Model notes:
+//!
+//! - The joblog lives on the shared filesystem, so rows written by a
+//!   node before it crashed survive the crash; tasks that were in
+//!   flight (or never dispatched) on the dead node are the ones
+//!   requeued. Exactly-once is verified against the joblog.
+//! - An NVMe write failure does not kill the node: the affected task
+//!   fails its stdout write and is retried in place (one
+//!   [`Event::Retried`], roughly doubled cost), which preserves the
+//!   single joblog row per seq.
+//! - A straggler node runs every task `slowdown`× slower — the
+//!   graceful-degradation case where nothing needs requeueing.
+//!
+//! The run reports recovery overhead as extra makespan over the
+//! same-seed no-fault baseline, which `htpar_wms::compare` contrasts
+//! with a simulated WMS that restarts per task through scheduler
+//! round-trips.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use htpar_core::joblog::{completed_seqs, LogEntry};
+use htpar_simkit::{stream_rng, Dist, SimTime, Simulation};
+use htpar_telemetry::{Event, EventBus, LaunchMethod};
+use rand::Rng;
+
+use crate::slurm::driver_shard;
+use crate::weak_scaling::{sample_node_plan, WeakScalingConfig};
+
+/// Salt separating fault-plan draws from the workload's own streams.
+const FAULT_STREAM_SALT: u64 = 0xFA17_0000_0000_0001;
+/// Salt for re-sampling the cost of a requeued task on its new node.
+const RECOVERY_STREAM_SALT: u64 = 0xFA17_0000_0000_0002;
+
+/// Fault-injection rates for one run. All probabilities are per node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a node crashes at a uniform time within the run.
+    pub crash_rate: f64,
+    /// Probability a node is a straggler (all tasks slowed down).
+    pub straggler_rate: f64,
+    /// Worst-case straggler slowdown factor (sampled in `1..=this`).
+    pub straggler_slowdown: f64,
+    /// Probability a node suffers one NVMe write failure mid-run.
+    pub nvme_fault_rate: f64,
+    /// Driver-side delay between a crash and the requeue of its shard
+    /// (missing-heartbeat detection window), seconds.
+    pub detect_delay_secs: f64,
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all — the control arm of a campaign.
+    pub fn none(seed: u64) -> FaultConfig {
+        FaultConfig {
+            crash_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
+            nvme_fault_rate: 0.0,
+            detect_delay_secs: 5.0,
+            seed,
+        }
+    }
+
+    /// A plausibly hostile campaign setting: node loss is rare on real
+    /// machines but must be common in a small simulated fleet for the
+    /// recovery path to be exercised every run.
+    pub fn calibrated(seed: u64) -> FaultConfig {
+        FaultConfig {
+            crash_rate: 0.15,
+            straggler_rate: 0.08,
+            straggler_slowdown: 3.0,
+            nvme_fault_rate: 0.05,
+            detect_delay_secs: 5.0,
+            seed,
+        }
+    }
+}
+
+/// The concrete faults of one run, sampled up front so injection is
+/// deterministic per `(seed, node)` and independent of event order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// `(node, crash time secs)`.
+    pub crashes: Vec<(u32, f64)>,
+    /// `(node, slowdown factor ≥ 1)`.
+    pub stragglers: Vec<(u32, f64)>,
+    /// `(node, NVMe write-failure time secs)`.
+    pub nvme_faults: Vec<(u32, f64)>,
+}
+
+impl FaultPlan {
+    /// Sample a plan for `nodes` nodes. Fault times are uniform over
+    /// `[0, horizon_secs)` (use the no-fault makespan as the horizon).
+    /// At least one node is guaranteed to survive: if every node drew a
+    /// crash, the latest-crashing one is spared so the driver always
+    /// has somewhere to requeue.
+    pub fn sample(faults: &FaultConfig, nodes: u32, horizon_secs: f64) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        for node in 0..nodes {
+            let mut rng = stream_rng(faults.seed ^ FAULT_STREAM_SALT, node as u64);
+            // Draw every value unconditionally so plans with different
+            // rates share fault times for the nodes they both afflict.
+            let (crash_p, crash_t) = (rng.gen::<f64>(), rng.gen::<f64>() * horizon_secs);
+            let (straggle_p, straggle_x) = (rng.gen::<f64>(), rng.gen::<f64>());
+            let (nvme_p, nvme_t) = (rng.gen::<f64>(), rng.gen::<f64>() * horizon_secs);
+            if crash_p < faults.crash_rate {
+                plan.crashes.push((node, crash_t));
+            }
+            if straggle_p < faults.straggler_rate {
+                let factor = 1.0 + straggle_x * (faults.straggler_slowdown - 1.0).max(0.0);
+                plan.stragglers.push((node, factor));
+            }
+            if nvme_p < faults.nvme_fault_rate {
+                plan.nvme_faults.push((node, nvme_t));
+            }
+        }
+        if plan.crashes.len() == nodes as usize && nodes > 0 {
+            let spare = plan
+                .crashes
+                .iter()
+                .enumerate()
+                .max_by(|(_, (_, a)), (_, (_, b))| a.total_cmp(b))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            plan.crashes.remove(spare);
+        }
+        plan
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.stragglers.is_empty() && self.nvme_faults.is_empty()
+    }
+}
+
+/// Result of one fault-injected weak-scaling run.
+#[derive(Debug, Clone)]
+pub struct FaultRunResult {
+    pub nodes: u32,
+    pub tasks_total: u64,
+    /// Latest node end (task or copy-back) of the faulty run, seconds.
+    pub makespan_secs: f64,
+    /// Makespan of the same-seed run with no faults injected.
+    pub baseline_makespan_secs: f64,
+    /// Completion time of every task (original or requeued), seconds.
+    pub task_completion_secs: Vec<f64>,
+    /// Nodes lost to injected crashes, in crash order.
+    pub nodes_failed: Vec<u32>,
+    /// Tasks re-sharded onto survivors by the driver.
+    pub tasks_requeued: u64,
+    /// The run's joblog — one row per completed seq, the ground truth
+    /// the exactly-once invariant is checked against.
+    pub joblog: Vec<LogEntry>,
+}
+
+impl FaultRunResult {
+    /// Extra makespan paid for the injected faults (can be slightly
+    /// negative when a slow outlier node crashes early and its shard
+    /// finishes faster on the survivors).
+    pub fn recovery_overhead_secs(&self) -> f64 {
+        self.makespan_secs - self.baseline_makespan_secs
+    }
+
+    /// The deterministic recovery invariant: every seq in
+    /// `1..=tasks_total` has exactly one successful joblog row.
+    pub fn verify_exactly_once(&self) -> std::result::Result<(), String> {
+        if self.joblog.len() as u64 != self.tasks_total {
+            return Err(format!(
+                "joblog has {} rows for {} tasks",
+                self.joblog.len(),
+                self.tasks_total
+            ));
+        }
+        let done = completed_seqs(&self.joblog);
+        if done.len() as u64 != self.tasks_total {
+            return Err(format!(
+                "joblog covers {} distinct seqs of {}",
+                done.len(),
+                self.tasks_total
+            ));
+        }
+        for entry in &self.joblog {
+            if entry.seq < 1 || entry.seq > self.tasks_total {
+                return Err(format!("seq {} out of range", entry.seq));
+            }
+            if !entry.succeeded() {
+                return Err(format!("seq {} logged as failed", entry.seq));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-node driver state inside the simulation world.
+struct NodeState {
+    /// Seqs this node is responsible for (listing-1 shard, plus any
+    /// slices requeued from dead nodes, in arrival order).
+    shard: Vec<u64>,
+    /// Task cost parallel to `shard`.
+    costs: Vec<f64>,
+    /// Next `shard` index the serial dispatcher will hand out.
+    next: usize,
+    busy: u32,
+    jobs: u32,
+    completed: u32,
+    alive: bool,
+    started: bool,
+    /// A dispatch-chain hop is pending.
+    dispatching: bool,
+    /// The dispatcher is parked waiting for a free slot.
+    stalled: bool,
+    slowdown: f64,
+    /// The next dispatched task pays an NVMe write-retry penalty.
+    nvme_pending: bool,
+    crash_at: Option<f64>,
+    /// Events to cancel if this node crashes (start, completions, and
+    /// dispatch hops; ids of already-fired events are harmless).
+    pending: Vec<htpar_simkit::EventId>,
+    inflight: Vec<u64>,
+    last_done: f64,
+    copy: f64,
+}
+
+#[derive(Default)]
+struct FaultWorld {
+    nodes: Vec<NodeState>,
+    log: Vec<LogEntry>,
+    task_completion_secs: Vec<f64>,
+    nodes_failed: Vec<u32>,
+    tasks_requeued: u64,
+}
+
+impl Default for NodeState {
+    fn default() -> NodeState {
+        NodeState {
+            shard: Vec::new(),
+            costs: Vec::new(),
+            next: 0,
+            busy: 0,
+            jobs: 1,
+            completed: 0,
+            alive: true,
+            started: false,
+            dispatching: false,
+            stalled: false,
+            slowdown: 1.0,
+            nvme_pending: false,
+            crash_at: None,
+            pending: Vec::new(),
+            inflight: Vec::new(),
+            last_done: 0.0,
+            copy: 0.0,
+        }
+    }
+}
+
+/// Shared scalars every handler needs, cheap to clone into closures.
+#[derive(Clone)]
+struct Ctx {
+    dispatch_gap: f64,
+    task_runtime: Dist,
+    /// Per-task stdout write cost on the new node (NVMe path).
+    write_secs: f64,
+    recovery_seed: u64,
+    bus: Option<Arc<EventBus>>,
+}
+
+impl Ctx {
+    fn emit(&self, event: Event) {
+        if let Some(bus) = &self.bus {
+            bus.emit(event);
+        }
+    }
+
+    /// Cost of re-running `seq` on a surviving node, deterministic per
+    /// `(seed, seq)` no matter which survivor picks it up.
+    fn recovery_cost(&self, seq: u64) -> f64 {
+        let mut rng = stream_rng(self.recovery_seed, seq);
+        self.task_runtime.sample(&mut rng) + self.write_secs
+    }
+}
+
+/// [`run_resilient`] with an optional telemetry bus: crashes emit
+/// [`Event::NodeDown`], every requeued slice emits
+/// [`Event::ShardRequeued`], NVMe retries emit [`Event::Retried`], and
+/// node startups emit [`Event::NodeUp`]/[`Event::Launch`] as in
+/// [`crate::des`]. Observation only — results are identical with and
+/// without a bus.
+pub fn run_resilient_observed(
+    config: &WeakScalingConfig,
+    faults: &FaultConfig,
+    bus: Option<Arc<EventBus>>,
+) -> FaultRunResult {
+    let baseline = crate::weak_scaling::run(config);
+    let plan = FaultPlan::sample(faults, config.nodes, baseline.makespan_secs);
+    run_with_plan_observed(
+        config,
+        &plan,
+        faults.detect_delay_secs,
+        faults.seed,
+        baseline.makespan_secs,
+        bus,
+    )
+}
+
+/// Run the weak-scaling workload under a sampled [`FaultPlan`] with the
+/// listing-1 + `--joblog --resume` recovery driver on top.
+pub fn run_resilient(config: &WeakScalingConfig, faults: &FaultConfig) -> FaultRunResult {
+    run_resilient_observed(config, faults, None)
+}
+
+/// [`run_resilient`] against an explicit, hand-built [`FaultPlan`] —
+/// the deterministic entry point for tests and comparisons that need a
+/// specific failure (e.g. "node 1 dies at t=30 s").
+pub fn run_with_plan(
+    config: &WeakScalingConfig,
+    plan: &FaultPlan,
+    detect_delay_secs: f64,
+) -> FaultRunResult {
+    let baseline = crate::weak_scaling::run(config);
+    run_with_plan_observed(
+        config,
+        plan,
+        detect_delay_secs,
+        config.seed,
+        baseline.makespan_secs,
+        None,
+    )
+}
+
+fn run_with_plan_observed(
+    config: &WeakScalingConfig,
+    plan: &FaultPlan,
+    detect_delay_secs: f64,
+    fault_seed: u64,
+    baseline_makespan_secs: f64,
+    bus: Option<Arc<EventBus>>,
+) -> FaultRunResult {
+    assert!(config.nodes >= 1, "need at least one node");
+    assert!(config.tasks_per_node >= 1 && config.jobs_per_node >= 1);
+    let tasks_total = config.nodes as u64 * config.tasks_per_node as u64;
+    let ctx = Ctx {
+        dispatch_gap: 1.0 / config.machine.launch.instance_rate(),
+        task_runtime: config.task_runtime.clone(),
+        write_secs: config
+            .machine
+            .nvme
+            .write_files_secs(1, config.stdout_bytes_per_task as f64),
+        recovery_seed: fault_seed ^ RECOVERY_STREAM_SALT,
+        bus,
+    };
+
+    let mut sim = Simulation::with_seed(FaultWorld::default(), config.seed);
+    if let Some(bus) = &ctx.bus {
+        sim.set_telemetry(Arc::clone(bus));
+    }
+
+    // The global work list is seqs 1..=tasks_total, sharded across nodes
+    // exactly as the paper's awk driver does it (listing 1).
+    let lines: Vec<u64> = (1..=tasks_total).collect();
+    let shards = driver_shard(&lines, config.nodes);
+    let crashes: std::collections::HashMap<u32, f64> = plan.crashes.iter().copied().collect();
+    let stragglers: std::collections::HashMap<u32, f64> = plan.stragglers.iter().copied().collect();
+
+    for (node, shard) in shards.into_iter().enumerate() {
+        let plan_node = sample_node_plan(config, node as u32);
+        // The shard and the plan's per-task costs are both
+        // `tasks_per_node` long when the work list divides evenly; pad
+        // with recovery-stream samples otherwise.
+        let costs: Vec<f64> = shard
+            .iter()
+            .enumerate()
+            .map(|(i, &seq)| {
+                plan_node
+                    .task_costs
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| ctx.recovery_cost(seq))
+            })
+            .collect();
+        let state = NodeState {
+            shard,
+            costs,
+            jobs: config.jobs_per_node.min(config.tasks_per_node),
+            slowdown: stragglers.get(&(node as u32)).copied().unwrap_or(1.0),
+            crash_at: crashes.get(&(node as u32)).copied(),
+            copy: plan_node.copy,
+            ..NodeState::default()
+        };
+        sim.world_mut().nodes.push(state);
+
+        let start_id = {
+            let ctx = ctx.clone();
+            sim.schedule_at(SimTime::from_secs_f64(plan_node.start), move |sim| {
+                node_start(sim, &ctx, node)
+            })
+        };
+        sim.world_mut().nodes[node].pending.push(start_id);
+
+        if let Some(&crash_t) = crashes.get(&(node as u32)) {
+            let ctx = ctx.clone();
+            sim.schedule_at(SimTime::from_secs_f64(crash_t), move |sim| {
+                node_crash(sim, &ctx, node, detect_delay_secs)
+            });
+        }
+    }
+    for &(node, t) in &plan.nvme_faults {
+        sim.schedule_at(SimTime::from_secs_f64(t), move |sim| {
+            if let Some(st) = sim.world_mut().nodes.get_mut(node as usize) {
+                if st.alive {
+                    st.nvme_pending = true;
+                }
+            }
+        });
+    }
+
+    sim.run();
+    let world = sim.into_world();
+
+    let mut makespan_secs = 0.0f64;
+    for st in &world.nodes {
+        if st.completed == 0 {
+            continue;
+        }
+        // A dead node's copy-back only counts if the crash came after it.
+        let full = st.last_done + st.copy;
+        let end = match st.crash_at {
+            Some(t) if !st.alive && t < full => st.last_done,
+            _ => full,
+        };
+        makespan_secs = makespan_secs.max(end);
+    }
+    let mut task_completion_secs = world.task_completion_secs;
+    task_completion_secs.sort_by(f64::total_cmp);
+
+    FaultRunResult {
+        nodes: config.nodes,
+        tasks_total,
+        makespan_secs,
+        baseline_makespan_secs,
+        task_completion_secs,
+        nodes_failed: world.nodes_failed,
+        tasks_requeued: world.tasks_requeued,
+        joblog: world.log,
+    }
+}
+
+fn node_start(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize) {
+    let tasks = {
+        let st = &mut sim.world_mut().nodes[node];
+        if !st.alive {
+            return;
+        }
+        st.started = true;
+        st.dispatching = true;
+        st.shard.len() as u64
+    };
+    ctx.emit(Event::NodeUp { node: node as u32 });
+    ctx.emit(Event::Launch {
+        method: LaunchMethod::Parallel,
+        tasks,
+    });
+    dispatch(sim, ctx, node);
+}
+
+/// One hop of the node's serial dispatcher: take the next shard line if
+/// a slot is free, schedule its completion, and schedule the next hop
+/// one dispatch gap later (GNU Parallel's single-instance launch rate).
+fn dispatch(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize) {
+    let now = sim.now().as_secs_f64();
+    let (seq, cost, retried) = {
+        let st = &mut sim.world_mut().nodes[node];
+        if !st.alive || !st.started {
+            st.dispatching = false;
+            return;
+        }
+        if st.next >= st.shard.len() {
+            st.dispatching = false;
+            return;
+        }
+        if st.busy >= st.jobs {
+            st.dispatching = false;
+            st.stalled = true;
+            return;
+        }
+        let i = st.next;
+        st.next += 1;
+        let seq = st.shard[i];
+        let mut cost = st.costs[i] * st.slowdown;
+        let retried = st.nvme_pending;
+        if retried {
+            // The stdout write failed; the task reruns in place before
+            // its (single) joblog row is written.
+            st.nvme_pending = false;
+            cost *= 2.0;
+        }
+        st.busy += 1;
+        st.inflight.push(seq);
+        st.dispatching = true;
+        (seq, cost, retried)
+    };
+    if retried {
+        ctx.emit(Event::Retried { seq, attempt: 1 });
+    }
+    let completion_id = {
+        let ctx2 = ctx.clone();
+        sim.schedule_in(SimTime::from_secs_f64(cost), move |sim| {
+            complete(sim, &ctx2, node, seq, now, cost)
+        })
+    };
+    let hop_id = {
+        let ctx2 = ctx.clone();
+        sim.schedule_in(SimTime::from_secs_f64(ctx.dispatch_gap), move |sim| {
+            dispatch(sim, &ctx2, node)
+        })
+    };
+    let st = &mut sim.world_mut().nodes[node];
+    st.pending.push(completion_id);
+    st.pending.push(hop_id);
+}
+
+fn complete(
+    sim: &mut Simulation<FaultWorld>,
+    ctx: &Ctx,
+    node: usize,
+    seq: u64,
+    launched_at: f64,
+    cost: f64,
+) {
+    let now = sim.now().as_secs_f64();
+    let resume_dispatch = {
+        let world = sim.world_mut();
+        let st = &mut world.nodes[node];
+        if !st.alive {
+            return; // crash cancelled us; belt and braces
+        }
+        st.busy -= 1;
+        st.completed += 1;
+        st.inflight.retain(|&s| s != seq);
+        st.last_done = st.last_done.max(now);
+        let resume = st.stalled;
+        if resume {
+            st.stalled = false;
+            st.dispatching = true;
+        }
+        world.log.push(LogEntry {
+            seq,
+            host: format!("node{node}"),
+            start: launched_at,
+            runtime: cost,
+            send: 0,
+            receive: 0,
+            exitval: 0,
+            signal: 0,
+            command: format!("task {seq}"),
+        });
+        world.task_completion_secs.push(now);
+        resume
+    };
+    if resume_dispatch {
+        dispatch(sim, ctx, node);
+    }
+}
+
+fn node_crash(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize, detect_delay_secs: f64) {
+    let now = sim.now().as_secs_f64();
+    let (pending, anything_lost) = {
+        let world = sim.world_mut();
+        let st = &mut world.nodes[node];
+        st.alive = false;
+        let lost = st.next < st.shard.len() || !st.inflight.is_empty();
+        st.busy = 0;
+        st.inflight.clear();
+        st.stalled = false;
+        st.dispatching = false;
+        world.nodes_failed.push(node as u32);
+        (std::mem::take(&mut st.pending), lost)
+    };
+    ctx.emit(Event::NodeDown {
+        node: node as u32,
+        sim_time: now,
+    });
+    // Everything in flight on the node dies with it: queued dispatch
+    // hops, running tasks' completions, even the startup if the crash
+    // beat the allocation ramp.
+    sim.cancel_many(pending);
+    if anything_lost {
+        let ctx = ctx.clone();
+        sim.schedule_in(SimTime::from_secs_f64(detect_delay_secs), move |sim| {
+            requeue(sim, &ctx, node)
+        });
+    }
+}
+
+/// The recovery driver: once the crash is detected, diff the dead
+/// node's shard against the joblog (the `--resume` skip set) and
+/// re-shard the unfinished lines across the survivors with the same
+/// listing-1 modulo split.
+fn requeue(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, from: usize) {
+    let kicks: Vec<usize> = {
+        let world = sim.world_mut();
+        let done: HashSet<u64> = completed_seqs(&world.log);
+        let lost: Vec<u64> = world.nodes[from]
+            .shard
+            .iter()
+            .copied()
+            .filter(|seq| !done.contains(seq))
+            .collect();
+        if lost.is_empty() {
+            return;
+        }
+        let survivors: Vec<usize> = world
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.alive)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !survivors.is_empty(),
+            "fault plans guarantee at least one survivor"
+        );
+        let slices = driver_shard(&lost, survivors.len() as u32);
+        let mut kicks = Vec::new();
+        for (k, slice) in slices.iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            let to = survivors[k];
+            ctx.emit(Event::ShardRequeued {
+                from_node: from as u32,
+                to_node: to as u32,
+                tasks: slice.len() as u64,
+            });
+            world.tasks_requeued += slice.len() as u64;
+            let st = &mut world.nodes[to];
+            for &seq in slice {
+                st.shard.push(seq);
+                st.costs.push(ctx.recovery_cost(seq));
+            }
+            // Nodes whose dispatcher already drained need a restart;
+            // stalled or still-running dispatchers pick the new lines up
+            // on their own, and unstarted nodes dispatch at node_start.
+            if st.started && !st.dispatching && !st.stalled {
+                st.dispatching = true;
+                kicks.push(to);
+            }
+        }
+        kicks
+    };
+    for node in kicks {
+        dispatch(sim, ctx, node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htpar_telemetry::Recorder;
+
+    /// A small, fast configuration: 8 nodes × 16 tasks.
+    fn small_config(seed: u64) -> WeakScalingConfig {
+        let mut config = WeakScalingConfig::frontier(8, seed);
+        config.tasks_per_node = 16;
+        config.jobs_per_node = 16;
+        config
+    }
+
+    #[test]
+    fn no_faults_tracks_the_analytic_baseline() {
+        let config = small_config(11);
+        let r = run_resilient(&config, &FaultConfig::none(11));
+        r.verify_exactly_once().unwrap();
+        assert!(r.nodes_failed.is_empty());
+        assert_eq!(r.tasks_requeued, 0);
+        // Same plans, same schedule semantics: overhead is only DES
+        // microsecond quantization.
+        assert!(
+            r.recovery_overhead_secs().abs() < 0.01,
+            "overhead {}",
+            r.recovery_overhead_secs()
+        );
+    }
+
+    #[test]
+    fn mid_run_crash_requeues_and_completes_exactly_once() {
+        let config = small_config(7);
+        let baseline = crate::weak_scaling::run(&config);
+        let plan = FaultPlan {
+            crashes: vec![(1, baseline.makespan_secs * 0.3)],
+            ..FaultPlan::default()
+        };
+        let r = run_with_plan(&config, &plan, 5.0);
+        r.verify_exactly_once().unwrap();
+        assert_eq!(r.nodes_failed, vec![1]);
+        assert!(r.tasks_requeued > 0, "crash at 30% must strand work");
+        assert!(r.makespan_secs.is_finite());
+        // No row may claim the dead node after its crash.
+        for entry in &r.joblog {
+            if entry.host == "node1" {
+                assert!(entry.start + entry.runtime <= baseline.makespan_secs * 0.3 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_before_start_requeues_the_whole_shard() {
+        let config = small_config(3);
+        let plan = FaultPlan {
+            crashes: vec![(2, 0.0)],
+            ..FaultPlan::default()
+        };
+        let r = run_with_plan(&config, &plan, 5.0);
+        r.verify_exactly_once().unwrap();
+        assert_eq!(r.tasks_requeued, config.tasks_per_node as u64);
+        assert!(r.joblog.iter().all(|e| e.host != "node2"));
+    }
+
+    #[test]
+    fn straggler_slows_the_run_without_requeueing() {
+        let config = small_config(5);
+        let slow = run_with_plan(
+            &config,
+            &FaultPlan {
+                stragglers: vec![(0, 50.0)],
+                ..FaultPlan::default()
+            },
+            5.0,
+        );
+        slow.verify_exactly_once().unwrap();
+        assert_eq!(slow.tasks_requeued, 0);
+        assert!(
+            slow.recovery_overhead_secs() > 0.0,
+            "a 50x straggler must stretch the makespan: {}",
+            slow.recovery_overhead_secs()
+        );
+    }
+
+    #[test]
+    fn nvme_fault_retries_in_place() {
+        let config = small_config(9);
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let baseline = crate::weak_scaling::run(&config);
+        let plan = FaultPlan {
+            nvme_faults: vec![(0, baseline.makespan_secs * 0.2)],
+            ..FaultPlan::default()
+        };
+        let r = run_with_plan_observed(
+            &config,
+            &plan,
+            5.0,
+            config.seed,
+            baseline.makespan_secs,
+            Some(Arc::clone(&bus)),
+        );
+        r.verify_exactly_once().unwrap();
+        assert_eq!(r.tasks_requeued, 0);
+        assert_eq!(rec.count_matching(|e| e.kind() == "retried"), 1);
+    }
+
+    #[test]
+    fn telemetry_matches_result_and_does_not_perturb() {
+        let config = small_config(13);
+        let faults = FaultConfig {
+            crash_rate: 0.4,
+            ..FaultConfig::calibrated(13)
+        };
+        let bare = run_resilient(&config, &faults);
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let observed = run_resilient_observed(&config, &faults, Some(Arc::clone(&bus)));
+        assert_eq!(bare.makespan_secs, observed.makespan_secs);
+        assert_eq!(bare.task_completion_secs, observed.task_completion_secs);
+        assert_eq!(bare.nodes_failed, observed.nodes_failed);
+        assert!(!bare.nodes_failed.is_empty(), "0.4 crash rate on 8 nodes");
+
+        let node_down = rec.count_matching(|e| e.kind() == "node_down");
+        assert_eq!(node_down, bare.nodes_failed.len());
+        let requeued: u64 = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::ShardRequeued { tasks, .. } => Some(*tasks),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(requeued, bare.tasks_requeued);
+    }
+
+    #[test]
+    fn resilient_run_is_deterministic() {
+        let config = small_config(21);
+        let faults = FaultConfig::calibrated(21);
+        let a = run_resilient(&config, &faults);
+        let b = run_resilient(&config, &faults);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.task_completion_secs, b.task_completion_secs);
+        assert_eq!(a.tasks_requeued, b.tasks_requeued);
+    }
+
+    #[test]
+    fn every_node_crashing_still_leaves_a_survivor() {
+        let config = small_config(31);
+        let faults = FaultConfig {
+            crash_rate: 1.0,
+            ..FaultConfig::calibrated(31)
+        };
+        let r = run_resilient(&config, &faults);
+        r.verify_exactly_once().unwrap();
+        assert_eq!(r.nodes_failed.len() as u32, config.nodes - 1);
+    }
+
+    #[test]
+    fn seeded_campaign_holds_the_exactly_once_invariant() {
+        for seed in (0..6).map(|i| 2024 + i * 101) {
+            let config = small_config(seed);
+            let r = run_resilient(&config, &FaultConfig::calibrated(seed));
+            r.verify_exactly_once()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(
+                r.task_completion_secs.len() as u64,
+                r.tasks_total,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_plan_sampling_is_deterministic_and_bounded() {
+        let faults = FaultConfig::calibrated(77);
+        let a = FaultPlan::sample(&faults, 100, 60.0);
+        let b = FaultPlan::sample(&faults, 100, 60.0);
+        assert_eq!(a, b);
+        assert!(a
+            .crashes
+            .iter()
+            .all(|&(n, t)| n < 100 && (0.0..60.0).contains(&t)));
+        assert!(a.stragglers.iter().all(|&(_, f)| f >= 1.0));
+        // Rates are per node: expect a handful of each on 100 nodes.
+        assert!(!a.crashes.is_empty() || !a.stragglers.is_empty());
+        assert!(FaultPlan::sample(&FaultConfig::none(77), 100, 60.0).is_empty());
+    }
+}

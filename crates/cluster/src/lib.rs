@@ -19,14 +19,19 @@
 //!   tasks with NVMe-first stdout and Lustre copy-back.
 //! - [`gpu`]: the Fig. 2 experiment — 10–100 nodes × 8 GPUs with
 //!   slot-based GPU isolation (and the non-isolated ablation).
+//! - [`faults`]: seeded node-crash/straggler/NVMe fault injection and
+//!   the failure-resilient driver (re-shard the dead node's lines,
+//!   skip already-logged seqs — the paper's joblog/resume story).
 
 pub mod des;
+pub mod faults;
 pub mod gpu;
 pub mod launch;
 pub mod machine;
 pub mod slurm;
 pub mod weak_scaling;
 
+pub use faults::{FaultConfig, FaultPlan, FaultRunResult};
 pub use gpu::{GpuScalingConfig, GpuScalingResult};
 pub use launch::LaunchModel;
 pub use machine::Machine;

@@ -18,8 +18,13 @@ pub struct SlurmEnv {
 impl SlurmEnv {
     /// Would this node take input line `nr` (1-based, like awk's NR)?
     /// Implements `NR % NNODE == NODEID` from listing 1.
+    ///
+    /// A degenerate `nnodes == 0` clamps to a single node, matching
+    /// [`driver_shard`]: node 0 takes every line instead of every line
+    /// being dropped.
     pub fn takes_line(&self, nr: u64) -> bool {
-        self.nnodes > 0 && nr % self.nnodes as u64 == self.nodeid as u64
+        let n = self.nnodes.max(1) as u64;
+        nr % n == self.nodeid as u64
     }
 }
 
@@ -231,6 +236,61 @@ mod tests {
         let lines: Vec<u32> = (0..10).collect();
         let shards = driver_shard(&lines, 1);
         assert_eq!(shards[0].len(), 10);
+    }
+
+    #[test]
+    fn zero_nodes_clamps_to_one_in_both_implementations() {
+        // The two listing-1 implementations must agree even on the
+        // degenerate input: one shard holding everything.
+        let lines: Vec<u32> = (0..10).collect();
+        let shards = driver_shard(&lines, 0);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].len(), 10);
+        let env = SlurmEnv {
+            nnodes: 0,
+            nodeid: 0,
+        };
+        for nr in 1..=10u64 {
+            assert!(env.takes_line(nr), "line {nr}");
+        }
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any node count (including 0), the union of
+            /// `takes_line` picks across all effective node ids equals
+            /// the concatenation of `driver_shard`'s shards, and each
+            /// line lands on exactly one node.
+            #[test]
+            fn takes_line_union_equals_driver_shard(
+                nnodes in 0u32..12u32,
+                len in 0usize..200usize,
+            ) {
+                let lines: Vec<u64> = (0..len as u64).collect();
+                let shards = driver_shard(&lines, nnodes);
+                let effective = nnodes.max(1);
+                prop_assert_eq!(shards.len(), effective as usize);
+                for (nodeid, shard) in shards.iter().enumerate() {
+                    let env = SlurmEnv { nnodes, nodeid: nodeid as u32 };
+                    let picks: Vec<u64> = lines
+                        .iter()
+                        .copied()
+                        .filter(|&v| env.takes_line(v + 1))
+                        .collect();
+                    prop_assert_eq!(&picks, shard, "node {}", nodeid);
+                }
+                // Exactly-once across nodes: shard sizes sum to the
+                // input and every line appears in exactly one shard.
+                let total: usize = shards.iter().map(Vec::len).sum();
+                prop_assert_eq!(total, len);
+                let mut seen: Vec<u64> = shards.iter().flatten().copied().collect();
+                seen.sort_unstable();
+                prop_assert_eq!(seen, lines);
+            }
+        }
     }
 
     #[test]

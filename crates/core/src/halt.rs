@@ -63,9 +63,13 @@ impl HaltPolicy {
         }
     }
 
-    /// Halt when the failure ratio reaches `pct` percent of *completed*
-    /// jobs (`--halt soon,fail=pct%`). Checked only once at least 10 jobs
-    /// finished, to avoid tripping on the first failure of a large run.
+    /// Halt when the failure ratio reaches `pct` percent (`--halt
+    /// soon,fail=pct%`). With a known total job count the ratio is
+    /// `failed / total`, evaluated from the first completion; for
+    /// streaming inputs of unknown size it is `failed / completed`,
+    /// checked only once at least 10 jobs finished so the first failure
+    /// of a large run cannot trip it (see
+    /// [`HaltPolicy::decide_with_total`]).
     pub fn fail_percent(pct: f64, when: HaltWhen) -> HaltPolicy {
         HaltPolicy {
             condition: Condition::FailPercent(pct.clamp(0.0, 100.0)),
@@ -95,15 +99,36 @@ impl HaltPolicy {
         self.condition == Condition::Never
     }
 
-    /// Evaluate after a job completion.
+    /// Evaluate after a job completion, for streaming inputs whose
+    /// total job count is unknown. Equivalent to
+    /// [`HaltPolicy::decide_with_total`] with `total = None`.
     pub fn decide(&self, tally: &Tally) -> HaltDecision {
+        self.decide_with_total(tally, None)
+    }
+
+    /// Evaluate after a job completion.
+    ///
+    /// When `total` is known (preloaded inputs), percent conditions use
+    /// it as the denominator and evaluate unconditionally — a 4-task
+    /// run with `fail=50%` trips on its second failure. Note `total`
+    /// counts every input job, including ones a `--resume` skip set
+    /// filtered out, so percent is of the whole work list. With `total
+    /// = None` (streaming inputs) percent conditions fall back to the
+    /// completed-so-far ratio, guarded by a minimum sample of 10 so the
+    /// first failure of a large run cannot trip them.
+    pub fn decide_with_total(&self, tally: &Tally, total: Option<u64>) -> HaltDecision {
+        let percent_tripped = |favourable: u64, ratio: f64, pct: f64| match total {
+            Some(total) if total > 0 => favourable as f64 / total as f64 * 100.0 >= pct,
+            Some(_) => false,
+            None => tally.completed() >= 10 && ratio * 100.0 >= pct,
+        };
         let tripped = match self.condition {
             Condition::Never => false,
             Condition::FailCount(n) => tally.failed >= n,
             Condition::SuccessCount(n) => tally.succeeded >= n,
-            Condition::FailPercent(p) => tally.completed() >= 10 && tally.fail_ratio() * 100.0 >= p,
+            Condition::FailPercent(p) => percent_tripped(tally.failed, tally.fail_ratio(), p),
             Condition::SuccessPercent(p) => {
-                tally.completed() >= 10 && tally.success_ratio() * 100.0 >= p
+                percent_tripped(tally.succeeded, tally.success_ratio(), p)
             }
         };
         if !tripped {
@@ -232,11 +257,66 @@ mod tests {
 
     #[test]
     fn fail_percent_needs_minimum_sample() {
+        // Streaming regime (unknown total): the min-sample guard holds.
         let p = HaltPolicy::fail_percent(50.0, HaltWhen::Soon);
         // 1 of 2 failed = 50 %, but fewer than 10 completed: no trip.
         assert_eq!(p.decide(&tally(1, 1)), HaltDecision::Continue);
         assert_eq!(p.decide(&tally(5, 5)), HaltDecision::StopSoon);
         assert_eq!(p.decide(&tally(9, 1)), HaltDecision::Continue);
+    }
+
+    #[test]
+    fn fail_percent_with_known_total_trips_on_small_runs() {
+        // Known-total regime: a 4-task run with fail=50% trips as soon
+        // as 2 jobs have failed — no minimum sample.
+        let p = HaltPolicy::fail_percent(50.0, HaltWhen::Soon);
+        assert_eq!(
+            p.decide_with_total(&tally(0, 1), Some(4)),
+            HaltDecision::Continue
+        );
+        assert_eq!(
+            p.decide_with_total(&tally(0, 2), Some(4)),
+            HaltDecision::StopSoon
+        );
+        assert_eq!(
+            p.decide_with_total(&tally(2, 2), Some(4)),
+            HaltDecision::StopSoon
+        );
+    }
+
+    #[test]
+    fn percent_with_known_total_uses_total_denominator() {
+        // 5 of 10 completed failed (50% of completions), but only 5% of
+        // the 100-job total: must not trip until failures themselves
+        // reach the threshold share of the whole run.
+        let p = HaltPolicy::fail_percent(50.0, HaltWhen::Now);
+        assert_eq!(
+            p.decide_with_total(&tally(5, 5), Some(100)),
+            HaltDecision::Continue
+        );
+        assert_eq!(
+            p.decide_with_total(&tally(0, 50), Some(100)),
+            HaltDecision::StopNow
+        );
+    }
+
+    #[test]
+    fn success_percent_with_known_total() {
+        let p = HaltPolicy::success_percent(75.0, HaltWhen::Soon);
+        assert_eq!(
+            p.decide_with_total(&tally(2, 0), Some(4)),
+            HaltDecision::Continue
+        );
+        assert_eq!(
+            p.decide_with_total(&tally(3, 0), Some(4)),
+            HaltDecision::StopSoon
+        );
+        // Count conditions are unaffected by the total.
+        let c = HaltPolicy::fail_count(2, HaltWhen::Soon);
+        assert_eq!(
+            c.decide_with_total(&tally(0, 2), Some(1_000_000)),
+            HaltDecision::StopSoon
+        );
     }
 
     #[test]

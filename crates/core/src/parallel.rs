@@ -642,6 +642,107 @@ mod tests {
     }
 
     #[test]
+    fn halt_fail_percent_trips_on_small_preloaded_runs() {
+        use crate::halt::{HaltDecision, HaltWhen};
+        // 4 jobs, all failing, fail=50%: the known-total denominator
+        // trips the policy at the second failure — the bug was that the
+        // ≥10-completions guard let tiny runs run to the bitter end.
+        let ran = Arc::new(Mutex::new(Vec::new()));
+        let ran2 = Arc::clone(&ran);
+        let report = Parallel::new("t {}")
+            .jobs(1)
+            .halt(HaltPolicy::fail_percent(50.0, HaltWhen::Soon))
+            .args(["a", "b", "c", "d"])
+            .executor(FnExecutor::new(move |cmd| {
+                ran2.lock().push(cmd.seq);
+                Ok(TaskOutput::failed(1, "boom"))
+            }))
+            .run()
+            .unwrap();
+        assert_eq!(report.halted, Some(HaltDecision::StopSoon));
+        assert_eq!(*ran.lock(), vec![1, 2], "halted after the 2nd failure");
+    }
+
+    #[test]
+    fn resume_after_halt_reruns_only_unlogged_then_failed_seqs() {
+        use crate::halt::HaltWhen;
+        let dir = std::env::temp_dir().join(format!("htpar-halt-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("joblog.tsv");
+        let _ = std::fs::remove_file(&log);
+
+        let failing = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let ran = Arc::new(Mutex::new(Vec::new()));
+        let (f2, ran2) = (Arc::clone(&failing), Arc::clone(&ran));
+        let exec = FnExecutor::new(move |cmd| {
+            ran2.lock().push(cmd.seq);
+            if f2.load(std::sync::atomic::Ordering::SeqCst) && cmd.seq % 2 == 0 {
+                Ok(TaskOutput::failed(1, "flaky"))
+            } else {
+                Ok(TaskOutput::success())
+            }
+        });
+
+        // Run 1: seqs 2 and 4 fail; `--halt soon,fail=2` stops the run
+        // after seq 4, leaving 5 and 6 undispatched (and unlogged).
+        let report = Parallel::new("t {}")
+            .jobs(1)
+            .joblog(&log)
+            .halt(HaltPolicy::fail_count(2, HaltWhen::Soon))
+            .args(["a", "b", "c", "d", "e", "f"])
+            .executor(exec.clone())
+            .run()
+            .unwrap();
+        assert!(report.halted.is_some());
+        assert_eq!(*ran.lock(), vec![1, 2, 3, 4]);
+
+        // Run 2, --resume: exactly the unlogged seqs (5, 6) re-run —
+        // logged failures stay skipped.
+        failing.store(false, std::sync::atomic::Ordering::SeqCst);
+        ran.lock().clear();
+        let report = Parallel::new("t {}")
+            .jobs(1)
+            .joblog(&log)
+            .resume()
+            .args(["a", "b", "c", "d", "e", "f"])
+            .executor(exec.clone())
+            .run()
+            .unwrap();
+        assert_eq!(report.skipped, 4);
+        assert_eq!(*ran.lock(), vec![5, 6]);
+
+        // Run 3, --resume-failed: exactly the logged failures (2, 4)
+        // re-run; successes (1, 3, 5, 6) stay skipped.
+        ran.lock().clear();
+        let report = Parallel::new("t {}")
+            .jobs(1)
+            .joblog(&log)
+            .resume_failed()
+            .args(["a", "b", "c", "d", "e", "f"])
+            .executor(exec.clone())
+            .run()
+            .unwrap();
+        assert_eq!(report.skipped, 4);
+        assert_eq!(*ran.lock(), vec![2, 4]);
+
+        // Everything is now logged as succeeded: both resume modes
+        // re-run nothing.
+        ran.lock().clear();
+        let report = Parallel::new("t {}")
+            .jobs(1)
+            .joblog(&log)
+            .resume_failed()
+            .args(["a", "b", "c", "d", "e", "f"])
+            .executor(exec)
+            .run()
+            .unwrap();
+        assert_eq!(report.skipped, 6);
+        assert!(ran.lock().is_empty());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn run_stream_processes_items_as_they_arrive() {
         let (writer, queue) = FollowQueue::channel();
         let handle = std::thread::spawn(move || {

@@ -165,6 +165,9 @@ struct Shared {
     skip: HashSet<u64>,
     gate: Option<Arc<dyn Gate>>,
     tally: AtomicTally,
+    /// Exact job count for preloaded inputs (`None` while streaming);
+    /// lets `--halt` percent policies use the real denominator.
+    total_jobs: Option<u64>,
     halt_state: AtomicU8,
     last_launch: Mutex<Option<Instant>>,
     launches: AtomicU64,
@@ -277,12 +280,12 @@ impl Engine {
         // (follow queues, unbounded generators) streams through a
         // bounded channel pumped by a feeder thread.
         let (lo, hi) = input.size_hint();
-        let (source, stream) = if hi == Some(lo) {
+        let (source, stream, total_jobs) = if hi == Some(lo) {
             let queue = crate::dispatch::ChunkQueue::from_iter(input, lo, jobs);
-            (JobSource::Preloaded(queue), None)
+            (JobSource::Preloaded(queue), None, Some(lo as u64))
         } else {
             let (feed_tx, feed_rx) = crossbeam_channel::bounded((2 * jobs).max(4));
-            (JobSource::streaming(feed_rx), Some((feed_tx, input)))
+            (JobSource::streaming(feed_rx), Some((feed_tx, input)), None)
         };
 
         let shared = Arc::new(Shared {
@@ -294,6 +297,7 @@ impl Engine {
             skip: self.skip,
             gate: self.gate,
             tally: AtomicTally::default(),
+            total_jobs,
             halt_state: AtomicU8::new(RUN),
             last_launch: Mutex::new(None),
             launches: AtomicU64::new(0),
@@ -596,7 +600,11 @@ fn worker(slot: usize, shared: &Shared, wake: &Sender<usize>, direct: bool) -> V
         // policy.
         if !halt_never {
             let tally = shared.tally.record(&result.status);
-            match shared.options.halt.decide(&tally) {
+            match shared
+                .options
+                .halt
+                .decide_with_total(&tally, shared.total_jobs)
+            {
                 HaltDecision::Continue => {}
                 HaltDecision::StopSoon => {
                     let _ = shared.halt_state.compare_exchange(

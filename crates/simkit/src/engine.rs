@@ -127,6 +127,15 @@ impl<W> Simulation<W> {
         cancelled
     }
 
+    /// Cancel a batch of pending events (e.g. everything in flight on a
+    /// crashed node). Returns how many had not yet fired.
+    pub fn cancel_many<I>(&mut self, ids: I) -> usize
+    where
+        I: IntoIterator<Item = EventId>,
+    {
+        ids.into_iter().filter(|&id| self.cancel(id)).count()
+    }
+
     /// Schedule `handler` every `period`, starting one period from now,
     /// until it returns `false`. Useful for monitors and samplers.
     pub fn schedule_every<F>(&mut self, period: SimTime, handler: F)
@@ -268,6 +277,18 @@ mod tests {
         assert!(sim.cancel(id));
         sim.run();
         assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn cancel_many_counts_only_pending() {
+        let mut sim = Simulation::new(0u32);
+        let a = sim.schedule_at(SimTime::from_secs(1), |s| *s.world_mut() += 1);
+        let b = sim.schedule_at(SimTime::from_secs(2), |s| *s.world_mut() += 10);
+        let c = sim.schedule_at(SimTime::from_secs(3), |s| *s.world_mut() += 100);
+        assert!(sim.step()); // fire `a`
+        assert_eq!(sim.cancel_many([a, b, c]), 2, "a already fired");
+        sim.run();
+        assert_eq!(*sim.world(), 1);
     }
 
     #[test]

@@ -68,6 +68,16 @@ pub enum Event {
     NodeUp { node: u32 },
     /// A launch wave was dispatched: `tasks` tasks via `method`.
     Launch { method: LaunchMethod, tasks: u64 },
+    /// A simulated node died mid-run (fault injection); `sim_time` is
+    /// the crash instant in simulated seconds.
+    NodeDown { node: u32, sim_time: f64 },
+    /// A dead node's unfinished shard slice was requeued onto a
+    /// surviving node by the resilient driver.
+    ShardRequeued {
+        from_node: u32,
+        to_node: u32,
+        tasks: u64,
+    },
 }
 
 impl Event {
@@ -88,6 +98,8 @@ impl Event {
             Event::SimEventCancelled { .. } => "sim_event_cancelled",
             Event::NodeUp { .. } => "node_up",
             Event::Launch { .. } => "launch",
+            Event::NodeDown { .. } => "node_down",
+            Event::ShardRequeued { .. } => "shard_requeued",
         }
     }
 
@@ -129,6 +141,16 @@ impl Event {
             Event::NodeUp { node } => format!("\"node\":{node}"),
             Event::Launch { method, tasks } => {
                 format!("\"method\":\"{}\",\"tasks\":{tasks}", method.as_str())
+            }
+            Event::NodeDown { node, sim_time } => {
+                format!("\"node\":{node},\"sim_time\":{}", fmt_f64(*sim_time))
+            }
+            Event::ShardRequeued {
+                from_node,
+                to_node,
+                tasks,
+            } => {
+                format!("\"from_node\":{from_node},\"to_node\":{to_node},\"tasks\":{tasks}")
             }
         };
         format!("{{\"t_us\":{t_us},\"type\":\"{}\",{body}}}", self.kind())
@@ -182,6 +204,15 @@ mod tests {
                 method: LaunchMethod::Parallel,
                 tasks: 64,
             },
+            Event::NodeDown {
+                node: 3,
+                sim_time: 12.5,
+            },
+            Event::ShardRequeued {
+                from_node: 3,
+                to_node: 1,
+                tasks: 17,
+            },
         ];
         let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
@@ -205,6 +236,15 @@ mod tests {
             Event::SimEventFired {
                 sim_time: 0.25,
                 count: 3,
+            },
+            Event::NodeDown {
+                node: 9,
+                sim_time: 3.75,
+            },
+            Event::ShardRequeued {
+                from_node: 9,
+                to_node: 0,
+                tasks: 128,
             },
         ];
         for e in &events {

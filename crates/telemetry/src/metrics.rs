@@ -91,10 +91,14 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     /// Total tasks launched into the cluster model, by launch waves.
     pub launched_tasks: u64,
+    /// Simulated nodes lost to injected crashes.
+    pub nodes_down: u64,
+    /// Tasks requeued onto surviving nodes by the resilient driver.
+    pub requeued_tasks: u64,
 }
 
 /// Every kind string, in counter-slot order. Indexed by [`kind_slot`].
-const KINDS: [&str; 13] = [
+const KINDS: [&str; 15] = [
     "queued",
     "slot_acquired",
     "spawned",
@@ -108,6 +112,8 @@ const KINDS: [&str; 13] = [
     "sim_event_cancelled",
     "node_up",
     "launch",
+    "node_down",
+    "shard_requeued",
 ];
 
 /// Counter slot for an event — a direct variant match, so the hot
@@ -127,6 +133,8 @@ fn kind_slot(event: &Event) -> usize {
         Event::SimEventCancelled { .. } => 10,
         Event::NodeUp { .. } => 11,
         Event::Launch { .. } => 12,
+        Event::NodeDown { .. } => 13,
+        Event::ShardRequeued { .. } => 14,
     }
 }
 
@@ -163,6 +171,8 @@ pub struct MetricsRegistry {
     failed: AtomicU64,
     retries: AtomicU64,
     launched_tasks: AtomicU64,
+    nodes_down: AtomicU64,
+    requeued_tasks: AtomicU64,
     /// Final-attempt runtimes of completed tasks, microseconds, sharded
     /// by `seq` so concurrent completions rarely share a lock.
     runtimes_us: [Mutex<Vec<u64>>; RUNTIME_SHARDS],
@@ -184,6 +194,8 @@ impl Default for MetricsRegistry {
             failed: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             launched_tasks: AtomicU64::new(0),
+            nodes_down: AtomicU64::new(0),
+            requeued_tasks: AtomicU64::new(0),
             runtimes_us: std::array::from_fn(|_| Mutex::new(Vec::new())),
         }
     }
@@ -261,6 +273,8 @@ impl MetricsRegistry {
             failed: self.failed.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             launched_tasks: self.launched_tasks.load(Ordering::Relaxed),
+            nodes_down: self.nodes_down.load(Ordering::Relaxed),
+            requeued_tasks: self.requeued_tasks.load(Ordering::Relaxed),
         }
     }
 }
@@ -315,6 +329,12 @@ impl Sink for MetricsRegistry {
             }
             Event::Launch { tasks, .. } => {
                 self.launched_tasks.fetch_add(*tasks, Ordering::Relaxed);
+            }
+            Event::NodeDown { .. } => {
+                self.nodes_down.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ShardRequeued { tasks, .. } => {
+                self.requeued_tasks.fetch_add(*tasks, Ordering::Relaxed);
             }
             _ => {}
         }
@@ -441,6 +461,42 @@ mod tests {
             },
         );
         assert_eq!(reg.snapshot().launched_tasks, 1000);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        feed(
+            &reg,
+            0,
+            Event::NodeDown {
+                node: 2,
+                sim_time: 4.0,
+            },
+        );
+        feed(
+            &reg,
+            1,
+            Event::ShardRequeued {
+                from_node: 2,
+                to_node: 0,
+                tasks: 40,
+            },
+        );
+        feed(
+            &reg,
+            2,
+            Event::ShardRequeued {
+                from_node: 2,
+                to_node: 1,
+                tasks: 24,
+            },
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.nodes_down, 1);
+        assert_eq!(snap.requeued_tasks, 64);
+        assert_eq!(snap.counters["node_down"], 1);
+        assert_eq!(snap.counters["shard_requeued"], 2);
     }
 
     #[test]

@@ -59,13 +59,24 @@ impl TokenBucket {
     }
 
     /// Consume `n` bytes' worth of tokens, blocking until permitted.
+    ///
+    /// Requests larger than the burst capacity are consumed in
+    /// burst-sized slices, each waiting for its own refill. Debiting an
+    /// oversized request in one go would sink the balance far below
+    /// zero — the caller would sail through after a single burst-length
+    /// wait, and every later caller would be overcharged for the debt.
     pub fn consume_blocking(&mut self, n: usize) {
-        let wait = self.delay_for(n);
-        if !wait.is_zero() {
-            std::thread::sleep(wait);
-            self.refill();
+        let mut remaining = n as f64;
+        while remaining > 0.0 {
+            let slice = remaining.min(self.burst);
+            let wait = self.delay_for(slice.ceil() as usize);
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+                self.refill();
+            }
+            self.tokens -= slice;
+            remaining -= slice;
         }
-        self.tokens -= n as f64;
     }
 }
 
@@ -121,6 +132,27 @@ mod tests {
         let mut b = TokenBucket::new(1e12, 500.0);
         std::thread::sleep(Duration::from_millis(5));
         assert!(b.available() <= 500.0 + 1e-6);
+    }
+
+    #[test]
+    fn oversized_consume_never_sinks_the_bucket_deeply_negative() {
+        // 10 kB through a 1 kB-burst bucket at 100 kB/s: the old code
+        // debited all 10 kB after one burst-length wait, leaving the
+        // balance at -9 kB and overcharging the next caller.
+        let mut b = TokenBucket::new(100_000.0, 1000.0);
+        let started = Instant::now();
+        b.consume_blocking(10_000);
+        // 10 kB at 100 kB/s ≈ 100 ms (the first 1 kB rides the burst).
+        let elapsed = started.elapsed();
+        assert!(elapsed >= Duration::from_millis(60), "{elapsed:?}");
+        assert!(
+            b.available() > -1000.0 - 1e-6,
+            "balance sank past one burst: {}",
+            b.tokens
+        );
+        // The next small consume pays only for itself, not for debt.
+        let wait = b.delay_for(100);
+        assert!(wait <= Duration::from_millis(25), "{wait:?}");
     }
 
     #[test]

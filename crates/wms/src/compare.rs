@@ -2,7 +2,10 @@
 //! driver-script + parallel-engine approach, on identical no-op task
 //! loads.
 
-use htpar_cluster::{LaunchModel, Machine};
+use htpar_cluster::{
+    faults, weak_scaling, FaultConfig, FaultPlan, LaunchModel, Machine, SrunModel,
+    WeakScalingConfig,
+};
 use htpar_telemetry::EventBus;
 use htpar_workloads::wfbench;
 use serde::{Deserialize, Serialize};
@@ -92,6 +95,77 @@ pub fn overhead_comparison_observed(
         .collect()
 }
 
+/// One row of the fault-recovery comparison: the driver-script recovery
+/// (re-shard the dead node's lines across survivors, skip seqs already
+/// in the joblog) versus a conventional WMS reacting to the same node
+/// loss through its central controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecoveryRow {
+    pub nodes: u32,
+    pub tasks_total: u64,
+    /// Tasks lost with the crashed node and requeued.
+    pub tasks_lost: u64,
+    pub nodes_failed: u32,
+    /// Driver recovery overhead: faulty-run makespan minus the
+    /// same-seed no-fault baseline (includes the detection window).
+    pub driver_recovery_secs: f64,
+    /// The WMS restart path for the same loss: full dataflow re-scan
+    /// plus one central `srun` step per lost task.
+    pub wms_restart_secs: f64,
+}
+
+impl FaultRecoveryRow {
+    /// How many times cheaper the driver recovery is.
+    pub fn advantage(&self) -> f64 {
+        if self.driver_recovery_secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.wms_restart_secs / self.driver_recovery_secs
+        }
+    }
+}
+
+/// Overhead of a conventional WMS recovering from a lost node: it
+/// re-evaluates the dataflow over the *entire* task set to find what is
+/// still runnable, then re-dispatches every lost task through the
+/// central controller, one srun step per task (the §II restart path).
+pub fn wms_restart_overhead_secs(tasks_lost: u64, tasks_total: u64, cfg: &WmsConfig) -> f64 {
+    let rescan = cfg.scan_secs_per_task * tasks_total as f64;
+    rescan + SrunModel::calibrated().dispatch_time(tasks_lost)
+}
+
+/// Run the deterministic single-crash scenario at `nodes` nodes: node 0
+/// dies 30% into the no-fault makespan, the driver re-shards its lines
+/// across the survivors, and the same loss is priced through the WMS
+/// restart path. The injected run's joblog is verified exactly-once
+/// before the row is returned.
+pub fn fault_recovery_comparison(nodes: u32, seed: u64) -> FaultRecoveryRow {
+    let config = WeakScalingConfig::frontier(nodes, seed);
+    let baseline = weak_scaling::run(&config);
+    let plan = FaultPlan {
+        crashes: vec![(0, 0.3 * baseline.makespan_secs)],
+        stragglers: Vec::new(),
+        nvme_faults: Vec::new(),
+    };
+    let detect = FaultConfig::calibrated(seed).detect_delay_secs;
+    let result = faults::run_with_plan(&config, &plan, detect);
+    result
+        .verify_exactly_once()
+        .expect("fault recovery must preserve exactly-once execution");
+    FaultRecoveryRow {
+        nodes,
+        tasks_total: result.tasks_total,
+        tasks_lost: result.tasks_requeued,
+        nodes_failed: result.nodes_failed.len() as u32,
+        driver_recovery_secs: result.recovery_overhead_secs(),
+        wms_restart_secs: wms_restart_overhead_secs(
+            result.tasks_requeued,
+            result.tasks_total,
+            &WmsConfig::swift_t_like(),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +204,39 @@ mod tests {
         let machine = Machine::frontier();
         let (nodes, _) = parallel_overhead_secs(10_000_000_000, &machine);
         assert_eq!(nodes, machine.nodes);
+    }
+
+    #[test]
+    fn driver_recovery_undercuts_the_wms_restart_path() {
+        let row = fault_recovery_comparison(8, 42);
+        assert_eq!(row.nodes_failed, 1);
+        // The dead node took a full 128-task shard with it.
+        assert_eq!(row.tasks_lost, 128);
+        assert_eq!(row.tasks_total, 8 * 128);
+        // Both sides pay something real…
+        assert!(row.driver_recovery_secs > 0.0, "{row:?}");
+        // …but the central restart path (0.2 s client spacing per srun
+        // step alone ≈ 25 s for 128 tasks) dwarfs re-sharding onto
+        // survivors behind a 5 s detection window.
+        assert!(row.wms_restart_secs > row.driver_recovery_secs, "{row:?}");
+        assert!(row.advantage() > 1.5, "{}", row.advantage());
+    }
+
+    #[test]
+    fn fault_recovery_comparison_is_deterministic() {
+        let a = fault_recovery_comparison(6, 7);
+        let b = fault_recovery_comparison(6, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wms_restart_scales_with_both_loss_and_workflow_size() {
+        let cfg = WmsConfig::swift_t_like();
+        let small = wms_restart_overhead_secs(16, 1_000, &cfg);
+        let more_lost = wms_restart_overhead_secs(128, 1_000, &cfg);
+        let bigger_dag = wms_restart_overhead_secs(16, 1_000_000, &cfg);
+        assert!(more_lost > small);
+        assert!(bigger_dag > small);
     }
 
     #[test]

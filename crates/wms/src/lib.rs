@@ -21,6 +21,8 @@ pub mod compare;
 pub mod engine;
 pub mod timeline;
 
-pub use compare::{overhead_comparison, ComparisonRow};
+pub use compare::{
+    fault_recovery_comparison, overhead_comparison, ComparisonRow, FaultRecoveryRow,
+};
 pub use engine::{execute, WmsConfig, WmsRun};
 pub use timeline::{execute_with_timeline, Gantt, Timeline};
