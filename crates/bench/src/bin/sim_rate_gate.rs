@@ -1,0 +1,111 @@
+//! Simulated-event-rate regression gate.
+//!
+//! Runs the canonical fault-replay-shaped DES workload (128 nodes x 1,024
+//! tasks with watchdog cancels and mid-run node crashes, see
+//! `htpar_bench::simgate`) and exits nonzero when the achieved event rate
+//! drops below the checked-in floor. CI runs this in release mode;
+//! `tests/sim_rate_gate.rs` runs the same check under `cargo test`.
+//!
+//! Flags:
+//!   --trials N      measure N times and report each (default 1)
+//!   --floor RATE    override the compiled-in floor (events/sec)
+//!   --engine NAME   label trials in JSONL output (default "current")
+//!   --jsonl PATH    append one machine-readable record per trial
+//!   --report-only   print the measurements without enforcing the floor
+//!
+//! To verify the gate trips, set `HTPAR_SIM_GATE_HANDICAP_US` to an
+//! artificial per-completion cost in microseconds and watch it fail.
+
+use std::io::Write;
+
+use htpar_bench::simgate;
+use serde_json::json;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: usize = flag_value(&args, "--trials")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let floor = flag_value(&args, "--floor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(simgate::floor);
+    let engine = flag_value(&args, "--engine").unwrap_or_else(|| "current".to_string());
+    let report_only = args.iter().any(|a| a == "--report-only");
+    let mut jsonl = flag_value(&args, "--jsonl").map(|path| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open jsonl file")
+    });
+
+    let cfg = simgate::SimGateConfig::canonical();
+    println!(
+        "sim-rate gate: {} nodes x {} tasks, -j {}, crash every {} nodes",
+        cfg.nodes, cfg.tasks_per_node, cfg.jobs, cfg.crash_every
+    );
+    if let Some(cost) = simgate::handicap() {
+        println!(
+            "  handicap:        {} us/completion (simulated slowdown)",
+            cost.as_micros()
+        );
+    }
+
+    let mut best_rate = 0.0f64;
+    for trial in 1..=trials.max(1) {
+        let m = simgate::measure(cfg);
+        best_rate = best_rate.max(m.events_per_sec);
+        println!(
+            "  trial {trial}: {:.0} events/s ({} fired + {} cancelled in {:.3} s, {} tasks done)",
+            m.events_per_sec,
+            m.fired,
+            m.cancelled,
+            m.wall.as_secs_f64(),
+            m.tasks_done
+        );
+        assert_eq!(m.tasks_done, m.tasks, "gate workload must complete");
+        if let Some(file) = &mut jsonl {
+            let record = json!({
+                "bench": "sim_event_rate",
+                "engine": (engine.as_str()),
+                "trial": trial,
+                "nodes": (m.nodes),
+                "tasks": (m.tasks),
+                "events_fired": (m.fired),
+                "events_cancelled": (m.cancelled),
+                "wall_secs": (m.wall.as_secs_f64()),
+                "events_per_sec": (m.events_per_sec),
+            });
+            let line = serde_json::to_string(&record);
+            writeln!(file, "{line}").expect("write jsonl record");
+        }
+    }
+    println!("  floor:   {floor:.0} events/s");
+
+    if report_only {
+        return;
+    }
+    // Retry before declaring a regression: a transient host hiccup
+    // depresses one run, a real slowdown depresses all of them.
+    let mut rate = best_rate;
+    for attempt in (trials + 1)..=simgate::GATE_ATTEMPTS.max(trials) {
+        if rate >= floor {
+            break;
+        }
+        let retry = simgate::measure(cfg);
+        rate = rate.max(retry.events_per_sec);
+        println!("  retry {attempt}: {:.0} events/s", retry.events_per_sec);
+    }
+    if rate < floor {
+        eprintln!("FAIL: simulated event rate {rate:.0}/s is below the floor {floor:.0}/s");
+        std::process::exit(1);
+    }
+    println!("PASS: {:.2}x above floor", rate / floor);
+}

@@ -22,6 +22,7 @@
 use std::fmt::Display;
 
 pub mod gate;
+pub mod simgate;
 
 /// Print a fixed-width table row from cells.
 pub fn row<D: Display>(cells: &[D], widths: &[usize]) -> String {

@@ -1,0 +1,393 @@
+//! The simulated-event-rate regression gate: a fixed fault-replay-shaped
+//! DES workload with a checked-in floor.
+//!
+//! The paper's extreme-scale results (Fig. 1 weak scaling, the
+//! fault-resilient driver replay) run on `htpar_simkit`'s event engine;
+//! reproducing them at the true 9,408-node / 1.15M-task scale needs the
+//! event core itself to sustain millions of schedule/cancel/fire
+//! operations per second. This module is the guardrail: `measure` runs a
+//! canonical workload patterned on `htpar_cluster::faults::run_resilient`
+//! — per-node serial dispatch chains with a slot cap, a watchdog timeout
+//! per task that is cancelled on completion, and mid-run node crashes
+//! that `cancel_many` everything in flight and requeue the remainder onto
+//! survivors — with near-zero world bookkeeping, so the measured rate is
+//! pure event-core cost (schedule, cancel, mass-cancel, fire, far-future
+//! buckets). The `sim_rate_gate` binary and the `sim_rate_gate`
+//! integration test compare that rate against [`floor`] and fail on a
+//! regression.
+
+use std::time::{Duration, Instant};
+
+use htpar_simkit::{EventId, SimTime, Simulation};
+
+/// Canonical gate workload: 128 nodes x 1,024 tasks, 64 slots per node,
+/// one in eight nodes crashing mid-run. Roughly 400k scheduled events
+/// (two fired plus one cancelled watchdog per task), small enough to run
+/// in CI seconds, shaped enough to exercise every queue path.
+pub const GATE_NODES: u32 = 128;
+pub const GATE_TASKS_PER_NODE: u32 = 1_024;
+pub const GATE_JOBS: u32 = 64;
+/// One node in eight crashes mid-run (16 of 128): each crash mass-cancels
+/// the node's in-flight events and requeues its remainder.
+pub const GATE_CRASH_EVERY: u32 = 8;
+
+/// Floor in events/sec for the canonical workload in release builds:
+/// well under half the worst trial measured after the calendar-queue
+/// rework (8.6-11.8M events/s over repeated trials on the mid-run-crash
+/// workload, 13.3-23.1M on the earlier post-drain-crash variant; the
+/// old heap queue measured 3.3-3.6M on the same box). Scheduler noise
+/// passes; a
+/// structural regression (a hash lookup back on the hot path, per-event
+/// allocation, a tombstone drain) fails every attempt — the floor sits
+/// *above* the old engine's throughput, so even a full revert trips it.
+pub const FLOOR_RELEASE: f64 = 4_000_000.0;
+/// Same floor for unoptimized (debug) builds, where `cargo test` runs
+/// (measured 2.6-2.9M events/s after the rework).
+pub const FLOOR_DEBUG: f64 = 1_000_000.0;
+
+/// Attempts the gate makes before declaring a regression (same policy as
+/// the launch-rate gate: a transient VM hiccup depresses one run, a real
+/// regression depresses all of them).
+pub const GATE_ATTEMPTS: usize = 3;
+
+/// The floor matching how this code was compiled.
+pub fn floor() -> f64 {
+    if cfg!(debug_assertions) {
+        FLOOR_DEBUG
+    } else {
+        FLOOR_RELEASE
+    }
+}
+
+/// Optional artificial per-completion cost, for verifying that the gate
+/// really fails on a slowdown (set `HTPAR_SIM_GATE_HANDICAP_US` to a
+/// microsecond count — the drill twin of `HTPAR_GATE_HANDICAP_US`).
+pub fn handicap() -> Option<Duration> {
+    std::env::var("HTPAR_SIM_GATE_HANDICAP_US")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|us| *us > 0)
+        .map(Duration::from_micros)
+}
+
+/// Gate workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct SimGateConfig {
+    pub nodes: u32,
+    pub tasks_per_node: u32,
+    pub jobs: u32,
+    /// Every `crash_every`-th node crashes mid-run (0 = no crashes).
+    pub crash_every: u32,
+    pub seed: u64,
+}
+
+impl SimGateConfig {
+    /// The canonical CI workload.
+    pub fn canonical() -> SimGateConfig {
+        SimGateConfig {
+            nodes: GATE_NODES,
+            tasks_per_node: GATE_TASKS_PER_NODE,
+            jobs: GATE_JOBS,
+            crash_every: GATE_CRASH_EVERY,
+            seed: 2024,
+        }
+    }
+}
+
+/// One gate run's numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct SimGateMeasurement {
+    pub nodes: u32,
+    pub tasks: u64,
+    /// Tasks that completed (original or requeued after a crash).
+    pub tasks_done: u64,
+    /// Events fired by the engine.
+    pub fired: u64,
+    /// Events cancelled before firing (watchdogs + crash mass-cancels).
+    pub cancelled: u64,
+    pub wall: Duration,
+    /// (fired + cancelled) / wall — the gate's metric: every scheduled
+    /// event costs one schedule plus one fire-or-cancel.
+    pub events_per_sec: f64,
+}
+
+/// Cheap deterministic mixer (splitmix64 finalizer) so per-task costs
+/// vary without paying an RNG stream draw per event: the gate measures
+/// the queue, not ChaCha.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct Node {
+    /// Tasks this node must run (grows when a crash requeues onto it).
+    target: u64,
+    launched: u64,
+    done: u64,
+    busy: u32,
+    alive: bool,
+    /// A dispatch-chain hop is pending.
+    dispatching: bool,
+    /// The dispatcher is parked waiting for a free slot.
+    stalled: bool,
+    /// Events to mass-cancel if this node crashes (ids of already-fired
+    /// events are harmless, exactly as in `cluster::faults`).
+    pending: Vec<EventId>,
+}
+
+struct GateWorld {
+    nodes: Vec<Node>,
+    cancelled: u64,
+    tasks_done: u64,
+    handicap: Option<Duration>,
+}
+
+/// Watchdog horizon: far enough ahead that every watchdog lives in the
+/// far-future region of the queue until its task completes and cancels
+/// it (the tombstone-heavy pattern the calendar queue exists to fix).
+const WATCHDOG: SimTime = SimTime::from_secs(600);
+/// Serial dispatcher gap between launches on one node (the measured GNU
+/// Parallel single-instance rate is a few thousand per second).
+const DISPATCH_GAP: SimTime = SimTime::from_micros(150);
+
+fn dispatch(sim: &mut Simulation<GateWorld>, cfg: SimGateConfig, node: usize) {
+    let (cost, watchdog_at) = {
+        let st = &mut sim.world_mut().nodes[node];
+        if !st.alive {
+            st.dispatching = false;
+            return;
+        }
+        if st.launched >= st.target {
+            st.dispatching = false;
+            return;
+        }
+        if st.busy >= cfg.jobs {
+            st.dispatching = false;
+            st.stalled = true;
+            return;
+        }
+        let launched = st.launched;
+        st.launched += 1;
+        st.busy += 1;
+        st.dispatching = true;
+        // Task cost in [1ms, ~66ms], deterministic per (seed, node, task).
+        let us = 1_000 + mix(cfg.seed ^ ((node as u64) << 32) ^ launched) % 65_536;
+        (SimTime::from_micros(us), WATCHDOG)
+    };
+    let watchdog = sim.schedule_in(watchdog_at, move |sim| {
+        // Fires only if neither completion nor crash cancelled it; the
+        // workload is sized so that never happens.
+        let st = &mut sim.world_mut().nodes[node];
+        st.busy = st.busy.saturating_sub(1);
+    });
+    let completion = sim.schedule_in(cost, move |sim| complete(sim, cfg, node, watchdog));
+    let hop = sim.schedule_in(DISPATCH_GAP, move |sim| dispatch(sim, cfg, node));
+    let st = &mut sim.world_mut().nodes[node];
+    st.pending.push(watchdog);
+    st.pending.push(completion);
+    st.pending.push(hop);
+}
+
+fn complete(sim: &mut Simulation<GateWorld>, cfg: SimGateConfig, node: usize, watchdog: EventId) {
+    if let Some(cost) = sim.world().handicap {
+        let spin = Instant::now();
+        while spin.elapsed() < cost {
+            std::hint::spin_loop();
+        }
+    }
+    if sim.cancel(watchdog) {
+        sim.world_mut().cancelled += 1;
+    }
+    let resume = {
+        let world = sim.world_mut();
+        world.tasks_done += 1;
+        let st = &mut world.nodes[node];
+        if !st.alive {
+            return;
+        }
+        st.busy -= 1;
+        st.done += 1;
+        let resume = st.stalled;
+        if resume {
+            st.stalled = false;
+            st.dispatching = true;
+        }
+        resume
+    };
+    if resume {
+        dispatch(sim, cfg, node);
+    }
+}
+
+fn crash(sim: &mut Simulation<GateWorld>, cfg: SimGateConfig, node: usize) {
+    let (pending, lost) = {
+        let st = &mut sim.world_mut().nodes[node];
+        st.alive = false;
+        st.stalled = false;
+        st.dispatching = false;
+        // In-flight launches die with the node; their watchdogs and
+        // completions are in `pending` and get mass-cancelled below.
+        let lost = st.target - st.done;
+        st.busy = 0;
+        (std::mem::take(&mut st.pending), lost)
+    };
+    sim.world_mut().cancelled += sim.cancel_many(pending) as u64;
+    if lost == 0 {
+        return;
+    }
+    // Requeue the dead node's remainder across survivors (modulo split,
+    // as the resilient driver does) and kick any drained dispatchers.
+    let kicks: Vec<usize> = {
+        let world = sim.world_mut();
+        let survivors: Vec<usize> = world
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.alive)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!survivors.is_empty(), "gate crashes spare most nodes");
+        let mut kicks = Vec::new();
+        for (k, &to) in survivors.iter().enumerate() {
+            let share = lost / survivors.len() as u64
+                + u64::from((k as u64) < lost % survivors.len() as u64);
+            if share == 0 {
+                continue;
+            }
+            let st = &mut world.nodes[to];
+            st.target += share;
+            if !st.dispatching && !st.stalled {
+                st.dispatching = true;
+                kicks.push(to);
+            }
+        }
+        kicks
+    };
+    for node in kicks {
+        dispatch(sim, cfg, node);
+    }
+}
+
+/// Run the gate workload once and report the achieved event rate.
+pub fn measure(cfg: SimGateConfig) -> SimGateMeasurement {
+    assert!(cfg.nodes >= 2 && cfg.tasks_per_node >= 1 && cfg.jobs >= 1);
+    let tasks = cfg.nodes as u64 * cfg.tasks_per_node as u64;
+    let world = GateWorld {
+        nodes: (0..cfg.nodes)
+            .map(|_| Node {
+                target: cfg.tasks_per_node as u64,
+                launched: 0,
+                done: 0,
+                busy: 0,
+                alive: true,
+                dispatching: false,
+                stalled: false,
+                pending: Vec::with_capacity(3 * cfg.tasks_per_node as usize + 4),
+            })
+            .collect(),
+        cancelled: 0,
+        tasks_done: 0,
+        handicap: handicap(),
+    };
+    let started = Instant::now();
+    let mut sim = Simulation::with_seed(world, cfg.seed);
+    for node in 0..cfg.nodes as usize {
+        // Stagger starts over ~2s (the allocation ramp, coarsely).
+        let start = SimTime::from_micros(mix(cfg.seed ^ node as u64) % 2_000_000);
+        let id = sim.schedule_at(start, move |sim| {
+            sim.world_mut().nodes[node].dispatching = true;
+            dispatch(sim, cfg, node);
+        });
+        sim.world_mut().nodes[node].pending.push(id);
+    }
+    if cfg.crash_every > 0 {
+        for node in (0..cfg.nodes as usize).filter(|n| n % cfg.crash_every as usize == 1) {
+            // Crash genuinely mid-run: inside the start-stagger + drain
+            // window (a node starting at t runs ~0.5s of work), so most
+            // crashes mass-cancel live in-flight events and requeue a
+            // real remainder onto survivors. (An earlier variant crashed
+            // at 4-12s, after every node had drained — the mass-cancel
+            // hit only stale keys and requeued nothing.)
+            let at =
+                SimTime::from_micros(300_000) + SimTime::from_micros(mix(node as u64) % 2_000_000);
+            sim.schedule_at(at, move |sim| crash(sim, cfg, node));
+        }
+    }
+    sim.run();
+    let fired = sim.events_fired();
+    let wall = started.elapsed();
+    let world = sim.into_world();
+    let events = fired + world.cancelled;
+    SimGateMeasurement {
+        nodes: cfg.nodes,
+        tasks,
+        tasks_done: world.tasks_done,
+        fired,
+        cancelled: world.cancelled,
+        wall,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Run the canonical gate workload up to [`GATE_ATTEMPTS`] times and
+/// return the first measurement at or above the floor, or the best of
+/// the failing attempts. Callers compare `events_per_sec` to [`floor`].
+pub fn measure_gated() -> SimGateMeasurement {
+    let mut best: Option<SimGateMeasurement> = None;
+    for _ in 0..GATE_ATTEMPTS {
+        let m = measure(SimGateConfig::canonical());
+        if m.events_per_sec >= floor() {
+            return m;
+        }
+        if best.is_none_or(|b| m.events_per_sec > b.events_per_sec) {
+            best = Some(m);
+        }
+    }
+    best.expect("GATE_ATTEMPTS > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SimGateConfig {
+        SimGateConfig {
+            nodes: 8,
+            tasks_per_node: 32,
+            jobs: 8,
+            crash_every: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn workload_conserves_tasks_through_crashes() {
+        let m = measure(tiny());
+        // Crashed nodes requeue their remainder, so every task completes
+        // somewhere (possibly more than `tasks` completions never happen:
+        // requeue moves targets, it does not duplicate them).
+        assert_eq!(m.tasks_done, m.tasks, "lost tasks: {m:?}");
+        assert!(m.cancelled > 0, "watchdog cancels must be exercised");
+        assert!(m.fired > m.tasks, "completion + hop per task at minimum");
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = measure(tiny());
+        let b = measure(tiny());
+        assert_eq!(a.fired, b.fired);
+        assert_eq!(a.cancelled, b.cancelled);
+        assert_eq!(a.tasks_done, b.tasks_done);
+    }
+
+    #[test]
+    fn crash_free_run_cancels_exactly_one_watchdog_per_task() {
+        let mut cfg = tiny();
+        cfg.crash_every = 0;
+        let m = measure(cfg);
+        assert_eq!(m.cancelled, m.tasks);
+        assert_eq!(m.tasks_done, m.tasks);
+    }
+}

@@ -45,12 +45,22 @@ pub fn run_des_observed(
 ) -> WeakScalingResult {
     assert!(config.nodes >= 1, "need at least one node");
     assert!(config.tasks_per_node >= 1 && config.jobs_per_node >= 1);
+    let tasks_total = config.nodes as usize * config.tasks_per_node as usize;
     let dispatch_gap = 1.0 / config.machine.launch.instance_rate();
-    let mut sim = Simulation::with_seed(World::default(), config.seed);
+    // Peak pending events: per node one dispatch hop plus up to `jobs`
+    // completions in flight (the dominant term at Fig. 1 scale).
+    let jobs_per_node = config.jobs_per_node.min(config.tasks_per_node) as usize;
+    let peak_events = config.nodes as usize * (jobs_per_node + 2);
+    let world = World {
+        task_completion_secs: Vec::with_capacity(tasks_total),
+        node_elapsed_secs: Vec::with_capacity(config.nodes as usize),
+    };
+    let mut sim = Simulation::with_capacity(world, config.seed, peak_events);
     if let Some(bus) = &bus {
         sim.set_telemetry(Arc::clone(bus));
     }
 
+    let mut starts = Vec::with_capacity(config.nodes as usize);
     for node in 0..config.nodes {
         let plan = Rc::new(sample_node_plan(config, node));
         let jobs = config.jobs_per_node.min(config.tasks_per_node) as u64;
@@ -113,7 +123,7 @@ pub fn run_des_observed(
         let plan2 = Rc::clone(&plan);
         let state2 = Rc::clone(&node_state);
         let node_bus = bus.clone();
-        sim.schedule_at(start, move |sim| {
+        starts.push((start, move |sim: &mut Simulation<World>| {
             if let Some(bus) = &node_bus {
                 bus.emit(Event::NodeUp { node });
                 bus.emit(Event::Launch {
@@ -122,8 +132,9 @@ pub fn run_des_observed(
                 });
             }
             dispatch_next(sim, 0, tasks, dispatch_gap, plan2, slots, state2);
-        });
+        }));
     }
+    sim.schedule_batch(starts);
 
     sim.run();
     let world = sim.into_world();

@@ -30,6 +30,7 @@
 //! round-trips.
 
 use std::collections::HashSet;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use htpar_core::joblog::{completed_seqs, LogEntry};
@@ -238,6 +239,12 @@ struct NodeState {
 struct FaultWorld {
     nodes: Vec<NodeState>,
     log: Vec<LogEntry>,
+    /// Seqs with a joblog row, maintained incrementally so the recovery
+    /// driver's `--resume` diff is O(shard) instead of re-deriving the
+    /// skip set from the whole log at every crash (which is quadratic
+    /// at the 9,408-node scale). Kept equal to
+    /// [`completed_seqs`]`(&log)` — asserted in debug builds.
+    done: HashSet<u64>,
     task_completion_secs: Vec<f64>,
     nodes_failed: Vec<u32>,
     tasks_requeued: u64,
@@ -267,8 +274,10 @@ impl Default for NodeState {
     }
 }
 
-/// Shared scalars every handler needs, cheap to clone into closures.
-#[derive(Clone)]
+/// Shared scalars every handler needs. Handlers capture an [`Rc`] to
+/// this (one pointer), which keeps every hot-path closure small enough
+/// for the event queue's inline handler storage — no per-event
+/// allocation on the dispatch/complete/crash paths.
 struct Ctx {
     dispatch_gap: f64,
     task_runtime: Dist,
@@ -352,7 +361,7 @@ fn run_with_plan_observed(
     assert!(config.nodes >= 1, "need at least one node");
     assert!(config.tasks_per_node >= 1 && config.jobs_per_node >= 1);
     let tasks_total = config.nodes as u64 * config.tasks_per_node as u64;
-    let ctx = Ctx {
+    let ctx = Rc::new(Ctx {
         dispatch_gap: 1.0 / config.machine.launch.instance_rate(),
         task_runtime: config.task_runtime.clone(),
         write_secs: config
@@ -361,9 +370,21 @@ fn run_with_plan_observed(
             .write_files_secs(1, config.stdout_bytes_per_task as f64),
         recovery_seed: fault_seed ^ RECOVERY_STREAM_SALT,
         bus,
-    };
+    });
 
-    let mut sim = Simulation::with_seed(FaultWorld::default(), config.seed);
+    // Peak pending events: per node one dispatch hop plus up to `jobs`
+    // completions in flight, plus the not-yet-fired fault injections.
+    let jobs_per_node = config.jobs_per_node.min(config.tasks_per_node) as usize;
+    let peak_events =
+        config.nodes as usize * (jobs_per_node + 2) + plan.crashes.len() + plan.nvme_faults.len();
+    let world = FaultWorld {
+        nodes: Vec::with_capacity(config.nodes as usize),
+        log: Vec::with_capacity(tasks_total as usize),
+        done: HashSet::with_capacity(tasks_total as usize),
+        task_completion_secs: Vec::with_capacity(tasks_total as usize),
+        ..FaultWorld::default()
+    };
+    let mut sim = Simulation::with_capacity(world, config.seed, peak_events);
     if let Some(bus) = &ctx.bus {
         sim.set_telemetry(Arc::clone(bus));
     }
@@ -375,6 +396,8 @@ fn run_with_plan_observed(
     let crashes: std::collections::HashMap<u32, f64> = plan.crashes.iter().copied().collect();
     let stragglers: std::collections::HashMap<u32, f64> = plan.stragglers.iter().copied().collect();
 
+    let mut starts = Vec::with_capacity(config.nodes as usize);
+    let mut crash_events = Vec::with_capacity(plan.crashes.len());
     for (node, shard) in shards.into_iter().enumerate() {
         let plan_node = sample_node_plan(config, node as u32);
         // The shard and the plan's per-task costs are both
@@ -402,30 +425,39 @@ fn run_with_plan_observed(
         };
         sim.world_mut().nodes.push(state);
 
-        let start_id = {
-            let ctx = ctx.clone();
-            sim.schedule_at(SimTime::from_secs_f64(plan_node.start), move |sim| {
-                node_start(sim, &ctx, node)
-            })
-        };
-        sim.world_mut().nodes[node].pending.push(start_id);
+        let start_ctx = Rc::clone(&ctx);
+        starts.push((
+            SimTime::from_secs_f64(plan_node.start),
+            move |sim: &mut Simulation<FaultWorld>| node_start(sim, &start_ctx, node),
+        ));
 
         if let Some(&crash_t) = crashes.get(&(node as u32)) {
-            let ctx = ctx.clone();
-            sim.schedule_at(SimTime::from_secs_f64(crash_t), move |sim| {
-                node_crash(sim, &ctx, node, detect_delay_secs)
-            });
+            let crash_ctx = Rc::clone(&ctx);
+            crash_events.push((
+                SimTime::from_secs_f64(crash_t),
+                move |sim: &mut Simulation<FaultWorld>| {
+                    node_crash(sim, &crash_ctx, node, detect_delay_secs)
+                },
+            ));
         }
     }
-    for &(node, t) in &plan.nvme_faults {
-        sim.schedule_at(SimTime::from_secs_f64(t), move |sim| {
-            if let Some(st) = sim.world_mut().nodes.get_mut(node as usize) {
-                if st.alive {
-                    st.nvme_pending = true;
-                }
-            }
-        });
+    let start_ids = sim.schedule_batch(starts);
+    for (node, id) in start_ids.into_iter().enumerate() {
+        sim.world_mut().nodes[node].pending.push(id);
     }
+    sim.schedule_batch(crash_events);
+    sim.schedule_batch(plan.nvme_faults.iter().map(|&(node, t)| {
+        (
+            SimTime::from_secs_f64(t),
+            move |sim: &mut Simulation<FaultWorld>| {
+                if let Some(st) = sim.world_mut().nodes.get_mut(node as usize) {
+                    if st.alive {
+                        st.nvme_pending = true;
+                    }
+                }
+            },
+        )
+    }));
 
     sim.run();
     let world = sim.into_world();
@@ -458,7 +490,7 @@ fn run_with_plan_observed(
     }
 }
 
-fn node_start(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize) {
+fn node_start(sim: &mut Simulation<FaultWorld>, ctx: &Rc<Ctx>, node: usize) {
     let tasks = {
         let st = &mut sim.world_mut().nodes[node];
         if !st.alive {
@@ -479,7 +511,7 @@ fn node_start(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize) {
 /// One hop of the node's serial dispatcher: take the next shard line if
 /// a slot is free, schedule its completion, and schedule the next hop
 /// one dispatch gap later (GNU Parallel's single-instance launch rate).
-fn dispatch(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize) {
+fn dispatch(sim: &mut Simulation<FaultWorld>, ctx: &Rc<Ctx>, node: usize) {
     let now = sim.now().as_secs_f64();
     let (seq, cost, retried) = {
         let st = &mut sim.world_mut().nodes[node];
@@ -516,13 +548,13 @@ fn dispatch(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize) {
         ctx.emit(Event::Retried { seq, attempt: 1 });
     }
     let completion_id = {
-        let ctx2 = ctx.clone();
+        let ctx2 = Rc::clone(ctx);
         sim.schedule_in(SimTime::from_secs_f64(cost), move |sim| {
             complete(sim, &ctx2, node, seq, now, cost)
         })
     };
     let hop_id = {
-        let ctx2 = ctx.clone();
+        let ctx2 = Rc::clone(ctx);
         sim.schedule_in(SimTime::from_secs_f64(ctx.dispatch_gap), move |sim| {
             dispatch(sim, &ctx2, node)
         })
@@ -534,7 +566,7 @@ fn dispatch(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize) {
 
 fn complete(
     sim: &mut Simulation<FaultWorld>,
-    ctx: &Ctx,
+    ctx: &Rc<Ctx>,
     node: usize,
     seq: u64,
     launched_at: f64,
@@ -556,6 +588,7 @@ fn complete(
             st.stalled = false;
             st.dispatching = true;
         }
+        world.done.insert(seq);
         world.log.push(LogEntry {
             seq,
             host: format!("node{node}"),
@@ -575,7 +608,12 @@ fn complete(
     }
 }
 
-fn node_crash(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize, detect_delay_secs: f64) {
+fn node_crash(
+    sim: &mut Simulation<FaultWorld>,
+    ctx: &Rc<Ctx>,
+    node: usize,
+    detect_delay_secs: f64,
+) {
     let now = sim.now().as_secs_f64();
     let (pending, anything_lost) = {
         let world = sim.world_mut();
@@ -598,7 +636,7 @@ fn node_crash(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize, detect_d
     // beat the allocation ramp.
     sim.cancel_many(pending);
     if anything_lost {
-        let ctx = ctx.clone();
+        let ctx = Rc::clone(ctx);
         sim.schedule_in(SimTime::from_secs_f64(detect_delay_secs), move |sim| {
             requeue(sim, &ctx, node)
         });
@@ -609,15 +647,17 @@ fn node_crash(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, node: usize, detect_d
 /// node's shard against the joblog (the `--resume` skip set) and
 /// re-shard the unfinished lines across the survivors with the same
 /// listing-1 modulo split.
-fn requeue(sim: &mut Simulation<FaultWorld>, ctx: &Ctx, from: usize) {
+fn requeue(sim: &mut Simulation<FaultWorld>, ctx: &Rc<Ctx>, from: usize) {
     let kicks: Vec<usize> = {
         let world = sim.world_mut();
-        let done: HashSet<u64> = completed_seqs(&world.log);
+        // `world.done` is the incrementally maintained form of the
+        // `--resume` skip set the real driver derives from the joblog.
+        debug_assert_eq!(world.done, completed_seqs(&world.log));
         let lost: Vec<u64> = world.nodes[from]
             .shard
             .iter()
             .copied()
-            .filter(|seq| !done.contains(seq))
+            .filter(|seq| !world.done.contains(seq))
             .collect();
         if lost.is_empty() {
             return;
@@ -836,6 +876,46 @@ mod tests {
             assert_eq!(
                 r.task_completion_secs.len() as u64,
                 r.tasks_total,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_event_counts_are_pinned_across_engine_swaps() {
+        // Golden totals captured by running this exact workload on the
+        // original binary-heap event queue (now `reference::HeapQueue`).
+        // The calendar queue — and any future queue swap — must replay
+        // the same seeds into the same fired/cancelled totals, or the
+        // swap changed observable behavior, not just speed.
+        let golden = [(13u64, 269u64, 2u64), (21, 271, 5), (2024, 269, 1)];
+        for (seed, want_fired, want_cancelled) in golden {
+            let config = small_config(seed);
+            let faults = FaultConfig {
+                crash_rate: 0.5,
+                ..FaultConfig::calibrated(seed)
+            };
+            let bus = EventBus::shared();
+            let rec = Recorder::shared();
+            bus.attach(rec.clone());
+            let r = run_resilient_observed(&config, &faults, Some(Arc::clone(&bus)));
+            r.verify_exactly_once()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            // `SimEventFired.count` is a running total, so the number of
+            // fired events is the number of emissions; cancellations can
+            // arrive aggregated, so those counts are summed.
+            let fired = rec.count_matching(|e| e.kind() == "sim_event_fired") as u64;
+            let cancelled: u64 = rec
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    Event::SimEventCancelled { count, .. } => Some(*count),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(
+                (fired, cancelled),
+                (want_fired, want_cancelled),
                 "seed {seed}"
             );
         }

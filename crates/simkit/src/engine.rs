@@ -6,13 +6,17 @@ use std::sync::Arc;
 use htpar_telemetry::{Event, EventBus};
 
 use crate::event::{EventKey, EventQueue};
+use crate::handler::InlineHandler;
 use crate::rng::{stream_rng, SimRng};
 use crate::time::SimTime;
 
 /// Handle to a scheduled event; pass to [`Simulation::cancel`].
 pub type EventId = EventKey;
 
-type Handler<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
+/// Handlers are stored inline in the event slot when their captures fit
+/// (see [`crate::handler`]) — no per-event heap allocation on the hot
+/// path.
+type Handler<W> = InlineHandler<W>;
 
 /// A discrete-event simulation over a world state `W`.
 ///
@@ -43,14 +47,28 @@ impl<W> Simulation<W> {
 
     /// A simulation with an explicit RNG seed.
     pub fn with_seed(world: W, seed: u64) -> Self {
+        Simulation::with_capacity(world, seed, 0)
+    }
+
+    /// A simulation whose event queue has room for `events` concurrently
+    /// pending events up front. Large models (the 9,408-node weak-scaling
+    /// run keeps >1M watchdogs and completions in flight) should size
+    /// this to avoid rehoming the event slab mid-run.
+    pub fn with_capacity(world: W, seed: u64, events: usize) -> Self {
         Simulation {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(events),
             world,
             rng: stream_rng(seed, 0),
             fired: 0,
             bus: None,
         }
+    }
+
+    /// Make room for `additional` more pending events without
+    /// reallocating mid-run.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
     }
 
     /// Attach a telemetry bus: each fired event emits
@@ -102,7 +120,7 @@ impl<W> Simulation<W> {
         F: FnOnce(&mut Simulation<W>) + 'static,
     {
         let at = at.max(self.now);
-        self.queue.push(at, Box::new(handler))
+        self.queue.push(at, InlineHandler::new(handler))
     }
 
     /// Schedule `handler` at `now + delay`.
@@ -111,7 +129,27 @@ impl<W> Simulation<W> {
         F: FnOnce(&mut Simulation<W>) + 'static,
     {
         let at = self.now + delay;
-        self.queue.push(at, Box::new(handler))
+        self.queue.push(at, InlineHandler::new(handler))
+    }
+
+    /// Schedule a batch of same-shaped events (absolute times, clamped to
+    /// now like [`Simulation::schedule_at`]), reserving queue capacity
+    /// once up front. Returns the ids in input order — the hot producers
+    /// (per-node start/crash/completion loops) keep them for later
+    /// [`Simulation::cancel_many`].
+    pub fn schedule_batch<F, I>(&mut self, events: I) -> Vec<EventId>
+    where
+        F: FnOnce(&mut Simulation<W>) + 'static,
+        I: IntoIterator<Item = (SimTime, F)>,
+    {
+        let events = events.into_iter();
+        self.queue.reserve(events.size_hint().0);
+        events
+            .map(|(at, handler)| {
+                let at = at.max(self.now);
+                self.queue.push(at, InlineHandler::new(handler))
+            })
+            .collect()
     }
 
     /// Cancel a pending event. Returns `true` if it had not yet fired.
@@ -121,6 +159,7 @@ impl<W> Simulation<W> {
             if let Some(bus) = &self.bus {
                 bus.emit(Event::SimEventCancelled {
                     sim_time: self.now.as_secs_f64(),
+                    count: 1,
                 });
             }
         }
@@ -128,12 +167,23 @@ impl<W> Simulation<W> {
     }
 
     /// Cancel a batch of pending events (e.g. everything in flight on a
-    /// crashed node). Returns how many had not yet fired.
+    /// crashed node). Returns how many had not yet fired. Telemetry is
+    /// batched: one aggregate [`Event::SimEventCancelled`] carrying the
+    /// whole count, not one bus publish per event.
     pub fn cancel_many<I>(&mut self, ids: I) -> usize
     where
         I: IntoIterator<Item = EventId>,
     {
-        ids.into_iter().filter(|&id| self.cancel(id)).count()
+        let count = ids.into_iter().filter(|&id| self.queue.cancel(id)).count();
+        if count > 0 {
+            if let Some(bus) = &self.bus {
+                bus.emit(Event::SimEventCancelled {
+                    sim_time: self.now.as_secs_f64(),
+                    count: count as u64,
+                });
+            }
+        }
+        count
     }
 
     /// Schedule `handler` every `period`, starting one period from now,
@@ -171,7 +221,7 @@ impl<W> Simulation<W> {
                         count: self.fired,
                     });
                 }
-                handler(self);
+                handler.invoke(self);
                 true
             }
             None => false,
@@ -322,7 +372,7 @@ mod tests {
         for e in rec.events() {
             match e {
                 Event::SimEventFired { sim_time, count } => fired.push((sim_time, count)),
-                Event::SimEventCancelled { .. } => cancelled += 1,
+                Event::SimEventCancelled { count, .. } => cancelled += count,
                 _ => panic!("unexpected event kind {}", e.kind()),
             }
         }
@@ -331,6 +381,73 @@ mod tests {
         // Cancelling an already-fired event emits nothing further.
         assert!(!sim.cancel(id));
         assert_eq!(rec.count_matching(|e| e.kind() == "sim_event_cancelled"), 1);
+    }
+
+    #[test]
+    fn cancel_many_emits_one_aggregate_telemetry_event() {
+        use htpar_telemetry::Recorder;
+        let bus = EventBus::shared();
+        let rec = Recorder::shared();
+        bus.attach(rec.clone());
+        let mut sim = Simulation::new(0u32);
+        sim.set_telemetry(bus);
+        let mut ids = Vec::new();
+        for i in 0..128u64 {
+            ids.push(sim.schedule_at(SimTime::from_secs(i + 1), |s| *s.world_mut() += 1));
+        }
+        assert_eq!(sim.cancel_many(ids), 128);
+        let counts: Vec<u64> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SimEventCancelled { count, .. } => Some(*count),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counts, vec![128], "one aggregate publish, not 128");
+        // A batch that cancels nothing publishes nothing.
+        assert_eq!(sim.cancel_many(Vec::new()), 0);
+        assert_eq!(rec.count_matching(|e| e.kind() == "sim_event_cancelled"), 1);
+    }
+
+    #[test]
+    fn mass_cancel_updates_pending_count_and_peek_immediately() {
+        // The cancel_many-then-peek latency cliff: the old heap left a
+        // tombstone per cancelled event for one giant drain at the next
+        // peek/pop. The slab frees slots directly, so pending-count and
+        // next-event time are exact right after the mass cancel.
+        let mut sim = Simulation::new(0u32);
+        let mut ids = Vec::new();
+        for i in 0..10_000u64 {
+            ids.push(sim.schedule_at(SimTime::from_micros(100 + i), |s| *s.world_mut() += 1));
+        }
+        let far = SimTime::from_secs(600);
+        sim.schedule_at(far, |s| *s.world_mut() += 1);
+        assert_eq!(sim.cancel_many(ids), 10_000);
+        assert_eq!(sim.events_pending(), 1);
+        assert_eq!(sim.peek_next(), Some(far));
+        sim.run();
+        assert_eq!(*sim.world(), 1);
+        assert_eq!(sim.now(), far);
+    }
+
+    #[test]
+    fn schedule_batch_matches_individual_schedules() {
+        let mut sim = Simulation::new(Vec::new());
+        let ids = sim.schedule_batch((0..10u64).map(|i| {
+            let at = SimTime::from_secs(10 - i); // reversed times
+            (at, move |s: &mut Simulation<Vec<u64>>| {
+                s.world_mut().push(i)
+            })
+        }));
+        assert_eq!(ids.len(), 10);
+        // Cancel one mid-batch via its returned id.
+        assert!(sim.cancel(ids[3]));
+        sim.run();
+        // Times were 10-i, so firing order is reversed input order, minus
+        // the cancelled i=3.
+        let want: Vec<u64> = (0..10).rev().filter(|&i| i != 3).collect();
+        assert_eq!(sim.world(), &want);
     }
 
     #[test]

@@ -1,120 +1,120 @@
-//! The event queue: a binary heap of timestamped, sequence-numbered
-//! entries. Ties at equal timestamps pop in scheduling order, which is the
-//! property that makes simulations deterministic regardless of heap
-//! internals.
+//! The event queue: a hierarchical calendar (timing-wheel) queue over a
+//! generational slab.
+//!
+//! This replaced the original `BinaryHeap` + `HashSet` queue (preserved
+//! as [`crate::reference::HeapQueue`]) to make the paper-scale runs
+//! tractable: at 9,408 nodes × 1.152 M tasks, the simulation pushes,
+//! cancels, and fires tens of millions of events, and the heap paid
+//! O(log n) sift costs, a SipHash lookup per operation, and lazy
+//! tombstone drains after every mass cancellation. Here:
+//!
+//! - **schedule** is O(1): bump a seq counter, take a slab slot, link it
+//!   into its wheel bucket;
+//! - **cancel** is O(1): generation check, unlink, free — no hashing,
+//!   and no tombstones for later pops to drain, so `cancel_many` after a
+//!   node crash leaves the queue immediately clean;
+//! - **pop** is amortized O(1): advance to the next occupied bucket via
+//!   bitmap scans, cascading coarse buckets at most once per level per
+//!   event.
+//!
+//! Ties at equal timestamps pop in scheduling order — the property that
+//! makes simulations deterministic — structurally, via per-bucket FIFO
+//! lists (see [`crate::wheel`] for the argument). Equivalence with the
+//! reference queue over random interleavings is pinned by
+//! `tests/queue_differential.rs`.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
-
+use crate::slab::Slab;
 use crate::time::SimTime;
+use crate::wheel::Wheel;
 
 /// Opaque handle to a scheduled event, usable to cancel it.
+///
+/// Generational: the slot index names where the event lives, the
+/// generation proves it is still the *same* event. Keys to fired or
+/// cancelled events miss harmlessly, even after the slot is reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventKey {
-    pub(crate) seq: u64,
+    pub(crate) idx: u32,
+    pub(crate) gen: u32,
 }
 
-pub(crate) struct Entry<H> {
-    pub at: SimTime,
-    pub seq: u64,
-    /// `None` after the handler has been taken.
-    pub handler: Option<H>,
-}
-
-impl<H> PartialEq for Entry<H> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<H> Eq for Entry<H> {}
-
-impl<H> PartialOrd for Entry<H> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<H> Ord for Entry<H> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// A time-ordered queue of handlers with O(1) lazy cancellation.
-pub(crate) struct EventQueue<H> {
-    heap: BinaryHeap<Entry<H>>,
+/// A time-ordered queue of handlers with O(1) scheduling and
+/// cancellation.
+pub struct EventQueue<H> {
+    slab: Slab<H>,
+    wheel: Wheel,
     next_seq: u64,
-    /// Sequence numbers of events that are scheduled and not yet fired or
-    /// cancelled. Membership here is the single source of truth for "will
-    /// this event run".
-    pending: HashSet<u64>,
+}
+
+impl<H> Default for EventQueue<H> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl<H> EventQueue<H> {
     pub fn new() -> Self {
+        EventQueue::with_capacity(0)
+    }
+
+    /// A queue with slab capacity for `capacity` concurrently pending
+    /// events (it grows beyond that; this just avoids rehoming the slab
+    /// mid-run).
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slab: Slab::with_capacity(capacity),
+            wheel: Wheel::new(),
             next_seq: 0,
-            pending: HashSet::new(),
         }
+    }
+
+    /// Make room for `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slab.reserve(additional);
     }
 
     pub fn push(&mut self, at: SimTime, handler: H) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            at,
-            seq,
-            handler: Some(handler),
-        });
-        self.pending.insert(seq);
-        EventKey { seq }
+        let (idx, gen) = self.slab.alloc(at.as_micros(), seq, handler);
+        self.wheel.insert(&mut self.slab, idx);
+        EventKey { idx, gen }
     }
 
     /// Cancel a pending event. Returns `true` if the event was still
-    /// pending; cancelling an already-fired or already-cancelled event is a
-    /// no-op returning `false`. The heap entry is removed lazily on pop.
+    /// pending; cancelling an already-fired or already-cancelled event is
+    /// a no-op returning `false`. The slot is freed immediately — there
+    /// is no tombstone for a later pop to drain.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        self.pending.remove(&key.seq)
+        if !self.slab.is_live(key.idx, key.gen) {
+            return false;
+        }
+        self.wheel.remove(&mut self.slab, key.idx);
+        self.slab.free(key.idx);
+        true
     }
 
     /// Number of events that will still fire.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.slab.len()
     }
 
-    #[cfg_attr(not(test), allow(dead_code))] // used by tests and kept for API symmetry
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.slab.len() == 0
     }
 
-    /// Timestamp of the next event that will fire, if any.
+    /// Timestamp of the next event that will fire, if any. Does not
+    /// advance the queue's internal clock, so events scheduled after a
+    /// peek land exactly where they would have without it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
-        self.heap.peek().map(|e| e.at)
+        self.wheel.peek_time(&self.slab).map(SimTime::from_micros)
     }
 
     /// Pop the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, H)> {
-        self.skip_cancelled();
-        let mut entry = self.heap.pop()?;
-        self.pending.remove(&entry.seq);
-        let handler = entry
-            .handler
-            .take()
-            .expect("live heap entries always carry their handler");
-        Some((entry.at, handler))
-    }
-
-    fn skip_cancelled(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.pending.contains(&top.seq) {
-                break;
-            }
-            self.heap.pop();
-        }
+        let idx = self.wheel.pop(&mut self.slab)?;
+        let at = SimTime::from_micros(self.slab.get(idx).at);
+        Some((at, self.slab.free(idx)))
     }
 }
 
@@ -156,18 +156,23 @@ mod tests {
     }
 
     #[test]
-    fn cancel_after_fire_is_noop() {
+    fn cancel_after_fire_is_noop_even_when_the_slot_is_reused() {
         let mut q = EventQueue::new();
         let a = q.push(SimTime::from_secs(1), 'a');
         assert!(q.pop().is_some());
         assert!(!q.cancel(a));
-        assert!(q.is_empty());
+        // The freed slot is recycled by the next push; the stale key must
+        // still miss rather than cancel the newcomer.
+        let b = q.push(SimTime::from_secs(2), 'b');
+        assert_eq!(b.idx, a.idx, "slab reuses the slot");
+        assert!(!q.cancel(a), "stale generation misses");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 'b')));
     }
 
     #[test]
     fn cancel_unknown_key_is_noop() {
         let mut q: EventQueue<char> = EventQueue::new();
-        assert!(!q.cancel(EventKey { seq: 42 }));
+        assert!(!q.cancel(EventKey { idx: 42, gen: 0 }));
         assert!(q.is_empty());
     }
 
@@ -184,11 +189,61 @@ mod tests {
     }
 
     #[test]
-    fn peek_time_skips_cancelled_head() {
+    fn peek_time_reflects_cancellation_of_the_head() {
         let mut q = EventQueue::new();
         let a = q.push(SimTime::from_secs(1), 'a');
         q.push(SimTime::from_secs(2), 'b');
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn mass_cancel_leaves_no_tombstones_for_peek_or_pop() {
+        // The latency-cliff regression test: cancel everything in flight
+        // except one far-future survivor, then peek — the old queue paid
+        // a full heap drain here; the calendar queue must answer from
+        // clean state immediately.
+        let mut q = EventQueue::new();
+        let keys: Vec<EventKey> = (0..10_000)
+            .map(|i| q.push(SimTime::from_micros(1_000 + i), i))
+            .collect();
+        let survivor = q.push(SimTime::from_secs(600), 424242);
+        for k in keys {
+            assert!(q.cancel(k));
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(600)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(600), 424242)));
+        assert!(q.pop().is_none());
+        let _ = survivor;
+    }
+
+    #[test]
+    fn interleaved_schedule_now_after_peek_keeps_order() {
+        // peek_time must not cascade: an event scheduled at the peeked
+        // time afterwards still fires after same-time earlier events.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(10)));
+        q.push(SimTime::from_secs(10), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, h)| h)).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_do_not_change_behavior() {
+        let mut q = EventQueue::with_capacity(100);
+        q.reserve(1_000);
+        for i in 0..500u64 {
+            q.push(SimTime::from_micros(i % 7), i);
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut n = 0;
+        while let Some((at, v)) = q.pop() {
+            assert!(at > last.0 || (at == last.0 && v > last.1) || n == 0);
+            last = (at, v);
+            n += 1;
+        }
+        assert_eq!(n, 500);
     }
 }

@@ -1,0 +1,178 @@
+//! Inline event handlers: the small-closure optimization for the event
+//! hot path.
+//!
+//! The old queue boxed every handler (`Box<dyn FnOnce>`), paying an
+//! allocation and a pointer chase per scheduled event. Nearly every
+//! closure the models schedule captures a handful of words (a node
+//! index, a seq, an `Rc` or two), so [`InlineHandler`] stores closures
+//! up to [`INLINE_SIZE`] bytes directly in the event slot — the slab is
+//! the handler arena — and falls back to a `Box` only for oversized
+//! captures. Semantically it is exactly `Box<dyn FnOnce(&mut
+//! Simulation<W>)>`: call once, drop if never called.
+//!
+//! This module is the crate's only `unsafe` code; the wheel and slab
+//! stay entirely safe.
+
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
+
+use crate::engine::Simulation;
+
+/// Closures whose captures fit in this many bytes are stored inline in
+/// the event slot; larger ones cost one Box. Sized for the models' hot
+/// closures (an `Rc<Ctx>` + a few indices) with room to spare.
+pub(crate) const INLINE_SIZE: usize = 64;
+
+/// Payload buffer. The 16-byte alignment accommodates any capture the
+/// models use (u128/SIMD captures beyond that take the Box path).
+#[repr(C, align(16))]
+struct Buf([MaybeUninit<u8>; INLINE_SIZE]);
+
+/// A type-erased `FnOnce(&mut Simulation<W>)` stored without a heap
+/// allocation whenever it fits.
+pub(crate) struct InlineHandler<W> {
+    buf: Buf,
+    /// Moves the closure out of `buf` and calls it (consuming `buf`).
+    call: unsafe fn(*mut u8, &mut Simulation<W>),
+    /// Drops the closure in `buf` without calling it.
+    drop_fn: unsafe fn(*mut u8),
+}
+
+impl<W> InlineHandler<W> {
+    pub fn new<F>(f: F) -> Self
+    where
+        F: FnOnce(&mut Simulation<W>) + 'static,
+    {
+        /// SAFETY contract (both variants): `p` points to a valid,
+        /// initialized `F` (resp. `Box<F>`) which is read out exactly
+        /// once — the caller must not touch the buffer afterwards.
+        unsafe fn call_inline<W, F: FnOnce(&mut Simulation<W>)>(p: *mut u8, s: &mut Simulation<W>) {
+            p.cast::<F>().read()(s)
+        }
+        unsafe fn drop_inline<F>(p: *mut u8) {
+            std::ptr::drop_in_place(p.cast::<F>())
+        }
+        unsafe fn call_boxed<W, F: FnOnce(&mut Simulation<W>)>(p: *mut u8, s: &mut Simulation<W>) {
+            p.cast::<Box<F>>().read()(s)
+        }
+        unsafe fn drop_boxed<F>(p: *mut u8) {
+            drop(p.cast::<Box<F>>().read())
+        }
+
+        let mut buf = Buf([MaybeUninit::uninit(); INLINE_SIZE]);
+        let p = buf.0.as_mut_ptr().cast::<u8>();
+        if size_of::<F>() <= INLINE_SIZE && align_of::<F>() <= align_of::<Buf>() {
+            // SAFETY: `F` fits the buffer in size and alignment; the
+            // bytes move with the struct and `F` has no address
+            // identity, so a later `read` from the moved buffer is the
+            // same value.
+            unsafe { p.cast::<F>().write(f) };
+            InlineHandler {
+                buf,
+                call: call_inline::<W, F>,
+                drop_fn: drop_inline::<F>,
+            }
+        } else {
+            // SAFETY: a `Box<F>` is one pointer — always fits.
+            unsafe { p.cast::<Box<F>>().write(Box::new(f)) };
+            InlineHandler {
+                buf,
+                call: call_boxed::<W, F>,
+                drop_fn: drop_boxed::<F>,
+            }
+        }
+    }
+
+    /// Call the stored closure, consuming it.
+    pub fn invoke(self, sim: &mut Simulation<W>) {
+        let mut this = ManuallyDrop::new(self);
+        let p = this.buf.0.as_mut_ptr().cast::<u8>();
+        // SAFETY: `this` is never dropped (ManuallyDrop), so the closure
+        // is read out exactly once, here.
+        unsafe { (this.call)(p, sim) }
+    }
+}
+
+impl<W> Drop for InlineHandler<W> {
+    fn drop(&mut self) {
+        let p = self.buf.0.as_mut_ptr().cast::<u8>();
+        // SAFETY: `invoke` consumes `self` via ManuallyDrop, so a drop
+        // here means the closure was never read out and is still live.
+        unsafe { (self.drop_fn)(p) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn run_one(h: InlineHandler<u32>) -> u32 {
+        let mut sim = Simulation::new(0u32);
+        h.invoke(&mut sim);
+        *sim.world()
+    }
+
+    #[test]
+    fn small_closures_run_inline() {
+        let x = 41u32;
+        let h = InlineHandler::new(move |s: &mut Simulation<u32>| *s.world_mut() = x + 1);
+        assert!(size_of::<u32>() <= INLINE_SIZE);
+        assert_eq!(run_one(h), 42);
+    }
+
+    #[test]
+    fn oversized_closures_fall_back_to_a_box() {
+        let big = [7u64; 32]; // 256 bytes of captures
+        assert!(size_of::<[u64; 32]>() > INLINE_SIZE);
+        let h = InlineHandler::new(move |s: &mut Simulation<u32>| {
+            *s.world_mut() = big.iter().sum::<u64>() as u32
+        });
+        assert_eq!(run_one(h), 224);
+    }
+
+    #[test]
+    fn never_invoked_handlers_drop_their_captures() {
+        struct Probe(Rc<RefCell<u32>>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+        let drops = Rc::new(RefCell::new(0));
+        // One inline, one boxed; neither is invoked.
+        let small = InlineHandler::<u32>::new({
+            let probe = Probe(Rc::clone(&drops));
+            move |_| drop(probe)
+        });
+        let large = InlineHandler::<u32>::new({
+            let probe = Probe(Rc::clone(&drops));
+            let pad = [0u8; 128];
+            move |_| {
+                drop(probe);
+                let _ = pad;
+            }
+        });
+        drop(small);
+        drop(large);
+        assert_eq!(*drops.borrow(), 2);
+    }
+
+    #[test]
+    fn invoked_handlers_drop_their_captures_exactly_once() {
+        let drops = Rc::new(RefCell::new(0u32));
+        struct Probe(Rc<RefCell<u32>>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+        let probe = Probe(Rc::clone(&drops));
+        let h = InlineHandler::new(move |_s: &mut Simulation<u32>| {
+            let _ = &probe;
+        });
+        let mut sim = Simulation::new(0u32);
+        h.invoke(&mut sim);
+        assert_eq!(*drops.borrow(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! The original binary-heap event queue, kept as the *reference model*.
+//!
+//! This is the `BinaryHeap` + `HashSet` queue the engine shipped with
+//! before the calendar-queue rework: O(log n) push/pop, hashed
+//! cancellation tombstones drained lazily at the next peek/pop. It is
+//! no longer on any hot path — [`crate::event::EventQueue`] replaced it —
+//! but it stays public because its behavior *defines* correctness for
+//! the replacement: `tests/queue_differential.rs` replays random
+//! schedule/cancel/pop/peek interleavings against both queues and
+//! requires identical observable behavior (times, payload order,
+//! same-timestamp FIFO, cancel results, lengths).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle to an event scheduled on a [`HeapQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeapKey {
+    seq: u64,
+}
+
+struct Entry<H> {
+    at: SimTime,
+    seq: u64,
+    /// `None` after the handler has been taken.
+    handler: Option<H>,
+}
+
+impl<H> PartialEq for Entry<H> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<H> Eq for Entry<H> {}
+
+impl<H> PartialOrd for Entry<H> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<H> Ord for Entry<H> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of handlers with O(1) lazy cancellation.
+pub struct HeapQueue<H> {
+    heap: BinaryHeap<Entry<H>>,
+    next_seq: u64,
+    /// Sequence numbers of events that are scheduled and not yet fired or
+    /// cancelled. Membership here is the single source of truth for "will
+    /// this event run".
+    pending: HashSet<u64>,
+}
+
+impl<H> Default for HeapQueue<H> {
+    fn default() -> Self {
+        HeapQueue::new()
+    }
+}
+
+impl<H> HeapQueue<H> {
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: HashSet::new(),
+        }
+    }
+
+    pub fn push(&mut self, at: SimTime, handler: H) -> HeapKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            handler: Some(handler),
+        });
+        self.pending.insert(seq);
+        HeapKey { seq }
+    }
+
+    /// Cancel a pending event. Returns `true` if the event was still
+    /// pending; cancelling an already-fired or already-cancelled event is a
+    /// no-op returning `false`. The heap entry is removed lazily on pop.
+    pub fn cancel(&mut self, key: HeapKey) -> bool {
+        self.pending.remove(&key.seq)
+    }
+
+    /// Number of events that will still fire.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Timestamp of the next event that will fire, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, H)> {
+        self.skip_cancelled();
+        let mut entry = self.heap.pop()?;
+        self.pending.remove(&entry.seq);
+        let handler = entry
+            .handler
+            .take()
+            .expect("live heap entries always carry their handler");
+        Some((entry.at, handler))
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = HeapQueue::new();
+        q.push(SimTime::from_secs(3), 'c');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, h)| h)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_pop_in_scheduling_order() {
+        let mut q = HeapQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, h)| h)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut q = HeapQueue::new();
+        let _a = q.push(SimTime::from_secs(1), 'a');
+        let b = q.push(SimTime::from_secs(2), 'b');
+        let _c = q.push(SimTime::from_secs(3), 'c');
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double-cancel reports false");
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, h)| h)).collect();
+        assert_eq!(order, vec!['a', 'c']);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = HeapQueue::new();
+        let a = q.push(SimTime::from_secs(1), 'a');
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_noop() {
+        let mut q: HeapQueue<char> = HeapQueue::new();
+        assert!(!q.cancel(HeapKey { seq: 42 }));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_cancellations() {
+        let mut q = HeapQueue::new();
+        let a = q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = HeapQueue::new();
+        let a = q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+}

@@ -1,0 +1,169 @@
+//! Generational slab storage for event entries.
+//!
+//! Every scheduled event lives in one [`Slot`]: payload, timestamp,
+//! sequence number, and the intrusive doubly-linked-list wiring that
+//! threads it into a timing-wheel bucket (see [`crate::wheel`]). Freed
+//! slots go on a free list through their `next` field and bump their
+//! generation counter, so a stale `(index, generation)` key — an event
+//! that already fired or was cancelled, then had its slot reused —
+//! misses instead of cancelling an unrelated event. That makes
+//! cancellation O(1) with no hashing and no tombstones: the slot is
+//! unlinked and reusable immediately.
+
+/// Null link ("end of list" / "no slot").
+pub(crate) const NIL: u32 = u32::MAX;
+/// "Not linked into any wheel bucket."
+pub(crate) const HOME_NONE: u16 = u16::MAX;
+
+/// One event's storage.
+pub(crate) struct Slot<H> {
+    /// Bumped on free; a key only matches while its generation does.
+    pub gen: u32,
+    /// Firing time in microseconds.
+    pub at: u64,
+    /// Global scheduling order, the deterministic tiebreak.
+    pub seq: u64,
+    /// Intrusive list links (or free-list `next` while the slot is free).
+    pub prev: u32,
+    pub next: u32,
+    /// Wheel bucket this slot is linked into (`level * SLOTS + slot`).
+    pub home: u16,
+    /// `None` while the slot is free.
+    pub value: Option<H>,
+}
+
+/// Slab of event slots with an internal free list.
+pub(crate) struct Slab<H> {
+    slots: Vec<Slot<H>>,
+    free_head: u32,
+    live: usize,
+}
+
+impl<H> Slab<H> {
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(capacity),
+            free_head: NIL,
+            live: 0,
+        }
+    }
+
+    /// Live (scheduled, not yet fired or cancelled) entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Make room for `additional` more live entries without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+    }
+
+    /// Store a new entry, unlinked (`home == HOME_NONE`), and return its
+    /// `(index, generation)` key parts.
+    pub fn alloc(&mut self, at: u64, seq: u64, value: H) -> (u32, u32) {
+        self.live += 1;
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            self.free_head = slot.next;
+            slot.at = at;
+            slot.seq = seq;
+            slot.prev = NIL;
+            slot.next = NIL;
+            slot.home = HOME_NONE;
+            slot.value = Some(value);
+            (idx, slot.gen)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab holds at most u32::MAX events");
+            assert!(idx != NIL, "slab holds at most u32::MAX events");
+            self.slots.push(Slot {
+                gen: 0,
+                at,
+                seq,
+                prev: NIL,
+                next: NIL,
+                home: HOME_NONE,
+                value: Some(value),
+            });
+            (idx, 0)
+        }
+    }
+
+    /// Free a slot (which must be live and already unlinked from its
+    /// bucket), returning its payload. The generation bump invalidates
+    /// every outstanding key to it.
+    pub fn free(&mut self, idx: u32) -> H {
+        self.live -= 1;
+        let slot = &mut self.slots[idx as usize];
+        debug_assert_eq!(slot.home, HOME_NONE, "free only unlinked slots");
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.prev = NIL;
+        slot.next = self.free_head;
+        self.free_head = idx;
+        slot.value.take().expect("live slots carry a payload")
+    }
+
+    pub fn get(&self, idx: u32) -> &Slot<H> {
+        &self.slots[idx as usize]
+    }
+
+    pub fn get_mut(&mut self, idx: u32) -> &mut Slot<H> {
+        &mut self.slots[idx as usize]
+    }
+
+    /// Does `(idx, gen)` name a live entry?
+    pub fn is_live(&self, idx: u32, gen: u32) -> bool {
+        self.slots
+            .get(idx as usize)
+            .is_some_and(|s| s.gen == gen && s.value.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_reuses_slots_with_fresh_generations() {
+        let mut slab: Slab<&str> = Slab::with_capacity(4);
+        let (i0, g0) = slab.alloc(10, 0, "a");
+        let (i1, g1) = slab.alloc(20, 1, "b");
+        assert_eq!(slab.len(), 2);
+        assert!(slab.is_live(i0, g0) && slab.is_live(i1, g1));
+
+        assert_eq!(slab.free(i0), "a");
+        assert_eq!(slab.len(), 1);
+        assert!(!slab.is_live(i0, g0), "freed key must miss");
+
+        let (i2, g2) = slab.alloc(30, 2, "c");
+        assert_eq!(i2, i0, "free list reuses the slot");
+        assert_ne!(g2, g0, "reuse bumps the generation");
+        assert!(slab.is_live(i2, g2));
+        assert!(!slab.is_live(i0, g0), "stale key still misses after reuse");
+    }
+
+    #[test]
+    fn out_of_range_keys_miss() {
+        let slab: Slab<u8> = Slab::with_capacity(0);
+        assert!(!slab.is_live(7, 0));
+        assert!(!slab.is_live(NIL, 0));
+    }
+
+    #[test]
+    fn free_list_is_lifo_and_len_tracks() {
+        let mut slab: Slab<u32> = Slab::with_capacity(0);
+        let keys: Vec<(u32, u32)> = (0..8).map(|i| slab.alloc(i, i, i as u32)).collect();
+        assert_eq!(slab.len(), 8);
+        for &(idx, _) in &keys {
+            slab.free(idx);
+        }
+        assert_eq!(slab.len(), 0);
+        // Refill: every slot comes back, all with bumped generations.
+        let again: Vec<(u32, u32)> = (0..8).map(|i| slab.alloc(i, 8 + i, i as u32)).collect();
+        assert_eq!(slab.len(), 8);
+        for (&(i_old, g_old), &(i_new, g_new)) in keys.iter().zip(again.iter().rev()) {
+            assert_eq!(i_old, i_new, "LIFO reuse");
+            assert_ne!(g_old, g_new);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Hierarchical timing wheel over the event slab.
+//!
+//! Eleven levels of 64 slots each index the full `u64` microsecond range
+//! (level *k* slots are 64<sup>k</sup> µs wide; 64<sup>11</sup> ≥
+//! 2<sup>64</sup>, so there is no separate far-future overflow list —
+//! the coarsest level *is* the overflow). Each slot heads an intrusive
+//! doubly-linked list of slab entries, and a 64-bit occupancy bitmap per
+//! level makes "find the next nonempty slot" one masked
+//! `trailing_zeros`. Insert and remove are O(1); pop advances the clock
+//! to the next occupied slot, cascading coarse-level slots down to finer
+//! levels as they are reached (each entry cascades at most `LEVELS - 1`
+//! times over its whole lifetime, so pops are amortized O(1) too).
+//!
+//! # Determinism
+//!
+//! Same-timestamp events must fire in scheduling order. The wheel gets
+//! this structurally, with no per-bucket sort:
+//!
+//! - Two entries with the same timestamp always land in the same slot at
+//!   every level (the slot index is a function of the timestamp and the
+//!   current window), so they are always in one list.
+//! - Direct inserts append at the tail in globally increasing `seq`
+//!   order, and cascades reinsert a slot's list in list order — so every
+//!   list stays seq-sorted within each timestamp.
+//! - A level-0 slot is exactly one microsecond wide: every entry in it
+//!   shares a timestamp, so popping from the head is FIFO = `seq` order.
+
+use crate::slab::{Slab, HOME_NONE, NIL};
+
+/// Levels in the hierarchy. 64^11 = 2^66 covers all of `u64`.
+pub(crate) const LEVELS: usize = 11;
+/// Slots per level.
+pub(crate) const SLOTS: usize = 64;
+const SLOT_BITS: u32 = 6;
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+
+/// The wheel: bucket lists + occupancy bitmaps + the simulation clock's
+/// low-water mark. Entry storage lives in the [`Slab`]; the wheel only
+/// wires slots together, so every method takes the slab explicitly.
+pub(crate) struct Wheel {
+    /// Time at or before every pending entry (advances on pop).
+    elapsed: u64,
+    /// One occupancy bit per slot, per level.
+    occupied: [u64; LEVELS],
+    /// List heads/tails, indexed by `level * SLOTS + slot` (= `home`).
+    head: [u32; LEVELS * SLOTS],
+    tail: [u32; LEVELS * SLOTS],
+    /// Memoized next-event time: `Some(t)` is authoritative, `None`
+    /// means "recompute". Insert folds new times in cheaply; pop and
+    /// cancel-at-the-cached-time invalidate.
+    peek: Option<u64>,
+}
+
+impl Wheel {
+    pub fn new() -> Self {
+        Wheel {
+            elapsed: 0,
+            occupied: [0; LEVELS],
+            head: [NIL; LEVELS * SLOTS],
+            tail: [NIL; LEVELS * SLOTS],
+            peek: None,
+        }
+    }
+
+    /// The level whose slot width matches the highest bit in which `at`
+    /// differs from the current position (level 0 if within 64 µs).
+    fn level_of(&self, at: u64) -> usize {
+        let masked = (self.elapsed ^ at) | SLOT_MASK;
+        let significant = 63 - masked.leading_zeros() as usize;
+        significant / SLOT_BITS as usize
+    }
+
+    fn home_of(&self, at: u64) -> usize {
+        let level = self.level_of(at);
+        let slot = ((at >> (SLOT_BITS as usize * level)) & SLOT_MASK) as usize;
+        level * SLOTS + slot
+    }
+
+    /// Link a slab entry (its `at`/`seq` already set) into its bucket.
+    /// Times in the past are clamped to the current position, matching
+    /// the engine's "scheduling in the past fires now" contract.
+    pub fn insert<H>(&mut self, slab: &mut Slab<H>, idx: u32) {
+        let at = slab.get(idx).at.max(self.elapsed);
+        let home = self.home_of(at);
+        let tail = self.tail[home];
+        {
+            let slot = slab.get_mut(idx);
+            slot.at = at;
+            slot.prev = tail;
+            slot.next = NIL;
+            slot.home = home as u16;
+        }
+        if tail == NIL {
+            self.head[home] = idx;
+        } else {
+            slab.get_mut(tail).next = idx;
+        }
+        self.tail[home] = idx;
+        self.occupied[home / SLOTS] |= 1 << (home % SLOTS);
+        if let Some(p) = self.peek {
+            self.peek = Some(p.min(at));
+        }
+    }
+
+    /// Unlink a slab entry from its bucket. O(1): no drains, no
+    /// tombstones — the caller can free the slot immediately.
+    pub fn remove<H>(&mut self, slab: &mut Slab<H>, idx: u32) {
+        let (prev, next, home, at) = {
+            let slot = slab.get(idx);
+            (slot.prev, slot.next, slot.home as usize, slot.at)
+        };
+        debug_assert_ne!(home, HOME_NONE as usize, "entry must be linked");
+        if prev == NIL {
+            self.head[home] = next;
+        } else {
+            slab.get_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail[home] = prev;
+        } else {
+            slab.get_mut(next).prev = prev;
+        }
+        if self.head[home] == NIL {
+            self.occupied[home / SLOTS] &= !(1 << (home % SLOTS));
+        }
+        slab.get_mut(idx).home = HOME_NONE;
+        if self.peek == Some(at) {
+            self.peek = None;
+        }
+    }
+
+    /// The earliest occupied `(level, slot)` at or after the current
+    /// position, finest level first. Finer levels always hold earlier
+    /// events: an entry at level k+1 lies beyond the current level-k
+    /// window entirely.
+    fn next_occupied(&self) -> Option<(usize, usize)> {
+        for level in 0..LEVELS {
+            let cur = (self.elapsed >> (SLOT_BITS as usize * level)) & SLOT_MASK;
+            let mask = self.occupied[level] & (!0u64 << cur);
+            if mask != 0 {
+                return Some((level, mask.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Start time of `slot` at `level` within the current window.
+    fn slot_base(&self, level: usize, slot: usize) -> u64 {
+        let level_bits = SLOT_BITS * level as u32;
+        let above = level_bits + SLOT_BITS;
+        let high = if above >= 64 {
+            0
+        } else {
+            (self.elapsed >> above) << above
+        };
+        high | ((slot as u64) << level_bits)
+    }
+
+    /// Pop the earliest entry: advance the clock to the next occupied
+    /// slot, cascading coarse slots down until a level-0 slot is reached,
+    /// then unlink its head (FIFO within the 1 µs bucket). Returns the
+    /// slab index; the caller frees it.
+    pub fn pop<H>(&mut self, slab: &mut Slab<H>) -> Option<u32> {
+        loop {
+            let (level, slot) = self.next_occupied()?;
+            let home = level * SLOTS + slot;
+            let base = self.slot_base(level, slot);
+            debug_assert!(base >= self.elapsed, "clock never goes backwards");
+            self.elapsed = base;
+            if level == 0 {
+                let idx = self.head[home];
+                let next = slab.get(idx).next;
+                self.head[home] = next;
+                if next == NIL {
+                    self.tail[home] = NIL;
+                    self.occupied[0] &= !(1 << slot);
+                } else {
+                    slab.get_mut(next).prev = NIL;
+                }
+                slab.get_mut(idx).home = HOME_NONE;
+                self.peek = None;
+                debug_assert_eq!(slab.get(idx).at, base, "level-0 slots are 1 us wide");
+                return Some(idx);
+            }
+            // Cascade: take the whole list and reinsert each entry. With
+            // the clock now inside this slot's window, every entry lands
+            // at a strictly finer level, in list order — which preserves
+            // seq order per timestamp (see module docs).
+            let mut idx = self.head[home];
+            self.head[home] = NIL;
+            self.tail[home] = NIL;
+            self.occupied[level] &= !(1 << slot);
+            while idx != NIL {
+                let next = slab.get(idx).next;
+                self.insert(slab, idx);
+                idx = next;
+            }
+        }
+    }
+
+    /// Time of the earliest pending entry, without advancing the clock
+    /// or cascading (a peek between pops must not disturb where
+    /// subsequent "schedule now" events land). Memoized: the scan is
+    /// O(levels) when the next slot is level 0 and O(list) only when the
+    /// next event sits in a coarse far-future bucket.
+    pub fn peek_time<H>(&mut self, slab: &Slab<H>) -> Option<u64> {
+        if self.peek.is_some() {
+            return self.peek;
+        }
+        let (level, slot) = self.next_occupied()?;
+        let home = level * SLOTS + slot;
+        let t = if level == 0 {
+            self.slot_base(0, slot)
+        } else {
+            let mut min = u64::MAX;
+            let mut idx = self.head[home];
+            while idx != NIL {
+                let s = slab.get(idx);
+                min = min.min(s.at);
+                idx = s.next;
+            }
+            min
+        };
+        self.peek = Some(t);
+        self.peek
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue_from(times: &[u64]) -> (Wheel, Slab<usize>) {
+        let mut wheel = Wheel::new();
+        let mut slab = Slab::with_capacity(times.len());
+        for (i, &t) in times.iter().enumerate() {
+            let (idx, _) = slab.alloc(t, i as u64, i);
+            wheel.insert(&mut slab, idx);
+        }
+        (wheel, slab)
+    }
+
+    fn drain(wheel: &mut Wheel, slab: &mut Slab<usize>) -> Vec<(u64, usize)> {
+        std::iter::from_fn(|| {
+            wheel.pop(slab).map(|idx| {
+                let at = slab.get(idx).at;
+                (at, slab.free(idx))
+            })
+        })
+        .collect()
+    }
+
+    #[test]
+    fn pops_in_time_order_across_levels() {
+        // Times spanning level 0 (near), mid levels, and the far future.
+        let times = [
+            5u64,
+            63,
+            64,
+            65,
+            4_096,
+            600_000_000,
+            600_000_001,
+            u64::MAX,
+            1,
+        ];
+        let (mut wheel, mut slab) = queue_from(&times);
+        let popped = drain(&mut wheel, &mut slab);
+        let mut want: Vec<u64> = times.to_vec();
+        want.sort_unstable();
+        assert_eq!(popped.iter().map(|&(t, _)| t).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn same_time_pops_in_insert_order_even_after_cascades() {
+        // All at the same far-future instant: they ride one coarse bucket
+        // down through multiple cascades and must stay FIFO.
+        let times = [7_777_777u64; 50];
+        let (mut wheel, mut slab) = queue_from(&times);
+        let popped = drain(&mut wheel, &mut slab);
+        assert_eq!(
+            popped.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+            (0..50).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn peek_does_not_advance_the_clock() {
+        let (mut wheel, mut slab) = queue_from(&[1_000_000]);
+        assert_eq!(wheel.peek_time(&slab), Some(1_000_000));
+        // A later insert at a nearer time must still land before it.
+        let (idx, _) = slab.alloc(10, 99, 99);
+        wheel.insert(&mut slab, idx);
+        assert_eq!(wheel.peek_time(&slab), Some(10));
+        let popped = drain(&mut wheel, &mut slab);
+        assert_eq!(
+            popped.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![10, 1_000_000]
+        );
+    }
+
+    #[test]
+    fn peek_finds_the_min_inside_a_coarse_bucket() {
+        // Two entries share a coarse bucket; the earlier one defines the
+        // next-event time even though it is not at the list head.
+        let (mut wheel, slab) = queue_from(&[900_000, 800_000]);
+        assert_eq!(wheel.peek_time(&slab), Some(800_000));
+    }
+
+    #[test]
+    fn remove_unlinks_in_any_position() {
+        let mut wheel = Wheel::new();
+        let mut slab = Slab::with_capacity(3);
+        let t = 1234;
+        let keys: Vec<u32> = (0..3)
+            .map(|i| {
+                let (idx, _) = slab.alloc(t, i, i as usize);
+                wheel.insert(&mut slab, idx);
+                idx
+            })
+            .collect();
+        // Remove the middle entry, then head, then tail.
+        wheel.remove(&mut slab, keys[1]);
+        slab.free(keys[1]);
+        let popped = drain(&mut wheel, &mut slab);
+        assert_eq!(popped, vec![(t, 0), (t, 2)]);
+    }
+
+    #[test]
+    fn empty_bucket_clears_its_occupancy_bit() {
+        let mut wheel = Wheel::new();
+        let mut slab: Slab<usize> = Slab::with_capacity(1);
+        let (idx, _) = slab.alloc(77, 0, 0);
+        wheel.insert(&mut slab, idx);
+        wheel.remove(&mut slab, idx);
+        slab.free(idx);
+        assert_eq!(wheel.peek_time(&slab), None);
+        assert_eq!(wheel.pop(&mut slab), None);
+    }
+
+    #[test]
+    fn past_inserts_clamp_to_the_current_position() {
+        let (mut wheel, mut slab) = queue_from(&[100]);
+        let idx = wheel.pop(&mut slab).unwrap();
+        slab.free(idx);
+        // The clock sits at 100 now; an insert at 5 fires "now", not in
+        // the (unreachable) past.
+        let (idx, _) = slab.alloc(5, 1, 1);
+        wheel.insert(&mut slab, idx);
+        assert_eq!(wheel.peek_time(&slab), Some(100));
+        let popped = drain(&mut wheel, &mut slab);
+        assert_eq!(popped, vec![(100, 1)]);
+    }
+}

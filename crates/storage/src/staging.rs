@@ -185,6 +185,69 @@ impl PrefetchPipeline {
     }
 }
 
+/// Execute a [`PipelinePlan`] as a discrete-event simulation and return
+/// the simulated makespan in seconds.
+///
+/// The analytic planner in [`PrefetchPipeline::plan`] folds each stage
+/// to `max(op durations)` and sums; this executor instead schedules
+/// every op as its own completion event (batched per stage with
+/// [`Simulation::schedule_batch`]) and lets the stage barrier emerge
+/// from the event order. The two must agree to within the DES clock's
+/// microsecond quantization — the cross-validation that keeps the
+/// closed-form plan honest.
+pub fn run_plan_des(plan: &PipelinePlan) -> f64 {
+    use htpar_simkit::{SimTime, Simulation};
+
+    struct StageWorld {
+        /// Remaining stages' op durations, seconds (consumed in order).
+        stages: Vec<Vec<f64>>,
+        /// Ops still in flight in the current stage.
+        remaining: usize,
+        /// Index of the next stage to launch when the barrier clears.
+        next_stage: usize,
+    }
+
+    fn launch(sim: &mut Simulation<StageWorld>, stage: usize) {
+        let ops = std::mem::take(&mut sim.world_mut().stages[stage]);
+        sim.world_mut().remaining = ops.len();
+        sim.world_mut().next_stage = stage + 1;
+        let now = sim.now();
+        sim.schedule_batch(ops.into_iter().map(|secs| {
+            (
+                now + SimTime::from_secs_f64(secs),
+                |sim: &mut Simulation<StageWorld>| {
+                    sim.world_mut().remaining -= 1;
+                    if sim.world().remaining == 0
+                        && sim.world().next_stage < sim.world().stages.len()
+                    {
+                        let next = sim.world().next_stage;
+                        launch(sim, next);
+                    }
+                },
+            )
+        }));
+    }
+
+    let stages: Vec<Vec<f64>> = plan
+        .stages
+        .iter()
+        .map(|s| s.ops.iter().map(StageOp::secs).collect())
+        .collect();
+    if stages.is_empty() {
+        return 0.0;
+    }
+    let widest = stages.iter().map(Vec::len).max().unwrap_or(0);
+    let world = StageWorld {
+        stages,
+        remaining: 0,
+        next_stage: 0,
+    };
+    let mut sim = Simulation::with_capacity(world, 0, widest);
+    launch(&mut sim, 0);
+    sim.run();
+    sim.now().as_secs_f64()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +335,33 @@ mod tests {
         assert!(i3 < i5 && i5 < i50);
         // Limit = 1 - 68/86 ≈ 0.2093.
         assert!((i50 - (1.0 - 68.0 / 86.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn des_execution_matches_the_analytic_plan() {
+        let p = PrefetchPipeline::darshan_paper();
+        for n in [1, 3, 5, 8] {
+            let plan = p.plan(n);
+            let des = run_plan_des(&plan);
+            assert!(
+                (des - plan.total_secs).abs() < 1e-3,
+                "n={n}: des {des} vs plan {}",
+                plan.total_secs
+            );
+        }
+    }
+
+    #[test]
+    fn des_respects_stage_barriers_not_just_process_times() {
+        // Copy dominates the middle stage; the barrier must wait for it.
+        let p = PrefetchPipeline {
+            lustre_process_secs: 100.0,
+            nvme_process_secs: 50.0,
+            copy_secs: 80.0,
+            delete_secs: 1.0,
+        };
+        let des = run_plan_des(&p.plan(3));
+        assert!((des - 230.0).abs() < 1e-3, "des {des}");
     }
 
     #[test]

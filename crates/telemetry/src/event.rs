@@ -60,8 +60,10 @@ pub enum Event {
     // -- DES milestones -------------------------------------------------
     /// The simulator fired a scheduled event at virtual time `sim_time`.
     SimEventFired { sim_time: f64, count: u64 },
-    /// A scheduled event was cancelled before firing.
-    SimEventCancelled { sim_time: f64 },
+    /// `count` scheduled events were cancelled before firing (a single
+    /// cancel emits `count: 1`; a batch cancel — e.g. everything in
+    /// flight on a crashed node — emits one aggregate event).
+    SimEventCancelled { sim_time: f64, count: u64 },
 
     // -- Cluster / launch ----------------------------------------------
     /// A simulated node came up and can accept work.
@@ -135,8 +137,8 @@ impl Event {
             Event::SimEventFired { sim_time, count } => {
                 format!("\"sim_time\":{},\"count\":{count}", fmt_f64(*sim_time))
             }
-            Event::SimEventCancelled { sim_time } => {
-                format!("\"sim_time\":{}", fmt_f64(*sim_time))
+            Event::SimEventCancelled { sim_time, count } => {
+                format!("\"sim_time\":{},\"count\":{count}", fmt_f64(*sim_time))
             }
             Event::NodeUp { node } => format!("\"node\":{node}"),
             Event::Launch { method, tasks } => {
@@ -198,7 +200,10 @@ mod tests {
                 sim_time: 1.5,
                 count: 9,
             },
-            Event::SimEventCancelled { sim_time: 2.0 },
+            Event::SimEventCancelled {
+                sim_time: 2.0,
+                count: 1,
+            },
             Event::NodeUp { node: 7 },
             Event::Launch {
                 method: LaunchMethod::Parallel,
