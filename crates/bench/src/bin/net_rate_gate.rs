@@ -1,0 +1,123 @@
+//! Socket-path rate gate.
+//!
+//! Drives the canonical no-op workload (10k tasks) through a real
+//! `--local-cluster 4 -j 16` mini-cluster — this binary re-executes
+//! itself as the four agents — and fails when the socket path is more
+//! than the committed factor slower than in-process dispatch on the
+//! same machine (crates/bench/src/netgate.rs). CI runs this in release
+//! mode; `crates/bench/tests/net_rate_gate.rs` runs the same check
+//! under `cargo test`.
+//!
+//! Flags:
+//!   --tasks N           task count (default 10000)
+//!   --trials N          attempts; the best (lowest) slowdown is gated
+//!                       (default 3)
+//!   --max-slowdown X    override the compiled-in ceiling
+//!   --jsonl PATH        append per-trial records + summary as JSONL
+//!   --report-only       print measurements without enforcing the gate
+//!
+//! To verify the gate trips, set `HTPAR_NET_GATE_HANDICAP_US` to an
+//! artificial per-task agent-side cost in microseconds and watch it
+//! fail.
+
+use std::io::Write;
+
+use htpar_bench::netgate;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    // Children spawned by the gate's mini-cluster become agents here.
+    htpar_net::local::maybe_become_agent();
+
+    let args: Vec<String> = std::env::args().collect();
+    let tasks = flag_value(&args, "--tasks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(netgate::NET_GATE_TASKS);
+    let trials: usize = flag_value(&args, "--trials")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let max_slowdown = flag_value(&args, "--max-slowdown")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(netgate::max_slowdown);
+    let jsonl = flag_value(&args, "--jsonl");
+    let report_only = args.iter().any(|a| a == "--report-only");
+
+    println!(
+        "net-rate gate: {tasks} tasks over {} agents x -j {}",
+        netgate::NET_GATE_AGENTS,
+        netgate::NET_GATE_JOBS_PER_AGENT
+    );
+    if let Some(cost) = netgate::handicap() {
+        println!(
+            "  handicap:     {} us/task agent-side (simulated slowdown)",
+            cost.as_micros()
+        );
+    }
+
+    let mut lines = vec![format!(
+        "{{\"bench\":\"net_rate_gate\",\"note\":\"socket-path dispatch vs in-process dispatch, \
+         same machine, same task count, same total slots; slowdown = inproc/socket; gate \
+         passes when the best trial is at or under max_slowdown\",\"max_slowdown\":{max_slowdown}}}"
+    )];
+    let mut best: Option<netgate::NetGateMeasurement> = None;
+    for trial in 1..=trials {
+        let m = match netgate::measure_self(tasks) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("net-rate gate: trial {trial}: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "  trial {trial}: socket {:.0} tasks/s, in-process {:.0} tasks/s, slowdown {:.2}x",
+            m.socket_tasks_per_sec,
+            m.inproc_tasks_per_sec,
+            m.slowdown()
+        );
+        lines.push(m.to_jsonl(trial));
+        if best.is_none_or(|b| m.slowdown() < b.slowdown()) {
+            best = Some(m);
+        }
+    }
+    let best = best.expect("at least one trial");
+    println!(
+        "  best slowdown: {:.2}x (ceiling {max_slowdown:.2}x)",
+        best.slowdown()
+    );
+    lines.push(format!(
+        "{{\"bench\":\"net_rate_gate\",\"summary\":\"best slowdown {:.2}x vs ceiling {:.2}x\",\
+         \"best_slowdown\":{:.2},\"pass\":{}}}",
+        best.slowdown(),
+        max_slowdown,
+        best.slowdown(),
+        best.slowdown() <= max_slowdown
+    ));
+
+    if let Some(path) = jsonl {
+        let mut file = std::fs::File::create(&path).expect("open jsonl output");
+        for line in &lines {
+            writeln!(file, "{line}").expect("write jsonl");
+        }
+        println!("  wrote {} records to {path}", lines.len());
+    }
+
+    if report_only {
+        return;
+    }
+    if best.slowdown() > max_slowdown {
+        eprintln!(
+            "net-rate gate: FAIL — socket path is {:.2}x slower than in-process \
+             (ceiling {max_slowdown:.2}x)",
+            best.slowdown()
+        );
+        std::process::exit(1);
+    }
+    println!("net-rate gate: PASS");
+}

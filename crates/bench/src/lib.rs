@@ -22,6 +22,7 @@
 use std::fmt::Display;
 
 pub mod gate;
+pub mod netgate;
 pub mod simgate;
 
 /// Print a fixed-width table row from cells.

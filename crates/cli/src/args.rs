@@ -131,7 +131,12 @@ usage: htpar [OPTIONS] COMMAND... [::: ARGS...]...
       --progress        print live progress to stderr
       --fault-rate P    inject seeded task failures with probability P (testing)
       --fault-seed N    seed for --fault-rate injection (default 0)
-      --help, --version";
+      --help, --version
+
+subcommands (see `htpar SUBCOMMAND --help`):
+  htpar agent --listen ADDR          run a node agent serving one driver
+  htpar drive --agents SPECS CMD...  shard work across live agents
+  htpar drive --local-cluster N ...  same, over N local agent processes";
 
 /// Parse a duration: `10` (seconds), `500ms`, `30s`, `5m`, `2h`.
 pub fn parse_duration(s: &str) -> Result<Duration, String> {

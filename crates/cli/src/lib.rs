@@ -16,6 +16,7 @@
 
 pub mod args;
 pub mod exec;
+pub mod netcmd;
 
 pub use args::{parse_args, CliSpec};
 pub use exec::{execute, exit_code};

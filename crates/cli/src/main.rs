@@ -26,7 +26,14 @@ fn telemetry_from_env() -> Option<std::sync::Arc<EventBus>> {
 }
 
 fn main() {
+    // Agent-mode re-exec hook: `--local-cluster` children become node
+    // agents here and never reach the CLI parser.
+    htpar_net::local::maybe_become_agent();
+
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(code) = htpar_cli::netcmd::dispatch(&argv) {
+        std::process::exit(code);
+    }
     let spec = match parse_args(&argv) {
         Ok(spec) => spec,
         Err(msg) => {

@@ -1,0 +1,499 @@
+//! The `htpar agent` and `htpar drive` subcommands — the CLI face of
+//! the network subsystem (`htpar-net`, DESIGN.md §12).
+//!
+//! ```text
+//! # one agent per node, then drive from the head node:
+//! htpar agent --listen 0.0.0.0:4511
+//! seq 100000 | htpar drive --agents n1:4511,n2:4511 -j 16 --joblog run.log 'task {}'
+//!
+//! # or a self-contained mini-cluster of local subprocesses:
+//! seq 10000 | htpar drive --local-cluster 4 --joblog run.log 'task {}'
+//! ```
+//!
+//! `drive` accepts the same `COMMAND ::: ARGS` tail as the classic CLI
+//! (stdin lines when no `:::` source is given), records an aggregated
+//! joblog with the agent name in the `Host` column, and honors
+//! `--resume` against it. `--chaos-kill-agent IDX@DONE` SIGKILLs one
+//! `--local-cluster` agent once the global completion count reaches
+//! `DONE` — the fault-injection knob the e2e recovery tests are built
+//! on.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use htpar_net::agent::{self, AgentConfig};
+use htpar_net::driver::{run_driver, DriveOutcome, DriverConfig};
+use htpar_net::frame::Payload;
+use htpar_net::local::LocalCluster;
+use htpar_telemetry::{EventBus, JsonlWriter};
+
+pub const AGENT_USAGE: &str = "\
+usage: htpar agent --listen ADDR [--name NAME] [--quiet]
+  --listen ADDR   bind address: HOST:PORT (0 picks a port) or unix:/path
+  --name NAME     handshake name (drivers log it as the joblog Host)
+  --quiet         do not print the HTPAR_AGENT_LISTENING announce line";
+
+pub const DRIVE_USAGE: &str = "\
+usage: htpar drive (--agents SPEC[,SPEC...] | --local-cluster N) [OPTIONS] \
+COMMAND... [::: ARGS...]
+  --agents SPECS         comma-separated agent addresses to dial
+  --local-cluster N      spawn N agent subprocesses on this machine
+  -j, --jobs-per-agent N job slots per agent (default: 2)
+      --joblog FILE      aggregated joblog (Host = agent name)
+      --resume           skip seqs already recorded in the joblog
+      --heartbeat-ms MS  agent heartbeat interval (default: 200)
+      --lease-ms MS      declare an agent lost after MS of silence
+                         (default: 2000)
+      --payload KIND     what agents run: shell (default), noop, or
+                         sleep:MICROS (measurement payloads)
+      --chaos-kill-agent IDX@DONE
+                         SIGKILL local agent IDX once DONE tasks have
+                         completed (requires --local-cluster)
+With no ::: source, arguments are read from stdin, one per line.";
+
+/// Dispatch a net subcommand. `None` means `argv` is a classic
+/// `parallel`-style invocation and the caller should fall through.
+pub fn dispatch(argv: &[String]) -> Option<i32> {
+    match argv.first().map(String::as_str) {
+        Some("agent") => Some(run_agent(&argv[1..])),
+        Some("drive") => Some(run_drive(&argv[1..])),
+        _ => None,
+    }
+}
+
+/// `HTPAR_TELEMETRY_JSONL=PATH` attaches a JSONL sink, same contract as
+/// the classic CLI path: agent lifecycle, shard, and frame-byte events
+/// land in the file.
+fn bus_from_env() -> Option<Arc<EventBus>> {
+    let path = std::env::var("HTPAR_TELEMETRY_JSONL").ok()?;
+    match JsonlWriter::create(std::path::Path::new(&path)) {
+        Ok(writer) => {
+            let bus = EventBus::shared();
+            bus.attach(writer);
+            Some(bus)
+        }
+        Err(e) => {
+            eprintln!("htpar: cannot open telemetry file {path}: {e}");
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------- agent
+
+fn run_agent(argv: &[String]) -> i32 {
+    let mut listen: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut announce = true;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--listen" => match argv.get(i + 1) {
+                Some(v) => {
+                    listen = Some(v.clone());
+                    i += 2;
+                }
+                None => return usage_error("agent: --listen needs an address", AGENT_USAGE),
+            },
+            "--name" => match argv.get(i + 1) {
+                Some(v) => {
+                    name = Some(v.clone());
+                    i += 2;
+                }
+                None => return usage_error("agent: --name needs a value", AGENT_USAGE),
+            },
+            "--quiet" => {
+                announce = false;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{AGENT_USAGE}");
+                return 0;
+            }
+            other => return usage_error(&format!("agent: unknown option {other}"), AGENT_USAGE),
+        }
+    }
+    let Some(listen) = listen else {
+        return usage_error("agent: --listen is required", AGENT_USAGE);
+    };
+    let mut config = AgentConfig::new(listen);
+    if let Some(name) = name {
+        config.name = name;
+    }
+    config.announce = announce;
+    match agent::serve(&config) {
+        Ok(report) => {
+            eprintln!(
+                "htpar agent: {} task(s) done, session {}",
+                report.done, report.reason
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("htpar agent: {e}");
+            1
+        }
+    }
+}
+
+// ---------------------------------------------------------------- drive
+
+/// Parsed `htpar drive` invocation (separated from execution so the
+/// grammar is unit-testable without sockets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveSpec {
+    pub agents: Vec<String>,
+    pub local_cluster: usize,
+    pub jobs_per_agent: u32,
+    pub joblog: Option<PathBuf>,
+    pub resume: bool,
+    pub heartbeat_ms: u32,
+    pub lease_window_ms: u64,
+    pub payload: Payload,
+    /// `--chaos-kill-agent IDX@DONE`.
+    pub chaos_kill: Option<(usize, u64)>,
+    pub command: String,
+    /// `::: ARGS` values; `None` means read stdin lines.
+    pub values: Option<Vec<String>>,
+    pub help: bool,
+}
+
+impl Default for DriveSpec {
+    fn default() -> Self {
+        DriveSpec {
+            agents: Vec::new(),
+            local_cluster: 0,
+            jobs_per_agent: 2,
+            joblog: None,
+            resume: false,
+            heartbeat_ms: 200,
+            lease_window_ms: 2_000,
+            payload: Payload::Shell,
+            chaos_kill: None,
+            command: String::new(),
+            values: None,
+            help: false,
+        }
+    }
+}
+
+/// Parse `htpar drive` arguments (everything after the subcommand).
+pub fn parse_drive(argv: &[String]) -> Result<DriveSpec, String> {
+    let mut spec = DriveSpec::default();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--agents" => {
+                spec.agents = value(argv, i, "--agents")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                i += 2;
+            }
+            "--local-cluster" => {
+                spec.local_cluster = value(argv, i, "--local-cluster")?
+                    .parse()
+                    .map_err(|_| "--local-cluster needs a count".to_string())?;
+                i += 2;
+            }
+            "-j" | "--jobs-per-agent" => {
+                spec.jobs_per_agent = value(argv, i, "-j")?
+                    .parse()
+                    .map_err(|_| "-j needs a number".to_string())?;
+                i += 2;
+            }
+            "--joblog" => {
+                spec.joblog = Some(PathBuf::from(value(argv, i, "--joblog")?));
+                i += 2;
+            }
+            "--resume" => {
+                spec.resume = true;
+                i += 1;
+            }
+            "--heartbeat-ms" => {
+                spec.heartbeat_ms = value(argv, i, "--heartbeat-ms")?
+                    .parse()
+                    .map_err(|_| "--heartbeat-ms needs milliseconds".to_string())?;
+                i += 2;
+            }
+            "--lease-ms" => {
+                spec.lease_window_ms = value(argv, i, "--lease-ms")?
+                    .parse()
+                    .map_err(|_| "--lease-ms needs milliseconds".to_string())?;
+                i += 2;
+            }
+            "--payload" => {
+                spec.payload = parse_payload(&value(argv, i, "--payload")?)?;
+                i += 2;
+            }
+            "--chaos-kill-agent" => {
+                spec.chaos_kill = Some(parse_chaos(&value(argv, i, "--chaos-kill-agent")?)?);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                spec.help = true;
+                return Ok(spec);
+            }
+            _ => break,
+        }
+    }
+    // Everything from here is the command template, then `::: ARGS`.
+    let mut command_words = Vec::new();
+    while i < argv.len() && argv[i] != ":::" {
+        command_words.push(argv[i].clone());
+        i += 1;
+    }
+    spec.command = command_words.join(" ");
+    if i < argv.len() {
+        // Consume the `:::`.
+        spec.values = Some(argv[i + 1..].to_vec());
+    }
+    if spec.command.is_empty() {
+        return Err("a command template is required".to_string());
+    }
+    if spec.agents.is_empty() && spec.local_cluster == 0 {
+        return Err("one of --agents or --local-cluster is required".to_string());
+    }
+    if spec.chaos_kill.is_some() && spec.local_cluster == 0 {
+        return Err("--chaos-kill-agent requires --local-cluster".to_string());
+    }
+    if let Some((idx, _)) = spec.chaos_kill {
+        if idx >= spec.local_cluster {
+            return Err(format!(
+                "--chaos-kill-agent index {idx} out of range for --local-cluster {}",
+                spec.local_cluster
+            ));
+        }
+    }
+    Ok(spec)
+}
+
+/// `shell`, `noop`, or `sleep:MICROS`.
+fn parse_payload(s: &str) -> Result<Payload, String> {
+    match s {
+        "shell" => Ok(Payload::Shell),
+        "noop" => Ok(Payload::Noop),
+        _ => match s.strip_prefix("sleep:") {
+            Some(us) => us
+                .parse()
+                .map(Payload::SleepUs)
+                .map_err(|_| format!("bad sleep payload {s:?} (want sleep:MICROS)")),
+            None => Err(format!(
+                "unknown payload {s:?} (want shell, noop, or sleep:MICROS)"
+            )),
+        },
+    }
+}
+
+/// `IDX@DONE` — kill agent IDX once DONE tasks have completed.
+fn parse_chaos(s: &str) -> Result<(usize, u64), String> {
+    let (idx, done) = s
+        .split_once('@')
+        .ok_or_else(|| format!("bad --chaos-kill-agent {s:?} (want IDX@DONE)"))?;
+    let idx = idx
+        .parse()
+        .map_err(|_| format!("bad agent index in {s:?}"))?;
+    let done = done
+        .parse()
+        .map_err(|_| format!("bad completion count in {s:?}"))?;
+    Ok((idx, done))
+}
+
+fn run_drive(argv: &[String]) -> i32 {
+    let spec = match parse_drive(argv) {
+        Ok(spec) => spec,
+        Err(msg) => return usage_error(&format!("drive: {msg}"), DRIVE_USAGE),
+    };
+    if spec.help {
+        println!("{DRIVE_USAGE}");
+        return 0;
+    }
+    let inputs: Vec<Vec<String>> = match &spec.values {
+        Some(values) => values.iter().map(|v| vec![v.clone()]).collect(),
+        None => {
+            use std::io::BufRead;
+            let stdin = std::io::stdin();
+            match stdin.lock().lines().collect::<std::io::Result<Vec<_>>>() {
+                Ok(lines) => lines.into_iter().map(|l| vec![l]).collect(),
+                Err(e) => {
+                    eprintln!("htpar drive: reading stdin: {e}");
+                    return 1;
+                }
+            }
+        }
+    };
+    if inputs.is_empty() {
+        eprintln!("htpar drive: no input arguments");
+        return 1;
+    }
+
+    let mut cluster = if spec.local_cluster > 0 {
+        match LocalCluster::spawn_self(spec.local_cluster) {
+            Ok(cluster) => Some(cluster),
+            Err(e) => {
+                eprintln!("htpar drive: spawning local cluster: {e}");
+                return 1;
+            }
+        }
+    } else {
+        None
+    };
+    let agents = match &cluster {
+        Some(cluster) => cluster.specs.clone(),
+        None => spec.agents.clone(),
+    };
+
+    let mut config = DriverConfig::new(agents, spec.command.clone());
+    config.jobs_per_agent = spec.jobs_per_agent;
+    config.payload = spec.payload;
+    config.heartbeat_ms = spec.heartbeat_ms;
+    config.lease_window_ms = spec.lease_window_ms;
+    config.drain_timeout = Duration::from_secs(10);
+    config.joblog = spec.joblog.clone();
+    config.resume = spec.resume;
+    config.bus = bus_from_env();
+
+    // Chaos hook: SIGKILL one local agent at a deterministic point in
+    // the completion sequence.
+    let mut chaos_cb: Option<Box<dyn FnMut(u64) + '_>> = match (spec.chaos_kill, cluster.as_mut()) {
+        (Some((idx, at)), Some(cluster)) => {
+            let mut fired = false;
+            // The closure holds the only &mut to the cluster while
+            // run_driver is live; join/drop below run after it is gone.
+            let cluster: &mut LocalCluster = cluster;
+            Some(Box::new(move |done: u64| {
+                if !fired && done >= at {
+                    fired = true;
+                    eprintln!("htpar drive: chaos: killing agent {idx} at done={done}");
+                    cluster.kill(idx);
+                }
+            }))
+        }
+        _ => None,
+    };
+
+    let outcome = run_driver(
+        &config,
+        &inputs,
+        chaos_cb.as_deref_mut().map(|f| f as &mut dyn FnMut(u64)),
+    );
+    drop(chaos_cb);
+    let code = match outcome {
+        Ok(outcome) => {
+            print_summary(&outcome);
+            if outcome.completed + outcome.skipped == outcome.total {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("htpar drive: {e}");
+            1
+        }
+    };
+    if let Some(mut cluster) = cluster {
+        // Drained agents exit on their own; reap them.
+        cluster.join();
+    }
+    code
+}
+
+fn print_summary(outcome: &DriveOutcome) {
+    eprintln!(
+        "htpar drive: {}/{} task(s) in {:.2}s ({:.0} tasks/s), {} skipped, {} duplicate completion(s) suppressed",
+        outcome.completed,
+        outcome.total,
+        outcome.wall.as_secs_f64(),
+        outcome.tasks_per_sec(),
+        outcome.skipped,
+        outcome.duplicates,
+    );
+    for (idx, agent) in outcome.agents.iter().enumerate() {
+        let mut line = format!("  agent {idx} ({}): {} done", agent.name, agent.done);
+        if agent.lost {
+            line.push_str(" [lost]");
+        }
+        if let Some(error) = &agent.error {
+            line.push_str(&format!(" [error: {error}]"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+fn usage_error(msg: &str, usage: &str) -> i32 {
+    eprintln!("htpar: {msg}");
+    eprintln!("{usage}");
+    255
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn drive_grammar_parses() {
+        let spec = parse_drive(&argv(
+            "--local-cluster 4 -j 16 --joblog run.log --resume --payload noop \
+             --chaos-kill-agent 2@500 task {} ::: a b c",
+        ))
+        .unwrap();
+        assert_eq!(spec.local_cluster, 4);
+        assert_eq!(spec.jobs_per_agent, 16);
+        assert_eq!(spec.joblog, Some(PathBuf::from("run.log")));
+        assert!(spec.resume);
+        assert_eq!(spec.payload, Payload::Noop);
+        assert_eq!(spec.chaos_kill, Some((2, 500)));
+        assert_eq!(spec.command, "task {}");
+        assert_eq!(
+            spec.values,
+            Some(vec!["a".to_string(), "b".to_string(), "c".to_string()])
+        );
+    }
+
+    #[test]
+    fn drive_agents_list_splits_on_commas() {
+        let spec = parse_drive(&argv("--agents n1:4511,n2:4511 task {}")).unwrap();
+        assert_eq!(spec.agents, vec!["n1:4511", "n2:4511"]);
+        assert_eq!(spec.values, None, "stdin is the input source");
+    }
+
+    #[test]
+    fn drive_requires_agents_and_command() {
+        assert!(parse_drive(&argv("task {}")).is_err());
+        assert!(parse_drive(&argv("--local-cluster 2")).is_err());
+    }
+
+    #[test]
+    fn chaos_requires_local_cluster_and_range() {
+        assert!(parse_drive(&argv("--agents a --chaos-kill-agent 0@5 task {}")).is_err());
+        assert!(parse_drive(&argv("--local-cluster 2 --chaos-kill-agent 2@5 task {}")).is_err());
+        assert!(parse_drive(&argv("--local-cluster 2 --chaos-kill-agent 1@5 task {}")).is_ok());
+    }
+
+    #[test]
+    fn payload_grammar() {
+        assert_eq!(parse_payload("shell").unwrap(), Payload::Shell);
+        assert_eq!(parse_payload("noop").unwrap(), Payload::Noop);
+        assert_eq!(parse_payload("sleep:250").unwrap(), Payload::SleepUs(250));
+        assert!(parse_payload("sleep:x").is_err());
+        assert!(parse_payload("exec").is_err());
+    }
+
+    #[test]
+    fn dispatch_ignores_classic_invocations() {
+        assert_eq!(dispatch(&argv("-j8 echo {} ::: 1 2")), None);
+        assert_eq!(dispatch(&[]), None);
+    }
+}

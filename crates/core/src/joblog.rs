@@ -189,6 +189,13 @@ impl JobLogWriter {
         self.write_line(&entry.to_line())
     }
 
+    /// Append a pre-built entry, keeping its own `host` column — the
+    /// aggregation path for drivers that log completions reported by
+    /// remote agents rather than jobs run in this process.
+    pub fn record_entry(&mut self, entry: &LogEntry) -> Result<()> {
+        self.write_line(&entry.to_line())
+    }
+
     /// Push buffered rows to the file.
     pub fn flush(&mut self) -> Result<()> {
         self.file.flush().map_err(Error::JobLog)
@@ -307,6 +314,25 @@ mod tests {
         assert!(!entries[1].succeeded());
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content.matches("Seq\t").count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_entry_keeps_foreign_host() {
+        let dir = std::env::temp_dir().join(format!("htpar-joblog-agg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agg.tsv");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JobLogWriter::open(&path).unwrap();
+            w.record_entry(&LogEntry::from_result(
+                &result(1, JobStatus::Success),
+                "agent-3",
+            ))
+            .unwrap();
+        }
+        let entries = read_log(&path).unwrap();
+        assert_eq!(entries[0].host, "agent-3");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

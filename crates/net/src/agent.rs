@@ -1,0 +1,302 @@
+//! The node agent: the process that runs on each compute node.
+//!
+//! An agent binds a listening socket, accepts exactly one driver
+//! connection, handshakes, and then runs the `htpar-core` [`Engine`]
+//! over a streaming job source fed by inbound `Shard` frames — so every
+//! dispatch-path optimization (chunked hand-out, per-slot buffers,
+//! collector thread) applies unchanged to network-fed work. Task
+//! completions stream back as `TaskDone`; a heartbeat thread renews the
+//! driver's lease on the configured interval; `Drain` ends the input
+//! stream and the agent exits after its last task with `AgentExit`.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, UNIX_EPOCH};
+
+use htpar_core::executor::{FnExecutor, ProcessExecutor};
+use htpar_core::job::JobResult;
+use htpar_core::options::Options;
+use htpar_core::runner::{Engine, JobInput};
+use htpar_core::template::Template;
+use parking_lot::Mutex;
+
+use crate::conn::{Conn, Listener};
+use crate::frame::{Decoder, Frame, Payload, PROTOCOL_VERSION};
+use crate::{NetError, Result};
+
+/// Marker line an announcing agent prints to stdout once its socket is
+/// bound: `HTPAR_AGENT_LISTENING <spec>`. Parents that spawn agents on
+/// ephemeral ports ([`crate::local::LocalCluster`]) read it to learn
+/// the actual address.
+pub const ANNOUNCE_PREFIX: &str = "HTPAR_AGENT_LISTENING";
+
+/// Agent-side configuration.
+pub struct AgentConfig {
+    /// Address spec to bind (`host:port` or `unix:/path`; port 0 picks
+    /// a free TCP port).
+    pub listen: String,
+    /// Name reported in the handshake (the driver's joblog `Host`
+    /// column). Defaults to `agent-<pid>`.
+    pub name: String,
+    /// Print the [`ANNOUNCE_PREFIX`] line once listening.
+    pub announce: bool,
+}
+
+impl AgentConfig {
+    pub fn new(listen: impl Into<String>) -> AgentConfig {
+        AgentConfig {
+            listen: listen.into(),
+            name: format!("agent-{}", std::process::id()),
+            announce: false,
+        }
+    }
+}
+
+/// What one agent session did (for logging and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentReport {
+    /// Tasks completed and reported as `TaskDone`.
+    pub done: u64,
+    /// Why the session ended (`drained`, or an error description).
+    pub reason: String,
+}
+
+/// Read frames until one materializes; `Ok(None)` means clean EOF.
+pub(crate) fn read_next(conn: &mut Conn, dec: &mut Decoder) -> Result<Option<Frame>> {
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        if let Some(frame) = dec.next_frame()? {
+            return Ok(Some(frame));
+        }
+        match conn.read(&mut buf) {
+            Ok(0) => {
+                return if dec.pending_bytes() == 0 {
+                    Ok(None)
+                } else {
+                    Err(NetError::Protocol("connection closed mid-frame".into()))
+                };
+            }
+            Ok(n) => dec.extend(&buf[..n]),
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+/// Serialize and send one frame under the shared writer lock. Write
+/// failures latch `dead` so later sends become no-ops instead of a
+/// panic storm when the driver vanishes mid-run.
+fn send(writer: &Mutex<Conn>, dead: &AtomicBool, frame: &Frame) {
+    if dead.load(Ordering::Relaxed) {
+        return;
+    }
+    let bytes = frame.encode();
+    let mut conn = writer.lock();
+    if conn.write_all(&bytes).is_err() || conn.flush().is_err() {
+        dead.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Bind, announce, accept one driver, run the session to completion.
+pub fn serve(config: &AgentConfig) -> Result<AgentReport> {
+    let listener = Listener::bind(&config.listen)?;
+    if config.announce {
+        let spec = listener.local_spec()?;
+        println!("{ANNOUNCE_PREFIX} {spec}");
+        std::io::stdout().flush().ok();
+    }
+    let conn = listener.accept()?;
+    run_on_conn(conn, &config.name)
+}
+
+/// Run one driver session over an established connection.
+pub fn run_on_conn(mut conn: Conn, name: &str) -> Result<AgentReport> {
+    // The driver must speak first, promptly.
+    conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut dec = Decoder::new();
+    let hello = match read_next(&mut conn, &mut dec)? {
+        Some(Frame::Hello {
+            version,
+            jobs,
+            heartbeat_ms,
+            payload,
+            command,
+        }) => {
+            if version != PROTOCOL_VERSION {
+                let reason = format!(
+                    "version mismatch: driver speaks {version}, agent speaks {PROTOCOL_VERSION}"
+                );
+                let exit = Frame::AgentExit {
+                    done: 0,
+                    reason: reason.clone(),
+                };
+                let _ = conn.write_all(&exit.encode());
+                return Err(NetError::Protocol(reason));
+            }
+            (jobs, heartbeat_ms, payload, command)
+        }
+        Some(other) => return Err(NetError::Protocol(format!("expected Hello, got {other:?}"))),
+        None => return Err(NetError::Protocol("driver closed before Hello".into())),
+    };
+    let (jobs, heartbeat_ms, payload, command) = hello;
+    conn.set_read_timeout(None)?;
+
+    let writer = Arc::new(Mutex::new(conn.try_clone()?));
+    let dead = Arc::new(AtomicBool::new(false));
+    send(
+        &writer,
+        &dead,
+        &Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            slots: jobs,
+            agent: name.to_string(),
+        },
+    );
+
+    let received = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicU64::new(0));
+
+    // Reader thread: Shard frames become engine inputs; Drain (or EOF,
+    // or a dead socket) drops the sender, which ends the job stream.
+    let (task_tx, task_rx) = crossbeam_channel::unbounded::<JobInput>();
+    let reader = {
+        let mut conn = conn;
+        let received = Arc::clone(&received);
+        std::thread::spawn(move || -> Result<()> {
+            loop {
+                match read_next(&mut conn, &mut dec)? {
+                    Some(Frame::Shard { tasks }) => {
+                        received.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+                        for t in tasks {
+                            if task_tx.send(JobInput::new(t.seq, t.args)).is_err() {
+                                return Ok(());
+                            }
+                        }
+                    }
+                    Some(Frame::Drain) | None => return Ok(()),
+                    Some(other) => {
+                        return Err(NetError::Protocol(format!(
+                            "unexpected driver frame {other:?}"
+                        )))
+                    }
+                }
+            }
+        })
+    };
+
+    // Heartbeat thread: renew the driver's lease even when no task
+    // finishes for a while (long tasks must not look like a dead node).
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let dead = Arc::clone(&dead);
+        let stop = Arc::clone(&hb_stop);
+        let received = Arc::clone(&received);
+        let done = Arc::clone(&done);
+        let interval = Duration::from_millis(heartbeat_ms.max(1) as u64);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) && !dead.load(Ordering::Relaxed) {
+                let d = done.load(Ordering::Relaxed);
+                let inflight = received.load(Ordering::Relaxed).saturating_sub(d);
+                send(
+                    &writer,
+                    &dead,
+                    &Frame::Heartbeat {
+                        done: d,
+                        inflight: inflight.min(u32::MAX as u64) as u32,
+                    },
+                );
+                // Sleep in short slices so shutdown is prompt.
+                let mut left = interval;
+                while !stop.load(Ordering::Relaxed) && left > Duration::ZERO {
+                    let step = left.min(Duration::from_millis(20));
+                    std::thread::sleep(step);
+                    left -= step;
+                }
+            }
+        })
+    };
+
+    let on_result = {
+        let writer = Arc::clone(&writer);
+        let dead = Arc::clone(&dead);
+        let done = Arc::clone(&done);
+        Arc::new(move |result: &JobResult| {
+            done.fetch_add(1, Ordering::Relaxed);
+            send(&writer, &dead, &task_done_frame(result));
+        })
+    };
+
+    let engine = Engine {
+        options: Options {
+            jobs: (jobs.max(1)) as usize,
+            shell: matches!(payload, Payload::Shell),
+            ..Options::default()
+        },
+        template: Template::parse(&command)?,
+        executor: match payload {
+            Payload::Shell => Arc::new(ProcessExecutor::shell()),
+            Payload::Noop => Arc::new(FnExecutor::noop()),
+            Payload::SleepUs(us) => Arc::new(FnExecutor::sleep(Duration::from_micros(us))),
+        },
+        on_result: Some(on_result),
+        skip: Default::default(),
+        gate: None,
+        bus: None,
+    };
+    // An owned blocking iterator over the task channel; its (0, None)
+    // size hint routes the engine onto its streaming path, so work
+    // starts on the first Shard while later shards are still in flight.
+    struct RecvIter(crossbeam_channel::Receiver<JobInput>);
+    impl Iterator for RecvIter {
+        type Item = JobInput;
+        fn next(&mut self) -> Option<JobInput> {
+            self.0.recv().ok()
+        }
+    }
+    let run = engine.run(Box::new(RecvIter(task_rx)));
+
+    hb_stop.store(true, Ordering::Relaxed);
+    let _ = heartbeat.join();
+    let reader_result = reader.join().expect("agent reader thread panicked");
+
+    let total_done = done.load(Ordering::Relaxed);
+    let reason = match (&run, &reader_result) {
+        (Err(e), _) => format!("engine error: {e}"),
+        (_, Err(e)) => format!("connection error: {e}"),
+        (Ok(_), Ok(())) => "drained".to_string(),
+    };
+    send(
+        &writer,
+        &dead,
+        &Frame::AgentExit {
+            done: total_done,
+            reason: reason.clone(),
+        },
+    );
+    writer.lock().shutdown();
+    run?;
+    reader_result?;
+    Ok(AgentReport {
+        done: total_done,
+        reason,
+    })
+}
+
+/// Encode one finished job as a `TaskDone` frame.
+fn task_done_frame(result: &JobResult) -> Frame {
+    let start_epoch_us = result
+        .started_at
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_micros() as u64;
+    Frame::TaskDone {
+        seq: result.seq,
+        exitval: result.status.exitval(),
+        signal: result.status.signal(),
+        start_epoch_us,
+        runtime_us: result.runtime.as_micros() as u64,
+        stdout: result.stdout.clone(),
+        stderr: result.stderr.clone(),
+    }
+}

@@ -1,0 +1,592 @@
+//! The driver: shards inputs across connected agents, aggregates their
+//! joblog rows, and recovers from agent death.
+//!
+//! This is the paper's Listing 1 driver made live. Placement reuses
+//! `cluster::driver_shard` (the awk `NR % nnodes` split); recovery
+//! reuses the PR 3 logic against real processes: an agent whose
+//! heartbeat lease expires — or whose socket closes with work
+//! outstanding — is declared lost, its unfinished seqs are diffed
+//! against the aggregated joblog, and the remainder is re-sharded
+//! across survivors. Completion recording is exactly-once (a re-run
+//! task that finishes twice is logged once); execution is
+//! at-least-once, the same contract as the simulated driver and GNU
+//! Parallel's `--resume`.
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use htpar_cluster::driver_shard;
+use htpar_core::joblog::{self, JobLogWriter, LogEntry};
+use htpar_core::template::{ExpandContext, Template};
+use htpar_telemetry::{Event, EventBus};
+
+use crate::conn::Conn;
+use crate::frame::{Decoder, Frame, Payload, TaskSpec, PROTOCOL_VERSION, SHARD_CHUNK};
+use crate::lease::LeaseTracker;
+use crate::{agent::read_next, NetError, Result};
+
+/// Driver-side configuration.
+pub struct DriverConfig {
+    /// Agent address specs to dial (`host:port` or `unix:/path`).
+    pub agents: Vec<String>,
+    /// Job slots per agent (`-j` forwarded in the handshake).
+    pub jobs_per_agent: u32,
+    /// Command template agents render per task.
+    pub command: String,
+    /// What agents run per task (real shell vs. measurement payloads).
+    pub payload: Payload,
+    /// Interval agents heartbeat at.
+    pub heartbeat_ms: u32,
+    /// Silence window after which an agent is declared lost. Must
+    /// comfortably exceed `heartbeat_ms`.
+    pub lease_window_ms: u64,
+    /// How long to wait for `AgentExit` after sending `Drain`.
+    pub drain_timeout: Duration,
+    /// Aggregated joblog path (one file for the whole cluster).
+    pub joblog: Option<PathBuf>,
+    /// Skip seqs already recorded in the joblog (`--resume`).
+    pub resume: bool,
+    /// Telemetry bus for agent lifecycle / shard / frame-byte events.
+    pub bus: Option<Arc<EventBus>>,
+}
+
+impl DriverConfig {
+    pub fn new(agents: Vec<String>, command: impl Into<String>) -> DriverConfig {
+        DriverConfig {
+            agents,
+            jobs_per_agent: 2,
+            command: command.into(),
+            payload: Payload::Shell,
+            heartbeat_ms: 200,
+            lease_window_ms: 2_000,
+            drain_timeout: Duration::from_secs(10),
+            joblog: None,
+            resume: false,
+            bus: None,
+        }
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(bus) = &self.bus {
+            bus.emit(event);
+        }
+    }
+}
+
+/// Per-agent accounting at the end of a drive.
+#[derive(Debug, Clone)]
+pub struct AgentStat {
+    /// Name from the agent's `HelloAck` (the joblog `Host` column).
+    pub name: String,
+    /// Tasks this agent completed (first completions only).
+    pub done: u64,
+    /// Whether the agent was declared lost mid-run.
+    pub lost: bool,
+    /// Read-side error that ended the connection, if it was not a
+    /// clean close.
+    pub error: Option<String>,
+}
+
+/// What a drive accomplished.
+#[derive(Debug, Clone)]
+pub struct DriveOutcome {
+    /// Total tasks in the input list.
+    pub total: u64,
+    /// Tasks completed (and logged) during this run.
+    pub completed: u64,
+    /// Tasks skipped via `--resume` (already in the joblog).
+    pub skipped: u64,
+    /// Completions that arrived for already-recorded seqs (re-sharded
+    /// work finishing twice); recorded nowhere, counted for tests.
+    pub duplicates: u64,
+    pub agents: Vec<AgentStat>,
+    /// Wall time of the dispatch loop (connect to drain).
+    pub wall: Duration,
+}
+
+impl DriveOutcome {
+    /// End-to-end completion rate of this run.
+    pub fn tasks_per_sec(&self) -> f64 {
+        if self.wall.as_secs_f64() > 0.0 {
+            self.completed as f64 / self.wall.as_secs_f64()
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Exactly-once check over an aggregated joblog: one row per seq,
+/// covering `1..=total` exactly — the same contract
+/// `cluster::faults::FaultRunResult::verify_exactly_once` enforces for
+/// the simulated driver.
+pub fn verify_exactly_once(entries: &[LogEntry], total: u64) -> std::result::Result<(), String> {
+    if entries.len() as u64 != total {
+        return Err(format!(
+            "joblog has {} rows for {total} tasks",
+            entries.len()
+        ));
+    }
+    let seqs: HashSet<u64> = entries.iter().map(|e| e.seq).collect();
+    if seqs.len() as u64 != total {
+        return Err(format!(
+            "joblog has {} distinct seqs for {total} tasks (duplicates recorded)",
+            seqs.len()
+        ));
+    }
+    for seq in 1..=total {
+        if !seqs.contains(&seq) {
+            return Err(format!("seq {seq} missing from joblog"));
+        }
+    }
+    Ok(())
+}
+
+/// What a per-agent reader thread observed.
+enum Ev {
+    Frame(Frame),
+    /// Clean EOF from the agent.
+    Closed,
+    /// Read or framing error (treated like a closed socket).
+    Error(NetError),
+}
+
+/// Live driver-side state for one agent.
+struct AgentConn {
+    name: String,
+    writer: Option<Conn>,
+    assigned: HashSet<u64>,
+    done: u64,
+    alive: bool,
+    /// `AgentExit` received (used by the drain phase).
+    exited: bool,
+    error: Option<String>,
+    sent_bytes: u64,
+    received_bytes: Arc<AtomicU64>,
+}
+
+/// Connect, handshake, dispatch, recover, drain. `on_done` (when given)
+/// observes the global completion count after every newly recorded
+/// task — tests use it to trigger chaos (e.g. SIGKILL an agent once
+/// `done` crosses a threshold) at a deterministic point in the run.
+pub fn run_driver(
+    config: &DriverConfig,
+    inputs: &[Vec<String>],
+    mut on_done: Option<&mut dyn FnMut(u64)>,
+) -> Result<DriveOutcome> {
+    if config.agents.is_empty() {
+        return Err(NetError::Protocol("no agents configured".into()));
+    }
+    let template = Template::parse(&config.command)?;
+    let total = inputs.len() as u64;
+    let started = Instant::now();
+
+    // --resume: diff the full task list against the aggregated joblog.
+    let mut recorded: HashSet<u64> = HashSet::new();
+    if config.resume {
+        if let Some(path) = &config.joblog {
+            recorded = joblog::completed_seqs(&joblog::read_log(path)?);
+        }
+    }
+    let skipped = recorded.len() as u64;
+    let pending: Vec<TaskSpec> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, args)| TaskSpec {
+            seq: i as u64 + 1,
+            args: args.clone(),
+        })
+        .filter(|t| !recorded.contains(&t.seq))
+        .collect();
+
+    let mut log = match &config.joblog {
+        Some(path) => Some(JobLogWriter::open(path)?),
+        None => None,
+    };
+
+    // -- Connect + handshake (sequential; agents are already listening).
+    let hello = Frame::Hello {
+        version: PROTOCOL_VERSION,
+        jobs: config.jobs_per_agent,
+        heartbeat_ms: config.heartbeat_ms,
+        payload: config.payload,
+        command: config.command.clone(),
+    };
+    let hello_bytes = hello.encode();
+    let mut agents: Vec<AgentConn> = Vec::with_capacity(config.agents.len());
+    let mut reader_conns = Vec::with_capacity(config.agents.len());
+    for (idx, spec) in config.agents.iter().enumerate() {
+        let mut conn = Conn::connect(spec)?;
+        conn.set_nodelay()?;
+        conn.write_all(&hello_bytes)?;
+        conn.flush()?;
+        conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut dec = Decoder::new();
+        let (name, slots) = match read_next(&mut conn, &mut dec)? {
+            Some(Frame::HelloAck {
+                version,
+                slots,
+                agent,
+            }) => {
+                if version != PROTOCOL_VERSION {
+                    return Err(NetError::Protocol(format!(
+                        "agent {spec} speaks protocol {version}, driver speaks {PROTOCOL_VERSION}"
+                    )));
+                }
+                (agent, slots)
+            }
+            Some(Frame::AgentExit { reason, .. }) => {
+                return Err(NetError::Protocol(format!(
+                    "agent {spec} refused: {reason}"
+                )))
+            }
+            Some(other) => {
+                return Err(NetError::Protocol(format!(
+                    "agent {spec}: expected HelloAck, got {other:?}"
+                )))
+            }
+            None => {
+                return Err(NetError::Protocol(format!(
+                    "agent {spec} closed during handshake"
+                )))
+            }
+        };
+        conn.set_read_timeout(None)?;
+        config.emit(Event::AgentConnected {
+            agent: idx as u32,
+            slots: slots as usize,
+        });
+        let reader = conn.try_clone()?;
+        agents.push(AgentConn {
+            name,
+            writer: Some(conn),
+            assigned: HashSet::new(),
+            done: 0,
+            alive: true,
+            exited: false,
+            error: None,
+            sent_bytes: hello_bytes.len() as u64,
+            received_bytes: Arc::new(AtomicU64::new(0)),
+        });
+        reader_conns.push((reader, dec));
+    }
+
+    // -- Reader threads: all inbound frames funnel into one channel.
+    let (ev_tx, ev_rx) = crossbeam_channel::unbounded::<(usize, Ev)>();
+    let mut reader_handles = Vec::new();
+    for (idx, (mut conn, mut dec)) in reader_conns.into_iter().enumerate() {
+        let tx = ev_tx.clone();
+        let rx_bytes = Arc::clone(&agents[idx].received_bytes);
+        reader_handles.push(std::thread::spawn(move || {
+            let mut buf = [0u8; 64 * 1024];
+            loop {
+                // Drain decoded frames before reading more bytes.
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(frame)) => {
+                            if tx.send((idx, Ev::Frame(frame))).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            let _ = tx.send((idx, Ev::Error(NetError::Frame(e))));
+                            return;
+                        }
+                    }
+                }
+                match conn.read(&mut buf) {
+                    Ok(0) => {
+                        let _ = tx.send((idx, Ev::Closed));
+                        return;
+                    }
+                    Ok(n) => {
+                        rx_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                        dec.extend(&buf[..n]);
+                    }
+                    Err(e) => {
+                        let _ = tx.send((idx, Ev::Error(NetError::Io(e))));
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+    drop(ev_tx);
+
+    // -- Initial placement: the awk NR-modulo split across all agents.
+    let shards = driver_shard(&pending, agents.len() as u32);
+    for (idx, shard) in shards.into_iter().enumerate() {
+        if !send_shard(config, &mut agents, idx, shard) {
+            handle_loss(config, &mut agents, idx, &recorded, inputs)?;
+        }
+    }
+
+    // -- Dispatch loop.
+    let lease = LeaseTracker::new(agents.len());
+    let mut completed = 0u64;
+    let mut duplicates = 0u64;
+    let goal = pending.len() as u64;
+    let tick = Duration::from_millis((config.heartbeat_ms as u64 / 2).clamp(10, 200));
+    while completed < goal {
+        match ev_rx.recv_timeout(tick) {
+            Ok((idx, Ev::Frame(frame))) => {
+                lease.touch(idx);
+                match frame {
+                    Frame::TaskDone {
+                        seq,
+                        exitval,
+                        signal,
+                        start_epoch_us,
+                        runtime_us,
+                        stdout,
+                        ..
+                    } => {
+                        if recorded.contains(&seq) {
+                            // A re-sharded task finished on two agents;
+                            // record-once keeps the joblog exact.
+                            duplicates += 1;
+                            continue;
+                        }
+                        recorded.insert(seq);
+                        agents[idx].done += 1;
+                        completed += 1;
+                        if let Some(log) = &mut log {
+                            let args = inputs
+                                .get((seq - 1) as usize)
+                                .map(|a| a.as_slice())
+                                .unwrap_or(&[]);
+                            let command = template.expand(&ExpandContext { args, seq, slot: 0 });
+                            log.record_entry(&LogEntry {
+                                seq,
+                                host: agents[idx].name.clone(),
+                                start: start_epoch_us as f64 / 1e6,
+                                runtime: runtime_us as f64 / 1e6,
+                                send: 0,
+                                receive: stdout.len() as u64,
+                                exitval,
+                                signal,
+                                command,
+                            })?;
+                            // Flush per row: complete lines on disk are
+                            // what makes `--resume` exact after the
+                            // driver itself is killed.
+                            log.flush()?;
+                        }
+                        if let Some(cb) = on_done.as_deref_mut() {
+                            cb(completed);
+                        }
+                    }
+                    Frame::Heartbeat { .. } => {}
+                    Frame::AgentExit { .. } => {
+                        // A mid-run exit (engine error) is followed by a
+                        // socket close, which triggers loss handling;
+                        // here only the exit itself is noted.
+                        agents[idx].exited = true;
+                    }
+                    other => {
+                        return Err(NetError::Protocol(format!(
+                            "unexpected agent frame {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok((idx, Ev::Closed)) => {
+                handle_loss(config, &mut agents, idx, &recorded, inputs)?;
+            }
+            Ok((idx, Ev::Error(e))) => {
+                agents[idx].error.get_or_insert_with(|| e.to_string());
+                handle_loss(config, &mut agents, idx, &recorded, inputs)?;
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                // Every reader thread is gone with work unfinished.
+                return Err(NetError::AllAgentsLost {
+                    remaining: goal - completed,
+                });
+            }
+        }
+        // Lease sweep: a live socket with a silent engine (wedged node,
+        // half-open network partition) is as dead as a closed one.
+        for idx in 0..agents.len() {
+            if agents[idx].alive && lease.expired(idx, config.lease_window_ms) {
+                handle_loss(config, &mut agents, idx, &recorded, inputs)?;
+            }
+        }
+    }
+
+    // -- Drain: tell survivors to finish and wait for their exits.
+    for agent in agents.iter_mut() {
+        if !agent.alive {
+            continue;
+        }
+        let bytes = Frame::Drain.encode();
+        if let Some(w) = agent.writer.as_mut() {
+            if w.write_all(&bytes).and_then(|_| w.flush()).is_ok() {
+                agent.sent_bytes += bytes.len() as u64;
+            }
+        }
+    }
+    let drain_deadline = Instant::now() + config.drain_timeout;
+    while agents.iter().any(|a| a.alive && !a.exited) {
+        let left = drain_deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        match ev_rx.recv_timeout(left.min(Duration::from_millis(100))) {
+            Ok((idx, Ev::Frame(Frame::AgentExit { .. }))) => agents[idx].exited = true,
+            Ok((idx, Ev::Closed)) => {
+                // Post-drain close without AgentExit still counts as
+                // gone; its work is already complete.
+                agents[idx].exited = true;
+            }
+            Ok((idx, Ev::Error(e))) => {
+                agents[idx].error.get_or_insert_with(|| e.to_string());
+                agents[idx].exited = true;
+            }
+            Ok(_) => {}
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    for (idx, agent) in agents.iter_mut().enumerate() {
+        if let Some(w) = agent.writer.take() {
+            w.shutdown();
+        }
+        config.emit(Event::FrameBytes {
+            agent: idx as u32,
+            sent: agent.sent_bytes,
+            received: agent.received_bytes.load(Ordering::Relaxed),
+        });
+    }
+    drop(ev_rx);
+    for handle in reader_handles {
+        let _ = handle.join();
+    }
+    if let Some(log) = &mut log {
+        log.flush()?;
+    }
+
+    Ok(DriveOutcome {
+        total,
+        completed,
+        skipped,
+        duplicates,
+        agents: agents
+            .into_iter()
+            .map(|a| AgentStat {
+                name: a.name,
+                done: a.done,
+                lost: !a.alive,
+                error: a.error,
+            })
+            .collect(),
+        wall: started.elapsed(),
+    })
+}
+
+/// Ship one shard to `idx` in `SHARD_CHUNK`-sized frames. Returns
+/// `false` when the agent's write side is dead — the caller escalates
+/// to [`handle_loss`], which re-shards everything assigned here too.
+fn send_shard(
+    config: &DriverConfig,
+    agents: &mut [AgentConn],
+    idx: usize,
+    shard: Vec<TaskSpec>,
+) -> bool {
+    if shard.is_empty() {
+        return true;
+    }
+    let count = shard.len() as u64;
+    let agent = &mut agents[idx];
+    for task in &shard {
+        agent.assigned.insert(task.seq);
+    }
+    let Some(w) = agent.writer.as_mut() else {
+        return false;
+    };
+    for chunk in shard.chunks(SHARD_CHUNK) {
+        let bytes = Frame::Shard {
+            tasks: chunk.to_vec(),
+        }
+        .encode();
+        if w.write_all(&bytes).and_then(|_| w.flush()).is_err() {
+            return false;
+        }
+        agent.sent_bytes += bytes.len() as u64;
+    }
+    config.emit(Event::ShardSent {
+        agent: idx as u32,
+        tasks: count,
+    });
+    true
+}
+
+/// Declare `idx` lost and re-shard its unfinished work onto survivors.
+/// Idempotent (the `alive` flag guards re-entry from the reader event
+/// and the lease sweep both firing for the same death).
+fn handle_loss(
+    config: &DriverConfig,
+    agents: &mut [AgentConn],
+    idx: usize,
+    recorded: &HashSet<u64>,
+    inputs: &[Vec<String>],
+) -> Result<()> {
+    if !agents[idx].alive {
+        return Ok(());
+    }
+    agents[idx].alive = false;
+    if let Some(w) = agents[idx].writer.take() {
+        w.shutdown();
+    }
+    // Diff the lost shard against the aggregated joblog: only seqs with
+    // no recorded completion anywhere need to run again.
+    let mut lost: Vec<u64> = agents[idx]
+        .assigned
+        .iter()
+        .filter(|seq| !recorded.contains(seq))
+        .copied()
+        .collect();
+    lost.sort_unstable();
+    config.emit(Event::AgentLost {
+        agent: idx as u32,
+        outstanding: lost.len() as u64,
+    });
+    if lost.is_empty() {
+        return Ok(());
+    }
+    let survivors: Vec<usize> = agents
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.alive)
+        .map(|(i, _)| i)
+        .collect();
+    if survivors.is_empty() {
+        return Err(NetError::AllAgentsLost {
+            remaining: lost.len() as u64,
+        });
+    }
+    // Rebuild full TaskSpecs (args come from the driver's input table,
+    // seq is 1-based) and split them across survivors with the same
+    // modulo placement as the initial sharding.
+    let specs: Vec<TaskSpec> = lost
+        .iter()
+        .map(|&seq| TaskSpec {
+            seq,
+            args: inputs.get((seq - 1) as usize).cloned().unwrap_or_default(),
+        })
+        .collect();
+    let shards = driver_shard(&specs, survivors.len() as u32);
+    for (slot, shard) in shards.into_iter().enumerate() {
+        let target = survivors[slot];
+        if !send_shard(config, agents, target, shard) {
+            // The survivor died while receiving the re-shard; recurse so
+            // its assignment (including what it just took over) moves on.
+            handle_loss(config, agents, target, recorded, inputs)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,715 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message on a driver↔agent connection is one frame:
+//!
+//! ```text
+//! [u32 LE body length][u8 tag][tag-specific payload]
+//! ```
+//!
+//! Integers are little-endian; strings are `u32` length + UTF-8 bytes;
+//! vectors are `u32` count + elements. The protocol is versioned through
+//! the [`Frame::Hello`]/[`Frame::HelloAck`] handshake: the driver speaks
+//! first, the agent refuses a version it does not understand, and no
+//! other frame is valid before the handshake completes.
+//!
+//! Decoding is incremental ([`Decoder`]) so a reader can feed arbitrary
+//! byte chunks straight off a socket. Malformed or oversized input
+//! yields a typed [`FrameError`] — never a panic, and never an
+//! allocation larger than the bytes actually received.
+
+use std::fmt;
+
+/// Protocol revision carried in the handshake. Bump on any wire change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard ceiling on one frame's body. A `Shard` of [`SHARD_CHUNK`] tasks
+/// with generous arguments stays far below this; anything bigger is a
+/// corrupt or hostile stream.
+pub const MAX_FRAME_LEN: u32 = 32 << 20;
+
+/// Senders split task batches into `Shard` frames of at most this many
+/// tasks, bounding frame size and letting agents start work while a
+/// large assignment is still in flight.
+pub const SHARD_CHUNK: usize = 2048;
+
+/// What the agent runs for each task (the driver decides; benches use
+/// the non-process payloads to measure protocol overhead in isolation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// `sh -c <rendered command>` — real work.
+    Shell,
+    /// In-process no-op (dispatch/protocol overhead only).
+    Noop,
+    /// In-process sleep of the given microseconds (fixed-cost tasks for
+    /// chaos tests and the gate's handicap drill).
+    SleepUs(u64),
+}
+
+/// One task assignment inside a [`Frame::Shard`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Driver-global sequence number (joblog key).
+    pub seq: u64,
+    /// Arguments substituted into the command template.
+    pub args: Vec<String>,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Driver → agent, first frame on the wire.
+    Hello {
+        version: u16,
+        /// Job slots the agent should run (`-j` per agent).
+        jobs: u32,
+        /// Milliseconds between agent heartbeats.
+        heartbeat_ms: u32,
+        payload: Payload,
+        /// Command template the agent renders per task.
+        command: String,
+    },
+    /// Agent → driver, handshake reply.
+    HelloAck {
+        version: u16,
+        /// Slots the agent actually granted.
+        slots: u32,
+        /// Agent's self-reported name (joblog `Host` column).
+        agent: String,
+    },
+    /// Driver → agent: a batch of task assignments.
+    Shard { tasks: Vec<TaskSpec> },
+    /// Agent → driver: one task finished.
+    TaskDone {
+        seq: u64,
+        exitval: i32,
+        signal: i32,
+        /// Task start, microseconds since the Unix epoch (agent clock).
+        start_epoch_us: u64,
+        runtime_us: u64,
+        stdout: String,
+        stderr: String,
+    },
+    /// Agent → driver: liveness lease renewal.
+    Heartbeat { done: u64, inflight: u32 },
+    /// Driver → agent: no more shards will come; finish and exit.
+    Drain,
+    /// Agent → driver: final frame before the agent closes its end.
+    AgentExit { done: u64, reason: String },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_SHARD: u8 = 3;
+const TAG_TASK_DONE: u8 = 4;
+const TAG_HEARTBEAT: u8 = 5;
+const TAG_DRAIN: u8 = 6;
+const TAG_AGENT_EXIT: u8 = 7;
+
+const PAYLOAD_SHELL: u8 = 0;
+const PAYLOAD_NOOP: u8 = 1;
+const PAYLOAD_SLEEP: u8 = 2;
+
+/// Why a byte stream failed to decode. All variants are terminal for
+/// the connection: framing has lost sync and cannot recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared body length exceeds [`MAX_FRAME_LEN`].
+    Oversized { len: u32 },
+    /// Unknown frame tag byte.
+    UnknownTag(u8),
+    /// Body ended before its fields did, or a length field points past
+    /// the body end.
+    Malformed(&'static str),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(f, "frame body of {len} bytes exceeds {MAX_FRAME_LEN}")
+            }
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t}"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            FrameError::BadUtf8 => write!(f, "frame string is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// -- Encoding ----------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_payload(out: &mut Vec<u8>, p: Payload) {
+    match p {
+        Payload::Shell => out.push(PAYLOAD_SHELL),
+        Payload::Noop => out.push(PAYLOAD_NOOP),
+        Payload::SleepUs(us) => {
+            out.push(PAYLOAD_SLEEP);
+            out.extend_from_slice(&us.to_le_bytes());
+        }
+    }
+}
+
+impl Frame {
+    /// Serialize as one length-prefixed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        match self {
+            Frame::Hello {
+                version,
+                jobs,
+                heartbeat_ms,
+                payload,
+                command,
+            } => {
+                body.push(TAG_HELLO);
+                body.extend_from_slice(&version.to_le_bytes());
+                body.extend_from_slice(&jobs.to_le_bytes());
+                body.extend_from_slice(&heartbeat_ms.to_le_bytes());
+                put_payload(&mut body, *payload);
+                put_str(&mut body, command);
+            }
+            Frame::HelloAck {
+                version,
+                slots,
+                agent,
+            } => {
+                body.push(TAG_HELLO_ACK);
+                body.extend_from_slice(&version.to_le_bytes());
+                body.extend_from_slice(&slots.to_le_bytes());
+                put_str(&mut body, agent);
+            }
+            Frame::Shard { tasks } => {
+                body.push(TAG_SHARD);
+                body.extend_from_slice(&(tasks.len() as u32).to_le_bytes());
+                for task in tasks {
+                    body.extend_from_slice(&task.seq.to_le_bytes());
+                    body.extend_from_slice(&(task.args.len() as u32).to_le_bytes());
+                    for arg in &task.args {
+                        put_str(&mut body, arg);
+                    }
+                }
+            }
+            Frame::TaskDone {
+                seq,
+                exitval,
+                signal,
+                start_epoch_us,
+                runtime_us,
+                stdout,
+                stderr,
+            } => {
+                body.push(TAG_TASK_DONE);
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&exitval.to_le_bytes());
+                body.extend_from_slice(&signal.to_le_bytes());
+                body.extend_from_slice(&start_epoch_us.to_le_bytes());
+                body.extend_from_slice(&runtime_us.to_le_bytes());
+                put_str(&mut body, stdout);
+                put_str(&mut body, stderr);
+            }
+            Frame::Heartbeat { done, inflight } => {
+                body.push(TAG_HEARTBEAT);
+                body.extend_from_slice(&done.to_le_bytes());
+                body.extend_from_slice(&inflight.to_le_bytes());
+            }
+            Frame::Drain => body.push(TAG_DRAIN),
+            Frame::AgentExit { done, reason } => {
+                body.push(TAG_AGENT_EXIT);
+                body.extend_from_slice(&done.to_le_bytes());
+                put_str(&mut body, reason);
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+// -- Decoding ----------------------------------------------------------
+
+/// Cursor over one frame body. Every accessor bounds-checks against the
+/// body end, so a hostile length field can never read out of range or
+/// trigger an oversized allocation.
+struct Body<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Body<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FrameError::Malformed("truncated field"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, FrameError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes after frame body"))
+        }
+    }
+}
+
+fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+    let mut b = Body { buf: body, pos: 0 };
+    let frame = match b.u8()? {
+        TAG_HELLO => {
+            let version = b.u16()?;
+            let jobs = b.u32()?;
+            let heartbeat_ms = b.u32()?;
+            let payload = match b.u8()? {
+                PAYLOAD_SHELL => Payload::Shell,
+                PAYLOAD_NOOP => Payload::Noop,
+                PAYLOAD_SLEEP => Payload::SleepUs(b.u64()?),
+                _ => return Err(FrameError::Malformed("unknown payload kind")),
+            };
+            Frame::Hello {
+                version,
+                jobs,
+                heartbeat_ms,
+                payload,
+                command: b.string()?,
+            }
+        }
+        TAG_HELLO_ACK => Frame::HelloAck {
+            version: b.u16()?,
+            slots: b.u32()?,
+            agent: b.string()?,
+        },
+        TAG_SHARD => {
+            let count = b.u32()? as usize;
+            // A task is at least 12 bytes (seq + argc); reject counts
+            // the remaining body cannot possibly hold before reserving.
+            if count > (body.len() - b.pos) / 12 {
+                return Err(FrameError::Malformed("shard count exceeds body"));
+            }
+            let mut tasks = Vec::with_capacity(count);
+            for _ in 0..count {
+                let seq = b.u64()?;
+                let argc = b.u32()? as usize;
+                if argc > (body.len() - b.pos) / 4 {
+                    return Err(FrameError::Malformed("arg count exceeds body"));
+                }
+                let mut args = Vec::with_capacity(argc);
+                for _ in 0..argc {
+                    args.push(b.string()?);
+                }
+                tasks.push(TaskSpec { seq, args });
+            }
+            Frame::Shard { tasks }
+        }
+        TAG_TASK_DONE => Frame::TaskDone {
+            seq: b.u64()?,
+            exitval: b.i32()?,
+            signal: b.i32()?,
+            start_epoch_us: b.u64()?,
+            runtime_us: b.u64()?,
+            stdout: b.string()?,
+            stderr: b.string()?,
+        },
+        TAG_HEARTBEAT => Frame::Heartbeat {
+            done: b.u64()?,
+            inflight: b.u32()?,
+        },
+        TAG_DRAIN => Frame::Drain,
+        TAG_AGENT_EXIT => Frame::AgentExit {
+            done: b.u64()?,
+            reason: b.string()?,
+        },
+        other => return Err(FrameError::UnknownTag(other)),
+    };
+    b.finish()?;
+    Ok(frame)
+}
+
+/// Incremental frame decoder: feed it byte chunks in any split,
+/// [`Decoder::next_frame`] yields complete frames as they materialize.
+#[derive(Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted when it outgrows the tail.
+    pos: usize,
+}
+
+impl Decoder {
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing so a long-lived connection's buffer
+        // stays proportional to the largest in-flight frame.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, `Ok(None)` if more bytes are
+    /// needed. After any `Err`, the stream is out of sync and the
+    /// connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized { len });
+        }
+        let len = len as usize;
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = decode_body(&avail[4..4 + len])?;
+        self.pos += 4 + len;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = frame.encode();
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        assert_eq!(d.next_frame().unwrap(), Some(frame));
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(d.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            jobs: 16,
+            heartbeat_ms: 250,
+            payload: Payload::Shell,
+            command: "gzip {}".into(),
+        });
+        round_trip(Frame::Hello {
+            version: 2,
+            jobs: 1,
+            heartbeat_ms: 10,
+            payload: Payload::SleepUs(1500),
+            command: String::new(),
+        });
+        round_trip(Frame::HelloAck {
+            version: 1,
+            slots: 8,
+            agent: "nid001".into(),
+        });
+        round_trip(Frame::Shard {
+            tasks: vec![
+                TaskSpec {
+                    seq: 1,
+                    args: vec!["a".into(), "b c".into()],
+                },
+                TaskSpec {
+                    seq: u64::MAX,
+                    args: vec![],
+                },
+            ],
+        });
+        round_trip(Frame::TaskDone {
+            seq: 42,
+            exitval: -1,
+            signal: 9,
+            start_epoch_us: 1_700_000_000_000_000,
+            runtime_us: 12345,
+            stdout: "out\n".into(),
+            stderr: "λ err".into(),
+        });
+        round_trip(Frame::Heartbeat {
+            done: 99,
+            inflight: 3,
+        });
+        round_trip(Frame::Drain);
+        round_trip(Frame::AgentExit {
+            done: 1000,
+            reason: "drained".into(),
+        });
+    }
+
+    #[test]
+    fn byte_at_a_time_decoding() {
+        let frame = Frame::Shard {
+            tasks: vec![TaskSpec {
+                seq: 7,
+                args: vec!["hello world".into()],
+            }],
+        };
+        let bytes = frame.encode();
+        let mut d = Decoder::new();
+        for (i, b) in bytes.iter().enumerate() {
+            d.extend(std::slice::from_ref(b));
+            let got = d.next_frame().unwrap();
+            if i + 1 < bytes.len() {
+                assert_eq!(got, None, "complete at byte {i} of {}", bytes.len());
+            } else {
+                assert_eq!(got, Some(frame.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_one_chunk() {
+        let frames = vec![
+            Frame::Drain,
+            Frame::Heartbeat {
+                done: 1,
+                inflight: 0,
+            },
+            Frame::Drain,
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&f.encode());
+        }
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        for f in &frames {
+            assert_eq!(d.next_frame().unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(d.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_is_a_typed_error() {
+        let mut d = Decoder::new();
+        d.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        d.extend(&[0u8; 16]);
+        assert_eq!(
+            d.next_frame(),
+            Err(FrameError::Oversized {
+                len: MAX_FRAME_LEN + 1
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut d = Decoder::new();
+        d.extend(&1u32.to_le_bytes());
+        d.extend(&[200u8]);
+        assert_eq!(d.next_frame(), Err(FrameError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        // Heartbeat body claims full length but carries too few bytes
+        // for its fields.
+        let mut d = Decoder::new();
+        d.extend(&3u32.to_le_bytes());
+        d.extend(&[TAG_HEARTBEAT, 1, 2]);
+        assert_eq!(
+            d.next_frame(),
+            Err(FrameError::Malformed("truncated field"))
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_in_body_rejected() {
+        let mut body = Frame::Drain.encode();
+        // Rewrite the length to include one junk byte after the tag.
+        body.push(0xFF);
+        body[..4].copy_from_slice(&2u32.to_le_bytes());
+        let mut d = Decoder::new();
+        d.extend(&body);
+        assert!(matches!(d.next_frame(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn hostile_shard_count_does_not_allocate() {
+        // Shard claiming u32::MAX tasks in a tiny body must fail fast.
+        let mut body = vec![TAG_SHARD];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        assert!(matches!(d.next_frame(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // AgentExit with a reason of 2 bytes of invalid UTF-8.
+        let mut body = vec![TAG_AGENT_EXIT];
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&[0xFF, 0xFE]);
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        assert_eq!(d.next_frame(), Err(FrameError::BadUtf8));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Hand-rolled frame generator (the vendored proptest has no
+        /// `prop_oneof!`): weights lean on the hot frames.
+        #[derive(Debug, Clone)]
+        struct FrameStrategy;
+
+        fn arb_string(rng: &mut TestRng) -> String {
+            let len = rng.below(12) as usize;
+            (0..len)
+                .map(|_| char::from_u32(0x20 + rng.below(0x50) as u32).unwrap_or('x'))
+                .collect()
+        }
+
+        impl Strategy for FrameStrategy {
+            type Value = Frame;
+            fn generate(&self, rng: &mut TestRng) -> Frame {
+                match rng.below(8) {
+                    0 => Frame::Hello {
+                        version: rng.below(u16::MAX as u64 + 1) as u16,
+                        jobs: rng.below(1 << 16) as u32,
+                        heartbeat_ms: rng.below(10_000) as u32,
+                        payload: match rng.below(3) {
+                            0 => Payload::Shell,
+                            1 => Payload::Noop,
+                            _ => Payload::SleepUs(rng.next_u64()),
+                        },
+                        command: arb_string(rng),
+                    },
+                    1 => Frame::HelloAck {
+                        version: rng.below(1 << 16) as u16,
+                        slots: rng.below(1 << 10) as u32,
+                        agent: arb_string(rng),
+                    },
+                    2 | 3 => {
+                        let n = rng.below(20) as usize;
+                        Frame::Shard {
+                            tasks: (0..n)
+                                .map(|_| TaskSpec {
+                                    seq: rng.next_u64(),
+                                    args: (0..rng.below(4)).map(|_| arb_string(rng)).collect(),
+                                })
+                                .collect(),
+                        }
+                    }
+                    4 | 5 => Frame::TaskDone {
+                        seq: rng.next_u64(),
+                        exitval: rng.below(512) as i32 - 256,
+                        signal: rng.below(64) as i32,
+                        start_epoch_us: rng.next_u64(),
+                        runtime_us: rng.next_u64(),
+                        stdout: arb_string(rng),
+                        stderr: arb_string(rng),
+                    },
+                    6 => Frame::Heartbeat {
+                        done: rng.next_u64(),
+                        inflight: rng.below(1 << 20) as u32,
+                    },
+                    _ => {
+                        if rng.below(2) == 0 {
+                            Frame::Drain
+                        } else {
+                            Frame::AgentExit {
+                                done: rng.next_u64(),
+                                reason: arb_string(rng),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+            #[test]
+            fn streams_round_trip_across_arbitrary_splits(
+                frames in proptest::collection::vec(FrameStrategy, 1..12),
+                cuts in proptest::collection::vec(0usize..64, 1..40),
+            ) {
+                let mut wire = Vec::new();
+                for f in &frames {
+                    wire.extend_from_slice(&f.encode());
+                }
+                // Split the byte stream at pseudo-random boundaries
+                // derived from `cuts`, then feed chunk by chunk.
+                let mut d = Decoder::new();
+                let mut got = Vec::new();
+                let mut off = 0usize;
+                let mut cut_it = cuts.iter().cycle();
+                while off < wire.len() {
+                    let step = (cut_it.next().unwrap() % 61) + 1;
+                    let end = (off + step).min(wire.len());
+                    d.extend(&wire[off..end]);
+                    while let Some(f) = d.next_frame().unwrap() {
+                        got.push(f);
+                    }
+                    off = end;
+                }
+                prop_assert_eq!(got, frames);
+                prop_assert_eq!(d.pending_bytes(), 0);
+            }
+
+            #[test]
+            fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let mut d = Decoder::new();
+                d.extend(&bytes);
+                // Drain until the decoder either wants more bytes or
+                // reports a typed error; no panic, no runaway loop.
+                for _ in 0..bytes.len() + 1 {
+                    match d.next_frame() {
+                        Ok(Some(_)) => continue,
+                        Ok(None) | Err(_) => break,
+                    }
+                }
+            }
+        }
+    }
+}

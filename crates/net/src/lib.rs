@@ -1,0 +1,85 @@
+//! `htpar-net` — real-process distributed execution.
+//!
+//! The paper's deployment shape (Listing 1) is a *driver* that shards an
+//! input list across nodes, each node running GNU Parallel locally. The
+//! rest of this repo reproduces that shape in simulation; this crate
+//! builds it for real: a [`driver`] process dispatches work over sockets
+//! to [`agent`] processes that each run the `htpar-core` engine, with
+//! the PR 3 recovery machinery (heartbeat leases, joblog diffing,
+//! re-sharding onto survivors) applied to live processes instead of
+//! simulated nodes.
+//!
+//! Layers:
+//! - [`frame`] — the length-prefixed binary protocol (versioned
+//!   handshake, `Shard`, `TaskDone`, `Heartbeat`, `Drain`, `AgentExit`).
+//! - [`conn`] — one connection type over TCP or Unix sockets.
+//! - [`lease`] — the driver's heartbeat failure detector.
+//! - [`agent`] — the node-side loop: accept one driver, run the engine.
+//! - [`driver`] — shard, dispatch, aggregate the joblog, recover.
+//! - [`local`] — localhost mini-clusters of agent subprocesses.
+//! - [`remote`] — a socket-backed [`htpar_core::remote`] executor.
+
+pub mod agent;
+pub mod conn;
+pub mod driver;
+pub mod frame;
+pub mod lease;
+pub mod local;
+pub mod remote;
+
+use std::fmt;
+use std::io;
+
+use crate::frame::FrameError;
+
+/// Errors from the driver/agent state machines.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (dial, bind, read, write).
+    Io(io::Error),
+    /// The peer sent bytes that do not decode as protocol frames.
+    Frame(FrameError),
+    /// The peer sent a well-formed frame that violates the protocol
+    /// (wrong handshake, version mismatch, frame before handshake).
+    Protocol(String),
+    /// Every agent died; `remaining` seqs could not be placed anywhere.
+    AllAgentsLost { remaining: u64 },
+    /// An error bubbled up from the embedded `htpar-core` engine.
+    Core(htpar_core::error::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Frame(e) => write!(f, "protocol framing error: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::AllAgentsLost { remaining } => {
+                write!(f, "all agents lost with {remaining} tasks unfinished")
+            }
+            NetError::Core(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> NetError {
+        NetError::Frame(e)
+    }
+}
+
+impl From<htpar_core::error::Error> for NetError {
+    fn from(e: htpar_core::error::Error) -> NetError {
+        NetError::Core(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,176 @@
+//! Localhost mini-clusters: N agent subprocesses for tests, benches,
+//! and `htpar drive --local-cluster N`.
+//!
+//! Any binary that calls [`maybe_become_agent`] first thing in `main`
+//! can serve as its own agent: [`LocalCluster::spawn_self`] re-executes
+//! the current binary with [`ENV_AGENT_LISTEN`] set, the child binds an
+//! ephemeral port, announces the actual address on stdout
+//! (`HTPAR_AGENT_LISTENING <spec>`), and the parent collects the specs
+//! to hand to [`crate::driver::run_driver`]. Integration-test binaries
+//! cannot re-exec themselves (the test harness owns `main`), so tests
+//! spawn a real binary via `CARGO_BIN_EXE_*` and
+//! [`LocalCluster::spawn_with`].
+
+use std::io::{self, BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use crate::agent::{self, AgentConfig, ANNOUNCE_PREFIX};
+
+/// When set, [`maybe_become_agent`] turns the process into an agent
+/// bound to this address spec.
+pub const ENV_AGENT_LISTEN: &str = "HTPAR_NET_AGENT_LISTEN";
+
+/// Optional agent name override for re-exec'd agents (the joblog `Host`
+/// column; defaults to `agent-<pid>`).
+pub const ENV_AGENT_NAME: &str = "HTPAR_NET_AGENT_NAME";
+
+/// Agent-mode hook for binaries that want to serve as their own cluster.
+/// Call first in `main`: when [`ENV_AGENT_LISTEN`] is set the process
+/// becomes an agent — serve one driver session, then exit — and this
+/// function never returns.
+pub fn maybe_become_agent() {
+    let Ok(listen) = std::env::var(ENV_AGENT_LISTEN) else {
+        return;
+    };
+    let mut config = AgentConfig::new(listen);
+    if let Ok(name) = std::env::var(ENV_AGENT_NAME) {
+        config.name = name;
+    }
+    config.announce = true;
+    match agent::serve(&config) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("htpar agent: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// A set of local agent subprocesses, killed on drop.
+pub struct LocalCluster {
+    children: Vec<Option<Child>>,
+    /// Dialable address spec of each agent, in spawn order.
+    pub specs: Vec<String>,
+}
+
+impl LocalCluster {
+    /// Spawn `n` agents by re-executing the current binary (which must
+    /// call [`maybe_become_agent`]).
+    pub fn spawn_self(n: usize) -> io::Result<LocalCluster> {
+        let exe = std::env::current_exe()?;
+        LocalCluster::spawn_with(n, || Command::new(&exe))
+    }
+
+    /// Spawn `n` agents from commands built by `base` (one call per
+    /// agent; the spec env vars and stdio plumbing are added here).
+    pub fn spawn_with<F: FnMut() -> Command>(n: usize, mut base: F) -> io::Result<LocalCluster> {
+        let mut children = Vec::with_capacity(n);
+        let mut specs = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cmd = base();
+            cmd.env(ENV_AGENT_LISTEN, "127.0.0.1:0")
+                .env(ENV_AGENT_NAME, format!("agent-{i}"))
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit());
+            let mut child = cmd.spawn()?;
+            let stdout = child.stdout.take().expect("stdout was piped");
+            match read_announce(stdout) {
+                Ok(spec) => {
+                    specs.push(spec);
+                    children.push(Some(child));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    // Reap the agents that did come up before bailing.
+                    for mut c in children.into_iter().flatten() {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(LocalCluster { children, specs })
+    }
+
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// SIGKILL agent `idx` (chaos testing). Idempotent; the driver sees
+    /// the socket close and re-shards.
+    pub fn kill(&mut self, idx: usize) {
+        if let Some(child) = self.children[idx].as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+            self.children[idx] = None;
+        }
+    }
+
+    /// Wait for every surviving agent to exit on its own (after a
+    /// drained run they exit promptly); returns how many exited zero.
+    pub fn join(&mut self) -> usize {
+        let mut clean = 0;
+        for slot in self.children.iter_mut() {
+            if let Some(mut child) = slot.take() {
+                if let Ok(status) = child.wait() {
+                    if status.success() {
+                        clean += 1;
+                    }
+                }
+            }
+        }
+        clean
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        for slot in self.children.iter_mut() {
+            if let Some(mut child) = slot.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Read the agent's announce line off its stdout pipe.
+fn read_announce<R: io::Read>(stdout: R) -> io::Result<String> {
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    match line
+        .strip_prefix(ANNOUNCE_PREFIX)
+        .map(|rest| rest.trim().to_string())
+    {
+        Some(spec) if !spec.is_empty() => Ok(spec),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("agent did not announce its address (got {line:?})"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announce_line_parses() {
+        let spec = read_announce(&b"HTPAR_AGENT_LISTENING 127.0.0.1:4511\n"[..]).unwrap();
+        assert_eq!(spec, "127.0.0.1:4511");
+    }
+
+    #[test]
+    fn missing_announce_is_an_error() {
+        assert!(read_announce(&b"something else\n"[..]).is_err());
+        assert!(read_announce(&b""[..]).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! A socket-backed remote executor: the real transport behind
+//! `core::remote::MultiHostExecutor`.
+//!
+//! [`SocketExecutor`] speaks this crate's frame protocol to one agent.
+//! The handshake installs the pass-through template `{}` with a shell
+//! payload, so each job ships its already-rendered command string as
+//! the task's single argument and the agent runs `sh -c <command>` —
+//! any template the local engine rendered runs remotely unchanged.
+//!
+//! Connection death resolves every in-flight job with a *transport*
+//! error ([`TaskOutput::transport_error`]), which `MultiHostExecutor`
+//! converts into quarantining the host and re-placing the job — there
+//! is deliberately no auto-reconnect here.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use htpar_core::error::Result as CoreResult;
+use htpar_core::executor::{ExecContext, Executor, TaskOutput};
+use htpar_core::job::{CommandLine, JobStatus};
+use htpar_core::remote::{MultiHostExecutor, Sshlogin};
+use parking_lot::Mutex;
+
+use crate::agent::read_next;
+use crate::conn::Conn;
+use crate::frame::{Decoder, Frame, Payload, TaskSpec, PROTOCOL_VERSION};
+
+/// One live connection shared by job threads and the reader thread.
+struct Link {
+    writer: Mutex<Conn>,
+    /// In-flight request id → waiting job's completion sender.
+    pending: Mutex<HashMap<u64, crossbeam_channel::Sender<TaskOutput>>>,
+    dead: AtomicBool,
+}
+
+impl Link {
+    /// Resolve every waiter with a transport error and latch `dead`.
+    fn fail_all(&self, why: &str) {
+        self.dead.store(true, Ordering::Relaxed);
+        let mut pending = self.pending.lock();
+        for (_, tx) in pending.drain() {
+            let _ = tx.send(TaskOutput::transport_error(why));
+        }
+    }
+}
+
+enum ConnState {
+    /// Not yet dialed (first job connects).
+    Idle,
+    Up(Arc<Link>),
+    /// Died; stays dead — placement-level quarantine owns recovery.
+    Dead,
+}
+
+/// Executes each job on one remote agent over a socket.
+pub struct SocketExecutor {
+    spec: String,
+    jobs: u32,
+    state: Mutex<ConnState>,
+    next_id: AtomicU64,
+}
+
+impl SocketExecutor {
+    /// Lazily-connecting executor for the agent at `spec`, asking for
+    /// `jobs` slots in the handshake.
+    pub fn new(spec: impl Into<String>, jobs: u32) -> SocketExecutor {
+        SocketExecutor {
+            spec: spec.into(),
+            jobs,
+            state: Mutex::new(ConnState::Idle),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Current link, dialing on first use. `None` once the connection
+    /// has died.
+    fn link(&self) -> Option<Arc<Link>> {
+        let mut state = self.state.lock();
+        match &*state {
+            ConnState::Up(link) => Some(Arc::clone(link)),
+            ConnState::Dead => None,
+            ConnState::Idle => match self.dial() {
+                Ok(link) => {
+                    *state = ConnState::Up(Arc::clone(&link));
+                    Some(link)
+                }
+                Err(_) => {
+                    *state = ConnState::Dead;
+                    None
+                }
+            },
+        }
+    }
+
+    fn dial(&self) -> crate::Result<Arc<Link>> {
+        let mut conn = Conn::connect(&self.spec)?;
+        conn.set_nodelay()?;
+        let hello = Frame::Hello {
+            version: PROTOCOL_VERSION,
+            jobs: self.jobs,
+            // Heartbeats flow agent → driver; this executor reads its
+            // socket constantly anyway, so a slow interval suffices.
+            heartbeat_ms: 1_000,
+            payload: Payload::Shell,
+            command: "{}".to_string(),
+        };
+        conn.write_all(&hello.encode())?;
+        conn.flush()?;
+        conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut dec = Decoder::new();
+        match read_next(&mut conn, &mut dec)? {
+            Some(Frame::HelloAck { version, .. }) if version == PROTOCOL_VERSION => {}
+            other => {
+                return Err(crate::NetError::Protocol(format!(
+                    "agent {}: bad handshake reply {other:?}",
+                    self.spec
+                )))
+            }
+        }
+        conn.set_read_timeout(None)?;
+        let link = Arc::new(Link {
+            writer: Mutex::new(conn.try_clone()?),
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+        });
+        let reader_link = Arc::clone(&link);
+        std::thread::spawn(move || reader_loop(conn, dec, &reader_link));
+        Ok(link)
+    }
+}
+
+/// Resolve `TaskDone` frames against the pending map until the
+/// connection dies, then fail whatever is still waiting.
+fn reader_loop(mut conn: Conn, mut dec: Decoder, link: &Link) {
+    loop {
+        match read_next(&mut conn, &mut dec) {
+            Ok(Some(Frame::TaskDone {
+                seq,
+                exitval,
+                signal,
+                stdout,
+                stderr,
+                ..
+            })) => {
+                let waiter = link.pending.lock().remove(&seq);
+                if let Some(tx) = waiter {
+                    let status = if signal != 0 {
+                        JobStatus::Signaled(signal)
+                    } else if exitval == 0 {
+                        JobStatus::Success
+                    } else if exitval < 0 {
+                        JobStatus::ExecError(format!("remote exec error ({stderr})"))
+                    } else {
+                        JobStatus::Failed(exitval)
+                    };
+                    let _ = tx.send(TaskOutput {
+                        status,
+                        stdout,
+                        stderr,
+                    });
+                }
+            }
+            Ok(Some(Frame::Heartbeat { .. })) => {}
+            Ok(Some(Frame::AgentExit { reason, .. })) => {
+                link.fail_all(&format!("agent exited: {reason}"));
+                return;
+            }
+            Ok(Some(other)) => {
+                link.fail_all(&format!("unexpected agent frame {other:?}"));
+                return;
+            }
+            Ok(None) => {
+                link.fail_all("agent closed the connection");
+                return;
+            }
+            Err(e) => {
+                link.fail_all(&e.to_string());
+                return;
+            }
+        }
+    }
+}
+
+impl Executor for SocketExecutor {
+    fn execute(&self, cmd: &CommandLine, _ctx: &ExecContext) -> TaskOutput {
+        let Some(link) = self.link() else {
+            return TaskOutput::transport_error(format!("agent {} unreachable", self.spec));
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        link.pending.lock().insert(id, tx);
+        // Wire seq is this executor's request id, not the engine seq:
+        // two hosts' executors must not collide, and the engine may
+        // retry one seq through different hosts concurrently.
+        let shard = Frame::Shard {
+            tasks: vec![TaskSpec {
+                seq: id,
+                args: vec![cmd.rendered().to_string()],
+            }],
+        };
+        {
+            let mut writer = link.writer.lock();
+            if writer
+                .write_all(&shard.encode())
+                .and_then(|_| writer.flush())
+                .is_err()
+            {
+                drop(writer);
+                link.pending.lock().remove(&id);
+                link.fail_all("write to agent failed");
+                *self.state.lock() = ConnState::Dead;
+                return TaskOutput::transport_error(format!("agent {} write failed", self.spec));
+            }
+        }
+        match rx.recv() {
+            Ok(out) => {
+                if out.is_transport_error() {
+                    *self.state.lock() = ConnState::Dead;
+                }
+                out
+            }
+            Err(_) => {
+                *self.state.lock() = ConnState::Dead;
+                TaskOutput::transport_error(format!("agent {} died mid-task", self.spec))
+            }
+        }
+    }
+
+    /// Jobs travel as rendered command strings; argv is never read.
+    fn needs_argv(&self) -> bool {
+        false
+    }
+}
+
+impl Drop for SocketExecutor {
+    fn drop(&mut self) {
+        // Best effort: tell the agent to finish so it exits cleanly
+        // instead of waiting on a vanished driver.
+        if let ConnState::Up(link) = &*self.state.lock() {
+            let mut writer = link.writer.lock();
+            let _ = writer.write_all(&Frame::Drain.encode());
+            let _ = writer.flush();
+            writer.shutdown();
+        }
+    }
+}
+
+/// Build a [`MultiHostExecutor`] whose hosts are socket agents — the
+/// `--sshlogin` machinery with a real remote backend. Each spec becomes
+/// one host with `slots_each` slots.
+pub fn multi_host_over_sockets(
+    specs: &[String],
+    slots_each: usize,
+) -> CoreResult<MultiHostExecutor> {
+    let hosts = specs
+        .iter()
+        .map(|spec| {
+            let login = Sshlogin {
+                host: spec.clone(),
+                user: None,
+                slots: Some(slots_each.max(1)),
+            };
+            let exec: Arc<dyn Executor> =
+                Arc::new(SocketExecutor::new(spec.clone(), slots_each.max(1) as u32));
+            (login, exec)
+        })
+        .collect();
+    MultiHostExecutor::new(hosts, slots_each.max(1))
+}

@@ -80,6 +80,25 @@ pub enum Event {
         to_node: u32,
         tasks: u64,
     },
+
+    // -- Network driver/agent -------------------------------------------
+    /// A live agent process completed the protocol handshake with the
+    /// driver, granting `slots` job slots.
+    AgentConnected { agent: u32, slots: usize },
+    /// An agent was declared lost (socket closed or heartbeat lease
+    /// expired) with `outstanding` unfinished tasks re-sharded onto
+    /// survivors.
+    AgentLost { agent: u32, outstanding: u64 },
+    /// A shard of `tasks` task assignments was sent to an agent (initial
+    /// placement or recovery re-shard).
+    ShardSent { agent: u32, tasks: u64 },
+    /// Protocol byte totals for one agent connection, emitted when the
+    /// driver closes it.
+    FrameBytes {
+        agent: u32,
+        sent: u64,
+        received: u64,
+    },
 }
 
 impl Event {
@@ -102,6 +121,10 @@ impl Event {
             Event::Launch { .. } => "launch",
             Event::NodeDown { .. } => "node_down",
             Event::ShardRequeued { .. } => "shard_requeued",
+            Event::AgentConnected { .. } => "agent_connected",
+            Event::AgentLost { .. } => "agent_lost",
+            Event::ShardSent { .. } => "shard_sent",
+            Event::FrameBytes { .. } => "frame_bytes",
         }
     }
 
@@ -153,6 +176,20 @@ impl Event {
                 tasks,
             } => {
                 format!("\"from_node\":{from_node},\"to_node\":{to_node},\"tasks\":{tasks}")
+            }
+            Event::AgentConnected { agent, slots } => {
+                format!("\"agent\":{agent},\"slots\":{slots}")
+            }
+            Event::AgentLost { agent, outstanding } => {
+                format!("\"agent\":{agent},\"outstanding\":{outstanding}")
+            }
+            Event::ShardSent { agent, tasks } => format!("\"agent\":{agent},\"tasks\":{tasks}"),
+            Event::FrameBytes {
+                agent,
+                sent,
+                received,
+            } => {
+                format!("\"agent\":{agent},\"sent\":{sent},\"received\":{received}")
             }
         };
         format!("{{\"t_us\":{t_us},\"type\":\"{}\",{body}}}", self.kind())
@@ -218,6 +255,23 @@ mod tests {
                 to_node: 1,
                 tasks: 17,
             },
+            Event::AgentConnected {
+                agent: 0,
+                slots: 16,
+            },
+            Event::AgentLost {
+                agent: 2,
+                outstanding: 41,
+            },
+            Event::ShardSent {
+                agent: 1,
+                tasks: 2500,
+            },
+            Event::FrameBytes {
+                agent: 1,
+                sent: 4096,
+                received: 8192,
+            },
         ];
         let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
@@ -250,6 +304,23 @@ mod tests {
                 from_node: 9,
                 to_node: 0,
                 tasks: 128,
+            },
+            Event::AgentConnected {
+                agent: 3,
+                slots: 16,
+            },
+            Event::AgentLost {
+                agent: 3,
+                outstanding: 12,
+            },
+            Event::ShardSent {
+                agent: 0,
+                tasks: 2048,
+            },
+            Event::FrameBytes {
+                agent: 0,
+                sent: 123456,
+                received: 654321,
             },
         ];
         for e in &events {

@@ -98,7 +98,7 @@ pub struct MetricsSnapshot {
 }
 
 /// Every kind string, in counter-slot order. Indexed by [`kind_slot`].
-const KINDS: [&str; 15] = [
+const KINDS: [&str; 19] = [
     "queued",
     "slot_acquired",
     "spawned",
@@ -114,6 +114,10 @@ const KINDS: [&str; 15] = [
     "launch",
     "node_down",
     "shard_requeued",
+    "agent_connected",
+    "agent_lost",
+    "shard_sent",
+    "frame_bytes",
 ];
 
 /// Counter slot for an event — a direct variant match, so the hot
@@ -135,6 +139,10 @@ fn kind_slot(event: &Event) -> usize {
         Event::Launch { .. } => 12,
         Event::NodeDown { .. } => 13,
         Event::ShardRequeued { .. } => 14,
+        Event::AgentConnected { .. } => 15,
+        Event::AgentLost { .. } => 16,
+        Event::ShardSent { .. } => 17,
+        Event::FrameBytes { .. } => 18,
     }
 }
 
@@ -497,6 +505,57 @@ mod tests {
         assert_eq!(snap.requeued_tasks, 64);
         assert_eq!(snap.counters["node_down"], 1);
         assert_eq!(snap.counters["shard_requeued"], 2);
+    }
+
+    #[test]
+    fn net_events_count_by_kind() {
+        let reg = MetricsRegistry::new();
+        feed(
+            &reg,
+            0,
+            Event::AgentConnected {
+                agent: 0,
+                slots: 16,
+            },
+        );
+        feed(
+            &reg,
+            1,
+            Event::ShardSent {
+                agent: 0,
+                tasks: 2500,
+            },
+        );
+        feed(
+            &reg,
+            2,
+            Event::ShardSent {
+                agent: 1,
+                tasks: 2500,
+            },
+        );
+        feed(
+            &reg,
+            3,
+            Event::AgentLost {
+                agent: 1,
+                outstanding: 7,
+            },
+        );
+        feed(
+            &reg,
+            4,
+            Event::FrameBytes {
+                agent: 0,
+                sent: 100,
+                received: 200,
+            },
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["agent_connected"], 1);
+        assert_eq!(snap.counters["shard_sent"], 2);
+        assert_eq!(snap.counters["agent_lost"], 1);
+        assert_eq!(snap.counters["frame_bytes"], 1);
     }
 
     #[test]
