@@ -1,0 +1,147 @@
+//! Ablation: engine input-path dispatch rate on *this* host.
+//!
+//! The network agent receives work in multi-thousand-task shard frames,
+//! so how tasks cross from the I/O thread into the engine decides the
+//! socket path's dispatch ceiling. This harness measures the engine's
+//! four input paths on the canonical no-op workload:
+//!
+//! - `preloaded` — finite input, chunk-queue hand-out (the in-process
+//!   reference the net-rate gate compares against);
+//! - `stream` — per-item channel plus feeder thread (what any unsized
+//!   iterator gets, and what the agent used before batch feeding);
+//! - `batched` — `Engine::run_batched`, whole `Vec` batches straight to
+//!   the workers (what the reactor agent uses now).
+//!
+//! Each runs with and without an `on_result` collector, matching the
+//! gate (direct) and agent (collector) configurations. The stream/batch
+//! gap is the per-item channel-hop tax the batch-granular source
+//! removes — the measured basis for the net-rate gate's ceiling.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use htpar_bench::{header, preamble, row};
+use htpar_core::options::Options;
+use htpar_core::prelude::*;
+use htpar_core::runner::{Engine, JobInput, ResultCallback};
+use htpar_core::template::Template;
+
+/// Batch size mirroring the agent's io → engine feed.
+const BATCH: usize = 64;
+
+fn engine(jobs: usize, with_collector: bool) -> Engine {
+    let on_result: Option<ResultCallback> =
+        with_collector.then(|| Arc::new(|_: &JobResult| {}) as ResultCallback);
+    Engine {
+        options: Options {
+            jobs,
+            shell: false,
+            ..Options::default()
+        },
+        template: Template::parse("noop {}").expect("static template"),
+        executor: Arc::new(FnExecutor::noop()),
+        on_result,
+        skip: HashSet::new(),
+        gate: None,
+        bus: None,
+    }
+}
+
+struct RecvIter(htpar_core::crossbeam_channel::Receiver<JobInput>);
+impl Iterator for RecvIter {
+    type Item = JobInput;
+    fn next(&mut self) -> Option<JobInput> {
+        self.0.recv().ok()
+    }
+}
+
+fn rate(tasks: u64, run: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    run();
+    tasks as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    preamble(
+        "Ablation — engine input path vs dispatch rate (no-op tasks, this host)",
+        "per-item channel hops tax streaming dispatch; batch hand-off restores it",
+    );
+    let tasks: u64 = 200_000;
+    let jobs = 8;
+    let inputs: Vec<JobInput> = (1..=tasks)
+        .map(|i| JobInput::new(i, vec![i.to_string()]))
+        .collect();
+
+    let widths = [10, 11, 14];
+    println!("{}", header(&["path", "collector", "tasks/s"], &widths));
+    for with_collector in [false, true] {
+        let feed = inputs.clone();
+        let r = rate(tasks, || {
+            engine(jobs, with_collector)
+                .run(Box::new(feed.into_iter()))
+                .expect("preloaded run");
+        });
+        println!(
+            "{}",
+            row(
+                &[
+                    "preloaded".to_string(),
+                    with_collector.to_string(),
+                    format!("{r:.0}")
+                ],
+                &widths
+            )
+        );
+
+        let (tx, rx) = htpar_core::crossbeam_channel::unbounded::<JobInput>();
+        let feed = inputs.clone();
+        let feeder = std::thread::spawn(move || {
+            for item in feed {
+                tx.send(item).unwrap();
+            }
+        });
+        let r = rate(tasks, || {
+            engine(jobs, with_collector)
+                .run(Box::new(RecvIter(rx)))
+                .expect("stream run");
+        });
+        feeder.join().unwrap();
+        println!(
+            "{}",
+            row(
+                &[
+                    "stream".to_string(),
+                    with_collector.to_string(),
+                    format!("{r:.0}")
+                ],
+                &widths
+            )
+        );
+
+        let (tx, rx) = htpar_core::crossbeam_channel::unbounded::<Vec<JobInput>>();
+        let feed = inputs.clone();
+        let feeder = std::thread::spawn(move || {
+            for chunk in feed.chunks(BATCH) {
+                tx.send(chunk.to_vec()).unwrap();
+            }
+        });
+        let r = rate(tasks, || {
+            engine(jobs, with_collector)
+                .run_batched(rx)
+                .expect("batched run");
+        });
+        feeder.join().unwrap();
+        println!(
+            "{}",
+            row(
+                &[
+                    "batched".to_string(),
+                    with_collector.to_string(),
+                    format!("{r:.0}")
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,15 +1,15 @@
 //! Socket-path rate gate.
 //!
-//! Drives the canonical no-op workload (10k tasks) through a real
-//! `--local-cluster 4 -j 16` mini-cluster — this binary re-executes
-//! itself as the four agents — and fails when the socket path is more
+//! Drives the canonical no-op workload (100k tasks) through a real
+//! `--local-cluster 8 -j 8` mini-cluster — this binary re-executes
+//! itself as the eight agents — and fails when the socket path is more
 //! than the committed factor slower than in-process dispatch on the
 //! same machine (crates/bench/src/netgate.rs). CI runs this in release
 //! mode; `crates/bench/tests/net_rate_gate.rs` runs the same check
 //! under `cargo test`.
 //!
 //! Flags:
-//!   --tasks N           task count (default 10000)
+//!   --tasks N           task count (default 100000)
 //!   --trials N          attempts; the best (lowest) slowdown is gated
 //!                       (default 3)
 //!   --max-slowdown X    override the compiled-in ceiling

@@ -4,7 +4,7 @@
 //! The network subsystem (DESIGN.md §12) adds framing, syscalls, and
 //! process hops to every task. This gate keeps that overhead honest:
 //! it drives the canonical no-op workload through a real
-//! `--local-cluster 4 -j 16` mini-cluster (four agent subprocesses,
+//! `--local-cluster 8 -j 8` mini-cluster (eight agent subprocesses,
 //! Unix/TCP sockets, the full driver protocol) and compares the
 //! achieved rate against the in-process dispatch rate of
 //! [`crate::gate::measure`] on the same task count and total slot
@@ -26,23 +26,28 @@ use htpar_net::local::LocalCluster;
 use crate::gate;
 
 /// Agent subprocesses in the canonical gate workload.
-pub const NET_GATE_AGENTS: usize = 4;
+pub const NET_GATE_AGENTS: usize = 8;
 /// Job slots per agent (`-j` in the handshake); total slots match the
-/// in-process reference (4 × 16 = 64 = `gate::GATE_JOBS`).
-pub const NET_GATE_JOBS_PER_AGENT: u32 = 16;
+/// in-process reference (8 × 8 = 64 = `gate::GATE_JOBS`).
+pub const NET_GATE_JOBS_PER_AGENT: u32 = 8;
 /// Task count of the canonical gate workload.
-pub const NET_GATE_TASKS: u64 = 10_000;
+pub const NET_GATE_TASKS: u64 = 100_000;
 
 /// Committed ceiling on `in-process rate / socket rate` for release
-/// builds: the measured slowdown on a 1-core CI box is well under half
-/// of this across repeated trials, so scheduler noise passes while a
-/// structural regression (per-task flush storms, a serialized dispatch
-/// path, frame-copy bloat) fails every attempt.
-pub const MAX_SLOWDOWN_RELEASE: f64 = 60.0;
+/// builds. The epoll reactor core batches shards, coalesces acks, and
+/// feeds the agent engine batch-at-a-time, so the measured best-of-3
+/// slowdown on the 1-core CI box sits around 2.8–3.3× (socket ~500k
+/// tasks/s against a 1.4–2.8M tasks/s in-process reference). Per-trial
+/// spread reaches ~5.5× because the in-process reference speeds up as
+/// the box warms; the ceiling leaves headroom for that noise while a
+/// structural regression fails every attempt — the pre-batching
+/// per-item feed path, for comparison, measured 11–13×.
+pub const MAX_SLOWDOWN_RELEASE: f64 = 6.0;
 /// Same ceiling for unoptimized (debug) builds, where `cargo test`
-/// runs. Debug in-process dispatch is proportionally faster than the
-/// syscall-bound socket path, so the allowed factor is looser.
-pub const MAX_SLOWDOWN_DEBUG: f64 = 90.0;
+/// runs. Debug hits the byte-level framing/decode path much harder than
+/// the preloaded in-process reference, so the ratio is structurally
+/// worse: measured best-of-3 ~10–11×, per-trial spread to ~18×.
+pub const MAX_SLOWDOWN_DEBUG: f64 = 20.0;
 
 /// The ceiling matching how this code was compiled.
 pub fn max_slowdown() -> f64 {

@@ -26,6 +26,7 @@ use htpar_net::agent::{self, AgentConfig};
 use htpar_net::driver::{run_driver, DriveOutcome, DriverConfig};
 use htpar_net::frame::Payload;
 use htpar_net::local::LocalCluster;
+use htpar_net::{NetCore, ENV_NET_CORE};
 use htpar_telemetry::{EventBus, JsonlWriter};
 
 pub const AGENT_USAGE: &str = "\
@@ -47,6 +48,8 @@ COMMAND... [::: ARGS...]
                          (default: 2000)
       --payload KIND     what agents run: shell (default), noop, or
                          sleep:MICROS (measurement payloads)
+      --net-core CORE    I/O core: reactor (default) or threaded (the
+                         reference core; also via HTPAR_NET_CORE)
       --chaos-kill-agent IDX@DONE
                          SIGKILL local agent IDX once DONE tasks have
                          completed (requires --local-cluster)
@@ -151,6 +154,8 @@ pub struct DriveSpec {
     pub heartbeat_ms: u32,
     pub lease_window_ms: u64,
     pub payload: Payload,
+    /// `--net-core`; `None` defers to `HTPAR_NET_CORE` / the default.
+    pub core: Option<NetCore>,
     /// `--chaos-kill-agent IDX@DONE`.
     pub chaos_kill: Option<(usize, u64)>,
     pub command: String,
@@ -170,6 +175,7 @@ impl Default for DriveSpec {
             heartbeat_ms: 200,
             lease_window_ms: 2_000,
             payload: Payload::Shell,
+            core: None,
             chaos_kill: None,
             command: String::new(),
             values: None,
@@ -233,6 +239,14 @@ pub fn parse_drive(argv: &[String]) -> Result<DriveSpec, String> {
                 spec.payload = parse_payload(&value(argv, i, "--payload")?)?;
                 i += 2;
             }
+            "--net-core" => {
+                let v = value(argv, i, "--net-core")?;
+                spec.core =
+                    Some(NetCore::parse(&v).ok_or_else(|| {
+                        format!("unknown net core {v:?} (want reactor or threaded)")
+                    })?);
+                i += 2;
+            }
             "--chaos-kill-agent" => {
                 spec.chaos_kill = Some(parse_chaos(&value(argv, i, "--chaos-kill-agent")?)?);
                 i += 2;
@@ -241,7 +255,24 @@ pub fn parse_drive(argv: &[String]) -> Result<DriveSpec, String> {
                 spec.help = true;
                 return Ok(spec);
             }
-            _ => break,
+            other => {
+                // `-j16` attached form, matching the main CLI grammar.
+                if let Some(n) = other.strip_prefix("-j") {
+                    if !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()) {
+                        spec.jobs_per_agent =
+                            n.parse().map_err(|_| "-j needs a number".to_string())?;
+                        i += 1;
+                        continue;
+                    }
+                }
+                // An unrecognized `--flag` before the command is a typo,
+                // not a command word — absorbing it would silently eat
+                // everything after it (e.g. `--joblog`) into the template.
+                if other.starts_with("--") {
+                    return Err(format!("unknown option {other}"));
+                }
+                break;
+            }
         }
     }
     // Everything from here is the command template, then `::: ARGS`.
@@ -334,6 +365,12 @@ fn run_drive(argv: &[String]) -> i32 {
         return 1;
     }
 
+    if let Some(core) = spec.core {
+        // Local-cluster agents pick their core up from the environment,
+        // so the flag must land before any children spawn.
+        std::env::set_var(ENV_NET_CORE, core.as_str());
+    }
+
     let mut cluster = if spec.local_cluster > 0 {
         match LocalCluster::spawn_self(spec.local_cluster) {
             Ok(cluster) => Some(cluster),
@@ -351,6 +388,9 @@ fn run_drive(argv: &[String]) -> i32 {
     };
 
     let mut config = DriverConfig::new(agents, spec.command.clone());
+    if let Some(core) = spec.core {
+        config.core = core;
+    }
     config.jobs_per_agent = spec.jobs_per_agent;
     config.payload = spec.payload;
     config.heartbeat_ms = spec.heartbeat_ms;
@@ -463,6 +503,16 @@ mod tests {
     }
 
     #[test]
+    fn drive_attached_jobs_form_and_unknown_flags() {
+        let spec = parse_drive(&argv("--local-cluster 2 -j16 --joblog run.log task {}")).unwrap();
+        assert_eq!(spec.jobs_per_agent, 16);
+        assert_eq!(spec.joblog, Some(PathBuf::from("run.log")));
+        assert_eq!(spec.command, "task {}");
+        let err = parse_drive(&argv("--local-cluster 2 --jobslog run.log task {}")).unwrap_err();
+        assert!(err.contains("unknown option --jobslog"), "{err}");
+    }
+
+    #[test]
     fn drive_agents_list_splits_on_commas() {
         let spec = parse_drive(&argv("--agents n1:4511,n2:4511 task {}")).unwrap();
         assert_eq!(spec.agents, vec!["n1:4511", "n2:4511"]);
@@ -480,6 +530,17 @@ mod tests {
         assert!(parse_drive(&argv("--agents a --chaos-kill-agent 0@5 task {}")).is_err());
         assert!(parse_drive(&argv("--local-cluster 2 --chaos-kill-agent 2@5 task {}")).is_err());
         assert!(parse_drive(&argv("--local-cluster 2 --chaos-kill-agent 1@5 task {}")).is_ok());
+    }
+
+    #[test]
+    fn net_core_grammar() {
+        let spec = parse_drive(&argv("--local-cluster 2 --net-core threaded task {}")).unwrap();
+        assert_eq!(spec.core, Some(NetCore::Threaded));
+        let spec = parse_drive(&argv("--local-cluster 2 --net-core reactor task {}")).unwrap();
+        assert_eq!(spec.core, Some(NetCore::Reactor));
+        let spec = parse_drive(&argv("--local-cluster 2 task {}")).unwrap();
+        assert_eq!(spec.core, None, "unset defers to HTPAR_NET_CORE");
+        assert!(parse_drive(&argv("--local-cluster 2 --net-core epoll task {}")).is_err());
     }
 
     #[test]

@@ -105,6 +105,12 @@ pub enum JobSource {
     Preloaded(ChunkQueue),
     /// Unbounded input, fed through a bounded channel by a feeder thread.
     Streaming(Receiver<JobInput>),
+    /// Unbounded input whose producer already batches: workers pull a
+    /// whole `Vec` per channel round-trip and then run it with no shared
+    /// state, the streaming analogue of [`ChunkQueue`] chunks. Built for
+    /// the network agent, where tasks arrive in multi-thousand-task
+    /// shard frames and per-item channel hops would dominate dispatch.
+    Batched(Receiver<Vec<JobInput>>),
 }
 
 impl JobSource {
@@ -118,12 +124,17 @@ impl JobSource {
         JobSource::Streaming(rx)
     }
 
+    /// Build the batch-granular streaming variant.
+    pub fn batched(rx: Receiver<Vec<JobInput>>) -> JobSource {
+        JobSource::Batched(rx)
+    }
+
     /// Total job count when known up front (preloaded sources), so
     /// consumers can pre-size result buffers.
     pub fn len_hint(&self) -> Option<usize> {
         match self {
             JobSource::Preloaded(q) => Some(q.total),
-            JobSource::Streaming(_) => None,
+            JobSource::Streaming(_) | JobSource::Batched(_) => None,
         }
     }
 }
@@ -172,6 +183,12 @@ impl<'a> WorkerFeed<'a> {
                 self.local.next()
             }
             JobSource::Streaming(rx) => rx.recv().ok(),
+            JobSource::Batched(rx) => loop {
+                self.local = rx.recv().ok()?.into_iter();
+                if let Some(job) = self.local.next() {
+                    return Some(job);
+                }
+            },
         }
     }
 
@@ -198,6 +215,18 @@ impl<'a> WorkerFeed<'a> {
                 Ok(job) => Feed::Job(job),
                 Err(TryRecvError::Empty) => Feed::Pending,
                 Err(TryRecvError::Disconnected) => Feed::Done,
+            },
+            JobSource::Batched(rx) => loop {
+                match rx.try_recv() {
+                    Ok(batch) => {
+                        self.local = batch.into_iter();
+                        if let Some(job) = self.local.next() {
+                            return Feed::Job(job);
+                        }
+                    }
+                    Err(TryRecvError::Empty) => return Feed::Pending,
+                    Err(TryRecvError::Disconnected) => return Feed::Done,
+                }
             },
         }
     }
@@ -296,5 +325,93 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(got, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_feed_flattens_batches_in_order() {
+        let (tx, rx) = crossbeam_channel::unbounded::<Vec<JobInput>>();
+        let source = JobSource::batched(rx);
+        assert_eq!(source.len_hint(), None);
+        let producer = std::thread::spawn(move || {
+            let all = inputs(100);
+            for chunk in all.chunks(7) {
+                tx.send(chunk.to_vec()).unwrap();
+            }
+        });
+        let mut feed = WorkerFeed::new(&source);
+        let mut got = Vec::new();
+        while let Some(job) = feed.next() {
+            got.push(job.seq);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_feed_skips_empty_batches() {
+        let (tx, rx) = crossbeam_channel::unbounded::<Vec<JobInput>>();
+        let source = JobSource::batched(rx);
+        tx.send(Vec::new()).unwrap();
+        tx.send(inputs(3)).unwrap();
+        tx.send(Vec::new()).unwrap();
+        tx.send(inputs(2)).unwrap();
+        drop(tx);
+        let mut feed = WorkerFeed::new(&source);
+        let mut got = Vec::new();
+        while let Some(job) = feed.next() {
+            got.push(job.seq);
+        }
+        assert_eq!(got, vec![1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn batched_try_next_reports_pending_then_done() {
+        let (tx, rx) = crossbeam_channel::unbounded::<Vec<JobInput>>();
+        let source = JobSource::batched(rx);
+        let mut feed = WorkerFeed::new(&source);
+        assert!(matches!(feed.try_next(), Feed::Pending));
+        tx.send(inputs(2)).unwrap();
+        assert!(matches!(feed.try_next(), Feed::Job(j) if j.seq == 1));
+        assert!(matches!(feed.try_next(), Feed::Job(j) if j.seq == 2));
+        tx.send(Vec::new()).unwrap();
+        assert!(
+            matches!(feed.try_next(), Feed::Pending),
+            "an empty batch alone must not signal a job or completion"
+        );
+        drop(tx);
+        assert!(matches!(feed.try_next(), Feed::Done));
+    }
+
+    #[test]
+    fn batched_concurrent_hand_out_never_duplicates() {
+        let (tx, rx) = crossbeam_channel::unbounded::<Vec<JobInput>>();
+        let source = std::sync::Arc::new(JobSource::batched(rx));
+        let producer = std::thread::spawn(move || {
+            let all = inputs(10_000);
+            for chunk in all.chunks(64) {
+                tx.send(chunk.to_vec()).unwrap();
+            }
+        });
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let source = std::sync::Arc::clone(&source);
+            handles.push(std::thread::spawn(move || {
+                let mut feed = WorkerFeed::new(&source);
+                let mut got = Vec::new();
+                while let Some(job) = feed.next() {
+                    got.push(job.seq);
+                }
+                got
+            }));
+        }
+        producer.join().unwrap();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 10_000);
+        all.dedup();
+        assert_eq!(all.len(), 10_000, "no seq handed out twice");
     }
 }

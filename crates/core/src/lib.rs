@@ -71,6 +71,11 @@ pub mod sshexec;
 pub mod stats;
 pub mod template;
 
+// Channel types appear in the public engine API
+// (`runner::Engine::run_batched` takes a `crossbeam_channel::Receiver`),
+// so downstream crates get the exact same version from here.
+pub use crossbeam_channel;
+
 /// The commonly-used surface of the crate.
 pub mod prelude {
     pub use crate::error::{Error, Result};

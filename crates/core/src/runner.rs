@@ -116,6 +116,17 @@ const STOP_NOW: u8 = 2;
 /// the halt flag (so a halted run cannot strand it on backpressure).
 const FEEDER_POLL: Duration = Duration::from_millis(50);
 
+/// Capacity of the per-item streaming feed channel. Sized to absorb a
+/// bursty producer without filling: a full channel degenerates into a
+/// per-task park/wake ping-pong between the feeder and the workers —
+/// each `recv` futex-wakes the parked feeder, which sends one item and
+/// parks again. With headroom above typical burst sizes the feeder
+/// parks only on *empty* input and whole bursts move through per wake.
+/// (Producers that already batch should use [`Engine::run_batched`],
+/// which skips this channel entirely.) Memory cost is bounded: a
+/// `JobInput` is ~100 bytes plus its argument strings.
+const FEED_CAPACITY: usize = 4096;
+
 /// Completions a worker buffers locally before handing the batch to the
 /// collector; amortizes the per-slot buffer lock across fast tasks.
 const DELIVER_BATCH: usize = 64;
@@ -263,9 +274,31 @@ pub struct Engine {
     pub bus: Option<Arc<EventBus>>,
 }
 
+/// How an [`Engine`] run is fed: a per-item iterator (finite or
+/// streaming) or a batch-granular channel from a producer that already
+/// groups its items.
+enum EngineInput {
+    Stream(JobStream),
+    Batches(Receiver<Vec<JobInput>>),
+}
+
 impl Engine {
     /// Run a finite or streaming sequence of job inputs to completion.
     pub fn run(self, input: JobStream) -> Result<RunReport> {
+        self.run_with(EngineInput::Stream(input))
+    }
+
+    /// Run a batch-granular streaming input to completion: the producer
+    /// sends whole `Vec<JobInput>` batches and closes the channel to end
+    /// the stream. Workers pull batches straight off the channel — no
+    /// feeder thread, no per-item channel hops — so a producer that
+    /// already receives work in bulk (the network agent's shard frames)
+    /// pays dispatch overhead per batch, not per task.
+    pub fn run_batched(self, input: Receiver<Vec<JobInput>>) -> Result<RunReport> {
+        self.run_with(EngineInput::Batches(input))
+    }
+
+    fn run_with(self, input: EngineInput) -> Result<RunReport> {
         self.options.validate()?;
         let started = Instant::now();
         let jobs = self.options.jobs;
@@ -276,16 +309,23 @@ impl Engine {
         };
 
         // Exact-size inputs (argument lists, --pipe blocks) are
-        // partitioned up front for chunked hand-out; everything else
-        // (follow queues, unbounded generators) streams through a
-        // bounded channel pumped by a feeder thread.
-        let (lo, hi) = input.size_hint();
-        let (source, stream, total_jobs) = if hi == Some(lo) {
-            let queue = crate::dispatch::ChunkQueue::from_iter(input, lo, jobs);
-            (JobSource::Preloaded(queue), None, Some(lo as u64))
-        } else {
-            let (feed_tx, feed_rx) = crossbeam_channel::bounded((2 * jobs).max(4));
-            (JobSource::streaming(feed_rx), Some((feed_tx, input)), None)
+        // partitioned up front for chunked hand-out; unsized iterators
+        // (follow queues, unbounded generators) stream through a bounded
+        // channel pumped by a feeder thread; batch channels go straight
+        // to the workers.
+        let (source, stream, total_jobs) = match input {
+            EngineInput::Stream(input) => {
+                let (lo, hi) = input.size_hint();
+                if hi == Some(lo) {
+                    let queue = crate::dispatch::ChunkQueue::from_iter(input, lo, jobs);
+                    (JobSource::Preloaded(queue), None, Some(lo as u64))
+                } else {
+                    let (feed_tx, feed_rx) =
+                        crossbeam_channel::bounded((2 * jobs).max(FEED_CAPACITY));
+                    (JobSource::streaming(feed_rx), Some((feed_tx, input)), None)
+                }
+            }
+            EngineInput::Batches(rx) => (JobSource::batched(rx), None, None),
         };
 
         let shared = Arc::new(Shared {
@@ -925,6 +965,70 @@ mod tests {
         assert_eq!(cmds.len(), 20);
         cmds.dedup();
         assert_eq!(cmds.len(), 20, "no duplicates");
+    }
+
+    #[test]
+    fn run_batched_runs_everything_once() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let exec = FnExecutor::new(move |cmd| {
+            seen2.lock().push(cmd.seq);
+            Ok(TaskOutput::success())
+        });
+        let (tx, rx) = crossbeam_channel::unbounded::<Vec<JobInput>>();
+        let producer = std::thread::spawn(move || {
+            let all: Vec<JobInput> = inputs(1000).collect();
+            // Ragged batches, including empties mid-stream.
+            for (i, chunk) in all.chunks(13).enumerate() {
+                if i % 5 == 0 {
+                    tx.send(Vec::new()).unwrap();
+                }
+                tx.send(chunk.to_vec()).unwrap();
+            }
+        });
+        let report = engine(
+            Options {
+                jobs: 4,
+                ..Options::default()
+            },
+            exec,
+        )
+        .run_batched(rx)
+        .unwrap();
+        producer.join().unwrap();
+        assert_eq!(report.jobs_total, 1000);
+        assert_eq!(report.succeeded, 1000);
+        let mut seqs = seen.lock().clone();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (1..=1000).collect::<Vec<_>>(), "exactly once each");
+    }
+
+    #[test]
+    fn run_batched_with_collector_delivers_every_result() {
+        let delivered = Arc::new(AtomicU64::new(0));
+        let d2 = Arc::clone(&delivered);
+        let exec = FnExecutor::new(|_| Ok(TaskOutput::success()));
+        let (tx, rx) = crossbeam_channel::unbounded::<Vec<JobInput>>();
+        let producer = std::thread::spawn(move || {
+            let all: Vec<JobInput> = inputs(500).collect();
+            for chunk in all.chunks(64) {
+                tx.send(chunk.to_vec()).unwrap();
+            }
+        });
+        let mut eng = engine(
+            Options {
+                jobs: 4,
+                ..Options::default()
+            },
+            exec,
+        );
+        eng.on_result = Some(Arc::new(move |_: &JobResult| {
+            d2.fetch_add(1, Ordering::Relaxed);
+        }));
+        let report = eng.run_batched(rx).unwrap();
+        producer.join().unwrap();
+        assert_eq!(report.succeeded, 500);
+        assert_eq!(delivered.load(Ordering::Relaxed), 500);
     }
 
     #[test]

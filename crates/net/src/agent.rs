@@ -4,32 +4,46 @@
 //! connection, handshakes, and then runs the `htpar-core` [`Engine`]
 //! over a streaming job source fed by inbound `Shard` frames — so every
 //! dispatch-path optimization (chunked hand-out, per-slot buffers,
-//! collector thread) applies unchanged to network-fed work. Task
-//! completions stream back as `TaskDone`; a heartbeat thread renews the
-//! driver's lease on the configured interval; `Drain` ends the input
-//! stream and the agent exits after its last task with `AgentExit`.
+//! collector thread) applies unchanged to network-fed work.
+//!
+//! Since PR 6 the session's I/O runs on one reactor thread: the socket
+//! and a [`Waker`] self-pipe sit on the same epoll loop, heartbeats
+//! fire from the reactor's timer heap instead of a dedicated thread,
+//! and task completions from the engine's worker threads are coalesced
+//! into `DoneBatch` frames — many acks per syscall where the threaded
+//! core paid a locked `write`+`flush` each. The engine itself runs on
+//! the calling thread, exactly as before. The PR 5 threaded session
+//! survives in [`crate::reference`] for differential testing;
+//! [`AgentConfig::core`] selects.
 
 use std::io::{Read, Write};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, UNIX_EPOCH};
+use std::time::{Duration, Instant, UNIX_EPOCH};
 
 use htpar_core::executor::{FnExecutor, ProcessExecutor};
 use htpar_core::job::JobResult;
 use htpar_core::options::Options;
 use htpar_core::runner::{Engine, JobInput};
 use htpar_core::template::Template;
-use parking_lot::Mutex;
 
 use crate::conn::{Conn, Listener};
-use crate::frame::{Decoder, Frame, Payload, PROTOCOL_VERSION};
-use crate::{NetError, Result};
+use crate::frame::{Decoder, Frame, Payload, TaskDoneRec, PROTOCOL_VERSION};
+use crate::nbio::{Fill, Flush, FrameConn};
+use crate::reactor::{Interest, PollEvent, Reactor, Waker};
+use crate::{NetCore, NetError, Result};
 
 /// Marker line an announcing agent prints to stdout once its socket is
 /// bound: `HTPAR_AGENT_LISTENING <spec>`. Parents that spawn agents on
 /// ephemeral ports ([`crate::local::LocalCluster`]) read it to learn
 /// the actual address.
 pub const ANNOUNCE_PREFIX: &str = "HTPAR_AGENT_LISTENING";
+
+/// Max completion records coalesced into one `DoneBatch` frame. Keeps
+/// frames comfortably under [`crate::frame::MAX_FRAME_LEN`] even with
+/// chatty task output while still amortizing the ack syscall ~100×.
+pub const DONE_BATCH_MAX: usize = 256;
 
 /// Agent-side configuration.
 pub struct AgentConfig {
@@ -41,6 +55,10 @@ pub struct AgentConfig {
     pub name: String,
     /// Print the [`ANNOUNCE_PREFIX`] line once listening.
     pub announce: bool,
+    /// Which I/O core runs the session (defaults from
+    /// [`crate::ENV_NET_CORE`], so spawned clusters inherit the
+    /// driver's choice through the environment).
+    pub core: NetCore,
 }
 
 impl AgentConfig {
@@ -49,6 +67,7 @@ impl AgentConfig {
             listen: listen.into(),
             name: format!("agent-{}", std::process::id()),
             announce: false,
+            core: NetCore::from_env(),
         }
     }
 }
@@ -56,13 +75,15 @@ impl AgentConfig {
 /// What one agent session did (for logging and tests).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AgentReport {
-    /// Tasks completed and reported as `TaskDone`.
+    /// Tasks completed and reported back to the driver.
     pub done: u64,
     /// Why the session ended (`drained`, or an error description).
     pub reason: String,
 }
 
 /// Read frames until one materializes; `Ok(None)` means clean EOF.
+/// Blocking — used for handshakes on both sides before sockets go
+/// non-blocking.
 pub(crate) fn read_next(conn: &mut Conn, dec: &mut Decoder) -> Result<Option<Frame>> {
     let mut buf = [0u8; 64 * 1024];
     loop {
@@ -83,20 +104,6 @@ pub(crate) fn read_next(conn: &mut Conn, dec: &mut Decoder) -> Result<Option<Fra
     }
 }
 
-/// Serialize and send one frame under the shared writer lock. Write
-/// failures latch `dead` so later sends become no-ops instead of a
-/// panic storm when the driver vanishes mid-run.
-fn send(writer: &Mutex<Conn>, dead: &AtomicBool, frame: &Frame) {
-    if dead.load(Ordering::Relaxed) {
-        return;
-    }
-    let bytes = frame.encode();
-    let mut conn = writer.lock();
-    if conn.write_all(&bytes).is_err() || conn.flush().is_err() {
-        dead.store(true, Ordering::Relaxed);
-    }
-}
-
 /// Bind, announce, accept one driver, run the session to completion.
 pub fn serve(config: &AgentConfig) -> Result<AgentReport> {
     let listener = Listener::bind(&config.listen)?;
@@ -106,11 +113,11 @@ pub fn serve(config: &AgentConfig) -> Result<AgentReport> {
         std::io::stdout().flush().ok();
     }
     let conn = listener.accept()?;
-    run_on_conn(conn, &config.name)
+    run_on_conn(conn, &config.name, config.core)
 }
 
 /// Run one driver session over an established connection.
-pub fn run_on_conn(mut conn: Conn, name: &str) -> Result<AgentReport> {
+pub fn run_on_conn(mut conn: Conn, name: &str, core: NetCore) -> Result<AgentReport> {
     // The driver must speak first, promptly.
     conn.set_read_timeout(Some(Duration::from_secs(30)))?;
     let mut dec = Decoder::new();
@@ -140,100 +147,36 @@ pub fn run_on_conn(mut conn: Conn, name: &str) -> Result<AgentReport> {
     };
     let (jobs, heartbeat_ms, payload, command) = hello;
     conn.set_read_timeout(None)?;
+    match core {
+        NetCore::Reactor => {
+            run_session_reactor(conn, dec, name, jobs, heartbeat_ms, payload, command)
+        }
+        NetCore::Threaded => crate::reference::run_session_threaded(
+            conn,
+            dec,
+            name,
+            jobs,
+            heartbeat_ms,
+            payload,
+            command,
+        ),
+    }
+}
 
-    let writer = Arc::new(Mutex::new(conn.try_clone()?));
-    let dead = Arc::new(AtomicBool::new(false));
-    send(
-        &writer,
-        &dead,
-        &Frame::HelloAck {
-            version: PROTOCOL_VERSION,
-            slots: jobs,
-            agent: name.to_string(),
-        },
-    );
-
-    let received = Arc::new(AtomicU64::new(0));
-    let done = Arc::new(AtomicU64::new(0));
-
-    // Reader thread: Shard frames become engine inputs; Drain (or EOF,
-    // or a dead socket) drops the sender, which ends the job stream.
-    let (task_tx, task_rx) = crossbeam_channel::unbounded::<JobInput>();
-    let reader = {
-        let mut conn = conn;
-        let received = Arc::clone(&received);
-        std::thread::spawn(move || -> Result<()> {
-            loop {
-                match read_next(&mut conn, &mut dec)? {
-                    Some(Frame::Shard { tasks }) => {
-                        received.fetch_add(tasks.len() as u64, Ordering::Relaxed);
-                        for t in tasks {
-                            if task_tx.send(JobInput::new(t.seq, t.args)).is_err() {
-                                return Ok(());
-                            }
-                        }
-                    }
-                    Some(Frame::Drain) | None => return Ok(()),
-                    Some(other) => {
-                        return Err(NetError::Protocol(format!(
-                            "unexpected driver frame {other:?}"
-                        )))
-                    }
-                }
-            }
-        })
-    };
-
-    // Heartbeat thread: renew the driver's lease even when no task
-    // finishes for a while (long tasks must not look like a dead node).
-    let hb_stop = Arc::new(AtomicBool::new(false));
-    let heartbeat = {
-        let writer = Arc::clone(&writer);
-        let dead = Arc::clone(&dead);
-        let stop = Arc::clone(&hb_stop);
-        let received = Arc::clone(&received);
-        let done = Arc::clone(&done);
-        let interval = Duration::from_millis(heartbeat_ms.max(1) as u64);
-        std::thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) && !dead.load(Ordering::Relaxed) {
-                let d = done.load(Ordering::Relaxed);
-                let inflight = received.load(Ordering::Relaxed).saturating_sub(d);
-                send(
-                    &writer,
-                    &dead,
-                    &Frame::Heartbeat {
-                        done: d,
-                        inflight: inflight.min(u32::MAX as u64) as u32,
-                    },
-                );
-                // Sleep in short slices so shutdown is prompt.
-                let mut left = interval;
-                while !stop.load(Ordering::Relaxed) && left > Duration::ZERO {
-                    let step = left.min(Duration::from_millis(20));
-                    std::thread::sleep(step);
-                    left -= step;
-                }
-            }
-        })
-    };
-
-    let on_result = {
-        let writer = Arc::clone(&writer);
-        let dead = Arc::clone(&dead);
-        let done = Arc::clone(&done);
-        Arc::new(move |result: &JobResult| {
-            done.fetch_add(1, Ordering::Relaxed);
-            send(&writer, &dead, &task_done_frame(result));
-        })
-    };
-
-    let engine = Engine {
+/// Build the engine all sessions run (shared by both cores' callers).
+fn build_engine(
+    jobs: u32,
+    payload: Payload,
+    command: &str,
+    on_result: Arc<dyn Fn(&JobResult) + Send + Sync>,
+) -> Result<Engine> {
+    Ok(Engine {
         options: Options {
             jobs: (jobs.max(1)) as usize,
             shell: matches!(payload, Payload::Shell),
             ..Options::default()
         },
-        template: Template::parse(&command)?,
+        template: Template::parse(command)?,
         executor: match payload {
             Payload::Shell => Arc::new(ProcessExecutor::shell()),
             Payload::Noop => Arc::new(FnExecutor::noop()),
@@ -243,54 +186,338 @@ pub fn run_on_conn(mut conn: Conn, name: &str) -> Result<AgentReport> {
         skip: Default::default(),
         gate: None,
         bus: None,
-    };
-    // An owned blocking iterator over the task channel; its (0, None)
-    // size hint routes the engine onto its streaming path, so work
-    // starts on the first Shard while later shards are still in flight.
-    struct RecvIter(crossbeam_channel::Receiver<JobInput>);
-    impl Iterator for RecvIter {
-        type Item = JobInput;
-        fn next(&mut self) -> Option<JobInput> {
-            self.0.recv().ok()
+    })
+}
+
+/// Tokens on the agent session's reactor.
+const TOK_SOCK: usize = 0;
+const TOK_WAKER: usize = 1;
+const TOK_HEARTBEAT: usize = 2;
+
+/// Ceiling on io → engine task batches. Large enough to amortize the
+/// channel round-trip to noise, small enough that one worker never hoards
+/// a visible slice of a shard.
+const FEED_BATCH: usize = 64;
+
+/// Batch size for a `shard_len`-task shard across `jobs` slots: aim for
+/// a few batches per slot so the tail stays balanced, floor 1 so tiny
+/// shards keep per-task hand-out, cap [`FEED_BATCH`].
+fn feed_batch(shard_len: usize, jobs: u32) -> usize {
+    (shard_len / (jobs.max(1) as usize * 2)).clamp(1, FEED_BATCH)
+}
+
+/// Reactor session: the engine runs on this thread; one I/O thread owns
+/// the socket, the waker, and the heartbeat timer.
+#[allow(clippy::too_many_arguments)]
+fn run_session_reactor(
+    conn: Conn,
+    dec: Decoder,
+    name: &str,
+    jobs: u32,
+    heartbeat_ms: u32,
+    payload: Payload,
+    command: String,
+) -> Result<AgentReport> {
+    // HelloAck goes out while the socket is still blocking; everything
+    // after rides the reactor.
+    let mut conn = conn;
+    conn.write_all(
+        &Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            slots: jobs,
+            agent: name.to_string(),
         }
-    }
-    let run = engine.run(Box::new(RecvIter(task_rx)));
+        .encode(),
+    )?;
+    conn.flush()?;
+    conn.set_nonblocking(true)?;
 
-    hb_stop.store(true, Ordering::Relaxed);
-    let _ = heartbeat.join();
-    let reader_result = reader.join().expect("agent reader thread panicked");
+    let waker = Waker::new()?;
+    let result_wake = waker.handle()?;
+    let main_wake = waker.handle()?;
 
+    let done = Arc::new(AtomicU64::new(0));
+    let engine_done = Arc::new(AtomicBool::new(false));
+    // Completion-notification flag: workers only write to the waker
+    // pipe on a false→true flip, so a storm of finishing tasks costs
+    // one pipe write, not thousands.
+    let notified = Arc::new(AtomicBool::new(false));
+
+    // Tasks cross io → engine as whole batches (the engine's
+    // batch-granular source), so a multi-thousand-task shard costs a
+    // handful of channel round-trips instead of one per task. Batches
+    // are sized off the shard for load balance: big shards split into
+    // [`FEED_BATCH`]-task slices, small tails down to singletons.
+    let (task_tx, task_rx) = crossbeam_channel::unbounded::<Vec<JobInput>>();
+    let (result_tx, result_rx) = crossbeam_channel::unbounded::<TaskDoneRec>();
+
+    // Build the engine before spawning I/O so a bad command template
+    // fails the session cleanly, with nothing to unwind.
+    let on_result = {
+        let done = Arc::clone(&done);
+        let notified = Arc::clone(&notified);
+        Arc::new(move |result: &JobResult| {
+            done.fetch_add(1, Ordering::Relaxed);
+            let _ = result_tx.send(task_done_rec(result));
+            if !notified.swap(true, Ordering::Relaxed) {
+                result_wake.wake();
+            }
+        })
+    };
+    let engine = build_engine(jobs, payload, &command, on_result)?;
+
+    // I/O thread: the reactor loop.
+    let io = {
+        let done = Arc::clone(&done);
+        let engine_done = Arc::clone(&engine_done);
+        let notified = Arc::clone(&notified);
+        let heartbeat = Duration::from_millis(heartbeat_ms.max(1) as u64);
+        std::thread::spawn(move || -> Result<u64> {
+            let mut reactor = Reactor::new()?;
+            let mut fc = FrameConn::from_parts(conn, dec);
+            reactor.register(fc.stream().as_raw_fd(), TOK_SOCK, Interest::READ)?;
+            reactor.register(waker.fd(), TOK_WAKER, Interest::READ)?;
+            reactor.arm_timer(Instant::now() + heartbeat, TOK_HEARTBEAT);
+
+            let mut task_tx = Some(task_tx);
+            let mut received = 0u64;
+            // Once the socket dies, frames are dropped instead of
+            // queued; the loop stays up to drain the result channel.
+            let mut sock_dead = false;
+            let mut want_write = false;
+            let mut exit_queued = false;
+            let mut io_error: Option<NetError> = None;
+            let mut events: Vec<PollEvent> = Vec::with_capacity(64);
+
+            'io: loop {
+                events.clear();
+                reactor.poll(&mut events, Some(Duration::from_millis(200)))?;
+                for ev in &events {
+                    match *ev {
+                        PollEvent::Timer {
+                            token: TOK_HEARTBEAT,
+                        } => {
+                            if !sock_dead && !exit_queued {
+                                let d = done.load(Ordering::Relaxed);
+                                fc.queue_frame(&Frame::Heartbeat {
+                                    done: d,
+                                    inflight: received.saturating_sub(d).min(u32::MAX as u64)
+                                        as u32,
+                                });
+                            }
+                            reactor.arm_timer(Instant::now() + heartbeat, TOK_HEARTBEAT);
+                        }
+                        PollEvent::Timer { .. } => {}
+                        PollEvent::Io {
+                            token: TOK_WAKER, ..
+                        } => waker.drain(),
+                        PollEvent::Io {
+                            token: TOK_SOCK,
+                            readable,
+                            writable,
+                            hangup,
+                        } => {
+                            if sock_dead {
+                                continue;
+                            }
+                            if readable || hangup {
+                                let fill = fc.fill();
+                                loop {
+                                    match fc.next_frame() {
+                                        Ok(Some(Frame::Shard { tasks })) => {
+                                            received += tasks.len() as u64;
+                                            if let Some(tx) = &task_tx {
+                                                let chunk = feed_batch(tasks.len(), jobs);
+                                                let mut batch = Vec::with_capacity(chunk);
+                                                for t in tasks {
+                                                    batch.push(JobInput::new(t.seq, t.args));
+                                                    if batch.len() >= chunk {
+                                                        let full = std::mem::replace(
+                                                            &mut batch,
+                                                            Vec::with_capacity(chunk),
+                                                        );
+                                                        let _ = tx.send(full);
+                                                    }
+                                                }
+                                                if !batch.is_empty() {
+                                                    let _ = tx.send(batch);
+                                                }
+                                            }
+                                        }
+                                        Ok(Some(Frame::Drain)) => {
+                                            // End of input: dropping the
+                                            // sender ends the engine's
+                                            // job stream after the tasks
+                                            // already queued.
+                                            task_tx = None;
+                                        }
+                                        Ok(Some(other)) => {
+                                            io_error.get_or_insert(NetError::Protocol(format!(
+                                                "unexpected driver frame {other:?}"
+                                            )));
+                                            task_tx = None;
+                                            sock_dead = true;
+                                            break;
+                                        }
+                                        Ok(None) => break,
+                                        Err(e) => {
+                                            io_error.get_or_insert(NetError::Frame(e));
+                                            task_tx = None;
+                                            sock_dead = true;
+                                            break;
+                                        }
+                                    }
+                                }
+                                match fill {
+                                    Ok(Fill::Blocked) => {}
+                                    Ok(Fill::Eof) => {
+                                        // Driver went away; no more input
+                                        // and nowhere to ack.
+                                        task_tx = None;
+                                        sock_dead = true;
+                                    }
+                                    Err(e) => {
+                                        io_error.get_or_insert(NetError::Io(e));
+                                        task_tx = None;
+                                        sock_dead = true;
+                                    }
+                                }
+                            }
+                            if writable && !sock_dead {
+                                match fc.flush() {
+                                    Ok(Flush::Drained) => {
+                                        want_write =
+                                            set_sock_interest(&reactor, &fc, want_write, false);
+                                    }
+                                    Ok(Flush::Blocked) => {}
+                                    Err(e) => {
+                                        io_error.get_or_insert(NetError::Io(e));
+                                        task_tx = None;
+                                        sock_dead = true;
+                                    }
+                                }
+                            }
+                        }
+                        PollEvent::Io { .. } => {}
+                    }
+                }
+
+                // Coalesce finished tasks into DoneBatch frames: clear
+                // the flag first, then drain, so a completion landing
+                // after the drain re-wakes the loop.
+                notified.store(false, Ordering::Relaxed);
+                loop {
+                    let mut batch = Vec::new();
+                    while batch.len() < DONE_BATCH_MAX {
+                        match result_rx.try_recv() {
+                            Ok(rec) => batch.push(rec),
+                            Err(_) => break,
+                        }
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    if !sock_dead {
+                        fc.queue_frame(&Frame::DoneBatch { results: batch });
+                    }
+                }
+
+                // The engine finishing (with the result channel fully
+                // drained) queues the final AgentExit exactly once.
+                if !exit_queued
+                    && engine_done.load(Ordering::Relaxed)
+                    && result_rx.is_empty()
+                    && task_tx.is_none()
+                {
+                    exit_queued = true;
+                    if !sock_dead {
+                        fc.queue_frame(&Frame::AgentExit {
+                            done: done.load(Ordering::Relaxed),
+                            reason: "drained".to_string(),
+                        });
+                    }
+                }
+
+                if !sock_dead && fc.queued_bytes() > 0 {
+                    match fc.flush() {
+                        Ok(Flush::Drained) => {
+                            want_write = set_sock_interest(&reactor, &fc, want_write, false);
+                        }
+                        Ok(Flush::Blocked) => {
+                            want_write = set_sock_interest(&reactor, &fc, want_write, true);
+                        }
+                        Err(e) => {
+                            io_error.get_or_insert(NetError::Io(e));
+                            task_tx = None;
+                            sock_dead = true;
+                        }
+                    }
+                }
+
+                if exit_queued && (sock_dead || fc.queued_bytes() == 0) {
+                    break 'io;
+                }
+            }
+            fc.stream().shutdown();
+            match io_error {
+                Some(e) => Err(e),
+                None => Ok(received),
+            }
+        })
+    };
+
+    // The engine runs here, on the session's calling thread, pulling
+    // task batches straight off the reactor's channel (the engine's
+    // batch-granular streaming source) and pushing completions back.
+    // Work starts on the first Shard while later shards are still in
+    // flight; dropping the sender ends the stream.
+    let run = engine.run_batched(task_rx);
+    engine_done.store(true, Ordering::Relaxed);
+    main_wake.wake();
+
+    let io_result = io.join().expect("agent io thread panicked");
     let total_done = done.load(Ordering::Relaxed);
-    let reason = match (&run, &reader_result) {
+    let reason = match (&run, &io_result) {
         (Err(e), _) => format!("engine error: {e}"),
         (_, Err(e)) => format!("connection error: {e}"),
-        (Ok(_), Ok(())) => "drained".to_string(),
+        (Ok(_), Ok(_)) => "drained".to_string(),
     };
-    send(
-        &writer,
-        &dead,
-        &Frame::AgentExit {
-            done: total_done,
-            reason: reason.clone(),
-        },
-    );
-    writer.lock().shutdown();
     run?;
-    reader_result?;
+    io_result?;
     Ok(AgentReport {
         done: total_done,
         reason,
     })
 }
 
-/// Encode one finished job as a `TaskDone` frame.
-fn task_done_frame(result: &JobResult) -> Frame {
+/// Toggle write interest on the session socket; returns the new state.
+fn set_sock_interest(reactor: &Reactor, fc: &FrameConn<Conn>, current: bool, want: bool) -> bool {
+    if current == want {
+        return current;
+    }
+    let interest = if want {
+        Interest::READ_WRITE
+    } else {
+        Interest::READ
+    };
+    if reactor
+        .reregister(fc.stream().as_raw_fd(), TOK_SOCK, interest)
+        .is_ok()
+    {
+        want
+    } else {
+        current
+    }
+}
+
+/// One finished job as a wire completion record.
+pub(crate) fn task_done_rec(result: &JobResult) -> TaskDoneRec {
     let start_epoch_us = result
         .started_at
         .duration_since(UNIX_EPOCH)
         .unwrap_or(Duration::ZERO)
         .as_micros() as u64;
-    Frame::TaskDone {
+    TaskDoneRec {
         seq: result.seq,
         exitval: result.status.exitval(),
         signal: result.status.signal(),
@@ -298,5 +525,20 @@ fn task_done_frame(result: &JobResult) -> Frame {
         runtime_us: result.runtime.as_micros() as u64,
         stdout: result.stdout.clone(),
         stderr: result.stderr.clone(),
+    }
+}
+
+/// Encode one finished job as a legacy per-task `TaskDone` frame (the
+/// threaded reference core's ack shape).
+pub(crate) fn task_done_frame(result: &JobResult) -> Frame {
+    let r = task_done_rec(result);
+    Frame::TaskDone {
+        seq: r.seq,
+        exitval: r.exitval,
+        signal: r.signal,
+        start_epoch_us: r.start_epoch_us,
+        runtime_us: r.runtime_us,
+        stdout: r.stdout,
+        stderr: r.stderr,
     }
 }

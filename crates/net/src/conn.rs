@@ -5,8 +5,9 @@
 //! multi-node deployment uses; Unix sockets keep single-host test
 //! clusters off the loopback port space.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::time::Duration;
 
@@ -55,12 +56,31 @@ impl Conn {
         }
     }
 
+    /// Switch between blocking and non-blocking mode. The reactor path
+    /// handshakes blocking, then flips the socket non-blocking before
+    /// registering it with the poll loop.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(nonblocking),
+            Conn::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
     /// Shut down both halves, unblocking any reader thread.
     pub fn shutdown(&self) {
         let _ = match self {
             Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
             Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
         };
+    }
+}
+
+impl AsRawFd for Conn {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Conn::Tcp(s) => s.as_raw_fd(),
+            Conn::Unix(s) => s.as_raw_fd(),
+        }
     }
 }
 
@@ -78,6 +98,15 @@ impl Write for Conn {
         match self {
             Conn::Tcp(s) => s.write(buf),
             Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    /// Forward to the socket's real `writev` (the `Write` default would
+    /// silently degrade to one buffer per syscall).
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write_vectored(bufs),
+            Conn::Unix(s) => s.write_vectored(bufs),
         }
     }
 

@@ -11,11 +11,20 @@
 //! task that finishes twice is logged once); execution is
 //! at-least-once, the same contract as the simulated driver and GNU
 //! Parallel's `--resume`.
+//!
+//! Since PR 6, the product I/O core is a single-threaded epoll
+//! [`Reactor`]: every agent socket is non-blocking on one poll loop,
+//! writes go through bounded vectored-write queues
+//! ([`crate::nbio::FrameConn`]), completions arrive as coalesced
+//! `DoneBatch` frames, and the lease sweep ticks from the reactor's
+//! own timer heap. The PR 5 thread-per-connection core survives in
+//! [`crate::reference`] as the oracle the differential test suite
+//! compares joblogs against; [`DriverConfig::core`] selects.
 
-use std::collections::HashSet;
-use std::io::{Read, Write};
+use std::collections::{HashSet, VecDeque};
+use std::io::Write;
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,9 +34,11 @@ use htpar_core::template::{ExpandContext, Template};
 use htpar_telemetry::{Event, EventBus};
 
 use crate::conn::Conn;
-use crate::frame::{Decoder, Frame, Payload, TaskSpec, PROTOCOL_VERSION, SHARD_CHUNK};
+use crate::frame::{Decoder, Frame, Payload, TaskDoneRec, TaskSpec, PROTOCOL_VERSION, SHARD_CHUNK};
 use crate::lease::LeaseTracker;
-use crate::{agent::read_next, NetError, Result};
+use crate::nbio::{Fill, Flush, FrameConn};
+use crate::reactor::{Interest, PollEvent, Reactor};
+use crate::{agent::read_next, NetCore, NetError, Result};
 
 /// Driver-side configuration.
 pub struct DriverConfig {
@@ -52,6 +63,13 @@ pub struct DriverConfig {
     pub resume: bool,
     /// Telemetry bus for agent lifecycle / shard / frame-byte events.
     pub bus: Option<Arc<EventBus>>,
+    /// Which I/O core runs the dispatch loop (reactor by default,
+    /// threaded reference for differential runs).
+    pub core: NetCore,
+    /// Reactor path: per-agent cap on bytes queued to a socket. A
+    /// slow-reading agent stalls at this bound while its tasks wait in
+    /// the driver's backlog — backpressure instead of unbounded memory.
+    pub write_queue_cap: usize,
 }
 
 impl DriverConfig {
@@ -67,10 +85,12 @@ impl DriverConfig {
             joblog: None,
             resume: false,
             bus: None,
+            core: NetCore::from_env(),
+            write_queue_cap: 1 << 20,
         }
     }
 
-    fn emit(&self, event: Event) {
+    pub(crate) fn emit(&self, event: Event) {
         if let Some(bus) = &self.bus {
             bus.emit(event);
         }
@@ -89,6 +109,11 @@ pub struct AgentStat {
     /// Read-side error that ended the connection, if it was not a
     /// clean close.
     pub error: Option<String>,
+    /// High-water mark of this agent's socket write queue (reactor
+    /// path; 0 on the threaded reference, which writes blocking). The
+    /// backpressure tests hold this to [`DriverConfig::write_queue_cap`]
+    /// plus at most one frame.
+    pub peak_queue_bytes: u64,
 }
 
 /// What a drive accomplished.
@@ -145,27 +170,50 @@ pub fn verify_exactly_once(entries: &[LogEntry], total: u64) -> std::result::Res
     Ok(())
 }
 
-/// What a per-agent reader thread observed.
-enum Ev {
-    Frame(Frame),
-    /// Clean EOF from the agent.
-    Closed,
-    /// Read or framing error (treated like a closed socket).
-    Error(NetError),
-}
-
-/// Live driver-side state for one agent.
-struct AgentConn {
-    name: String,
-    writer: Option<Conn>,
-    assigned: HashSet<u64>,
-    done: u64,
-    alive: bool,
-    /// `AgentExit` received (used by the drain phase).
-    exited: bool,
-    error: Option<String>,
-    sent_bytes: u64,
-    received_bytes: Arc<AtomicU64>,
+/// Dial one agent and run the blocking `Hello`/`HelloAck` handshake.
+/// Returns the connection (still blocking), the decoder (which may
+/// hold over-read bytes), and the agent's name and granted slots.
+pub(crate) fn connect_handshake(
+    spec: &str,
+    hello_bytes: &[u8],
+) -> Result<(Conn, Decoder, String, u32)> {
+    let mut conn = Conn::connect(spec)?;
+    conn.set_nodelay()?;
+    conn.write_all(hello_bytes)?;
+    conn.flush()?;
+    conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut dec = Decoder::new();
+    let (name, slots) = match read_next(&mut conn, &mut dec)? {
+        Some(Frame::HelloAck {
+            version,
+            slots,
+            agent,
+        }) => {
+            if version != PROTOCOL_VERSION {
+                return Err(NetError::Protocol(format!(
+                    "agent {spec} speaks protocol {version}, driver speaks {PROTOCOL_VERSION}"
+                )));
+            }
+            (agent, slots)
+        }
+        Some(Frame::AgentExit { reason, .. }) => {
+            return Err(NetError::Protocol(format!(
+                "agent {spec} refused: {reason}"
+            )))
+        }
+        Some(other) => {
+            return Err(NetError::Protocol(format!(
+                "agent {spec}: expected HelloAck, got {other:?}"
+            )))
+        }
+        None => {
+            return Err(NetError::Protocol(format!(
+                "agent {spec} closed during handshake"
+            )))
+        }
+    };
+    conn.set_read_timeout(None)?;
+    Ok((conn, dec, name, slots))
 }
 
 /// Connect, handshake, dispatch, recover, drain. `on_done` (when given)
@@ -173,6 +221,70 @@ struct AgentConn {
 /// task — tests use it to trigger chaos (e.g. SIGKILL an agent once
 /// `done` crosses a threshold) at a deterministic point in the run.
 pub fn run_driver(
+    config: &DriverConfig,
+    inputs: &[Vec<String>],
+    on_done: Option<&mut dyn FnMut(u64)>,
+) -> Result<DriveOutcome> {
+    match config.core {
+        NetCore::Reactor => run_driver_reactor(config, inputs, on_done),
+        NetCore::Threaded => crate::reference::run_driver_threaded(config, inputs, on_done),
+    }
+}
+
+// -- Reactor dispatch loop ---------------------------------------------
+
+/// Timer token for the periodic lease-sweep tick.
+const TOK_TICK: usize = usize::MAX;
+/// Timer token for the drain-phase deadline.
+const TOK_DRAIN: usize = usize::MAX - 1;
+
+/// Reactor-side state for one agent connection.
+struct RAgent {
+    name: String,
+    /// Live connection; `None` once lost or shut down.
+    fc: Option<FrameConn<Conn>>,
+    /// Every seq ever placed on this agent (backlog included).
+    assigned: HashSet<u64>,
+    /// Tasks placed here but not yet queued to the socket — the
+    /// overflow beyond `write_queue_cap`.
+    backlog: VecDeque<TaskSpec>,
+    done: u64,
+    alive: bool,
+    exited: bool,
+    error: Option<String>,
+    /// Whether the fd is currently registered for write interest.
+    want_write: bool,
+    /// Handshake bytes written before the `FrameConn` took over.
+    pre_sent: u64,
+    /// Counter snapshots taken when the connection is dropped.
+    final_sent: u64,
+    final_received: u64,
+    final_peak: u64,
+}
+
+impl RAgent {
+    fn sent_bytes(&self) -> u64 {
+        self.pre_sent
+            + self
+                .fc
+                .as_ref()
+                .map_or(self.final_sent, |fc| fc.sent_bytes())
+    }
+
+    fn received_bytes(&self) -> u64 {
+        self.fc
+            .as_ref()
+            .map_or(self.final_received, |fc| fc.received_bytes())
+    }
+
+    fn peak_queue_bytes(&self) -> u64 {
+        self.fc
+            .as_ref()
+            .map_or(self.final_peak, |fc| fc.peak_queued_bytes() as u64)
+    }
+}
+
+fn run_driver_reactor(
     config: &DriverConfig,
     inputs: &[Vec<String>],
     mut on_done: Option<&mut dyn FnMut(u64)>,
@@ -207,7 +319,8 @@ pub fn run_driver(
         None => None,
     };
 
-    // -- Connect + handshake (sequential; agents are already listening).
+    // -- Connect + handshake (blocking, sequential), then go
+    // non-blocking and hand every socket to one reactor.
     let hello = Frame::Hello {
         version: PROTOCOL_VERSION,
         jobs: config.jobs_per_agent,
@@ -216,255 +329,321 @@ pub fn run_driver(
         command: config.command.clone(),
     };
     let hello_bytes = hello.encode();
-    let mut agents: Vec<AgentConn> = Vec::with_capacity(config.agents.len());
-    let mut reader_conns = Vec::with_capacity(config.agents.len());
+    let mut reactor = Reactor::new()?;
+    let mut agents: Vec<RAgent> = Vec::with_capacity(config.agents.len());
     for (idx, spec) in config.agents.iter().enumerate() {
-        let mut conn = Conn::connect(spec)?;
-        conn.set_nodelay()?;
-        conn.write_all(&hello_bytes)?;
-        conn.flush()?;
-        conn.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let mut dec = Decoder::new();
-        let (name, slots) = match read_next(&mut conn, &mut dec)? {
-            Some(Frame::HelloAck {
-                version,
-                slots,
-                agent,
-            }) => {
-                if version != PROTOCOL_VERSION {
-                    return Err(NetError::Protocol(format!(
-                        "agent {spec} speaks protocol {version}, driver speaks {PROTOCOL_VERSION}"
-                    )));
-                }
-                (agent, slots)
-            }
-            Some(Frame::AgentExit { reason, .. }) => {
-                return Err(NetError::Protocol(format!(
-                    "agent {spec} refused: {reason}"
-                )))
-            }
-            Some(other) => {
-                return Err(NetError::Protocol(format!(
-                    "agent {spec}: expected HelloAck, got {other:?}"
-                )))
-            }
-            None => {
-                return Err(NetError::Protocol(format!(
-                    "agent {spec} closed during handshake"
-                )))
-            }
-        };
-        conn.set_read_timeout(None)?;
+        let (conn, dec, name, slots) = connect_handshake(spec, &hello_bytes)?;
+        conn.set_nonblocking(true)?;
+        reactor.register(conn.as_raw_fd(), idx, Interest::READ)?;
         config.emit(Event::AgentConnected {
             agent: idx as u32,
             slots: slots as usize,
         });
-        let reader = conn.try_clone()?;
-        agents.push(AgentConn {
+        agents.push(RAgent {
             name,
-            writer: Some(conn),
+            fc: Some(FrameConn::from_parts(conn, dec)),
             assigned: HashSet::new(),
+            backlog: VecDeque::new(),
             done: 0,
             alive: true,
             exited: false,
             error: None,
-            sent_bytes: hello_bytes.len() as u64,
-            received_bytes: Arc::new(AtomicU64::new(0)),
+            want_write: false,
+            pre_sent: hello_bytes.len() as u64,
+            final_sent: 0,
+            final_received: 0,
+            final_peak: 0,
         });
-        reader_conns.push((reader, dec));
     }
-
-    // -- Reader threads: all inbound frames funnel into one channel.
-    let (ev_tx, ev_rx) = crossbeam_channel::unbounded::<(usize, Ev)>();
-    let mut reader_handles = Vec::new();
-    for (idx, (mut conn, mut dec)) in reader_conns.into_iter().enumerate() {
-        let tx = ev_tx.clone();
-        let rx_bytes = Arc::clone(&agents[idx].received_bytes);
-        reader_handles.push(std::thread::spawn(move || {
-            let mut buf = [0u8; 64 * 1024];
-            loop {
-                // Drain decoded frames before reading more bytes.
-                loop {
-                    match dec.next_frame() {
-                        Ok(Some(frame)) => {
-                            if tx.send((idx, Ev::Frame(frame))).is_err() {
-                                return;
-                            }
-                        }
-                        Ok(None) => break,
-                        Err(e) => {
-                            let _ = tx.send((idx, Ev::Error(NetError::Frame(e))));
-                            return;
-                        }
-                    }
-                }
-                match conn.read(&mut buf) {
-                    Ok(0) => {
-                        let _ = tx.send((idx, Ev::Closed));
-                        return;
-                    }
-                    Ok(n) => {
-                        rx_bytes.fetch_add(n as u64, Ordering::Relaxed);
-                        dec.extend(&buf[..n]);
-                    }
-                    Err(e) => {
-                        let _ = tx.send((idx, Ev::Error(NetError::Io(e))));
-                        return;
-                    }
-                }
-            }
-        }));
-    }
-    drop(ev_tx);
 
     // -- Initial placement: the awk NR-modulo split across all agents.
     let shards = driver_shard(&pending, agents.len() as u32);
     for (idx, shard) in shards.into_iter().enumerate() {
-        if !send_shard(config, &mut agents, idx, shard) {
-            handle_loss(config, &mut agents, idx, &recorded, inputs)?;
+        assign(config, &mut agents[idx], idx, shard);
+    }
+    for idx in 0..agents.len() {
+        if !pump_and_flush(&reactor, &mut agents[idx], idx, config.write_queue_cap) {
+            handle_loss(config, &reactor, &mut agents, idx, &recorded, inputs)?;
         }
     }
 
-    // -- Dispatch loop.
+    // -- Dispatch loop: one poll loop over every socket plus the lease
+    // tick, all from the same reactor.
     let lease = LeaseTracker::new(agents.len());
     let mut completed = 0u64;
     let mut duplicates = 0u64;
     let goal = pending.len() as u64;
     let tick = Duration::from_millis((config.heartbeat_ms as u64 / 2).clamp(10, 200));
+    let mut tick_key = reactor.arm_timer(Instant::now() + tick, TOK_TICK);
+    let mut events: Vec<PollEvent> = Vec::with_capacity(256);
+
+    // Record one completion; returns false for a duplicate.
+    macro_rules! record_done {
+        ($idx:expr, $rec:expr) => {{
+            let rec: TaskDoneRec = $rec;
+            if recorded.contains(&rec.seq) {
+                // A re-sharded task finished on two agents; record-once
+                // keeps the joblog exact.
+                duplicates += 1;
+            } else {
+                recorded.insert(rec.seq);
+                agents[$idx].done += 1;
+                completed += 1;
+                if let Some(log) = &mut log {
+                    let args = inputs
+                        .get((rec.seq - 1) as usize)
+                        .map(|a| a.as_slice())
+                        .unwrap_or(&[]);
+                    let command = template.expand(&ExpandContext {
+                        args,
+                        seq: rec.seq,
+                        slot: 0,
+                    });
+                    log.record_entry(&LogEntry {
+                        seq: rec.seq,
+                        host: agents[$idx].name.clone(),
+                        start: rec.start_epoch_us as f64 / 1e6,
+                        runtime: rec.runtime_us as f64 / 1e6,
+                        send: 0,
+                        receive: rec.stdout.len() as u64,
+                        exitval: rec.exitval,
+                        signal: rec.signal,
+                        command,
+                    })?;
+                }
+                if let Some(cb) = on_done.as_deref_mut() {
+                    cb(completed);
+                }
+            }
+        }};
+    }
+
     while completed < goal {
-        match ev_rx.recv_timeout(tick) {
-            Ok((idx, Ev::Frame(frame))) => {
-                lease.touch(idx);
-                match frame {
-                    Frame::TaskDone {
-                        seq,
-                        exitval,
-                        signal,
-                        start_epoch_us,
-                        runtime_us,
-                        stdout,
-                        ..
-                    } => {
-                        if recorded.contains(&seq) {
-                            // A re-sharded task finished on two agents;
-                            // record-once keeps the joblog exact.
-                            duplicates += 1;
+        if agents.iter().all(|a| !a.alive) {
+            return Err(NetError::AllAgentsLost {
+                remaining: goal - completed,
+            });
+        }
+        events.clear();
+        reactor.poll(&mut events, Some(Duration::from_millis(200)))?;
+        let batch = std::mem::take(&mut events);
+        for ev in &batch {
+            match *ev {
+                PollEvent::Timer { token: TOK_TICK } => {
+                    // Lease sweep from the reactor's own timer heap: a
+                    // live socket with a silent engine is as dead as a
+                    // closed one.
+                    for idx in 0..agents.len() {
+                        if agents[idx].alive && lease.expired(idx, config.lease_window_ms) {
+                            handle_loss(config, &reactor, &mut agents, idx, &recorded, inputs)?;
+                        }
+                    }
+                    tick_key = reactor.arm_timer(Instant::now() + tick, TOK_TICK);
+                }
+                PollEvent::Timer { .. } => {}
+                PollEvent::Io {
+                    token: idx,
+                    readable,
+                    writable,
+                    hangup,
+                } => {
+                    // Stale events for an agent already declared lost in
+                    // this same batch (e.g. its EPOLLHUP arriving with
+                    // the lease sweep) are dropped here — the event-level
+                    // half of idempotent death handling.
+                    if idx >= agents.len() || !agents[idx].alive {
+                        continue;
+                    }
+                    if readable || hangup {
+                        let fill = match agents[idx].fc.as_mut() {
+                            Some(fc) => fc.fill(),
+                            None => continue,
+                        };
+                        let mut conn_down = false;
+                        match &fill {
+                            Ok(Fill::Blocked) => {}
+                            Ok(Fill::Eof) => conn_down = true,
+                            Err(e) => {
+                                agents[idx].error.get_or_insert_with(|| e.to_string());
+                                conn_down = true;
+                            }
+                        }
+                        // Drain every frame the fill produced *before*
+                        // acting on EOF — the agent's final
+                        // DoneBatch/AgentExit often ride the same bytes
+                        // as the close. Not a while-let: the `fc` borrow
+                        // must end before `record_done!` touches
+                        // `agents[idx]` again.
+                        #[allow(clippy::while_let_loop)]
+                        loop {
+                            let frame = match agents[idx].fc.as_mut() {
+                                Some(fc) => fc.next_frame(),
+                                None => break,
+                            };
+                            match frame {
+                                Ok(Some(f)) => {
+                                    lease.touch(idx);
+                                    match f {
+                                        Frame::TaskDone {
+                                            seq,
+                                            exitval,
+                                            signal,
+                                            start_epoch_us,
+                                            runtime_us,
+                                            stdout,
+                                            stderr,
+                                        } => record_done!(
+                                            idx,
+                                            TaskDoneRec {
+                                                seq,
+                                                exitval,
+                                                signal,
+                                                start_epoch_us,
+                                                runtime_us,
+                                                stdout,
+                                                stderr,
+                                            }
+                                        ),
+                                        Frame::DoneBatch { results } => {
+                                            for rec in results {
+                                                record_done!(idx, rec);
+                                            }
+                                        }
+                                        Frame::Heartbeat { .. } => {}
+                                        Frame::AgentExit { .. } => {
+                                            agents[idx].exited = true;
+                                        }
+                                        other => {
+                                            return Err(NetError::Protocol(format!(
+                                                "unexpected agent frame {other:?}"
+                                            )))
+                                        }
+                                    }
+                                }
+                                Ok(None) => break,
+                                Err(e) => {
+                                    agents[idx]
+                                        .error
+                                        .get_or_insert_with(|| NetError::Frame(e).to_string());
+                                    conn_down = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if conn_down {
+                            handle_loss(config, &reactor, &mut agents, idx, &recorded, inputs)?;
                             continue;
                         }
-                        recorded.insert(seq);
-                        agents[idx].done += 1;
-                        completed += 1;
-                        if let Some(log) = &mut log {
-                            let args = inputs
-                                .get((seq - 1) as usize)
-                                .map(|a| a.as_slice())
-                                .unwrap_or(&[]);
-                            let command = template.expand(&ExpandContext { args, seq, slot: 0 });
-                            log.record_entry(&LogEntry {
-                                seq,
-                                host: agents[idx].name.clone(),
-                                start: start_epoch_us as f64 / 1e6,
-                                runtime: runtime_us as f64 / 1e6,
-                                send: 0,
-                                receive: stdout.len() as u64,
-                                exitval,
-                                signal,
-                                command,
-                            })?;
-                            // Flush per row: complete lines on disk are
-                            // what makes `--resume` exact after the
-                            // driver itself is killed.
-                            log.flush()?;
-                        }
-                        if let Some(cb) = on_done.as_deref_mut() {
-                            cb(completed);
-                        }
                     }
-                    Frame::Heartbeat { .. } => {}
-                    Frame::AgentExit { .. } => {
-                        // A mid-run exit (engine error) is followed by a
-                        // socket close, which triggers loss handling;
-                        // here only the exit itself is noted.
-                        agents[idx].exited = true;
-                    }
-                    other => {
-                        return Err(NetError::Protocol(format!(
-                            "unexpected agent frame {other:?}"
-                        )))
+                    if writable
+                        && !pump_and_flush(&reactor, &mut agents[idx], idx, config.write_queue_cap)
+                    {
+                        handle_loss(config, &reactor, &mut agents, idx, &recorded, inputs)?;
                     }
                 }
             }
-            Ok((idx, Ev::Closed)) => {
-                handle_loss(config, &mut agents, idx, &recorded, inputs)?;
-            }
-            Ok((idx, Ev::Error(e))) => {
-                agents[idx].error.get_or_insert_with(|| e.to_string());
-                handle_loss(config, &mut agents, idx, &recorded, inputs)?;
-            }
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
-                // Every reader thread is gone with work unfinished.
-                return Err(NetError::AllAgentsLost {
-                    remaining: goal - completed,
-                });
-            }
         }
-        // Lease sweep: a live socket with a silent engine (wedged node,
-        // half-open network partition) is as dead as a closed one.
-        for idx in 0..agents.len() {
-            if agents[idx].alive && lease.expired(idx, config.lease_window_ms) {
-                handle_loss(config, &mut agents, idx, &recorded, inputs)?;
-            }
+        events = batch;
+        // One joblog flush per poll batch (not per row): complete lines
+        // on disk keep `--resume` exact after a driver kill, while the
+        // batch granularity keeps fsync traffic off the per-task path.
+        if let Some(log) = &mut log {
+            log.flush()?;
         }
     }
+    reactor.cancel_timer(tick_key);
 
-    // -- Drain: tell survivors to finish and wait for their exits.
+    // -- Drain: tell survivors to finish and wait for their exits, on
+    // the same reactor with the deadline as one more timer.
     for agent in agents.iter_mut() {
         if !agent.alive {
             continue;
         }
-        let bytes = Frame::Drain.encode();
-        if let Some(w) = agent.writer.as_mut() {
-            if w.write_all(&bytes).and_then(|_| w.flush()).is_ok() {
-                agent.sent_bytes += bytes.len() as u64;
-            }
-        }
-    }
-    let drain_deadline = Instant::now() + config.drain_timeout;
-    while agents.iter().any(|a| a.alive && !a.exited) {
-        let left = drain_deadline.saturating_duration_since(Instant::now());
-        if left.is_zero() {
-            break;
-        }
-        match ev_rx.recv_timeout(left.min(Duration::from_millis(100))) {
-            Ok((idx, Ev::Frame(Frame::AgentExit { .. }))) => agents[idx].exited = true,
-            Ok((idx, Ev::Closed)) => {
-                // Post-drain close without AgentExit still counts as
-                // gone; its work is already complete.
-                agents[idx].exited = true;
-            }
-            Ok((idx, Ev::Error(e))) => {
-                agents[idx].error.get_or_insert_with(|| e.to_string());
-                agents[idx].exited = true;
-            }
-            Ok(_) => {}
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+        // Everything still in the backlog is already recorded (the run
+        // hit its goal); it must not delay the drain.
+        agent.backlog.clear();
+        if let Some(fc) = agent.fc.as_mut() {
+            fc.queue_frame(&Frame::Drain);
         }
     }
     for (idx, agent) in agents.iter_mut().enumerate() {
-        if let Some(w) = agent.writer.take() {
-            w.shutdown();
+        if agent.alive && !pump_and_flush(&reactor, agent, idx, config.write_queue_cap) {
+            drop_conn(&reactor, agent);
+            agent.alive = false;
+            agent.exited = true;
         }
+    }
+    reactor.arm_timer(Instant::now() + config.drain_timeout, TOK_DRAIN);
+    'drain: while agents.iter().any(|a| a.alive && !a.exited) {
+        events.clear();
+        reactor.poll(&mut events, Some(Duration::from_millis(100)))?;
+        let batch = std::mem::take(&mut events);
+        for ev in &batch {
+            match *ev {
+                PollEvent::Timer { token: TOK_DRAIN } => break 'drain,
+                PollEvent::Timer { .. } => {}
+                PollEvent::Io {
+                    token: idx,
+                    readable,
+                    writable,
+                    hangup,
+                } => {
+                    if idx >= agents.len() || agents[idx].fc.is_none() {
+                        continue;
+                    }
+                    if readable || hangup {
+                        let fc = agents[idx].fc.as_mut().expect("checked above");
+                        let fill = fc.fill();
+                        let mut saw_exit = false;
+                        loop {
+                            match fc.next_frame() {
+                                Ok(Some(Frame::AgentExit { .. })) => saw_exit = true,
+                                Ok(Some(_)) => {}
+                                Ok(None) => break,
+                                Err(_) => {
+                                    saw_exit = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if saw_exit {
+                            agents[idx].exited = true;
+                        }
+                        match fill {
+                            Ok(Fill::Blocked) => {}
+                            Ok(Fill::Eof) => {
+                                // Post-drain close without AgentExit
+                                // still counts as gone; its work is
+                                // already complete.
+                                agents[idx].exited = true;
+                                drop_conn(&reactor, &mut agents[idx]);
+                            }
+                            Err(e) => {
+                                agents[idx].error.get_or_insert_with(|| e.to_string());
+                                agents[idx].exited = true;
+                                drop_conn(&reactor, &mut agents[idx]);
+                            }
+                        }
+                    }
+                    if writable
+                        && agents[idx].fc.is_some()
+                        && !pump_and_flush(&reactor, &mut agents[idx], idx, config.write_queue_cap)
+                    {
+                        agents[idx].exited = true;
+                        drop_conn(&reactor, &mut agents[idx]);
+                    }
+                }
+            }
+        }
+        events = batch;
+    }
+    for (idx, agent) in agents.iter_mut().enumerate() {
+        drop_conn(&reactor, agent);
         config.emit(Event::FrameBytes {
             agent: idx as u32,
-            sent: agent.sent_bytes,
-            received: agent.received_bytes.load(Ordering::Relaxed),
+            sent: agent.sent_bytes(),
+            received: agent.received_bytes(),
         });
-    }
-    drop(ev_rx);
-    for handle in reader_handles {
-        let _ = handle.join();
     }
     if let Some(log) = &mut log {
         log.flush()?;
@@ -478,6 +657,7 @@ pub fn run_driver(
         agents: agents
             .into_iter()
             .map(|a| AgentStat {
+                peak_queue_bytes: a.peak_queue_bytes(),
                 name: a.name,
                 done: a.done,
                 lost: !a.alive,
@@ -488,49 +668,104 @@ pub fn run_driver(
     })
 }
 
-/// Ship one shard to `idx` in `SHARD_CHUNK`-sized frames. Returns
-/// `false` when the agent's write side is dead — the caller escalates
-/// to [`handle_loss`], which re-shards everything assigned here too.
-fn send_shard(
-    config: &DriverConfig,
-    agents: &mut [AgentConn],
-    idx: usize,
-    shard: Vec<TaskSpec>,
-) -> bool {
+/// Place a shard on an agent: record the assignment, park the tasks in
+/// its backlog (the pump moves them to the socket as the write queue
+/// allows), and emit the telemetry.
+fn assign(config: &DriverConfig, agent: &mut RAgent, idx: usize, shard: Vec<TaskSpec>) {
     if shard.is_empty() {
-        return true;
-    }
-    let count = shard.len() as u64;
-    let agent = &mut agents[idx];
-    for task in &shard {
-        agent.assigned.insert(task.seq);
-    }
-    let Some(w) = agent.writer.as_mut() else {
-        return false;
-    };
-    for chunk in shard.chunks(SHARD_CHUNK) {
-        let bytes = Frame::Shard {
-            tasks: chunk.to_vec(),
-        }
-        .encode();
-        if w.write_all(&bytes).and_then(|_| w.flush()).is_err() {
-            return false;
-        }
-        agent.sent_bytes += bytes.len() as u64;
+        return;
     }
     config.emit(Event::ShardSent {
         agent: idx as u32,
-        tasks: count,
+        tasks: shard.len() as u64,
     });
+    for task in shard {
+        agent.assigned.insert(task.seq);
+        agent.backlog.push_back(task);
+    }
+}
+
+/// Move backlog tasks into the socket's write queue up to `cap`, then
+/// write as much as the socket takes, adjusting write interest to
+/// match. Returns `false` when the connection errored (caller
+/// escalates to [`handle_loss`]).
+fn pump_and_flush(reactor: &Reactor, agent: &mut RAgent, idx: usize, cap: usize) -> bool {
+    let Some(fc) = agent.fc.as_mut() else {
+        return false;
+    };
+    loop {
+        // Refill the write queue from the backlog, staying under the
+        // cap (but always queueing at least one frame so a cap smaller
+        // than a frame still makes progress).
+        while !agent.backlog.is_empty() && (fc.queued_bytes() == 0 || fc.queued_bytes() < cap) {
+            let take = agent.backlog.len().min(SHARD_CHUNK);
+            let tasks: Vec<TaskSpec> = agent.backlog.drain(..take).collect();
+            fc.queue_frame(&Frame::Shard { tasks });
+        }
+        if fc.queued_bytes() == 0 {
+            return set_write_interest(reactor, agent, idx, false);
+        }
+        match fc.flush() {
+            Ok(Flush::Drained) => {
+                if agent.backlog.is_empty() {
+                    return set_write_interest(reactor, agent, idx, false);
+                }
+                // More backlog fits now that the queue drained.
+            }
+            Ok(Flush::Blocked) => return set_write_interest(reactor, agent, idx, true),
+            Err(e) => {
+                agent.error.get_or_insert_with(|| e.to_string());
+                return false;
+            }
+        }
+    }
+}
+
+/// Toggle EPOLLOUT for an agent's socket, tracking the current state so
+/// unchanged interest costs no syscall.
+fn set_write_interest(reactor: &Reactor, agent: &mut RAgent, idx: usize, want: bool) -> bool {
+    if agent.want_write == want {
+        return true;
+    }
+    let Some(fc) = agent.fc.as_ref() else {
+        return false;
+    };
+    let interest = if want {
+        Interest::READ_WRITE
+    } else {
+        Interest::READ
+    };
+    if reactor
+        .reregister(fc.stream().as_raw_fd(), idx, interest)
+        .is_err()
+    {
+        return false;
+    }
+    agent.want_write = want;
     true
 }
 
+/// Deregister and shut down an agent's connection, snapshotting its
+/// byte counters for the final telemetry.
+fn drop_conn(reactor: &Reactor, agent: &mut RAgent) {
+    if let Some(fc) = agent.fc.take() {
+        agent.final_sent = fc.sent_bytes();
+        agent.final_received = fc.received_bytes();
+        agent.final_peak = fc.peak_queued_bytes() as u64;
+        let _ = reactor.deregister(fc.stream().as_raw_fd());
+        fc.stream().shutdown();
+    }
+}
+
 /// Declare `idx` lost and re-shard its unfinished work onto survivors.
-/// Idempotent (the `alive` flag guards re-entry from the reader event
-/// and the lease sweep both firing for the same death).
+/// Idempotent at the event level: the `alive` flag guards re-entry, and
+/// the poll loop drops already-pulled events for dead tokens — so a
+/// socket hangup and a lease expiry landing in the same poll batch
+/// re-shard exactly once.
 fn handle_loss(
     config: &DriverConfig,
-    agents: &mut [AgentConn],
+    reactor: &Reactor,
+    agents: &mut [RAgent],
     idx: usize,
     recorded: &HashSet<u64>,
     inputs: &[Vec<String>],
@@ -539,9 +774,8 @@ fn handle_loss(
         return Ok(());
     }
     agents[idx].alive = false;
-    if let Some(w) = agents[idx].writer.take() {
-        w.shutdown();
-    }
+    drop_conn(reactor, &mut agents[idx]);
+    agents[idx].backlog.clear();
     // Diff the lost shard against the aggregated joblog: only seqs with
     // no recorded completion anywhere need to run again.
     let mut lost: Vec<u64> = agents[idx]
@@ -582,10 +816,11 @@ fn handle_loss(
     let shards = driver_shard(&specs, survivors.len() as u32);
     for (slot, shard) in shards.into_iter().enumerate() {
         let target = survivors[slot];
-        if !send_shard(config, agents, target, shard) {
+        assign(config, &mut agents[target], target, shard);
+        if !pump_and_flush(reactor, &mut agents[target], target, config.write_queue_cap) {
             // The survivor died while receiving the re-shard; recurse so
             // its assignment (including what it just took over) moves on.
-            handle_loss(config, agents, target, recorded, inputs)?;
+            handle_loss(config, reactor, agents, target, recorded, inputs)?;
         }
     }
     Ok(())

@@ -20,7 +20,8 @@
 use std::fmt;
 
 /// Protocol revision carried in the handshake. Bump on any wire change.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// v2 added [`Frame::DoneBatch`] (coalesced completion acks).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard ceiling on one frame's body. A `Shard` of [`SHARD_CHUNK`] tasks
 /// with generous arguments stays far below this; anything bigger is a
@@ -52,6 +53,22 @@ pub struct TaskSpec {
     pub seq: u64,
     /// Arguments substituted into the command template.
     pub args: Vec<String>,
+}
+
+/// One completion record inside a [`Frame::DoneBatch`]. Field-for-field
+/// the body of a [`Frame::TaskDone`]; agents coalesce many of these per
+/// frame so an ack costs a fraction of a syscall instead of a
+/// write+flush each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDoneRec {
+    pub seq: u64,
+    pub exitval: i32,
+    pub signal: i32,
+    /// Task start, microseconds since the Unix epoch (agent clock).
+    pub start_epoch_us: u64,
+    pub runtime_us: u64,
+    pub stdout: String,
+    pub stderr: String,
 }
 
 /// A protocol message.
@@ -89,6 +106,10 @@ pub enum Frame {
         stdout: String,
         stderr: String,
     },
+    /// Agent → driver: many tasks finished (coalesced ack; v2+). The
+    /// legacy per-task [`Frame::TaskDone`] stays valid so mixed streams
+    /// decode, but agents send batches.
+    DoneBatch { results: Vec<TaskDoneRec> },
     /// Agent → driver: liveness lease renewal.
     Heartbeat { done: u64, inflight: u32 },
     /// Driver → agent: no more shards will come; finish and exit.
@@ -104,6 +125,7 @@ const TAG_TASK_DONE: u8 = 4;
 const TAG_HEARTBEAT: u8 = 5;
 const TAG_DRAIN: u8 = 6;
 const TAG_AGENT_EXIT: u8 = 7;
+const TAG_DONE_BATCH: u8 = 8;
 
 const PAYLOAD_SHELL: u8 = 0;
 const PAYLOAD_NOOP: u8 = 1;
@@ -144,6 +166,26 @@ impl std::error::Error for FrameError {}
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn put_done_fields(
+    out: &mut Vec<u8>,
+    seq: u64,
+    exitval: i32,
+    signal: i32,
+    start_epoch_us: u64,
+    runtime_us: u64,
+    stdout: &str,
+    stderr: &str,
+) {
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&exitval.to_le_bytes());
+    out.extend_from_slice(&signal.to_le_bytes());
+    out.extend_from_slice(&start_epoch_us.to_le_bytes());
+    out.extend_from_slice(&runtime_us.to_le_bytes());
+    put_str(out, stdout);
+    put_str(out, stderr);
 }
 
 fn put_payload(out: &mut Vec<u8>, p: Payload) {
@@ -207,13 +249,32 @@ impl Frame {
                 stderr,
             } => {
                 body.push(TAG_TASK_DONE);
-                body.extend_from_slice(&seq.to_le_bytes());
-                body.extend_from_slice(&exitval.to_le_bytes());
-                body.extend_from_slice(&signal.to_le_bytes());
-                body.extend_from_slice(&start_epoch_us.to_le_bytes());
-                body.extend_from_slice(&runtime_us.to_le_bytes());
-                put_str(&mut body, stdout);
-                put_str(&mut body, stderr);
+                put_done_fields(
+                    &mut body,
+                    *seq,
+                    *exitval,
+                    *signal,
+                    *start_epoch_us,
+                    *runtime_us,
+                    stdout,
+                    stderr,
+                );
+            }
+            Frame::DoneBatch { results } => {
+                body.push(TAG_DONE_BATCH);
+                body.extend_from_slice(&(results.len() as u32).to_le_bytes());
+                for r in results {
+                    put_done_fields(
+                        &mut body,
+                        r.seq,
+                        r.exitval,
+                        r.signal,
+                        r.start_epoch_us,
+                        r.runtime_us,
+                        &r.stdout,
+                        &r.stderr,
+                    );
+                }
             }
             Frame::Heartbeat { done, inflight } => {
                 body.push(TAG_HEARTBEAT);
@@ -280,6 +341,18 @@ impl<'a> Body<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8)
     }
 
+    fn done_rec(&mut self) -> Result<TaskDoneRec, FrameError> {
+        Ok(TaskDoneRec {
+            seq: self.u64()?,
+            exitval: self.i32()?,
+            signal: self.i32()?,
+            start_epoch_us: self.u64()?,
+            runtime_us: self.u64()?,
+            stdout: self.string()?,
+            stderr: self.string()?,
+        })
+    }
+
     fn finish(self) -> Result<(), FrameError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -337,15 +410,31 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             }
             Frame::Shard { tasks }
         }
-        TAG_TASK_DONE => Frame::TaskDone {
-            seq: b.u64()?,
-            exitval: b.i32()?,
-            signal: b.i32()?,
-            start_epoch_us: b.u64()?,
-            runtime_us: b.u64()?,
-            stdout: b.string()?,
-            stderr: b.string()?,
-        },
+        TAG_TASK_DONE => {
+            let r = b.done_rec()?;
+            Frame::TaskDone {
+                seq: r.seq,
+                exitval: r.exitval,
+                signal: r.signal,
+                start_epoch_us: r.start_epoch_us,
+                runtime_us: r.runtime_us,
+                stdout: r.stdout,
+                stderr: r.stderr,
+            }
+        }
+        TAG_DONE_BATCH => {
+            let count = b.u32()? as usize;
+            // A record is at least 40 bytes of fixed fields; reject
+            // counts the remaining body cannot possibly hold.
+            if count > (body.len() - b.pos) / 40 {
+                return Err(FrameError::Malformed("done batch count exceeds body"));
+            }
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                results.push(b.done_rec()?);
+            }
+            Frame::DoneBatch { results }
+        }
         TAG_HEARTBEAT => Frame::Heartbeat {
             done: b.u64()?,
             inflight: b.u32()?,
@@ -468,6 +557,29 @@ mod tests {
             stdout: "out\n".into(),
             stderr: "λ err".into(),
         });
+        round_trip(Frame::DoneBatch {
+            results: vec![
+                TaskDoneRec {
+                    seq: 0,
+                    exitval: 0,
+                    signal: 0,
+                    start_epoch_us: 0,
+                    runtime_us: 0,
+                    stdout: String::new(),
+                    stderr: String::new(),
+                },
+                TaskDoneRec {
+                    seq: u64::MAX,
+                    exitval: 127,
+                    signal: 15,
+                    start_epoch_us: 1_700_000_000_000_000,
+                    runtime_us: 88,
+                    stdout: "done\n".into(),
+                    stderr: "λ".into(),
+                },
+            ],
+        });
+        round_trip(Frame::DoneBatch { results: vec![] });
         round_trip(Frame::Heartbeat {
             done: 99,
             inflight: 3,
@@ -568,6 +680,18 @@ mod tests {
     }
 
     #[test]
+    fn hostile_done_batch_count_does_not_allocate() {
+        // DoneBatch claiming u32::MAX records in a tiny body fails fast.
+        let mut body = vec![TAG_DONE_BATCH];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        assert!(matches!(d.next_frame(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
     fn hostile_shard_count_does_not_allocate() {
         // Shard claiming u32::MAX tasks in a tiny body must fail fast.
         let mut body = vec![TAG_SHARD];
@@ -607,6 +731,18 @@ mod tests {
             (0..len)
                 .map(|_| char::from_u32(0x20 + rng.below(0x50) as u32).unwrap_or('x'))
                 .collect()
+        }
+
+        fn arb_done_rec(rng: &mut TestRng) -> TaskDoneRec {
+            TaskDoneRec {
+                seq: rng.next_u64(),
+                exitval: rng.below(512) as i32 - 256,
+                signal: rng.below(64) as i32,
+                start_epoch_us: rng.next_u64(),
+                runtime_us: rng.next_u64(),
+                stdout: arb_string(rng),
+                stderr: arb_string(rng),
+            }
         }
 
         impl Strategy for FrameStrategy {
@@ -649,10 +785,19 @@ mod tests {
                         stdout: arb_string(rng),
                         stderr: arb_string(rng),
                     },
-                    6 => Frame::Heartbeat {
-                        done: rng.next_u64(),
-                        inflight: rng.below(1 << 20) as u32,
-                    },
+                    6 => {
+                        if rng.below(2) == 0 {
+                            Frame::Heartbeat {
+                                done: rng.next_u64(),
+                                inflight: rng.below(1 << 20) as u32,
+                            }
+                        } else {
+                            let n = rng.below(16) as usize;
+                            Frame::DoneBatch {
+                                results: (0..n).map(|_| arb_done_rec(rng)).collect(),
+                            }
+                        }
+                    }
                     _ => {
                         if rng.below(2) == 0 {
                             Frame::Drain
@@ -694,6 +839,84 @@ mod tests {
                     off = end;
                 }
                 prop_assert_eq!(got, frames);
+                prop_assert_eq!(d.pending_bytes(), 0);
+            }
+
+            /// Satellite: batching fidelity. Arbitrary seq batches go
+            /// out as chunked `Shard`s one way and coalesced
+            /// `DoneBatch`es the other, each frame its own buffer (as
+            /// the vectored-write queue keeps them), concatenated and
+            /// re-split at arbitrary byte boundaries — exactly what
+            /// partial `writev` calls produce on the wire. Every seq
+            /// must come back exactly once, in order.
+            #[test]
+            fn batched_seqs_survive_chunking_and_vectored_splits(
+                seqs in proptest::collection::vec(any::<u64>(), 1..400),
+                shard_chunk in 1usize..48,
+                ack_batch in 1usize..48,
+                cuts in proptest::collection::vec(1usize..96, 1..32),
+            ) {
+                // Driver direction: seqs → chunked Shard frames.
+                let mut wire = Vec::new();
+                for chunk in seqs.chunks(shard_chunk) {
+                    let f = Frame::Shard {
+                        tasks: chunk
+                            .iter()
+                            .map(|&seq| TaskSpec { seq, args: vec![seq.to_string()] })
+                            .collect(),
+                    };
+                    wire.extend_from_slice(&f.encode());
+                }
+                // Agent direction: same seqs → coalesced DoneBatch acks.
+                for batch in seqs.chunks(ack_batch) {
+                    let f = Frame::DoneBatch {
+                        results: batch
+                            .iter()
+                            .map(|&seq| TaskDoneRec {
+                                seq,
+                                exitval: 0,
+                                signal: 0,
+                                start_epoch_us: seq ^ 0x5a5a,
+                                runtime_us: seq % 7919,
+                                stdout: String::new(),
+                                stderr: String::new(),
+                            })
+                            .collect(),
+                    };
+                    wire.extend_from_slice(&f.encode());
+                }
+                // Feed the stream in chunks cut at arbitrary offsets.
+                let mut d = Decoder::new();
+                let mut shard_seqs = Vec::new();
+                let mut done_seqs = Vec::new();
+                let mut off = 0usize;
+                let mut cut_it = cuts.iter().cycle();
+                while off < wire.len() {
+                    let end = (off + cut_it.next().unwrap()).min(wire.len());
+                    d.extend(&wire[off..end]);
+                    while let Some(f) = d.next_frame().unwrap() {
+                        match f {
+                            Frame::Shard { tasks } => {
+                                for t in tasks {
+                                    prop_assert_eq!(t.args.len(), 1);
+                                    prop_assert_eq!(&t.args[0], &t.seq.to_string());
+                                    shard_seqs.push(t.seq);
+                                }
+                            }
+                            Frame::DoneBatch { results } => {
+                                for r in results {
+                                    prop_assert_eq!(r.start_epoch_us, r.seq ^ 0x5a5a);
+                                    done_seqs.push(r.seq);
+                                }
+                            }
+                            other => prop_assert!(false, "unexpected frame {:?}", other),
+                        }
+                    }
+                    off = end;
+                }
+                // No seq lost, duplicated, or reordered — either way.
+                prop_assert_eq!(&shard_seqs, &seqs);
+                prop_assert_eq!(&done_seqs, &seqs);
                 prop_assert_eq!(d.pending_bytes(), 0);
             }
 

@@ -11,11 +11,20 @@
 //!
 //! Layers:
 //! - [`frame`] — the length-prefixed binary protocol (versioned
-//!   handshake, `Shard`, `TaskDone`, `Heartbeat`, `Drain`, `AgentExit`).
+//!   handshake, `Shard`, `TaskDone`/`DoneBatch`, `Heartbeat`, `Drain`,
+//!   `AgentExit`).
 //! - [`conn`] — one connection type over TCP or Unix sockets.
+//! - [`reactor`] — hand-rolled epoll event loop with a unified timer
+//!   heap (heartbeats, leases, and drain deadlines all fire here).
+//! - [`nbio`] — non-blocking framed connections: buffered reads into
+//!   the incremental decoder, bounded vectored-write queues, and the
+//!   `MockConn` fault-injection shim.
 //! - [`lease`] — the driver's heartbeat failure detector.
 //! - [`agent`] — the node-side loop: accept one driver, run the engine.
-//! - [`driver`] — shard, dispatch, aggregate the joblog, recover.
+//! - [`driver`] — shard, dispatch, aggregate the joblog, recover. One
+//!   reactor thread drives every agent connection.
+//! - [`reference`] — the PR 5 thread-per-connection core, kept verbatim
+//!   as the behavioral oracle for the differential test suite.
 //! - [`local`] — localhost mini-clusters of agent subprocesses.
 //! - [`remote`] — a socket-backed [`htpar_core::remote`] executor.
 
@@ -25,12 +34,57 @@ pub mod driver;
 pub mod frame;
 pub mod lease;
 pub mod local;
+pub mod nbio;
+pub mod reactor;
+pub mod reference;
 pub mod remote;
 
 use std::fmt;
 use std::io;
 
 use crate::frame::FrameError;
+
+/// Which I/O core runs a driver or agent. The reactor is the product
+/// path; the threaded core is the reference oracle the differential
+/// suite compares it against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetCore {
+    /// Single-threaded epoll reactor (default).
+    #[default]
+    Reactor,
+    /// PR 5 thread-per-connection core ([`reference`]).
+    Threaded,
+}
+
+/// Env var selecting the I/O core in spawned agents and CLI runs
+/// (`reactor` | `threaded`).
+pub const ENV_NET_CORE: &str = "HTPAR_NET_CORE";
+
+impl NetCore {
+    /// Parse a selector as used by `--net-core` and [`ENV_NET_CORE`].
+    pub fn parse(s: &str) -> Option<NetCore> {
+        match s {
+            "reactor" => Some(NetCore::Reactor),
+            "threaded" => Some(NetCore::Threaded),
+            _ => None,
+        }
+    }
+
+    /// Core selected by [`ENV_NET_CORE`], defaulting to the reactor.
+    pub fn from_env() -> NetCore {
+        match std::env::var(ENV_NET_CORE) {
+            Ok(v) => NetCore::parse(&v).unwrap_or_default(),
+            Err(_) => NetCore::Reactor,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetCore::Reactor => "reactor",
+            NetCore::Threaded => "threaded",
+        }
+    }
+}
 
 /// Errors from the driver/agent state machines.
 #[derive(Debug)]

@@ -132,8 +132,29 @@ impl SocketExecutor {
     }
 }
 
-/// Resolve `TaskDone` frames against the pending map until the
-/// connection dies, then fail whatever is still waiting.
+/// Resolve one completion record against the pending map.
+fn resolve_done(link: &Link, seq: u64, exitval: i32, signal: i32, stdout: String, stderr: String) {
+    let waiter = link.pending.lock().remove(&seq);
+    if let Some(tx) = waiter {
+        let status = if signal != 0 {
+            JobStatus::Signaled(signal)
+        } else if exitval == 0 {
+            JobStatus::Success
+        } else if exitval < 0 {
+            JobStatus::ExecError(format!("remote exec error ({stderr})"))
+        } else {
+            JobStatus::Failed(exitval)
+        };
+        let _ = tx.send(TaskOutput {
+            status,
+            stdout,
+            stderr,
+        });
+    }
+}
+
+/// Resolve `TaskDone`/`DoneBatch` frames against the pending map until
+/// the connection dies, then fail whatever is still waiting.
 fn reader_loop(mut conn: Conn, mut dec: Decoder, link: &Link) {
     loop {
         match read_next(&mut conn, &mut dec) {
@@ -144,23 +165,10 @@ fn reader_loop(mut conn: Conn, mut dec: Decoder, link: &Link) {
                 stdout,
                 stderr,
                 ..
-            })) => {
-                let waiter = link.pending.lock().remove(&seq);
-                if let Some(tx) = waiter {
-                    let status = if signal != 0 {
-                        JobStatus::Signaled(signal)
-                    } else if exitval == 0 {
-                        JobStatus::Success
-                    } else if exitval < 0 {
-                        JobStatus::ExecError(format!("remote exec error ({stderr})"))
-                    } else {
-                        JobStatus::Failed(exitval)
-                    };
-                    let _ = tx.send(TaskOutput {
-                        status,
-                        stdout,
-                        stderr,
-                    });
+            })) => resolve_done(link, seq, exitval, signal, stdout, stderr),
+            Ok(Some(Frame::DoneBatch { results })) => {
+                for r in results {
+                    resolve_done(link, r.seq, r.exitval, r.signal, r.stdout, r.stderr);
                 }
             }
             Ok(Some(Frame::Heartbeat { .. })) => {}

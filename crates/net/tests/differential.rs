@@ -1,0 +1,147 @@
+//! Differential harness: the reactor net core must be behaviorally
+//! identical to the threaded reference core. The same seeded workload
+//! runs through both paths end to end (real agent sessions, real
+//! sockets, real joblogs); after normalizing the two volatile timing
+//! columns, the sorted joblogs must match byte for byte.
+//!
+//! Placement is deterministic (NR-modulo over the agent list), so in a
+//! fault-free run every column except `start`/`runtime` is a pure
+//! function of the inputs: seq, host, send/receive byte counts,
+//! exitval, signal, and the rendered command.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use htpar_core::joblog::{self, LogEntry};
+use htpar_net::agent::{self, AgentConfig};
+use htpar_net::driver::{run_driver, verify_exactly_once, DriverConfig};
+use htpar_net::frame::Payload;
+use htpar_net::NetCore;
+
+const TASKS: u64 = 10_000;
+const AGENTS: usize = 4;
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// splitmix64: tiny, deterministic, and good enough to vary argument
+/// content and length across the workload without a rand dependency.
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded workload: arguments of varying length and content.
+fn seeded_inputs() -> Vec<Vec<String>> {
+    let mut state = SEED;
+    (0..TASKS)
+        .map(|_| {
+            splitmix64(&mut state);
+            let x = mix(state);
+            let reps = (x % 3) as usize + 1;
+            vec![format!("{:016x}", x).repeat(reps)]
+        })
+        .collect()
+}
+
+fn sock_spec(tag: &str) -> String {
+    let path = std::env::temp_dir().join(format!("htpar-diff-{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    format!("unix:{}", path.display())
+}
+
+fn wait_bound(spec: &str) {
+    let path = PathBuf::from(spec.strip_prefix("unix:").expect("unix spec"));
+    for _ in 0..400 {
+        if path.exists() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("agent never bound {spec}");
+}
+
+/// One canonical joblog row with the volatile wall-clock columns
+/// (`start`, `runtime`) pinned to zero. Everything else must be
+/// identical across net cores.
+fn normalize(entry: &LogEntry) -> String {
+    format!(
+        "{}\t{}\t0\t0\t{}\t{}\t{}\t{}\t{}",
+        entry.seq,
+        entry.host,
+        entry.send,
+        entry.receive,
+        entry.exitval,
+        entry.signal,
+        entry.command
+    )
+}
+
+/// Run the seeded workload through one net core (driver and agents both
+/// on that core) and return the normalized, sorted joblog.
+fn run_core(core: NetCore, tag: &str) -> Vec<String> {
+    let specs: Vec<String> = (0..AGENTS)
+        .map(|i| sock_spec(&format!("{tag}{i}")))
+        .collect();
+    let handles: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let config = AgentConfig {
+                listen: spec.clone(),
+                name: format!("a{i}"),
+                announce: false,
+                core,
+            };
+            let handle = std::thread::spawn(move || agent::serve(&config));
+            wait_bound(spec);
+            handle
+        })
+        .collect();
+
+    let log_path =
+        std::env::temp_dir().join(format!("htpar-diff-{tag}-{}.joblog", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let mut config = DriverConfig::new(specs, "task {}");
+    config.core = core;
+    config.payload = Payload::Noop;
+    config.jobs_per_agent = 4;
+    config.joblog = Some(log_path.clone());
+
+    let outcome = run_driver(&config, &seeded_inputs(), None).expect("drive succeeds");
+    assert_eq!(outcome.completed, TASKS);
+    assert_eq!(outcome.duplicates, 0);
+    for handle in handles {
+        handle
+            .join()
+            .expect("agent thread")
+            .expect("clean agent exit");
+    }
+
+    let entries = joblog::read_log(&log_path).expect("readable joblog");
+    verify_exactly_once(&entries, TASKS).expect("one row per seq");
+    let mut rows: Vec<String> = entries.iter().map(normalize).collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[test]
+fn reactor_and_threaded_cores_produce_identical_joblogs() {
+    let threaded = run_core(NetCore::Threaded, "thr");
+    let reactor = run_core(NetCore::Reactor, "rea");
+
+    assert_eq!(threaded.len() as u64, TASKS);
+    // Byte-identical after sorting: compare as one blob so a mismatch
+    // reports the first differing row, not ten thousand lines.
+    let threaded_blob = threaded.join("\n");
+    let reactor_blob = reactor.join("\n");
+    if threaded_blob != reactor_blob {
+        for (t, r) in threaded.iter().zip(reactor.iter()) {
+            assert_eq!(t, r, "first divergent joblog row");
+        }
+    }
+    assert_eq!(threaded_blob.into_bytes(), reactor_blob.into_bytes());
+}

@@ -16,6 +16,7 @@ use htpar_net::conn::{Conn, Listener};
 use htpar_net::driver::{run_driver, verify_exactly_once, DriverConfig};
 use htpar_net::frame::{Decoder, Frame, Payload, PROTOCOL_VERSION};
 use htpar_net::remote::multi_host_over_sockets;
+use htpar_net::NetCore;
 use htpar_telemetry::{Event, EventBus, Recorder};
 
 /// Unique Unix-socket spec for one test.
@@ -37,19 +38,29 @@ fn wait_bound(spec: &str) {
     panic!("agent never bound {spec}");
 }
 
-/// Spawn a real agent session on a thread.
-fn spawn_agent(
+/// Spawn a real agent session on a thread, running the given net core.
+fn spawn_agent_core(
     spec: &str,
     name: &str,
+    core: NetCore,
 ) -> std::thread::JoinHandle<htpar_net::Result<agent::AgentReport>> {
     let config = AgentConfig {
         listen: spec.to_string(),
         name: name.to_string(),
         announce: false,
+        core,
     };
     let handle = std::thread::spawn(move || agent::serve(&config));
     wait_bound(spec);
     handle
+}
+
+/// Spawn a real agent session on a thread (default reactor core).
+fn spawn_agent(
+    spec: &str,
+    name: &str,
+) -> std::thread::JoinHandle<htpar_net::Result<agent::AgentReport>> {
+    spawn_agent_core(spec, name, NetCore::Reactor)
 }
 
 /// Test-side frame reader (EOF → `None`).
@@ -74,22 +85,25 @@ fn temp_joblog(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("htpar-e2e-{tag}-{}.joblog", std::process::id()))
 }
 
-#[test]
-fn three_agents_complete_all_tasks_exactly_once() {
-    let specs: Vec<String> = (0..3).map(|i| sock_spec(&format!("happy{i}"))).collect();
+/// Happy path, parameterized over the driver and agent net cores: the
+/// reactor and threaded implementations must be interchangeable on
+/// either end of the wire.
+fn run_happy(tag: &str, driver_core: NetCore, agent_core: NetCore) {
+    let specs: Vec<String> = (0..3).map(|i| sock_spec(&format!("{tag}{i}"))).collect();
     let handles: Vec<_> = specs
         .iter()
         .enumerate()
-        .map(|(i, s)| spawn_agent(s, &format!("a{i}")))
+        .map(|(i, s)| spawn_agent_core(s, &format!("a{i}"), agent_core))
         .collect();
 
     let recorder = Recorder::shared();
     let bus = EventBus::shared();
     bus.attach(recorder.clone());
 
-    let log_path = temp_joblog("happy");
+    let log_path = temp_joblog(tag);
     let _ = std::fs::remove_file(&log_path);
     let mut config = DriverConfig::new(specs, "task {}");
+    config.core = driver_core;
     config.payload = Payload::Noop;
     config.jobs_per_agent = 4;
     config.joblog = Some(log_path.clone());
@@ -128,6 +142,25 @@ fn three_agents_complete_all_tasks_exactly_once() {
             assert!(*sent > 0 && *received > 0);
         }
     }
+}
+
+#[test]
+fn three_agents_complete_all_tasks_exactly_once() {
+    run_happy("happy", NetCore::Reactor, NetCore::Reactor);
+}
+
+#[test]
+fn threaded_core_still_drives_end_to_end() {
+    run_happy("happy-thr", NetCore::Threaded, NetCore::Threaded);
+}
+
+#[test]
+fn mixed_cores_interoperate_over_the_wire() {
+    // Same protocol, different cores on each end: a reactor driver must
+    // accept per-task `TaskDone` from threaded agents, and a threaded
+    // driver must accept coalesced `DoneBatch` from reactor agents.
+    run_happy("happy-rt", NetCore::Reactor, NetCore::Threaded);
+    run_happy("happy-tr", NetCore::Threaded, NetCore::Reactor);
 }
 
 #[test]
@@ -248,6 +281,183 @@ fn lease_expiry_recovers_from_silent_agent() {
     assert_eq!(outcome.completed, total);
     assert!(outcome.agents[1].lost, "silent agent leased out");
     assert_eq!(outcome.agents[0].done, total);
+    steady
+        .join()
+        .expect("steady thread")
+        .expect("steady drained cleanly");
+}
+
+#[test]
+fn lease_expiry_and_socket_loss_race_resolves_to_one_reshard() {
+    // Regression for the double-reshard race: an agent that goes silent
+    // past the lease window and *then* drops its socket fires both
+    // death signals close together — possibly in the same poll batch.
+    // Agent-death handling must be idempotent: exactly one `agent_lost`
+    // event, exactly one re-shard, exactly-once joblog.
+    let steady_spec = sock_spec("race-steady");
+    let flaky_spec = sock_spec("race-flaky");
+    let steady = spawn_agent(&steady_spec, "steady");
+
+    let flaky_listener = Listener::bind(&flaky_spec).expect("bind flaky");
+    let flaky = std::thread::spawn(move || {
+        let mut conn = flaky_listener.accept().expect("driver connects");
+        let mut dec = Decoder::new();
+        assert!(matches!(
+            read_frame(&mut conn, &mut dec),
+            Some(Frame::Hello { .. })
+        ));
+        let ack = Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            slots: 2,
+            agent: "flaky".to_string(),
+        };
+        conn.write_all(&ack.encode()).unwrap();
+        conn.flush().unwrap();
+        let Some(Frame::Shard { tasks }) = read_frame(&mut conn, &mut dec) else {
+            panic!("expected a shard");
+        };
+        // Complete a few tasks (touching the lease), then wedge until
+        // just past the lease window and hang up: the driver sees the
+        // expiry and the hangup back to back, whichever lands first.
+        for task in tasks.iter().take(3) {
+            let done = Frame::TaskDone {
+                seq: task.seq,
+                exitval: 0,
+                signal: 0,
+                start_epoch_us: 0,
+                runtime_us: 1_000,
+                stdout: String::new(),
+                stderr: String::new(),
+            };
+            conn.write_all(&done.encode()).unwrap();
+        }
+        conn.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(350));
+        conn.shutdown();
+    });
+
+    let recorder = Recorder::shared();
+    let bus = EventBus::shared();
+    bus.attach(recorder.clone());
+
+    let log_path = temp_joblog("race");
+    let _ = std::fs::remove_file(&log_path);
+    let mut config = DriverConfig::new(vec![steady_spec, flaky_spec], "task {}");
+    config.payload = Payload::Noop;
+    config.jobs_per_agent = 4;
+    config.heartbeat_ms = 50;
+    config.lease_window_ms = 300;
+    config.joblog = Some(log_path.clone());
+    config.bus = Some(bus);
+
+    let total = 100u64;
+    let outcome = run_driver(&config, &inputs(total), None).expect("drive survives the race");
+    assert_eq!(outcome.completed, total);
+    assert_eq!(outcome.duplicates, 0);
+    assert!(outcome.agents[1].lost);
+    assert!(!outcome.agents[0].lost);
+
+    let entries = joblog::read_log(&log_path).expect("readable joblog");
+    verify_exactly_once(&entries, total).expect("one row per seq despite both signals");
+
+    let events = recorder.events();
+    let lost = events.iter().filter(|e| e.kind() == "agent_lost").count();
+    assert_eq!(lost, 1, "both death signals collapsed into one re-shard");
+
+    flaky.join().expect("flaky thread");
+    steady
+        .join()
+        .expect("steady thread")
+        .expect("steady drained cleanly");
+}
+
+#[test]
+fn never_reading_agent_stalls_bounded_write_queue() {
+    // Backpressure: a peer that handshakes and then never reads again
+    // must not make the driver buffer its whole shard in userspace. The
+    // write queue stays under `write_queue_cap` plus one frame; the
+    // overflow lives in the backlog until the lease reclaims the tasks.
+    let steady_spec = sock_spec("bp-steady");
+    let stalled_spec = sock_spec("bp-stalled");
+    let steady = spawn_agent(&steady_spec, "steady");
+
+    let stalled_listener = Listener::bind(&stalled_spec).expect("bind stalled");
+    std::thread::spawn(move || {
+        let mut conn = stalled_listener.accept().expect("driver connects");
+        let mut dec = Decoder::new();
+        assert!(matches!(
+            read_frame(&mut conn, &mut dec),
+            Some(Frame::Hello { .. })
+        ));
+        let ack = Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            slots: 4,
+            agent: "stalled".to_string(),
+        };
+        conn.write_all(&ack.encode()).unwrap();
+        conn.flush().unwrap();
+        // Never read: the kernel socket buffer fills and the driver's
+        // writes hit EAGAIN until the lease declares this agent dead.
+        std::thread::sleep(Duration::from_secs(30));
+    });
+
+    let recorder = Recorder::shared();
+    let bus = EventBus::shared();
+    bus.attach(recorder.clone());
+
+    let log_path = temp_joblog("bp");
+    let _ = std::fs::remove_file(&log_path);
+    let mut config = DriverConfig::new(vec![steady_spec, stalled_spec], "task {}");
+    config.payload = Payload::Noop;
+    config.jobs_per_agent = 4;
+    config.heartbeat_ms = 50;
+    config.lease_window_ms = 400;
+    config.write_queue_cap = 32 * 1024;
+    config.joblog = Some(log_path.clone());
+    config.bus = Some(bus);
+
+    // Half of these land on the stalled agent: far more frame bytes
+    // than its kernel socket buffer plus the cap can hold.
+    let total = 40_000u64;
+    let outcome = run_driver(&config, &inputs(total), None).expect("drive survives the stall");
+    assert_eq!(outcome.completed, total);
+    assert_eq!(outcome.duplicates, 0);
+    assert!(outcome.agents[1].lost, "stalled agent leased out");
+    assert_eq!(outcome.agents[0].done, total);
+
+    // The bound: cap plus one in-flight shard frame (a frame is queued
+    // whole even when the cap is already reached, to guarantee
+    // progress). 2048 tiny tasks encode well under 100 KiB.
+    let peak = outcome.agents[1].peak_queue_bytes;
+    assert!(peak > 0, "backpressure path actually queued frames");
+    assert!(
+        peak <= (config.write_queue_cap + 100 * 1024) as u64,
+        "peak write queue {peak} exceeds cap {} + one frame",
+        config.write_queue_cap
+    );
+
+    let entries = joblog::read_log(&log_path).expect("readable joblog");
+    verify_exactly_once(&entries, total).expect("one row per seq despite the stall");
+
+    // Telemetry cross-check: the stalled agent's connection shows bytes
+    // pushed into the socket but nothing ever read back.
+    let events = recorder.events();
+    let stalled_bytes: Vec<(u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::FrameBytes {
+                agent: 1,
+                sent,
+                received,
+            } => Some((*sent, *received)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(stalled_bytes.len(), 1);
+    let (sent, received) = stalled_bytes[0];
+    assert!(sent > 0, "some frames reached the kernel buffer");
+    assert_eq!(received, 0, "a never-reading peer also never wrote");
+
     steady
         .join()
         .expect("steady thread")
