@@ -1,0 +1,287 @@
+//! Open-loop session load generator for `htpar serve`.
+//!
+//! Launches sessions against a running pilot on a fixed arrival
+//! schedule — Poisson, uniform, or bursty — *without* waiting for
+//! earlier sessions to finish (open-loop: arrival rate is set by the
+//! clock, not by service completions, so a slow pilot accumulates
+//! backlog instead of silently throttling the offered load; this is
+//! the difference between measuring capacity and measuring luck).
+//! Each session submits its tasks, drains its completions, and reports
+//! time-to-first-task and makespan; the run ends with a percentile
+//! summary over all sessions.
+//!
+//! Target a pilot started separately, e.g.:
+//!
+//! ```text
+//! htpar serve --local-cluster 4 -j 4 --max-sessions 200 &
+//! pilot_load --connect 127.0.0.1:PORT --sessions 200 --rate 40 --arrivals burst
+//! ```
+//!
+//! Flags:
+//!   --connect SPEC     pilot address (required; `host:port` or `unix:/path`)
+//!   --sessions N       total sessions to launch (default 100)
+//!   --rate R           mean session arrivals per second (default 20)
+//!   --arrivals KIND    poisson | uniform | burst (default poisson)
+//!   --burst K          sessions per burst in burst mode (default 8)
+//!   --tasks N          tasks per session (default 200)
+//!   --sleep-us N       per-task in-process sleep payload (default no-op)
+//!   --tenants N        spread sessions over N tenant names (default 4)
+//!   --seed N           arrival-stream RNG seed (default 42)
+//!   --jsonl PATH       write one record per session + a summary
+
+use std::io::Write;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use htpar_net::client::{ClientEvent, SessionClient, SessionConfig};
+use htpar_net::frame::Payload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Arrivals {
+    Poisson,
+    Uniform,
+    Burst,
+}
+
+/// One finished session's numbers, or why it failed.
+struct SessionOutcome {
+    session: usize,
+    tenant: String,
+    /// How late the launch fired vs the ideal schedule (scheduler lag).
+    lag: Duration,
+    result: Result<(Duration, Duration), String>, // (ttft, makespan)
+}
+
+fn run_session(
+    spec: &str,
+    tenant: &str,
+    payload: Payload,
+    tasks: u64,
+) -> Result<(Duration, Duration), String> {
+    let mut config = SessionConfig::new(spec, tenant);
+    config.payload = payload;
+    let mut client = SessionClient::connect(config).map_err(|e| format!("connect: {e}"))?;
+    let inputs: Vec<Vec<String>> = (1..=tasks).map(|i| vec![i.to_string()]).collect();
+    let started = Instant::now();
+    let verdict = client.submit(&inputs).map_err(|e| format!("submit: {e}"))?;
+    if !verdict.accepted {
+        return Err(format!("admission refused: {}", verdict.reason));
+    }
+    let mut ttft = None;
+    while client.completed() < tasks {
+        match client.recv().map_err(|e| format!("recv: {e}"))? {
+            ClientEvent::Done(_) => {
+                ttft.get_or_insert_with(|| started.elapsed());
+            }
+            other => return Err(format!("unexpected event {other:?}")),
+        }
+    }
+    let completed = client.finish().map_err(|e| format!("finish: {e}"))?;
+    if completed != tasks {
+        return Err(format!("completed {completed}/{tasks}"));
+    }
+    Ok((ttft.expect("tasks > 0"), started.elapsed()))
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(spec) = flag_value(&args, "--connect") else {
+        eprintln!("pilot_load: --connect <spec> is required (start `htpar serve` first)");
+        std::process::exit(2);
+    };
+    let sessions: usize = flag_value(&args, "--sessions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+        .max(1);
+    let rate: f64 = flag_value(&args, "--rate")
+        .and_then(|v| v.parse().ok())
+        .filter(|r: &f64| *r > 0.0)
+        .unwrap_or(20.0);
+    let arrivals = match flag_value(&args, "--arrivals").as_deref() {
+        None | Some("poisson") => Arrivals::Poisson,
+        Some("uniform") => Arrivals::Uniform,
+        Some("burst") => Arrivals::Burst,
+        Some(other) => {
+            eprintln!("pilot_load: unknown --arrivals {other} (poisson|uniform|burst)");
+            std::process::exit(2);
+        }
+    };
+    let burst: usize = flag_value(&args, "--burst")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .max(1);
+    let tasks: u64 = flag_value(&args, "--tasks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+        .max(1);
+    let payload = match flag_value(&args, "--sleep-us").and_then(|v| v.parse::<u64>().ok()) {
+        Some(us) if us > 0 => Payload::SleepUs(us),
+        _ => Payload::Noop,
+    };
+    let tenants: usize = flag_value(&args, "--tenants")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let jsonl = flag_value(&args, "--jsonl");
+
+    // Precompute the arrival schedule so the launch loop does no RNG
+    // work on the critical path. Offsets are from t0, cumulative.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut offsets = Vec::with_capacity(sessions);
+    let mut t = 0.0f64;
+    for i in 0..sessions {
+        match arrivals {
+            Arrivals::Poisson => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / rate;
+            }
+            Arrivals::Uniform => t += 1.0 / rate,
+            // Bursts of `burst` sessions land together; the gap between
+            // bursts keeps the long-run mean rate at `rate`.
+            Arrivals::Burst => {
+                if i > 0 && i % burst == 0 {
+                    t += burst as f64 / rate;
+                }
+            }
+        }
+        offsets.push(Duration::from_secs_f64(t));
+    }
+
+    let mode = match arrivals {
+        Arrivals::Poisson => "poisson".to_string(),
+        Arrivals::Uniform => "uniform".to_string(),
+        Arrivals::Burst => format!("burst x{burst}"),
+    };
+    println!(
+        "pilot_load: {sessions} sessions ({mode} arrivals at {rate}/s mean), {tasks} tasks each, \
+         {tenants} tenant(s) -> {spec}"
+    );
+
+    // Open-loop launcher: fire each session at its scheduled offset,
+    // never waiting for earlier ones.
+    let (tx, rx) = mpsc::channel::<SessionOutcome>();
+    let t0 = Instant::now();
+    let mut launched = Vec::with_capacity(sessions);
+    for (i, &offset) in offsets.iter().enumerate() {
+        if let Some(wait) = offset.checked_sub(t0.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let lag = t0.elapsed().saturating_sub(offset);
+        let spec = spec.clone();
+        let tenant = format!("load-{}", i % tenants);
+        let tx = tx.clone();
+        launched.push(std::thread::spawn(move || {
+            let result = run_session(&spec, &tenant, payload, tasks);
+            let _ = tx.send(SessionOutcome {
+                session: i,
+                tenant,
+                lag,
+                result,
+            });
+        }));
+    }
+    drop(tx);
+
+    let mut records = Vec::new();
+    let mut ttfts = Vec::new();
+    let mut makespans = Vec::new();
+    let mut failed = 0usize;
+    for outcome in rx {
+        match &outcome.result {
+            Ok((ttft, makespan)) => {
+                ttfts.push(*ttft);
+                makespans.push(*makespan);
+                records.push(format!(
+                    "{{\"bench\":\"pilot_load\",\"session\":{},\"tenant\":\"{}\",\
+                     \"lag_ms\":{:.2},\"ttft_ms\":{:.2},\"makespan_ms\":{:.2}}}",
+                    outcome.session,
+                    outcome.tenant,
+                    outcome.lag.as_secs_f64() * 1e3,
+                    ttft.as_secs_f64() * 1e3,
+                    makespan.as_secs_f64() * 1e3
+                ));
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("pilot_load: session {} failed: {e}", outcome.session);
+                records.push(format!(
+                    "{{\"bench\":\"pilot_load\",\"session\":{},\"tenant\":\"{}\",\
+                     \"error\":\"{}\"}}",
+                    outcome.session,
+                    outcome.tenant,
+                    e.replace('"', "'")
+                ));
+            }
+        }
+    }
+    for handle in launched {
+        let _ = handle.join();
+    }
+    let wall = t0.elapsed();
+
+    let done = ttfts.len();
+    ttfts.sort_unstable();
+    makespans.sort_unstable();
+    println!(
+        "pilot_load: {done}/{sessions} sessions completed ({failed} failed) in {:.2}s \
+         ({:.1} sessions/s offered, {:.1} completed/s)",
+        wall.as_secs_f64(),
+        sessions as f64 / offsets.last().map_or(1e-9, |o| o.as_secs_f64().max(1e-9)),
+        done as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    if done > 0 {
+        println!(
+            "  ttft:     p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+            percentile(&ttfts, 0.50).as_secs_f64() * 1e3,
+            percentile(&ttfts, 0.90).as_secs_f64() * 1e3,
+            percentile(&ttfts, 0.99).as_secs_f64() * 1e3,
+            ttfts.last().unwrap().as_secs_f64() * 1e3
+        );
+        println!(
+            "  makespan: p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+            percentile(&makespans, 0.50).as_secs_f64() * 1e3,
+            percentile(&makespans, 0.90).as_secs_f64() * 1e3,
+            percentile(&makespans, 0.99).as_secs_f64() * 1e3,
+            makespans.last().unwrap().as_secs_f64() * 1e3
+        );
+    }
+
+    if let Some(path) = jsonl {
+        let mut file = std::fs::File::create(&path).expect("open jsonl output");
+        for record in &records {
+            writeln!(file, "{record}").expect("write jsonl");
+        }
+        if done > 0 {
+            writeln!(
+                file,
+                "{{\"bench\":\"pilot_load\",\"summary\":true,\"sessions\":{sessions},\
+                 \"completed\":{done},\"failed\":{failed},\"wall_secs\":{:.4},\
+                 \"p99_ttft_ms\":{:.2},\"p99_makespan_ms\":{:.2}}}",
+                wall.as_secs_f64(),
+                percentile(&ttfts, 0.99).as_secs_f64() * 1e3,
+                percentile(&makespans, 0.99).as_secs_f64() * 1e3
+            )
+            .expect("write summary");
+        }
+        println!("  wrote {} records to {path}", records.len() + 1);
+    }
+
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

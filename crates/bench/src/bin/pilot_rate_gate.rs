@@ -1,0 +1,162 @@
+//! Pilot-service rate gate.
+//!
+//! Runs the canonical `htpar serve` workload — 8 concurrent client
+//! threads, 3 session waves each (24 sessions of 500 no-op tasks)
+//! through a persistent 4-agent × `-j 4` fleet, then a 3-tenant 1:2:4
+//! fair-share phase — and fails when any committed floor is missed:
+//! sustained sessions/s, p99 time-to-first-task, or fair-share error
+//! (crates/bench/src/pilotgate.rs). This binary re-executes itself as
+//! the agents. CI runs it in release mode; the same check runs under
+//! `cargo test` via crates/bench/tests/pilot_rate_gate.rs.
+//!
+//! Flags:
+//!   --trials N            attempts; the best trial is gated (default 3)
+//!   --min-sessions-sec X  override the compiled-in throughput floor
+//!   --max-p99-ttft-ms X   override the compiled-in latency ceiling
+//!   --jsonl PATH          write per-trial records + summary as JSONL
+//!   --report-only         print measurements without enforcing the gate
+//!
+//! To verify the gate trips, set `HTPAR_PILOT_GATE_HANDICAP_US` to an
+//! artificial per-task cost in microseconds and watch the TTFT ceiling
+//! blow.
+
+use std::io::Write;
+use std::time::Duration;
+
+use htpar_bench::pilotgate;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    // Children spawned by the gate's mini-cluster become agents here.
+    htpar_net::local::maybe_become_agent();
+
+    let args: Vec<String> = std::env::args().collect();
+    let trials: usize = flag_value(&args, "--trials")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let min_sessions_sec: f64 = flag_value(&args, "--min-sessions-sec")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(pilotgate::min_sessions_per_sec);
+    let max_p99_ttft = flag_value(&args, "--max-p99-ttft-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or_else(pilotgate::max_p99_ttft);
+    let jsonl = flag_value(&args, "--jsonl");
+    let report_only = args.iter().any(|a| a == "--report-only");
+
+    println!(
+        "pilot-rate gate: {} sessions ({} clients x {} waves x {} tasks) over {} agents x -j {}, \
+         then {}-tenant fair-share at weights {:?}",
+        pilotgate::PILOT_GATE_CONCURRENCY * pilotgate::PILOT_GATE_WAVES,
+        pilotgate::PILOT_GATE_CONCURRENCY,
+        pilotgate::PILOT_GATE_WAVES,
+        pilotgate::PILOT_GATE_TASKS_PER_SESSION,
+        pilotgate::PILOT_GATE_AGENTS,
+        pilotgate::PILOT_GATE_JOBS,
+        pilotgate::FAIR_WEIGHTS.len(),
+        pilotgate::FAIR_WEIGHTS,
+    );
+    if let Some(cost) = pilotgate::handicap() {
+        println!(
+            "  handicap:     {} us/task (simulated slowdown)",
+            cost.as_micros()
+        );
+    }
+
+    let mut lines = vec![format!(
+        "{{\"bench\":\"pilot_rate_gate\",\"note\":\"persistent pilot service under concurrent \
+         multi-session load; floors on sustained sessions/s and p99 submit-to-first-completion, \
+         plus max relative fair-share error on a 3-tenant 1:2:4 shape; gate passes when the best \
+         trial clears all three\",\"min_sessions_per_sec\":{min_sessions_sec},\
+         \"max_p99_ttft_ms\":{},\"max_fairness_err\":{}}}",
+        max_p99_ttft.as_millis(),
+        pilotgate::FAIR_SHARE_TOLERANCE
+    )];
+    let mut best: Option<pilotgate::PilotGateMeasurement> = None;
+    for trial in 1..=trials {
+        let m = match pilotgate::measure_self() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("pilot-rate gate: trial {trial}: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "  trial {trial}: {:.1} sessions/s, p99 TTFT {:.2} ms, fair-share err {:.1}%",
+            m.sessions_per_sec,
+            m.p99_ttft.as_secs_f64() * 1e3,
+            m.fairness_err * 100.0
+        );
+        lines.push(m.to_jsonl(trial));
+        // "Best" = fewest floor misses, then highest throughput: a trial
+        // that clears every floor always beats one that doesn't.
+        let misses = |m: &pilotgate::PilotGateMeasurement| {
+            (m.sessions_per_sec < min_sessions_sec) as u32
+                + (m.p99_ttft > max_p99_ttft) as u32
+                + (m.fairness_err > pilotgate::FAIR_SHARE_TOLERANCE) as u32
+        };
+        if best.is_none_or(|b| {
+            misses(&m) < misses(&b)
+                || (misses(&m) == misses(&b) && m.sessions_per_sec > b.sessions_per_sec)
+        }) {
+            best = Some(m);
+        }
+    }
+    let best = best.expect("at least one trial");
+    let pass = best.sessions_per_sec >= min_sessions_sec
+        && best.p99_ttft <= max_p99_ttft
+        && best.fairness_err <= pilotgate::FAIR_SHARE_TOLERANCE;
+    println!(
+        "  best: {:.1} sessions/s (floor {min_sessions_sec:.1}), p99 TTFT {:.2} ms (ceiling {} ms), \
+         fair-share err {:.1}% (ceiling {:.0}%)",
+        best.sessions_per_sec,
+        best.p99_ttft.as_secs_f64() * 1e3,
+        max_p99_ttft.as_millis(),
+        best.fairness_err * 100.0,
+        pilotgate::FAIR_SHARE_TOLERANCE * 100.0
+    );
+    lines.push(format!(
+        "{{\"bench\":\"pilot_rate_gate\",\"summary\":\"best {:.1} sessions/s, p99 TTFT {:.2} ms, \
+         fair-share err {:.3}\",\"best_sessions_per_sec\":{:.1},\"best_p99_ttft_ms\":{:.2},\
+         \"best_fairness_err\":{:.4},\"pass\":{}}}",
+        best.sessions_per_sec,
+        best.p99_ttft.as_secs_f64() * 1e3,
+        best.fairness_err,
+        best.sessions_per_sec,
+        best.p99_ttft.as_secs_f64() * 1e3,
+        best.fairness_err,
+        pass
+    ));
+
+    if let Some(path) = jsonl {
+        let mut file = std::fs::File::create(&path).expect("open jsonl output");
+        for line in &lines {
+            writeln!(file, "{line}").expect("write jsonl");
+        }
+        println!("  wrote {} records to {path}", lines.len());
+    }
+
+    if report_only {
+        return;
+    }
+    if !pass {
+        eprintln!(
+            "pilot-rate gate: FAIL — {:.1} sessions/s (floor {min_sessions_sec:.1}), p99 TTFT \
+             {:.2} ms (ceiling {} ms), fair-share err {:.3} (ceiling {})",
+            best.sessions_per_sec,
+            best.p99_ttft.as_secs_f64() * 1e3,
+            max_p99_ttft.as_millis(),
+            best.fairness_err,
+            pilotgate::FAIR_SHARE_TOLERANCE
+        );
+        std::process::exit(1);
+    }
+    println!("pilot-rate gate: PASS");
+}

@@ -23,6 +23,7 @@ use std::fmt::Display;
 
 pub mod gate;
 pub mod netgate;
+pub mod pilotgate;
 pub mod simgate;
 
 /// Print a fixed-width table row from cells.

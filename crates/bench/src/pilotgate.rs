@@ -1,0 +1,417 @@
+//! The pilot-service rate gate: sustained multi-session throughput,
+//! p99 time-to-first-task, and weighted fair-share accuracy, each with
+//! a checked-in floor.
+//!
+//! `htpar serve` (DESIGN.md §13) multiplexes many client sessions onto
+//! one persistent agent fleet. This gate keeps three promises honest:
+//!
+//! 1. **Session throughput** — waves of concurrent sessions through a
+//!    real `--local-cluster 4` fleet must sustain a committed
+//!    sessions-per-second floor (the pilot exists to amortize fleet
+//!    startup; if opening a session is slow, it amortizes nothing).
+//! 2. **Time-to-first-task** — p99 latency from `Submit` to the first
+//!    completion delivered back must stay under a committed ceiling
+//!    (admission plus scheduling plus dispatch plus one task).
+//! 3. **Fair share** — on a 3-tenant 1:2:4 shape with saturated
+//!    backlogs, each tenant's share of dispatched tasks must land
+//!    within [`FAIR_SHARE_TOLERANCE`] of its weight share.
+//!
+//! `HTPAR_PILOT_GATE_HANDICAP_US` injects an artificial per-task cost
+//! into the throughput workload — the drill proving the gate trips.
+
+use std::process::Command;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use htpar_net::client::{ClientEvent, SessionClient, SessionConfig};
+use htpar_net::frame::Payload;
+use htpar_net::local::LocalCluster;
+use htpar_net::serve::{PilotServer, ServeConfig};
+use htpar_telemetry::{Event, EventBus, Recorder};
+
+/// Agent subprocesses in the gate fleet (the ISSUE's canonical shape).
+pub const PILOT_GATE_AGENTS: usize = 4;
+/// Engine slots per agent.
+pub const PILOT_GATE_JOBS: u32 = 4;
+/// Concurrent client sessions per wave.
+pub const PILOT_GATE_CONCURRENCY: usize = 8;
+/// Sequential sessions per client thread (total = 8 × 3 = 24).
+pub const PILOT_GATE_WAVES: usize = 3;
+/// Tasks submitted by each throughput-phase session.
+pub const PILOT_GATE_TASKS_PER_SESSION: u64 = 500;
+/// Tasks per tenant in the fairness phase.
+pub const PILOT_GATE_FAIR_TASKS: u64 = 3_000;
+/// Per-task sleep in the fairness phase: slow enough that all three
+/// backlogs stay saturated for the whole measurement window, fast
+/// enough that the phase finishes in well under a second.
+pub const PILOT_GATE_FAIR_TASK_US: u64 = 400;
+/// Fairness-phase tenant weights (the ISSUE's 1:2:4 shape).
+pub const FAIR_WEIGHTS: [u32; 3] = [1, 2, 4];
+/// Max relative deviation of a tenant's dispatched share from its
+/// weight share.
+pub const FAIR_SHARE_TOLERANCE: f64 = 0.10;
+
+/// Committed floor on sustained session throughput (sessions/s over
+/// the whole multi-wave run) in release builds. Measured ~70-90
+/// sessions/s on the 1-core CI box; the floor leaves ~4x headroom.
+pub const MIN_SESSIONS_PER_SEC_RELEASE: f64 = 16.0;
+/// Debug floor: unoptimized framing/decode roughly halves the rate.
+pub const MIN_SESSIONS_PER_SEC_DEBUG: f64 = 6.0;
+/// Committed ceiling on p99 Submit-to-first-completion latency in
+/// release builds. Measured p99 ~15-40ms under 8-way contention.
+pub const MAX_P99_TTFT_RELEASE: Duration = Duration::from_millis(250);
+/// Debug ceiling.
+pub const MAX_P99_TTFT_DEBUG: Duration = Duration::from_millis(800);
+
+/// The floor matching how this code was compiled.
+pub fn min_sessions_per_sec() -> f64 {
+    if cfg!(debug_assertions) {
+        MIN_SESSIONS_PER_SEC_DEBUG
+    } else {
+        MIN_SESSIONS_PER_SEC_RELEASE
+    }
+}
+
+/// The ceiling matching how this code was compiled.
+pub fn max_p99_ttft() -> Duration {
+    if cfg!(debug_assertions) {
+        MAX_P99_TTFT_DEBUG
+    } else {
+        MAX_P99_TTFT_RELEASE
+    }
+}
+
+/// Artificial per-task cost (`HTPAR_PILOT_GATE_HANDICAP_US`) for the
+/// inverted drill: inflating every task must blow the TTFT ceiling.
+pub fn handicap() -> Option<Duration> {
+    std::env::var("HTPAR_PILOT_GATE_HANDICAP_US")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|us| *us > 0)
+        .map(Duration::from_micros)
+}
+
+/// Throughput-phase payload: no-ops unless the drill is active.
+pub fn gate_payload() -> Payload {
+    match handicap() {
+        Some(cost) => Payload::SleepUs(cost.as_micros() as u64),
+        None => Payload::Noop,
+    }
+}
+
+/// One gate run's numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct PilotGateMeasurement {
+    pub sessions: usize,
+    pub concurrency: usize,
+    pub tasks_per_session: u64,
+    /// Wall time of the whole throughput phase.
+    pub wall: Duration,
+    /// Sessions completed per second, sustained across all waves.
+    pub sessions_per_sec: f64,
+    /// p99 of Submit-to-first-completion latency across all sessions.
+    pub p99_ttft: Duration,
+    /// Max relative deviation of dispatched share from weight share
+    /// across the fairness phase's three tenants.
+    pub fairness_err: f64,
+}
+
+impl PilotGateMeasurement {
+    /// All three floors at the compiled-in thresholds.
+    pub fn pass(&self) -> bool {
+        self.sessions_per_sec >= min_sessions_per_sec()
+            && self.p99_ttft <= max_p99_ttft()
+            && self.fairness_err <= FAIR_SHARE_TOLERANCE
+    }
+
+    /// One JSONL record, shaped like the other `BENCH_*.json` artifacts.
+    pub fn to_jsonl(&self, trial: usize) -> String {
+        format!(
+            "{{\"bench\":\"pilot_rate_gate\",\"trial\":{},\"sessions\":{},\"concurrency\":{},\
+             \"tasks_per_session\":{},\"wall_secs\":{:.6},\"sessions_per_sec\":{:.1},\
+             \"p99_ttft_ms\":{:.2},\"fairness_err\":{:.4}}}",
+            trial,
+            self.sessions,
+            self.concurrency,
+            self.tasks_per_session,
+            self.wall.as_secs_f64(),
+            self.sessions_per_sec,
+            self.p99_ttft.as_secs_f64() * 1e3,
+            self.fairness_err,
+        )
+    }
+}
+
+/// Run one complete session and return its time-to-first-task.
+fn run_session(spec: &str, tenant: &str, payload: Payload, tasks: u64) -> Result<Duration, String> {
+    let mut config = SessionConfig::new(spec, tenant);
+    config.payload = payload;
+    let mut client = SessionClient::connect(config).map_err(|e| format!("connect: {e}"))?;
+    let inputs: Vec<Vec<String>> = (1..=tasks).map(|i| vec![i.to_string()]).collect();
+    let submitted = Instant::now();
+    let verdict = client.submit(&inputs).map_err(|e| format!("submit: {e}"))?;
+    if !verdict.accepted {
+        return Err(format!("admission refused: {}", verdict.reason));
+    }
+    let mut ttft = None;
+    while client.completed() < tasks {
+        match client.recv().map_err(|e| format!("recv: {e}"))? {
+            ClientEvent::Done(_) => {
+                ttft.get_or_insert_with(|| submitted.elapsed());
+            }
+            other => return Err(format!("unexpected event {other:?}")),
+        }
+    }
+    let completed = client.finish().map_err(|e| format!("finish: {e}"))?;
+    if completed != tasks {
+        return Err(format!("completed {completed}/{tasks}"));
+    }
+    ttft.ok_or_else(|| "no completions observed".to_string())
+}
+
+/// Throughput phase: `PILOT_GATE_CONCURRENCY` client threads, each
+/// running `PILOT_GATE_WAVES` sessions back-to-back against one
+/// persistent pilot. Returns (wall, per-session TTFTs).
+fn measure_throughput(
+    specs: Vec<String>,
+    payload: Payload,
+) -> Result<(Duration, Vec<Duration>), String> {
+    let total_sessions = (PILOT_GATE_CONCURRENCY * PILOT_GATE_WAVES) as u64;
+    let mut config = ServeConfig::new(specs, "127.0.0.1:0");
+    config.jobs_per_agent = PILOT_GATE_JOBS;
+    config.max_sessions = Some(total_sessions);
+    let server = PilotServer::bind(config).map_err(|e| format!("pilot bind: {e}"))?;
+    let spec = server
+        .local_spec()
+        .map_err(|e| format!("pilot spec: {e}"))?;
+    let serve = std::thread::spawn(move || server.run(None));
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..PILOT_GATE_CONCURRENCY)
+        .map(|w| {
+            let spec = spec.clone();
+            std::thread::spawn(move || -> Result<Vec<Duration>, String> {
+                let mut ttfts = Vec::with_capacity(PILOT_GATE_WAVES);
+                for wave in 0..PILOT_GATE_WAVES {
+                    ttfts.push(run_session(
+                        &spec,
+                        &format!("client-{w}-{wave}"),
+                        payload,
+                        PILOT_GATE_TASKS_PER_SESSION,
+                    )?);
+                }
+                Ok(ttfts)
+            })
+        })
+        .collect();
+    let mut ttfts = Vec::with_capacity(total_sessions as usize);
+    for worker in workers {
+        ttfts.extend(worker.join().map_err(|_| "worker panicked".to_string())??);
+    }
+    let wall = started.elapsed();
+
+    let outcome = serve
+        .join()
+        .map_err(|_| "serve thread panicked".to_string())?
+        .map_err(|e| format!("serve: {e}"))?;
+    if outcome.completed != total_sessions * PILOT_GATE_TASKS_PER_SESSION {
+        return Err(format!(
+            "pilot completed {} of {} tasks",
+            outcome.completed,
+            total_sessions * PILOT_GATE_TASKS_PER_SESSION
+        ));
+    }
+    Ok((wall, ttfts))
+}
+
+/// Fairness phase: three tenants with weights 1:2:4 submit identical
+/// saturating backlogs; the dispatched-task share of each tenant over
+/// the contended window (everyone backlogged) must track its weight
+/// share. Returns the max relative deviation.
+fn measure_fairness(specs: Vec<String>) -> Result<f64, String> {
+    let recorder = Recorder::shared();
+    let bus = Arc::new(EventBus::new());
+    bus.attach(recorder.clone());
+
+    let mut config = ServeConfig::new(specs, "127.0.0.1:0");
+    config.jobs_per_agent = PILOT_GATE_JOBS;
+    config.max_sessions = Some(FAIR_WEIGHTS.len() as u64);
+    config.bus = Some(bus);
+    let server = PilotServer::bind(config).map_err(|e| format!("pilot bind: {e}"))?;
+    let spec = server
+        .local_spec()
+        .map_err(|e| format!("pilot spec: {e}"))?;
+    let serve = std::thread::spawn(move || server.run(None));
+
+    // All three Submits race within a barrier-width of each other so
+    // no tenant gets a meaningful head start on the backlog window.
+    let barrier = Arc::new(Barrier::new(FAIR_WEIGHTS.len()));
+    let clients: Vec<_> = FAIR_WEIGHTS
+        .iter()
+        .enumerate()
+        .map(|(i, &weight)| {
+            let spec = spec.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut config = SessionConfig::new(spec, format!("fair-{weight}x"));
+                config.weight = weight;
+                config.payload = Payload::SleepUs(PILOT_GATE_FAIR_TASK_US);
+                let mut client =
+                    SessionClient::connect(config).map_err(|e| format!("connect: {e}"))?;
+                let inputs: Vec<Vec<String>> = (1..=PILOT_GATE_FAIR_TASKS)
+                    .map(|i| vec![format!("{i}-{i}")])
+                    .collect();
+                barrier.wait();
+                let verdict = client.submit(&inputs).map_err(|e| format!("submit: {e}"))?;
+                if !verdict.accepted {
+                    return Err(format!("tenant {i} refused: {}", verdict.reason));
+                }
+                while client.completed() < PILOT_GATE_FAIR_TASKS {
+                    client.recv().map_err(|e| format!("recv: {e}"))?;
+                }
+                client.finish().map_err(|e| format!("finish: {e}"))?;
+                Ok(())
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().map_err(|_| "client panicked".to_string())??;
+    }
+    serve
+        .join()
+        .map_err(|_| "serve thread panicked".to_string())?
+        .map_err(|e| format!("serve: {e}"))?;
+
+    // Walk dispatch events chronologically; the contended window ends
+    // when the first tenant's backlog is exhausted (after that, the
+    // survivors split the fleet among themselves and shares shift by
+    // design).
+    let mut granted = vec![0u64; FAIR_WEIGHTS.len()];
+    for event in recorder.events() {
+        if let Event::TenantShardSent { tenant, tasks, .. } = event {
+            let Some(idx) = FAIR_WEIGHTS
+                .iter()
+                .position(|w| tenant == format!("fair-{w}x"))
+            else {
+                continue;
+            };
+            granted[idx] += tasks;
+            if granted[idx] >= PILOT_GATE_FAIR_TASKS {
+                break;
+            }
+        }
+    }
+    let total: u64 = granted.iter().sum();
+    if total == 0 {
+        return Err("no dispatch events recorded".to_string());
+    }
+    let weight_sum: u32 = FAIR_WEIGHTS.iter().sum();
+    let mut worst = 0f64;
+    for (i, &weight) in FAIR_WEIGHTS.iter().enumerate() {
+        let expected = weight as f64 / weight_sum as f64;
+        let actual = granted[i] as f64 / total as f64;
+        worst = worst.max((actual - expected).abs() / expected);
+    }
+    Ok(worst)
+}
+
+/// Run the full gate workload once: spawn a fresh mini-cluster from
+/// `base` (a binary calling `maybe_become_agent` first thing in
+/// `main`) for each phase, since the pilot drains its fleet on exit.
+pub fn measure_with<F: FnMut() -> Command>(
+    mut base: F,
+    payload: Payload,
+) -> Result<PilotGateMeasurement, String> {
+    let mut cluster = LocalCluster::spawn_with(PILOT_GATE_AGENTS, &mut base)
+        .map_err(|e| format!("spawning mini-cluster: {e}"))?;
+    let (wall, mut ttfts) = measure_throughput(cluster.specs.clone(), payload)?;
+    cluster.join();
+
+    let mut cluster = LocalCluster::spawn_with(PILOT_GATE_AGENTS, &mut base)
+        .map_err(|e| format!("spawning fairness cluster: {e}"))?;
+    let fairness_err = measure_fairness(cluster.specs.clone())?;
+    cluster.join();
+
+    ttfts.sort_unstable();
+    let p99_idx = ((ttfts.len() as f64 * 0.99).ceil() as usize).clamp(1, ttfts.len()) - 1;
+    let sessions = PILOT_GATE_CONCURRENCY * PILOT_GATE_WAVES;
+    Ok(PilotGateMeasurement {
+        sessions,
+        concurrency: PILOT_GATE_CONCURRENCY,
+        tasks_per_session: PILOT_GATE_TASKS_PER_SESSION,
+        wall,
+        sessions_per_sec: sessions as f64 / wall.as_secs_f64().max(1e-9),
+        p99_ttft: ttfts[p99_idx],
+        fairness_err,
+    })
+}
+
+/// Run the canonical workload via self-re-exec (the calling binary must
+/// invoke `maybe_become_agent` first thing in `main`).
+pub fn measure_self() -> Result<PilotGateMeasurement, String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    measure_with(|| Command::new(&exe), gate_payload())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_applies_all_three_floors() {
+        let good = PilotGateMeasurement {
+            sessions: 24,
+            concurrency: 8,
+            tasks_per_session: 500,
+            wall: Duration::from_secs(1),
+            sessions_per_sec: min_sessions_per_sec() + 1.0,
+            p99_ttft: max_p99_ttft() / 2,
+            fairness_err: FAIR_SHARE_TOLERANCE / 2.0,
+        };
+        assert!(good.pass());
+        assert!(!PilotGateMeasurement {
+            sessions_per_sec: min_sessions_per_sec() / 2.0,
+            ..good
+        }
+        .pass());
+        assert!(!PilotGateMeasurement {
+            p99_ttft: max_p99_ttft() * 2,
+            ..good
+        }
+        .pass());
+        assert!(!PilotGateMeasurement {
+            fairness_err: FAIR_SHARE_TOLERANCE * 2.0,
+            ..good
+        }
+        .pass());
+    }
+
+    #[test]
+    fn jsonl_record_carries_all_gate_numbers() {
+        let m = PilotGateMeasurement {
+            sessions: 24,
+            concurrency: 8,
+            tasks_per_session: 500,
+            wall: Duration::from_secs(2),
+            sessions_per_sec: 12.0,
+            p99_ttft: Duration::from_millis(35),
+            fairness_err: 0.042,
+        };
+        let line = m.to_jsonl(3);
+        assert!(line.contains("\"trial\":3"));
+        assert!(line.contains("\"sessions_per_sec\":12.0"));
+        assert!(line.contains("\"p99_ttft_ms\":35.00"));
+        assert!(line.contains("\"fairness_err\":0.0420"));
+    }
+
+    #[test]
+    fn payload_honors_handicap_grammar() {
+        assert_eq!(
+            match handicap() {
+                Some(cost) => Payload::SleepUs(cost.as_micros() as u64),
+                None => Payload::Noop,
+            },
+            gate_payload()
+        );
+    }
+}

@@ -18,14 +18,18 @@
 //! `DONE` — the fault-injection knob the e2e recovery tests are built
 //! on.
 
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use htpar_core::sched::SchedPolicy;
 use htpar_net::agent::{self, AgentConfig};
+use htpar_net::client::{ClientEvent, SessionClient, SessionConfig};
 use htpar_net::driver::{run_driver, DriveOutcome, DriverConfig};
 use htpar_net::frame::Payload;
 use htpar_net::local::LocalCluster;
+use htpar_net::serve::{PilotServer, ServeConfig, ServeOutcome, SERVE_ANNOUNCE_PREFIX};
 use htpar_net::{NetCore, ENV_NET_CORE};
 use htpar_telemetry::{EventBus, JsonlWriter};
 
@@ -55,12 +59,50 @@ COMMAND... [::: ARGS...]
                          completed (requires --local-cluster)
 With no ::: source, arguments are read from stdin, one per line.";
 
+pub const SERVE_USAGE: &str = "\
+usage: htpar serve (--agents SPEC[,SPEC...] | --local-cluster N) [OPTIONS]
+  --listen ADDR          session listener: HOST:PORT (0 picks a port;
+                         default 127.0.0.1:0) or unix:/path
+  --agents SPECS         comma-separated agent addresses to dial
+  --local-cluster N      spawn N agent subprocesses on this machine
+  -j, --jobs-per-agent N job slots per agent (default: 2)
+      --scheduler POLICY tenant multiplexing: fifo, fair (default,
+                         weighted fair share), or priority
+      --max-queue N      per-tenant admission bound; a Submit past it
+                         gets a SessionAck refusal (default: 100000)
+      --oversub N        in-flight target per agent, in multiples of
+                         its slots (default: 4)
+      --joblog-dir DIR   per-tenant joblogs, DIR/<tenant>.joblog
+      --max-sessions N   exit after N sessions close (default: forever)
+      --heartbeat-ms MS  agent heartbeat interval (default: 200)
+      --lease-ms MS      declare an agent lost after MS of silence
+                         (default: 2000)
+      --net-core CORE    I/O core for spawned agents: reactor (default)
+                         or threaded (also via HTPAR_NET_CORE)
+      --chaos-kill-agent IDX@DONE
+                         SIGKILL local agent IDX once DONE tasks have
+                         completed (requires --local-cluster)
+      --quiet            do not print the HTPAR_SERVE_LISTENING line
+One-shot runs are unchanged: `htpar drive` still owns its own fleet.";
+
+pub const SUBMIT_USAGE: &str = "\
+usage: htpar submit --connect ADDR [OPTIONS] COMMAND... [::: ARGS...]
+  --connect ADDR     pilot address (HOST:PORT or unix:/path)
+  --tenant NAME      tenant to submit under (default: default)
+  --weight N         fair-share weight (default: 1)
+  --priority N       priority level, higher wins (default: 0)
+  --payload KIND     shell (default), noop, or sleep:MICROS
+  --batch N          tasks per Submit frame (default: 1000)
+With no ::: source, arguments are read from stdin, one per line.";
+
 /// Dispatch a net subcommand. `None` means `argv` is a classic
 /// `parallel`-style invocation and the caller should fall through.
 pub fn dispatch(argv: &[String]) -> Option<i32> {
     match argv.first().map(String::as_str) {
         Some("agent") => Some(run_agent(&argv[1..])),
         Some("drive") => Some(run_drive(&argv[1..])),
+        Some("serve") => Some(run_serve(&argv[1..])),
+        Some("submit") => Some(run_submit(&argv[1..])),
         _ => None,
     }
 }
@@ -468,6 +510,490 @@ fn print_summary(outcome: &DriveOutcome) {
     }
 }
 
+// ---------------------------------------------------------------- serve
+
+/// Parsed `htpar serve` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpec {
+    pub listen: String,
+    pub agents: Vec<String>,
+    pub local_cluster: usize,
+    pub jobs_per_agent: u32,
+    pub policy: SchedPolicy,
+    pub max_queue: u64,
+    pub oversub: u32,
+    pub joblog_dir: Option<PathBuf>,
+    pub max_sessions: Option<u64>,
+    pub heartbeat_ms: u32,
+    pub lease_window_ms: u64,
+    pub core: Option<NetCore>,
+    pub chaos_kill: Option<(usize, u64)>,
+    pub announce: bool,
+    pub help: bool,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            listen: "127.0.0.1:0".to_string(),
+            agents: Vec::new(),
+            local_cluster: 0,
+            jobs_per_agent: 2,
+            policy: SchedPolicy::Fair,
+            max_queue: 100_000,
+            oversub: 4,
+            joblog_dir: None,
+            max_sessions: None,
+            heartbeat_ms: 200,
+            lease_window_ms: 2_000,
+            core: None,
+            chaos_kill: None,
+            announce: true,
+            help: false,
+        }
+    }
+}
+
+/// Parse `htpar serve` arguments (everything after the subcommand).
+pub fn parse_serve(argv: &[String]) -> Result<ServeSpec, String> {
+    let mut spec = ServeSpec::default();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--listen" => {
+                spec.listen = value(argv, i, "--listen")?;
+                i += 2;
+            }
+            "--agents" => {
+                spec.agents = value(argv, i, "--agents")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                i += 2;
+            }
+            "--local-cluster" => {
+                spec.local_cluster = value(argv, i, "--local-cluster")?
+                    .parse()
+                    .map_err(|_| "--local-cluster needs a count".to_string())?;
+                i += 2;
+            }
+            "-j" | "--jobs-per-agent" => {
+                spec.jobs_per_agent = value(argv, i, "-j")?
+                    .parse()
+                    .map_err(|_| "-j needs a number".to_string())?;
+                i += 2;
+            }
+            "--scheduler" => {
+                let v = value(argv, i, "--scheduler")?;
+                spec.policy = SchedPolicy::parse(&v).ok_or_else(|| {
+                    format!("unknown scheduler {v:?} (want fifo, fair, or priority)")
+                })?;
+                i += 2;
+            }
+            "--max-queue" => {
+                spec.max_queue = value(argv, i, "--max-queue")?
+                    .parse()
+                    .map_err(|_| "--max-queue needs a count".to_string())?;
+                i += 2;
+            }
+            "--oversub" => {
+                spec.oversub = value(argv, i, "--oversub")?
+                    .parse()
+                    .map_err(|_| "--oversub needs a number".to_string())?;
+                i += 2;
+            }
+            "--joblog-dir" => {
+                spec.joblog_dir = Some(PathBuf::from(value(argv, i, "--joblog-dir")?));
+                i += 2;
+            }
+            "--max-sessions" => {
+                spec.max_sessions = Some(
+                    value(argv, i, "--max-sessions")?
+                        .parse()
+                        .map_err(|_| "--max-sessions needs a count".to_string())?,
+                );
+                i += 2;
+            }
+            "--heartbeat-ms" => {
+                spec.heartbeat_ms = value(argv, i, "--heartbeat-ms")?
+                    .parse()
+                    .map_err(|_| "--heartbeat-ms needs milliseconds".to_string())?;
+                i += 2;
+            }
+            "--lease-ms" => {
+                spec.lease_window_ms = value(argv, i, "--lease-ms")?
+                    .parse()
+                    .map_err(|_| "--lease-ms needs milliseconds".to_string())?;
+                i += 2;
+            }
+            "--net-core" => {
+                let v = value(argv, i, "--net-core")?;
+                spec.core =
+                    Some(NetCore::parse(&v).ok_or_else(|| {
+                        format!("unknown net core {v:?} (want reactor or threaded)")
+                    })?);
+                i += 2;
+            }
+            "--chaos-kill-agent" => {
+                spec.chaos_kill = Some(parse_chaos(&value(argv, i, "--chaos-kill-agent")?)?);
+                i += 2;
+            }
+            "--quiet" => {
+                spec.announce = false;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                spec.help = true;
+                return Ok(spec);
+            }
+            other => {
+                if let Some(n) = other.strip_prefix("-j") {
+                    if !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()) {
+                        spec.jobs_per_agent =
+                            n.parse().map_err(|_| "-j needs a number".to_string())?;
+                        i += 1;
+                        continue;
+                    }
+                }
+                return Err(format!("unknown option {other}"));
+            }
+        }
+    }
+    if spec.agents.is_empty() && spec.local_cluster == 0 {
+        return Err("one of --agents or --local-cluster is required".to_string());
+    }
+    if spec.chaos_kill.is_some() && spec.local_cluster == 0 {
+        return Err("--chaos-kill-agent requires --local-cluster".to_string());
+    }
+    if let Some((idx, _)) = spec.chaos_kill {
+        if idx >= spec.local_cluster && spec.local_cluster > 0 {
+            return Err(format!(
+                "--chaos-kill-agent index {idx} out of range for --local-cluster {}",
+                spec.local_cluster
+            ));
+        }
+    }
+    if spec.oversub == 0 {
+        return Err("--oversub must be at least 1".to_string());
+    }
+    Ok(spec)
+}
+
+fn run_serve(argv: &[String]) -> i32 {
+    let spec = match parse_serve(argv) {
+        Ok(spec) => spec,
+        Err(msg) => return usage_error(&format!("serve: {msg}"), SERVE_USAGE),
+    };
+    if spec.help {
+        println!("{SERVE_USAGE}");
+        return 0;
+    }
+    if let Some(core) = spec.core {
+        std::env::set_var(ENV_NET_CORE, core.as_str());
+    }
+    let mut cluster = if spec.local_cluster > 0 {
+        match LocalCluster::spawn_self(spec.local_cluster) {
+            Ok(cluster) => Some(cluster),
+            Err(e) => {
+                eprintln!("htpar serve: spawning local cluster: {e}");
+                return 1;
+            }
+        }
+    } else {
+        None
+    };
+    let agents = match &cluster {
+        Some(cluster) => cluster.specs.clone(),
+        None => spec.agents.clone(),
+    };
+
+    let mut config = ServeConfig::new(agents, spec.listen.clone());
+    config.jobs_per_agent = spec.jobs_per_agent;
+    config.policy = spec.policy;
+    config.max_queue_per_tenant = spec.max_queue;
+    config.oversub = spec.oversub;
+    config.joblog_dir = spec.joblog_dir.clone();
+    config.max_sessions = spec.max_sessions;
+    config.heartbeat_ms = spec.heartbeat_ms;
+    config.lease_window_ms = spec.lease_window_ms;
+    config.bus = bus_from_env();
+
+    let server = match PilotServer::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("htpar serve: {e}");
+            return 1;
+        }
+    };
+    if spec.announce {
+        match server.local_spec() {
+            Ok(addr) => {
+                println!("{SERVE_ANNOUNCE_PREFIX} {addr}");
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("htpar serve: {e}");
+                return 1;
+            }
+        }
+    }
+
+    let mut chaos_cb: Option<Box<dyn FnMut(u64) + '_>> = match (spec.chaos_kill, cluster.as_mut()) {
+        (Some((idx, at)), Some(cluster)) => {
+            let mut fired = false;
+            let cluster: &mut LocalCluster = cluster;
+            Some(Box::new(move |done: u64| {
+                if !fired && done >= at {
+                    fired = true;
+                    eprintln!("htpar serve: chaos: killing agent {idx} at done={done}");
+                    cluster.kill(idx);
+                }
+            }))
+        }
+        _ => None,
+    };
+    let outcome = server.run(chaos_cb.as_deref_mut().map(|f| f as &mut dyn FnMut(u64)));
+    drop(chaos_cb);
+    let code = match outcome {
+        Ok(outcome) => {
+            print_serve_summary(&outcome);
+            0
+        }
+        Err(e) => {
+            eprintln!("htpar serve: {e}");
+            1
+        }
+    };
+    if let Some(mut cluster) = cluster {
+        cluster.join();
+    }
+    code
+}
+
+fn print_serve_summary(outcome: &ServeOutcome) {
+    eprintln!(
+        "htpar serve: {} session(s), {} task(s) completed in {:.2}s, {} released, \
+         {} duplicate(s), {} submit(s) rejected",
+        outcome.sessions,
+        outcome.completed,
+        outcome.wall.as_secs_f64(),
+        outcome.released,
+        outcome.duplicates,
+        outcome.rejected_submits,
+    );
+    for tenant in &outcome.tenants {
+        eprintln!(
+            "  tenant {}: {} done, {} rejected submit(s)",
+            tenant.name, tenant.completed, tenant.rejected_submits
+        );
+    }
+    for (idx, agent) in outcome.agents.iter().enumerate() {
+        let mut line = format!("  agent {idx} ({}): {} done", agent.name, agent.done);
+        if agent.lost {
+            line.push_str(" [lost]");
+        }
+        if let Some(error) = &agent.error {
+            line.push_str(&format!(" [error: {error}]"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+// --------------------------------------------------------------- submit
+
+/// Parsed `htpar submit` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitSpec {
+    pub connect: String,
+    pub tenant: String,
+    pub weight: u32,
+    pub priority: u32,
+    pub payload: Payload,
+    pub batch: usize,
+    pub command: String,
+    pub values: Option<Vec<String>>,
+    pub help: bool,
+}
+
+impl Default for SubmitSpec {
+    fn default() -> Self {
+        SubmitSpec {
+            connect: String::new(),
+            tenant: "default".to_string(),
+            weight: 1,
+            priority: 0,
+            payload: Payload::Shell,
+            batch: 1_000,
+            command: String::new(),
+            values: None,
+            help: false,
+        }
+    }
+}
+
+/// Parse `htpar submit` arguments (everything after the subcommand).
+pub fn parse_submit(argv: &[String]) -> Result<SubmitSpec, String> {
+    let mut spec = SubmitSpec::default();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--connect" => {
+                spec.connect = value(argv, i, "--connect")?;
+                i += 2;
+            }
+            "--tenant" => {
+                spec.tenant = value(argv, i, "--tenant")?;
+                i += 2;
+            }
+            "--weight" => {
+                spec.weight = value(argv, i, "--weight")?
+                    .parse()
+                    .map_err(|_| "--weight needs a number".to_string())?;
+                i += 2;
+            }
+            "--priority" => {
+                spec.priority = value(argv, i, "--priority")?
+                    .parse()
+                    .map_err(|_| "--priority needs a number".to_string())?;
+                i += 2;
+            }
+            "--payload" => {
+                spec.payload = parse_payload(&value(argv, i, "--payload")?)?;
+                i += 2;
+            }
+            "--batch" => {
+                spec.batch = value(argv, i, "--batch")?
+                    .parse()
+                    .map_err(|_| "--batch needs a count".to_string())?;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                spec.help = true;
+                return Ok(spec);
+            }
+            other => {
+                if other.starts_with("--") {
+                    return Err(format!("unknown option {other}"));
+                }
+                break;
+            }
+        }
+    }
+    let mut command_words = Vec::new();
+    while i < argv.len() && argv[i] != ":::" {
+        command_words.push(argv[i].clone());
+        i += 1;
+    }
+    spec.command = command_words.join(" ");
+    if i < argv.len() {
+        spec.values = Some(argv[i + 1..].to_vec());
+    }
+    if spec.command.is_empty() {
+        return Err("a command template is required".to_string());
+    }
+    if spec.connect.is_empty() {
+        return Err("--connect is required".to_string());
+    }
+    if spec.batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    Ok(spec)
+}
+
+fn run_submit(argv: &[String]) -> i32 {
+    let spec = match parse_submit(argv) {
+        Ok(spec) => spec,
+        Err(msg) => return usage_error(&format!("submit: {msg}"), SUBMIT_USAGE),
+    };
+    if spec.help {
+        println!("{SUBMIT_USAGE}");
+        return 0;
+    }
+    let inputs: Vec<Vec<String>> = match &spec.values {
+        Some(values) => values.iter().map(|v| vec![v.clone()]).collect(),
+        None => {
+            use std::io::BufRead;
+            let stdin = std::io::stdin();
+            match stdin.lock().lines().collect::<std::io::Result<Vec<_>>>() {
+                Ok(lines) => lines.into_iter().map(|l| vec![l]).collect(),
+                Err(e) => {
+                    eprintln!("htpar submit: reading stdin: {e}");
+                    return 1;
+                }
+            }
+        }
+    };
+    if inputs.is_empty() {
+        eprintln!("htpar submit: no input arguments");
+        return 1;
+    }
+
+    let mut config = SessionConfig::new(spec.connect.clone(), spec.tenant.clone());
+    config.weight = spec.weight;
+    config.priority = spec.priority;
+    config.payload = spec.payload;
+    config.command = spec.command.clone();
+    let mut client = match SessionClient::connect(config) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("htpar submit: {e}");
+            return 1;
+        }
+    };
+    let started = std::time::Instant::now();
+    let mut failed = 0u64;
+    for batch in inputs.chunks(spec.batch) {
+        // Admission refusals are backpressure: drain a completion event
+        // and resubmit the same batch.
+        loop {
+            match client.submit(batch) {
+                Ok(verdict) if verdict.accepted => break,
+                Ok(_) => match client.recv() {
+                    Ok(ClientEvent::Done(recs)) => {
+                        failed += recs.iter().filter(|r| r.exitval != 0).count() as u64;
+                    }
+                    Ok(ClientEvent::SessionDone { .. }) | Err(_) => {
+                        eprintln!("htpar submit: session ended during backpressure wait");
+                        return 1;
+                    }
+                },
+                Err(e) => {
+                    eprintln!("htpar submit: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    let submitted = client.submitted();
+    let completed = match client.finish() {
+        Ok(completed) => completed,
+        Err(e) => {
+            eprintln!("htpar submit: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "htpar submit: {completed}/{submitted} task(s) completed in {:.2}s ({failed} failed)",
+        started.elapsed().as_secs_f64()
+    );
+    if completed == submitted {
+        0
+    } else {
+        1
+    }
+}
+
 fn usage_error(msg: &str, usage: &str) -> i32 {
     eprintln!("htpar: {msg}");
     eprintln!("{usage}");
@@ -530,6 +1056,81 @@ mod tests {
         assert!(parse_drive(&argv("--agents a --chaos-kill-agent 0@5 task {}")).is_err());
         assert!(parse_drive(&argv("--local-cluster 2 --chaos-kill-agent 2@5 task {}")).is_err());
         assert!(parse_drive(&argv("--local-cluster 2 --chaos-kill-agent 1@5 task {}")).is_ok());
+    }
+
+    #[test]
+    fn serve_grammar_parses() {
+        let spec = parse_serve(&argv(
+            "--local-cluster 4 -j 8 --scheduler priority --max-queue 500 --oversub 2 \
+             --joblog-dir logs --max-sessions 3 --heartbeat-ms 100 --lease-ms 900 \
+             --net-core threaded --chaos-kill-agent 1@50 --quiet",
+        ))
+        .unwrap();
+        assert_eq!(spec.local_cluster, 4);
+        assert_eq!(spec.jobs_per_agent, 8);
+        assert_eq!(spec.policy, SchedPolicy::Priority);
+        assert_eq!(spec.max_queue, 500);
+        assert_eq!(spec.oversub, 2);
+        assert_eq!(spec.joblog_dir, Some(PathBuf::from("logs")));
+        assert_eq!(spec.max_sessions, Some(3));
+        assert_eq!(spec.heartbeat_ms, 100);
+        assert_eq!(spec.lease_window_ms, 900);
+        assert_eq!(spec.core, Some(NetCore::Threaded));
+        assert_eq!(spec.chaos_kill, Some((1, 50)));
+        assert!(!spec.announce);
+    }
+
+    #[test]
+    fn serve_defaults_and_validation() {
+        let spec = parse_serve(&argv("--agents n1:4511,n2:4511")).unwrap();
+        assert_eq!(spec.agents, vec!["n1:4511", "n2:4511"]);
+        assert_eq!(spec.listen, "127.0.0.1:0");
+        assert_eq!(spec.policy, SchedPolicy::Fair);
+        assert_eq!(spec.max_queue, 100_000);
+        assert!(spec.announce);
+        assert!(
+            parse_serve(&argv("")).is_err(),
+            "agents or cluster required"
+        );
+        assert!(parse_serve(&argv("--agents a --chaos-kill-agent 0@5")).is_err());
+        assert!(parse_serve(&argv("--local-cluster 2 --chaos-kill-agent 2@5")).is_err());
+        assert!(parse_serve(&argv("--local-cluster 2 --oversub 0")).is_err());
+        let err = parse_serve(&argv("--local-cluster 2 --scheduler lifo")).unwrap_err();
+        assert!(err.contains("unknown scheduler"), "{err}");
+        let err = parse_serve(&argv("--local-cluster 2 extra")).unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
+    }
+
+    #[test]
+    fn submit_grammar_parses() {
+        let spec = parse_submit(&argv(
+            "--connect 127.0.0.1:4511 --tenant ml --weight 4 --priority 2 \
+             --payload sleep:100 --batch 50 task {} ::: a b",
+        ))
+        .unwrap();
+        assert_eq!(spec.connect, "127.0.0.1:4511");
+        assert_eq!(spec.tenant, "ml");
+        assert_eq!(spec.weight, 4);
+        assert_eq!(spec.priority, 2);
+        assert_eq!(spec.payload, Payload::SleepUs(100));
+        assert_eq!(spec.batch, 50);
+        assert_eq!(spec.command, "task {}");
+        assert_eq!(spec.values, Some(vec!["a".to_string(), "b".to_string()]));
+    }
+
+    #[test]
+    fn submit_requires_connect_and_command() {
+        let spec = parse_submit(&argv("--connect unix:/tmp/p.sock task {}")).unwrap();
+        assert_eq!(spec.tenant, "default");
+        assert_eq!(spec.values, None, "stdin is the input source");
+        assert!(parse_submit(&argv("task {}")).is_err(), "connect required");
+        assert!(
+            parse_submit(&argv("--connect a:1")).is_err(),
+            "command required"
+        );
+        assert!(parse_submit(&argv("--connect a:1 --batch 0 task {}")).is_err());
+        let err = parse_submit(&argv("--connect a:1 --wieght 2 task {}")).unwrap_err();
+        assert!(err.contains("unknown option --wieght"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! End-to-end chaos test of `htpar serve`: a real pilot process with a
+//! real `--local-cluster` fleet, three concurrent tenant sessions, one
+//! agent SIGKILLed mid-run and one client disconnecting mid-session.
+//! The surviving sessions must complete exactly-once (client-side
+//! counts and per-tenant joblogs), the dead session's work must be
+//! released rather than leak slots (final occupancy telemetry reads
+//! zero busy), and the pilot must exit cleanly.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use htpar_core::joblog;
+use htpar_net::client::{ClientEvent, SessionClient, SessionConfig};
+use htpar_net::driver::verify_exactly_once;
+use htpar_net::frame::Payload;
+use htpar_net::serve::SERVE_ANNOUNCE_PREFIX;
+
+const SURVIVOR_TASKS: u64 = 2_000;
+const ABORTER_TASKS: u64 = 1_000;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("htpar-serve-e2e-{tag}-{}", std::process::id()))
+}
+
+/// Drive a full session: submit `total` tasks in batches, finish, and
+/// assert client-side exactly-once (every seq seen exactly once).
+fn run_survivor(spec: String, tenant: &str, weight: u32, total: u64) -> u64 {
+    let mut config = SessionConfig::new(spec, tenant);
+    config.payload = Payload::Noop;
+    config.weight = weight;
+    let mut client = SessionClient::connect(config).expect("session connects");
+    let inputs: Vec<Vec<String>> = (1..=total).map(|i| vec![i.to_string()]).collect();
+    for batch in inputs.chunks(500) {
+        let verdict = client.submit(batch).expect("submit");
+        assert!(verdict.accepted, "admission refused: {}", verdict.reason);
+    }
+    // Collect every completion seq; duplicates or gaps here mean the
+    // pilot broke exactly-once across the chaos.
+    let mut seen = vec![false; total as usize + 1];
+    while client.completed() < total {
+        match client.recv().expect("recv") {
+            ClientEvent::Done(recs) => {
+                for rec in recs {
+                    let seq = rec.seq as usize;
+                    assert!(seq >= 1 && seq <= total as usize, "seq {seq} out of range");
+                    assert!(!seen[seq], "seq {seq} delivered twice to {tenant}");
+                    seen[seq] = true;
+                }
+            }
+            other => panic!("{tenant}: unexpected event {other:?}"),
+        }
+    }
+    assert!(
+        seen[1..].iter().all(|&s| s),
+        "{tenant}: not every seq delivered"
+    );
+    let completed = client.finish().expect("finish");
+    assert_eq!(completed, total, "{tenant}: completion total");
+    total
+}
+
+/// Submit a batch, take one completion event, then vanish.
+fn run_aborter(spec: String, tenant: &str) {
+    let mut config = SessionConfig::new(spec, tenant);
+    config.payload = Payload::SleepUs(2_000);
+    let mut client = SessionClient::connect(config).expect("aborter connects");
+    let inputs: Vec<Vec<String>> = (1..=ABORTER_TASKS).map(|i| vec![i.to_string()]).collect();
+    let verdict = client.submit(&inputs).expect("aborter submit");
+    assert!(verdict.accepted, "aborter refused: {}", verdict.reason);
+    match client.recv().expect("aborter recv") {
+        ClientEvent::Done(_) => {}
+        other => panic!("aborter expected completions, got {other:?}"),
+    }
+    client.abort();
+}
+
+#[test]
+fn chaos_survivors_complete_exactly_once_and_slots_drain() {
+    let joblog_dir = temp_path("logs");
+    let telemetry = temp_path("events.jsonl");
+    let _ = std::fs::remove_dir_all(&joblog_dir);
+    let _ = std::fs::remove_file(&telemetry);
+
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_htpar"))
+        .args([
+            "serve",
+            "--local-cluster",
+            "4",
+            "-j",
+            "2",
+            "--max-sessions",
+            "3",
+            "--scheduler",
+            "fair",
+            "--chaos-kill-agent",
+            "1@300",
+            "--joblog-dir",
+        ])
+        .arg(&joblog_dir)
+        .env("HTPAR_TELEMETRY_JSONL", &telemetry)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn htpar serve");
+
+    // The pilot announces its bound address on stdout once ready.
+    let stdout = serve.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let spec = loop {
+        let line = lines
+            .next()
+            .expect("serve announced before exiting")
+            .expect("readable stdout");
+        if let Some(rest) = line.strip_prefix(SERVE_ANNOUNCE_PREFIX) {
+            break rest.trim().to_string();
+        }
+    };
+
+    let survivors: Vec<_> = [("tenant-a", 1u32), ("tenant-b", 2u32)]
+        .into_iter()
+        .map(|(tenant, weight)| {
+            let spec = spec.clone();
+            std::thread::spawn(move || run_survivor(spec, tenant, weight, SURVIVOR_TASKS))
+        })
+        .collect();
+    let aborter = {
+        let spec = spec.clone();
+        std::thread::spawn(move || run_aborter(spec, "tenant-c"))
+    };
+
+    for handle in survivors {
+        assert_eq!(handle.join().expect("survivor thread"), SURVIVOR_TASKS);
+    }
+    aborter.join().expect("aborter thread");
+
+    // All three sessions closed → the pilot drains its fleet and exits.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        if let Some(status) = serve.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "serve did not exit");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(status.code(), Some(0), "serve exits cleanly");
+
+    // Per-tenant joblogs: survivors exactly-once on disk too.
+    for tenant in ["tenant-a", "tenant-b"] {
+        let entries =
+            joblog::read_log(joblog_dir.join(format!("{tenant}.joblog"))).expect("tenant joblog");
+        verify_exactly_once(&entries, SURVIVOR_TASKS)
+            .unwrap_or_else(|e| panic!("{tenant} joblog not exactly-once: {e}"));
+    }
+
+    // Telemetry: the SIGKILLed agent was detected, the aborter's close
+    // is attributed as a disconnect, and the final occupancy sample
+    // shows every slot released (no leak from the dead session).
+    let events = std::fs::read_to_string(&telemetry).expect("telemetry jsonl");
+    assert!(
+        events
+            .lines()
+            .any(|l| l.contains("\"type\":\"agent_lost\"")),
+        "agent_lost event recorded"
+    );
+    assert!(
+        events
+            .lines()
+            .any(|l| l.contains("\"type\":\"session_closed\"")
+                && l.contains("tenant-c")
+                && l.contains("disconnect")),
+        "aborted session closed as disconnect"
+    );
+    let last_occupancy = events
+        .lines()
+        .rfind(|l| l.contains("\"type\":\"slot_occupancy\""))
+        .expect("occupancy samples present");
+    assert!(
+        last_occupancy.contains("\"busy\":0"),
+        "slots fully released at shutdown: {last_occupancy}"
+    );
+}

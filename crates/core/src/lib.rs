@@ -65,6 +65,7 @@ pub mod progress;
 pub mod queue;
 pub mod remote;
 pub mod runner;
+pub mod sched;
 pub mod semaphore;
 pub mod slot;
 pub mod sshexec;

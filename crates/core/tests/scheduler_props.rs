@@ -1,0 +1,281 @@
+//! Property tests for the pilot-service grant schedulers
+//! (`htpar_core::sched`), run in isolation from any I/O.
+//!
+//! Each test drives a scheduler with a pseudo-random op stream decoded
+//! from proptest-generated words and checks the invariants the pilot
+//! relies on:
+//!
+//! - accounting: `queued`/`total_queued` always match a reference model,
+//!   grants never exceed the budget or a tenant's backlog;
+//! - FIFO: the grant stream replays the global arrival order exactly;
+//! - fair share: no backlogged tenant waits more than one ring rotation
+//!   (starvation bound), and long-run shares converge to the weights;
+//! - priority: every grant goes to the highest backlogged level, and
+//!   same-level peers round-robin (bounded wait within a level).
+
+use htpar_core::sched::{FairShare, Fifo, Priority, SchedPolicy, Scheduler};
+use proptest::prelude::*;
+
+/// Decoded mutation op over a scheduler (grants are driven separately
+/// by each property so it can assert around them).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Enqueue { tenant: usize, n: u64 },
+    Remove { tenant: usize, n: u64 },
+    Grant { budget: u64 },
+}
+
+/// Decode one generated word into an op over `tenants` tenants.
+fn decode_op(word: u64, tenants: usize) -> Op {
+    let tenant = ((word >> 8) as usize) % tenants;
+    let n = ((word >> 32) % 50) + 1;
+    match word % 4 {
+        0 | 1 => Op::Enqueue { tenant, n },
+        2 => Op::Remove { tenant, n },
+        _ => Op::Grant {
+            budget: (word >> 16) % 32 + 1,
+        },
+    }
+}
+
+/// Run an op stream against a scheduler and a plain-counter reference
+/// model, checking the accounting invariants after every step.
+fn check_accounting(mut s: Box<dyn Scheduler>, ops: &[u64], tenants: usize) -> Result<(), String> {
+    let mut model = vec![0u64; tenants];
+    for t in 0..tenants {
+        s.set_tenant(t, (t as u32 % 5) + 1, t as u32 % 3);
+    }
+    for &word in ops {
+        match decode_op(word, tenants) {
+            Op::Enqueue { tenant, n } => {
+                s.enqueue(tenant, n);
+                model[tenant] += n;
+            }
+            Op::Remove { tenant, n } => {
+                let removed = s.remove(tenant, n);
+                if removed != model[tenant].min(n) {
+                    return Err(format!(
+                        "remove({tenant}, {n}) returned {removed}, model has {}",
+                        model[tenant]
+                    ));
+                }
+                model[tenant] -= removed;
+            }
+            Op::Grant { budget } => {
+                if let Some(g) = s.grant(budget) {
+                    if g.n == 0 || g.n > budget {
+                        return Err(format!("grant budget {budget} gave n={}", g.n));
+                    }
+                    if g.n > model[g.tenant] {
+                        return Err(format!(
+                            "granted {} from tenant {} holding {}",
+                            g.n, g.tenant, model[g.tenant]
+                        ));
+                    }
+                    model[g.tenant] -= g.n;
+                } else if model.iter().sum::<u64>() > 0 && budget > 0 {
+                    return Err("grant returned None with backlog present".into());
+                }
+            }
+        }
+        for (t, &m) in model.iter().enumerate() {
+            if s.queued(t) != m {
+                return Err(format!("queued({t}) = {}, model {m}", s.queued(t)));
+            }
+        }
+        if s.total_queued() != model.iter().sum::<u64>() {
+            return Err("total_queued out of sync".into());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// All three policies keep exact queue accounting under arbitrary
+    /// interleavings of enqueue/remove/grant.
+    #[test]
+    fn accounting_matches_reference_model(
+        ops in proptest::collection::vec(any::<u64>(), 50..400),
+        tenants in 1usize..7,
+    ) {
+        for policy in [SchedPolicy::Fifo, SchedPolicy::Fair, SchedPolicy::Priority] {
+            if let Err(e) = check_accounting(policy.build(), &ops, tenants) {
+                prop_assert!(false, "{policy:?}: {e}");
+            }
+        }
+    }
+
+    /// FIFO grants replay the exact global arrival order: expanding the
+    /// grant stream unit-by-unit gives the arrival stream.
+    #[test]
+    fn fifo_grant_stream_replays_arrivals(
+        arrivals in proptest::collection::vec(any::<u64>(), 1..60),
+        budgets in proptest::collection::vec(any::<u64>(), 1..40),
+        tenants in 1usize..6,
+    ) {
+        let mut s = Fifo::new();
+        for t in 0..tenants {
+            s.set_tenant(t, 1, 0);
+        }
+        let mut expect = Vec::new();
+        for &w in &arrivals {
+            let tenant = (w as usize >> 8) % tenants;
+            let n = w % 9 + 1;
+            s.enqueue(tenant, n);
+            expect.extend(std::iter::repeat_n(tenant, n as usize));
+        }
+        let mut got = Vec::new();
+        let mut i = 0;
+        while s.total_queued() > 0 {
+            let budget = budgets[i % budgets.len()] % 16 + 1;
+            i += 1;
+            let g = s.grant(budget).expect("backlogged");
+            got.extend(std::iter::repeat_n(g.tenant, g.n as usize));
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Fair share never starves: while every tenant stays backlogged,
+    /// each is served at least once in any window of `tenants`
+    /// consecutive grants (one ring rotation).
+    #[test]
+    fn fair_share_starvation_bound(
+        weights in proptest::collection::vec(1u32..9, 2..7),
+        budgets in proptest::collection::vec(1u64..64, 1..20),
+        rounds in 20usize..200,
+    ) {
+        let tenants = weights.len();
+        let mut s = FairShare::new();
+        for (t, &w) in weights.iter().enumerate() {
+            s.set_tenant(t, w, 0);
+            s.enqueue(t, 1 << 40); // effectively infinite backlog
+        }
+        let mut since_served = vec![0usize; tenants];
+        for i in 0..rounds {
+            let g = s.grant(budgets[i % budgets.len()]).expect("backlogged");
+            for (t, waited) in since_served.iter_mut().enumerate() {
+                if t == g.tenant {
+                    *waited = 0;
+                } else {
+                    *waited += 1;
+                    prop_assert!(
+                        *waited < tenants,
+                        "tenant {t} (weight {}) starved for {waited} grants with {tenants} active",
+                        weights[t]
+                    );
+                }
+            }
+        }
+    }
+
+    /// With everyone permanently backlogged and a budget at least the
+    /// largest quantum, long-run grant shares converge to the weights.
+    #[test]
+    fn fair_share_converges_to_weights(
+        weights in proptest::collection::vec(1u32..9, 2..6),
+    ) {
+        let tenants = weights.len();
+        let mut s = FairShare::new();
+        for (t, &w) in weights.iter().enumerate() {
+            s.set_tenant(t, w, 0);
+            s.enqueue(t, 1 << 40);
+        }
+        let mut served = vec![0u64; tenants];
+        // Enough rotations that per-rotation rounding noise washes out.
+        for _ in 0..tenants * 2_000 {
+            let g = s.grant(64).expect("backlogged");
+            served[g.tenant] += g.n;
+        }
+        let total: u64 = served.iter().sum();
+        let weight_sum: u32 = weights.iter().sum();
+        for (t, &w) in weights.iter().enumerate() {
+            let share = served[t] as f64 / total as f64;
+            let want = f64::from(w) / f64::from(weight_sum);
+            prop_assert!(
+                (share - want).abs() / want < 0.10,
+                "tenant {t}: share {share:.4} vs weight share {want:.4} (weights {weights:?})"
+            );
+        }
+    }
+
+    /// Strict priority: every grant goes to a tenant whose priority is
+    /// the maximum among currently-backlogged tenants, including right
+    /// after high-priority work arrives mid-stream (preemption at grant
+    /// granularity).
+    #[test]
+    fn priority_grants_track_highest_backlogged_level(
+        prios in proptest::collection::vec(0u32..5, 2..7),
+        ops in proptest::collection::vec(any::<u64>(), 30..250),
+    ) {
+        let tenants = prios.len();
+        let mut s = Priority::new();
+        let mut model = vec![0u64; tenants];
+        for (t, &p) in prios.iter().enumerate() {
+            s.set_tenant(t, 1, p);
+        }
+        for &word in &ops {
+            match decode_op(word, tenants) {
+                Op::Enqueue { tenant, n } => {
+                    s.enqueue(tenant, n);
+                    model[tenant] += n;
+                }
+                Op::Remove { tenant, n } => {
+                    model[tenant] -= s.remove(tenant, n);
+                }
+                Op::Grant { budget } => {
+                    let top = model
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &q)| q > 0)
+                        .map(|(t, _)| prios[t])
+                        .max();
+                    if let Some(g) = s.grant(budget) {
+                        prop_assert_eq!(
+                            Some(prios[g.tenant]),
+                            top,
+                            "granted tenant {} (prio {}) while level {:?} backlogged",
+                            g.tenant,
+                            prios[g.tenant],
+                            top
+                        );
+                        model[g.tenant] -= g.n;
+                    } else {
+                        prop_assert!(top.is_none() || budget == 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Within one priority level, peers round-robin: with all peers of
+    /// the top level permanently backlogged, each is served within one
+    /// rotation of that level's ring.
+    #[test]
+    fn priority_round_robins_within_a_level(
+        peers in 2usize..6,
+        rounds in 10usize..100,
+        budgets in proptest::collection::vec(1u64..32, 1..10),
+    ) {
+        let mut s = Priority::new();
+        for t in 0..peers {
+            s.set_tenant(t, 1, 3);
+            s.enqueue(t, 1 << 40);
+        }
+        // A lower-priority bystander that must never be served.
+        s.set_tenant(peers, 1, 0);
+        s.enqueue(peers, 1_000);
+        let mut since_served = vec![0usize; peers];
+        for i in 0..rounds {
+            let g = s.grant(budgets[i % budgets.len()]).expect("backlogged");
+            prop_assert!(g.tenant < peers, "low-priority tenant served past backlogged level");
+            for (t, waited) in since_served.iter_mut().enumerate() {
+                if t == g.tenant {
+                    *waited = 0;
+                } else {
+                    *waited += 1;
+                    prop_assert!(*waited < peers, "peer {t} starved within its level");
+                }
+            }
+        }
+    }
+}

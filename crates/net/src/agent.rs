@@ -22,8 +22,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant, UNIX_EPOCH};
 
-use htpar_core::executor::{FnExecutor, ProcessExecutor};
-use htpar_core::job::JobResult;
+use htpar_core::executor::{ExecContext, Executor, FnExecutor, ProcessExecutor, TaskOutput};
+use htpar_core::job::{CommandLine, JobResult};
 use htpar_core::options::Options;
 use htpar_core::runner::{Engine, JobInput};
 use htpar_core::template::Template;
@@ -163,6 +163,40 @@ pub fn run_on_conn(mut conn: Conn, name: &str, core: NetCore) -> Result<AgentRep
     }
 }
 
+/// Executor for [`Payload::Dynamic`] sessions (v3+): the work kind rides
+/// in each task's rendered command instead of the handshake, so one
+/// engine serves tenants with different payloads. Directive grammar:
+/// `noop`, `sleep:MICROS`, or `sh:COMMAND` (run via the shell executor,
+/// exactly like a [`Payload::Shell`] session would run COMMAND).
+pub(crate) fn dynamic_executor() -> FnExecutor {
+    let shell = ProcessExecutor::shell();
+    FnExecutor::new(move |cmd: &CommandLine| {
+        let directive = cmd.rendered();
+        if directive == "noop" {
+            return Ok(TaskOutput::success());
+        }
+        if let Some(us) = directive.strip_prefix("sleep:") {
+            let us: u64 = us
+                .parse()
+                .map_err(|_| format!("bad dynamic directive {directive:?}"))?;
+            std::thread::sleep(Duration::from_micros(us));
+            return Ok(TaskOutput::success());
+        }
+        if let Some(command) = directive.strip_prefix("sh:") {
+            let rendered = CommandLine::new(
+                cmd.seq,
+                cmd.slot,
+                cmd.args.clone(),
+                command.to_string(),
+                Vec::new(),
+                Vec::new(),
+            );
+            return Ok(shell.execute(&rendered, &ExecContext::default()));
+        }
+        Err(format!("unknown dynamic directive {directive:?}"))
+    })
+}
+
 /// Build the engine all sessions run (shared by both cores' callers).
 fn build_engine(
     jobs: u32,
@@ -181,6 +215,7 @@ fn build_engine(
             Payload::Shell => Arc::new(ProcessExecutor::shell()),
             Payload::Noop => Arc::new(FnExecutor::noop()),
             Payload::SleepUs(us) => Arc::new(FnExecutor::sleep(Duration::from_micros(us))),
+            Payload::Dynamic => Arc::new(dynamic_executor()),
         },
         on_result: Some(on_result),
         skip: Default::default(),

@@ -162,6 +162,36 @@ impl Listener {
         conn.set_nodelay()?;
         Ok(conn)
     }
+
+    /// Switch the listening socket between blocking and non-blocking
+    /// accept. The pilot service registers the listener fd with its
+    /// reactor and accepts from readiness events.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            Listener::Unix { listener, .. } => listener.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accept without blocking: `None` when no connection is pending.
+    /// Accepted connections inherit blocking mode from the caller's
+    /// follow-up `set_nonblocking`, not the listener's.
+    pub fn accept_nonblocking(&self) -> io::Result<Option<Conn>> {
+        match self.accept() {
+            Ok(conn) => Ok(Some(conn)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl AsRawFd for Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix { listener, .. } => listener.as_raw_fd(),
+        }
+    }
 }
 
 impl Drop for Listener {

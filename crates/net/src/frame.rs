@@ -20,8 +20,11 @@
 use std::fmt;
 
 /// Protocol revision carried in the handshake. Bump on any wire change.
-/// v2 added [`Frame::DoneBatch`] (coalesced completion acks).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// v2 added [`Frame::DoneBatch`] (coalesced completion acks). v3 added
+/// the pilot-service session frames ([`Frame::Submit`],
+/// [`Frame::SessionAck`], [`Frame::SessionDone`]) and the
+/// [`Payload::Dynamic`] per-task directive payload.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Hard ceiling on one frame's body. A `Shard` of [`SHARD_CHUNK`] tasks
 /// with generous arguments stays far below this; anything bigger is a
@@ -44,6 +47,11 @@ pub enum Payload {
     /// In-process sleep of the given microseconds (fixed-cost tasks for
     /// chaos tests and the gate's handicap drill).
     SleepUs(u64),
+    /// Per-task directive (v3+): the work kind rides in each task's
+    /// first argument instead of the session handshake, so one agent
+    /// engine can serve many tenants with different payloads. The
+    /// directive grammar is `noop`, `sleep:MICROS`, or `sh:COMMAND`.
+    Dynamic,
 }
 
 /// One task assignment inside a [`Frame::Shard`].
@@ -116,6 +124,33 @@ pub enum Frame {
     Drain,
     /// Agent → driver: final frame before the agent closes its end.
     AgentExit { done: u64, reason: String },
+    /// Client → pilot (v3+): a batch of tasks for one tenant. The first
+    /// `Submit` on a session binds the session to its tenant; `weight`
+    /// and `priority` feed the pilot's scheduler. Seqs are
+    /// session-local, starting at 1.
+    Submit {
+        tenant: String,
+        weight: u32,
+        priority: u32,
+        /// Client-chosen id echoed in the matching [`Frame::SessionAck`].
+        submit_id: u64,
+        tasks: Vec<TaskSpec>,
+    },
+    /// Pilot → client (v3+): admission verdict for one `Submit`. A
+    /// refusal (`accepted: false`) is backpressure, not an error — the
+    /// session stays open and the client may resubmit after draining.
+    SessionAck {
+        submit_id: u64,
+        accepted: bool,
+        /// Tenant queue depth after the verdict.
+        queued: u64,
+        /// Human-readable refusal reason; empty when accepted.
+        reason: String,
+    },
+    /// Bidirectional session terminator (v3+). Client → pilot: no more
+    /// `Submit`s will come. Pilot → client: every accepted task has
+    /// completed and been delivered; the connection closes after it.
+    SessionDone { completed: u64, reason: String },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -126,10 +161,14 @@ const TAG_HEARTBEAT: u8 = 5;
 const TAG_DRAIN: u8 = 6;
 const TAG_AGENT_EXIT: u8 = 7;
 const TAG_DONE_BATCH: u8 = 8;
+const TAG_SUBMIT: u8 = 9;
+const TAG_SESSION_ACK: u8 = 10;
+const TAG_SESSION_DONE: u8 = 11;
 
 const PAYLOAD_SHELL: u8 = 0;
 const PAYLOAD_NOOP: u8 = 1;
 const PAYLOAD_SLEEP: u8 = 2;
+const PAYLOAD_DYNAMIC: u8 = 3;
 
 /// Why a byte stream failed to decode. All variants are terminal for
 /// the connection: framing has lost sync and cannot recover.
@@ -196,6 +235,19 @@ fn put_payload(out: &mut Vec<u8>, p: Payload) {
             out.push(PAYLOAD_SLEEP);
             out.extend_from_slice(&us.to_le_bytes());
         }
+        Payload::Dynamic => out.push(PAYLOAD_DYNAMIC),
+    }
+}
+
+/// Task-list encoding shared by `Shard` and `Submit`.
+fn put_tasks(out: &mut Vec<u8>, tasks: &[TaskSpec]) {
+    out.extend_from_slice(&(tasks.len() as u32).to_le_bytes());
+    for task in tasks {
+        out.extend_from_slice(&task.seq.to_le_bytes());
+        out.extend_from_slice(&(task.args.len() as u32).to_le_bytes());
+        for arg in &task.args {
+            put_str(out, arg);
+        }
     }
 }
 
@@ -230,14 +282,7 @@ impl Frame {
             }
             Frame::Shard { tasks } => {
                 body.push(TAG_SHARD);
-                body.extend_from_slice(&(tasks.len() as u32).to_le_bytes());
-                for task in tasks {
-                    body.extend_from_slice(&task.seq.to_le_bytes());
-                    body.extend_from_slice(&(task.args.len() as u32).to_le_bytes());
-                    for arg in &task.args {
-                        put_str(&mut body, arg);
-                    }
-                }
+                put_tasks(&mut body, tasks);
             }
             Frame::TaskDone {
                 seq,
@@ -285,6 +330,37 @@ impl Frame {
             Frame::AgentExit { done, reason } => {
                 body.push(TAG_AGENT_EXIT);
                 body.extend_from_slice(&done.to_le_bytes());
+                put_str(&mut body, reason);
+            }
+            Frame::Submit {
+                tenant,
+                weight,
+                priority,
+                submit_id,
+                tasks,
+            } => {
+                body.push(TAG_SUBMIT);
+                put_str(&mut body, tenant);
+                body.extend_from_slice(&weight.to_le_bytes());
+                body.extend_from_slice(&priority.to_le_bytes());
+                body.extend_from_slice(&submit_id.to_le_bytes());
+                put_tasks(&mut body, tasks);
+            }
+            Frame::SessionAck {
+                submit_id,
+                accepted,
+                queued,
+                reason,
+            } => {
+                body.push(TAG_SESSION_ACK);
+                body.extend_from_slice(&submit_id.to_le_bytes());
+                body.push(*accepted as u8);
+                body.extend_from_slice(&queued.to_le_bytes());
+                put_str(&mut body, reason);
+            }
+            Frame::SessionDone { completed, reason } => {
+                body.push(TAG_SESSION_DONE);
+                body.extend_from_slice(&completed.to_le_bytes());
                 put_str(&mut body, reason);
             }
         }
@@ -353,6 +429,31 @@ impl<'a> Body<'a> {
         })
     }
 
+    /// Task-list decoding shared by `Shard` and `Submit`, with the
+    /// hostile-count guards applied before any allocation.
+    fn tasks(&mut self, body_len: usize) -> Result<Vec<TaskSpec>, FrameError> {
+        let count = self.u32()? as usize;
+        // A task is at least 12 bytes (seq + argc); reject counts the
+        // remaining body cannot possibly hold before reserving.
+        if count > (body_len - self.pos) / 12 {
+            return Err(FrameError::Malformed("task count exceeds body"));
+        }
+        let mut tasks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let seq = self.u64()?;
+            let argc = self.u32()? as usize;
+            if argc > (body_len - self.pos) / 4 {
+                return Err(FrameError::Malformed("arg count exceeds body"));
+            }
+            let mut args = Vec::with_capacity(argc);
+            for _ in 0..argc {
+                args.push(self.string()?);
+            }
+            tasks.push(TaskSpec { seq, args });
+        }
+        Ok(tasks)
+    }
+
     fn finish(self) -> Result<(), FrameError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -373,6 +474,7 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
                 PAYLOAD_SHELL => Payload::Shell,
                 PAYLOAD_NOOP => Payload::Noop,
                 PAYLOAD_SLEEP => Payload::SleepUs(b.u64()?),
+                PAYLOAD_DYNAMIC => Payload::Dynamic,
                 _ => return Err(FrameError::Malformed("unknown payload kind")),
             };
             Frame::Hello {
@@ -388,28 +490,9 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             slots: b.u32()?,
             agent: b.string()?,
         },
-        TAG_SHARD => {
-            let count = b.u32()? as usize;
-            // A task is at least 12 bytes (seq + argc); reject counts
-            // the remaining body cannot possibly hold before reserving.
-            if count > (body.len() - b.pos) / 12 {
-                return Err(FrameError::Malformed("shard count exceeds body"));
-            }
-            let mut tasks = Vec::with_capacity(count);
-            for _ in 0..count {
-                let seq = b.u64()?;
-                let argc = b.u32()? as usize;
-                if argc > (body.len() - b.pos) / 4 {
-                    return Err(FrameError::Malformed("arg count exceeds body"));
-                }
-                let mut args = Vec::with_capacity(argc);
-                for _ in 0..argc {
-                    args.push(b.string()?);
-                }
-                tasks.push(TaskSpec { seq, args });
-            }
-            Frame::Shard { tasks }
-        }
+        TAG_SHARD => Frame::Shard {
+            tasks: b.tasks(body.len())?,
+        },
         TAG_TASK_DONE => {
             let r = b.done_rec()?;
             Frame::TaskDone {
@@ -442,6 +525,29 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
         TAG_DRAIN => Frame::Drain,
         TAG_AGENT_EXIT => Frame::AgentExit {
             done: b.u64()?,
+            reason: b.string()?,
+        },
+        TAG_SUBMIT => {
+            let tenant = b.string()?;
+            let weight = b.u32()?;
+            let priority = b.u32()?;
+            let submit_id = b.u64()?;
+            Frame::Submit {
+                tenant,
+                weight,
+                priority,
+                submit_id,
+                tasks: b.tasks(body.len())?,
+            }
+        }
+        TAG_SESSION_ACK => Frame::SessionAck {
+            submit_id: b.u64()?,
+            accepted: b.u8()? != 0,
+            queued: b.u64()?,
+            reason: b.string()?,
+        },
+        TAG_SESSION_DONE => Frame::SessionDone {
+            completed: b.u64()?,
             reason: b.string()?,
         },
         other => return Err(FrameError::UnknownTag(other)),
@@ -589,6 +695,52 @@ mod tests {
             done: 1000,
             reason: "drained".into(),
         });
+        round_trip(Frame::Hello {
+            version: 3,
+            jobs: 8,
+            heartbeat_ms: 100,
+            payload: Payload::Dynamic,
+            command: "{}".into(),
+        });
+        round_trip(Frame::Submit {
+            tenant: "team-a".into(),
+            weight: 4,
+            priority: 2,
+            submit_id: 77,
+            tasks: vec![
+                TaskSpec {
+                    seq: 1,
+                    args: vec!["sh:echo hi".into()],
+                },
+                TaskSpec {
+                    seq: u64::MAX,
+                    args: vec![],
+                },
+            ],
+        });
+        round_trip(Frame::Submit {
+            tenant: String::new(),
+            weight: 0,
+            priority: 0,
+            submit_id: 0,
+            tasks: vec![],
+        });
+        round_trip(Frame::SessionAck {
+            submit_id: 77,
+            accepted: true,
+            queued: 4096,
+            reason: String::new(),
+        });
+        round_trip(Frame::SessionAck {
+            submit_id: 78,
+            accepted: false,
+            queued: 65536,
+            reason: "tenant queue full".into(),
+        });
+        round_trip(Frame::SessionDone {
+            completed: 10_000,
+            reason: "complete".into(),
+        });
     }
 
     #[test]
@@ -704,6 +856,43 @@ mod tests {
     }
 
     #[test]
+    fn hostile_submit_count_does_not_allocate() {
+        // Submit claiming u32::MAX tasks in a tiny body must fail fast,
+        // same guard as Shard.
+        let mut body = vec![TAG_SUBMIT];
+        body.extend_from_slice(&0u32.to_le_bytes()); // empty tenant
+        body.extend_from_slice(&1u32.to_le_bytes()); // weight
+        body.extend_from_slice(&0u32.to_le_bytes()); // priority
+        body.extend_from_slice(&1u64.to_le_bytes()); // submit_id
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // task count
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        assert!(matches!(d.next_frame(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn session_ack_truncation_rejected() {
+        let full = Frame::SessionAck {
+            submit_id: 9,
+            accepted: false,
+            queued: 10,
+            reason: "full".into(),
+        }
+        .encode();
+        // Rewriting the length to end mid-reason must be a typed error,
+        // not a panic or a short string.
+        let mut bytes = full.clone();
+        bytes.truncate(full.len() - 2);
+        let cut_body = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&cut_body.to_le_bytes());
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        assert!(matches!(d.next_frame(), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
     fn invalid_utf8_rejected() {
         // AgentExit with a reason of 2 bytes of invalid UTF-8.
         let mut body = vec![TAG_AGENT_EXIT];
@@ -748,14 +937,15 @@ mod tests {
         impl Strategy for FrameStrategy {
             type Value = Frame;
             fn generate(&self, rng: &mut TestRng) -> Frame {
-                match rng.below(8) {
+                match rng.below(10) {
                     0 => Frame::Hello {
                         version: rng.below(u16::MAX as u64 + 1) as u16,
                         jobs: rng.below(1 << 16) as u32,
                         heartbeat_ms: rng.below(10_000) as u32,
-                        payload: match rng.below(3) {
+                        payload: match rng.below(4) {
                             0 => Payload::Shell,
                             1 => Payload::Noop,
+                            2 => Payload::Dynamic,
                             _ => Payload::SleepUs(rng.next_u64()),
                         },
                         command: arb_string(rng),
@@ -798,12 +988,42 @@ mod tests {
                             }
                         }
                     }
-                    _ => {
+                    7 => {
                         if rng.below(2) == 0 {
                             Frame::Drain
                         } else {
                             Frame::AgentExit {
                                 done: rng.next_u64(),
+                                reason: arb_string(rng),
+                            }
+                        }
+                    }
+                    8 => {
+                        let n = rng.below(12) as usize;
+                        Frame::Submit {
+                            tenant: arb_string(rng),
+                            weight: rng.below(1 << 10) as u32,
+                            priority: rng.below(1 << 8) as u32,
+                            submit_id: rng.next_u64(),
+                            tasks: (0..n)
+                                .map(|_| TaskSpec {
+                                    seq: rng.next_u64(),
+                                    args: (0..rng.below(3)).map(|_| arb_string(rng)).collect(),
+                                })
+                                .collect(),
+                        }
+                    }
+                    _ => {
+                        if rng.below(2) == 0 {
+                            Frame::SessionAck {
+                                submit_id: rng.next_u64(),
+                                accepted: rng.below(2) == 0,
+                                queued: rng.next_u64(),
+                                reason: arb_string(rng),
+                            }
+                        } else {
+                            Frame::SessionDone {
+                                completed: rng.next_u64(),
                                 reason: arb_string(rng),
                             }
                         }
@@ -932,6 +1152,65 @@ mod tests {
                         Ok(None) | Err(_) => break,
                     }
                 }
+            }
+
+            /// Valid streams (all frame kinds, the session trio
+            /// included) with single bit flips: the decoder must yield
+            /// frames, want more bytes, or fail typed — never panic,
+            /// over-read, or allocate past the received bytes. Covers
+            /// the length prefix, the tag byte, and every body offset.
+            #[test]
+            fn bit_flipped_streams_never_panic(
+                frames in proptest::collection::vec(FrameStrategy, 1..6),
+                flips in proptest::collection::vec(any::<u32>(), 1..8),
+            ) {
+                let mut wire = Vec::new();
+                for f in &frames {
+                    wire.extend_from_slice(&f.encode());
+                }
+                for &flip in &flips {
+                    // Low 3 bits pick the bit, the rest pick the byte.
+                    let at = (flip >> 3) as usize % wire.len();
+                    wire[at] ^= 1 << (flip & 7);
+                }
+                let mut d = Decoder::new();
+                d.extend(&wire);
+                for _ in 0..frames.len() + 1 {
+                    match d.next_frame() {
+                        Ok(Some(_)) => continue,
+                        Ok(None) | Err(_) => break,
+                    }
+                }
+            }
+
+            /// Truncating a valid stream at any byte boundary is never a
+            /// panic: the decoder yields the complete prefix frames and
+            /// then reports "need more bytes" (truncation mid-frame is
+            /// indistinguishable from a slow socket, so it is not an
+            /// error at this layer).
+            #[test]
+            fn truncated_streams_never_panic(
+                frames in proptest::collection::vec(FrameStrategy, 1..6),
+                cut in any::<u32>(),
+            ) {
+                let mut wire = Vec::new();
+                for f in &frames {
+                    wire.extend_from_slice(&f.encode());
+                }
+                let keep = cut as usize % (wire.len() + 1);
+                let mut d = Decoder::new();
+                d.extend(&wire[..keep]);
+                let mut got = 0usize;
+                loop {
+                    match d.next_frame() {
+                        Ok(Some(_)) => got += 1,
+                        Ok(None) => break,
+                        Err(_) => {
+                            prop_assert!(false, "clean truncation decoded as corrupt");
+                        }
+                    }
+                }
+                prop_assert!(got <= frames.len());
             }
         }
     }

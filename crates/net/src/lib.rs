@@ -27,8 +27,13 @@
 //!   as the behavioral oracle for the differential test suite.
 //! - [`local`] — localhost mini-clusters of agent subprocesses.
 //! - [`remote`] — a socket-backed [`htpar_core::remote`] executor.
+//! - [`serve`] — the pilot service: a persistent fleet multiplexing
+//!   many client sessions through a pluggable multi-tenant scheduler.
+//! - [`client`] — the blocking session client (`htpar submit`, load
+//!   generators, tests).
 
 pub mod agent;
+pub mod client;
 pub mod conn;
 pub mod driver;
 pub mod frame;
@@ -38,6 +43,7 @@ pub mod nbio;
 pub mod reactor;
 pub mod reference;
 pub mod remote;
+pub mod serve;
 
 use std::fmt;
 use std::io;

@@ -599,6 +599,7 @@ pub(crate) fn run_session_threaded(
             Payload::Shell => Arc::new(ProcessExecutor::shell()),
             Payload::Noop => Arc::new(FnExecutor::noop()),
             Payload::SleepUs(us) => Arc::new(FnExecutor::sleep(Duration::from_micros(us))),
+            Payload::Dynamic => Arc::new(crate::agent::dynamic_executor()),
         },
         on_result: Some(on_result),
         skip: Default::default(),

@@ -1,0 +1,1485 @@
+//! The pilot service: `htpar serve`.
+//!
+//! Where [`crate::driver`] runs one task list to completion and tears
+//! the fleet down, the pilot keeps the agent fleet alive and accepts
+//! many concurrent client *sessions* over the same framed protocol.
+//! Each session speaks the v3 extension: `Submit` batches of
+//! session-local tasks in, `SessionAck` admission verdicts and
+//! `DoneBatch` completions back out, `SessionDone` in both directions
+//! to finish. Tenants (named by the client's `Submit`) get their own
+//! admitted-task queues; a pluggable [`Scheduler`] — FIFO, weighted
+//! fair share, or strict priority — multiplexes those queues onto the
+//! shared slot pool.
+//!
+//! Everything runs on the one epoll [`Reactor`] the PR 6 driver
+//! introduced: the listening socket, every client session, every agent
+//! connection, and the lease-sweep tick are tokens on the same poll
+//! loop. Agents are dialed once at bind time with [`Payload::Dynamic`],
+//! so a single fleet serves tenants with different payloads — the work
+//! kind rides in each task's first argument as a directive the agent
+//! renders through the `"{}"` template.
+//!
+//! Guarantees (enforced by `serve_e2e`, `serve_differential`, and the
+//! scheduler property suite):
+//! - recording is exactly-once per session (re-run work after an agent
+//!   loss is delivered and logged once);
+//! - admission is bounded: a tenant whose queue would exceed
+//!   `max_queue_per_tenant` gets a typed `SessionAck` refusal, not an
+//!   unbounded buffer;
+//! - a dead session's queued work is purged and its in-flight work is
+//!   released on completion — slots never leak (the final
+//!   `SlotOccupancy` event reports zero busy);
+//! - an old-version client gets a clean `AgentExit` refusal it can
+//!   decode, not a socket drop.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::os::fd::AsRawFd;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use htpar_core::joblog::{JobLogWriter, LogEntry};
+use htpar_core::sched::{SchedPolicy, Scheduler};
+use htpar_core::template::{ExpandContext, Template};
+use htpar_telemetry::{Event, EventBus};
+
+use crate::conn::{Conn, Listener};
+use crate::driver::{connect_handshake, AgentStat};
+use crate::frame::{Frame, Payload, TaskDoneRec, TaskSpec, PROTOCOL_VERSION, SHARD_CHUNK};
+use crate::lease::LeaseTracker;
+use crate::nbio::{Fill, Flush, FrameConn};
+use crate::reactor::{Interest, PollEvent, Reactor};
+use crate::{NetError, Result};
+
+/// Announce line the CLI prints once the pilot is accepting sessions,
+/// mirroring the agent's `HTPAR_AGENT_LISTENING`.
+pub const SERVE_ANNOUNCE_PREFIX: &str = "HTPAR_SERVE_LISTENING";
+
+/// Session-local seqs occupy the low bits of a wire seq; the session id
+/// (plus one, so driver-style seqs with a zero session part can never
+/// collide) occupies the high bits.
+const SESSION_SEQ_BITS: u32 = 40;
+const MAX_LOCAL_SEQ: u64 = (1 << SESSION_SEQ_BITS) - 1;
+
+fn wire_seq(session: u64, local_seq: u64) -> u64 {
+    ((session + 1) << SESSION_SEQ_BITS) | local_seq
+}
+
+/// Pilot-side configuration.
+pub struct ServeConfig {
+    /// Agent address specs to dial at bind time.
+    pub agents: Vec<String>,
+    /// Listener spec for client sessions (`host:port` or `unix:/path`).
+    pub listen: String,
+    /// Job slots requested per agent.
+    pub jobs_per_agent: u32,
+    /// Interval agents heartbeat at.
+    pub heartbeat_ms: u32,
+    /// Silence window after which an agent is declared lost.
+    pub lease_window_ms: u64,
+    /// How long to wait for `AgentExit` after the shutdown `Drain`.
+    pub drain_timeout: Duration,
+    /// Which scheduler multiplexes tenants onto the slot pool.
+    pub policy: SchedPolicy,
+    /// Admission bound: a `Submit` that would push a tenant's queue past
+    /// this depth is refused.
+    pub max_queue_per_tenant: u64,
+    /// In-flight target per agent, in multiples of its granted slots.
+    /// Keeping this small keeps scheduling decisions late (fairness);
+    /// raising it hides dispatch latency (throughput).
+    pub oversub: u32,
+    /// Directory for per-tenant joblogs (`<tenant>.joblog`); `None`
+    /// disables logging.
+    pub joblog_dir: Option<PathBuf>,
+    /// Telemetry bus for session/tenant/occupancy events.
+    pub bus: Option<Arc<EventBus>>,
+    /// Exit after this many sessions have closed (tests and bounded
+    /// benchmark runs); `None` serves forever.
+    pub max_sessions: Option<u64>,
+    /// Per-connection cap on bytes queued to a socket.
+    pub write_queue_cap: usize,
+}
+
+impl ServeConfig {
+    pub fn new(agents: Vec<String>, listen: impl Into<String>) -> ServeConfig {
+        ServeConfig {
+            agents,
+            listen: listen.into(),
+            jobs_per_agent: 2,
+            heartbeat_ms: 200,
+            lease_window_ms: 2_000,
+            drain_timeout: Duration::from_secs(10),
+            policy: SchedPolicy::Fair,
+            max_queue_per_tenant: 100_000,
+            oversub: 4,
+            joblog_dir: None,
+            bus: None,
+            max_sessions: None,
+            write_queue_cap: 1 << 20,
+        }
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(bus) = &self.bus {
+            bus.emit(event);
+        }
+    }
+}
+
+/// Per-tenant accounting at shutdown.
+#[derive(Debug, Clone)]
+pub struct TenantStat {
+    pub name: String,
+    /// Tasks completed and recorded for this tenant.
+    pub completed: u64,
+    /// Submits refused by admission control.
+    pub rejected_submits: u64,
+}
+
+/// What a serve run accomplished.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Sessions that opened and closed (complete or disconnect).
+    pub sessions: u64,
+    /// Completions recorded and delivered.
+    pub completed: u64,
+    /// Completions for already-closed sessions (work released, not
+    /// delivered anywhere).
+    pub released: u64,
+    /// Completions for already-recorded seqs (re-run work finishing
+    /// twice after a lease-expiry re-dispatch).
+    pub duplicates: u64,
+    /// Submits refused by admission control, across all tenants.
+    pub rejected_submits: u64,
+    pub tenants: Vec<TenantStat>,
+    pub agents: Vec<AgentStat>,
+    pub wall: Duration,
+}
+
+// -- Reactor tokens ----------------------------------------------------
+
+const TOK_TICK: usize = usize::MAX;
+const TOK_DRAIN: usize = usize::MAX - 1;
+const TOK_LISTENER: usize = usize::MAX - 2;
+/// Session tokens start here; everything below is an agent index.
+const CLIENT_BASE: usize = 1 << 32;
+
+// -- Internal state ----------------------------------------------------
+
+/// One dialed agent connection.
+struct SAgent {
+    name: String,
+    slots: u32,
+    fc: Option<FrameConn<Conn>>,
+    /// Wire seqs placed on this agent and not yet completed (includes
+    /// the pilot-side backlog below).
+    inflight: HashSet<u64>,
+    /// Tasks placed here but not yet queued to the socket.
+    backlog: VecDeque<TaskSpec>,
+    done: u64,
+    alive: bool,
+    exited: bool,
+    want_write: bool,
+    error: Option<String>,
+    /// Counter snapshots taken when the connection is dropped.
+    final_sent: u64,
+    final_received: u64,
+    final_peak: u64,
+}
+
+impl SAgent {
+    fn free(&self, oversub: u32) -> u64 {
+        if !self.alive {
+            return 0;
+        }
+        (self.slots as u64 * oversub as u64).saturating_sub(self.inflight.len() as u64)
+    }
+}
+
+/// One client session.
+struct Session {
+    fc: Option<FrameConn<Conn>>,
+    /// `false` until the client's `Hello` is answered.
+    active: bool,
+    /// Tenant index bound by the first `Submit`.
+    tenant: Option<usize>,
+    payload: Payload,
+    template: Option<Template>,
+    /// Tasks accepted (admission passed) over the session's lifetime.
+    submitted: u64,
+    completed: u64,
+    /// Local seqs already recorded (exactly-once guard).
+    recorded: HashSet<u64>,
+    /// Client sent its `SessionDone`.
+    client_done: bool,
+    /// Final frame queued; close once the socket drains.
+    closing: bool,
+    want_write: bool,
+}
+
+/// One admitted, not-yet-dispatched task.
+struct QTask {
+    session: u64,
+    local_seq: u64,
+    /// Joblog command column (the session template, expanded).
+    command: String,
+    /// Dynamic-payload directive the agent executes.
+    directive: String,
+}
+
+/// One dispatched, not-yet-completed task.
+struct InflightTask {
+    agent: usize,
+    tenant: usize,
+    session: u64,
+    local_seq: u64,
+    command: String,
+    directive: String,
+}
+
+struct Tenant {
+    name: String,
+    queue: VecDeque<QTask>,
+    log: Option<JobLogWriter>,
+    completed: u64,
+    rejected_submits: u64,
+}
+
+/// A bound pilot: agents dialed and handshaken, listener open. Split
+/// from [`PilotServer::run`] so callers (the CLI, tests) can learn the
+/// actual listen address before the serve loop starts.
+pub struct PilotServer {
+    config: ServeConfig,
+    reactor: Reactor,
+    listener: Listener,
+    agents: Vec<SAgent>,
+}
+
+impl PilotServer {
+    /// Dial and handshake every agent (blocking, sequential), bind the
+    /// session listener, and register both with a fresh reactor.
+    pub fn bind(config: ServeConfig) -> Result<PilotServer> {
+        if config.agents.is_empty() {
+            return Err(NetError::Protocol("no agents configured".into()));
+        }
+        // Agents run the dynamic engine: the per-task directive carries
+        // the work, the template is pure pass-through.
+        let hello = Frame::Hello {
+            version: PROTOCOL_VERSION,
+            jobs: config.jobs_per_agent,
+            heartbeat_ms: config.heartbeat_ms,
+            payload: Payload::Dynamic,
+            command: "{}".to_string(),
+        }
+        .encode();
+        let reactor = Reactor::new()?;
+        let mut agents = Vec::with_capacity(config.agents.len());
+        for (idx, spec) in config.agents.iter().enumerate() {
+            let (conn, dec, name, slots) = connect_handshake(spec, &hello)?;
+            conn.set_nonblocking(true)?;
+            reactor.register(conn.as_raw_fd(), idx, Interest::READ)?;
+            config.emit(Event::AgentConnected {
+                agent: idx as u32,
+                slots: slots as usize,
+            });
+            agents.push(SAgent {
+                name,
+                slots,
+                fc: Some(FrameConn::from_parts(conn, dec)),
+                inflight: HashSet::new(),
+                backlog: VecDeque::new(),
+                done: 0,
+                alive: true,
+                exited: false,
+                want_write: false,
+                error: None,
+                final_sent: 0,
+                final_received: 0,
+                final_peak: 0,
+            });
+        }
+        let listener = Listener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        reactor.register(listener.as_raw_fd(), TOK_LISTENER, Interest::READ)?;
+        Ok(PilotServer {
+            config,
+            reactor,
+            listener,
+            agents,
+        })
+    }
+
+    /// The spec clients should dial.
+    pub fn local_spec(&self) -> Result<String> {
+        Ok(self.listener.local_spec()?)
+    }
+
+    /// Run the serve loop until `max_sessions` sessions have closed (or
+    /// forever), then drain the fleet. `on_done` observes the global
+    /// recorded-completion count after every newly recorded task —
+    /// tests use it to trigger chaos at a deterministic point.
+    pub fn run(self, on_done: Option<&mut dyn FnMut(u64)>) -> Result<ServeOutcome> {
+        Pilot::new(self)?.run(on_done)
+    }
+}
+
+struct Pilot {
+    config: ServeConfig,
+    reactor: Reactor,
+    listener: Listener,
+    agents: Vec<SAgent>,
+    sessions: HashMap<u64, Session>,
+    next_session: u64,
+    sessions_closed: u64,
+    tenants: Vec<Tenant>,
+    tenant_ids: HashMap<String, usize>,
+    scheduler: Box<dyn Scheduler>,
+    inflight: HashMap<u64, InflightTask>,
+    lease: LeaseTracker,
+    completed: u64,
+    released: u64,
+    duplicates: u64,
+    rejected_submits: u64,
+    /// Round-robin cursor over agents for grant placement.
+    rr: usize,
+    /// Last occupancy emitted, to keep the event stream edge-triggered.
+    last_busy: Option<usize>,
+    capacity: usize,
+}
+
+impl Pilot {
+    fn new(server: PilotServer) -> Result<Pilot> {
+        let capacity = server.agents.iter().map(|a| a.slots as usize).sum();
+        let lease = LeaseTracker::new(server.agents.len());
+        let scheduler = server.config.policy.build();
+        Ok(Pilot {
+            config: server.config,
+            reactor: server.reactor,
+            listener: server.listener,
+            agents: server.agents,
+            sessions: HashMap::new(),
+            next_session: 0,
+            sessions_closed: 0,
+            tenants: Vec::new(),
+            tenant_ids: HashMap::new(),
+            scheduler,
+            inflight: HashMap::new(),
+            lease,
+            completed: 0,
+            released: 0,
+            duplicates: 0,
+            rejected_submits: 0,
+            rr: 0,
+            last_busy: None,
+            capacity,
+        })
+    }
+
+    fn emit(&self, event: Event) {
+        self.config.emit(event);
+    }
+
+    fn emit_occupancy(&mut self) {
+        let busy = self.inflight.len();
+        if self.last_busy != Some(busy) {
+            self.last_busy = Some(busy);
+            // `busy` counts dispatched-not-completed tasks, which can
+            // exceed raw slots by design; report the oversubscribed
+            // ceiling so busy <= total always holds.
+            self.emit(Event::SlotOccupancy {
+                busy,
+                total: self.capacity * self.config.oversub as usize,
+            });
+        }
+    }
+
+    fn run(mut self, mut on_done: Option<&mut dyn FnMut(u64)>) -> Result<ServeOutcome> {
+        let started = Instant::now();
+        let tick = Duration::from_millis((self.config.heartbeat_ms as u64 / 2).clamp(10, 200));
+        let mut tick_key = self.reactor.arm_timer(Instant::now() + tick, TOK_TICK);
+        let mut events: Vec<PollEvent> = Vec::with_capacity(256);
+
+        loop {
+            if let Some(max) = self.config.max_sessions {
+                if self.sessions_closed >= max && self.sessions.is_empty() {
+                    break;
+                }
+            }
+            if self.agents.iter().all(|a| !a.alive) {
+                return Err(NetError::AllAgentsLost {
+                    remaining: self.scheduler.total_queued() + self.inflight.len() as u64,
+                });
+            }
+            events.clear();
+            self.reactor
+                .poll(&mut events, Some(Duration::from_millis(200)))?;
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match *ev {
+                    PollEvent::Timer { token: TOK_TICK } => {
+                        for idx in 0..self.agents.len() {
+                            if self.agents[idx].alive
+                                && self.lease.expired(idx, self.config.lease_window_ms)
+                            {
+                                self.handle_agent_loss(idx)?;
+                            }
+                        }
+                        tick_key = self.reactor.arm_timer(Instant::now() + tick, TOK_TICK);
+                    }
+                    PollEvent::Timer { .. } => {}
+                    PollEvent::Io { token, .. } if token == TOK_LISTENER => {
+                        self.accept_sessions()?;
+                    }
+                    PollEvent::Io {
+                        token,
+                        readable,
+                        writable,
+                        hangup,
+                    } if token < self.agents.len() => {
+                        self.agent_event(token, readable, writable, hangup, &mut on_done)?;
+                    }
+                    PollEvent::Io {
+                        token,
+                        readable,
+                        writable,
+                        hangup,
+                    } if token >= CLIENT_BASE => {
+                        self.session_event(
+                            (token - CLIENT_BASE) as u64,
+                            readable,
+                            writable,
+                            hangup,
+                        )?;
+                    }
+                    PollEvent::Io { .. } => {}
+                }
+            }
+            events = batch;
+            self.dispatch()?;
+            for tenant in self.tenants.iter_mut() {
+                if let Some(log) = &mut tenant.log {
+                    log.flush()?;
+                }
+            }
+            self.emit_occupancy();
+        }
+        self.reactor.cancel_timer(tick_key);
+
+        // -- Shutdown: close any straggler sessions, then drain the
+        // fleet exactly like the one-shot driver does.
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        for id in ids {
+            self.close_session(id, "shutdown");
+        }
+        self.drain_agents()?;
+        for tenant in self.tenants.iter_mut() {
+            if let Some(log) = &mut tenant.log {
+                log.flush()?;
+            }
+        }
+        self.emit_occupancy();
+
+        Ok(ServeOutcome {
+            sessions: self.sessions_closed,
+            completed: self.completed,
+            released: self.released,
+            duplicates: self.duplicates,
+            rejected_submits: self.rejected_submits,
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantStat {
+                    name: t.name.clone(),
+                    completed: t.completed,
+                    rejected_submits: t.rejected_submits,
+                })
+                .collect(),
+            agents: self
+                .agents
+                .iter()
+                .map(|a| AgentStat {
+                    name: a.name.clone(),
+                    done: a.done,
+                    lost: !a.alive,
+                    error: a.error.clone(),
+                    peak_queue_bytes: a
+                        .fc
+                        .as_ref()
+                        .map_or(a.final_peak, |fc| fc.peak_queued_bytes() as u64),
+                })
+                .collect(),
+            wall: started.elapsed(),
+        })
+    }
+
+    // -- Accepting sessions --------------------------------------------
+
+    fn accept_sessions(&mut self) -> Result<()> {
+        while let Some(conn) = self.listener.accept_nonblocking()? {
+            conn.set_nonblocking(true)?;
+            let id = self.next_session;
+            self.next_session += 1;
+            // Tokens are never reused across sessions, so a stale
+            // reactor event for a closed session cannot alias a new one.
+            self.reactor
+                .register(conn.as_raw_fd(), CLIENT_BASE + id as usize, Interest::READ)?;
+            self.sessions.insert(
+                id,
+                Session {
+                    fc: Some(FrameConn::new(conn)),
+                    active: false,
+                    tenant: None,
+                    payload: Payload::Noop,
+                    template: None,
+                    submitted: 0,
+                    completed: 0,
+                    recorded: HashSet::new(),
+                    client_done: false,
+                    closing: false,
+                    want_write: false,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    // -- Session I/O ---------------------------------------------------
+
+    fn session_event(
+        &mut self,
+        id: u64,
+        readable: bool,
+        writable: bool,
+        hangup: bool,
+    ) -> Result<()> {
+        if !self.sessions.contains_key(&id) {
+            return Ok(());
+        }
+        if readable || hangup {
+            let fill = {
+                let session = self.sessions.get_mut(&id).expect("checked above");
+                match session.fc.as_mut() {
+                    Some(fc) => fc.fill(),
+                    None => return Ok(()),
+                }
+            };
+            let mut conn_down = false;
+            match fill {
+                Ok(Fill::Blocked) => {}
+                Ok(Fill::Eof) => conn_down = true,
+                Err(_) => conn_down = true,
+            }
+            loop {
+                let frame = {
+                    let session = self.sessions.get_mut(&id).expect("session alive");
+                    match session.fc.as_mut() {
+                        Some(fc) => fc.next_frame(),
+                        None => break,
+                    }
+                };
+                match frame {
+                    Ok(Some(f)) => {
+                        if !self.session_frame(id, f)? {
+                            // The frame handler closed the session.
+                            return Ok(());
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        conn_down = true;
+                        break;
+                    }
+                }
+            }
+            if conn_down {
+                self.close_session(id, "disconnect");
+                return Ok(());
+            }
+        }
+        if writable {
+            self.pump_session(id);
+        }
+        Ok(())
+    }
+
+    /// Handle one client frame. Returns `false` when the session was
+    /// closed (stop processing its buffered frames).
+    fn session_frame(&mut self, id: u64, frame: Frame) -> Result<bool> {
+        match frame {
+            Frame::Hello {
+                version,
+                payload,
+                command,
+                ..
+            } => {
+                let session = self.sessions.get_mut(&id).expect("session alive");
+                if session.active {
+                    self.close_session(id, "protocol: second Hello");
+                    return Ok(false);
+                }
+                if version != PROTOCOL_VERSION {
+                    // Refuse with a frame every protocol version can
+                    // decode, then close once it flushes.
+                    let reason = format!(
+                        "pilot speaks protocol {PROTOCOL_VERSION}, client speaks {version}"
+                    );
+                    if let Some(fc) = session.fc.as_mut() {
+                        fc.queue_frame(&Frame::AgentExit { done: 0, reason });
+                    }
+                    session.closing = true;
+                    self.pump_session(id);
+                    return Ok(false);
+                }
+                let template = match Template::parse(&command) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        self.close_session(id, &format!("bad template: {e}"));
+                        return Ok(false);
+                    }
+                };
+                session.payload = payload;
+                session.template = Some(template);
+                session.active = true;
+                let ack = Frame::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    slots: self.capacity as u32,
+                    agent: "pilot".to_string(),
+                };
+                if let Some(fc) = session.fc.as_mut() {
+                    fc.queue_frame(&ack);
+                }
+                self.pump_session(id);
+                Ok(true)
+            }
+            Frame::Submit {
+                tenant,
+                weight,
+                priority,
+                submit_id,
+                tasks,
+            } => self.session_submit(id, tenant, weight, priority, submit_id, tasks),
+            Frame::SessionDone { .. } => {
+                let session = self.sessions.get_mut(&id).expect("session alive");
+                if !session.active {
+                    self.close_session(id, "protocol: SessionDone before Hello");
+                    return Ok(false);
+                }
+                session.client_done = true;
+                Ok(self.maybe_finish_session(id))
+            }
+            other => {
+                self.close_session(id, &format!("protocol: unexpected client frame {other:?}"));
+                Ok(false)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn session_submit(
+        &mut self,
+        id: u64,
+        tenant: String,
+        weight: u32,
+        priority: u32,
+        submit_id: u64,
+        tasks: Vec<TaskSpec>,
+    ) -> Result<bool> {
+        let session = self.sessions.get_mut(&id).expect("session alive");
+        if !session.active || session.client_done {
+            self.close_session(id, "protocol: Submit outside active session");
+            return Ok(false);
+        }
+        // Bind the tenant on first Submit; later Submits may update the
+        // scheduling knobs but not the tenant name.
+        let tidx = match session.tenant {
+            Some(tidx) => {
+                if self.tenants[tidx].name != tenant {
+                    self.close_session(id, "protocol: tenant changed mid-session");
+                    return Ok(false);
+                }
+                self.scheduler.set_tenant(tidx, weight, priority);
+                tidx
+            }
+            None => {
+                let tidx = match self.tenant_ids.get(&tenant) {
+                    Some(&tidx) => tidx,
+                    None => {
+                        let tidx = self.tenants.len();
+                        self.tenant_ids.insert(tenant.clone(), tidx);
+                        self.tenants.push(Tenant {
+                            name: tenant.clone(),
+                            queue: VecDeque::new(),
+                            log: None,
+                            completed: 0,
+                            rejected_submits: 0,
+                        });
+                        tidx
+                    }
+                };
+                self.scheduler.set_tenant(tidx, weight, priority);
+                self.sessions.get_mut(&id).expect("session alive").tenant = Some(tidx);
+                self.emit(Event::SessionOpened {
+                    session: id,
+                    tenant: tenant.clone(),
+                });
+                tidx
+            }
+        };
+        for task in &tasks {
+            if task.seq == 0 || task.seq > MAX_LOCAL_SEQ {
+                self.close_session(id, &format!("protocol: bad local seq {}", task.seq));
+                return Ok(false);
+            }
+        }
+        let depth = self.tenants[tidx].queue.len() as u64;
+        let n = tasks.len() as u64;
+        let ack = if depth + n > self.config.max_queue_per_tenant {
+            self.rejected_submits += 1;
+            self.tenants[tidx].rejected_submits += 1;
+            self.emit(Event::SubmitRejected {
+                session: id,
+                tenant: self.tenants[tidx].name.clone(),
+                tasks: n,
+                queued: depth,
+            });
+            Frame::SessionAck {
+                submit_id,
+                accepted: false,
+                queued: depth,
+                reason: format!(
+                    "tenant queue at {depth} of {}; resubmit after draining",
+                    self.config.max_queue_per_tenant
+                ),
+            }
+        } else {
+            let (payload, template) = {
+                let session = self.sessions.get(&id).expect("session alive");
+                (
+                    session.payload,
+                    session.template.clone().expect("active session"),
+                )
+            };
+            for task in tasks {
+                let command = template.expand(&ExpandContext {
+                    args: &task.args,
+                    seq: task.seq,
+                    slot: 0,
+                });
+                let directive = match payload {
+                    Payload::Shell => format!("sh:{command}"),
+                    Payload::Noop => "noop".to_string(),
+                    Payload::SleepUs(us) => format!("sleep:{us}"),
+                    // A dynamic-payload session supplies directives
+                    // directly as the rendered template.
+                    Payload::Dynamic => command.clone(),
+                };
+                self.tenants[tidx].queue.push_back(QTask {
+                    session: id,
+                    local_seq: task.seq,
+                    command,
+                    directive,
+                });
+            }
+            self.scheduler.enqueue(tidx, n);
+            self.sessions.get_mut(&id).expect("session alive").submitted += n;
+            Frame::SessionAck {
+                submit_id,
+                accepted: true,
+                queued: depth + n,
+                reason: String::new(),
+            }
+        };
+        let session = self.sessions.get_mut(&id).expect("session alive");
+        if let Some(fc) = session.fc.as_mut() {
+            fc.queue_frame(&ack);
+        }
+        self.pump_session(id);
+        Ok(self.sessions.contains_key(&id))
+    }
+
+    /// If the session has received its client `SessionDone` and every
+    /// accepted task is complete, queue the final pilot `SessionDone`
+    /// and start closing. Returns `false` once the session is gone.
+    fn maybe_finish_session(&mut self, id: u64) -> bool {
+        let Some(session) = self.sessions.get_mut(&id) else {
+            return false;
+        };
+        if !session.client_done || session.closing || session.completed < session.submitted {
+            return true;
+        }
+        let completed = session.completed;
+        session.closing = true;
+        if let Some(fc) = session.fc.as_mut() {
+            fc.queue_frame(&Frame::SessionDone {
+                completed,
+                reason: "complete".to_string(),
+            });
+        }
+        let tenant = session
+            .tenant
+            .map(|t| self.tenants[t].name.clone())
+            .unwrap_or_default();
+        self.emit(Event::SessionClosed {
+            session: id,
+            tenant,
+            completed,
+            reason: "complete".to_string(),
+        });
+        self.pump_session(id);
+        self.sessions.contains_key(&id)
+    }
+
+    /// Flush a session's write queue, adjusting write interest; tear
+    /// the session down on write error, or on drain when it is closing.
+    fn pump_session(&mut self, id: u64) {
+        let Some(session) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        let Some(fc) = session.fc.as_mut() else {
+            return;
+        };
+        let closing = session.closing;
+        match fc.flush() {
+            Ok(Flush::Drained) => {
+                if closing {
+                    self.finalize_session(id);
+                    return;
+                }
+                self.set_session_write_interest(id, false);
+            }
+            Ok(Flush::Blocked) => {
+                self.set_session_write_interest(id, true);
+            }
+            Err(_) => {
+                self.close_session(id, "disconnect");
+            }
+        }
+    }
+
+    fn set_session_write_interest(&mut self, id: u64, want: bool) {
+        let Some(session) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        if session.want_write == want {
+            return;
+        }
+        let Some(fc) = session.fc.as_ref() else {
+            return;
+        };
+        let interest = if want {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        if self
+            .reactor
+            .reregister(fc.stream().as_raw_fd(), CLIENT_BASE + id as usize, interest)
+            .is_ok()
+        {
+            session.want_write = want;
+        }
+    }
+
+    /// Close a session that ended abnormally (or at shutdown): emit the
+    /// close event, purge its queued work, drop the socket. In-flight
+    /// work stays on the agents and is released as it completes.
+    fn close_session(&mut self, id: u64, reason: &str) {
+        let Some(session) = self.sessions.get(&id) else {
+            return;
+        };
+        if !session.closing {
+            let tenant = session
+                .tenant
+                .map(|t| self.tenants[t].name.clone())
+                .unwrap_or_default();
+            self.emit(Event::SessionClosed {
+                session: id,
+                tenant,
+                completed: session.completed,
+                reason: reason.to_string(),
+            });
+        }
+        if let Some(tidx) = session.tenant {
+            // Purge the dead session's queued (not yet dispatched) work
+            // and mirror the removal into the scheduler's counts.
+            let before = self.tenants[tidx].queue.len();
+            self.tenants[tidx].queue.retain(|t| t.session != id);
+            let purged = (before - self.tenants[tidx].queue.len()) as u64;
+            if purged > 0 {
+                self.scheduler.remove(tidx, purged);
+            }
+        }
+        self.finalize_session(id);
+    }
+
+    /// Drop the session's socket and forget it.
+    fn finalize_session(&mut self, id: u64) {
+        let Some(session) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        if let Some(fc) = session.fc.take() {
+            let _ = self.reactor.deregister(fc.stream().as_raw_fd());
+            fc.stream().shutdown();
+        }
+        // Connections refused before the handshake completed (version
+        // gate, bad template) never became sessions — they don't count
+        // toward `max_sessions`.
+        let counted = session.active;
+        self.sessions.remove(&id);
+        if counted {
+            self.sessions_closed += 1;
+        }
+    }
+
+    // -- Agent I/O -----------------------------------------------------
+
+    fn agent_event(
+        &mut self,
+        idx: usize,
+        readable: bool,
+        writable: bool,
+        hangup: bool,
+        on_done: &mut Option<&mut dyn FnMut(u64)>,
+    ) -> Result<()> {
+        if !self.agents[idx].alive {
+            return Ok(());
+        }
+        if readable || hangup {
+            let fill = match self.agents[idx].fc.as_mut() {
+                Some(fc) => fc.fill(),
+                None => return Ok(()),
+            };
+            let mut conn_down = false;
+            match &fill {
+                Ok(Fill::Blocked) => {}
+                Ok(Fill::Eof) => conn_down = true,
+                Err(e) => {
+                    let msg = e.to_string();
+                    self.agents[idx].error.get_or_insert(msg);
+                    conn_down = true;
+                }
+            }
+            // Per-session delivery buffer for this read batch: group the
+            // completions so each client gets one coalesced DoneBatch.
+            let mut delivery: HashMap<u64, Vec<TaskDoneRec>> = HashMap::new();
+            // Not a `while let`: the body needs `&mut self` (lease,
+            // completion routing), so the `fc` borrow must end each turn.
+            #[allow(clippy::while_let_loop)]
+            loop {
+                let frame = match self.agents[idx].fc.as_mut() {
+                    Some(fc) => fc.next_frame(),
+                    None => break,
+                };
+                match frame {
+                    Ok(Some(f)) => {
+                        self.lease.touch(idx);
+                        match f {
+                            Frame::TaskDone {
+                                seq,
+                                exitval,
+                                signal,
+                                start_epoch_us,
+                                runtime_us,
+                                stdout,
+                                stderr,
+                            } => self.complete(
+                                idx,
+                                TaskDoneRec {
+                                    seq,
+                                    exitval,
+                                    signal,
+                                    start_epoch_us,
+                                    runtime_us,
+                                    stdout,
+                                    stderr,
+                                },
+                                &mut delivery,
+                                on_done,
+                            )?,
+                            Frame::DoneBatch { results } => {
+                                for rec in results {
+                                    self.complete(idx, rec, &mut delivery, on_done)?;
+                                }
+                            }
+                            Frame::Heartbeat { .. } => {}
+                            Frame::AgentExit { .. } => {
+                                self.agents[idx].exited = true;
+                            }
+                            other => {
+                                return Err(NetError::Protocol(format!(
+                                    "unexpected agent frame {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        let msg = NetError::Frame(e).to_string();
+                        self.agents[idx].error.get_or_insert(msg);
+                        conn_down = true;
+                        break;
+                    }
+                }
+            }
+            self.deliver(delivery);
+            if conn_down {
+                self.handle_agent_loss(idx)?;
+                return Ok(());
+            }
+        }
+        if writable && !self.pump_agent(idx) {
+            self.handle_agent_loss(idx)?;
+        }
+        Ok(())
+    }
+
+    /// Record one completion from agent `idx`. Dead-session completions
+    /// are released (their slot frees, nothing is recorded); duplicate
+    /// completions after a lease-expiry re-dispatch are dropped.
+    fn complete(
+        &mut self,
+        idx: usize,
+        rec: TaskDoneRec,
+        delivery: &mut HashMap<u64, Vec<TaskDoneRec>>,
+        on_done: &mut Option<&mut dyn FnMut(u64)>,
+    ) -> Result<()> {
+        let Some(inf) = self.inflight.remove(&rec.seq) else {
+            self.duplicates += 1;
+            return Ok(());
+        };
+        self.agents[idx].inflight.remove(&rec.seq);
+        if inf.agent != idx {
+            // The task was re-dispatched after this agent's lease
+            // expired; the copy tracked in `inflight` lives elsewhere.
+            // Re-insert and treat this completion as the duplicate.
+            self.agents[inf.agent].inflight.insert(rec.seq);
+            self.inflight.insert(rec.seq, inf);
+            self.duplicates += 1;
+            return Ok(());
+        }
+        let Some(session) = self.sessions.get_mut(&inf.session) else {
+            self.released += 1;
+            return Ok(());
+        };
+        if !session.recorded.insert(inf.local_seq) {
+            self.duplicates += 1;
+            return Ok(());
+        }
+        session.completed += 1;
+        self.agents[idx].done += 1;
+        self.completed += 1;
+        let tenant = &mut self.tenants[inf.tenant];
+        tenant.completed += 1;
+        self.config.emit(Event::TenantTaskDone {
+            tenant: tenant.name.clone(),
+            session: inf.session,
+            seq: inf.local_seq,
+        });
+        if let Some(dir) = &self.config.joblog_dir {
+            if tenant.log.is_none() {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("{}.joblog", sanitize_tenant(&tenant.name)));
+                tenant.log = Some(JobLogWriter::open(&path)?);
+            }
+            if let Some(log) = &mut tenant.log {
+                log.record_entry(&LogEntry {
+                    seq: inf.local_seq,
+                    host: self.agents[idx].name.clone(),
+                    start: rec.start_epoch_us as f64 / 1e6,
+                    runtime: rec.runtime_us as f64 / 1e6,
+                    send: 0,
+                    receive: rec.stdout.len() as u64,
+                    exitval: rec.exitval,
+                    signal: rec.signal,
+                    command: inf.command,
+                })?;
+            }
+        }
+        // Deliver with the session-local seq the client submitted.
+        delivery.entry(inf.session).or_default().push(TaskDoneRec {
+            seq: inf.local_seq,
+            ..rec
+        });
+        if let Some(cb) = on_done.as_deref_mut() {
+            cb(self.completed);
+        }
+        Ok(())
+    }
+
+    /// Queue coalesced DoneBatches to their sessions and let finished
+    /// sessions start closing.
+    fn deliver(&mut self, delivery: HashMap<u64, Vec<TaskDoneRec>>) {
+        for (id, results) in delivery {
+            let Some(session) = self.sessions.get_mut(&id) else {
+                continue;
+            };
+            if let Some(fc) = session.fc.as_mut() {
+                fc.queue_frame(&Frame::DoneBatch { results });
+            }
+            if self.maybe_finish_session(id) {
+                self.pump_session(id);
+            }
+        }
+    }
+
+    /// Move an agent's backlog into its write queue and flush, exactly
+    /// like the one-shot driver's pump. Returns `false` on write error.
+    fn pump_agent(&mut self, idx: usize) -> bool {
+        let cap = self.config.write_queue_cap;
+        let agent = &mut self.agents[idx];
+        let Some(fc) = agent.fc.as_mut() else {
+            return false;
+        };
+        loop {
+            while !agent.backlog.is_empty() && (fc.queued_bytes() == 0 || fc.queued_bytes() < cap) {
+                let take = agent.backlog.len().min(SHARD_CHUNK);
+                let tasks: Vec<TaskSpec> = agent.backlog.drain(..take).collect();
+                fc.queue_frame(&Frame::Shard { tasks });
+            }
+            if fc.queued_bytes() == 0 {
+                return self.set_agent_write_interest(idx, false);
+            }
+            match fc.flush() {
+                Ok(Flush::Drained) => {
+                    if agent.backlog.is_empty() {
+                        return self.set_agent_write_interest(idx, false);
+                    }
+                }
+                Ok(Flush::Blocked) => return self.set_agent_write_interest(idx, true),
+                Err(e) => {
+                    agent.error.get_or_insert_with(|| e.to_string());
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Deregister and shut down an agent's connection, snapshotting its
+    /// byte counters for the final telemetry.
+    fn drop_agent_conn(&mut self, idx: usize) {
+        let agent = &mut self.agents[idx];
+        if let Some(fc) = agent.fc.take() {
+            agent.final_sent = fc.sent_bytes();
+            agent.final_received = fc.received_bytes();
+            agent.final_peak = fc.peak_queued_bytes() as u64;
+            let _ = self.reactor.deregister(fc.stream().as_raw_fd());
+            fc.stream().shutdown();
+        }
+    }
+
+    fn set_agent_write_interest(&mut self, idx: usize, want: bool) -> bool {
+        let agent = &mut self.agents[idx];
+        if agent.want_write == want {
+            return true;
+        }
+        let Some(fc) = agent.fc.as_ref() else {
+            return false;
+        };
+        let interest = if want {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        if self
+            .reactor
+            .reregister(fc.stream().as_raw_fd(), idx, interest)
+            .is_err()
+        {
+            return false;
+        }
+        agent.want_write = want;
+        true
+    }
+
+    /// Declare an agent lost: requeue its in-flight work for live
+    /// sessions (head of the tenant queue, so recovered work runs
+    /// first), release the rest.
+    fn handle_agent_loss(&mut self, idx: usize) -> Result<()> {
+        if !self.agents[idx].alive {
+            return Ok(());
+        }
+        self.agents[idx].alive = false;
+        self.capacity = self
+            .agents
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| a.slots as usize)
+            .sum();
+        self.drop_agent_conn(idx);
+        self.agents[idx].backlog.clear();
+        let wire_seqs: Vec<u64> = self.agents[idx].inflight.drain().collect();
+        let mut requeued_per_tenant: HashMap<usize, u64> = HashMap::new();
+        let mut outstanding = 0u64;
+        for wire in wire_seqs {
+            let Some(inf) = self.inflight.remove(&wire) else {
+                continue;
+            };
+            outstanding += 1;
+            if !self.sessions.contains_key(&inf.session) {
+                // Dead session: the work is simply released.
+                self.released += 1;
+                continue;
+            }
+            self.tenants[inf.tenant].queue.push_front(QTask {
+                session: inf.session,
+                local_seq: inf.local_seq,
+                command: inf.command,
+                directive: inf.directive,
+            });
+            *requeued_per_tenant.entry(inf.tenant).or_default() += 1;
+        }
+        for (tenant, n) in requeued_per_tenant {
+            self.scheduler.requeue(tenant, n);
+        }
+        self.emit(Event::AgentLost {
+            agent: idx as u32,
+            outstanding,
+        });
+        Ok(())
+    }
+
+    // -- Dispatch ------------------------------------------------------
+
+    /// Ask the scheduler for grants while the fleet has free capacity,
+    /// placing granted tasks round-robin across agents with room.
+    fn dispatch(&mut self) -> Result<()> {
+        let oversub = self.config.oversub;
+        let mut touched: HashSet<usize> = HashSet::new();
+        loop {
+            let free_total: u64 = self.agents.iter().map(|a| a.free(oversub)).sum();
+            if free_total == 0 {
+                break;
+            }
+            let Some(grant) = self.scheduler.grant(free_total.min(SHARD_CHUNK as u64)) else {
+                break;
+            };
+            let mut remaining = grant.n;
+            while remaining > 0 {
+                // Next agent with room, round-robin for spread.
+                let mut target = None;
+                for step in 0..self.agents.len() {
+                    let idx = (self.rr + step) % self.agents.len();
+                    if self.agents[idx].free(oversub) > 0 {
+                        target = Some(idx);
+                        break;
+                    }
+                }
+                let Some(idx) = target else {
+                    // Capacity vanished mid-grant (agent lost between
+                    // iterations). The remainder tasks are still in the
+                    // tenant queue; give the scheduler its count back.
+                    self.scheduler.requeue(grant.tenant, remaining);
+                    break;
+                };
+                self.rr = (idx + 1) % self.agents.len();
+                let take = remaining.min(self.agents[idx].free(oversub));
+                let mut placed = 0u64;
+                for _ in 0..take {
+                    let Some(task) = take_front(&mut self.tenants[grant.tenant].queue) else {
+                        break;
+                    };
+                    let wire = wire_seq(task.session, task.local_seq);
+                    self.agents[idx].backlog.push_back(TaskSpec {
+                        seq: wire,
+                        args: vec![task.directive.clone()],
+                    });
+                    self.agents[idx].inflight.insert(wire);
+                    self.inflight.insert(
+                        wire,
+                        InflightTask {
+                            agent: idx,
+                            tenant: grant.tenant,
+                            session: task.session,
+                            local_seq: task.local_seq,
+                            command: task.command,
+                            directive: task.directive,
+                        },
+                    );
+                    placed += 1;
+                }
+                if placed > 0 {
+                    self.emit(Event::TenantShardSent {
+                        tenant: self.tenants[grant.tenant].name.clone(),
+                        agent: idx as u32,
+                        tasks: placed,
+                    });
+                    touched.insert(idx);
+                }
+                if placed < take {
+                    // The tenant queue ran dry ahead of the scheduler's
+                    // count (should not happen; counts are mirrored).
+                    break;
+                }
+                remaining -= placed;
+            }
+        }
+        for idx in touched {
+            if self.agents[idx].alive && !self.pump_agent(idx) {
+                self.handle_agent_loss(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    // -- Shutdown drain ------------------------------------------------
+
+    fn drain_agents(&mut self) -> Result<()> {
+        for idx in 0..self.agents.len() {
+            if !self.agents[idx].alive {
+                continue;
+            }
+            self.agents[idx].backlog.clear();
+            if let Some(fc) = self.agents[idx].fc.as_mut() {
+                fc.queue_frame(&Frame::Drain);
+            }
+            if !self.pump_agent(idx) {
+                self.handle_agent_loss(idx)?;
+            }
+        }
+        self.reactor
+            .arm_timer(Instant::now() + self.config.drain_timeout, TOK_DRAIN);
+        let mut events: Vec<PollEvent> = Vec::with_capacity(64);
+        'drain: while self.agents.iter().any(|a| a.alive && !a.exited) {
+            events.clear();
+            self.reactor
+                .poll(&mut events, Some(Duration::from_millis(100)))?;
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match *ev {
+                    PollEvent::Timer { token: TOK_DRAIN } => break 'drain,
+                    PollEvent::Timer { .. } => {}
+                    PollEvent::Io {
+                        token,
+                        readable,
+                        writable,
+                        hangup,
+                    } if token < self.agents.len() => {
+                        let idx = token;
+                        if self.agents[idx].fc.is_none() {
+                            continue;
+                        }
+                        if readable || hangup {
+                            // Completions still land during the drain
+                            // (e.g. a disconnected session's tasks
+                            // finishing); route them through the normal
+                            // path so the occupancy accounting zeroes.
+                            let fill = self.agents[idx].fc.as_mut().expect("checked").fill();
+                            let mut delivery = HashMap::new();
+                            let mut none = None;
+                            // Same shape as the main read loop: the body
+                            // re-borrows `self`, so no `while let`.
+                            #[allow(clippy::while_let_loop)]
+                            loop {
+                                let frame = match self.agents[idx].fc.as_mut() {
+                                    Some(fc) => fc.next_frame(),
+                                    None => break,
+                                };
+                                match frame {
+                                    Ok(Some(Frame::AgentExit { .. })) => {
+                                        self.agents[idx].exited = true;
+                                    }
+                                    Ok(Some(Frame::DoneBatch { results })) => {
+                                        for rec in results {
+                                            self.complete(idx, rec, &mut delivery, &mut none)?;
+                                        }
+                                    }
+                                    Ok(Some(Frame::TaskDone {
+                                        seq,
+                                        exitval,
+                                        signal,
+                                        start_epoch_us,
+                                        runtime_us,
+                                        stdout,
+                                        stderr,
+                                    })) => self.complete(
+                                        idx,
+                                        TaskDoneRec {
+                                            seq,
+                                            exitval,
+                                            signal,
+                                            start_epoch_us,
+                                            runtime_us,
+                                            stdout,
+                                            stderr,
+                                        },
+                                        &mut delivery,
+                                        &mut none,
+                                    )?,
+                                    Ok(Some(_)) => {}
+                                    Ok(None) => break,
+                                    Err(_) => {
+                                        self.agents[idx].exited = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            drop(delivery); // sessions are gone by now
+                            match fill {
+                                Ok(Fill::Blocked) => {}
+                                Ok(Fill::Eof) | Err(_) => {
+                                    self.agents[idx].exited = true;
+                                    self.drop_agent_conn(idx);
+                                }
+                            }
+                        }
+                        if writable && self.agents[idx].fc.is_some() && !self.pump_agent(idx) {
+                            self.agents[idx].exited = true;
+                            self.drop_agent_conn(idx);
+                        }
+                    }
+                    PollEvent::Io { .. } => {}
+                }
+            }
+            events = batch;
+        }
+        for idx in 0..self.agents.len() {
+            self.drop_agent_conn(idx);
+            self.emit(Event::FrameBytes {
+                agent: idx as u32,
+                sent: self.agents[idx].final_sent,
+                received: self.agents[idx].final_received,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn take_front(queue: &mut VecDeque<QTask>) -> Option<QTask> {
+    queue.pop_front()
+}
+
+/// Make a tenant name safe as a file stem.
+fn sanitize_tenant(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_seq_namespacing_never_collides_across_sessions() {
+        let a = wire_seq(0, 1);
+        let b = wire_seq(1, 1);
+        assert_ne!(a, b);
+        // Driver-style plain seqs live entirely below the first
+        // session's namespace.
+        assert!(MAX_LOCAL_SEQ < wire_seq(0, 1));
+        assert_eq!(wire_seq(2, 7) >> SESSION_SEQ_BITS, 3);
+        assert_eq!(wire_seq(2, 7) & MAX_LOCAL_SEQ, 7);
+    }
+
+    #[test]
+    fn tenant_names_sanitize_to_file_stems() {
+        assert_eq!(sanitize_tenant("team-a_1.x"), "team-a_1.x");
+        assert_eq!(sanitize_tenant("a/b c\"d"), "a_b_c_d");
+    }
+}

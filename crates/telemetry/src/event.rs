@@ -99,6 +99,41 @@ pub enum Event {
         sent: u64,
         received: u64,
     },
+
+    // -- Pilot service (`htpar serve`) ----------------------------------
+    /// A client session completed its handshake with the pilot and bound
+    /// a tenant on its first `Submit`.
+    SessionOpened { session: u64, tenant: String },
+    /// A session ended; `reason` is `"complete"` (all accepted work done
+    /// and acknowledged) or `"disconnect"` (client went away mid-run).
+    SessionClosed {
+        session: u64,
+        tenant: String,
+        completed: u64,
+        reason: String,
+    },
+    /// Admission control refused a `Submit` (the tenant's queue was at
+    /// its depth bound); `queued` is the depth at the time of refusal.
+    SubmitRejected {
+        session: u64,
+        tenant: String,
+        tasks: u64,
+        queued: u64,
+    },
+    /// Tenant-attributed shard dispatch: the pilot's scheduler granted
+    /// `tasks` tasks of this tenant onto an agent.
+    TenantShardSent {
+        tenant: String,
+        agent: u32,
+        tasks: u64,
+    },
+    /// Tenant-attributed completion routed back to its session (`seq` is
+    /// the session-local sequence number, the tenant joblog key).
+    TenantTaskDone {
+        tenant: String,
+        session: u64,
+        seq: u64,
+    },
 }
 
 impl Event {
@@ -125,6 +160,11 @@ impl Event {
             Event::AgentLost { .. } => "agent_lost",
             Event::ShardSent { .. } => "shard_sent",
             Event::FrameBytes { .. } => "frame_bytes",
+            Event::SessionOpened { .. } => "session_opened",
+            Event::SessionClosed { .. } => "session_closed",
+            Event::SubmitRejected { .. } => "submit_rejected",
+            Event::TenantShardSent { .. } => "tenant_shard_sent",
+            Event::TenantTaskDone { .. } => "tenant_task_done",
         }
     }
 
@@ -191,9 +231,64 @@ impl Event {
             } => {
                 format!("\"agent\":{agent},\"sent\":{sent},\"received\":{received}")
             }
+            Event::SessionOpened { session, tenant } => {
+                format!("\"session\":{session},\"tenant\":{}", json_str(tenant))
+            }
+            Event::SessionClosed {
+                session,
+                tenant,
+                completed,
+                reason,
+            } => format!(
+                "\"session\":{session},\"tenant\":{},\"completed\":{completed},\"reason\":{}",
+                json_str(tenant),
+                json_str(reason)
+            ),
+            Event::SubmitRejected {
+                session,
+                tenant,
+                tasks,
+                queued,
+            } => format!(
+                "\"session\":{session},\"tenant\":{},\"tasks\":{tasks},\"queued\":{queued}",
+                json_str(tenant)
+            ),
+            Event::TenantShardSent {
+                tenant,
+                agent,
+                tasks,
+            } => format!(
+                "\"tenant\":{},\"agent\":{agent},\"tasks\":{tasks}",
+                json_str(tenant)
+            ),
+            Event::TenantTaskDone {
+                tenant,
+                session,
+                seq,
+            } => format!(
+                "\"tenant\":{},\"session\":{session},\"seq\":{seq}",
+                json_str(tenant)
+            ),
         };
         format!("{{\"t_us\":{t_us},\"type\":\"{}\",{body}}}", self.kind())
     }
+}
+
+/// JSON string literal with the two escapes that matter for
+/// caller-supplied names (quotes, backslashes) plus control bytes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// JSON-safe float formatting (no NaN/inf in the output stream).
@@ -272,6 +367,32 @@ mod tests {
                 sent: 4096,
                 received: 8192,
             },
+            Event::SessionOpened {
+                session: 3,
+                tenant: "t0".into(),
+            },
+            Event::SessionClosed {
+                session: 3,
+                tenant: "t0".into(),
+                completed: 100,
+                reason: "complete".into(),
+            },
+            Event::SubmitRejected {
+                session: 3,
+                tenant: "t0".into(),
+                tasks: 512,
+                queued: 4096,
+            },
+            Event::TenantShardSent {
+                tenant: "t0".into(),
+                agent: 1,
+                tasks: 64,
+            },
+            Event::TenantTaskDone {
+                tenant: "t0".into(),
+                session: 3,
+                seq: 17,
+            },
         ];
         let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
@@ -322,6 +443,32 @@ mod tests {
                 sent: 123456,
                 received: 654321,
             },
+            Event::SessionOpened {
+                session: 7,
+                tenant: "tenant \"a\"\\b".into(),
+            },
+            Event::SessionClosed {
+                session: 7,
+                tenant: "t1".into(),
+                completed: 9,
+                reason: "disconnect".into(),
+            },
+            Event::SubmitRejected {
+                session: 7,
+                tenant: "t1".into(),
+                tasks: 100,
+                queued: 1024,
+            },
+            Event::TenantShardSent {
+                tenant: "t1".into(),
+                agent: 2,
+                tasks: 32,
+            },
+            Event::TenantTaskDone {
+                tenant: "t1".into(),
+                session: 7,
+                seq: 5,
+            },
         ];
         for e in &events {
             let line = e.to_jsonl(at);
@@ -332,6 +479,10 @@ mod tests {
         let v = serde_json::from_str(&events[0].to_jsonl(at)).unwrap();
         assert_eq!(v["seq"].as_u64(), Some(42));
         assert_eq!(v["runtime_us"].as_u64(), Some(545_000));
+        // Tenant names are caller-supplied; quotes and backslashes must
+        // survive the JSON encoding.
+        let v = serde_json::from_str(&events[9].to_jsonl(at)).unwrap();
+        assert_eq!(v["tenant"].as_str(), Some("tenant \"a\"\\b"));
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub struct MetricsSnapshot {
 }
 
 /// Every kind string, in counter-slot order. Indexed by [`kind_slot`].
-const KINDS: [&str; 19] = [
+const KINDS: [&str; 24] = [
     "queued",
     "slot_acquired",
     "spawned",
@@ -118,6 +118,11 @@ const KINDS: [&str; 19] = [
     "agent_lost",
     "shard_sent",
     "frame_bytes",
+    "session_opened",
+    "session_closed",
+    "submit_rejected",
+    "tenant_shard_sent",
+    "tenant_task_done",
 ];
 
 /// Counter slot for an event — a direct variant match, so the hot
@@ -143,6 +148,11 @@ fn kind_slot(event: &Event) -> usize {
         Event::AgentLost { .. } => 16,
         Event::ShardSent { .. } => 17,
         Event::FrameBytes { .. } => 18,
+        Event::SessionOpened { .. } => 19,
+        Event::SessionClosed { .. } => 20,
+        Event::SubmitRejected { .. } => 21,
+        Event::TenantShardSent { .. } => 22,
+        Event::TenantTaskDone { .. } => 23,
     }
 }
 
