@@ -142,6 +142,16 @@ impl PilotGateMeasurement {
     }
 }
 
+/// Fresh journal dir for one gate phase. Both phases run with
+/// `state_dir` set: journaling fsyncs on every admission, so the
+/// committed floors must hold in the durable configuration, not just
+/// the in-memory one.
+fn gate_state_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("htpar-pilot-gate-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
 /// Run one complete session and return its time-to-first-task.
 fn run_session(spec: &str, tenant: &str, payload: Payload, tasks: u64) -> Result<Duration, String> {
     let mut config = SessionConfig::new(spec, tenant);
@@ -177,9 +187,11 @@ fn measure_throughput(
     payload: Payload,
 ) -> Result<(Duration, Vec<Duration>), String> {
     let total_sessions = (PILOT_GATE_CONCURRENCY * PILOT_GATE_WAVES) as u64;
+    let state_dir = gate_state_dir("throughput");
     let mut config = ServeConfig::new(specs, "127.0.0.1:0");
     config.jobs_per_agent = PILOT_GATE_JOBS;
     config.max_sessions = Some(total_sessions);
+    config.state_dir = Some(state_dir.clone());
     let server = PilotServer::bind(config).map_err(|e| format!("pilot bind: {e}"))?;
     let spec = server
         .local_spec()
@@ -221,6 +233,7 @@ fn measure_throughput(
             total_sessions * PILOT_GATE_TASKS_PER_SESSION
         ));
     }
+    let _ = std::fs::remove_dir_all(&state_dir);
     Ok((wall, ttfts))
 }
 
@@ -233,9 +246,11 @@ fn measure_fairness(specs: Vec<String>) -> Result<f64, String> {
     let bus = Arc::new(EventBus::new());
     bus.attach(recorder.clone());
 
+    let state_dir = gate_state_dir("fairness");
     let mut config = ServeConfig::new(specs, "127.0.0.1:0");
     config.jobs_per_agent = PILOT_GATE_JOBS;
     config.max_sessions = Some(FAIR_WEIGHTS.len() as u64);
+    config.state_dir = Some(state_dir.clone());
     config.bus = Some(bus);
     let server = PilotServer::bind(config).map_err(|e| format!("pilot bind: {e}"))?;
     let spec = server
@@ -281,6 +296,7 @@ fn measure_fairness(specs: Vec<String>) -> Result<f64, String> {
         .join()
         .map_err(|_| "serve thread panicked".to_string())?
         .map_err(|e| format!("serve: {e}"))?;
+    let _ = std::fs::remove_dir_all(&state_dir);
 
     // Walk dispatch events chronologically; the contended window ends
     // when the first tenant's backlog is exhausted (after that, the

@@ -73,6 +73,12 @@ usage: htpar serve (--agents SPEC[,SPEC...] | --local-cluster N) [OPTIONS]
       --oversub N        in-flight target per agent, in multiples of
                          its slots (default: 4)
       --joblog-dir DIR   per-tenant joblogs, DIR/<tenant>.joblog
+      --state-dir DIR    write-ahead session journal (DIR/pilot.journal);
+                         a restarted pilot recovers accepted-but-
+                         unfinished work from it
+      --detach-ttl SECS  hold a detached session for SECS after its
+                         socket drops before purging its work
+                         (default: 3600; 0 holds forever)
       --max-sessions N   exit after N sessions close (default: forever)
       --heartbeat-ms MS  agent heartbeat interval (default: 200)
       --lease-ms MS      declare an agent lost after MS of silence
@@ -93,6 +99,13 @@ usage: htpar submit --connect ADDR [OPTIONS] COMMAND... [::: ARGS...]
   --priority N       priority level, higher wins (default: 0)
   --payload KIND     shell (default), noop, or sleep:MICROS
   --batch N          tasks per Submit frame (default: 1000)
+  --retry-max N      give up after N backpressure retries per batch,
+                     with capped exponential backoff (default: 10)
+  --detach KEY       submit everything, then detach: the pilot keeps
+                     the work alive; collect later with --reattach KEY
+  --reattach KEY     reattach to a detached session and collect its
+                     results (no command template; requires --tenant
+                     to match the detached session)
 With no ::: source, arguments are read from stdin, one per line.";
 
 /// Dispatch a net subcommand. `None` means `argv` is a classic
@@ -523,6 +536,9 @@ pub struct ServeSpec {
     pub max_queue: u64,
     pub oversub: u32,
     pub joblog_dir: Option<PathBuf>,
+    pub state_dir: Option<PathBuf>,
+    /// Detach TTL in seconds; 0 holds detached sessions forever.
+    pub detach_ttl: u64,
     pub max_sessions: Option<u64>,
     pub heartbeat_ms: u32,
     pub lease_window_ms: u64,
@@ -543,6 +559,8 @@ impl Default for ServeSpec {
             max_queue: 100_000,
             oversub: 4,
             joblog_dir: None,
+            state_dir: None,
+            detach_ttl: 3_600,
             max_sessions: None,
             heartbeat_ms: 200,
             lease_window_ms: 2_000,
@@ -610,6 +628,16 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeSpec, String> {
             }
             "--joblog-dir" => {
                 spec.joblog_dir = Some(PathBuf::from(value(argv, i, "--joblog-dir")?));
+                i += 2;
+            }
+            "--state-dir" => {
+                spec.state_dir = Some(PathBuf::from(value(argv, i, "--state-dir")?));
+                i += 2;
+            }
+            "--detach-ttl" => {
+                spec.detach_ttl = value(argv, i, "--detach-ttl")?
+                    .parse()
+                    .map_err(|_| "--detach-ttl needs seconds".to_string())?;
                 i += 2;
             }
             "--max-sessions" => {
@@ -719,6 +747,12 @@ fn run_serve(argv: &[String]) -> i32 {
     config.max_queue_per_tenant = spec.max_queue;
     config.oversub = spec.oversub;
     config.joblog_dir = spec.joblog_dir.clone();
+    config.state_dir = spec.state_dir.clone();
+    config.detach_ttl = if spec.detach_ttl == 0 {
+        None
+    } else {
+        Some(Duration::from_secs(spec.detach_ttl))
+    };
     config.max_sessions = spec.max_sessions;
     config.heartbeat_ms = spec.heartbeat_ms;
     config.lease_window_ms = spec.lease_window_ms;
@@ -816,6 +850,9 @@ pub struct SubmitSpec {
     pub priority: u32,
     pub payload: Payload,
     pub batch: usize,
+    pub retry_max: u32,
+    pub detach: Option<u64>,
+    pub reattach: Option<u64>,
     pub command: String,
     pub values: Option<Vec<String>>,
     pub help: bool,
@@ -830,6 +867,9 @@ impl Default for SubmitSpec {
             priority: 0,
             payload: Payload::Shell,
             batch: 1_000,
+            retry_max: 10,
+            detach: None,
+            reattach: None,
             command: String::new(),
             values: None,
             help: false,
@@ -878,6 +918,28 @@ pub fn parse_submit(argv: &[String]) -> Result<SubmitSpec, String> {
                     .map_err(|_| "--batch needs a count".to_string())?;
                 i += 2;
             }
+            "--retry-max" => {
+                spec.retry_max = value(argv, i, "--retry-max")?
+                    .parse()
+                    .map_err(|_| "--retry-max needs a count".to_string())?;
+                i += 2;
+            }
+            "--detach" => {
+                spec.detach = Some(
+                    value(argv, i, "--detach")?
+                        .parse()
+                        .map_err(|_| "--detach needs a numeric key".to_string())?,
+                );
+                i += 2;
+            }
+            "--reattach" => {
+                spec.reattach = Some(
+                    value(argv, i, "--reattach")?
+                        .parse()
+                        .map_err(|_| "--reattach needs a numeric key".to_string())?,
+                );
+                i += 2;
+            }
             "--help" | "-h" => {
                 spec.help = true;
                 return Ok(spec);
@@ -899,7 +961,14 @@ pub fn parse_submit(argv: &[String]) -> Result<SubmitSpec, String> {
     if i < argv.len() {
         spec.values = Some(argv[i + 1..].to_vec());
     }
-    if spec.command.is_empty() {
+    if spec.detach.is_some() && spec.reattach.is_some() {
+        return Err("--detach and --reattach are mutually exclusive".to_string());
+    }
+    if spec.reattach.is_some() {
+        if !spec.command.is_empty() || spec.values.is_some() {
+            return Err("--reattach collects results; it takes no command or args".to_string());
+        }
+    } else if spec.command.is_empty() {
         return Err("a command template is required".to_string());
     }
     if spec.connect.is_empty() {
@@ -911,6 +980,13 @@ pub fn parse_submit(argv: &[String]) -> Result<SubmitSpec, String> {
     Ok(spec)
 }
 
+/// Backoff before the `attempt`-th backpressure resubmit: 10 ms base,
+/// doubling per attempt, capped at the same `2^10` multiplier the
+/// in-process retry path uses (`htpar_core::runner::retry_backoff`).
+fn submit_backoff(attempt: u32) -> Duration {
+    htpar_core::runner::retry_backoff(Duration::from_millis(10), attempt)
+}
+
 fn run_submit(argv: &[String]) -> i32 {
     let spec = match parse_submit(argv) {
         Ok(spec) => spec,
@@ -919,6 +995,9 @@ fn run_submit(argv: &[String]) -> i32 {
     if spec.help {
         println!("{SUBMIT_USAGE}");
         return 0;
+    }
+    if let Some(key) = spec.reattach {
+        return run_reattach(&spec, key);
     }
     let inputs: Vec<Vec<String>> = match &spec.values {
         Some(values) => values.iter().map(|v| vec![v.clone()]).collect(),
@@ -952,22 +1031,28 @@ fn run_submit(argv: &[String]) -> i32 {
         }
     };
     let started = std::time::Instant::now();
-    let mut failed = 0u64;
     for batch in inputs.chunks(spec.batch) {
-        // Admission refusals are backpressure: drain a completion event
-        // and resubmit the same batch.
+        // Admission refusals are backpressure: back off with a capped
+        // exponential schedule and resubmit the same batch. A bounded
+        // retry count turns a wedged tenant queue into a typed error
+        // instead of an infinite spin.
+        let mut attempt = 0u32;
         loop {
             match client.submit(batch) {
                 Ok(verdict) if verdict.accepted => break,
-                Ok(_) => match client.recv() {
-                    Ok(ClientEvent::Done(recs)) => {
-                        failed += recs.iter().filter(|r| r.exitval != 0).count() as u64;
+                Ok(verdict) => {
+                    if attempt >= spec.retry_max {
+                        eprintln!(
+                            "htpar submit: tenant queue still full after {} \
+                             backpressure retries (last refusal: {}); giving up",
+                            spec.retry_max, verdict.reason
+                        );
+                        client.abort();
+                        return 2;
                     }
-                    Ok(ClientEvent::SessionDone { .. }) | Err(_) => {
-                        eprintln!("htpar submit: session ended during backpressure wait");
-                        return 1;
-                    }
-                },
+                    std::thread::sleep(submit_backoff(attempt));
+                    attempt += 1;
+                }
                 Err(e) => {
                     eprintln!("htpar submit: {e}");
                     return 1;
@@ -976,7 +1061,23 @@ fn run_submit(argv: &[String]) -> i32 {
         }
     }
     let submitted = client.submitted();
-    let completed = match client.finish() {
+    if let Some(key) = spec.detach {
+        let queued = match client.detach(key) {
+            Ok(queued) => queued,
+            Err(e) => {
+                eprintln!("htpar submit: {e}");
+                return 1;
+            }
+        };
+        eprintln!(
+            "htpar submit: detached after {:.2}s: {submitted} task(s) accepted, \
+             {queued} still pending; collect with --reattach {key}",
+            started.elapsed().as_secs_f64()
+        );
+        return 0;
+    }
+    let mut failed = 0u64;
+    let completed = match drain_to_done(&mut client, &mut failed) {
         Ok(completed) => completed,
         Err(e) => {
             eprintln!("htpar submit: {e}");
@@ -985,6 +1086,56 @@ fn run_submit(argv: &[String]) -> i32 {
     };
     eprintln!(
         "htpar submit: {completed}/{submitted} task(s) completed in {:.2}s ({failed} failed)",
+        started.elapsed().as_secs_f64()
+    );
+    if completed == submitted {
+        0
+    } else {
+        1
+    }
+}
+
+/// Send the client-side `SessionDone` and drain completions until the
+/// pilot's final frame, counting nonzero exits into `failed`.
+fn drain_to_done(client: &mut SessionClient, failed: &mut u64) -> htpar_net::Result<u64> {
+    client.finish_async()?;
+    loop {
+        match client.recv()? {
+            ClientEvent::Done(recs) => {
+                *failed += recs.iter().filter(|r| r.exitval != 0).count() as u64;
+            }
+            ClientEvent::SessionDone { completed, .. } => return Ok(completed),
+        }
+    }
+}
+
+/// `htpar submit --reattach KEY`: adopt a detached session and collect
+/// its results (replayed history first, then live completions).
+fn run_reattach(spec: &SubmitSpec, key: u64) -> i32 {
+    let mut config = SessionConfig::new(spec.connect.clone(), spec.tenant.clone());
+    config.payload = spec.payload;
+    let client = match SessionClient::reattach(config, key) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("htpar submit: {e}");
+            return 1;
+        }
+    };
+    let started = std::time::Instant::now();
+    let submitted = client.submitted();
+    let mut failed = 0u64;
+    let completed = match client.collect(|recs| {
+        failed += recs.iter().filter(|r| r.exitval != 0).count() as u64;
+    }) {
+        Ok(completed) => completed,
+        Err(e) => {
+            eprintln!("htpar submit: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "htpar submit: reattached: {completed}/{submitted} task(s) collected in {:.2}s \
+         ({failed} failed)",
         started.elapsed().as_secs_f64()
     );
     if completed == submitted {
@@ -1081,6 +1232,21 @@ mod tests {
     }
 
     #[test]
+    fn serve_durability_flags_parse() {
+        let spec =
+            parse_serve(&argv("--local-cluster 2 --state-dir state --detach-ttl 30")).unwrap();
+        assert_eq!(spec.state_dir, Some(PathBuf::from("state")));
+        assert_eq!(spec.detach_ttl, 30);
+        let spec = parse_serve(&argv("--local-cluster 2")).unwrap();
+        assert_eq!(spec.state_dir, None, "journaling is opt-in");
+        assert_eq!(spec.detach_ttl, 3_600, "default TTL is one hour");
+        let spec = parse_serve(&argv("--local-cluster 2 --detach-ttl 0")).unwrap();
+        assert_eq!(spec.detach_ttl, 0, "0 holds detached sessions forever");
+        assert!(parse_serve(&argv("--local-cluster 2 --detach-ttl soon")).is_err());
+        assert!(parse_serve(&argv("--local-cluster 2 --state-dir")).is_err());
+    }
+
+    #[test]
     fn serve_defaults_and_validation() {
         let spec = parse_serve(&argv("--agents n1:4511,n2:4511")).unwrap();
         assert_eq!(spec.agents, vec!["n1:4511", "n2:4511"]);
@@ -1131,6 +1297,39 @@ mod tests {
         assert!(parse_submit(&argv("--connect a:1 --batch 0 task {}")).is_err());
         let err = parse_submit(&argv("--connect a:1 --wieght 2 task {}")).unwrap_err();
         assert!(err.contains("unknown option --wieght"), "{err}");
+    }
+
+    #[test]
+    fn submit_detach_reattach_grammar() {
+        let spec = parse_submit(&argv("--connect a:1 --detach 42 --retry-max 3 task {}")).unwrap();
+        assert_eq!(spec.detach, Some(42));
+        assert_eq!(spec.reattach, None);
+        assert_eq!(spec.retry_max, 3);
+        let spec = parse_submit(&argv("--connect a:1 --tenant ml --reattach 42")).unwrap();
+        assert_eq!(spec.reattach, Some(42));
+        assert!(spec.command.is_empty(), "reattach takes no command");
+        let spec = parse_submit(&argv("--connect a:1 task {}")).unwrap();
+        assert_eq!(spec.retry_max, 10, "default backpressure retry cap");
+        let err = parse_submit(&argv("--connect a:1 --detach 1 --reattach 2 task {}")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse_submit(&argv("--connect a:1 --reattach 2 task {}")).unwrap_err();
+        assert!(err.contains("no command"), "{err}");
+        assert!(parse_submit(&argv("--connect a:1 --detach soon task {}")).is_err());
+        assert!(parse_submit(&argv("--connect a:1 --retry-max many task {}")).is_err());
+    }
+
+    #[test]
+    fn submit_backoff_schedule_doubles_then_caps() {
+        assert_eq!(submit_backoff(0), Duration::from_millis(10));
+        assert_eq!(submit_backoff(1), Duration::from_millis(20));
+        assert_eq!(submit_backoff(2), Duration::from_millis(40));
+        assert_eq!(submit_backoff(10), Duration::from_millis(10 * 1024));
+        assert_eq!(
+            submit_backoff(11),
+            Duration::from_millis(10 * 1024),
+            "the exponent caps at 2^10"
+        );
+        assert_eq!(submit_backoff(u32::MAX), Duration::from_millis(10 * 1024));
     }
 
     #[test]

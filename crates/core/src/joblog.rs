@@ -162,8 +162,12 @@ pub struct JobLogWriter {
 
 impl JobLogWriter {
     /// Open (creating or appending). A header is written only when the
-    /// file is empty so that resumed runs keep a single header.
+    /// file is empty so that resumed runs keep a single header. A torn
+    /// final line (writer SIGKILLed mid-append) is truncated away
+    /// first — otherwise the next row would be appended onto the
+    /// partial line and both records would be lost to parsers.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<JobLogWriter> {
+        repair_torn_tail(path.as_ref())?;
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -209,6 +213,47 @@ impl JobLogWriter {
     }
 }
 
+/// A row only counts once its newline reaches the file, so bytes after
+/// the last newline were never committed: truncate them before
+/// appending, keeping the log parseable by the strict reader.
+fn repair_torn_tail(path: &Path) -> Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = match OpenOptions::new().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(Error::JobLog(e)),
+    };
+    let len = file.metadata().map_err(Error::JobLog)?.len();
+    if len == 0 {
+        return Ok(());
+    }
+    file.seek(SeekFrom::End(-1)).map_err(Error::JobLog)?;
+    let mut last = [0u8; 1];
+    file.read_exact(&mut last).map_err(Error::JobLog)?;
+    if last[0] == b'\n' {
+        return Ok(());
+    }
+    // Walk back in chunks to the last newline (a large stdout column
+    // can stretch one row past any fixed tail window).
+    let mut keep = 0u64;
+    let mut pos = len;
+    let mut buf = [0u8; 4096];
+    'scan: while pos > 0 {
+        let n = std::cmp::min(buf.len() as u64, pos);
+        pos -= n;
+        file.seek(SeekFrom::Start(pos)).map_err(Error::JobLog)?;
+        let chunk = &mut buf[..n as usize];
+        file.read_exact(chunk).map_err(Error::JobLog)?;
+        for i in (0..chunk.len()).rev() {
+            if chunk[i] == b'\n' {
+                keep = pos + i as u64 + 1;
+                break 'scan;
+            }
+        }
+    }
+    file.set_len(keep).map_err(Error::JobLog)
+}
+
 /// Best-effort local hostname (joblogs are informational).
 fn hostname() -> String {
     std::env::var("HOSTNAME").unwrap_or_else(|_| "localhost".to_string())
@@ -232,6 +277,38 @@ pub fn read_log<P: AsRef<Path>>(path: P) -> Result<Vec<LogEntry>> {
             continue;
         }
         entries.push(LogEntry::parse(&line, idx + 1)?);
+    }
+    Ok(entries)
+}
+
+/// Like [`read_log`], but tolerant of a torn tail: a process SIGKILLed
+/// mid-append can leave a final partial line, and a recovery reader
+/// must skip that line rather than refuse the whole log. Only the
+/// *last* line may be dropped; an unparsable line followed by intact
+/// records is corruption, not a torn append, and still errors.
+pub fn read_log_tolerant<P: AsRef<Path>>(path: P) -> Result<Vec<LogEntry>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(Error::JobLog(e)),
+    };
+    let lines: Vec<String> = BufReader::new(file)
+        .lines()
+        .collect::<std::io::Result<_>>()
+        .map_err(Error::JobLog)?;
+    let mut entries = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if idx == 0 && line.starts_with("Seq\t") {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match LogEntry::parse(line, idx + 1) {
+            Ok(entry) => entries.push(entry),
+            Err(_) if idx + 1 == lines.len() => break,
+            Err(e) => return Err(e),
+        }
     }
     Ok(entries)
 }
@@ -340,6 +417,81 @@ mod tests {
     fn missing_file_reads_empty() {
         let entries = read_log("/definitely/not/here.tsv").unwrap();
         assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn tolerant_reader_skips_only_a_torn_tail() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("htpar-joblog-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.tsv");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JobLogWriter::open(&path).unwrap();
+            w.record(&result(1, JobStatus::Success)).unwrap();
+            w.record(&result(2, JobStatus::Success)).unwrap();
+        }
+        // Simulate a SIGKILL mid-append: a partial record with no
+        // terminating structure.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "3\tagent-0\t17").unwrap();
+        }
+        assert!(read_log(&path).is_err(), "strict reader refuses the tear");
+        let entries = read_log_tolerant(&path).unwrap();
+        assert_eq!(entries.len(), 2, "intact prefix survives");
+        assert_eq!(entries[1].seq, 2);
+        // A malformed line *before* intact records is corruption and
+        // still errors.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(f, "\tgarbage").unwrap();
+            writeln!(
+                f,
+                "{}",
+                LogEntry::from_result(&result(4, JobStatus::Success), "h").to_line()
+            )
+            .unwrap();
+        }
+        assert!(read_log_tolerant(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_truncates_a_torn_tail_before_appending() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("htpar-joblog-repair-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repair.tsv");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JobLogWriter::open(&path).unwrap();
+            w.record(&result(1, JobStatus::Success)).unwrap();
+            w.record(&result(2, JobStatus::Success)).unwrap();
+        }
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "3\tagent-0\t17").unwrap();
+        }
+        {
+            let mut w = JobLogWriter::open(&path).unwrap();
+            w.record(&result(4, JobStatus::Success)).unwrap();
+        }
+        // The torn seq-3 bytes are gone, the appended row is intact,
+        // and the strict reader accepts the whole file again.
+        let entries = read_log(&path).unwrap();
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 4]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -214,16 +214,26 @@ impl SessionClient {
         }
     }
 
-    /// Tell the pilot no more submits will come, then wait for every
-    /// accepted task to complete. Returns the completion total from the
-    /// pilot's final `SessionDone`.
-    pub fn finish(mut self) -> Result<u64> {
+    /// Tell the pilot no more submits will come, without waiting: the
+    /// caller keeps the client and drains completions via [`recv`]
+    /// until the pilot's final `SessionDone` arrives.
+    ///
+    /// [`recv`]: SessionClient::recv
+    pub fn finish_async(&mut self) -> Result<()> {
         let done = Frame::SessionDone {
             completed: self.completed,
             reason: String::new(),
         };
         self.conn.write_all(&done.encode())?;
         self.conn.flush()?;
+        Ok(())
+    }
+
+    /// Tell the pilot no more submits will come, then wait for every
+    /// accepted task to complete. Returns the completion total from the
+    /// pilot's final `SessionDone`.
+    pub fn finish(mut self) -> Result<u64> {
+        self.finish_async()?;
         loop {
             match self.recv()? {
                 ClientEvent::Done(_) => {}
@@ -237,6 +247,93 @@ impl SessionClient {
     /// completes.
     pub fn abort(self) {
         self.conn.shutdown();
+    }
+
+    /// Detach (v4+): ask the pilot to keep this session's accepted
+    /// work alive after the socket drops, keyed by `detach_key`. Waits
+    /// for the pilot's durable ack (the detach is fsynced first),
+    /// buffering completion traffic, then closes the connection.
+    /// Returns the number of accepted-but-undelivered tasks the pilot
+    /// reported; a refusal surfaces as a typed protocol error.
+    pub fn detach(mut self, detach_key: u64) -> Result<u64> {
+        let frame = Frame::Detach { detach_key };
+        self.conn.write_all(&frame.encode())?;
+        self.conn.flush()?;
+        loop {
+            match read_next(&mut self.conn, &mut self.dec)? {
+                Some(Frame::SessionAck {
+                    submit_id,
+                    accepted,
+                    queued,
+                    reason,
+                }) if submit_id == detach_key => {
+                    if !accepted {
+                        return Err(NetError::Protocol(format!("detach refused: {reason}")));
+                    }
+                    self.conn.shutdown();
+                    return Ok(queued);
+                }
+                Some(other) => self.buffer_event(other)?,
+                None => {
+                    return Err(NetError::Protocol(
+                        "pilot closed while awaiting detach ack".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Reattach (v4+) to a session previously detached under
+    /// `detach_key`: dial, handshake, and adopt the detached session.
+    /// The pilot immediately replays every already-recorded completion
+    /// (synthesized from the per-tenant joblog), then streams the rest
+    /// live; the returned client is collect-only — drain it with
+    /// [`SessionClient::collect`]. `submitted()`/`completed()` reflect
+    /// the detached session's accepted total and zero collected so far.
+    pub fn reattach(config: SessionConfig, detach_key: u64) -> Result<SessionClient> {
+        let mut client = SessionClient::connect(config)?;
+        let frame = Frame::Reattach {
+            tenant: client.config.tenant.clone(),
+            detach_key,
+        };
+        client.conn.write_all(&frame.encode())?;
+        client.conn.flush()?;
+        loop {
+            match read_next(&mut client.conn, &mut client.dec)? {
+                Some(Frame::ReattachAck {
+                    found,
+                    submitted,
+                    reason,
+                    ..
+                }) => {
+                    if !found {
+                        return Err(NetError::Protocol(format!("reattach refused: {reason}")));
+                    }
+                    client.submitted = submitted;
+                    return Ok(client);
+                }
+                Some(other) => client.buffer_event(other)?,
+                None => {
+                    return Err(NetError::Protocol(
+                        "pilot closed while awaiting ReattachAck".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Drain a reattached session to completion: receive (replayed and
+    /// live) `DoneBatch`es until the pilot's `SessionDone`, without
+    /// writing anything — the pilot closes the socket after its final
+    /// frame, so a write here would race an EPIPE. Each batch is
+    /// handed to `on_done`. Returns the pilot's completion total.
+    pub fn collect(mut self, mut on_done: impl FnMut(&[TaskDoneRec])) -> Result<u64> {
+        loop {
+            match self.recv()? {
+                ClientEvent::Done(recs) => on_done(&recs),
+                ClientEvent::SessionDone { completed, .. } => return Ok(completed),
+            }
+        }
     }
 
     fn buffer_event(&mut self, frame: Frame) -> Result<()> {

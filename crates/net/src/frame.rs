@@ -23,8 +23,10 @@ use std::fmt;
 /// v2 added [`Frame::DoneBatch`] (coalesced completion acks). v3 added
 /// the pilot-service session frames ([`Frame::Submit`],
 /// [`Frame::SessionAck`], [`Frame::SessionDone`]) and the
-/// [`Payload::Dynamic`] per-task directive payload.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// [`Payload::Dynamic`] per-task directive payload. v4 added the
+/// durable-session frames ([`Frame::Detach`], [`Frame::Reattach`],
+/// [`Frame::ReattachAck`]).
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Hard ceiling on one frame's body. A `Shard` of [`SHARD_CHUNK`] tasks
 /// with generous arguments stays far below this; anything bigger is a
@@ -151,6 +153,28 @@ pub enum Frame {
     /// `Submit`s will come. Pilot → client: every accepted task has
     /// completed and been delivered; the connection closes after it.
     SessionDone { completed: u64, reason: String },
+    /// Client → pilot (v4+): keep this session's accepted work alive
+    /// after the socket drops. The pilot answers with a
+    /// [`Frame::SessionAck`] echoing `detach_key` as its submit id;
+    /// once that ack arrives the client may disconnect and later
+    /// [`Frame::Reattach`] by the same key.
+    Detach { detach_key: u64 },
+    /// Client → pilot (v4+), first frame after the handshake on a
+    /// fresh connection: adopt the detached session of `tenant` that
+    /// detached under `detach_key`.
+    Reattach { tenant: String, detach_key: u64 },
+    /// Pilot → client (v4+): reattach verdict. On `found`, the pilot
+    /// replays already-recorded completions (synthesized from the
+    /// per-tenant joblog) and then streams the rest live.
+    ReattachAck {
+        found: bool,
+        /// Tasks the detached session had accepted in total.
+        submitted: u64,
+        /// Tasks already completed and recorded (these are replayed).
+        completed: u64,
+        /// Why `found` is false; empty on success.
+        reason: String,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -164,6 +188,9 @@ const TAG_DONE_BATCH: u8 = 8;
 const TAG_SUBMIT: u8 = 9;
 const TAG_SESSION_ACK: u8 = 10;
 const TAG_SESSION_DONE: u8 = 11;
+const TAG_DETACH: u8 = 12;
+const TAG_REATTACH: u8 = 13;
+const TAG_REATTACH_ACK: u8 = 14;
 
 const PAYLOAD_SHELL: u8 = 0;
 const PAYLOAD_NOOP: u8 = 1;
@@ -363,6 +390,27 @@ impl Frame {
                 body.extend_from_slice(&completed.to_le_bytes());
                 put_str(&mut body, reason);
             }
+            Frame::Detach { detach_key } => {
+                body.push(TAG_DETACH);
+                body.extend_from_slice(&detach_key.to_le_bytes());
+            }
+            Frame::Reattach { tenant, detach_key } => {
+                body.push(TAG_REATTACH);
+                put_str(&mut body, tenant);
+                body.extend_from_slice(&detach_key.to_le_bytes());
+            }
+            Frame::ReattachAck {
+                found,
+                submitted,
+                completed,
+                reason,
+            } => {
+                body.push(TAG_REATTACH_ACK);
+                body.push(*found as u8);
+                body.extend_from_slice(&submitted.to_le_bytes());
+                body.extend_from_slice(&completed.to_le_bytes());
+                put_str(&mut body, reason);
+            }
         }
         let mut out = Vec::with_capacity(4 + body.len());
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -547,6 +595,19 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             reason: b.string()?,
         },
         TAG_SESSION_DONE => Frame::SessionDone {
+            completed: b.u64()?,
+            reason: b.string()?,
+        },
+        TAG_DETACH => Frame::Detach {
+            detach_key: b.u64()?,
+        },
+        TAG_REATTACH => Frame::Reattach {
+            tenant: b.string()?,
+            detach_key: b.u64()?,
+        },
+        TAG_REATTACH_ACK => Frame::ReattachAck {
+            found: b.u8()? != 0,
+            submitted: b.u64()?,
             completed: b.u64()?,
             reason: b.string()?,
         },
@@ -740,6 +801,26 @@ mod tests {
         round_trip(Frame::SessionDone {
             completed: 10_000,
             reason: "complete".into(),
+        });
+        round_trip(Frame::Detach { detach_key: 42 });
+        round_trip(Frame::Detach {
+            detach_key: u64::MAX,
+        });
+        round_trip(Frame::Reattach {
+            tenant: "astro/sim".into(),
+            detach_key: 42,
+        });
+        round_trip(Frame::ReattachAck {
+            found: true,
+            submitted: 10_000,
+            completed: 9_999,
+            reason: String::new(),
+        });
+        round_trip(Frame::ReattachAck {
+            found: false,
+            submitted: 0,
+            completed: 0,
+            reason: "no detached session for key 42".into(),
         });
     }
 
@@ -937,7 +1018,7 @@ mod tests {
         impl Strategy for FrameStrategy {
             type Value = Frame;
             fn generate(&self, rng: &mut TestRng) -> Frame {
-                match rng.below(10) {
+                match rng.below(11) {
                     0 => Frame::Hello {
                         version: rng.below(u16::MAX as u64 + 1) as u16,
                         jobs: rng.below(1 << 16) as u32,
@@ -1013,7 +1094,7 @@ mod tests {
                                 .collect(),
                         }
                     }
-                    _ => {
+                    9 => {
                         if rng.below(2) == 0 {
                             Frame::SessionAck {
                                 submit_id: rng.next_u64(),
@@ -1028,6 +1109,21 @@ mod tests {
                             }
                         }
                     }
+                    _ => match rng.below(3) {
+                        0 => Frame::Detach {
+                            detach_key: rng.next_u64(),
+                        },
+                        1 => Frame::Reattach {
+                            tenant: arb_string(rng),
+                            detach_key: rng.next_u64(),
+                        },
+                        _ => Frame::ReattachAck {
+                            found: rng.below(2) == 0,
+                            submitted: rng.next_u64(),
+                            completed: rng.next_u64(),
+                            reason: arb_string(rng),
+                        },
+                    },
                 }
             }
         }

@@ -29,6 +29,8 @@
 //! - [`remote`] — a socket-backed [`htpar_core::remote`] executor.
 //! - [`serve`] — the pilot service: a persistent fleet multiplexing
 //!   many client sessions through a pluggable multi-tenant scheduler.
+//! - [`journal`] — the pilot's write-ahead journal (`--state-dir`):
+//!   admission-fsynced session records that survive a pilot SIGKILL.
 //! - [`client`] — the blocking session client (`htpar submit`, load
 //!   generators, tests).
 
@@ -37,6 +39,7 @@ pub mod client;
 pub mod conn;
 pub mod driver;
 pub mod frame;
+pub mod journal;
 pub mod lease;
 pub mod local;
 pub mod nbio;

@@ -30,15 +30,20 @@
 //!   released on completion — slots never leak (the final
 //!   `SlotOccupancy` event reports zero busy);
 //! - an old-version client gets a clean `AgentExit` refusal it can
-//!   decode, not a socket drop.
+//!   decode, not a socket drop;
+//! - with `--state-dir`, sessions are durable: a `Detach`ed client may
+//!   drop its socket and `Reattach` later by key, and every admission
+//!   is fsynced to a write-ahead [`crate::journal`] so a SIGKILLed
+//!   pilot restarts with exactly the unfinished seqs re-dispatched
+//!   (see `DESIGN.md` §13 "Durability").
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::os::fd::AsRawFd;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use htpar_core::joblog::{JobLogWriter, LogEntry};
+use htpar_core::joblog::{self, JobLogWriter, LogEntry};
 use htpar_core::sched::{SchedPolicy, Scheduler};
 use htpar_core::template::{ExpandContext, Template};
 use htpar_telemetry::{Event, EventBus};
@@ -46,6 +51,7 @@ use htpar_telemetry::{Event, EventBus};
 use crate::conn::{Conn, Listener};
 use crate::driver::{connect_handshake, AgentStat};
 use crate::frame::{Frame, Payload, TaskDoneRec, TaskSpec, PROTOCOL_VERSION, SHARD_CHUNK};
+use crate::journal::{read_journal, JRecord, JTask, JournalWriter, JOURNAL_FILE};
 use crate::lease::LeaseTracker;
 use crate::nbio::{Fill, Flush, FrameConn};
 use crate::reactor::{Interest, PollEvent, Reactor};
@@ -60,9 +66,33 @@ pub const SERVE_ANNOUNCE_PREFIX: &str = "HTPAR_SERVE_LISTENING";
 /// collide) occupies the high bits.
 const SESSION_SEQ_BITS: u32 = 40;
 const MAX_LOCAL_SEQ: u64 = (1 << SESSION_SEQ_BITS) - 1;
+/// Highest usable session id: `session + 1` must fit the high bits of
+/// a wire seq, so ids at or past `2^24 - 1` would overflow into (or
+/// wrap out of) another session's seq space.
+const MAX_SESSION_ID: u64 = (1 << (64 - SESSION_SEQ_BITS)) - 2;
 
+/// Compose a wire seq. Callers must have validated both components at
+/// admission ([`wire_seq_checked`]); the debug asserts catch any path
+/// that skips that validation before it can misroute completions.
 fn wire_seq(session: u64, local_seq: u64) -> u64 {
+    debug_assert!(
+        session <= MAX_SESSION_ID,
+        "session id {session} overflows the wire-seq namespace"
+    );
+    debug_assert!(
+        (1..=MAX_LOCAL_SEQ).contains(&local_seq),
+        "local seq {local_seq} outside [1, {MAX_LOCAL_SEQ}]"
+    );
     ((session + 1) << SESSION_SEQ_BITS) | local_seq
+}
+
+/// Bounds-checked [`wire_seq`]: `None` when either component would
+/// escape its bit field and alias another session's seqs.
+fn wire_seq_checked(session: u64, local_seq: u64) -> Option<u64> {
+    if session > MAX_SESSION_ID || local_seq == 0 || local_seq > MAX_LOCAL_SEQ {
+        return None;
+    }
+    Some(((session + 1) << SESSION_SEQ_BITS) | local_seq)
 }
 
 /// Pilot-side configuration.
@@ -98,6 +128,14 @@ pub struct ServeConfig {
     pub max_sessions: Option<u64>,
     /// Per-connection cap on bytes queued to a socket.
     pub write_queue_cap: usize,
+    /// Directory for the write-ahead session journal. When set, every
+    /// admission is fsynced before its `SessionAck` and a restarted
+    /// pilot recovers accepted-but-unfinished work from it; `None`
+    /// disables durability (sessions die with the pilot).
+    pub state_dir: Option<PathBuf>,
+    /// How long a detached session (socket gone) is held for reattach
+    /// before its remaining work is purged; `None` holds forever.
+    pub detach_ttl: Option<Duration>,
 }
 
 impl ServeConfig {
@@ -116,6 +154,8 @@ impl ServeConfig {
             bus: None,
             max_sessions: None,
             write_queue_cap: 1 << 20,
+            state_dir: None,
+            detach_ttl: None,
         }
     }
 
@@ -215,6 +255,37 @@ struct Session {
     /// Final frame queued; close once the socket drains.
     closing: bool,
     want_write: bool,
+    /// The session survives its socket: the client detached (or the
+    /// session was recovered from the journal) and may reattach.
+    detached: bool,
+    /// Key the client reattaches by.
+    detach_key: u64,
+    /// When the session detached; drives the `detach_ttl` sweep.
+    detached_at: Option<Instant>,
+    /// A `SessionOpen` record for this session is in the journal.
+    journaled: bool,
+}
+
+impl Session {
+    fn fresh(fc: Option<FrameConn<Conn>>) -> Session {
+        Session {
+            fc,
+            active: false,
+            tenant: None,
+            payload: Payload::Noop,
+            template: None,
+            submitted: 0,
+            completed: 0,
+            recorded: HashSet::new(),
+            client_done: false,
+            closing: false,
+            want_write: false,
+            detached: false,
+            detach_key: 0,
+            detached_at: None,
+            journaled: false,
+        }
+    }
 }
 
 /// One admitted, not-yet-dispatched task.
@@ -345,6 +416,11 @@ struct Pilot {
     /// Last occupancy emitted, to keep the event stream edge-triggered.
     last_busy: Option<usize>,
     capacity: usize,
+    /// Write-ahead journal; `Some` iff `config.state_dir` is set.
+    journal: Option<JournalWriter>,
+    /// Completions recorded since the last journal flush, appended as
+    /// `Done` records *after* the tenant joblogs flush each loop.
+    pending_done: Vec<(u64, u64)>,
 }
 
 impl Pilot {
@@ -352,7 +428,7 @@ impl Pilot {
         let capacity = server.agents.iter().map(|a| a.slots as usize).sum();
         let lease = LeaseTracker::new(server.agents.len());
         let scheduler = server.config.policy.build();
-        Ok(Pilot {
+        let mut pilot = Pilot {
             config: server.config,
             reactor: server.reactor,
             listener: server.listener,
@@ -372,7 +448,165 @@ impl Pilot {
             rr: 0,
             last_busy: None,
             capacity,
-        })
+            journal: None,
+            pending_done: Vec::new(),
+        };
+        if let Some(dir) = pilot.config.state_dir.clone() {
+            pilot.recover(&dir)?;
+            pilot.journal = Some(JournalWriter::open(&dir)?);
+        }
+        Ok(pilot)
+    }
+
+    /// Rebuild the session table from a previous pilot's journal:
+    /// unclosed sessions come back under their original ids (so wire
+    /// seqs stay stable) as detached sessions awaiting reattach, with
+    /// exactly the unfinished seqs re-queued. A seq counts as done if
+    /// the journal says so *or* the tenant joblog holds its row — the
+    /// joblog flush precedes the journal `Done` flush, so either
+    /// surviving record proves completion.
+    fn recover(&mut self, dir: &Path) -> Result<()> {
+        struct RSession {
+            tenant: String,
+            weight: u32,
+            priority: u32,
+            accepted: Vec<JTask>,
+            done: HashSet<u64>,
+            detach_key: u64,
+        }
+        let recs = read_journal(&dir.join(JOURNAL_FILE))?;
+        if recs.is_empty() {
+            return Ok(());
+        }
+        let mut rs: HashMap<u64, RSession> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        let mut max_id = 0u64;
+        for rec in recs {
+            match rec {
+                JRecord::SessionOpen {
+                    session,
+                    tenant,
+                    weight,
+                    priority,
+                } => {
+                    max_id = max_id.max(session);
+                    order.push(session);
+                    rs.insert(
+                        session,
+                        RSession {
+                            tenant,
+                            weight,
+                            priority,
+                            accepted: Vec::new(),
+                            done: HashSet::new(),
+                            detach_key: 0,
+                        },
+                    );
+                }
+                JRecord::Accepted { session, tasks } => {
+                    if let Some(r) = rs.get_mut(&session) {
+                        r.accepted.extend(tasks);
+                    }
+                }
+                JRecord::Done { session, seqs } => {
+                    if let Some(r) = rs.get_mut(&session) {
+                        r.done.extend(seqs);
+                    }
+                }
+                JRecord::Detached {
+                    session,
+                    detach_key,
+                } => {
+                    if let Some(r) = rs.get_mut(&session) {
+                        r.detach_key = detach_key;
+                    }
+                }
+                JRecord::Closed { session } => {
+                    rs.remove(&session);
+                }
+            }
+        }
+        self.next_session = max_id + 1;
+        if rs.is_empty() {
+            return Ok(());
+        }
+        // Per-tenant joblog rows, loaded once per tenant on demand.
+        let mut log_seqs: HashMap<usize, HashSet<u64>> = HashMap::new();
+        let mut recovered_sessions = 0u64;
+        let mut recovered_tasks = 0u64;
+        for id in order {
+            let Some(r) = rs.remove(&id) else {
+                continue;
+            };
+            let tidx = match self.tenant_ids.get(&r.tenant) {
+                Some(&tidx) => tidx,
+                None => {
+                    let tidx = self.tenants.len();
+                    self.tenant_ids.insert(r.tenant.clone(), tidx);
+                    self.tenants.push(Tenant {
+                        name: r.tenant.clone(),
+                        queue: VecDeque::new(),
+                        log: None,
+                        completed: 0,
+                        rejected_submits: 0,
+                    });
+                    tidx
+                }
+            };
+            self.scheduler.set_tenant(tidx, r.weight, r.priority);
+            let accepted_seqs: HashSet<u64> = r.accepted.iter().map(|t| t.local_seq).collect();
+            let mut done = r.done;
+            if let Some(joblog_dir) = &self.config.joblog_dir {
+                let from_log = match log_seqs.entry(tidx) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let path =
+                            joblog_dir.join(format!("{}.joblog", sanitize_tenant(&r.tenant)));
+                        let seqs: HashSet<u64> = joblog::read_log_tolerant(&path)?
+                            .iter()
+                            .map(|e| e.seq)
+                            .collect();
+                        e.insert(seqs)
+                    }
+                };
+                done.extend(from_log.intersection(&accepted_seqs).copied());
+            }
+            done.retain(|s| accepted_seqs.contains(s));
+            let mut unfinished = 0u64;
+            for task in r.accepted {
+                if done.contains(&task.local_seq) {
+                    continue;
+                }
+                self.tenants[tidx].queue.push_back(QTask {
+                    session: id,
+                    local_seq: task.local_seq,
+                    command: task.command,
+                    directive: task.directive,
+                });
+                unfinished += 1;
+            }
+            if unfinished > 0 {
+                self.scheduler.enqueue(tidx, unfinished);
+            }
+            let mut session = Session::fresh(None);
+            session.active = true;
+            session.tenant = Some(tidx);
+            session.submitted = (done.len() as u64) + unfinished;
+            session.completed = done.len() as u64;
+            session.recorded = done;
+            session.detached = true;
+            session.detach_key = r.detach_key;
+            session.detached_at = Some(Instant::now());
+            session.journaled = true;
+            self.sessions.insert(id, session);
+            recovered_sessions += 1;
+            recovered_tasks += unfinished;
+        }
+        self.emit(Event::PilotRecovered {
+            sessions: recovered_sessions,
+            tasks: recovered_tasks,
+        });
+        Ok(())
     }
 
     fn emit(&self, event: Event) {
@@ -424,6 +658,7 @@ impl Pilot {
                                 self.handle_agent_loss(idx)?;
                             }
                         }
+                        self.sweep_detach_ttl();
                         tick_key = self.reactor.arm_timer(Instant::now() + tick, TOK_TICK);
                     }
                     PollEvent::Timer { .. } => {}
@@ -461,6 +696,10 @@ impl Pilot {
                     log.flush()?;
                 }
             }
+            // Joblogs first, then journal `Done` records: on replay a
+            // seq is done if either survived, so this order can only
+            // cause a benign re-dispatch, never a lost completion.
+            self.flush_done_records()?;
             self.emit_occupancy();
         }
         self.reactor.cancel_timer(tick_key);
@@ -476,6 +715,10 @@ impl Pilot {
             if let Some(log) = &mut tenant.log {
                 log.flush()?;
             }
+        }
+        self.flush_done_records()?;
+        if let Some(j) = self.journal.as_mut() {
+            j.sync()?;
         }
         self.emit_occupancy();
 
@@ -517,28 +760,29 @@ impl Pilot {
     fn accept_sessions(&mut self) -> Result<()> {
         while let Some(conn) = self.listener.accept_nonblocking()? {
             conn.set_nonblocking(true)?;
+            if self.next_session > MAX_SESSION_ID {
+                // The wire-seq namespace is exhausted; admitting this
+                // session would alias another's seqs. Refuse with a
+                // frame any client version can decode. The single
+                // small frame fits a fresh socket buffer, so the
+                // best-effort blocking-style flush is fine here.
+                let mut fc = FrameConn::new(conn);
+                fc.queue_frame(&Frame::AgentExit {
+                    done: 0,
+                    reason: format!("session id space exhausted (max {MAX_SESSION_ID})"),
+                });
+                let _ = fc.flush();
+                fc.stream().shutdown();
+                continue;
+            }
             let id = self.next_session;
             self.next_session += 1;
             // Tokens are never reused across sessions, so a stale
             // reactor event for a closed session cannot alias a new one.
             self.reactor
                 .register(conn.as_raw_fd(), CLIENT_BASE + id as usize, Interest::READ)?;
-            self.sessions.insert(
-                id,
-                Session {
-                    fc: Some(FrameConn::new(conn)),
-                    active: false,
-                    tenant: None,
-                    payload: Payload::Noop,
-                    template: None,
-                    submitted: 0,
-                    completed: 0,
-                    recorded: HashSet::new(),
-                    client_done: false,
-                    closing: false,
-                    want_write: false,
-                },
-            );
+            self.sessions
+                .insert(id, Session::fresh(Some(FrameConn::new(conn))));
         }
         Ok(())
     }
@@ -592,7 +836,14 @@ impl Pilot {
                 }
             }
             if conn_down {
-                self.close_session(id, "disconnect");
+                if self.sessions.get(&id).is_some_and(|s| s.detached) {
+                    // A detached client dropping its socket is the
+                    // expected lifecycle, not an abort: release the
+                    // socket, keep the session for reattach.
+                    self.release_detached_socket(id);
+                } else {
+                    self.close_session(id, "disconnect");
+                }
                 return Ok(());
             }
         }
@@ -667,11 +918,269 @@ impl Pilot {
                 session.client_done = true;
                 Ok(self.maybe_finish_session(id))
             }
+            Frame::Detach { detach_key } => self.session_detach(id, detach_key),
+            Frame::Reattach { tenant, detach_key } => self.session_reattach(id, tenant, detach_key),
             other => {
                 self.close_session(id, &format!("protocol: unexpected client frame {other:?}"));
                 Ok(false)
             }
         }
+    }
+
+    /// Mark a session durable-detached: the client may drop its socket
+    /// after the ack and reattach later by `detach_key`. The detach is
+    /// journaled and fsynced before the ack so the key survives a
+    /// pilot crash.
+    fn session_detach(&mut self, id: u64, detach_key: u64) -> Result<bool> {
+        let session = self.sessions.get_mut(&id).expect("session alive");
+        if !session.active {
+            self.close_session(id, "protocol: Detach before Hello");
+            return Ok(false);
+        }
+        let Some(tidx) = session.tenant else {
+            // Nothing accepted yet — nothing to keep alive. Typed
+            // refusal rather than a close, mirroring admission.
+            let ack = Frame::SessionAck {
+                submit_id: detach_key,
+                accepted: false,
+                queued: 0,
+                reason: "nothing to detach: no accepted Submit yet".to_string(),
+            };
+            if let Some(fc) = session.fc.as_mut() {
+                fc.queue_frame(&ack);
+            }
+            self.pump_session(id);
+            return Ok(self.sessions.contains_key(&id));
+        };
+        session.detached = true;
+        session.detach_key = detach_key;
+        session.detached_at = Some(Instant::now());
+        let queued = session.submitted - session.completed;
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&JRecord::Detached {
+                session: id,
+                detach_key,
+            });
+            j.sync()?;
+        }
+        self.emit(Event::SessionDetached {
+            session: id,
+            tenant: self.tenants[tidx].name.clone(),
+        });
+        let session = self.sessions.get_mut(&id).expect("session alive");
+        if let Some(fc) = session.fc.as_mut() {
+            fc.queue_frame(&Frame::SessionAck {
+                submit_id: detach_key,
+                accepted: true,
+                queued,
+                reason: "detached".to_string(),
+            });
+        }
+        self.pump_session(id);
+        Ok(self.sessions.contains_key(&id))
+    }
+
+    /// Adopt a detached session: the fresh connection `id` (post-Hello,
+    /// pre-Submit) takes over the detached session's socket slot, gets
+    /// already-recorded completions replayed from the tenant joblog,
+    /// and then streams the remainder live. Always returns `false`:
+    /// the temporary session id is gone whether or not the target was
+    /// found.
+    fn session_reattach(&mut self, id: u64, tenant: String, detach_key: u64) -> Result<bool> {
+        let session = self.sessions.get(&id).expect("session alive");
+        if !session.active || session.tenant.is_some() {
+            self.close_session(id, "protocol: Reattach on a used session");
+            return Ok(false);
+        }
+        let target = self.sessions.iter().find_map(|(&sid, s)| {
+            let matches = sid != id
+                && s.detached
+                && s.detach_key == detach_key
+                && s.tenant.is_some_and(|t| self.tenants[t].name == tenant);
+            matches.then_some(sid)
+        });
+        let Some(tid) = target else {
+            let session = self.sessions.get_mut(&id).expect("session alive");
+            if let Some(fc) = session.fc.as_mut() {
+                fc.queue_frame(&Frame::ReattachAck {
+                    found: false,
+                    submitted: 0,
+                    completed: 0,
+                    reason: format!(
+                        "no detached session for tenant {tenant:?} with key {detach_key}"
+                    ),
+                });
+            }
+            session.closing = true;
+            self.pump_session(id);
+            return Ok(false);
+        };
+        // Merge the fresh connection into the detached session. The
+        // temporary id never counted as a session, so remove it
+        // directly rather than through `finalize_session`.
+        let mut temp = self.sessions.remove(&id).expect("session alive");
+        let fc = temp.fc.take();
+        // The detaching client's EOF may not have been processed yet;
+        // drop any stale socket before attaching the new one.
+        self.release_detached_socket(tid);
+        let session = self.sessions.get_mut(&tid).expect("target alive");
+        session.fc = fc;
+        session.detached = false;
+        session.detached_at = None;
+        // Reattached clients are collect-only: treat the client's
+        // SessionDone as already sent so the session finishes when the
+        // last accepted task completes.
+        session.client_done = true;
+        session.want_write = false;
+        let (submitted, completed) = (session.submitted, session.completed);
+        if let Some(fc) = session.fc.as_ref() {
+            let _ = self.reactor.reregister(
+                fc.stream().as_raw_fd(),
+                CLIENT_BASE + tid as usize,
+                Interest::READ,
+            );
+        }
+        let session = self.sessions.get_mut(&tid).expect("target alive");
+        if let Some(fc) = session.fc.as_mut() {
+            fc.queue_frame(&Frame::ReattachAck {
+                found: true,
+                submitted,
+                completed,
+                reason: String::new(),
+            });
+        }
+        let replayed = self.replay_recorded(tid)?;
+        self.emit(Event::SessionReattached {
+            session: tid,
+            tenant,
+            replayed,
+        });
+        self.maybe_finish_session(tid);
+        self.pump_session(tid);
+        Ok(false)
+    }
+
+    /// Queue `DoneBatch` replays for every already-recorded seq of a
+    /// freshly reattached session. Joblog rows supply real exit codes
+    /// and runtimes; recorded seqs missing a row (no `--joblog-dir`,
+    /// or a row lost to a crash after the journal `Done` survived)
+    /// replay as zeros. Returns the number of seqs replayed.
+    fn replay_recorded(&mut self, id: u64) -> Result<u64> {
+        let (tidx, recorded) = {
+            let session = self.sessions.get(&id).expect("session alive");
+            (
+                session.tenant.expect("reattached sessions have a tenant"),
+                session.recorded.clone(),
+            )
+        };
+        if recorded.is_empty() {
+            return Ok(0);
+        }
+        let mut by_seq: HashMap<u64, TaskDoneRec> = HashMap::new();
+        if let Some(dir) = &self.config.joblog_dir {
+            if let Some(log) = self.tenants[tidx].log.as_mut() {
+                log.flush()?;
+            }
+            let path = dir.join(format!(
+                "{}.joblog",
+                sanitize_tenant(&self.tenants[tidx].name)
+            ));
+            for e in joblog::read_log_tolerant(&path)? {
+                if recorded.contains(&e.seq) {
+                    by_seq.entry(e.seq).or_insert(TaskDoneRec {
+                        seq: e.seq,
+                        exitval: e.exitval,
+                        signal: e.signal,
+                        start_epoch_us: (e.start * 1e6) as u64,
+                        runtime_us: (e.runtime * 1e6) as u64,
+                        stdout: String::new(),
+                        stderr: String::new(),
+                    });
+                }
+            }
+        }
+        let mut seqs: Vec<u64> = recorded.into_iter().collect();
+        seqs.sort_unstable();
+        let n = seqs.len() as u64;
+        let session = self.sessions.get_mut(&id).expect("session alive");
+        let Some(fc) = session.fc.as_mut() else {
+            return Ok(0);
+        };
+        for chunk in seqs.chunks(256) {
+            let results: Vec<TaskDoneRec> = chunk
+                .iter()
+                .map(|&seq| {
+                    by_seq.remove(&seq).unwrap_or(TaskDoneRec {
+                        seq,
+                        exitval: 0,
+                        signal: 0,
+                        start_epoch_us: 0,
+                        runtime_us: 0,
+                        stdout: String::new(),
+                        stderr: String::new(),
+                    })
+                })
+                .collect();
+            fc.queue_frame(&Frame::DoneBatch { results });
+        }
+        Ok(n)
+    }
+
+    /// Drop a detached session's socket without touching the session:
+    /// its queued and in-flight work stays live for a later reattach.
+    fn release_detached_socket(&mut self, id: u64) {
+        let Some(session) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        if let Some(fc) = session.fc.take() {
+            let _ = self.reactor.deregister(fc.stream().as_raw_fd());
+            fc.stream().shutdown();
+        }
+        session.want_write = false;
+    }
+
+    /// Close detached sessions whose reattach window ran out. Runs on
+    /// the lease tick; only sessions whose socket is actually gone are
+    /// eligible (a still-connected detached client keeps its session).
+    fn sweep_detach_ttl(&mut self) {
+        let Some(ttl) = self.config.detach_ttl else {
+            return;
+        };
+        let expired: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| {
+                s.detached && s.fc.is_none() && s.detached_at.is_some_and(|at| at.elapsed() >= ttl)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.close_session(id, "detach ttl expired");
+        }
+    }
+
+    /// Append journal `Done` records for completions recorded since
+    /// the last flush. Called after the tenant joblogs flush: the
+    /// joblog row is the commit record, so these records only spare a
+    /// recovering pilot a benign re-dispatch and are never fsynced on
+    /// the hot path.
+    fn flush_done_records(&mut self) -> Result<()> {
+        if self.pending_done.is_empty() {
+            return Ok(());
+        }
+        let Some(j) = self.journal.as_mut() else {
+            self.pending_done.clear();
+            return Ok(());
+        };
+        let mut by_session: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (session, seq) in self.pending_done.drain(..) {
+            by_session.entry(session).or_default().push(seq);
+        }
+        for (session, seqs) in by_session {
+            j.append(&JRecord::Done { session, seqs });
+        }
+        j.flush()?;
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -725,15 +1234,32 @@ impl Pilot {
                 tidx
             }
         };
-        for task in &tasks {
-            if task.seq == 0 || task.seq > MAX_LOCAL_SEQ {
-                self.close_session(id, &format!("protocol: bad local seq {}", task.seq));
-                return Ok(false);
-            }
-        }
         let depth = self.tenants[tidx].queue.len() as u64;
         let n = tasks.len() as u64;
-        let ack = if depth + n > self.config.max_queue_per_tenant {
+        // A seq outside its 40-bit field (or a session id outside its
+        // 24-bit field) would alias another session's wire seqs and
+        // misroute completions; refuse the whole batch with a typed
+        // verdict instead of silently overflowing.
+        let bad_seq = tasks
+            .iter()
+            .find(|t| wire_seq_checked(id, t.seq).is_none())
+            .map(|t| t.seq);
+        let ack = if let Some(seq) = bad_seq {
+            self.rejected_submits += 1;
+            self.tenants[tidx].rejected_submits += 1;
+            self.emit(Event::SubmitRejected {
+                session: id,
+                tenant: self.tenants[tidx].name.clone(),
+                tasks: n,
+                queued: depth,
+            });
+            Frame::SessionAck {
+                submit_id,
+                accepted: false,
+                queued: depth,
+                reason: format!("local seq {seq} outside [1, {MAX_LOCAL_SEQ}]"),
+            }
+        } else if depth + n > self.config.max_queue_per_tenant {
             self.rejected_submits += 1;
             self.tenants[tidx].rejected_submits += 1;
             self.emit(Event::SubmitRejected {
@@ -759,6 +1285,7 @@ impl Pilot {
                     session.template.clone().expect("active session"),
                 )
             };
+            let mut journaled_tasks: Vec<JTask> = Vec::new();
             for task in tasks {
                 let command = template.expand(&ExpandContext {
                     args: &task.args,
@@ -773,6 +1300,13 @@ impl Pilot {
                     // directly as the rendered template.
                     Payload::Dynamic => command.clone(),
                 };
+                if self.journal.is_some() {
+                    journaled_tasks.push(JTask {
+                        local_seq: task.seq,
+                        command: command.clone(),
+                        directive: directive.clone(),
+                    });
+                }
                 self.tenants[tidx].queue.push_back(QTask {
                     session: id,
                     local_seq: task.seq,
@@ -781,7 +1315,28 @@ impl Pilot {
                 });
             }
             self.scheduler.enqueue(tidx, n);
-            self.sessions.get_mut(&id).expect("session alive").submitted += n;
+            let session = self.sessions.get_mut(&id).expect("session alive");
+            session.submitted += n;
+            let needs_open = !session.journaled;
+            session.journaled = true;
+            // Journal and fsync the admission *before* the ack is
+            // queued: once the client sees `accepted`, the work
+            // survives a pilot SIGKILL.
+            if let Some(j) = self.journal.as_mut() {
+                if needs_open {
+                    j.append(&JRecord::SessionOpen {
+                        session: id,
+                        tenant: self.tenants[tidx].name.clone(),
+                        weight,
+                        priority,
+                    });
+                }
+                j.append(&JRecord::Accepted {
+                    session: id,
+                    tasks: journaled_tasks,
+                });
+                j.sync()?;
+            }
             Frame::SessionAck {
                 submit_id,
                 accepted: true,
@@ -851,7 +1406,13 @@ impl Pilot {
                 self.set_session_write_interest(id, true);
             }
             Err(_) => {
-                self.close_session(id, "disconnect");
+                if self.sessions.get(&id).is_some_and(|s| s.detached) {
+                    // A detached client may already be gone when the
+                    // ack flushes; the session outlives its socket.
+                    self.release_detached_socket(id);
+                } else {
+                    self.close_session(id, "disconnect");
+                }
             }
         }
     }
@@ -925,9 +1486,19 @@ impl Pilot {
         // gate, bad template) never became sessions — they don't count
         // toward `max_sessions`.
         let counted = session.active;
+        let journaled = session.journaled;
         self.sessions.remove(&id);
         if counted {
             self.sessions_closed += 1;
+        }
+        if journaled {
+            // Flush (not fsync): a lost `Closed` record only makes the
+            // next restart resurrect a finished session that then ages
+            // out through the detach TTL.
+            if let Some(j) = self.journal.as_mut() {
+                j.append(&JRecord::Closed { session: id });
+                let _ = j.flush();
+            }
         }
     }
 
@@ -1094,6 +1665,9 @@ impl Pilot {
                     command: inf.command,
                 })?;
             }
+        }
+        if self.journal.is_some() {
+            self.pending_done.push((inf.session, inf.local_seq));
         }
         // Deliver with the session-local seq the client submitted.
         delivery.entry(inf.session).or_default().push(TaskDoneRec {
@@ -1448,9 +2022,14 @@ fn take_front(queue: &mut VecDeque<QTask>) -> Option<QTask> {
     queue.pop_front()
 }
 
-/// Make a tenant name safe as a file stem.
+/// Make a tenant name safe as a file stem. Names that survive
+/// unchanged map to themselves; any name the substitution altered gets
+/// a short hash of the raw name appended, so distinct tenants (`a/b`
+/// vs `a_b`) can never share a joblog file and corrupt each other's
+/// exactly-once accounting.
 fn sanitize_tenant(name: &str) -> String {
-    name.chars()
+    let safe: String = name
+        .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
                 c
@@ -1458,7 +2037,18 @@ fn sanitize_tenant(name: &str) -> String {
                 '_'
             }
         })
-        .collect()
+        .collect();
+    if safe == name {
+        return safe;
+    }
+    // FNV-1a over the raw bytes, folded to 32 bits for a short stable
+    // suffix.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{safe}-{:08x}", (h ^ (h >> 32)) as u32)
 }
 
 #[cfg(test)]
@@ -1478,8 +2068,84 @@ mod tests {
     }
 
     #[test]
+    fn wire_seq_bounds_are_enforced() {
+        // The extreme valid corner neither overflows nor aliases.
+        let top = wire_seq_checked(MAX_SESSION_ID, MAX_LOCAL_SEQ).expect("corner is valid");
+        assert_eq!(top, u64::MAX);
+        assert_eq!(top >> SESSION_SEQ_BITS, MAX_SESSION_ID + 1);
+        assert_eq!(top & MAX_LOCAL_SEQ, MAX_LOCAL_SEQ);
+        // One past either bound is refused — these are exactly the
+        // inputs that used to silently wrap into another session's
+        // namespace.
+        assert_eq!(wire_seq_checked(MAX_SESSION_ID + 1, 1), None);
+        assert_eq!(wire_seq_checked(0, MAX_LOCAL_SEQ + 1), None);
+        assert_eq!(wire_seq_checked(0, 0), None);
+        assert_eq!(wire_seq_checked(u64::MAX, 1), None);
+        assert_eq!(wire_seq_checked(0, u64::MAX), None);
+    }
+
+    #[test]
     fn tenant_names_sanitize_to_file_stems() {
+        // Already-safe names map to themselves (joblog paths from
+        // earlier releases stay valid).
         assert_eq!(sanitize_tenant("team-a_1.x"), "team-a_1.x");
-        assert_eq!(sanitize_tenant("a/b c\"d"), "a_b_c_d");
+        // Altered names stay filesystem-safe but gain a disambiguating
+        // suffix.
+        let ugly = sanitize_tenant("a/b c\"d");
+        assert!(ugly.starts_with("a_b_c_d-"), "got {ugly}");
+        assert!(ugly
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.'));
+    }
+
+    #[test]
+    fn sanitized_tenant_names_do_not_collide() {
+        // The original bug: `a/b` and `a_b` both mapped to `a_b` and
+        // shared a joblog file.
+        assert_ne!(sanitize_tenant("a/b"), sanitize_tenant("a_b"));
+        assert_ne!(sanitize_tenant("a/b"), sanitize_tenant("a b"));
+        assert_ne!(sanitize_tenant("x:1"), sanitize_tenant("x/1"));
+        // Deterministic across calls (the suffix is a hash, not a
+        // counter).
+        assert_eq!(sanitize_tenant("a/b"), sanitize_tenant("a/b"));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// Injectivity over the full valid domain: distinct
+            /// (session, local_seq) pairs never share a wire seq, and
+            /// the wire seq decomposes back into its components.
+            #[test]
+            fn wire_seq_is_injective_over_the_valid_domain(
+                s1 in 0u64..MAX_SESSION_ID + 1,
+                l1 in 1u64..MAX_LOCAL_SEQ + 1,
+                s2 in 0u64..MAX_SESSION_ID + 1,
+                l2 in 1u64..MAX_LOCAL_SEQ + 1,
+            ) {
+                let w1 = wire_seq_checked(s1, l1).expect("valid domain");
+                let w2 = wire_seq_checked(s2, l2).expect("valid domain");
+                prop_assert_eq!(w1 == w2, (s1, l1) == (s2, l2));
+                prop_assert_eq!(w1 >> SESSION_SEQ_BITS, s1 + 1);
+                prop_assert_eq!(w1 & MAX_LOCAL_SEQ, l1);
+                prop_assert_eq!(w1, wire_seq(s1, l1));
+            }
+
+            /// Out-of-range components are always refused.
+            #[test]
+            fn wire_seq_rejects_out_of_range(
+                session in 0u64..MAX_SESSION_ID + 1,
+                local in 1u64..MAX_LOCAL_SEQ + 1,
+                over in 1u64..1 << 20,
+            ) {
+                prop_assert_eq!(wire_seq_checked(MAX_SESSION_ID + over, local), None);
+                prop_assert_eq!(wire_seq_checked(session, MAX_LOCAL_SEQ + over), None);
+                prop_assert_eq!(wire_seq_checked(session, 0), None);
+            }
+        }
     }
 }

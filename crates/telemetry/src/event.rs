@@ -134,6 +134,19 @@ pub enum Event {
         session: u64,
         seq: u64,
     },
+    /// A session detached: its client may drop the socket and reattach
+    /// later by key; its accepted work stays live.
+    SessionDetached { session: u64, tenant: String },
+    /// A client reattached to a detached session; `replayed` counts
+    /// already-recorded completions resent from the tenant joblog.
+    SessionReattached {
+        session: u64,
+        tenant: String,
+        replayed: u64,
+    },
+    /// A restarted pilot rebuilt its session table from the journal:
+    /// `sessions` recovered, `tasks` unfinished seqs re-queued.
+    PilotRecovered { sessions: u64, tasks: u64 },
 }
 
 impl Event {
@@ -165,6 +178,9 @@ impl Event {
             Event::SubmitRejected { .. } => "submit_rejected",
             Event::TenantShardSent { .. } => "tenant_shard_sent",
             Event::TenantTaskDone { .. } => "tenant_task_done",
+            Event::SessionDetached { .. } => "session_detached",
+            Event::SessionReattached { .. } => "session_reattached",
+            Event::PilotRecovered { .. } => "pilot_recovered",
         }
     }
 
@@ -269,6 +285,20 @@ impl Event {
                 "\"tenant\":{},\"session\":{session},\"seq\":{seq}",
                 json_str(tenant)
             ),
+            Event::SessionDetached { session, tenant } => {
+                format!("\"session\":{session},\"tenant\":{}", json_str(tenant))
+            }
+            Event::SessionReattached {
+                session,
+                tenant,
+                replayed,
+            } => format!(
+                "\"session\":{session},\"tenant\":{},\"replayed\":{replayed}",
+                json_str(tenant)
+            ),
+            Event::PilotRecovered { sessions, tasks } => {
+                format!("\"sessions\":{sessions},\"tasks\":{tasks}")
+            }
         };
         format!("{{\"t_us\":{t_us},\"type\":\"{}\",{body}}}", self.kind())
     }
@@ -393,6 +423,19 @@ mod tests {
                 session: 3,
                 seq: 17,
             },
+            Event::SessionDetached {
+                session: 3,
+                tenant: "t0".into(),
+            },
+            Event::SessionReattached {
+                session: 3,
+                tenant: "t0".into(),
+                replayed: 42,
+            },
+            Event::PilotRecovered {
+                sessions: 2,
+                tasks: 300,
+            },
         ];
         let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
@@ -468,6 +511,19 @@ mod tests {
                 tenant: "t1".into(),
                 session: 7,
                 seq: 5,
+            },
+            Event::SessionDetached {
+                session: 7,
+                tenant: "t \"x\"".into(),
+            },
+            Event::SessionReattached {
+                session: 7,
+                tenant: "t1".into(),
+                replayed: 9,
+            },
+            Event::PilotRecovered {
+                sessions: 1,
+                tasks: 77,
             },
         ];
         for e in &events {

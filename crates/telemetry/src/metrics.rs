@@ -98,7 +98,7 @@ pub struct MetricsSnapshot {
 }
 
 /// Every kind string, in counter-slot order. Indexed by [`kind_slot`].
-const KINDS: [&str; 24] = [
+const KINDS: [&str; 27] = [
     "queued",
     "slot_acquired",
     "spawned",
@@ -123,6 +123,9 @@ const KINDS: [&str; 24] = [
     "submit_rejected",
     "tenant_shard_sent",
     "tenant_task_done",
+    "session_detached",
+    "session_reattached",
+    "pilot_recovered",
 ];
 
 /// Counter slot for an event — a direct variant match, so the hot
@@ -153,6 +156,9 @@ fn kind_slot(event: &Event) -> usize {
         Event::SubmitRejected { .. } => 21,
         Event::TenantShardSent { .. } => 22,
         Event::TenantTaskDone { .. } => 23,
+        Event::SessionDetached { .. } => 24,
+        Event::SessionReattached { .. } => 25,
+        Event::PilotRecovered { .. } => 26,
     }
 }
 
