@@ -1,0 +1,122 @@
+//! Process-launch rate regression gate.
+//!
+//! Runs the canonical spawn-bound workload (1k real `/bin/true {}`
+//! launches at `-j 8`) through the posix_spawn fast path and exits
+//! nonzero when the launch rate drops below the checked-in floor. The
+//! floor sits above the legacy `sh -c` + reader-thread path's rate, so
+//! reverting the fast path trips the gate. CI runs this in release
+//! mode; `tests/spawn_rate_gate.rs` runs the same check under
+//! `cargo test`.
+//!
+//! Flags:
+//!   --jobs N        slot count (default 8)
+//!   --tasks N       launch count (default 1000)
+//!   --floor RATE    override the compiled-in floor (launches/sec)
+//!   --legacy        measure the portable path instead of the fast path
+//!   --report-only   print both paths' measurements without enforcing
+//!   --jsonl FILE    append one JSON line per trial for trend tracking
+//!
+//! To verify the gate trips, set `HTPAR_SPAWN_GATE_HANDICAP_US` to an
+//! artificial per-launch cost in microseconds and watch it fail.
+
+use std::io::Write;
+
+use htpar_bench::spawngate::{self, SpawnGateMeasurement};
+
+fn jsonl_line(path: &str, m: &SpawnGateMeasurement, trial: usize) {
+    let line = format!(
+        "{{\"bench\":\"spawn_rate_gate\",\"trial\":{trial},\"jobs\":{},\"tasks\":{},\
+         \"wall_secs\":{:.6},\"launches_per_sec\":{:.0}}}\n",
+        m.jobs,
+        m.tasks,
+        m.wall.as_secs_f64(),
+        m.launches_per_sec
+    );
+    let ok = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = ok {
+        eprintln!("spawn_rate_gate: cannot write {path}: {e}");
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = flag_value(&args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(spawngate::GATE_JOBS);
+    let tasks = flag_value(&args, "--tasks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(spawngate::GATE_TASKS);
+    let floor = flag_value(&args, "--floor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(spawngate::floor);
+    let legacy = args.iter().any(|a| a == "--legacy");
+    let report_only = args.iter().any(|a| a == "--report-only");
+    let jsonl = flag_value(&args, "--jsonl");
+
+    println!("spawn-rate gate: {tasks} real /bin/true launches at -j {jobs}");
+    if let Some(cost) = spawngate::handicap() {
+        println!(
+            "  handicap:     {} us/launch (simulated slowdown)",
+            cost.as_micros()
+        );
+    }
+
+    if report_only {
+        // Both paths, side by side: the number the committed
+        // BENCH_spawn_rate_gate.json records.
+        let before = spawngate::measure(jobs, tasks, true);
+        let after = spawngate::measure(jobs, tasks, false);
+        println!(
+            "  legacy path:  {:.0} launches/s ({:.3} s)",
+            before.launches_per_sec,
+            before.wall.as_secs_f64()
+        );
+        println!(
+            "  fast path:    {:.0} launches/s ({:.3} s)",
+            after.launches_per_sec,
+            after.wall.as_secs_f64()
+        );
+        println!(
+            "  speedup:      {:.2}x",
+            after.launches_per_sec / before.launches_per_sec.max(1e-9)
+        );
+        return;
+    }
+
+    let m = spawngate::measure(jobs, tasks, legacy);
+    if let Some(path) = &jsonl {
+        jsonl_line(path, &m, 1);
+    }
+    let mut rate = m.launches_per_sec;
+    println!("  measured:     {rate:.0} launches/s");
+    println!("  floor:        {floor:.0} launches/s");
+    // Retry before declaring a regression: a transient host hiccup
+    // depresses one run, a real slowdown depresses all of them.
+    for attempt in 2..=spawngate::GATE_ATTEMPTS {
+        if rate >= floor {
+            break;
+        }
+        let m = spawngate::measure(jobs, tasks, legacy);
+        if let Some(path) = &jsonl {
+            jsonl_line(path, &m, attempt);
+        }
+        rate = m.launches_per_sec;
+        println!("  retry {attempt}:      {rate:.0} launches/s");
+    }
+    if rate < floor {
+        eprintln!("FAIL: launch rate {rate:.0}/s is below the floor {floor:.0}/s");
+        std::process::exit(1);
+    }
+    println!("PASS: {:.2}x above floor", rate / floor);
+}

@@ -25,6 +25,7 @@ pub mod gate;
 pub mod netgate;
 pub mod pilotgate;
 pub mod simgate;
+pub mod spawngate;
 
 /// Print a fixed-width table row from cells.
 pub fn row<D: Display>(cells: &[D], widths: &[usize]) -> String {

@@ -1,0 +1,57 @@
+//! The process-launch rate gate under `cargo test` (debug profile),
+//! plus the handicap drill proving the gate can trip.
+
+use htpar_bench::spawngate;
+
+#[test]
+fn fast_path_launch_rate_stays_above_floor() {
+    let m = spawngate::measure_gated();
+    assert!(
+        m.launches_per_sec >= spawngate::floor(),
+        "launch rate {:.0}/s fell below the floor {:.0}/s",
+        m.launches_per_sec,
+        spawngate::floor()
+    );
+}
+
+/// The fast path must actually beat the legacy path it replaced — on
+/// the same machine, same run. A modest multiple here (the committed
+/// BENCH json shows >2x in release) keeps the assertion robust to
+/// debug-build and CI-box noise while still failing if the "fast"
+/// path silently degrades to legacy behavior.
+#[test]
+fn fast_path_beats_legacy_path() {
+    let tasks = 300;
+    let legacy = spawngate::measure(spawngate::GATE_JOBS, tasks, true);
+    let fast = spawngate::measure(spawngate::GATE_JOBS, tasks, false);
+    assert!(
+        fast.launches_per_sec > legacy.launches_per_sec * 1.2,
+        "fast path {:.0}/s is not meaningfully above legacy {:.0}/s",
+        fast.launches_per_sec,
+        legacy.launches_per_sec
+    );
+}
+
+/// The drill: a large artificial per-launch cost must land well below
+/// the floor — otherwise the gate can never fail and protects nothing.
+/// 20ms/launch across 8 slots caps the rate at ~400 launches/s, under
+/// both floors. Uses a child process so the env var cannot leak into
+/// concurrently running tests.
+#[test]
+fn handicapped_launch_rate_trips_the_gate() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_spawn_rate_gate"))
+        .args(["--tasks", "200"])
+        .env("HTPAR_SPAWN_GATE_HANDICAP_US", "20000")
+        .output()
+        .expect("gate binary runs");
+    assert!(
+        !out.status.success(),
+        "5ms/launch handicap did not trip the gate; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("below the floor"),
+        "gate failed for an unexpected reason; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

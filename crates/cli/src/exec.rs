@@ -63,7 +63,7 @@ where
         None
     };
     let mut builder = Parallel::new(&spec.command).options(spec.options);
-    if let Some(bus) = bus {
+    if let Some(bus) = bus.clone() {
         builder = builder.telemetry(bus);
     }
     if let Some(min_free) = spec.memfree_bytes {
@@ -119,6 +119,11 @@ where
             ProcessExecutor::shell()
         } else {
             ProcessExecutor::no_shell()
+        };
+        // Keep launch-path telemetry flowing even under chaos wrapping.
+        let base = match &bus {
+            Some(b) => base.observed(Arc::clone(b)),
+            None => base,
         };
         builder = builder.executor(htpar_core::chaos::ChaosExecutor::seeded_per_seq(
             base,

@@ -79,6 +79,10 @@ usage: htpar serve (--agents SPEC[,SPEC...] | --local-cluster N) [OPTIONS]
       --detach-ttl SECS  hold a detached session for SECS after its
                          socket drops before purging its work
                          (default: 3600; 0 holds forever)
+      --journal-compact N
+                         rewrite the session journal after N journaled
+                         sessions close, dropping closed-session
+                         records (default: 64; 0 never compacts)
       --max-sessions N   exit after N sessions close (default: forever)
       --heartbeat-ms MS  agent heartbeat interval (default: 200)
       --lease-ms MS      declare an agent lost after MS of silence
@@ -539,6 +543,8 @@ pub struct ServeSpec {
     pub state_dir: Option<PathBuf>,
     /// Detach TTL in seconds; 0 holds detached sessions forever.
     pub detach_ttl: u64,
+    /// Compact the journal after this many closed sessions; 0 never.
+    pub journal_compact_every: u64,
     pub max_sessions: Option<u64>,
     pub heartbeat_ms: u32,
     pub lease_window_ms: u64,
@@ -561,6 +567,7 @@ impl Default for ServeSpec {
             joblog_dir: None,
             state_dir: None,
             detach_ttl: 3_600,
+            journal_compact_every: 64,
             max_sessions: None,
             heartbeat_ms: 200,
             lease_window_ms: 2_000,
@@ -638,6 +645,12 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeSpec, String> {
                 spec.detach_ttl = value(argv, i, "--detach-ttl")?
                     .parse()
                     .map_err(|_| "--detach-ttl needs seconds".to_string())?;
+                i += 2;
+            }
+            "--journal-compact" => {
+                spec.journal_compact_every = value(argv, i, "--journal-compact")?
+                    .parse()
+                    .map_err(|_| "--journal-compact needs a count".to_string())?;
                 i += 2;
             }
             "--max-sessions" => {
@@ -753,6 +766,7 @@ fn run_serve(argv: &[String]) -> i32 {
     } else {
         Some(Duration::from_secs(spec.detach_ttl))
     };
+    config.journal_compact_every = spec.journal_compact_every;
     config.max_sessions = spec.max_sessions;
     config.heartbeat_ms = spec.heartbeat_ms;
     config.lease_window_ms = spec.lease_window_ms;
@@ -1242,6 +1256,10 @@ mod tests {
         assert_eq!(spec.detach_ttl, 3_600, "default TTL is one hour");
         let spec = parse_serve(&argv("--local-cluster 2 --detach-ttl 0")).unwrap();
         assert_eq!(spec.detach_ttl, 0, "0 holds detached sessions forever");
+        let spec = parse_serve(&argv("--local-cluster 2 --journal-compact 8")).unwrap();
+        assert_eq!(spec.journal_compact_every, 8);
+        let spec = parse_serve(&argv("--local-cluster 2")).unwrap();
+        assert_eq!(spec.journal_compact_every, 64, "compaction defaults on");
         assert!(parse_serve(&argv("--local-cluster 2 --detach-ttl soon")).is_err());
         assert!(parse_serve(&argv("--local-cluster 2 --state-dir")).is_err());
     }

@@ -328,9 +328,18 @@ fn recorder_distinguishes_skipped_from_executed_on_resume() {
     };
     assert_eq!(kinds(1), vec!["queued"], "skipped job emits only Queued");
     assert_eq!(kinds(2), vec!["queued"], "skipped job emits only Queued");
+    // `true c` renders metachar-free but `true` is a shell builtin, so
+    // the launch path reports the sh -c fallback between spawn and
+    // completion.
     assert_eq!(
         kinds(3),
-        vec!["queued", "slot_acquired", "spawned", "completed"],
+        vec![
+            "queued",
+            "slot_acquired",
+            "spawned",
+            "sh_fallback",
+            "completed"
+        ],
         "executed job emits the full lifecycle"
     );
     std::fs::remove_dir_all(&dir).unwrap();

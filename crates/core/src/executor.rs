@@ -14,10 +14,13 @@
 use std::io::{BufRead, BufReader, Read};
 use std::process::{Command, Stdio};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::deadline::DeadlineWheel;
+use htpar_telemetry::{Event, EventBus};
+
+use crate::deadline::{DeadlineWheel, TimerGuard};
 use crate::job::{CommandLine, JobStatus};
+use crate::spawn::{self, LaunchPlan};
 
 /// Which stream a streamed line came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,14 +126,29 @@ pub trait Executor: Send + Sync {
 
 /// Executes commands as real OS processes.
 ///
-/// With `use_shell`, runs `sh -c <rendered>` exactly as GNU Parallel does;
-/// otherwise executes the argv rendering directly (no shell startup cost —
-/// the difference is measurable in Fig. 3-style launch-rate experiments).
+/// With `use_shell`, GNU Parallel semantics apply: the rendered command
+/// is interpreted by `sh -c` — unless the [`crate::spawn::bypass_argv`]
+/// analyzer proves no shell is needed, in which case the argv execs
+/// directly. Without `use_shell`, the argv rendering always execs
+/// directly.
+///
+/// On Linux, plain commands (no `--pipe` stdin block, no
+/// `--line-buffer` streaming) take the launch fast path
+/// ([`crate::spawn`]): `posix_spawn` + the pooled pidfd reaper, no
+/// per-task threads. Everything else — and every platform without
+/// `pidfd_open` — runs the portable `std::process::Command` path.
+/// `HTPAR_SPAWN_LEGACY=1` (or [`ProcessExecutor::legacy`]) forces the
+/// portable path, which the spawn-rate gate uses as its "before" arm.
 #[derive(Clone)]
 pub struct ProcessExecutor {
     use_shell: bool,
     /// `--line-buffer`: stream each output line as it appears.
     line_cb: Option<LineCallback>,
+    /// Force the portable `std::process` path.
+    legacy: bool,
+    /// When set, the spawner emits `shell_bypass`/`sh_fallback` events
+    /// carrying the per-task launch latency.
+    bus: Option<Arc<EventBus>>,
 }
 
 impl std::fmt::Debug for ProcessExecutor {
@@ -138,6 +156,7 @@ impl std::fmt::Debug for ProcessExecutor {
         f.debug_struct("ProcessExecutor")
             .field("use_shell", &self.use_shell)
             .field("line_buffered", &self.line_cb.is_some())
+            .field("legacy", &self.legacy)
             .finish()
     }
 }
@@ -147,8 +166,17 @@ impl Default for ProcessExecutor {
         ProcessExecutor {
             use_shell: true,
             line_cb: None,
+            legacy: false,
+            bus: None,
         }
     }
+}
+
+/// `HTPAR_SPAWN_LEGACY=1` disables the fast path process-wide (cached:
+/// this sits on the per-task hot path).
+fn legacy_forced_by_env() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var("HTPAR_SPAWN_LEGACY").is_ok_and(|v| v == "1"))
 }
 
 impl ProcessExecutor {
@@ -177,6 +205,33 @@ impl ProcessExecutor {
         self
     }
 
+    /// Force the portable `std::process::Command` path (no
+    /// `posix_spawn`, no shell bypass, per-task reader threads). The
+    /// spawn-rate gate measures this as its "before" arm.
+    pub fn legacy(mut self) -> ProcessExecutor {
+        self.legacy = true;
+        self
+    }
+
+    /// Emit `shell_bypass`/`sh_fallback` launch-latency events to `bus`.
+    pub fn observed(mut self, bus: Arc<EventBus>) -> ProcessExecutor {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// Whether this task runs on the launch fast path: Linux with
+    /// `pidfd_open`, not forced legacy, and a plain command (a `--pipe`
+    /// stdin block needs a writer thread; `--line-buffer` needs
+    /// per-line streaming — both stay on the portable path).
+    fn fast_eligible(&self, cmd: &CommandLine) -> bool {
+        cfg!(target_os = "linux")
+            && !self.legacy
+            && !legacy_forced_by_env()
+            && self.line_cb.is_none()
+            && cmd.stdin.is_none()
+            && spawn::fast_path_available()
+    }
+
     fn build_command(&self, cmd: &CommandLine) -> Option<Command> {
         let mut command = if self.use_shell {
             let mut c = Command::new("sh");
@@ -203,10 +258,123 @@ impl ProcessExecutor {
         command.stderr(Stdio::piped());
         Some(command)
     }
+
+    /// The launch fast path: shell-bypass analysis, `posix_spawn`, and
+    /// collection through the pooled pidfd reaper.
+    fn execute_fast(&self, cmd: &CommandLine, ctx: &ExecContext) -> TaskOutput {
+        let plan = if self.use_shell {
+            match spawn::bypass_argv(cmd.rendered()) {
+                Some(argv) => LaunchPlan::Direct(argv),
+                None => LaunchPlan::Shell(cmd.rendered().to_string()),
+            }
+        } else {
+            let argv = cmd.argv();
+            if argv.is_empty() {
+                return TaskOutput {
+                    status: JobStatus::ExecError("empty command".into()),
+                    stdout: String::new(),
+                    stderr: String::new(),
+                };
+            }
+            LaunchPlan::Direct(argv.to_vec())
+        };
+        let started = Instant::now();
+        let spawned = match spawn::launch(&plan, cmd) {
+            Ok(s) => s,
+            Err(e) => return spawn_failure(&e),
+        };
+        if let Some(bus) = &self.bus {
+            let latency_us = started.elapsed().as_micros() as u64;
+            let seq = cmd.seq;
+            bus.emit(if plan.is_bypass() {
+                Event::ShellBypass { seq, latency_us }
+            } else {
+                Event::ShFallback { seq, latency_us }
+            });
+        }
+        let pid = spawned.pid as u32;
+        let timer = ctx.timeout.map(|limit| DeadlineWheel::arm_kill(pid, limit));
+        let collected = if spawned.pidfd >= 0 {
+            wait_collect(spawn::Reaper::global().collect(spawned), &timer)
+        } else {
+            // `pidfd_open` failed after a successful spawn (fd
+            // pressure): degraded blocking collection, never a leak.
+            Some(spawn::collect_inline(spawned))
+        };
+        let Some(collected) = collected else {
+            // Abandoned: our timer killed the child but a grandchild
+            // holds the pipes open. Same contract as the portable
+            // path — report the timeout now, let the reaper finish
+            // draining in the background.
+            return TaskOutput {
+                status: JobStatus::TimedOut,
+                stdout: String::new(),
+                stderr: String::new(),
+            };
+        };
+        if let (Some(timer), Some(raw)) = (&timer, collected.raw_status) {
+            if timer.fired() && !spawn::status_exited(raw) {
+                return TaskOutput {
+                    status: JobStatus::TimedOut,
+                    stdout: String::new(),
+                    stderr: String::new(),
+                };
+            }
+        }
+        let status = match collected.raw_status {
+            Some(raw) => spawn::decode_wait_status(raw),
+            None => JobStatus::ExecError("wait for child failed".into()),
+        };
+        TaskOutput {
+            status,
+            stdout: String::from_utf8_lossy(&collected.stdout).into_owned(),
+            stderr: String::from_utf8_lossy(&collected.stderr).into_owned(),
+        }
+    }
 }
 
-impl Executor for ProcessExecutor {
-    fn execute(&self, cmd: &CommandLine, ctx: &ExecContext) -> TaskOutput {
+/// Deterministic spawn-failure mapping (GNU Parallel convention): a
+/// command that could not be started at all records exit 255 — one
+/// joblog row, retryable and halt-visible like any other failure.
+fn spawn_failure(e: &std::io::Error) -> TaskOutput {
+    TaskOutput {
+        status: JobStatus::Failed(255),
+        stdout: String::new(),
+        stderr: format!("htpar: failed to spawn job: {e}\n"),
+    }
+}
+
+/// Block until the reaper delivers the task's collection. With a
+/// timeout armed, poll the guard so a kill whose EOF never arrives (a
+/// grandchild inherited the pipes) abandons collection after a short
+/// grace instead of stalling the slot for the grandchild's lifetime.
+fn wait_collect(
+    rx: crate::crossbeam_channel::Receiver<spawn::Collected>,
+    timer: &Option<TimerGuard>,
+) -> Option<spawn::Collected> {
+    use crate::crossbeam_channel::RecvTimeoutError;
+    let Some(timer) = timer else {
+        return rx.recv().ok();
+    };
+    let mut fired_at: Option<Instant> = None;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(collected) => return Some(collected),
+            Err(RecvTimeoutError::Disconnected) => return None,
+            Err(RecvTimeoutError::Timeout) => {
+                if timer.fired() {
+                    let at = *fired_at.get_or_insert_with(Instant::now);
+                    if at.elapsed() > Duration::from_millis(500) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ProcessExecutor {
+    fn execute_legacy(&self, cmd: &CommandLine, ctx: &ExecContext) -> TaskOutput {
         let Some(mut command) = self.build_command(cmd) else {
             return TaskOutput {
                 status: JobStatus::ExecError("empty command".into()),
@@ -216,13 +384,7 @@ impl Executor for ProcessExecutor {
         };
         let mut child = match command.spawn() {
             Ok(c) => c,
-            Err(e) => {
-                return TaskOutput {
-                    status: JobStatus::ExecError(e.to_string()),
-                    stdout: String::new(),
-                    stderr: String::new(),
-                }
-            }
+            Err(e) => return spawn_failure(&e),
         };
         // Feed stdin on its own thread (a large --pipe block must not
         // deadlock against the output pipes), and drain output pipes on
@@ -304,6 +466,16 @@ impl Executor for ProcessExecutor {
             status,
             stdout,
             stderr,
+        }
+    }
+}
+
+impl Executor for ProcessExecutor {
+    fn execute(&self, cmd: &CommandLine, ctx: &ExecContext) -> TaskOutput {
+        if self.fast_eligible(cmd) {
+            self.execute_fast(cmd, ctx)
+        } else {
+            self.execute_legacy(cmd, ctx)
         }
     }
 
@@ -472,12 +644,67 @@ mod tests {
     }
 
     #[test]
-    fn missing_binary_is_exec_error() {
-        let out = ProcessExecutor::no_shell().execute(
-            &cmdline("x", &["/definitely/not/here"]),
-            &ExecContext::default(),
-        );
-        assert!(matches!(out.status, JobStatus::ExecError(_)));
+    fn missing_binary_is_exit_255() {
+        // GNU Parallel convention: a job that cannot be started at all
+        // records exit 255 — on the fast path and the portable path.
+        for exec in [
+            ProcessExecutor::no_shell(),
+            ProcessExecutor::no_shell().legacy(),
+        ] {
+            let out = exec.execute(
+                &cmdline("x", &["/definitely/not/here"]),
+                &ExecContext::default(),
+            );
+            assert_eq!(out.status, JobStatus::Failed(255));
+            assert!(
+                out.stderr.contains("failed to spawn"),
+                "stderr explains the failure: {:?}",
+                out.stderr
+            );
+        }
+    }
+
+    #[test]
+    fn fast_and_legacy_paths_agree() {
+        for rendered in [
+            "/bin/echo plain-bypass",
+            "echo needs a shell; echo second >&2; exit 4",
+        ] {
+            let fast =
+                ProcessExecutor::shell().execute(&cmdline(rendered, &[]), &ExecContext::default());
+            let legacy = ProcessExecutor::shell()
+                .legacy()
+                .execute(&cmdline(rendered, &[]), &ExecContext::default());
+            assert_eq!(fast.status, legacy.status, "{rendered}");
+            assert_eq!(fast.stdout, legacy.stdout, "{rendered}");
+            assert_eq!(fast.stderr, legacy.stderr, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn fast_path_timeout_kills_bypassed_job() {
+        let ctx = ExecContext {
+            timeout: Some(Duration::from_millis(50)),
+        };
+        let start = Instant::now();
+        // `sleep 5` has no metacharacters, so this exercises the
+        // timeout machinery on the posix_spawn/pidfd path.
+        let out = ProcessExecutor::shell().execute(&cmdline("sleep 5", &[]), &ctx);
+        assert_eq!(out.status, JobStatus::TimedOut);
+        assert!(start.elapsed() < Duration::from_secs(2), "kill was prompt");
+    }
+
+    #[test]
+    fn observed_executor_emits_spawn_path_events() {
+        let recorder = htpar_telemetry::Recorder::shared();
+        let bus = EventBus::shared();
+        bus.attach(Arc::clone(&recorder) as _);
+        let exec = ProcessExecutor::shell().observed(Arc::clone(&bus));
+        exec.execute(&cmdline("/bin/echo direct", &[]), &ExecContext::default());
+        exec.execute(&cmdline("echo a; echo b", &[]), &ExecContext::default());
+        let kinds = recorder.kinds();
+        assert!(kinds.contains(&"shell_bypass"), "events: {kinds:?}");
+        assert!(kinds.contains(&"sh_fallback"), "events: {kinds:?}");
     }
 
     #[test]

@@ -63,11 +63,13 @@ pub mod parallel;
 pub mod pipe;
 pub mod progress;
 pub mod queue;
+pub mod reactor;
 pub mod remote;
 pub mod runner;
 pub mod sched;
 pub mod semaphore;
 pub mod slot;
+pub mod spawn;
 pub mod sshexec;
 pub mod stats;
 pub mod template;

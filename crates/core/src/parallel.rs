@@ -357,10 +357,17 @@ impl Parallel {
         let executor: Arc<dyn Executor> = match self.executor {
             Some(e) => e,
             None => {
-                if self.options.shell {
-                    Arc::new(ProcessExecutor::shell())
+                let base = if self.options.shell {
+                    ProcessExecutor::shell()
                 } else {
-                    Arc::new(ProcessExecutor::no_shell())
+                    ProcessExecutor::no_shell()
+                };
+                // The default executor reports launch-path telemetry
+                // (shell_bypass / sh_fallback + spawn latency) when the
+                // run has a bus attached.
+                match &self.telemetry {
+                    Some(bus) => Arc::new(base.observed(Arc::clone(bus))),
+                    None => Arc::new(base),
                 }
             }
         };

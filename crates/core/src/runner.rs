@@ -740,13 +740,22 @@ fn flush_pending(
     }
     let idx = slot - 1;
     let n = pending.len();
+    // Count the batch before it becomes takeable. `drain_slot` subtracts
+    // exactly what it takes from the buffer, so if this slot has a wake in
+    // flight a drain can interleave between the append and a late
+    // `fetch_add`, subtract items that were never counted, and wrap the
+    // counter to ~2^64. Workers sampling the backlog in that window park
+    // on `drain_cv`; once the counter self-corrects every later drain sees
+    // `before < limit`, never notifies, and the parked workers are
+    // stranded for good. Adding first keeps `backlog >= buffered items`
+    // at all times (the buffer mutex orders the add before any take).
+    shared.backlog.fetch_add(n, Ordering::Relaxed);
     let was_empty = {
         let mut buf = shared.slot_buffers[idx].lock();
         let was_empty = buf.is_empty();
         buf.append(pending);
         was_empty
     };
-    shared.backlog.fetch_add(n, Ordering::Relaxed);
     if was_empty {
         // A send can only fail after the collector exited, which only
         // happens after every worker (and thus this sender) is gone.
@@ -1029,6 +1038,39 @@ mod tests {
         producer.join().unwrap();
         assert_eq!(report.succeeded, 500);
         assert_eq!(delivered.load(Ordering::Relaxed), 500);
+    }
+
+    /// Regression: `flush_pending` must account a batch in `backlog`
+    /// *before* appending it to the slot buffer. When a wake was already
+    /// in flight for the slot, the collector could take the appended
+    /// items ahead of the late `fetch_add`, wrap the counter to ~2^64,
+    /// and strand every worker that sampled the backlog in that window
+    /// on `drain_cv` — a whole-run deadlock. Repeated collector-observed
+    /// runs at high slot counts keep drains and flushes interleaving;
+    /// the watchdog turns a recurrence into a failure, not a hang.
+    #[test]
+    fn collector_backpressure_accounting_never_deadlocks() {
+        for _ in 0..3 {
+            let (done_tx, done_rx) = crossbeam_channel::bounded::<RunReport>(1);
+            std::thread::spawn(move || {
+                let exec = FnExecutor::new(|_| Ok(TaskOutput::success()));
+                let mut eng = engine(
+                    Options {
+                        jobs: 32,
+                        ..Options::default()
+                    },
+                    exec,
+                );
+                // A result callback forces the collector path (non-direct).
+                eng.on_result = Some(Arc::new(|_: &JobResult| {}));
+                let report = eng.run(inputs(40_000)).unwrap();
+                let _ = done_tx.send(report);
+            });
+            let report = done_rx
+                .recv_timeout(Duration::from_secs(120))
+                .expect("collector-observed run deadlocked on backpressure");
+            assert_eq!(report.succeeded, 40_000);
+        }
     }
 
     #[test]

@@ -274,6 +274,74 @@ impl JournalWriter {
         self.flush()?;
         self.file.sync_data()
     }
+
+    /// Rewrite the journal without the records of closed sessions.
+    ///
+    /// A long-lived pilot appends forever; every task ever admitted
+    /// stays on disk even after its session closed and replay would
+    /// skip it. Compaction reads the journal back, drops every record
+    /// whose session has a `Closed` record (including the `Closed`
+    /// itself — a session absent from the journal and a closed one
+    /// replay identically), writes the survivors to a temp file,
+    /// fsyncs it, and renames it over the live journal. The rename is
+    /// the commit point: a crash at any step leaves either the old or
+    /// the new journal, both of which replay to the same session
+    /// table. The writer reopens in append mode on the new file.
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        self.sync()?;
+        let recs = read_journal(&self.path)?;
+        let closed: std::collections::HashSet<u64> = recs
+            .iter()
+            .filter_map(|r| match r {
+                JRecord::Closed { session } => Some(*session),
+                _ => None,
+            })
+            .collect();
+        let session_of = |r: &JRecord| match r {
+            JRecord::SessionOpen { session, .. }
+            | JRecord::Accepted { session, .. }
+            | JRecord::Done { session, .. }
+            | JRecord::Detached { session, .. }
+            | JRecord::Closed { session } => *session,
+        };
+        let kept: Vec<&JRecord> = recs
+            .iter()
+            .filter(|r| !closed.contains(&session_of(r)))
+            .collect();
+        let stats = CompactStats {
+            records_before: recs.len(),
+            records_after: kept.len(),
+            sessions_dropped: closed.len(),
+        };
+        let tmp = self.path.with_extension("compact");
+        {
+            let mut f = File::create(&tmp)?;
+            let mut buf = Vec::new();
+            for rec in &kept {
+                buf.extend_from_slice(&rec.encode());
+            }
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Durably record the rename itself, then resume appending to
+        // the compacted file.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(stats)
+    }
+}
+
+/// What [`JournalWriter::compact`] dropped and kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    pub records_before: usize,
+    pub records_after: usize,
+    pub sessions_dropped: usize,
 }
 
 /// Read every intact record from `path`. An absent file yields an
@@ -402,6 +470,90 @@ mod tests {
         }
         let got = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
         assert_eq!(got, recs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_closed_sessions_and_survives_reopen() {
+        let dir = temp_dir("compact");
+        let live_open = JRecord::SessionOpen {
+            session: 7,
+            tenant: "climate/run".into(),
+            weight: 1,
+            priority: 0,
+        };
+        let live_accepted = JRecord::Accepted {
+            session: 7,
+            tasks: vec![JTask {
+                local_seq: 1,
+                command: "echo live".into(),
+                directive: "sh:echo live".into(),
+            }],
+        };
+        let stats = {
+            let mut w = JournalWriter::open(&dir).unwrap();
+            // Session 0: full closed lifecycle — must vanish.
+            for rec in sample_records() {
+                w.append(&rec);
+            }
+            // Session 7: still open — must survive byte-for-byte.
+            w.append(&live_open);
+            w.append(&live_accepted);
+            w.sync().unwrap();
+            let stats = w.compact().unwrap();
+            // The reopened append handle must land records *after* the
+            // compacted contents, not at a stale offset.
+            w.append(&JRecord::Done {
+                session: 7,
+                seqs: vec![1],
+            });
+            w.sync().unwrap();
+            stats
+        };
+        assert_eq!(
+            stats,
+            CompactStats {
+                records_before: 7,
+                records_after: 2,
+                sessions_dropped: 1,
+            }
+        );
+        let got = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                live_open,
+                live_accepted,
+                JRecord::Done {
+                    session: 7,
+                    seqs: vec![1],
+                },
+            ]
+        );
+        // A fresh writer (pilot restart) appends to the compacted file.
+        {
+            let mut w = JournalWriter::open(&dir).unwrap();
+            w.append(&JRecord::Closed { session: 7 });
+            w.sync().unwrap();
+        }
+        let got = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(got.len(), 4);
+        assert_eq!(*got.last().unwrap(), JRecord::Closed { session: 7 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compacting_everything_leaves_an_empty_replayable_journal() {
+        let dir = temp_dir("compact-all");
+        let mut w = JournalWriter::open(&dir).unwrap();
+        for rec in sample_records() {
+            w.append(&rec);
+        }
+        w.sync().unwrap();
+        let stats = w.compact().unwrap();
+        assert_eq!(stats.records_after, 0);
+        assert_eq!(stats.sessions_dropped, 1);
+        assert!(read_journal(&dir.join(JOURNAL_FILE)).unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -136,6 +136,11 @@ pub struct ServeConfig {
     /// How long a detached session (socket gone) is held for reattach
     /// before its remaining work is purged; `None` holds forever.
     pub detach_ttl: Option<Duration>,
+    /// Compact the session journal after this many journaled sessions
+    /// close (rewrite dropping closed-session records so the WAL stays
+    /// proportional to *live* work, not lifetime throughput). `0`
+    /// disables compaction.
+    pub journal_compact_every: u64,
 }
 
 impl ServeConfig {
@@ -156,6 +161,7 @@ impl ServeConfig {
             write_queue_cap: 1 << 20,
             state_dir: None,
             detach_ttl: None,
+            journal_compact_every: 64,
         }
     }
 
@@ -421,6 +427,9 @@ struct Pilot {
     /// Completions recorded since the last journal flush, appended as
     /// `Done` records *after* the tenant joblogs flush each loop.
     pending_done: Vec<(u64, u64)>,
+    /// Journaled sessions closed since the last compaction; drives
+    /// `journal_compact_every`.
+    closed_since_compaction: u64,
 }
 
 impl Pilot {
@@ -450,6 +459,7 @@ impl Pilot {
             capacity,
             journal: None,
             pending_done: Vec::new(),
+            closed_since_compaction: 0,
         };
         if let Some(dir) = pilot.config.state_dir.clone() {
             pilot.recover(&dir)?;
@@ -1498,6 +1508,16 @@ impl Pilot {
             if let Some(j) = self.journal.as_mut() {
                 j.append(&JRecord::Closed { session: id });
                 let _ = j.flush();
+            }
+            self.closed_since_compaction += 1;
+            let every = self.config.journal_compact_every;
+            if every > 0 && self.closed_since_compaction >= every {
+                self.closed_since_compaction = 0;
+                // Best-effort: a failed compaction leaves the old
+                // journal intact and appendable, so just keep going.
+                if let Some(j) = self.journal.as_mut() {
+                    let _ = j.compact();
+                }
             }
         }
     }

@@ -37,6 +37,14 @@ pub enum Event {
     SlotAcquired { seq: u64, slot: usize },
     /// The job's command was spawned (or simulated/dry-run rendered).
     Spawned { seq: u64, slot: usize },
+    /// The process-launch fast path execed the rendered command
+    /// directly as argv — no `sh -c` layer (see
+    /// `htpar_core::spawn::bypass_argv`). `latency_us` is the in-parent
+    /// launch cost: argv/env arena fill through `posix_spawn` return.
+    ShellBypass { seq: u64, latency_us: u64 },
+    /// The fast path fell back to `sh -c` (the command needs shell
+    /// interpretation). Same `latency_us` definition as `ShellBypass`.
+    ShFallback { seq: u64, latency_us: u64 },
     /// The job finished. `runtime` is wall time of the final attempt.
     Completed {
         seq: u64,
@@ -157,6 +165,8 @@ impl Event {
             Event::Queued { .. } => "queued",
             Event::SlotAcquired { .. } => "slot_acquired",
             Event::Spawned { .. } => "spawned",
+            Event::ShellBypass { .. } => "shell_bypass",
+            Event::ShFallback { .. } => "sh_fallback",
             Event::Completed { .. } => "completed",
             Event::Retried { .. } => "retried",
             Event::Failed { .. } => "failed",
@@ -190,6 +200,8 @@ impl Event {
             Event::Queued { seq }
             | Event::SlotAcquired { seq, .. }
             | Event::Spawned { seq, .. }
+            | Event::ShellBypass { seq, .. }
+            | Event::ShFallback { seq, .. }
             | Event::Completed { seq, .. }
             | Event::Retried { seq, .. }
             | Event::Failed { seq, .. } => Some(*seq),
@@ -204,6 +216,9 @@ impl Event {
             Event::Queued { seq } => format!("\"seq\":{seq}"),
             Event::SlotAcquired { seq, slot } => format!("\"seq\":{seq},\"slot\":{slot}"),
             Event::Spawned { seq, slot } => format!("\"seq\":{seq},\"slot\":{slot}"),
+            Event::ShellBypass { seq, latency_us } | Event::ShFallback { seq, latency_us } => {
+                format!("\"seq\":{seq},\"latency_us\":{latency_us}")
+            }
             Event::Completed { seq, exit, runtime } => format!(
                 "\"seq\":{seq},\"exit\":{exit},\"runtime_us\":{}",
                 runtime.as_micros()
@@ -348,6 +363,14 @@ mod tests {
             Event::Queued { seq: 1 },
             Event::SlotAcquired { seq: 1, slot: 2 },
             Event::Spawned { seq: 1, slot: 2 },
+            Event::ShellBypass {
+                seq: 1,
+                latency_us: 180,
+            },
+            Event::ShFallback {
+                seq: 2,
+                latency_us: 420,
+            },
             Event::Completed {
                 seq: 1,
                 exit: 0,
@@ -452,6 +475,14 @@ mod tests {
                 exit: 0,
                 runtime: Duration::from_millis(545),
             },
+            Event::ShellBypass {
+                seq: 42,
+                latency_us: 95,
+            },
+            Event::ShFallback {
+                seq: 43,
+                latency_us: 310,
+            },
             Event::Launch {
                 method: LaunchMethod::Srun,
                 tasks: 1000,
@@ -537,7 +568,7 @@ mod tests {
         assert_eq!(v["runtime_us"].as_u64(), Some(545_000));
         // Tenant names are caller-supplied; quotes and backslashes must
         // survive the JSON encoding.
-        let v = serde_json::from_str(&events[9].to_jsonl(at)).unwrap();
+        let v = serde_json::from_str(&events[11].to_jsonl(at)).unwrap();
         assert_eq!(v["tenant"].as_str(), Some("tenant \"a\"\\b"));
     }
 

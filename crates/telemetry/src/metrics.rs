@@ -80,6 +80,9 @@ pub struct MetricsSnapshot {
     pub collector_backlog_peak: usize,
     /// Runtime distribution of completed tasks.
     pub runtime: HistogramSummary,
+    /// In-parent launch-cost distribution (`latency_us` of
+    /// `shell_bypass`/`sh_fallback` events from the process spawner).
+    pub spawn_latency: HistogramSummary,
     /// Sustained launch rate over `spawned` events (see
     /// [`MetricsRegistry::launch_rate_sustained`]); `None` below 2 events.
     pub launch_rate: Option<f64>,
@@ -98,10 +101,12 @@ pub struct MetricsSnapshot {
 }
 
 /// Every kind string, in counter-slot order. Indexed by [`kind_slot`].
-const KINDS: [&str; 27] = [
+const KINDS: [&str; 29] = [
     "queued",
     "slot_acquired",
     "spawned",
+    "shell_bypass",
+    "sh_fallback",
     "completed",
     "retried",
     "failed",
@@ -135,30 +140,32 @@ fn kind_slot(event: &Event) -> usize {
         Event::Queued { .. } => 0,
         Event::SlotAcquired { .. } => 1,
         Event::Spawned { .. } => 2,
-        Event::Completed { .. } => 3,
-        Event::Retried { .. } => 4,
-        Event::Failed { .. } => 5,
-        Event::SlotOccupancy { .. } => 6,
-        Event::QueueDepth { .. } => 7,
-        Event::CollectorBacklog { .. } => 8,
-        Event::SimEventFired { .. } => 9,
-        Event::SimEventCancelled { .. } => 10,
-        Event::NodeUp { .. } => 11,
-        Event::Launch { .. } => 12,
-        Event::NodeDown { .. } => 13,
-        Event::ShardRequeued { .. } => 14,
-        Event::AgentConnected { .. } => 15,
-        Event::AgentLost { .. } => 16,
-        Event::ShardSent { .. } => 17,
-        Event::FrameBytes { .. } => 18,
-        Event::SessionOpened { .. } => 19,
-        Event::SessionClosed { .. } => 20,
-        Event::SubmitRejected { .. } => 21,
-        Event::TenantShardSent { .. } => 22,
-        Event::TenantTaskDone { .. } => 23,
-        Event::SessionDetached { .. } => 24,
-        Event::SessionReattached { .. } => 25,
-        Event::PilotRecovered { .. } => 26,
+        Event::ShellBypass { .. } => 3,
+        Event::ShFallback { .. } => 4,
+        Event::Completed { .. } => 5,
+        Event::Retried { .. } => 6,
+        Event::Failed { .. } => 7,
+        Event::SlotOccupancy { .. } => 8,
+        Event::QueueDepth { .. } => 9,
+        Event::CollectorBacklog { .. } => 10,
+        Event::SimEventFired { .. } => 11,
+        Event::SimEventCancelled { .. } => 12,
+        Event::NodeUp { .. } => 13,
+        Event::Launch { .. } => 14,
+        Event::NodeDown { .. } => 15,
+        Event::ShardRequeued { .. } => 16,
+        Event::AgentConnected { .. } => 17,
+        Event::AgentLost { .. } => 18,
+        Event::ShardSent { .. } => 19,
+        Event::FrameBytes { .. } => 20,
+        Event::SessionOpened { .. } => 21,
+        Event::SessionClosed { .. } => 22,
+        Event::SubmitRejected { .. } => 23,
+        Event::TenantShardSent { .. } => 24,
+        Event::TenantTaskDone { .. } => 25,
+        Event::SessionDetached { .. } => 26,
+        Event::SessionReattached { .. } => 27,
+        Event::PilotRecovered { .. } => 28,
     }
 }
 
@@ -200,6 +207,9 @@ pub struct MetricsRegistry {
     /// Final-attempt runtimes of completed tasks, microseconds, sharded
     /// by `seq` so concurrent completions rarely share a lock.
     runtimes_us: [Mutex<Vec<u64>>; RUNTIME_SHARDS],
+    /// In-parent launch costs from the process spawner, microseconds,
+    /// sharded like `runtimes_us`.
+    spawn_latency_us: [Mutex<Vec<u64>>; RUNTIME_SHARDS],
 }
 
 impl Default for MetricsRegistry {
@@ -221,6 +231,7 @@ impl Default for MetricsRegistry {
             nodes_down: AtomicU64::new(0),
             requeued_tasks: AtomicU64::new(0),
             runtimes_us: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            spawn_latency_us: std::array::from_fn(|_| Mutex::new(Vec::new())),
         }
     }
 }
@@ -292,6 +303,13 @@ impl MetricsRegistry {
                 }
                 HistogramSummary::from_samples(&samples)
             },
+            spawn_latency: {
+                let mut samples = Vec::new();
+                for shard in &self.spawn_latency_us {
+                    samples.extend_from_slice(&shard.lock().expect("metrics poisoned"));
+                }
+                HistogramSummary::from_samples(&samples)
+            },
             launch_rate: self.launch_rate_sustained(),
             ok: self.ok.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
@@ -323,6 +341,12 @@ impl Sink for MetricsRegistry {
                 self.spawn_count.fetch_add(1, Ordering::Relaxed);
                 self.spawn_first_ns.fetch_min(ns, Ordering::Relaxed);
                 self.spawn_last_ns.fetch_max(ns, Ordering::Relaxed);
+            }
+            Event::ShellBypass { seq, latency_us } | Event::ShFallback { seq, latency_us } => {
+                self.spawn_latency_us[*seq as usize % RUNTIME_SHARDS]
+                    .lock()
+                    .expect("metrics poisoned")
+                    .push(*latency_us);
             }
             Event::Completed { seq, exit, runtime } => {
                 self.runtimes_us[*seq as usize % RUNTIME_SHARDS]
@@ -572,6 +596,36 @@ mod tests {
         assert_eq!(snap.counters["shard_sent"], 2);
         assert_eq!(snap.counters["agent_lost"], 1);
         assert_eq!(snap.counters["frame_bytes"], 1);
+    }
+
+    #[test]
+    fn spawn_path_counters_and_latency_histogram() {
+        let reg = MetricsRegistry::new();
+        for seq in 0..10u64 {
+            feed(
+                &reg,
+                seq,
+                Event::ShellBypass {
+                    seq,
+                    latency_us: 100 + seq,
+                },
+            );
+        }
+        feed(
+            &reg,
+            10,
+            Event::ShFallback {
+                seq: 10,
+                latency_us: 400,
+            },
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["shell_bypass"], 10);
+        assert_eq!(snap.counters["sh_fallback"], 1);
+        assert_eq!(snap.spawn_latency.count, 11);
+        assert_eq!(snap.spawn_latency.min, 100);
+        assert_eq!(snap.spawn_latency.max, 400);
+        assert_eq!(reg.counter("shell_bypass"), 10);
     }
 
     #[test]
