@@ -1,0 +1,143 @@
+//! DAG scheduling rate regression gate.
+//!
+//! Runs the canonical DAG workload (100k in-process no-op tasks at
+//! `-j 64`) through the ready-set release path on each gate topology
+//! (wide, deep, diamond) and exits nonzero when any topology's rate
+//! drops below its checked-in floor. The wide topology additionally
+//! must stay within a small factor of the flat-list path measured in
+//! the same process — the DAG layer is scheduling, not a second
+//! execution path. CI runs this in release mode;
+//! `tests/dag_rate_gate.rs` runs the same check under `cargo test`.
+//!
+//! Flags:
+//!   --topology T    wide | deep | diamond (default: all three)
+//!   --jobs N        slot count (default 64)
+//!   --tasks N       task count (default 100000)
+//!   --floor RATE    override the compiled-in floor (tasks/sec)
+//!   --report-only   print measurements without enforcing
+//!   --jsonl FILE    append one JSON line per trial for trend tracking
+//!
+//! To verify the gate trips, set `HTPAR_DAG_GATE_HANDICAP_US` to an
+//! artificial per-task cost in microseconds and watch it fail.
+
+use std::io::Write;
+
+use htpar_bench::daggate::{self, DagGateMeasurement, Topology};
+
+fn jsonl_line(path: &str, m: &DagGateMeasurement, trial: usize) {
+    let line = format!(
+        "{{\"bench\":\"dag_rate_gate\",\"topology\":\"{}\",\"trial\":{trial},\
+         \"jobs\":{},\"tasks\":{},\"wall_secs\":{:.6},\"tasks_per_sec\":{:.0},\
+         \"flat_tasks_per_sec\":{:.0},\"overhead_factor\":{:.3}}}\n",
+        m.topology.name(),
+        m.jobs,
+        m.tasks,
+        m.wall.as_secs_f64(),
+        m.tasks_per_sec,
+        m.flat_tasks_per_sec,
+        m.overhead_factor()
+    );
+    let ok = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = ok {
+        eprintln!("dag_rate_gate: cannot write {path}: {e}");
+    }
+}
+
+fn report(m: &DagGateMeasurement) {
+    println!(
+        "  {:<8} {:>9.0} tasks/s  ({:.3} s; flat path {:.0}/s, overhead {:.2}x)",
+        m.topology.name(),
+        m.tasks_per_sec,
+        m.wall.as_secs_f64(),
+        m.flat_tasks_per_sec,
+        m.overhead_factor()
+    );
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = flag_value(&args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(daggate::GATE_JOBS);
+    let tasks = flag_value(&args, "--tasks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(daggate::GATE_TASKS);
+    let floor_override: Option<f64> = flag_value(&args, "--floor").and_then(|v| v.parse().ok());
+    let report_only = args.iter().any(|a| a == "--report-only");
+    let jsonl = flag_value(&args, "--jsonl");
+    let topologies: Vec<Topology> = match flag_value(&args, "--topology") {
+        Some(name) => match Topology::parse(&name) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!("dag_rate_gate: unknown topology {name:?} (wide|deep|diamond)");
+                std::process::exit(2);
+            }
+        },
+        None => Topology::ALL.to_vec(),
+    };
+
+    println!("dag-rate gate: {tasks} in-process no-op tasks at -j {jobs} per topology");
+    if let Some(cost) = daggate::handicap() {
+        println!(
+            "  handicap:     {} us/task (simulated slowdown)",
+            cost.as_micros()
+        );
+    }
+
+    if report_only {
+        for &topo in &topologies {
+            let m = daggate::measure(topo, jobs, tasks);
+            report(&m);
+            if let Some(path) = &jsonl {
+                jsonl_line(path, &m, 1);
+            }
+        }
+        return;
+    }
+
+    let mut failed = false;
+    for &topo in &topologies {
+        let floor = floor_override.unwrap_or_else(|| daggate::floor(topo));
+        let mut rate = 0.0;
+        // Retry before declaring a regression: a transient host hiccup
+        // depresses one run, a real slowdown depresses all of them.
+        for attempt in 1..=daggate::GATE_ATTEMPTS {
+            let m = daggate::measure(topo, jobs, tasks);
+            report(&m);
+            if let Some(path) = &jsonl {
+                jsonl_line(path, &m, attempt);
+            }
+            rate = m.tasks_per_sec;
+            if rate >= floor {
+                break;
+            }
+        }
+        if rate < floor {
+            eprintln!(
+                "FAIL: {} rate {rate:.0}/s is below the floor {floor:.0}/s",
+                topo.name()
+            );
+            failed = true;
+        } else {
+            println!(
+                "  {:<8} PASS: {:.2}x above floor {floor:.0}/s",
+                topo.name(),
+                rate / floor
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,7 @@
 
 use std::fmt::Display;
 
+pub mod daggate;
 pub mod gate;
 pub mod netgate;
 pub mod pilotgate;

@@ -1,0 +1,70 @@
+//! The DAG scheduling rate gate under `cargo test` (debug profile),
+//! plus the handicap drill proving the gate can trip.
+
+use htpar_bench::daggate::{self, Topology};
+
+#[test]
+fn wide_dag_rate_stays_above_floor() {
+    let m = daggate::measure_gated(Topology::Wide);
+    assert!(
+        m.tasks_per_sec >= daggate::floor(Topology::Wide),
+        "wide DAG rate {:.0}/s fell below the floor {:.0}/s",
+        m.tasks_per_sec,
+        daggate::floor(Topology::Wide)
+    );
+    // The issue's headline bound: a dependency-free DAG must stay
+    // within a small factor of the flat-list path — same machine, same
+    // run. The committed BENCH json shows the release-mode factor.
+    assert!(
+        m.overhead_factor() <= daggate::WIDE_OVERHEAD_FACTOR_CEIL,
+        "wide DAG path is {:.2}x slower than the flat path (ceiling {}x)",
+        m.overhead_factor(),
+        daggate::WIDE_OVERHEAD_FACTOR_CEIL
+    );
+}
+
+#[test]
+fn deep_dag_rate_stays_above_floor() {
+    let m = daggate::measure_gated(Topology::Deep);
+    assert!(
+        m.tasks_per_sec >= daggate::floor(Topology::Deep),
+        "deep DAG rate {:.0}/s fell below the floor {:.0}/s",
+        m.tasks_per_sec,
+        daggate::floor(Topology::Deep)
+    );
+}
+
+#[test]
+fn diamond_dag_rate_stays_above_floor() {
+    let m = daggate::measure_gated(Topology::Diamond);
+    assert!(
+        m.tasks_per_sec >= daggate::floor(Topology::Diamond),
+        "diamond DAG rate {:.0}/s fell below the floor {:.0}/s",
+        m.tasks_per_sec,
+        daggate::floor(Topology::Diamond)
+    );
+}
+
+/// The drill: a large artificial per-task cost must land well below
+/// the floor — otherwise the gate can never fail and protects nothing.
+/// 5ms/task on the wide topology at -j 8 caps the rate at ~1.6k
+/// tasks/s, far under both floors. Uses a child process so the env var
+/// cannot leak into concurrently running tests.
+#[test]
+fn handicapped_dag_rate_trips_the_gate() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_dag_rate_gate"))
+        .args(["--topology", "wide", "--jobs", "8", "--tasks", "400"])
+        .env("HTPAR_DAG_GATE_HANDICAP_US", "5000")
+        .output()
+        .expect("gate binary runs");
+    assert!(
+        !out.status.success(),
+        "5ms/task handicap did not trip the gate; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("below the floor"),
+        "gate failed for an unexpected reason; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -23,6 +23,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use htpar_core::dag::{Dag, DagRunner, DagSpec, ReadySet};
 use htpar_core::sched::SchedPolicy;
 use htpar_net::agent::{self, AgentConfig};
 use htpar_net::client::{ClientEvent, SessionClient, SessionConfig};
@@ -57,7 +58,36 @@ COMMAND... [::: ARGS...]
       --chaos-kill-agent IDX@DONE
                          SIGKILL local agent IDX once DONE tasks have
                          completed (requires --local-cluster)
+      --dag FILE         drive a dependency graph: FILE supplies the
+                         commands (htpar dag grammar) and the driver
+                         releases a task to the fleet only after its
+                         dependencies succeed; no COMMAND/::: tail
+      --make             with --dag: FILE is make-style `target: deps`
+                         lines and the COMMAND tail renders each task
+                         ({} = target)
 With no ::: source, arguments are read from stdin, one per line.";
+
+pub const DAG_USAGE: &str = "\
+usage: htpar dag FILE [OPTIONS]
+Run a dependency graph in-process: ready tasks release into the slot
+engine as their dependencies complete; a failure marks every descendant
+skipped-dep-failed with its own joblog row.
+FILE grammar (one task per line; blank lines and # comments ignored):
+  ID: COMMAND                     one task
+  ID: COMMAND {} ::: A B C        expands to ID.1..ID.N, one arg each;
+                                  ID then names the whole group
+  ...anything... # after: ID,ID   run only after the named tasks
+  -j, --jobs N      parallel job slots
+      --joblog FILE one row per task; skipped tasks get
+                    Host=skipped-dep-failed, Exitval=-2
+      --resume      with --joblog: keep tasks that already have a
+                    successful row and replay exactly the unfinished
+                    subgraph (failed tasks, their descendants, and
+                    anything unrecorded)
+      --make CMD    FILE is make-style `target: deps` lines; CMD
+                    renders each task's command ({} = target)
+      --no-shell    exec argv directly instead of via sh -c
+      --dry-run     validate and print a topological plan, then exit";
 
 pub const SERVE_USAGE: &str = "\
 usage: htpar serve (--agents SPEC[,SPEC...] | --local-cluster N) [OPTIONS]
@@ -110,6 +140,11 @@ usage: htpar submit --connect ADDR [OPTIONS] COMMAND... [::: ARGS...]
   --reattach KEY     reattach to a detached session and collect its
                      results (no command template; requires --tenant
                      to match the detached session)
+  --dag FILE         submit a dependency graph: the client withholds
+                     each task until its dependencies' completions
+                     arrive, so the pilot sees ordinary batches
+  --make             with --dag: FILE is make-style `target: deps`
+                     lines rendered through the COMMAND tail
 With no ::: source, arguments are read from stdin, one per line.";
 
 /// Dispatch a net subcommand. `None` means `argv` is a classic
@@ -118,6 +153,7 @@ pub fn dispatch(argv: &[String]) -> Option<i32> {
     match argv.first().map(String::as_str) {
         Some("agent") => Some(run_agent(&argv[1..])),
         Some("drive") => Some(run_drive(&argv[1..])),
+        Some("dag") => Some(run_dag(&argv[1..])),
         Some("serve") => Some(run_serve(&argv[1..])),
         Some("submit") => Some(run_submit(&argv[1..])),
         _ => None,
@@ -140,6 +176,34 @@ fn bus_from_env() -> Option<Arc<EventBus>> {
             None
         }
     }
+}
+
+/// The `COMMAND... [::: ARGS...]` tail both `drive` and `submit`
+/// accept, split starting at `argv[i]`: everything up to `:::` joins
+/// into the command template, everything after it is the argument list
+/// (`None` = read stdin lines). One helper so the two grammars cannot
+/// drift.
+fn parse_command_tail(argv: &[String], i: usize) -> (String, Option<Vec<String>>) {
+    let mut j = i;
+    let mut words = Vec::new();
+    while j < argv.len() && argv[j] != ":::" {
+        words.push(argv[j].clone());
+        j += 1;
+    }
+    let values = (j < argv.len()).then(|| argv[j + 1..].to_vec());
+    (words.join(" "), values)
+}
+
+/// Read and build a `--dag` file. `make` carries the `--make` render
+/// template (`{}` = target); `None` selects the `id: cmd` grammar.
+fn load_dag(path: &std::path::Path, make: Option<&str>) -> Result<Dag, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let spec = match make {
+        Some(template) => DagSpec::parse_make(&text, template),
+        None => DagSpec::parse(&text),
+    };
+    spec.and_then(DagSpec::build).map_err(|e| e.to_string())
 }
 
 // ---------------------------------------------------------------- agent
@@ -217,6 +281,11 @@ pub struct DriveSpec {
     pub core: Option<NetCore>,
     /// `--chaos-kill-agent IDX@DONE`.
     pub chaos_kill: Option<(usize, u64)>,
+    /// `--dag FILE`: dependency-aware drive; commands come from FILE.
+    pub dag: Option<PathBuf>,
+    /// `--make`: the `--dag` file is make-style `target: deps` lines,
+    /// rendered through the command template.
+    pub make: bool,
     pub command: String,
     /// `::: ARGS` values; `None` means read stdin lines.
     pub values: Option<Vec<String>>,
@@ -236,6 +305,8 @@ impl Default for DriveSpec {
             payload: Payload::Shell,
             core: None,
             chaos_kill: None,
+            dag: None,
+            make: false,
             command: String::new(),
             values: None,
             help: false,
@@ -310,6 +381,14 @@ pub fn parse_drive(argv: &[String]) -> Result<DriveSpec, String> {
                 spec.chaos_kill = Some(parse_chaos(&value(argv, i, "--chaos-kill-agent")?)?);
                 i += 2;
             }
+            "--dag" => {
+                spec.dag = Some(PathBuf::from(value(argv, i, "--dag")?));
+                i += 2;
+            }
+            "--make" => {
+                spec.make = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 spec.help = true;
                 return Ok(spec);
@@ -335,17 +414,26 @@ pub fn parse_drive(argv: &[String]) -> Result<DriveSpec, String> {
         }
     }
     // Everything from here is the command template, then `::: ARGS`.
-    let mut command_words = Vec::new();
-    while i < argv.len() && argv[i] != ":::" {
-        command_words.push(argv[i].clone());
-        i += 1;
+    let (command, values) = parse_command_tail(argv, i);
+    spec.command = command;
+    spec.values = values;
+    if spec.make && spec.dag.is_none() {
+        return Err("--make requires --dag FILE".to_string());
     }
-    spec.command = command_words.join(" ");
-    if i < argv.len() {
-        // Consume the `:::`.
-        spec.values = Some(argv[i + 1..].to_vec());
-    }
-    if spec.command.is_empty() {
+    if spec.dag.is_some() {
+        if spec.values.is_some() {
+            return Err("--dag and ::: are mutually exclusive".to_string());
+        }
+        if spec.make && spec.command.is_empty() {
+            return Err("--dag --make needs a command template ({} = target)".to_string());
+        }
+        if !spec.make && !spec.command.is_empty() {
+            return Err(
+                "--dag FILE supplies the commands; drop the command words (or add --make)"
+                    .to_string(),
+            );
+        }
+    } else if spec.command.is_empty() {
         return Err("a command template is required".to_string());
     }
     if spec.agents.is_empty() && spec.local_cluster == 0 {
@@ -405,9 +493,26 @@ fn run_drive(argv: &[String]) -> i32 {
         println!("{DRIVE_USAGE}");
         return 0;
     }
-    let inputs: Vec<Vec<String>> = match &spec.values {
-        Some(values) => values.iter().map(|v| vec![v.clone()]).collect(),
-        None => {
+    // `--dag FILE`: the graph supplies the commands; the driver runs
+    // the per-node command lines through a bare `{}` template and
+    // withholds each task until its dependencies succeed.
+    let dag = match &spec.dag {
+        Some(path) => {
+            let make = spec.make.then_some(spec.command.as_str());
+            match load_dag(path, make) {
+                Ok(dag) => Some(dag),
+                Err(msg) => {
+                    eprintln!("htpar drive: {msg}");
+                    return 1;
+                }
+            }
+        }
+        None => None,
+    };
+    let inputs: Vec<Vec<String>> = match (&dag, &spec.values) {
+        (Some(dag), _) => dag.inputs(),
+        (None, Some(values)) => values.iter().map(|v| vec![v.clone()]).collect(),
+        (None, None) => {
             use std::io::BufRead;
             let stdin = std::io::stdin();
             match stdin.lock().lines().collect::<std::io::Result<Vec<_>>>() {
@@ -420,7 +525,11 @@ fn run_drive(argv: &[String]) -> i32 {
         }
     };
     if inputs.is_empty() {
-        eprintln!("htpar drive: no input arguments");
+        if spec.dag.is_some() {
+            eprintln!("htpar drive: the DAG has no tasks");
+        } else {
+            eprintln!("htpar drive: no input arguments");
+        }
         return 1;
     }
 
@@ -446,7 +555,13 @@ fn run_drive(argv: &[String]) -> i32 {
         None => spec.agents.clone(),
     };
 
-    let mut config = DriverConfig::new(agents, spec.command.clone());
+    let command = if dag.is_some() {
+        "{}".to_string()
+    } else {
+        spec.command.clone()
+    };
+    let mut config = DriverConfig::new(agents, command);
+    config.deps = dag.as_ref().map(Dag::dep_seqs);
     if let Some(core) = spec.core {
         config.core = core;
     }
@@ -487,7 +602,8 @@ fn run_drive(argv: &[String]) -> i32 {
     let code = match outcome {
         Ok(outcome) => {
             print_summary(&outcome);
-            if outcome.completed + outcome.skipped == outcome.total {
+            // A dep-failed skip is a terminal outcome, not missing work.
+            if outcome.completed + outcome.skipped + outcome.skipped_dep_failed == outcome.total {
                 0
             } else {
                 1
@@ -506,8 +622,13 @@ fn run_drive(argv: &[String]) -> i32 {
 }
 
 fn print_summary(outcome: &DriveOutcome) {
+    let dep_failed = if outcome.skipped_dep_failed > 0 {
+        format!(", {} skipped-dep-failed", outcome.skipped_dep_failed)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "htpar drive: {}/{} task(s) in {:.2}s ({:.0} tasks/s), {} skipped, {} duplicate completion(s) suppressed",
+        "htpar drive: {}/{} task(s) in {:.2}s ({:.0} tasks/s), {} skipped{dep_failed}, {} duplicate completion(s) suppressed",
         outcome.completed,
         outcome.total,
         outcome.wall.as_secs_f64(),
@@ -524,6 +645,209 @@ fn print_summary(outcome: &DriveOutcome) {
             line.push_str(&format!(" [error: {error}]"));
         }
         eprintln!("{line}");
+    }
+}
+
+// ------------------------------------------------------------------ dag
+
+/// Parsed `htpar dag` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagCmdSpec {
+    pub file: Option<PathBuf>,
+    pub jobs: Option<usize>,
+    pub joblog: Option<PathBuf>,
+    pub resume: bool,
+    /// `--make CMD`: make-style input rendered through CMD.
+    pub make: Option<String>,
+    pub shell: bool,
+    pub dry_run: bool,
+    pub help: bool,
+}
+
+impl Default for DagCmdSpec {
+    fn default() -> Self {
+        DagCmdSpec {
+            file: None,
+            jobs: None,
+            joblog: None,
+            resume: false,
+            make: None,
+            shell: true,
+            dry_run: false,
+            help: false,
+        }
+    }
+}
+
+/// Parse `htpar dag` arguments (everything after the subcommand).
+pub fn parse_dag(argv: &[String]) -> Result<DagCmdSpec, String> {
+    let mut spec = DagCmdSpec::default();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-j" | "--jobs" => {
+                spec.jobs = Some(
+                    value(argv, i, "-j")?
+                        .parse()
+                        .map_err(|_| "-j needs a number".to_string())?,
+                );
+                i += 2;
+            }
+            "--joblog" => {
+                spec.joblog = Some(PathBuf::from(value(argv, i, "--joblog")?));
+                i += 2;
+            }
+            "--resume" => {
+                spec.resume = true;
+                i += 1;
+            }
+            "--make" => {
+                spec.make = Some(value(argv, i, "--make")?);
+                i += 2;
+            }
+            "--no-shell" => {
+                spec.shell = false;
+                i += 1;
+            }
+            "--dry-run" => {
+                spec.dry_run = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                spec.help = true;
+                return Ok(spec);
+            }
+            other => {
+                if let Some(n) = other.strip_prefix("-j") {
+                    if !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()) {
+                        spec.jobs = Some(n.parse().map_err(|_| "-j needs a number".to_string())?);
+                        i += 1;
+                        continue;
+                    }
+                }
+                if other.starts_with('-') && other.len() > 1 {
+                    return Err(format!("unknown option {other}"));
+                }
+                if spec.file.is_some() {
+                    return Err(format!("unexpected extra argument {other:?}"));
+                }
+                spec.file = Some(PathBuf::from(other));
+                i += 1;
+            }
+        }
+    }
+    if spec.file.is_none() {
+        return Err("a DAG file is required".to_string());
+    }
+    if spec.resume && spec.joblog.is_none() {
+        return Err("--resume requires --joblog".to_string());
+    }
+    Ok(spec)
+}
+
+fn run_dag(argv: &[String]) -> i32 {
+    let spec = match parse_dag(argv) {
+        Ok(spec) => spec,
+        Err(msg) => return usage_error(&format!("dag: {msg}"), DAG_USAGE),
+    };
+    if spec.help {
+        println!("{DAG_USAGE}");
+        return 0;
+    }
+    let file = spec.file.as_ref().expect("validated by parse_dag");
+    let dag = match load_dag(file, spec.make.as_deref()) {
+        Ok(dag) => dag,
+        Err(msg) => {
+            eprintln!("htpar dag: {msg}");
+            return 1;
+        }
+    };
+    if spec.dry_run {
+        print_dag_plan(&dag);
+        return 0;
+    }
+
+    use htpar_core::executor::ProcessExecutor;
+    use htpar_core::options::{Options, ResumeMode};
+    let mut options = Options::default();
+    if let Some(jobs) = spec.jobs {
+        options.jobs = jobs;
+    }
+    options.joblog = spec.joblog.clone();
+    options.resume = if spec.resume {
+        ResumeMode::Resume
+    } else {
+        ResumeMode::Off
+    };
+    options.shell = spec.shell;
+    let executor: Arc<dyn htpar_core::executor::Executor> = if spec.shell {
+        Arc::new(ProcessExecutor::shell())
+    } else {
+        Arc::new(ProcessExecutor::no_shell())
+    };
+    let runner = DagRunner {
+        options,
+        executor,
+        bus: bus_from_env(),
+    };
+    let started = std::time::Instant::now();
+    match runner.run(&dag) {
+        Ok(report) => {
+            let ok = report.total - report.failed - report.skipped_dep_failed - report.resumed;
+            eprintln!(
+                "htpar dag: {}/{} task(s) ok in {:.2}s ({} failed, {} skipped-dep-failed, \
+                 {} kept from a previous run)",
+                ok,
+                report.total,
+                started.elapsed().as_secs_f64(),
+                report.failed,
+                report.skipped_dep_failed,
+                report.resumed,
+            );
+            for id in &report.failed_ids {
+                eprintln!("  failed: {id}");
+            }
+            if report.all_succeeded() {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("htpar dag: {e}");
+            1
+        }
+    }
+}
+
+/// `--dry-run`: one line per task in a valid topological order, in the
+/// same grammar the parser accepts (round-trippable).
+fn print_dag_plan(dag: &Dag) {
+    let mut rs = ReadySet::new(dag);
+    let mut order = rs.take_ready();
+    let mut at = 0;
+    while at < order.len() {
+        let seq = order[at];
+        at += 1;
+        order.extend(rs.complete(seq, true).newly_ready);
+    }
+    for seq in order {
+        let node = dag.node((seq - 1) as usize);
+        let after: Vec<&str> = node
+            .deps
+            .iter()
+            .map(|&d| dag.node(d as usize).id.as_str())
+            .collect();
+        if after.is_empty() {
+            println!("{}: {}", node.id, node.command);
+        } else {
+            println!("{}: {} # after: {}", node.id, node.command, after.join(","));
+        }
     }
 }
 
@@ -867,6 +1191,11 @@ pub struct SubmitSpec {
     pub retry_max: u32,
     pub detach: Option<u64>,
     pub reattach: Option<u64>,
+    /// `--dag FILE`: client-side ready-set release over the session.
+    pub dag: Option<PathBuf>,
+    /// `--make`: the `--dag` file is make-style `target: deps` lines,
+    /// rendered through the command template.
+    pub make: bool,
     pub command: String,
     pub values: Option<Vec<String>>,
     pub help: bool,
@@ -884,6 +1213,8 @@ impl Default for SubmitSpec {
             retry_max: 10,
             detach: None,
             reattach: None,
+            dag: None,
+            make: false,
             command: String::new(),
             values: None,
             help: false,
@@ -954,6 +1285,14 @@ pub fn parse_submit(argv: &[String]) -> Result<SubmitSpec, String> {
                 );
                 i += 2;
             }
+            "--dag" => {
+                spec.dag = Some(PathBuf::from(value(argv, i, "--dag")?));
+                i += 2;
+            }
+            "--make" => {
+                spec.make = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 spec.help = true;
                 return Ok(spec);
@@ -966,19 +1305,34 @@ pub fn parse_submit(argv: &[String]) -> Result<SubmitSpec, String> {
             }
         }
     }
-    let mut command_words = Vec::new();
-    while i < argv.len() && argv[i] != ":::" {
-        command_words.push(argv[i].clone());
-        i += 1;
-    }
-    spec.command = command_words.join(" ");
-    if i < argv.len() {
-        spec.values = Some(argv[i + 1..].to_vec());
-    }
+    let (command, values) = parse_command_tail(argv, i);
+    spec.command = command;
+    spec.values = values;
     if spec.detach.is_some() && spec.reattach.is_some() {
         return Err("--detach and --reattach are mutually exclusive".to_string());
     }
-    if spec.reattach.is_some() {
+    if spec.make && spec.dag.is_none() {
+        return Err("--make requires --dag FILE".to_string());
+    }
+    if spec.dag.is_some() {
+        if spec.detach.is_some() || spec.reattach.is_some() {
+            // The client *is* the scheduler for a DAG session; there is
+            // nothing to hand to the pilot while detached.
+            return Err("--dag needs a live session; it cannot --detach or --reattach".to_string());
+        }
+        if spec.values.is_some() {
+            return Err("--dag and ::: are mutually exclusive".to_string());
+        }
+        if spec.make && spec.command.is_empty() {
+            return Err("--dag --make needs a command template ({} = target)".to_string());
+        }
+        if !spec.make && !spec.command.is_empty() {
+            return Err(
+                "--dag FILE supplies the commands; drop the command words (or add --make)"
+                    .to_string(),
+            );
+        }
+    } else if spec.reattach.is_some() {
         if !spec.command.is_empty() || spec.values.is_some() {
             return Err("--reattach collects results; it takes no command or args".to_string());
         }
@@ -1012,6 +1366,17 @@ fn run_submit(argv: &[String]) -> i32 {
     }
     if let Some(key) = spec.reattach {
         return run_reattach(&spec, key);
+    }
+    if let Some(path) = &spec.dag {
+        let make = spec.make.then_some(spec.command.as_str());
+        let dag = match load_dag(path, make) {
+            Ok(dag) => dag,
+            Err(msg) => {
+                eprintln!("htpar submit: {msg}");
+                return 1;
+            }
+        };
+        return run_submit_dag(&spec, &dag);
     }
     let inputs: Vec<Vec<String>> = match &spec.values {
         Some(values) => values.iter().map(|v| vec![v.clone()]).collect(),
@@ -1103,6 +1468,108 @@ fn run_submit(argv: &[String]) -> i32 {
         started.elapsed().as_secs_f64()
     );
     if completed == submitted {
+        0
+    } else {
+        1
+    }
+}
+
+/// `htpar submit --dag`: client-side ready-set release. The pilot sees
+/// ordinary Submit batches over a bare `{}` template; the client
+/// withholds each task until its dependencies' `DoneBatch` records
+/// arrive, so running a graph needs no protocol change. Session seqs
+/// are assigned in submission order, so `node_for[s - 1]` maps a
+/// session seq back to the DAG node it carried.
+fn run_submit_dag(spec: &SubmitSpec, dag: &Dag) -> i32 {
+    let mut config = SessionConfig::new(spec.connect.clone(), spec.tenant.clone());
+    config.weight = spec.weight;
+    config.priority = spec.priority;
+    config.payload = spec.payload;
+    config.command = "{}".to_string();
+    let mut client = match SessionClient::connect(config) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("htpar submit: {e}");
+            return 1;
+        }
+    };
+    let started = std::time::Instant::now();
+    let mut ready = ReadySet::new(dag);
+    let mut node_for: Vec<u64> = Vec::new();
+    let mut to_submit: Vec<u64> = ready.take_ready();
+    loop {
+        let mut at = 0;
+        while at < to_submit.len() {
+            let end = (at + spec.batch).min(to_submit.len());
+            let chunk = &to_submit[at..end];
+            let batch: Vec<Vec<String>> = chunk
+                .iter()
+                .map(|&seq| vec![dag.node((seq - 1) as usize).command.clone()])
+                .collect();
+            // Same backpressure discipline as the flat path: capped
+            // exponential backoff, bounded retries.
+            let mut attempt = 0u32;
+            loop {
+                match client.submit(&batch) {
+                    Ok(verdict) if verdict.accepted => break,
+                    Ok(verdict) => {
+                        if attempt >= spec.retry_max {
+                            eprintln!(
+                                "htpar submit: tenant queue still full after {} \
+                                 backpressure retries (last refusal: {}); giving up",
+                                spec.retry_max, verdict.reason
+                            );
+                            client.abort();
+                            return 2;
+                        }
+                        std::thread::sleep(submit_backoff(attempt));
+                        attempt += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("htpar submit: {e}");
+                        return 1;
+                    }
+                }
+            }
+            node_for.extend_from_slice(chunk);
+            at = end;
+        }
+        to_submit.clear();
+        if ready.is_finished() {
+            break;
+        }
+        let recs = match client.recv() {
+            Ok(ClientEvent::Done(recs)) => recs,
+            Ok(ClientEvent::SessionDone { .. }) => break,
+            Err(e) => {
+                eprintln!("htpar submit: {e}");
+                return 1;
+            }
+        };
+        for rec in &recs {
+            let Some(&node_seq) = node_for.get((rec.seq - 1) as usize) else {
+                continue;
+            };
+            let ok = rec.exitval == 0 && rec.signal == 0;
+            to_submit.extend(ready.complete(node_seq, ok).newly_ready);
+        }
+    }
+    let submitted = client.submitted();
+    let mut late_failed = 0u64;
+    let completed = match drain_to_done(&mut client, &mut late_failed) {
+        Ok(completed) => completed,
+        Err(e) => {
+            eprintln!("htpar submit: {e}");
+            return 1;
+        }
+    };
+    let (_done, failed, skipped, _pre) = ready.counts();
+    eprintln!(
+        "htpar submit: dag: {completed}/{submitted} task(s) completed in {:.2}s \
+         ({failed} failed, {skipped} skipped-dep-failed)",
+        started.elapsed().as_secs_f64()
+    );
+    if failed == 0 && skipped == 0 && completed == submitted {
         0
     } else {
         1
@@ -1368,6 +1835,85 @@ mod tests {
         assert_eq!(parse_payload("sleep:250").unwrap(), Payload::SleepUs(250));
         assert!(parse_payload("sleep:x").is_err());
         assert!(parse_payload("exec").is_err());
+    }
+
+    #[test]
+    fn command_tail_is_shared_between_drive_and_submit() {
+        // The same tail must parse identically through both grammars.
+        for tail in ["task {} ::: a b c", "task {}", "wc -l {} ::: x"] {
+            let d = parse_drive(&argv(&format!("--local-cluster 1 {tail}"))).unwrap();
+            let s = parse_submit(&argv(&format!("--connect a:1 {tail}"))).unwrap();
+            assert_eq!(d.command, s.command, "{tail}");
+            assert_eq!(d.values, s.values, "{tail}");
+        }
+        // `:::` with no values is an empty (not absent) source.
+        let (cmd, values) = parse_command_tail(&argv("task {} :::"), 0);
+        assert_eq!(cmd, "task {}");
+        assert_eq!(values, Some(vec![]));
+        let (cmd, values) = parse_command_tail(&argv(""), 0);
+        assert!(cmd.is_empty());
+        assert_eq!(values, None);
+    }
+
+    #[test]
+    fn drive_dag_grammar() {
+        let spec = parse_drive(&argv("--local-cluster 2 --dag graph.dag")).unwrap();
+        assert_eq!(spec.dag, Some(PathBuf::from("graph.dag")));
+        assert!(!spec.make);
+        assert!(spec.command.is_empty());
+        let spec = parse_drive(&argv("--local-cluster 2 --dag deps.mk --make render {}")).unwrap();
+        assert!(spec.make);
+        assert_eq!(spec.command, "render {}");
+        let err = parse_drive(&argv("--local-cluster 2 --dag g.dag task {}")).unwrap_err();
+        assert!(err.contains("supplies the commands"), "{err}");
+        let err = parse_drive(&argv("--local-cluster 2 --dag g.dag ::: a b")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse_drive(&argv("--local-cluster 2 --dag deps.mk --make")).unwrap_err();
+        assert!(err.contains("command template"), "{err}");
+        let err = parse_drive(&argv("--local-cluster 2 --make task {}")).unwrap_err();
+        assert!(err.contains("requires --dag"), "{err}");
+    }
+
+    #[test]
+    fn submit_dag_grammar() {
+        let spec = parse_submit(&argv("--connect a:1 --dag graph.dag --batch 10")).unwrap();
+        assert_eq!(spec.dag, Some(PathBuf::from("graph.dag")));
+        assert_eq!(spec.batch, 10);
+        let spec = parse_submit(&argv("--connect a:1 --dag deps.mk --make render {}")).unwrap();
+        assert!(spec.make);
+        assert_eq!(spec.command, "render {}");
+        let err = parse_submit(&argv("--connect a:1 --dag g.dag task {}")).unwrap_err();
+        assert!(err.contains("supplies the commands"), "{err}");
+        let err = parse_submit(&argv("--connect a:1 --dag g.dag --detach 7")).unwrap_err();
+        assert!(err.contains("live session"), "{err}");
+        let err = parse_submit(&argv("--connect a:1 --dag g.dag --reattach 7")).unwrap_err();
+        assert!(err.contains("live session"), "{err}");
+        let err = parse_submit(&argv("--connect a:1 --make task {}")).unwrap_err();
+        assert!(err.contains("requires --dag"), "{err}");
+    }
+
+    #[test]
+    fn dag_cmd_grammar() {
+        let spec = parse_dag(&argv("graph.dag -j 8 --joblog run.log --resume")).unwrap();
+        assert_eq!(spec.file, Some(PathBuf::from("graph.dag")));
+        assert_eq!(spec.jobs, Some(8));
+        assert_eq!(spec.joblog, Some(PathBuf::from("run.log")));
+        assert!(spec.resume);
+        assert!(spec.shell);
+        let spec = parse_dag(&argv("-j4 --no-shell --dry-run graph.dag")).unwrap();
+        assert_eq!(spec.jobs, Some(4));
+        assert!(!spec.shell);
+        assert!(spec.dry_run);
+        let spec = parse_dag(&argv("deps.mk --make render_{}")).unwrap();
+        assert_eq!(spec.make, Some("render_{}".to_string()));
+        assert!(parse_dag(&argv("")).is_err(), "file required");
+        assert!(parse_dag(&argv("a.dag b.dag")).is_err(), "one file only");
+        assert!(
+            parse_dag(&argv("a.dag --resume")).is_err(),
+            "resume needs a joblog"
+        );
+        let err = parse_dag(&argv("a.dag --jobslog x")).unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! End-to-end acceptance tests for `htpar drive --dag`: a 10k-task
+//! diamond graph over a real local cluster with a chaos-SIGKILLed
+//! agent, and driver-SIGKILL + `--resume` replaying exactly the
+//! unfinished subgraph. Both runs must leave an exactly-once joblog in
+//! which every task's dependencies are logged before it.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use htpar_core::joblog;
+use htpar_net::driver::verify_exactly_once;
+
+fn htpar() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_htpar"))
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("htpar-dag-e2e-{tag}-{}", std::process::id()))
+}
+
+/// Write a diamond-chain DAG of `tasks` nodes (a multiple of 4): blocks
+/// of head → two arms → join, each head depending on the previous join.
+/// Returns the 1-based dependency list per seq (seq = line order + 1),
+/// mirroring `Dag::dep_seqs` for the generated file.
+fn write_diamond(path: &Path, tasks: u64) -> Vec<Vec<u64>> {
+    assert_eq!(tasks % 4, 0, "diamond blocks are 4 tasks");
+    let mut spec = String::new();
+    let mut deps: Vec<Vec<u64>> = Vec::with_capacity(tasks as usize);
+    for b in 0..tasks / 4 {
+        let head = 4 * b + 1;
+        let (a1, a2, join) = (head + 1, head + 2, head + 3);
+        if b == 0 {
+            spec.push_str(&format!("t{head}: task {head}\n"));
+            deps.push(vec![]);
+        } else {
+            spec.push_str(&format!("t{head}: task {head} # after: t{}\n", head - 1));
+            deps.push(vec![head - 1]);
+        }
+        spec.push_str(&format!("t{a1}: task {a1} # after: t{head}\n"));
+        deps.push(vec![head]);
+        spec.push_str(&format!("t{a2}: task {a2} # after: t{head}\n"));
+        deps.push(vec![head]);
+        spec.push_str(&format!("t{join}: task {join} # after: t{a1},t{a2}\n"));
+        deps.push(vec![a1, a2]);
+    }
+    std::fs::write(path, spec).expect("write dag file");
+    deps
+}
+
+/// Every row's dependencies must appear earlier in the joblog than the
+/// row itself — the scheduler never dispatched a task before its
+/// dependencies completed, and the log preserves that order.
+fn assert_deps_logged_first(log: &Path, deps: &[Vec<u64>]) {
+    let entries = joblog::read_log(log).expect("readable joblog");
+    let mut seen = vec![false; deps.len() + 1];
+    for entry in &entries {
+        for &dep in &deps[(entry.seq - 1) as usize] {
+            assert!(
+                seen[dep as usize],
+                "seq {} logged before its dependency {dep}",
+                entry.seq
+            );
+        }
+        seen[entry.seq as usize] = true;
+    }
+}
+
+/// Pull `(completed, total, skipped)` out of the drive summary line.
+fn summary(stderr: &str) -> (u64, u64, u64) {
+    for line in stderr.lines() {
+        if let Some(rest) = line.strip_prefix("htpar drive: ") {
+            if rest.contains("task(s) in") {
+                let tokens: Vec<&str> = rest.split_whitespace().collect();
+                let (completed, total) = tokens[0].split_once('/').expect("completed/total");
+                let skipped_at = tokens
+                    .iter()
+                    .position(|t| *t == "skipped," || *t == "skipped")
+                    .expect("skipped field");
+                return (
+                    completed.parse().unwrap(),
+                    total.parse().unwrap(),
+                    tokens[skipped_at - 1].parse().unwrap(),
+                );
+            }
+        }
+    }
+    panic!("no drive summary in stderr:\n{stderr}");
+}
+
+/// The issue's acceptance scenario: a 10k-task diamond DAG under
+/// `htpar drive --local-cluster 4` with one agent chaos-SIGKILLed
+/// mid-graph. The run completes every task exactly once, and no row
+/// precedes a row for one of its dependencies.
+#[test]
+fn diamond_dag_with_chaos_killed_agent_completes_exactly_once_in_dep_order() {
+    let dag_file = temp_path("diamond.dag");
+    let log = temp_path("diamond.joblog");
+    let _ = std::fs::remove_file(&log);
+    let total = 10_000u64;
+    let deps = write_diamond(&dag_file, total);
+
+    let out = htpar()
+        .args([
+            "drive",
+            "--local-cluster",
+            "4",
+            "-j",
+            "4",
+            "--payload",
+            "sleep:200",
+            "--chaos-kill-agent",
+            "2@1000",
+            "--dag",
+            dag_file.to_str().unwrap(),
+            "--joblog",
+            log.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run htpar drive --dag");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "drive failed:\n{stderr}");
+    assert!(
+        stderr.contains("chaos: killing agent 2"),
+        "chaos hook never fired:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("[lost]"),
+        "agent 2 not reported lost:\n{stderr}"
+    );
+    let (completed, reported_total, skipped) = summary(&stderr);
+    assert_eq!((completed, reported_total, skipped), (total, total, 0));
+
+    let entries = joblog::read_log(&log).expect("readable joblog");
+    verify_exactly_once(&entries, total).unwrap_or_else(|e| panic!("joblog not exactly-once: {e}"));
+    assert_deps_logged_first(&log, &deps);
+    let _ = std::fs::remove_file(&dag_file);
+    let _ = std::fs::remove_file(&log);
+}
+
+/// SIGKILL the *driver* mid-graph, then `--dag --resume`: the second
+/// run keeps every successfully logged task and replays exactly the
+/// unfinished subgraph, and the merged joblog is exactly-once with
+/// dependencies still ahead of their dependents.
+#[test]
+fn driver_sigkill_then_dag_resume_replays_exactly_the_unfinished_subgraph() {
+    let dag_file = temp_path("resume.dag");
+    let log = temp_path("resume.joblog");
+    let _ = std::fs::remove_file(&log);
+    let total = 400u64;
+    let deps = write_diamond(&dag_file, total);
+
+    let mut child = htpar()
+        .args([
+            "drive",
+            "--local-cluster",
+            "2",
+            "-j",
+            "2",
+            "--payload",
+            "sleep:20000",
+            "--dag",
+            dag_file.to_str().unwrap(),
+            "--joblog",
+            log.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn htpar drive --dag");
+
+    // Per-row flushing means complete joblog lines appear while the run
+    // is live; kill the driver once a real prefix is on disk.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let rows = std::fs::read_to_string(&log)
+            .map(|s| s.lines().count().saturating_sub(1))
+            .unwrap_or(0);
+        if rows >= 50 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("first run never logged 50 rows");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let first_run = joblog::completed_seqs(&joblog::read_log(&log).expect("readable joblog"));
+    assert!(!first_run.is_empty() && (first_run.len() as u64) < total);
+
+    let out = htpar()
+        .args([
+            "drive",
+            "--local-cluster",
+            "2",
+            "-j",
+            "2",
+            "--payload",
+            "sleep:1000",
+            "--resume",
+            "--dag",
+            dag_file.to_str().unwrap(),
+            "--joblog",
+            log.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run resume drive");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "resume drive failed:\n{stderr}");
+    let (completed, reported_total, skipped) = summary(&stderr);
+    assert_eq!(reported_total, total);
+    assert_eq!(
+        skipped,
+        first_run.len() as u64,
+        "resume must keep exactly the logged subgraph"
+    );
+    assert_eq!(
+        completed,
+        total - first_run.len() as u64,
+        "resume must replay exactly the unfinished subgraph"
+    );
+
+    let entries = joblog::read_log(&log).expect("readable joblog");
+    verify_exactly_once(&entries, total).unwrap_or_else(|e| panic!("joblog not exactly-once: {e}"));
+    assert_deps_logged_first(&log, &deps);
+    let _ = std::fs::remove_file(&dag_file);
+    let _ = std::fs::remove_file(&log);
+}

@@ -27,6 +27,17 @@ fn temp_path(tag: &str) -> PathBuf {
 }
 
 fn spawn_pilot(listen: &str, state: &PathBuf, logs: &PathBuf, ttl: &str, tel: &PathBuf) -> Child {
+    spawn_pilot_sessions(listen, state, logs, ttl, tel, "2")
+}
+
+fn spawn_pilot_sessions(
+    listen: &str,
+    state: &PathBuf,
+    logs: &PathBuf,
+    ttl: &str,
+    tel: &PathBuf,
+    max_sessions: &str,
+) -> Child {
     Command::new(env!("CARGO_BIN_EXE_htpar"))
         .args([
             "serve",
@@ -35,7 +46,7 @@ fn spawn_pilot(listen: &str, state: &PathBuf, logs: &PathBuf, ttl: &str, tel: &P
             "-j",
             "2",
             "--max-sessions",
-            "2",
+            max_sessions,
             "--listen",
             listen,
             "--detach-ttl",
@@ -81,6 +92,96 @@ fn submit_all(client: &mut SessionClient) {
 
 fn joblog_rows(path: &PathBuf) -> usize {
     joblog::read_log_tolerant(path).map_or(0, |e| e.len())
+}
+
+/// Regression: completions replayed from a *previous pilot life* must
+/// carry the tasks' real stdout, not zeros. Every task finishes and is
+/// recorded before the SIGKILL, so everything the reattach client sees
+/// is synthesized from the `<tenant>.outlog` sidecar next to the
+/// joblog — any record with empty output means the retention path broke.
+#[test]
+fn reattach_replays_retained_stdout_after_restart() {
+    const OUT_TASKS: u64 = 60;
+    let sock = temp_path("outlog.sock");
+    let listen = format!("unix:{}", sock.display());
+    let state = temp_path("outlog-state");
+    let logs = temp_path("outlog-logs");
+    let tel = temp_path("outlog-events.jsonl");
+    for dir in [&state, &logs] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    for f in [&sock, &tel] {
+        let _ = std::fs::remove_file(f);
+    }
+
+    // ---- first life: run the whole campaign to completion, detach.
+    let mut pilot = spawn_pilot_sessions(&listen, &state, &logs, "60", &tel, "1");
+    let spec = await_announce(&mut pilot);
+    let mut config = SessionConfig::new(spec, "out");
+    config.payload = Payload::Shell;
+    config.command = "echo out-{}".to_string();
+    let mut session = SessionClient::connect(config).expect("out connects");
+    let inputs: Vec<Vec<String>> = (1..=OUT_TASKS).map(|i| vec![i.to_string()]).collect();
+    let verdict = session.submit(&inputs).expect("submit");
+    assert!(verdict.accepted, "admission refused: {}", verdict.reason);
+    session.detach(DETACH_KEY).expect("detach acked");
+
+    let out_log = logs.join("out.joblog");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while joblog_rows(&out_log) < OUT_TASKS as usize {
+        assert!(Instant::now() < deadline, "campaign did not finish");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    pilot.kill().expect("kill pilot");
+    pilot.wait().expect("reap pilot");
+
+    // ---- second life: everything the client collects is replay.
+    let mut pilot2 = spawn_pilot_sessions(&listen, &state, &logs, "8", &tel, "1");
+    let spec2 = await_announce(&mut pilot2);
+    let reattached =
+        SessionClient::reattach(SessionConfig::new(spec2, "out"), DETACH_KEY).expect("reattach");
+    let mut seen = vec![false; OUT_TASKS as usize + 1];
+    let completed = reattached
+        .collect(|recs| {
+            for rec in recs {
+                let seq = rec.seq as usize;
+                assert!(
+                    seq >= 1 && seq <= OUT_TASKS as usize,
+                    "seq {seq} out of range"
+                );
+                assert!(!seen[seq], "seq {seq} delivered twice");
+                seen[seq] = true;
+                assert_eq!(rec.exitval, 0, "seq {seq} replayed a failure");
+                assert_eq!(
+                    rec.stdout.trim(),
+                    format!("out-{seq}"),
+                    "seq {seq} replayed without its retained stdout"
+                );
+            }
+        })
+        .expect("collect");
+    assert_eq!(completed, OUT_TASKS);
+    assert!(seen[1..].iter().all(|&s| s), "not every seq replayed");
+    assert!(
+        logs.join("out.outlog").exists(),
+        "outlog sidecar persisted next to the joblog"
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = pilot2.try_wait().expect("try_wait") {
+            assert_eq!(status.code(), Some(0), "restarted pilot exits cleanly");
+            break;
+        }
+        if Instant::now() >= deadline {
+            // Reap before panicking: a leaked pilot holds the test
+            // harness's inherited stderr pipe open forever.
+            let _ = pilot2.kill();
+            let _ = pilot2.wait();
+            panic!("restarted pilot did not exit");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 #[test]

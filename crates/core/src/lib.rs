@@ -48,6 +48,7 @@
 
 pub mod batch;
 pub mod chaos;
+pub mod dag;
 pub mod deadline;
 pub mod dispatch;
 pub mod error;

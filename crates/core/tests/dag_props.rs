@@ -1,0 +1,275 @@
+//! Property tests for the DAG subsystem (`htpar_core::dag`):
+//!
+//! - random DAGs execute in a valid topological order, with exactly
+//!   one joblog row per task and failure propagation matching a
+//!   reference model;
+//! - any injected cycle is rejected with the cycle named;
+//! - a dependency-free DAG is indistinguishable from the flat-list
+//!   engine path (differential, modulo timing columns).
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use htpar_core::dag::{DagError, DagRunner, DagSpec, SKIPPED_DEP_FAILED};
+use htpar_core::executor::{FnExecutor, TaskOutput};
+use htpar_core::joblog::{self, LogEntry};
+use htpar_core::options::Options;
+use proptest::prelude::*;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "htpar-dagprop-{}-{tag}-{n}.joblog",
+        std::process::id()
+    ))
+}
+
+/// Decode `words` into a random acyclic graph: node `i` depends on a
+/// word-selected subset of earlier nodes, so the graph is acyclic by
+/// construction (edges only point backwards).
+fn decode_deps(words: &[u64]) -> Vec<Vec<usize>> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (0..i.min(63)).filter(|j| (w >> j) & 1 == 1).collect())
+        .collect()
+}
+
+fn build_spec(deps: &[Vec<usize>]) -> DagSpec {
+    let mut spec = DagSpec::new();
+    for (i, node_deps) in deps.iter().enumerate() {
+        spec.task(
+            format!("t{i}"),
+            format!("cmd-{i}"),
+            node_deps.iter().map(|j| format!("t{j}")).collect(),
+        )
+        .unwrap();
+    }
+    spec
+}
+
+/// Reference failure propagation: a node is skipped iff any dependency
+/// failed or was itself skipped. Returns (failed, skipped) seq sets
+/// (1-based).
+fn model_outcomes(deps: &[Vec<usize>], fails: &HashSet<usize>) -> (HashSet<u64>, HashSet<u64>) {
+    let mut failed = HashSet::new();
+    let mut skipped = HashSet::new();
+    // Nodes only depend on earlier nodes, so index order is topological.
+    for (i, node_deps) in deps.iter().enumerate() {
+        let dep_bad = node_deps
+            .iter()
+            .any(|j| failed.contains(&(*j as u64 + 1)) || skipped.contains(&(*j as u64 + 1)));
+        if dep_bad {
+            skipped.insert(i as u64 + 1);
+        } else if fails.contains(&i) {
+            failed.insert(i as u64 + 1);
+        }
+    }
+    (failed, skipped)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every execution is a valid topological order and the joblog has
+    /// exactly one row per task, with skips exactly where the model
+    /// says a dependency failure condemns a node.
+    #[test]
+    fn random_dags_run_in_topo_order_with_exactly_once_rows(
+        words in proptest::collection::vec(any::<u64>(), 1..40),
+        fail_word in any::<u64>(),
+        jobs in 1usize..8,
+    ) {
+        let deps = decode_deps(&words);
+        let n = deps.len();
+        // A word-selected subset of nodes fails (often empty).
+        let fails: HashSet<usize> =
+            (0..n.min(64)).filter(|i| (fail_word >> i) & 1 == 1 && i % 3 == 0).collect();
+        let (want_failed, want_skipped) = model_outcomes(&deps, &fails);
+
+        let dag = build_spec(&deps).build().unwrap();
+        let order: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&order);
+        let fail_set = fails.clone();
+        let joblog_path = tmp_path("topo");
+        let runner = DagRunner {
+            options: Options {
+                jobs,
+                joblog: Some(joblog_path.clone()),
+                ..Options::default()
+            },
+            executor: Arc::new(FnExecutor::new(move |cmd| {
+                // Appending at entry orders this node after every
+                // dependency: a dep's closure returned (and appended)
+                // before this node was released.
+                seen.lock().unwrap().push(cmd.seq);
+                if fail_set.contains(&((cmd.seq - 1) as usize)) {
+                    Ok(TaskOutput::failed(3, "boom"))
+                } else {
+                    Ok(TaskOutput::success())
+                }
+            })),
+            bus: None,
+        };
+        let report = runner.run(&dag).unwrap();
+        prop_assert_eq!(report.total, n as u64);
+        prop_assert_eq!(report.failed, want_failed.len() as u64);
+        prop_assert_eq!(report.skipped_dep_failed, want_skipped.len() as u64);
+
+        // Topological order: every dep appears before its dependent.
+        let order = order.lock().unwrap().clone();
+        let mut pos = vec![usize::MAX; n];
+        for (at, &seq) in order.iter().enumerate() {
+            prop_assert_eq!(pos[(seq - 1) as usize], usize::MAX, "task ran twice");
+            pos[(seq - 1) as usize] = at;
+        }
+        for (i, node_deps) in deps.iter().enumerate() {
+            if pos[i] == usize::MAX {
+                continue; // skipped: never executed
+            }
+            for &j in node_deps {
+                prop_assert!(
+                    pos[j] < pos[i],
+                    "t{} ran at {} before its dependency t{} at {}",
+                    i, pos[i], j, pos[j]
+                );
+            }
+        }
+        // Skipped nodes never executed; everything else did.
+        for (i, &p) in pos.iter().enumerate() {
+            let executed = p != usize::MAX;
+            prop_assert_eq!(executed, !want_skipped.contains(&(i as u64 + 1)));
+        }
+
+        // Joblog: exactly one row per seq; skips carry the sentinel.
+        let rows = joblog::read_log(&joblog_path).unwrap();
+        std::fs::remove_file(&joblog_path).ok();
+        prop_assert_eq!(rows.len(), n);
+        let mut seen_rows = HashSet::new();
+        let mut row_pos = vec![usize::MAX; n];
+        for (at, row) in rows.iter().enumerate() {
+            prop_assert!(seen_rows.insert(row.seq), "duplicate row for seq {}", row.seq);
+            row_pos[(row.seq - 1) as usize] = at;
+            if want_skipped.contains(&row.seq) {
+                prop_assert_eq!(&row.host, SKIPPED_DEP_FAILED);
+                prop_assert_eq!(row.exitval, -2);
+            } else if want_failed.contains(&row.seq) {
+                prop_assert_eq!(row.exitval, 3);
+            } else {
+                prop_assert_eq!(row.exitval, 0);
+            }
+        }
+        // The log itself lists every task's dependencies before it.
+        for (i, node_deps) in deps.iter().enumerate() {
+            for &j in node_deps {
+                prop_assert!(
+                    row_pos[j] < row_pos[i],
+                    "row for t{} precedes its dependency t{}",
+                    i, j
+                );
+            }
+        }
+    }
+
+    /// Adding a directed cycle on top of any DAG is rejected, and the
+    /// error names the injected cycle's members.
+    #[test]
+    fn injected_cycles_are_rejected_and_named(
+        words in proptest::collection::vec(any::<u64>(), 0..20),
+        cycle_len in 1usize..6,
+    ) {
+        let deps = decode_deps(&words);
+        let mut spec = build_spec(&deps);
+        // cyc0 <- cyc1 <- ... <- cyc{k-1} <- cyc0.
+        for c in 0..cycle_len {
+            let dep = format!("cyc{}", (c + cycle_len - 1) % cycle_len);
+            spec.task(format!("cyc{c}"), "true", vec![dep]).unwrap();
+        }
+        match spec.build() {
+            Err(DagError::Cycle(names)) => {
+                prop_assert!(!names.is_empty());
+                for name in &names {
+                    prop_assert!(
+                        name.starts_with("cyc"),
+                        "cycle named a node outside the injected cycle: {}",
+                        name
+                    );
+                }
+                let msg = DagError::Cycle(names).to_string();
+                prop_assert!(msg.contains("dependency cycle"), "{}", msg);
+            }
+            other => prop_assert!(false, "expected a named cycle, got {:?}", other.err()),
+        }
+    }
+
+    /// A DAG with no edges is the flat list: same joblog rows as
+    /// `Engine`'s batch path over the identical commands, byte-for-byte
+    /// once the timing columns (wall-clock noise) are dropped.
+    #[test]
+    fn dependency_free_dag_matches_flat_path(
+        n in 1usize..30,
+        jobs in 1usize..6,
+    ) {
+        let commands: Vec<String> = (0..n).map(|i| format!("job-{i}")).collect();
+
+        // Flat path: `{}` template over the same commands.
+        let flat_log = tmp_path("flat");
+        htpar_core::parallel::Parallel::new("{}")
+            .jobs(jobs)
+            .joblog(flat_log.clone())
+            .args(commands.clone())
+            .executor(FnExecutor::new(|cmd| {
+                if cmd.seq % 4 == 0 {
+                    Ok(TaskOutput::failed(7, ""))
+                } else {
+                    Ok(TaskOutput::success())
+                }
+            }))
+            .run()
+            .unwrap();
+        let flat_rows = joblog::read_log(&flat_log).unwrap();
+
+        // DAG path: same commands, zero edges.
+        let mut spec = DagSpec::new();
+        for (i, cmd) in commands.iter().enumerate() {
+            spec.task(format!("t{i}"), cmd.clone(), Vec::new()).unwrap();
+        }
+        let dag_log = tmp_path("dag");
+        let runner = DagRunner {
+            options: Options {
+                jobs,
+                joblog: Some(dag_log.clone()),
+                ..Options::default()
+            },
+            executor: Arc::new(FnExecutor::new(|cmd| {
+                if cmd.seq % 4 == 0 {
+                    Ok(TaskOutput::failed(7, ""))
+                } else {
+                    Ok(TaskOutput::success())
+                }
+            })),
+            bus: None,
+        };
+        runner.run(&spec.build().unwrap()).unwrap();
+        let dag_rows = joblog::read_log(&dag_log).unwrap();
+
+        let normalize = |rows: &[LogEntry]| -> Vec<String> {
+            let mut out: Vec<String> = rows
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                        e.seq, e.host, e.send, e.receive, e.exitval, e.signal, e.command
+                    )
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        prop_assert_eq!(normalize(&flat_rows), normalize(&dag_rows));
+        std::fs::remove_file(&flat_log).ok();
+        std::fs::remove_file(&dag_log).ok();
+    }
+}

@@ -70,6 +70,14 @@ pub struct DriverConfig {
     /// slow-reading agent stalls at this bound while its tasks wait in
     /// the driver's backlog — backpressure instead of unbounded memory.
     pub write_queue_cap: usize,
+    /// DAG drives: `deps[seq - 1]` lists the 1-based seqs that task
+    /// depends on ([`htpar_core::dag::Dag::dep_seqs`]). When set, the
+    /// driver releases tasks through a ready set — shards sent to
+    /// agents only ever contain tasks whose dependencies completed, a
+    /// failed task's descendants get `skipped-dep-failed` joblog rows,
+    /// and `--resume` skips only *successful* rows so the unfinished
+    /// subgraph replays. `None` = flat list (every task ready at start).
+    pub deps: Option<Vec<Vec<u64>>>,
 }
 
 impl DriverConfig {
@@ -87,6 +95,7 @@ impl DriverConfig {
             bus: None,
             core: NetCore::from_env(),
             write_queue_cap: 1 << 20,
+            deps: None,
         }
     }
 
@@ -125,6 +134,9 @@ pub struct DriveOutcome {
     pub completed: u64,
     /// Tasks skipped via `--resume` (already in the joblog).
     pub skipped: u64,
+    /// DAG drives: tasks never dispatched because a dependency failed
+    /// (each has its own `skipped-dep-failed` joblog row).
+    pub skipped_dep_failed: u64,
     /// Completions that arrived for already-recorded seqs (re-sharded
     /// work finishing twice); recorded nowhere, counted for tests.
     pub duplicates: u64,
@@ -227,6 +239,9 @@ pub fn run_driver(
 ) -> Result<DriveOutcome> {
     match config.core {
         NetCore::Reactor => run_driver_reactor(config, inputs, on_done),
+        NetCore::Threaded if config.deps.is_some() => Err(NetError::Protocol(
+            "DAG drives require the reactor core (--net-core reactor)".into(),
+        )),
         NetCore::Threaded => crate::reference::run_driver_threaded(config, inputs, on_done),
     }
 }
@@ -300,7 +315,15 @@ fn run_driver_reactor(
     let mut recorded: HashSet<u64> = HashSet::new();
     if config.resume {
         if let Some(path) = &config.joblog {
-            recorded = joblog::completed_seqs(&joblog::read_log(path)?);
+            if config.deps.is_some() {
+                // DAG resume: failed and skipped-dep-failed rows must
+                // replay (with their whole downstream subgraph), so only
+                // successes count as done. Tolerant read: a driver
+                // SIGKILLed mid-append leaves a torn tail.
+                recorded = joblog::successful_seqs(&joblog::read_log_tolerant(path)?);
+            } else {
+                recorded = joblog::completed_seqs(&joblog::read_log(path)?);
+            }
         }
     }
     let skipped = recorded.len() as u64;
@@ -313,6 +336,29 @@ fn run_driver_reactor(
         })
         .filter(|t| !recorded.contains(&t.seq))
         .collect();
+    let goal = pending.len() as u64;
+
+    // DAG drives: a ready set withholds every task with an unfinished
+    // dependency; completions release work incrementally, so shards on
+    // the wire only ever contain ready tasks.
+    let mut ready_set = config.deps.as_ref().map(|deps| {
+        assert_eq!(
+            deps.len(),
+            inputs.len(),
+            "deps table must cover every input"
+        );
+        htpar_core::dag::ReadySet::from_deps(deps, &recorded)
+    });
+    let pending: Vec<TaskSpec> = match ready_set.as_mut() {
+        Some(rs) => {
+            let ready_now: HashSet<u64> = rs.take_ready().into_iter().collect();
+            pending
+                .into_iter()
+                .filter(|t| ready_now.contains(&t.seq))
+                .collect()
+        }
+        None => pending,
+    };
 
     let mut log = match &config.joblog {
         Some(path) => Some(JobLogWriter::open(path)?),
@@ -372,7 +418,10 @@ fn run_driver_reactor(
     let lease = LeaseTracker::new(agents.len());
     let mut completed = 0u64;
     let mut duplicates = 0u64;
-    let goal = pending.len() as u64;
+    let mut skipped_dep = 0u64;
+    // Tasks unblocked by completions in the current poll batch, awaiting
+    // placement on alive agents.
+    let mut release: Vec<TaskSpec> = Vec::new();
     let tick = Duration::from_millis((config.heartbeat_ms as u64 / 2).clamp(10, 200));
     let mut tick_key = reactor.arm_timer(Instant::now() + tick, TOK_TICK);
     let mut events: Vec<PollEvent> = Vec::with_capacity(256);
@@ -414,14 +463,40 @@ fn run_driver_reactor(
                 if let Some(cb) = on_done.as_deref_mut() {
                     cb(completed);
                 }
+                if let Some(rs) = ready_set.as_mut() {
+                    let ok = rec.exitval == 0 && rec.signal == 0;
+                    let comp = rs.complete(rec.seq, ok);
+                    // Condemned descendants are terminal now: their
+                    // skip rows land right after the failing
+                    // dependency's row, so the joblog always lists a
+                    // task's dependencies before the task itself.
+                    for &seq in &comp.newly_skipped {
+                        recorded.insert(seq);
+                        skipped_dep += 1;
+                        if let Some(log) = &mut log {
+                            let args = inputs
+                                .get((seq - 1) as usize)
+                                .map(|a| a.as_slice())
+                                .unwrap_or(&[]);
+                            let command = template.expand(&ExpandContext { args, seq, slot: 0 });
+                            log.record_entry(&htpar_core::dag::skip_entry(seq, &command))?;
+                        }
+                    }
+                    for seq in comp.newly_ready {
+                        release.push(TaskSpec {
+                            seq,
+                            args: inputs.get((seq - 1) as usize).cloned().unwrap_or_default(),
+                        });
+                    }
+                }
             }
         }};
     }
 
-    while completed < goal {
+    while completed + skipped_dep < goal {
         if agents.iter().all(|a| !a.alive) {
             return Err(NetError::AllAgentsLost {
-                remaining: goal - completed,
+                remaining: goal - completed - skipped_dep,
             });
         }
         events.clear();
@@ -544,6 +619,19 @@ fn run_driver_reactor(
             }
         }
         events = batch;
+        // Place tasks unblocked in this batch. Only alive agents receive
+        // them, so a re-shard after agent death still never ships an
+        // unready task.
+        if !release.is_empty() {
+            dispatch_ready(
+                config,
+                &reactor,
+                &mut agents,
+                &mut release,
+                &recorded,
+                inputs,
+            )?;
+        }
         // One joblog flush per poll batch (not per row): complete lines
         // on disk keep `--resume` exact after a driver kill, while the
         // batch granularity keeps fsync traffic off the per-task path.
@@ -653,6 +741,7 @@ fn run_driver_reactor(
         total,
         completed,
         skipped,
+        skipped_dep_failed: skipped_dep,
         duplicates,
         agents: agents
             .into_iter()
@@ -683,6 +772,41 @@ fn assign(config: &DriverConfig, agent: &mut RAgent, idx: usize, shard: Vec<Task
         agent.assigned.insert(task.seq);
         agent.backlog.push_back(task);
     }
+}
+
+/// Shard newly-ready DAG tasks across the alive agents (same modulo
+/// placement as the initial split) and pump them onto the wire. A
+/// survivor dying mid-placement escalates to [`handle_loss`], which
+/// re-shards its whole unfinished assignment.
+fn dispatch_ready(
+    config: &DriverConfig,
+    reactor: &Reactor,
+    agents: &mut [RAgent],
+    release: &mut Vec<TaskSpec>,
+    recorded: &HashSet<u64>,
+    inputs: &[Vec<String>],
+) -> Result<()> {
+    let specs = std::mem::take(release);
+    let survivors: Vec<usize> = agents
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.alive)
+        .map(|(i, _)| i)
+        .collect();
+    if survivors.is_empty() {
+        return Err(NetError::AllAgentsLost {
+            remaining: specs.len() as u64,
+        });
+    }
+    let shards = driver_shard(&specs, survivors.len() as u32);
+    for (slot, shard) in shards.into_iter().enumerate() {
+        let target = survivors[slot];
+        assign(config, &mut agents[target], target, shard);
+        if !pump_and_flush(reactor, &mut agents[target], target, config.write_queue_cap) {
+            handle_loss(config, reactor, agents, target, recorded, inputs)?;
+        }
+    }
+    Ok(())
 }
 
 /// Move backlog tasks into the socket's write queue up to `cap`, then

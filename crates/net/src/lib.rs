@@ -43,6 +43,7 @@ pub mod journal;
 pub mod lease;
 pub mod local;
 pub mod nbio;
+pub mod outlog;
 pub mod reactor;
 pub mod reference;
 pub mod remote;

@@ -1,0 +1,142 @@
+//! Retained task output for detached sessions (`<tenant>.outlog`).
+//!
+//! The per-tenant joblog is the commit record for exit codes and
+//! timing, but `ReattachAck` replay used to synthesize *empty*
+//! stdout/stderr for every recorded completion — a detached pipeline
+//! reattached to real exit codes and vanished output. This sidecar is
+//! the joblog's payload half: an append-only, tab-separated,
+//! escape-encoded `seq \t stdout \t stderr` line per completion that
+//! produced output, living next to `<tenant>.joblog`. Completions with
+//! no output are not written; replay defaults their streams to empty
+//! strings, so the sidecar stays proportional to actual output volume.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Append-mode retained-output writer, one per tenant, opened lazily
+/// alongside the tenant joblog.
+#[derive(Debug)]
+pub struct OutLog {
+    out: BufWriter<File>,
+}
+
+impl OutLog {
+    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<OutLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(OutLog {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Record one completion's output. A no-op when both streams are
+    /// empty — replay synthesizes empty strings for absent seqs.
+    pub fn record(&mut self, seq: u64, stdout: &str, stderr: &str) -> std::io::Result<()> {
+        if stdout.is_empty() && stderr.is_empty() {
+            return Ok(());
+        }
+        writeln!(self.out, "{seq}\t{}\t{}", escape(stdout), escape(stderr))
+    }
+
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Load retained outputs keyed by seq. A missing file is an empty map
+/// (retention starts with the first completion that has output). Torn
+/// or malformed lines — a crash mid-append — are skipped, and a later
+/// duplicate row wins, matching the joblog's tolerant read.
+pub fn read_outputs<P: AsRef<Path>>(path: P) -> std::io::Result<HashMap<u64, (String, String)>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => return Err(e),
+    };
+    let mut map = HashMap::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        let mut parts = line.splitn(3, '\t');
+        let (Some(seq), Some(out), Some(err)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        let Ok(seq) = seq.parse::<u64>() else {
+            continue;
+        };
+        map.insert(seq, (unescape(out), unescape(err)));
+    }
+    Ok(map)
+}
+
+// Same escape scheme as the joblog command column: the record stays
+// one physical line per task no matter what the task printed.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_multiline_output() {
+        let dir = std::env::temp_dir().join(format!("htpar-outlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.outlog");
+        let mut log = OutLog::open(&path).unwrap();
+        log.record(1, "line one\nline two\n", "").unwrap();
+        log.record(2, "", "").unwrap(); // empty: not written
+        log.record(3, "tab\there", "err\\msg\n").unwrap();
+        log.flush().unwrap();
+        let map = read_outputs(&path).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&1], ("line one\nline two\n".to_string(), String::new()));
+        assert!(!map.contains_key(&2));
+        assert_eq!(map[&3], ("tab\there".to_string(), "err\\msg\n".to_string()));
+        // Append survives reopen; later rows win.
+        let mut log = OutLog::open(&path).unwrap();
+        log.record(1, "replaced", "e").unwrap();
+        log.flush().unwrap();
+        let map = read_outputs(&path).unwrap();
+        assert_eq!(map[&1], ("replaced".to_string(), "e".to_string()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_and_torn_lines_are_tolerated() {
+        let dir = std::env::temp_dir().join(format!("htpar-outlog2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.outlog");
+        assert!(read_outputs(&path).unwrap().is_empty());
+        std::fs::write(&path, "1\tok\t\ngarbage line\n7\ttorn").unwrap();
+        let map = read_outputs(&path).unwrap();
+        assert_eq!(map[&1], ("ok".to_string(), String::new()));
+        assert_eq!(map.len(), 1, "torn and field-short lines are skipped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

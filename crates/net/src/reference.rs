@@ -356,6 +356,7 @@ pub fn run_driver_threaded(
         total,
         completed,
         skipped,
+        skipped_dep_failed: 0,
         duplicates,
         agents: agents
             .into_iter()

@@ -318,6 +318,9 @@ struct Tenant {
     name: String,
     queue: VecDeque<QTask>,
     log: Option<JobLogWriter>,
+    /// Retained stdout/stderr sidecar (`<tenant>.outlog`), opened with
+    /// the joblog; reattach replay reads real output back from it.
+    outlog: Option<crate::outlog::OutLog>,
     completed: u64,
     rejected_submits: u64,
 }
@@ -557,6 +560,7 @@ impl Pilot {
                         name: r.tenant.clone(),
                         queue: VecDeque::new(),
                         log: None,
+                        outlog: None,
                         completed: 0,
                         rejected_submits: 0,
                     });
@@ -705,6 +709,9 @@ impl Pilot {
                 if let Some(log) = &mut tenant.log {
                     log.flush()?;
                 }
+                if let Some(outlog) = &mut tenant.outlog {
+                    outlog.flush()?;
+                }
             }
             // Joblogs first, then journal `Done` records: on replay a
             // seq is done if either survived, so this order can only
@@ -724,6 +731,9 @@ impl Pilot {
         for tenant in self.tenants.iter_mut() {
             if let Some(log) = &mut tenant.log {
                 log.flush()?;
+            }
+            if let Some(outlog) = &mut tenant.outlog {
+                outlog.flush()?;
             }
         }
         self.flush_done_records()?;
@@ -1072,9 +1082,11 @@ impl Pilot {
 
     /// Queue `DoneBatch` replays for every already-recorded seq of a
     /// freshly reattached session. Joblog rows supply real exit codes
-    /// and runtimes; recorded seqs missing a row (no `--joblog-dir`,
-    /// or a row lost to a crash after the journal `Done` survived)
-    /// replay as zeros. Returns the number of seqs replayed.
+    /// and runtimes, the `<tenant>.outlog` sidecar supplies the
+    /// retained stdout/stderr; recorded seqs missing a row (no
+    /// `--joblog-dir`, or a row lost to a crash after the journal
+    /// `Done` survived) replay as zeros with empty output. Returns the
+    /// number of seqs replayed.
     fn replay_recorded(&mut self, id: u64) -> Result<u64> {
         let (tidx, recorded) = {
             let session = self.sessions.get(&id).expect("session alive");
@@ -1091,20 +1103,22 @@ impl Pilot {
             if let Some(log) = self.tenants[tidx].log.as_mut() {
                 log.flush()?;
             }
-            let path = dir.join(format!(
-                "{}.joblog",
-                sanitize_tenant(&self.tenants[tidx].name)
-            ));
-            for e in joblog::read_log_tolerant(&path)? {
+            if let Some(outlog) = self.tenants[tidx].outlog.as_mut() {
+                outlog.flush()?;
+            }
+            let safe = sanitize_tenant(&self.tenants[tidx].name);
+            let mut outputs = crate::outlog::read_outputs(dir.join(format!("{safe}.outlog")))?;
+            for e in joblog::read_log_tolerant(dir.join(format!("{safe}.joblog")))? {
                 if recorded.contains(&e.seq) {
+                    let (stdout, stderr) = outputs.remove(&e.seq).unwrap_or_default();
                     by_seq.entry(e.seq).or_insert(TaskDoneRec {
                         seq: e.seq,
                         exitval: e.exitval,
                         signal: e.signal,
                         start_epoch_us: (e.start * 1e6) as u64,
                         runtime_us: (e.runtime * 1e6) as u64,
-                        stdout: String::new(),
-                        stderr: String::new(),
+                        stdout,
+                        stderr,
                     });
                 }
             }
@@ -1229,6 +1243,7 @@ impl Pilot {
                             name: tenant.clone(),
                             queue: VecDeque::new(),
                             log: None,
+                            outlog: None,
                             completed: 0,
                             rejected_submits: 0,
                         });
@@ -1669,8 +1684,11 @@ impl Pilot {
         if let Some(dir) = &self.config.joblog_dir {
             if tenant.log.is_none() {
                 std::fs::create_dir_all(dir)?;
-                let path = dir.join(format!("{}.joblog", sanitize_tenant(&tenant.name)));
-                tenant.log = Some(JobLogWriter::open(&path)?);
+                let safe = sanitize_tenant(&tenant.name);
+                tenant.log = Some(JobLogWriter::open(dir.join(format!("{safe}.joblog")))?);
+                tenant.outlog = Some(crate::outlog::OutLog::open(
+                    dir.join(format!("{safe}.outlog")),
+                )?);
             }
             if let Some(log) = &mut tenant.log {
                 log.record_entry(&LogEntry {
@@ -1684,6 +1702,9 @@ impl Pilot {
                     signal: rec.signal,
                     command: inf.command,
                 })?;
+            }
+            if let Some(outlog) = &mut tenant.outlog {
+                outlog.record(inf.local_seq, &rec.stdout, &rec.stderr)?;
             }
         }
         if self.journal.is_some() {

@@ -139,6 +139,92 @@ impl PrefetchPipeline {
         }
     }
 
+    /// Render the pipeline as an `htpar dag` command-mode spec — the
+    /// dependency-graph form of Fig. 7, shipped as a runnable example.
+    ///
+    /// Instead of the stage barriers of [`PrefetchPipeline::plan`]
+    /// (every op of stage *i* waits for all of stage *i−1*), the spec
+    /// carries the true data dependencies:
+    ///
+    /// - `proc1` reads straight from Lustre: no dependencies;
+    /// - `copy{i}` waits only on `copy{i-1}` (one prefetch stream);
+    /// - `proc{i}` waits on its own copy and the previous processing
+    ///   step (one compute allocation);
+    /// - `del{i}` waits on `proc{i}` (free the NVMe space behind it).
+    ///
+    /// Commands are `sleep` calls with each op's duration multiplied by
+    /// `secs_scale`, so the shipped example replays the schedule in
+    /// seconds rather than hours. The critical path of this graph is
+    /// never longer than the barrier plan's total
+    /// ([`PrefetchPipeline::dag_makespan_secs`]).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn dag_spec(&self, n: usize, secs_scale: f64) -> String {
+        assert!(n >= 1, "pipeline needs at least one dataset");
+        let sleep = |secs: f64| format!("sleep {:.3}", secs * secs_scale);
+        let mut out = String::new();
+        out.push_str("# Staged NVMe-prefetch pipeline (paper SIV-B, Fig. 7) as a DAG.\n");
+        out.push_str("# Generated by PrefetchPipeline::dag_spec; run with `htpar dag`.\n");
+        out.push_str(&format!("proc1: {}\n", sleep(self.lustre_process_secs)));
+        for i in 2..=n {
+            let after = if i == 2 {
+                String::new()
+            } else {
+                format!(" # after: copy{}", i - 1)
+            };
+            out.push_str(&format!("copy{i}: {}{after}\n", sleep(self.copy_secs)));
+        }
+        for i in 2..=n {
+            out.push_str(&format!(
+                "proc{i}: {} # after: copy{i},proc{}\n",
+                sleep(self.nvme_process_secs),
+                i - 1
+            ));
+        }
+        for i in 1..n {
+            out.push_str(&format!(
+                "del{i}: {} # after: proc{i}\n",
+                sleep(self.delete_secs)
+            ));
+        }
+        out
+    }
+
+    /// Critical-path makespan of the dependency-graph form rendered by
+    /// [`PrefetchPipeline::dag_spec`], in (unscaled) seconds. True data
+    /// dependencies only relax the stage barriers, so this is always
+    /// ≤ [`PipelinePlan::total_secs`]; for the paper's calibration
+    /// (processing dominates the copies) the two coincide.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn dag_makespan_secs(&self, n: usize) -> f64 {
+        assert!(n >= 1, "pipeline needs at least one dataset");
+        // finish(copy_i) = (i-1) * copy  (serial prefetch stream from t=0)
+        // finish(proc_i) = max(finish(copy_i), finish(proc_{i-1})) + nvme
+        // makespan      = max over finish(proc_n) and every delete.
+        let mut proc_finish = self.lustre_process_secs;
+        let mut makespan = proc_finish;
+        for i in 2..=n {
+            let copy_finish = (i - 1) as f64 * self.copy_secs;
+            proc_finish = proc_finish.max(copy_finish) + self.nvme_process_secs;
+            makespan = makespan.max(proc_finish);
+        }
+        // Deletes trail their processing step; only the last one can
+        // outlive the processing chain.
+        if n >= 2 {
+            let mut prev_proc = self.lustre_process_secs;
+            for i in 2..=n {
+                let copy_finish = (i - 1) as f64 * self.copy_secs;
+                let this_proc = prev_proc.max(copy_finish) + self.nvme_process_secs;
+                makespan = makespan.max(prev_proc + self.delete_secs);
+                prev_proc = this_proc;
+            }
+        }
+        makespan
+    }
+
     /// Plan the pipelined schedule over `n` datasets.
     ///
     /// # Panics
@@ -265,6 +351,71 @@ mod tests {
             "{}",
             plan.improvement()
         );
+    }
+
+    #[test]
+    fn dag_spec_round_trips_through_the_core_parser() {
+        let p = PrefetchPipeline::darshan_paper();
+        let spec = p.dag_spec(5, 0.001);
+        let parsed = htpar_core::dag::DagSpec::parse(&spec).expect("spec parses");
+        // 1 Lustre proc + 4 copies + 4 NVMe procs + 4 deletes.
+        assert_eq!(parsed.len(), 13);
+        let dag = parsed.build().expect("spec is acyclic");
+        // proc1 and copy2 are the only roots: everything else waits.
+        let roots: Vec<&str> = dag
+            .nodes()
+            .iter()
+            .filter(|n| n.deps.is_empty())
+            .map(|n| n.id.as_str())
+            .collect();
+        assert_eq!(roots, ["proc1", "copy2"]);
+        // proc3 waits on its own copy and the previous processing step.
+        let proc3 = dag
+            .nodes()
+            .iter()
+            .find(|n| n.id == "proc3")
+            .expect("proc3 exists");
+        let dep_ids: Vec<&str> = proc3
+            .deps
+            .iter()
+            .map(|&d| dag.nodes()[d as usize].id.as_str())
+            .collect();
+        assert_eq!(dep_ids, ["copy3", "proc2"]);
+    }
+
+    #[test]
+    fn dag_makespan_matches_barrier_plan_for_paper_calibration() {
+        // Processing dominates the copies in the Darshan calibration, so
+        // relaxing the stage barriers cannot shorten the critical path:
+        // both forms land on 358 min.
+        let p = PrefetchPipeline::darshan_paper();
+        let plan = p.plan(5);
+        let dag = p.dag_makespan_secs(5);
+        assert!(
+            (dag - plan.total_secs).abs() < 1e-6,
+            "{dag} vs {}",
+            plan.total_secs
+        );
+    }
+
+    #[test]
+    fn dag_makespan_never_exceeds_barrier_plan() {
+        // When the copies dominate, the DAG form beats the barrier plan:
+        // copy i+1 streams while stage i is still processing.
+        let p = PrefetchPipeline {
+            lustre_process_secs: 100.0,
+            nvme_process_secs: 10.0,
+            copy_secs: 50.0,
+            delete_secs: 1.0,
+        };
+        for n in 1..=8 {
+            let plan = p.plan(n).total_secs;
+            let dag = p.dag_makespan_secs(n);
+            assert!(dag <= plan + 1e-9, "n={n}: dag {dag} > plan {plan}");
+        }
+        // Strictly better for n=3: barriers 160 min-equivalents, DAG 120.
+        assert!((p.plan(3).total_secs - 160.0).abs() < 1e-9);
+        assert!((p.dag_makespan_secs(3) - 120.0).abs() < 1e-9);
     }
 
     #[test]
